@@ -1,0 +1,242 @@
+// Shared scaffolding for the per-figure bench binaries: scenario scales,
+// option parsing, and report-row rendering.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/fluid_model.h"
+#include "exp/runner.h"
+#include "metrics/json.h"
+#include "util/ascii_plot.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+namespace coopnet::bench {
+
+/// Base swarm scenario selected by --scale={small,mid,paper}; paper is the
+/// Section V-A setup (1000 peers, 128 MB file). Individual knobs are
+/// overridable: --n, --file-mb, --seed, --max-time.
+inline sim::SwarmConfig scenario_from_cli(const util::Cli& cli) {
+  const std::string scale = cli.get_string("scale", "paper");
+  sim::SwarmConfig config;
+  if (scale == "small") {
+    config = sim::SwarmConfig::small(core::Algorithm::kBitTorrent);
+  } else if (scale == "mid") {
+    config = sim::SwarmConfig::paper_scale(core::Algorithm::kBitTorrent);
+    config.n_peers = 300;
+    config.file_bytes = 32LL * 1024 * 1024;
+    config.graph.degree = 30;
+  } else if (scale == "paper") {
+    config = sim::SwarmConfig::paper_scale(core::Algorithm::kBitTorrent);
+  } else {
+    throw std::invalid_argument("unknown --scale (small|mid|paper)");
+  }
+  config.n_peers = static_cast<std::size_t>(
+      cli.get_int("n", static_cast<long>(config.n_peers)));
+  config.file_bytes =
+      cli.get_int("file-mb", config.file_bytes / (1024 * 1024)) * 1024LL *
+      1024LL;
+  config.seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+  // Cap the run so pure reciprocity (which never completes) terminates.
+  config.max_time = cli.get_double("max-time", 4000.0);
+  return config;
+}
+
+/// Renders a (time, value) series per algorithm as an ASCII chart.
+inline void print_series_chart(
+    const std::string& title,
+    const std::vector<std::pair<std::string, util::TimeSeries>>& series,
+    const std::string& x_label, const std::string& y_label) {
+  std::vector<util::PlotSeries> plots;
+  for (const auto& [name, ts] : series) {
+    if (ts.empty()) continue;
+    plots.push_back({name, ts.resample(64)});
+  }
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%s", util::line_chart(plots, 72, 18, x_label, y_label).c_str());
+}
+
+/// Renders per-algorithm CDFs (completion / bootstrap) as an ASCII chart.
+inline void print_cdf_chart(
+    const std::string& title,
+    const std::vector<std::pair<std::string, std::vector<util::CdfPoint>>>&
+        cdfs,
+    const std::string& x_label) {
+  std::vector<util::PlotSeries> plots;
+  for (const auto& [name, cdf] : cdfs) {
+    if (cdf.empty()) continue;
+    util::PlotSeries s;
+    s.name = name;
+    for (std::size_t i = 0; i < cdf.size();
+         i += std::max<std::size_t>(1, cdf.size() / 64)) {
+      s.points.push_back({cdf[i].x, cdf[i].fraction});
+    }
+    s.points.push_back({cdf.back().x, cdf.back().fraction});
+    plots.push_back(std::move(s));
+  }
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%s",
+              util::line_chart(plots, 72, 18, x_label, "fraction").c_str());
+}
+
+/// Runs all six algorithms over a scenario and prints the Figure 4/5/6
+/// artifact set: susceptibility (when free-riders are present), the
+/// completion-time CDFs (efficiency), the fairness-vs-time series, and the
+/// bootstrap CDFs. Returns the reports for further rendering.
+inline std::vector<metrics::RunReport> run_figure_suite(
+    const sim::SwarmConfig& base, bool with_susceptibility) {
+  std::vector<metrics::RunReport> reports;
+  util::Table table("Per-algorithm summary");
+  table.set_header({"Algorithm", "finished", "mean compl. (s)",
+                    "median compl. (s)", "boot median (s)",
+                    "settled fairness (u/d)", "fairness F",
+                    "susceptibility"});
+  for (core::Algorithm algo : core::kAllAlgorithms) {
+    sim::SwarmConfig config = base;
+    config.algorithm = algo;
+    if (config.free_rider_fraction > 0.0) {
+      const bool large = config.attack.large_view;
+      config = exp::with_freeriders(config, config.free_rider_fraction,
+                                    large);
+    }
+    std::fprintf(stderr, "  running %s...\n",
+                 core::to_string(algo).c_str());
+    reports.push_back(exp::run_scenario(config));
+    const auto& r = reports.back();
+    table.add_row(
+        {core::to_string(algo),
+         std::to_string(r.completion_times.size()) + "/" +
+             std::to_string(r.compliant_population),
+         r.completion_times.empty()
+             ? "-"
+             : util::Table::num(r.completion_summary.mean, 5),
+         r.completion_times.empty()
+             ? "-"
+             : util::Table::num(r.completion_summary.median, 5),
+         r.bootstrap_times.empty()
+             ? "-"
+             : util::Table::num(r.bootstrap_summary.median, 4),
+         r.settled_fairness < 0.0
+             ? "-"
+             : util::Table::num(r.settled_fairness, 4),
+         r.final_fairness_F < 0.0
+             ? "-"
+             : util::Table::num(r.final_fairness_F, 4),
+         with_susceptibility ? util::Table::pct(r.susceptibility) : "-"});
+  }
+  std::printf("%s", table.render().c_str());
+
+  if (with_susceptibility) {
+    std::vector<std::pair<std::string, double>> bars;
+    for (const auto& r : reports) {
+      bars.push_back({core::to_string(r.algorithm), r.susceptibility});
+    }
+    std::printf("\n(a) Susceptibility: fraction of users' upload bandwidth "
+                "captured by free-riders\n%s",
+                util::bar_chart(bars).c_str());
+  }
+
+  std::vector<std::pair<std::string, std::vector<util::CdfPoint>>> completion_cdfs;
+  for (const auto& r : reports) {
+    completion_cdfs.push_back({core::to_string(r.algorithm),
+                     metrics::completion_cdf(r)});
+  }
+  print_cdf_chart("(b) Efficiency: download completion-time CDF "
+                  "(reciprocity flat at 0 -- nobody finishes)",
+                  completion_cdfs, "seconds since arrival");
+
+  std::vector<std::pair<std::string, util::TimeSeries>> fairness;
+  for (const auto& r : reports) {
+    fairness.push_back({core::to_string(r.algorithm), r.fairness_series});
+  }
+  print_series_chart("(c) Fairness: mean u/d over compliant peers vs time",
+                     fairness, "seconds", "mean u/d");
+
+  std::vector<std::pair<std::string, std::vector<util::CdfPoint>>> boots;
+  for (const auto& r : reports) {
+    boots.push_back({core::to_string(r.algorithm),
+                     metrics::bootstrap_cdf(r)});
+  }
+  print_cdf_chart("(d) Bootstrapping: time-to-first-piece CDF", boots,
+                  "seconds since arrival");
+  return reports;
+}
+
+/// Optional machine-readable dumps: --csv (long-form series) and --json
+/// (full RunReport array).
+inline void maybe_dump_csv(const util::Cli& cli,
+                           const std::vector<metrics::RunReport>& reports) {
+  if (cli.has("json")) {
+    std::printf("\n--- JSON ---\n%s\n",
+                metrics::to_json(reports).c_str());
+  }
+  if (!cli.has("csv")) return;
+  std::printf("\n--- CSV: fairness series ---\nalgorithm,time,value\n");
+  for (const auto& r : reports) {
+    for (const auto& p : r.fairness_series.points()) {
+      std::printf("%s,%g,%g\n", core::to_string(r.algorithm).c_str(),
+                  p.time, p.value);
+    }
+  }
+  std::printf("\n--- CSV: completion times ---\nalgorithm,seconds\n");
+  for (const auto& r : reports) {
+    for (double t : r.completion_times) {
+      std::printf("%s,%g\n", core::to_string(r.algorithm).c_str(), t);
+    }
+  }
+  std::printf("\n--- CSV: bootstrap times ---\nalgorithm,seconds\n");
+  for (const auto& r : reports) {
+    for (double t : r.bootstrap_times) {
+      std::printf("%s,%g\n", core::to_string(r.algorithm).c_str(), t);
+    }
+  }
+}
+
+/// Fluid-model predictions for the same scenario: per-algorithm mean
+/// finish times from the mean-field Table I drain, printed next to the
+/// simulated means (the analytic counterpart of Figure 4a).
+inline void print_fluid_overlay(
+    const sim::SwarmConfig& base,
+    const std::vector<metrics::RunReport>& reports) {
+  // Convert the configured capacity mix into fluid classes.
+  std::vector<core::FluidClass> classes;
+  for (const auto& c : base.capacities.classes()) {
+    classes.push_back(
+        {c.rate, c.fraction * static_cast<double>(base.n_peers)});
+  }
+  core::FluidParams params;
+  params.file_bytes = static_cast<double>(base.file_bytes);
+  params.seeder_rate =
+      base.seeder_capacity * static_cast<double>(base.seeder_count);
+  params.model.alpha_bt = 0.2;
+  params.model.alpha_r = base.alpha_r;
+  params.dt = 1.0;
+  params.max_time = base.max_time;
+
+  util::Table table("Fluid-model check: mean completion predicted by the "
+                    "Table I mean-field drain vs simulated");
+  table.set_header({"Algorithm", "fluid mean (s)", "simulated mean (s)",
+                    "ratio sim/fluid"});
+  for (const auto& r : reports) {
+    const auto fluid =
+        core::fluid_completion(r.algorithm, classes, params);
+    const bool fluid_finite = std::isfinite(fluid.mean_finish_time);
+    const bool sim_finished = !r.completion_times.empty();
+    table.add_row(
+        {core::to_string(r.algorithm),
+         fluid_finite ? util::Table::num(fluid.mean_finish_time, 5)
+                      : "never",
+         sim_finished ? util::Table::num(r.completion_summary.mean, 5)
+                      : "never",
+         (fluid_finite && sim_finished)
+             ? util::Table::num(
+                   r.completion_summary.mean / fluid.mean_finish_time, 3)
+             : "-"});
+  }
+  std::printf("\n%s", table.render().c_str());
+}
+
+}  // namespace coopnet::bench

@@ -1,0 +1,55 @@
+// Extension bench (not a paper artifact): EigenTrust-backed reputation vs
+// the paper's global-ledger reputation under the sybil-praise attack --
+// quantifying footnote 6 ("more sophisticated reputation schemes that
+// consider users' trustworthiness [4] can circumvent such false praise").
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace coopnet;
+  const util::Cli cli(argc, argv);
+  auto base = bench::scenario_from_cli(cli);
+  if (!cli.has("scale") && !cli.has("n")) {
+    base.n_peers = 300;
+    base.file_bytes = 32LL * 1024 * 1024;
+    base.graph.degree = 30;
+  }
+  base.algorithm = core::Algorithm::kReputation;
+
+  std::printf("Extension: reputation backends under sybil praise "
+              "(footnote 6), N = %zu\n\n", base.n_peers);
+
+  util::Table table("Susceptibility: 20% free-riders, with and without "
+                    "sybil praise");
+  table.set_header({"backend", "plain free-riding", "+ sybil praise",
+                    "mean compl. (s, honest swarm)"});
+  for (auto mode : {sim::ReputationMode::kGlobalLedger,
+                    sim::ReputationMode::kEigenTrust}) {
+    const char* name = mode == sim::ReputationMode::kEigenTrust
+                           ? "EigenTrust [4]"
+                           : "global ledger (paper Sec. V-A)";
+    std::vector<std::string> row = {name};
+    for (bool sybil : {false, true}) {
+      auto config = base;
+      config.reputation_mode = mode;
+      config.free_rider_fraction = 0.2;
+      config.attack.sybil_praise = sybil;
+      row.push_back(
+          util::Table::pct(exp::run_scenario(config).susceptibility));
+    }
+    auto honest = base;
+    honest.reputation_mode = mode;
+    row.push_back(util::Table::num(
+        exp::run_scenario(honest).completion_summary.mean, 5));
+    table.add_row(row);
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nExpected shape: sybil praise multiplies the ledger backend's leak "
+      "several\ntimes over (forged reports enter the score directly) but "
+      "leaves the\nEigenTrust backend untouched (trust is grounded in "
+      "received service and\nanchored at the seeders), at comparable "
+      "honest-swarm efficiency.\n");
+  return 0;
+}

@@ -1,0 +1,150 @@
+// Figure 2 -- fairness and efficiency ranking of the six algorithms in the
+// idealized (perfect piece availability) equilibrium, per Corollary 1.
+//
+// Output: eq. 2 efficiency and eq. 3 fairness per algorithm for the paper's
+// heterogeneous population, the Lemma 1 optimum as the reference line, bar
+// charts of both metrics, and alpha sweeps (ablations for the altruism
+// shares of BitTorrent and the reputation algorithm).
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/capacity.h"
+#include "core/fairness_efficiency.h"
+#include "core/reputation_model.h"
+
+namespace {
+
+using namespace coopnet;
+using core::Algorithm;
+
+std::string fmt_or_inf(double v, int precision = 4) {
+  if (std::isinf(v)) return "inf (never finishes)";
+  return util::Table::num(v, precision);
+}
+
+void ranking(const std::vector<double>& caps,
+             const core::ModelParams& params) {
+  const auto perf = core::ideal_performance(caps, params);
+  const double optimal = core::optimal_efficiency(caps, params);
+
+  util::Table table("Figure 2: idealized fairness/efficiency (lower = "
+                    "better for both; eq. 2 / eq. 3)");
+  table.set_header({"Algorithm", "efficiency E", "E / optimal",
+                    "fairness F"});
+  for (const auto& row : perf) {
+    table.add_row({core::to_string(row.algorithm),
+                   fmt_or_inf(row.efficiency),
+                   std::isinf(row.efficiency)
+                       ? "-"
+                       : util::Table::num(row.efficiency / optimal, 4),
+                   fmt_or_inf(row.fairness)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("Lemma 1 optimal efficiency: %.6g (no algorithm attains it)\n",
+              optimal);
+
+  std::vector<std::pair<std::string, double>> eff_bars, fair_bars;
+  for (const auto& row : perf) {
+    if (!std::isinf(row.efficiency)) {
+      eff_bars.push_back({core::to_string(row.algorithm), row.efficiency});
+    }
+    if (!std::isinf(row.fairness)) {
+      fair_bars.push_back({core::to_string(row.algorithm), row.fairness});
+    }
+  }
+  std::printf("\nEfficiency E (shorter bar = faster downloads):\n%s",
+              util::bar_chart(eff_bars).c_str());
+  std::printf("\nFairness F (shorter bar = more fair):\n%s",
+              util::bar_chart(fair_bars).c_str());
+  std::printf(
+      "\nExpected shape (Cor. 1): altruism most efficient & least fair;\n"
+      "T-Chain and FairTorrent exactly fair; BitTorrent & reputation more\n"
+      "efficient than T-Chain/FairTorrent; reciprocity degenerate.\n");
+}
+
+void alpha_sweeps(const std::vector<double>& caps) {
+  util::Table bt("Ablation: alpha_BT vs BitTorrent's idealized metrics");
+  bt.set_header({"alpha_BT", "efficiency E", "fairness F"});
+  for (double alpha : {0.0, 0.1, 0.2, 0.4, 0.8, 1.0}) {
+    core::ModelParams params;
+    params.alpha_bt = alpha;
+    const auto rates =
+        core::equilibrium_rates(Algorithm::kBitTorrent, caps, params);
+    bt.add_row({util::Table::num(alpha, 2),
+                util::Table::num(core::efficiency(rates.download), 5),
+                util::Table::num(
+                    core::fairness_F(rates.download, rates.upload), 4)});
+  }
+  std::printf("\n%s", bt.render().c_str());
+
+  util::Table rep("Ablation: alpha_R vs reputation's idealized metrics");
+  rep.set_header({"alpha_R", "efficiency E", "fairness F"});
+  for (double alpha : {0.0, 0.05, 0.1, 0.2, 0.5, 1.0}) {
+    core::ModelParams params;
+    params.alpha_r = alpha;
+    const auto rates =
+        core::equilibrium_rates(Algorithm::kReputation, caps, params);
+    rep.add_row({util::Table::num(alpha, 2),
+                 util::Table::num(core::efficiency(rates.download), 5),
+                 util::Table::num(
+                     core::fairness_F(rates.download, rates.upload), 4)});
+  }
+  std::printf("\n%s", rep.render().c_str());
+}
+
+void proposition3(const std::vector<double>& caps, util::Rng& rng) {
+  // Prop. 3: once reputations decouple from capacity, the reputation
+  // algorithm's fairness AND efficiency both degrade -- the effect behind
+  // Fig. 4b's late-run fairness drop.
+  util::Table table("Proposition 3: reputation-capacity misalignment vs "
+                    "fairness/efficiency");
+  table.set_header({"reputation vector", "fairness F", "efficiency E"});
+
+  auto row = [&](const std::string& name, const std::vector<double>& r) {
+    const auto eq = core::reputation_equilibrium(r, caps);
+    table.add_row({name, util::Table::num(eq.fairness, 4),
+                   util::Table::num(eq.efficiency, 5)});
+  };
+  row("proportional to capacity (ideal)",
+      core::proportional_reputations(caps));
+
+  std::vector<double> noisy = caps;
+  for (double& v : noisy) v *= rng.uniform(0.5, 1.5);
+  row("capacity x uniform(0.5, 1.5) noise", noisy);
+
+  std::vector<double> inverted(caps.rbegin(), caps.rend());
+  row("fully inverted (slowest most reputed)", inverted);
+
+  std::vector<double> one_underrated = caps;
+  one_underrated.front() /= 100.0;  // high-capacity user, tiny reputation
+  row("fastest user underrated 100x", one_underrated);
+
+  std::printf("\n%s", table.render().c_str());
+  std::printf(
+      "Expected shape: fairness F degrades with misalignment (inversion is "
+      "worst);\nefficiency E degrades when the reputation *distribution* "
+      "narrows or widens\n(noise row) but is permutation-invariant -- and "
+      "a single underrated user's\nhuge personal unfairness dilutes in the "
+      "N-user average F, which is exactly\nwhy Prop. 3 spells out the "
+      "per-user form.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  util::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 7)));
+  const auto caps = core::sorted_descending(
+      core::CapacityDistribution::default_mix().sample(
+          static_cast<std::size_t>(cli.get_int("n", 1000)), rng));
+  core::ModelParams params;
+  // No seeder here: Figure 2 ranks the exchange mechanisms themselves
+  // (with a seeder, reciprocity's metrics become finite but meaningless).
+  params.seeder_rate = 0.0;
+
+  ranking(caps, params);
+  alpha_sweeps(caps);
+  proposition3(caps, rng);
+  return 0;
+}

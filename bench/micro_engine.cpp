@@ -1,0 +1,105 @@
+// Micro-benchmarks (google-benchmark) for the simulator's hot paths: the
+// event queue, piece-set scans, rarest-first selection, the analytical
+// piece-availability kernels, and end-to-end small swarm runs per
+// algorithm. Not a paper artifact; a performance guard for the substrate.
+#include <benchmark/benchmark.h>
+
+#include "core/piece_availability.h"
+#include "exp/runner.h"
+#include "sim/engine.h"
+#include "sim/piece_set.h"
+#include "strategy/factory.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace coopnet;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  for (auto _ : state) {
+    sim::SimEngine engine;
+    std::size_t fired = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      engine.schedule(rng.uniform(0.0, 1000.0), [&fired] { ++fired; });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(100000);
+
+void BM_PieceSetOfferScan(benchmark::State& state) {
+  const auto m = static_cast<sim::PieceId>(state.range(0));
+  util::Rng rng(2);
+  sim::PieceSet offer(m), excluded(m);
+  for (sim::PieceId p = 0; p < m; ++p) {
+    if (rng.bernoulli(0.5)) offer.add(p);
+    if (rng.bernoulli(0.5)) excluded.add(p);
+  }
+  for (auto _ : state) {
+    std::size_t count = offer.for_each_offerable(
+        excluded, [](sim::PieceId) {});
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_PieceSetOfferScan)->Arg(512)->Arg(4096);
+
+void BM_QNeedsKernel(benchmark::State& state) {
+  const std::int64_t M = state.range(0);
+  std::int64_t mi = 0;
+  for (auto _ : state) {
+    const double q = core::q_needs(mi % M, (mi * 7 + 3) % M, M);
+    benchmark::DoNotOptimize(q);
+    ++mi;
+  }
+}
+BENCHMARK(BM_QNeedsKernel)->Arg(512);
+
+void BM_PiTChainKernel(benchmark::State& state) {
+  const std::int64_t M = state.range(0);
+  const auto dist = core::PieceCountDistribution::uniform_interior(M);
+  std::int64_t mi = 1;
+  for (auto _ : state) {
+    const double pi =
+        core::pi_tchain(mi % (M - 1) + 1, (mi * 5) % (M - 1) + 1, dist, 1000);
+    benchmark::DoNotOptimize(pi);
+    ++mi;
+  }
+}
+BENCHMARK(BM_PiTChainKernel)->Arg(128);
+
+void BM_SmallSwarmRun(benchmark::State& state) {
+  const auto algo = static_cast<core::Algorithm>(state.range(0));
+  for (auto _ : state) {
+    auto config = sim::SwarmConfig::small(algo, 7);
+    config.max_time = 500.0;
+    const auto report = exp::run_scenario(config);
+    benchmark::DoNotOptimize(report.total_uploaded_bytes);
+  }
+  state.SetLabel(core::to_string(algo));
+}
+BENCHMARK(BM_SmallSwarmRun)
+    ->DenseRange(0, 5, 1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MidSwarmBitTorrent(benchmark::State& state) {
+  for (auto _ : state) {
+    auto config =
+        sim::SwarmConfig::paper_scale(core::Algorithm::kBitTorrent, 7);
+    config.n_peers = 300;
+    config.file_bytes = 32LL * 1024 * 1024;
+    config.graph.degree = 30;
+    config.max_time = 1500.0;
+    const auto report = exp::run_scenario(config);
+    benchmark::DoNotOptimize(report.total_uploaded_bytes);
+  }
+}
+BENCHMARK(BM_MidSwarmBitTorrent)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Scenario: an operator audits how robust each incentive mechanism is
+// before deploying it in an open network where some fraction of clients
+// will free-ride (Section IV-C / Figures 5-6). For each mechanism the
+// audit runs the *worst-case* attack (collusion vs T-Chain, whitewashing
+// vs FairTorrent, sybil praise vs reputation, plain free-riding elsewhere)
+// across a range of free-rider fractions.
+//
+//   ./freerider_audit [--n 300] [--max-fraction 0.4] [--large-view]
+#include <cstdio>
+
+#include "exp/runner.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace coopnet;
+  const util::Cli cli(argc, argv);
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 300));
+  const double max_fraction = cli.get_double("max-fraction", 0.4);
+  const bool large_view = cli.has("large-view");
+
+  std::printf("Free-riding audit: %zu peers, worst-case attack per "
+              "mechanism%s.\nSusceptibility = share of users' upload "
+              "bandwidth captured by free-riders.\n\n",
+              n, large_view ? ", large-view exploit enabled" : "");
+
+  util::Table table("");
+  std::vector<std::string> header = {"Mechanism"};
+  std::vector<double> fractions;
+  for (double f = 0.1; f <= max_fraction + 1e-9; f += 0.1) {
+    fractions.push_back(f);
+    header.push_back(util::Table::pct(f, 0) + " FR");
+  }
+  header.push_back("compliant slowdown @20% FR");
+  table.set_header(header);
+
+  for (core::Algorithm algo : core::kAllAlgorithms) {
+    if (algo == core::Algorithm::kReciprocity) continue;  // nothing moves
+    std::vector<std::string> row = {core::to_string(algo)};
+
+    auto base = sim::SwarmConfig::paper_scale(
+        algo, static_cast<std::uint64_t>(cli.get_int("seed", 17)));
+    base.n_peers = n;
+    base.file_bytes = 32LL * 1024 * 1024;
+    base.graph.degree = 30;
+    base.max_time = 2000.0;
+
+    const auto clean = exp::run_scenario(base);
+    double mean_at_20 = 0.0;
+    for (double f : fractions) {
+      const auto report =
+          exp::run_scenario(exp::with_freeriders(base, f, large_view));
+      row.push_back(util::Table::pct(report.susceptibility));
+      if (std::abs(f - 0.2) < 1e-9) {
+        mean_at_20 = report.completion_summary.mean;
+      }
+    }
+    row.push_back(
+        clean.completion_summary.mean > 0.0 && mean_at_20 > 0.0
+            ? util::Table::num(mean_at_20 / clean.completion_summary.mean,
+                               3) + "x"
+            : "-");
+    table.add_row(row);
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nHow to read this: a mechanism is deployable in an open network "
+      "only if its\nsusceptibility column stays flat as the free-rider "
+      "fraction grows. T-Chain's\nreciprocity requirement keeps it near "
+      "zero at every fraction; altruism and\nthe (sybil-attacked) "
+      "reputation system hand free-riders their full demand\nshare; "
+      "BitTorrent and FairTorrent leak their altruism budget.\n");
+  return 0;
+}

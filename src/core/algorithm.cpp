@@ -1,0 +1,61 @@
+#include "core/algorithm.h"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace coopnet::core {
+
+std::string to_string(Algorithm a) {
+  switch (a) {
+    case Algorithm::kReciprocity:
+      return "Reciprocity";
+    case Algorithm::kTChain:
+      return "T-Chain";
+    case Algorithm::kBitTorrent:
+      return "BitTorrent";
+    case Algorithm::kFairTorrent:
+      return "FairTorrent";
+    case Algorithm::kReputation:
+      return "Reputation";
+    case Algorithm::kAltruism:
+      return "Altruism";
+    case Algorithm::kPropShare:
+      return "PropShare";
+  }
+  throw std::invalid_argument("to_string: unknown Algorithm");
+}
+
+Algorithm algorithm_from_string(const std::string& name) {
+  std::string lower(name.size(), '\0');
+  std::transform(name.begin(), name.end(), lower.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  for (Algorithm a : kAllAlgorithmsExtended) {
+    std::string want = to_string(a);
+    std::transform(want.begin(), want.end(), want.begin(),
+                   [](unsigned char c) {
+                     return static_cast<char>(std::tolower(c));
+                   });
+    if (lower == want) return a;
+  }
+  // Accept the hyphen-free spelling of T-Chain as a convenience.
+  if (lower == "tchain") return Algorithm::kTChain;
+  throw std::invalid_argument("algorithm_from_string: unknown algorithm '" +
+                              name + "'");
+}
+
+void ModelParams::validate() const {
+  if (alpha_bt < 0.0 || alpha_bt > 1.0) {
+    throw std::invalid_argument("ModelParams: alpha_bt outside [0, 1]");
+  }
+  if (alpha_r < 0.0 || alpha_r > 1.0) {
+    throw std::invalid_argument("ModelParams: alpha_r outside [0, 1]");
+  }
+  if (n_bt < 1) throw std::invalid_argument("ModelParams: n_bt < 1");
+  if (seeder_rate < 0.0) {
+    throw std::invalid_argument("ModelParams: seeder_rate < 0");
+  }
+}
+
+}  // namespace coopnet::core

@@ -1,0 +1,61 @@
+// The six incentive mechanisms analysed in the paper (Section III).
+#pragma once
+
+#include <array>
+#include <string>
+
+namespace coopnet::core {
+
+/// The three basic and three hybrid exchange algorithms compared in the
+/// paper (first six; the enumeration order matches the rows of Tables
+/// I-III), plus PropShare [Levin et al., cited as ref. 5 and discussed in
+/// Corollary 2's proof] as an extension: BitTorrent's tit-for-tat replaced
+/// by proportional-share allocation of the reciprocal bandwidth.
+enum class Algorithm {
+  kReciprocity,  // pure direct reciprocity (degenerate: no one can initiate)
+  kTChain,       // reciprocity/reputation hybrid (T-Chain)
+  kBitTorrent,   // reciprocity/altruism hybrid (tit-for-tat + unchoke)
+  kFairTorrent,  // reputation/altruism hybrid (deficit counters)
+  kReputation,   // global reputation with an altruism share for bootstrap
+  kAltruism,     // pure altruism (uniformly random uploads)
+  kPropShare,    // extension: proportional-share reciprocity + altruism
+};
+
+/// The paper's six algorithms in table order (excludes extensions).
+inline constexpr std::array<Algorithm, 6> kAllAlgorithms = {
+    Algorithm::kReciprocity, Algorithm::kTChain,     Algorithm::kBitTorrent,
+    Algorithm::kFairTorrent, Algorithm::kReputation, Algorithm::kAltruism,
+};
+
+/// Everything, extensions included.
+inline constexpr std::array<Algorithm, 7> kAllAlgorithmsExtended = {
+    Algorithm::kReciprocity, Algorithm::kTChain,     Algorithm::kBitTorrent,
+    Algorithm::kFairTorrent, Algorithm::kReputation, Algorithm::kAltruism,
+    Algorithm::kPropShare,
+};
+
+/// Human-readable name as used in the paper's tables.
+std::string to_string(Algorithm a);
+
+/// Parses a name produced by to_string (case-insensitive); throws
+/// std::invalid_argument on an unknown name.
+Algorithm algorithm_from_string(const std::string& name);
+
+/// Parameters of the analytical model shared across Sections IV-A to IV-C.
+struct ModelParams {
+  /// Fraction of BitTorrent upload bandwidth used for optimistic unchoking
+  /// (altruism), `alpha_BT` in the paper. Default 0.2 as in Section V.
+  double alpha_bt = 0.2;
+  /// Number of users BitTorrent reciprocally uploads to at a time, `n_BT`.
+  int n_bt = 4;
+  /// Fraction of reputation-algorithm bandwidth reserved for altruism,
+  /// `alpha_R` (EigenTrust-style bootstrap).
+  double alpha_r = 0.1;
+  /// Seeder upload bandwidth `u_S` (same unit as the capacity vector).
+  double seeder_rate = 0.0;
+
+  /// Throws std::invalid_argument if any parameter is out of range.
+  void validate() const;
+};
+
+}  // namespace coopnet::core

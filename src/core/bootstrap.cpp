@@ -1,0 +1,191 @@
+#include "core/bootstrap.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/logmath.h"
+
+namespace coopnet::core {
+
+using util::clamp_probability;
+
+void BootstrapParams::validate() const {
+  if (n_users < 3) throw std::invalid_argument("BootstrapParams: N < 3");
+  if (n_seeder < 0 || n_seeder > n_users) {
+    throw std::invalid_argument("BootstrapParams: n_seeder out of range");
+  }
+  if (pieces_per_slot < 1) {
+    throw std::invalid_argument("BootstrapParams: K < 1");
+  }
+  if (pi_dr < 0.0 || pi_dr > 1.0) {
+    throw std::invalid_argument("BootstrapParams: pi_dr outside [0, 1]");
+  }
+  if (omega < 0.0 || omega > 1.0) {
+    throw std::invalid_argument("BootstrapParams: omega outside [0, 1]");
+  }
+  if (n_bt < 1 || n_bt > n_users - 3) {
+    throw std::invalid_argument("BootstrapParams: n_bt out of range");
+  }
+  if (n_ft < 2) throw std::invalid_argument("BootstrapParams: n_ft < 2");
+}
+
+namespace {
+
+/// Probability of NOT being bootstrapped by any peer, x, per algorithm.
+double x_not_bootstrapped(Algorithm algo, const BootstrapParams& p,
+                          std::int64_t z) {
+  const double N = static_cast<double>(p.n_users);
+  const double K = static_cast<double>(p.pieces_per_slot);
+  const double zt = static_cast<double>(z);
+  switch (algo) {
+    case Algorithm::kReciprocity:
+      return 1.0;  // peers never initiate uploads
+    case Algorithm::kTChain: {
+      // ((N - 2 + pi_DR) / (N - 1))^(K z): each of the K z uploads either
+      // goes to a directly reciprocating partner (prob pi_DR) or lands on a
+      // uniformly random other user.
+      const double base = (N - 2.0 + p.pi_dr) / (N - 1.0);
+      return std::pow(base, K * zt);
+    }
+    case Algorithm::kBitTorrent: {
+      // Only the single optimistic-unchoke slot can reach a newcomer; the
+      // n_BT reciprocation slots are spoken for.
+      const double base =
+          (N - static_cast<double>(p.n_bt) - 2.0) /
+          (N - static_cast<double>(p.n_bt) - 1.0);
+      return std::pow(base, zt);
+    }
+    case Algorithm::kFairTorrent: {
+      // With probability omega the uploader owes someone and repays; with
+      // probability 1 - omega it picks among the n_FT zero-deficit users,
+      // K of which it serves per slot (eq. 12).
+      const double n_ft = static_cast<double>(p.n_ft);
+      const double inner = (n_ft - K - 1.0) / (n_ft - 1.0);
+      const double base = p.omega + (1.0 - p.omega) * inner;
+      return std::pow(clamp_probability(base), zt);
+    }
+    case Algorithm::kReputation: {
+      // Newcomers have zero reputation; only the altruistic half of the
+      // users (one upload per slot each, following EigenTrust's suggestion)
+      // can reach them.
+      const double base = (N - 2.0) / (N - 1.0);
+      return std::pow(base, zt / 2.0);
+    }
+    case Algorithm::kAltruism: {
+      const double base = (N - 2.0) / (N - 1.0);
+      return std::pow(base, K * zt);
+    }
+    case Algorithm::kPropShare: {
+      // Extension: newcomers have contributed nothing, so only the
+      // altruism budget (one random target per slot, as in BitTorrent's
+      // optimistic unchoke) reaches them.
+      const double base = (N - 2.0) / (N - 1.0);
+      return std::pow(base, zt);
+    }
+  }
+  throw std::invalid_argument("x_not_bootstrapped: unknown algorithm");
+}
+
+}  // namespace
+
+double bootstrap_probability(Algorithm algo, const BootstrapParams& params,
+                             std::int64_t z_t) {
+  params.validate();
+  if (z_t < 0 || z_t > params.n_users) {
+    throw std::invalid_argument("bootstrap_probability: z out of range");
+  }
+  const double N = static_cast<double>(params.n_users);
+  const double seeder_miss = (N - static_cast<double>(params.n_seeder)) / N;
+  const double x = x_not_bootstrapped(algo, params, z_t);
+  return clamp_probability(1.0 - seeder_miss * x);
+}
+
+double expected_bootstrap_time(
+    std::int64_t newcomers, const std::function<double(std::int64_t)>& p_of_t,
+    double epsilon, std::int64_t max_slots) {
+  if (newcomers < 1) {
+    throw std::invalid_argument("expected_bootstrap_time: P < 1");
+  }
+  if (!(epsilon > 0.0)) {
+    throw std::invalid_argument("expected_bootstrap_time: epsilon <= 0");
+  }
+  // E[T_B(P)] = sum_{n >= 1} P(T_B >= n), with
+  // P(T_B >= n) = 1 - (1 - prod_{t < n} (1 - p_B(t)))^P.
+  // Note: eq. 10 as printed runs the product to t = n, which computes
+  // E[T_B] - 1 (e.g. constant p with P = 1 must give the geometric mean
+  // 1/p); we implement the corrected form. `log_surv` accumulates
+  // log prod_t (1 - p_B(t)) for numerical stability.
+  double expected = 0.0;
+  double log_surv = 0.0;  // log P(one newcomer unbootstrapped after n-1 slots)
+  const double P = static_cast<double>(newcomers);
+  for (std::int64_t n = 1; n <= max_slots; ++n) {
+    const double surv = std::exp(log_surv);
+    // 1 - (1 - surv)^P, computed stably for tiny surv.
+    const double term =
+        surv >= 1.0 ? 1.0 : 1.0 - std::exp(P * std::log1p(-surv));
+    expected += term;
+    if (term < epsilon) return expected;
+    const double p = clamp_probability(p_of_t(n));
+    if (p >= 1.0) return expected;  // everyone bootstrapped this slot
+    log_surv += std::log1p(-p);
+  }
+  return expected;
+}
+
+double expected_bootstrap_time_dynamic(Algorithm algo,
+                                       const BootstrapParams& params,
+                                       std::int64_t newcomers,
+                                       std::int64_t z0) {
+  params.validate();
+  if (z0 < 0 || z0 > params.n_users) {
+    throw std::invalid_argument("expected_bootstrap_time_dynamic: bad z0");
+  }
+  // Track the expected number of bootstrapped users over time: each slot,
+  // the `waiting` expected newcomers flip with probability p_B(t).
+  double z = static_cast<double>(z0);
+  double waiting = static_cast<double>(newcomers);
+  const double z_cap = static_cast<double>(
+      std::min(params.n_users, z0 + newcomers));
+  std::vector<double> p_trace;
+  p_trace.reserve(1024);
+  // Precompute a long enough trajectory; expected_bootstrap_time walks it.
+  for (int t = 0; t < 100000 && waiting > 1e-9; ++t) {
+    const auto z_int = static_cast<std::int64_t>(std::llround(z));
+    const double p = bootstrap_probability(
+        algo, params, std::min<std::int64_t>(z_int, params.n_users));
+    p_trace.push_back(p);
+    const double newly = waiting * p;
+    waiting -= newly;
+    z = std::min(z + newly, z_cap);
+    if (p <= 0.0) break;  // trajectory is stuck; probability is constant
+  }
+  if (p_trace.empty()) p_trace.push_back(0.0);
+  return expected_bootstrap_time(
+      newcomers,
+      [&p_trace](std::int64_t t) {
+        const auto idx = static_cast<std::size_t>(t - 1);
+        return idx < p_trace.size() ? p_trace[idx] : p_trace.back();
+      });
+}
+
+bool altruism_beats_fairtorrent_condition(const BootstrapParams& params) {
+  params.validate();
+  const double N = static_cast<double>(params.n_users);
+  const double K = static_cast<double>(params.pieces_per_slot);
+  const double lhs = (1.0 - params.omega) * (N - 1.0) /
+                     (static_cast<double>(params.n_ft) - 1.0);
+  const double rhs = std::pow(1.0 - 1.0 / (N - 1.0), K - 1.0);
+  return lhs <= rhs;
+}
+
+std::vector<BootstrapRow> bootstrap_table(const BootstrapParams& params,
+                                          std::int64_t z) {
+  std::vector<BootstrapRow> rows;
+  rows.reserve(kAllAlgorithms.size());
+  for (Algorithm a : kAllAlgorithms) {
+    rows.push_back({a, bootstrap_probability(a, params, z)});
+  }
+  return rows;
+}
+
+}  // namespace coopnet::core

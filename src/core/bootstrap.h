@@ -1,0 +1,72 @@
+// Bootstrapping-speed model (Section IV-B: Lemma 3, Table II, Prop. 4).
+//
+// A flash crowd of P newcomers arrives; the seeder bootstraps n_S users per
+// timeslot and z(t) already-bootstrapped users each upload K pieces per
+// timeslot according to their algorithm. Table II gives the per-timeslot
+// probability p_B(t) that one newcomer receives its first piece, and
+// Lemma 3 turns p_B into the expected time E[T_B(P)] until all P newcomers
+// hold at least one piece.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/algorithm.h"
+
+namespace coopnet::core {
+
+/// Parameters of the Table II bootstrap model.
+struct BootstrapParams {
+  std::int64_t n_users = 1000;  // N: swarm size
+  std::int64_t n_seeder = 1;    // n_S: users the seeder bootstraps per slot
+  std::int64_t pieces_per_slot = 5;  // K: pieces a user uploads per slot
+  double pi_dr = 0.5;   // pi_DR: probability of direct reciprocity (T-Chain)
+  std::int64_t n_bt = 4;       // n_BT: BitTorrent reciprocation slots
+  double omega = 0.75;  // omega: P(user has a negative deficit) (FairTorrent)
+  std::int64_t n_ft = 500;     // n_FT: users with zero deficits (FairTorrent)
+
+  /// Throws std::invalid_argument on out-of-range values.
+  void validate() const;
+};
+
+/// Table II: probability that a single newcomer is bootstrapped in a
+/// timeslot when z(t) users are already bootstrapped.
+double bootstrap_probability(Algorithm algo, const BootstrapParams& params,
+                             std::int64_t z_t);
+
+/// Lemma 3 / eq. 10: expected number of timeslots until all `P` newcomers
+/// are bootstrapped, given the per-timeslot probability trajectory
+/// `p_of_t(t)` for t = 1, 2, .... The infinite series is truncated once the
+/// summand drops below `epsilon` or after `max_slots` slots, whichever
+/// comes first.
+double expected_bootstrap_time(
+    std::int64_t newcomers, const std::function<double(std::int64_t)>& p_of_t,
+    double epsilon = 1e-12, std::int64_t max_slots = 1000000);
+
+/// Convenience: expected bootstrap time with a self-consistent z(t)
+/// trajectory that starts at `z0` and grows by the expected number of
+/// newly bootstrapped newcomers each slot (capped at z0 + newcomers).
+double expected_bootstrap_time_dynamic(Algorithm algo,
+                                       const BootstrapParams& params,
+                                       std::int64_t newcomers,
+                                       std::int64_t z0);
+
+/// Eq. 14: the condition on omega under which altruism provably bootstraps
+/// faster than FairTorrent (Prop. 4):
+///   (1 - omega) (N - 1) / (n_FT - 1) <= (1 - 1/(N - 1))^(K - 1).
+bool altruism_beats_fairtorrent_condition(const BootstrapParams& params);
+
+/// One Table II row: algorithm, closed-form probability at the given z, and
+/// the rendered closed-form expression (for the bench printer).
+struct BootstrapRow {
+  Algorithm algorithm;
+  double probability = 0.0;
+};
+
+/// All six Table II rows at a fixed z(t) = z (the table's "Example" column
+/// uses z = 500 with the defaults above).
+std::vector<BootstrapRow> bootstrap_table(const BootstrapParams& params,
+                                          std::int64_t z);
+
+}  // namespace coopnet::core

@@ -1,0 +1,55 @@
+// Upload-capacity vectors.
+//
+// Section IV assumes N users with upload capacities U_1 >= U_2 >= ... >= U_N
+// and U_i <= sum_{j != i} U_j (no user holds a disproportionate share of
+// total capacity). This module generates and validates such vectors.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace coopnet::core {
+
+/// One capacity class: `fraction` of the population uploads at `rate`.
+struct CapacityClass {
+  double rate = 0.0;      // bytes/second (or any consistent unit)
+  double fraction = 0.0;  // share of the population, fractions sum to 1
+};
+
+/// A population's capacity mix.
+class CapacityDistribution {
+ public:
+  /// Requires non-empty classes with positive rates and fractions summing
+  /// to 1 (within 1e-9).
+  explicit CapacityDistribution(std::vector<CapacityClass> classes);
+
+  /// The paper-scale default: five classes from 128 KB/s to 4 MB/s skewed
+  /// toward low-capacity users, mirroring measured BitTorrent populations.
+  static CapacityDistribution default_mix();
+
+  /// Homogeneous population at the given rate.
+  static CapacityDistribution homogeneous(double rate);
+
+  /// Draws a capacity vector of size n (deterministic class counts via
+  /// largest-remainder rounding; order shuffled by `rng`).
+  std::vector<double> sample(std::size_t n, util::Rng& rng) const;
+
+  const std::vector<CapacityClass>& classes() const { return classes_; }
+
+ private:
+  std::vector<CapacityClass> classes_;
+};
+
+/// Sorts descending (the U_1 >= ... >= U_N convention of Section IV).
+std::vector<double> sorted_descending(std::vector<double> capacities);
+
+/// True when every U_i <= sum_{j != i} U_j and all capacities are positive.
+bool satisfies_capacity_assumption(const std::vector<double>& capacities);
+
+/// Total capacity sum_i U_i.
+double total_capacity(const std::vector<double>& capacities);
+
+}  // namespace coopnet::core

@@ -1,0 +1,88 @@
+#include "core/eigentrust.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace coopnet::core {
+
+void EigenTrustParams::validate() const {
+  if (pretrust_weight <= 0.0 || pretrust_weight >= 1.0) {
+    throw std::invalid_argument("EigenTrust: pretrust_weight outside (0,1)");
+  }
+  if (max_iterations < 1) {
+    throw std::invalid_argument("EigenTrust: max_iterations < 1");
+  }
+  if (tolerance <= 0.0) {
+    throw std::invalid_argument("EigenTrust: tolerance <= 0");
+  }
+}
+
+std::vector<double> eigentrust(std::size_t n,
+                               const std::vector<TrustEdge>& edges,
+                               const std::vector<std::size_t>& pretrusted,
+                               const EigenTrustParams& params) {
+  params.validate();
+  if (n == 0) throw std::invalid_argument("eigentrust: n == 0");
+  if (pretrusted.empty()) {
+    throw std::invalid_argument("eigentrust: no pre-trusted peers");
+  }
+
+  // Pre-trust distribution p.
+  std::vector<double> pretrust(n, 0.0);
+  std::size_t anchors = 0;
+  for (std::size_t idx : pretrusted) {
+    if (idx >= n) throw std::out_of_range("eigentrust: pretrusted index");
+    if (pretrust[idx] == 0.0) ++anchors;
+    pretrust[idx] = 1.0;
+  }
+  for (double& v : pretrust) v /= static_cast<double>(anchors);
+
+  // Row sums for normalization; rows with no outgoing trust defer to p.
+  std::vector<double> row_sum(n, 0.0);
+  for (const TrustEdge& e : edges) {
+    if (e.from >= n || e.to >= n) {
+      throw std::out_of_range("eigentrust: edge index");
+    }
+    if (e.value < 0.0 || !std::isfinite(e.value)) {
+      throw std::invalid_argument("eigentrust: bad trust value");
+    }
+    if (e.from == e.to) continue;
+    row_sum[e.from] += e.value;
+  }
+
+  const double a = params.pretrust_weight;
+  std::vector<double> t = pretrust;  // start from the anchor distribution
+  std::vector<double> next(n, 0.0);
+  for (int iter = 0; iter < params.max_iterations; ++iter) {
+    // next = (1 - a) C^T t + a p, with empty rows redistributing their
+    // mass through p (Kamvar et al.'s dangling treatment). Anchors must
+    // therefore have outgoing edges -- vouch for someone -- or the walk
+    // collapses onto them; see the strategy-side construction, where
+    // seeders vouch for the peers they served.
+    double dangling = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      next[i] = a * pretrust[i];
+      if (row_sum[i] <= 0.0) dangling += t[i];
+    }
+    for (const TrustEdge& e : edges) {
+      if (e.from == e.to || e.value <= 0.0 || row_sum[e.from] <= 0.0) {
+        continue;
+      }
+      next[e.to] += (1.0 - a) * t[e.from] * (e.value / row_sum[e.from]);
+    }
+    if (dangling > 0.0) {
+      for (std::size_t i = 0; i < n; ++i) {
+        next[i] += (1.0 - a) * dangling * pretrust[i];
+      }
+    }
+    double delta = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      delta += std::fabs(next[i] - t[i]);
+    }
+    t.swap(next);
+    if (delta < params.tolerance) break;
+  }
+  return t;
+}
+
+}  // namespace coopnet::core

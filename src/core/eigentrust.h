@@ -1,0 +1,50 @@
+// EigenTrust (Kamvar, Schlosser, Garcia-Molina -- the paper's ref. [4]).
+//
+// Global trust is the stationary distribution of a walk over normalized
+// local-trust values, damped toward a pre-trusted set:
+//   t <- (1 - a) C^T t + a p
+// where C is the row-normalized local trust matrix and p the pre-trust
+// distribution. Peers with no outgoing trust (newcomers) defer to p.
+//
+// The paper's footnote 6 observes that such trust-aware schemes "can
+// circumvent false praise to some extent": because local trust is grounded
+// in *received service* and the walk is anchored at pre-trusted peers, a
+// sybil ring praising itself accumulates little global trust unless
+// legitimate peers actually received data from it. The reputation strategy
+// can run on this backend instead of the raw upload ledger (see
+// SwarmConfig::reputation_mode), and the attack benches quantify the
+// difference.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace coopnet::core {
+
+/// Sparse local-trust entry: `from` credits `to` with `value` (>= 0)
+/// units of received service.
+struct TrustEdge {
+  std::size_t from = 0;
+  std::size_t to = 0;
+  double value = 0.0;
+};
+
+struct EigenTrustParams {
+  /// Damping toward the pre-trust distribution (EigenTrust's `a`).
+  double pretrust_weight = 0.15;
+  int max_iterations = 50;
+  double tolerance = 1e-10;
+
+  void validate() const;
+};
+
+/// Computes global trust for `n` peers from sparse local-trust edges.
+/// `pretrusted` lists the anchor peers (non-empty; duplicates ignored).
+/// Returns a probability vector (sums to 1). Self-edges are ignored;
+/// negative trust values are an error.
+std::vector<double> eigentrust(std::size_t n,
+                               const std::vector<TrustEdge>& edges,
+                               const std::vector<std::size_t>& pretrusted,
+                               const EigenTrustParams& params = {});
+
+}  // namespace coopnet::core

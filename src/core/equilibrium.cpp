@@ -1,0 +1,133 @@
+#include "core/equilibrium.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/capacity.h"
+
+namespace coopnet::core {
+
+namespace {
+
+void check_inputs(const std::vector<double>& capacities,
+                  const ModelParams& params) {
+  params.validate();
+  if (capacities.size() < 2) {
+    throw std::invalid_argument("equilibrium: need at least two users");
+  }
+  if (!std::is_sorted(capacities.begin(), capacities.end(),
+                      std::greater<>())) {
+    throw std::invalid_argument(
+        "equilibrium: capacities must be sorted descending");
+  }
+}
+
+/// Mean capacity of all users except i: sum_{k != i} U_k / (N - 1). This is
+/// the expected altruistic download rate when every other user is equally
+/// likely to pick user i.
+double mean_capacity_excluding(const std::vector<double>& capacities,
+                               std::size_t i) {
+  const double total = total_capacity(capacities);
+  return (total - capacities[i]) /
+         static_cast<double>(capacities.size() - 1);
+}
+
+/// Tit-for-tat share for BitTorrent: the average capacity of user i's
+/// reciprocation group (consecutive users of similar rank, groups of n_BT).
+double bittorrent_group_average(const std::vector<double>& capacities,
+                                std::size_t i, int n_bt) {
+  const std::size_t n = capacities.size();
+  const std::size_t group = static_cast<std::size_t>(n_bt);
+  std::size_t start = (i / group) * group;
+  std::size_t end = std::min(start + group, n);
+  // A trailing partial group is merged into the previous full group, so no
+  // user reciprocates within a group smaller than min(n_bt, N).
+  if (end - start < group && start > 0) {
+    start = (n >= group) ? n - group : 0;
+    end = n;
+  }
+  double sum = 0.0;
+  for (std::size_t j = start; j < end; ++j) sum += capacities[j];
+  return sum / static_cast<double>(end - start);
+}
+
+/// Reputation-algorithm reciprocal share (Table I):
+/// U_i * sum_{j != i} (1 - alpha_R) U_j / sum_{k != j} U_k.
+double reputation_share(const std::vector<double>& capacities, std::size_t i,
+                        double alpha_r) {
+  const double total = total_capacity(capacities);
+  double sum = 0.0;
+  for (std::size_t j = 0; j < capacities.size(); ++j) {
+    if (j == i) continue;
+    sum += (1.0 - alpha_r) * capacities[j] / (total - capacities[j]);
+  }
+  return capacities[i] * sum;
+}
+
+}  // namespace
+
+double download_utilization(Algorithm algo,
+                            const std::vector<double>& capacities,
+                            std::size_t i, const ModelParams& params) {
+  check_inputs(capacities, params);
+  if (i >= capacities.size()) {
+    throw std::out_of_range("download_utilization: user index");
+  }
+  switch (algo) {
+    case Algorithm::kReciprocity:
+      return 0.0;
+    case Algorithm::kTChain:
+    case Algorithm::kFairTorrent:
+      return capacities[i];
+    case Algorithm::kBitTorrent:
+      return (1.0 - params.alpha_bt) *
+                 bittorrent_group_average(capacities, i, params.n_bt) +
+             params.alpha_bt * mean_capacity_excluding(capacities, i);
+    case Algorithm::kPropShare:
+      // Extension: proportional-share reciprocity returns each user its
+      // own contribution rate exactly (the mechanism's design goal), plus
+      // the altruism share.
+      return (1.0 - params.alpha_bt) * capacities[i] +
+             params.alpha_bt * mean_capacity_excluding(capacities, i);
+    case Algorithm::kReputation:
+      return reputation_share(capacities, i, params.alpha_r) +
+             params.alpha_r * mean_capacity_excluding(capacities, i);
+    case Algorithm::kAltruism:
+      return mean_capacity_excluding(capacities, i);
+  }
+  throw std::invalid_argument("download_utilization: unknown algorithm");
+}
+
+EquilibriumRates equilibrium_rates(Algorithm algo,
+                                   const std::vector<double>& capacities,
+                                   const ModelParams& params) {
+  check_inputs(capacities, params);
+  const std::size_t n = capacities.size();
+  const double seeder_share = params.seeder_rate / static_cast<double>(n);
+  EquilibriumRates rates;
+  rates.upload.reserve(n);
+  rates.download.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Lemma 2: full utilization everywhere except pure reciprocity.
+    rates.upload.push_back(
+        algo == Algorithm::kReciprocity ? 0.0 : capacities[i]);
+    rates.download.push_back(
+        download_utilization(algo, capacities, i, params) + seeder_share);
+  }
+  return rates;
+}
+
+EquilibriumRates optimal_rates(const std::vector<double>& capacities,
+                               const ModelParams& params) {
+  check_inputs(capacities, params);
+  const std::size_t n = capacities.size();
+  const double d_star =
+      (total_capacity(capacities) + params.seeder_rate) /
+      static_cast<double>(n);
+  EquilibriumRates rates;
+  rates.upload = capacities;
+  rates.download.assign(n, d_star);
+  return rates;
+}
+
+}  // namespace coopnet::core

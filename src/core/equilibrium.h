@@ -1,0 +1,47 @@
+// Equilibrium upload/download rates (Section IV-A.1, Lemma 2, Prop. 1,
+// Table I).
+//
+// In an idealized equilibrium with perfect piece availability and no
+// free-riders, every algorithm except pure reciprocity uses its full upload
+// capacity (Lemma 2), and each user's download rate is the Table I
+// "download utilization" plus the per-user seeder share u_S / N.
+#pragma once
+
+#include <vector>
+
+#include "core/algorithm.h"
+
+namespace coopnet::core {
+
+/// Per-user equilibrium rates.
+struct EquilibriumRates {
+  std::vector<double> upload;    // u_i (Lemma 2)
+  std::vector<double> download;  // d_i = Table I utilization + u_S / N
+};
+
+/// Table I download utilization (d_i - u_S/N) for user `i` (0-based index
+/// into a descending-sorted capacity vector). Requires at least two users.
+///
+/// BitTorrent note: the paper's printed summation index contains a typo; we
+/// implement the semantics of the cited model [Fan-Lui-Chiu]: users sorted
+/// by capacity form groups of n_BT peers that reciprocate with each other,
+/// so the tit-for-tat share of user i's download rate is the group-average
+/// capacity. The corollary's regularity assumption U_i ~ U_{i + n_BT} makes
+/// the two readings agree.
+double download_utilization(Algorithm algo,
+                            const std::vector<double>& capacities,
+                            std::size_t i, const ModelParams& params);
+
+/// Full equilibrium rate vectors for all users (Lemma 2 + Prop. 1).
+/// Requires a descending-sorted capacity vector of size >= 2 and validated
+/// parameters.
+EquilibriumRates equilibrium_rates(Algorithm algo,
+                                   const std::vector<double>& capacities,
+                                   const ModelParams& params);
+
+/// Lemma 1's optimal operating point: all users upload at capacity and
+/// every download rate equals sum_i U_i / N + u_S / N.
+EquilibriumRates optimal_rates(const std::vector<double>& capacities,
+                               const ModelParams& params);
+
+}  // namespace coopnet::core

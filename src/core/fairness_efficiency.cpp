@@ -1,0 +1,78 @@
+#include "core/fairness_efficiency.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/capacity.h"
+
+namespace coopnet::core {
+
+double efficiency(const std::vector<double>& download_rates) {
+  if (download_rates.empty()) {
+    throw std::invalid_argument("efficiency: empty rate vector");
+  }
+  const double n = static_cast<double>(download_rates.size());
+  double e = 0.0;
+  for (double d : download_rates) {
+    if (d <= 0.0) return std::numeric_limits<double>::infinity();
+    e += 1.0 / (n * d);
+  }
+  return e;
+}
+
+double fairness_F(const std::vector<double>& download_rates,
+                  const std::vector<double>& upload_rates) {
+  if (download_rates.size() != upload_rates.size() ||
+      download_rates.empty()) {
+    throw std::invalid_argument("fairness_F: size mismatch or empty");
+  }
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < download_rates.size(); ++i) {
+    const double d = download_rates[i], u = upload_rates[i];
+    if (u == 0.0 && d == 0.0) continue;  // undefined ratio, skipped
+    if (u == 0.0 || d == 0.0) {
+      return std::numeric_limits<double>::infinity();
+    }
+    total += std::fabs(std::log(d / u));
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+double fairness_avg_ratio(const std::vector<double>& download_rates,
+                          const std::vector<double>& upload_rates) {
+  if (download_rates.size() != upload_rates.size() ||
+      download_rates.empty()) {
+    throw std::invalid_argument("fairness_avg_ratio: size mismatch or empty");
+  }
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < download_rates.size(); ++i) {
+    if (download_rates[i] <= 0.0) continue;
+    total += upload_rates[i] / download_rates[i];
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+double optimal_efficiency(const std::vector<double>& capacities,
+                          const ModelParams& params) {
+  const auto opt = optimal_rates(capacities, params);
+  return efficiency(opt.download);
+}
+
+std::vector<IdealPerformance> ideal_performance(
+    const std::vector<double>& capacities, const ModelParams& params) {
+  std::vector<IdealPerformance> out;
+  out.reserve(kAllAlgorithms.size());
+  for (Algorithm a : kAllAlgorithms) {
+    const auto rates = equilibrium_rates(a, capacities, params);
+    out.push_back({a, efficiency(rates.download),
+                   fairness_F(rates.download, rates.upload)});
+  }
+  return out;
+}
+
+}  // namespace coopnet::core

@@ -1,0 +1,47 @@
+// Fairness and efficiency metrics (Section IV-A: eqs. 2-3, Lemma 1,
+// Corollary 1 / Figure 2).
+#pragma once
+
+#include <vector>
+
+#include "core/algorithm.h"
+#include "core/equilibrium.h"
+
+namespace coopnet::core {
+
+/// Average download time E = sum_i 1 / (N d_i) for a unit file (eq. 2).
+/// Users with d_i == 0 contribute +infinity (they never finish); the paper's
+/// reciprocity row hits this when there is no seeder.
+double efficiency(const std::vector<double>& download_rates);
+
+/// System fairness F = (1/N) sum_i |log(d_i / u_i)| (eq. 3). Zero iff every
+/// user's download rate equals its upload rate. Users with u_i == 0 and
+/// d_i == 0 are skipped (the ratio is undefined; the paper notes reciprocity
+/// is "so inefficient that fairness cannot be defined"); u_i == 0 with
+/// d_i > 0 contributes +infinity.
+double fairness_F(const std::vector<double>& download_rates,
+                  const std::vector<double>& upload_rates);
+
+/// The experimental fairness statistic of Section V: (1/N) sum_i u_i / d_i.
+/// Users with d_i == 0 are skipped.
+double fairness_avg_ratio(const std::vector<double>& download_rates,
+                          const std::vector<double>& upload_rates);
+
+/// Lemma 1's lower bound on E: all users at the common optimal rate
+/// d* = (sum U + u_S) / N.
+double optimal_efficiency(const std::vector<double>& capacities,
+                          const ModelParams& params);
+
+/// One Figure 2 row: an algorithm with its idealized-equilibrium metrics.
+struct IdealPerformance {
+  Algorithm algorithm;
+  double efficiency = 0.0;  // eq. 2 (lower is better)
+  double fairness = 0.0;    // eq. 3 (lower is better; 0 = perfectly fair)
+};
+
+/// Evaluates all six algorithms at the Table I equilibrium (the data behind
+/// Figure 2 and Corollary 1). Capacities must be sorted descending.
+std::vector<IdealPerformance> ideal_performance(
+    const std::vector<double>& capacities, const ModelParams& params);
+
+}  // namespace coopnet::core

@@ -1,0 +1,144 @@
+#include "core/fluid_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace coopnet::core {
+
+void FluidParams::validate() const {
+  model.validate();
+  if (file_bytes <= 0.0) {
+    throw std::invalid_argument("FluidParams: file_bytes <= 0");
+  }
+  if (seeder_rate < 0.0) {
+    throw std::invalid_argument("FluidParams: seeder_rate < 0");
+  }
+  if (dt <= 0.0) throw std::invalid_argument("FluidParams: dt <= 0");
+  if (max_time <= 0.0) {
+    throw std::invalid_argument("FluidParams: max_time <= 0");
+  }
+}
+
+namespace {
+
+double total_count(const std::vector<FluidClass>& classes) {
+  double n = 0.0;
+  for (const auto& c : classes) n += c.count;
+  return n;
+}
+
+double total_capacity_rate(const std::vector<FluidClass>& classes) {
+  double u = 0.0;
+  for (const auto& c : classes) u += c.capacity * c.count;
+  return u;
+}
+
+}  // namespace
+
+double fluid_download_rate(Algorithm algo,
+                           const std::vector<FluidClass>& active,
+                           std::size_t idx, const FluidParams& params) {
+  if (idx >= active.size()) {
+    throw std::out_of_range("fluid_download_rate: class index");
+  }
+  const double n = total_count(active);
+  if (n <= 0.0) return 0.0;
+  const double seeder_share = params.seeder_rate / n;
+  const double sum_u = total_capacity_rate(active);
+  const double own = active[idx].capacity;
+  // Mean capacity of the *other* users; for large classes the self-term is
+  // negligible, matching Table I's sum_{k != i} U_k / (N - 1).
+  const double mean_others =
+      n > 1.0 ? (sum_u - own) / (n - 1.0) : 0.0;
+
+  switch (algo) {
+    case Algorithm::kReciprocity:
+      return seeder_share;  // nobody else ever uploads
+    case Algorithm::kTChain:
+    case Algorithm::kFairTorrent:
+      return own + seeder_share;
+    case Algorithm::kBitTorrent:
+      // In the fluid limit, a user's tit-for-tat group is its own class
+      // (everyone in the class has the same capacity).
+      return (1.0 - params.model.alpha_bt) * own +
+             params.model.alpha_bt * mean_others + seeder_share;
+    case Algorithm::kPropShare:
+      return (1.0 - params.model.alpha_bt) * own +
+             params.model.alpha_bt * mean_others + seeder_share;
+    case Algorithm::kReputation:
+      return (1.0 - params.model.alpha_r) * own +
+             params.model.alpha_r * mean_others + seeder_share;
+    case Algorithm::kAltruism:
+      return mean_others + seeder_share;
+  }
+  throw std::invalid_argument("fluid_download_rate: unknown algorithm");
+}
+
+FluidResult fluid_completion(Algorithm algo,
+                             std::vector<FluidClass> classes,
+                             const FluidParams& params) {
+  params.validate();
+  if (classes.empty()) {
+    throw std::invalid_argument("fluid_completion: no classes");
+  }
+  for (const auto& c : classes) {
+    if (c.capacity <= 0.0 || c.count < 0.0) {
+      throw std::invalid_argument("fluid_completion: bad class");
+    }
+  }
+  const double population = total_count(classes);
+  if (population <= 0.0) {
+    throw std::invalid_argument("fluid_completion: empty population");
+  }
+
+  const std::size_t k = classes.size();
+  std::vector<double> remaining(k, params.file_bytes);
+  FluidResult result;
+  result.finish_time.assign(k, std::numeric_limits<double>::infinity());
+  result.completion_curve.push_back({0.0, 0.0});
+
+  double finished_count = 0.0;
+  std::size_t finished_classes = 0;
+  for (double t = 0.0; t < params.max_time && finished_classes < k;
+       t += params.dt) {
+    // Active view for rate computation.
+    std::vector<FluidClass> active;
+    std::vector<std::size_t> active_idx;
+    for (std::size_t c = 0; c < k; ++c) {
+      if (remaining[c] > 0.0 && classes[c].count > 0.0) {
+        active.push_back(classes[c]);
+        active_idx.push_back(c);
+      }
+    }
+    if (active.empty()) break;
+    for (std::size_t a = 0; a < active.size(); ++a) {
+      const std::size_t c = active_idx[a];
+      const double rate = fluid_download_rate(algo, active, a, params);
+      if (rate <= 0.0) continue;
+      remaining[c] -= rate * params.dt;
+      if (remaining[c] <= 0.0) {
+        result.finish_time[c] = t + params.dt;
+        finished_count += classes[c].count;
+        ++finished_classes;
+        result.completion_curve.push_back(
+            {t + params.dt, finished_count / population});
+      }
+    }
+  }
+
+  result.mean_finish_time = 0.0;
+  for (std::size_t c = 0; c < k; ++c) {
+    if (classes[c].count <= 0.0) continue;
+    if (std::isinf(result.finish_time[c])) {
+      result.mean_finish_time = std::numeric_limits<double>::infinity();
+      break;
+    }
+    result.mean_finish_time +=
+        result.finish_time[c] * classes[c].count / population;
+  }
+  return result;
+}
+
+}  // namespace coopnet::core

@@ -1,0 +1,60 @@
+// Mean-field fluid model of swarm drain (in the spirit of the
+// Qiu-Srikant fluid analysis the paper builds on, ref. [27]).
+//
+// The population is partitioned into capacity classes. At each instant the
+// per-class download rate is the Table I equilibrium rate evaluated for
+// the *currently active* population; classes drain their remaining bytes
+// and leave when done, which feeds back into everyone else's rates (e.g.
+// once the fast classes leave, altruism's shared pool shrinks). Forward-
+// Euler integration produces per-class finish times and a completion curve
+// -- an analytic counterpart to Figure 4a.
+#pragma once
+
+#include <vector>
+
+#include "core/algorithm.h"
+#include "util/timeseries.h"
+
+namespace coopnet::core {
+
+/// One capacity class of the fluid population.
+struct FluidClass {
+  double capacity = 0.0;  // per-user upload rate, bytes/second
+  double count = 0.0;     // number of users (may be fractional)
+};
+
+/// Result of draining the swarm.
+struct FluidResult {
+  /// Finish time per input class, same order as the input (infinity when
+  /// the class never finishes within `max_time`).
+  std::vector<double> finish_time;
+  /// Fraction of users finished vs time (step curve, one step per class).
+  std::vector<util::TimePoint> completion_curve;
+  /// Population-weighted mean finish time (infinity if anyone is stuck).
+  double mean_finish_time = 0.0;
+};
+
+/// Integration and scenario parameters.
+struct FluidParams {
+  double file_bytes = 128.0 * 1024 * 1024;
+  double seeder_rate = 4.0 * 1024 * 1024;  // u_S
+  ModelParams model;   // alpha_BT, n_BT, alpha_R
+  double dt = 0.25;    // Euler step, seconds
+  double max_time = 1e6;
+
+  void validate() const;
+};
+
+/// Instantaneous Table I download rate of class `idx` given the active
+/// classes (counts already reflect departures). Exposed for tests.
+double fluid_download_rate(Algorithm algo,
+                           const std::vector<FluidClass>& active,
+                           std::size_t idx, const FluidParams& params);
+
+/// Integrates the drain. Requires at least one class with positive count
+/// and capacity, and a positive file size.
+FluidResult fluid_completion(Algorithm algo,
+                             std::vector<FluidClass> classes,
+                             const FluidParams& params);
+
+}  // namespace coopnet::core

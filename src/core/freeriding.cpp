@@ -1,0 +1,125 @@
+#include "core/freeriding.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/capacity.h"
+
+namespace coopnet::core {
+
+double exploitable_resources(Algorithm algo,
+                             const std::vector<double>& capacities,
+                             const ModelParams& params, double omega) {
+  params.validate();
+  if (omega < 0.0 || omega > 1.0) {
+    throw std::invalid_argument("exploitable_resources: omega outside [0,1]");
+  }
+  const double total = total_capacity(capacities);
+  switch (algo) {
+    case Algorithm::kReciprocity:
+    case Algorithm::kTChain:
+      return 0.0;  // every upload must be (directly or indirectly) repaid
+    case Algorithm::kBitTorrent:
+    case Algorithm::kPropShare:  // extension: same altruism budget as BT
+      return params.alpha_bt * total;  // optimistic-unchoke bandwidth
+    case Algorithm::kFairTorrent:
+      return (1.0 - omega) * total;  // uploads to zero-deficit strangers
+    case Algorithm::kReputation:
+      return params.alpha_r * total;  // altruistic bootstrap bandwidth
+    case Algorithm::kAltruism:
+      return total;  // everything is given freely
+  }
+  throw std::invalid_argument("exploitable_resources: unknown algorithm");
+}
+
+double tchain_collusion_probability(const CollusionParams& params) {
+  if (params.n_users < 2) {
+    throw std::invalid_argument("tchain_collusion_probability: N < 2");
+  }
+  if (params.n_colluders < 0 || params.n_colluders > params.n_users) {
+    throw std::invalid_argument("tchain_collusion_probability: bad m");
+  }
+  if (params.pi_ir < 0.0 || params.pi_ir > 1.0) {
+    throw std::invalid_argument("tchain_collusion_probability: bad pi_IR");
+  }
+  const double m = static_cast<double>(params.n_colluders);
+  const double n = static_cast<double>(params.n_users);
+  return params.pi_ir * (m - 1.0 < 0.0 ? 0.0 : m * (m - 1.0)) /
+         ((n - 1.0) * n);
+}
+
+std::vector<FreeRidingRow> freeriding_table(
+    const std::vector<double>& capacities, const ModelParams& params,
+    double omega, const CollusionParams& collusion) {
+  std::vector<FreeRidingRow> rows;
+  rows.reserve(kAllAlgorithms.size());
+  for (Algorithm a : kAllAlgorithms) {
+    FreeRidingRow row;
+    row.algorithm = a;
+    row.exploitable_resources =
+        exploitable_resources(a, capacities, params, omega);
+    switch (a) {
+      case Algorithm::kReciprocity:
+      case Algorithm::kBitTorrent:
+      case Algorithm::kFairTorrent:
+      case Algorithm::kPropShare:
+        row.exposure = CollusionExposure::kNone;
+        row.collusion_probability = 0.0;
+        break;
+      case Algorithm::kTChain:
+        row.exposure = CollusionExposure::kRare;
+        row.collusion_probability = tchain_collusion_probability(collusion);
+        break;
+      case Algorithm::kReputation:
+        row.exposure = CollusionExposure::kTotal;
+        row.collusion_probability = 1.0;
+        break;
+      case Algorithm::kAltruism:
+        row.exposure = CollusionExposure::kNotApplicable;
+        row.collusion_probability = -1.0;
+        break;
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+double predicted_susceptibility(Algorithm algo,
+                                const std::vector<double>& capacities,
+                                const ModelParams& params, double omega,
+                                double fr_fraction) {
+  if (fr_fraction < 0.0 || fr_fraction >= 1.0) {
+    throw std::invalid_argument("predicted_susceptibility: fr_fraction");
+  }
+  const double total = total_capacity(capacities);
+  if (total <= 0.0) {
+    throw std::invalid_argument("predicted_susceptibility: no capacity");
+  }
+  const double exploitable_share =
+      exploitable_resources(algo, capacities, params, omega) / total;
+  return std::min(exploitable_share, fr_fraction);
+}
+
+double fairtorrent_deficit_bound(std::int64_t n_users) {
+  if (n_users < 2) {
+    throw std::invalid_argument("fairtorrent_deficit_bound: N < 2");
+  }
+  return std::log2(static_cast<double>(n_users));
+}
+
+const char* to_string(CollusionExposure e) {
+  switch (e) {
+    case CollusionExposure::kNone:
+      return "none";
+    case CollusionExposure::kRare:
+      return "rare (indirect reciprocity only)";
+    case CollusionExposure::kTotal:
+      return "total (forgeable reputations)";
+    case CollusionExposure::kNotApplicable:
+      return "n/a";
+  }
+  return "?";
+}
+
+}  // namespace coopnet::core

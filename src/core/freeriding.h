@@ -1,0 +1,81 @@
+// Free-riding susceptibility model (Section IV-C, Table III).
+//
+// Two quantities bound what free-riders can extract from each algorithm:
+// the upload bandwidth handed out with no reciprocity requirement
+// ("exploitable resources") and the probability that a collusion ring can
+// trick legitimate users into uploading to it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/algorithm.h"
+#include "core/piece_availability.h"
+
+namespace coopnet::core {
+
+/// Whether an algorithm's collusion exposure is structural (independent of
+/// swarm state), state-dependent, or vacuous.
+enum class CollusionExposure {
+  kNone,         // no third-party transactions to subvert
+  kRare,         // possible only via indirect reciprocity (T-Chain)
+  kTotal,        // reputations are directly forgeable (global reputation)
+  kNotApplicable,  // altruism: everything is already free
+};
+
+/// One Table III row.
+struct FreeRidingRow {
+  Algorithm algorithm;
+  /// Upload bandwidth obtainable without contributing, in the same unit as
+  /// the capacity vector (0 for reciprocity and T-Chain).
+  double exploitable_resources = 0.0;
+  CollusionExposure exposure = CollusionExposure::kNone;
+  /// Numeric collusion probability: 0 (none), Table III's
+  /// pi_IR * m(m-1) / ((N-1)N) for T-Chain, 1 for reputation. Not
+  /// applicable (-1) for altruism.
+  double collusion_probability = 0.0;
+};
+
+/// Parameters for the collusion-probability entries.
+struct CollusionParams {
+  std::int64_t n_users = 1000;   // N
+  std::int64_t n_colluders = 0;  // m: size of the collusion ring
+  /// pi_IR evaluated for the swarm's piece-count mix (see
+  /// pi_indirect_reciprocity); only the T-Chain row uses it.
+  double pi_ir = 0.0;
+};
+
+/// Exploitable resources for one algorithm (second column of Table III).
+/// `omega` is FairTorrent's negative-deficit probability.
+double exploitable_resources(Algorithm algo,
+                             const std::vector<double>& capacities,
+                             const ModelParams& params, double omega);
+
+/// T-Chain's collusion probability: pi_IR * m (m - 1) / ((N - 1) N).
+double tchain_collusion_probability(const CollusionParams& params);
+
+/// All six Table III rows.
+std::vector<FreeRidingRow> freeriding_table(
+    const std::vector<double>& capacities, const ModelParams& params,
+    double omega, const CollusionParams& collusion);
+
+/// FairTorrent's deficit bound: a free-rider can accumulate at most
+/// O(log N) pieces of unreciprocated service from the swarm ([7], cited in
+/// Section IV-C). Returned as c * log2(N) with the conventional c = 1; used
+/// as a sanity ceiling in tests and benches.
+double fairtorrent_deficit_bound(std::int64_t n_users);
+
+/// Closed-form susceptibility prediction: free-riders capture at most the
+/// exploitable share of users' bandwidth (Table III), and can absorb at
+/// most their demand share of the swarm (they hold `fr_fraction` of the
+/// population and need the same file as everyone else):
+///   min(exploitable / total, fr_fraction).
+/// This is the ceiling the Figure 5a measurements approach from below.
+double predicted_susceptibility(Algorithm algo,
+                                const std::vector<double>& capacities,
+                                const ModelParams& params, double omega,
+                                double fr_fraction);
+
+const char* to_string(CollusionExposure e);
+
+}  // namespace coopnet::core

@@ -1,0 +1,189 @@
+#include "core/piece_availability.h"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/logmath.h"
+
+namespace coopnet::core {
+
+using util::clamp_probability;
+using util::log_binomial;
+using util::pow_one_minus;
+
+namespace {
+
+void check_counts(std::int64_t m_i, std::int64_t m_j, std::int64_t M) {
+  if (M < 1) throw std::invalid_argument("piece_availability: M < 1");
+  if (m_i < 0 || m_i > M || m_j < 0 || m_j > M) {
+    throw std::invalid_argument("piece_availability: piece count out of range");
+  }
+}
+
+}  // namespace
+
+double q_needs(std::int64_t m_i, std::int64_t m_j, std::int64_t M) {
+  check_counts(m_i, m_j, M);
+  if (m_j == 0) return 0.0;   // j has nothing to offer
+  if (m_i >= M) return 0.0;   // i already holds everything
+  if (m_i < m_j) return 1.0;  // j must hold a piece i lacks (pigeonhole)
+  // P(j's pieces all within i's set) = C(m_i, m_j) / C(M, m_j).
+  const double log_ratio = log_binomial(m_i, m_j) - log_binomial(M, m_j);
+  return clamp_probability(1.0 - std::exp(log_ratio));
+}
+
+double pi_direct_reciprocity(std::int64_t m_j, std::int64_t m_i,
+                             std::int64_t M) {
+  return q_needs(m_i, m_j, M) * q_needs(m_j, m_i, M);
+}
+
+PieceCountDistribution::PieceCountDistribution(std::vector<double> p,
+                                               std::int64_t M)
+    : probs_(std::move(p)), m_(M) {
+  if (M < 1) throw std::invalid_argument("PieceCountDistribution: M < 1");
+  if (probs_.size() != static_cast<std::size_t>(M + 1)) {
+    throw std::invalid_argument("PieceCountDistribution: size != M + 1");
+  }
+  double total = 0.0;
+  for (double v : probs_) {
+    if (v < 0.0) {
+      throw std::invalid_argument("PieceCountDistribution: negative p_k");
+    }
+    total += v;
+  }
+  if (std::fabs(total - 1.0) > 1e-9) {
+    throw std::invalid_argument("PieceCountDistribution: sum != 1");
+  }
+}
+
+PieceCountDistribution PieceCountDistribution::point_mass(std::int64_t m,
+                                                          std::int64_t M) {
+  if (m < 0 || m > M) {
+    throw std::invalid_argument("point_mass: m out of range");
+  }
+  std::vector<double> p(static_cast<std::size_t>(M + 1), 0.0);
+  p[static_cast<std::size_t>(m)] = 1.0;
+  return PieceCountDistribution(std::move(p), M);
+}
+
+PieceCountDistribution PieceCountDistribution::uniform_interior(
+    std::int64_t M) {
+  if (M < 3) throw std::invalid_argument("uniform_interior: M < 3");
+  std::vector<double> p(static_cast<std::size_t>(M + 1), 0.0);
+  const double w = 1.0 / static_cast<double>(M - 1);
+  for (std::int64_t k = 1; k <= M - 1; ++k) {
+    p[static_cast<std::size_t>(k)] = w;
+  }
+  return PieceCountDistribution(std::move(p), M);
+}
+
+PieceCountDistribution PieceCountDistribution::flash_crowd(
+    double fraction_new, std::int64_t m_max, std::int64_t M) {
+  if (fraction_new < 0.0 || fraction_new > 1.0) {
+    throw std::invalid_argument("flash_crowd: bad fraction_new");
+  }
+  if (m_max < 1 || m_max > M) {
+    throw std::invalid_argument("flash_crowd: bad m_max");
+  }
+  std::vector<double> p(static_cast<std::size_t>(M + 1), 0.0);
+  p[0] = fraction_new;
+  const double w = (1.0 - fraction_new) / static_cast<double>(m_max);
+  for (std::int64_t k = 1; k <= m_max; ++k) {
+    p[static_cast<std::size_t>(k)] = w;
+  }
+  return PieceCountDistribution(std::move(p), M);
+}
+
+PieceCountDistribution PieceCountDistribution::binomial(double phi,
+                                                        std::int64_t M) {
+  if (phi < 0.0 || phi > 1.0) {
+    throw std::invalid_argument("binomial: phi outside [0, 1]");
+  }
+  std::vector<double> p(static_cast<std::size_t>(M + 1), 0.0);
+  for (std::int64_t k = 0; k <= M; ++k) {
+    double log_p = log_binomial(M, k);
+    if (phi > 0.0) log_p += static_cast<double>(k) * std::log(phi);
+    else if (k > 0) { p[static_cast<std::size_t>(k)] = 0.0; continue; }
+    if (phi < 1.0) {
+      log_p += static_cast<double>(M - k) * std::log1p(-phi);
+    } else if (k < M) {
+      p[static_cast<std::size_t>(k)] = 0.0;
+      continue;
+    }
+    p[static_cast<std::size_t>(k)] = std::exp(log_p);
+  }
+  // Renormalize away accumulated rounding.
+  const double total = std::accumulate(p.begin(), p.end(), 0.0);
+  for (double& v : p) v /= total;
+  return PieceCountDistribution(std::move(p), M);
+}
+
+double PieceCountDistribution::mean() const {
+  double m = 0.0;
+  for (std::size_t k = 0; k < probs_.size(); ++k) {
+    m += static_cast<double>(k) * probs_[k];
+  }
+  return m;
+}
+
+double indirect_redirect_probability(std::int64_t m_j,
+                                     const PieceCountDistribution& dist,
+                                     std::int64_t n_users) {
+  if (n_users < 2) {
+    throw std::invalid_argument("indirect_redirect_probability: N < 2");
+  }
+  const std::int64_t M = dist.total_pieces();
+  // sum_l p_l q(j, l) (1 - q(l, j)): a random user l needs one of j's pieces
+  // while j needs nothing from l, so j can redirect reciprocation to l.
+  double per_user = 0.0;
+  for (std::int64_t l = 0; l <= M; ++l) {
+    const double pl = dist.p(l);
+    if (pl == 0.0) continue;
+    per_user += pl * q_needs(l, m_j, M) * (1.0 - q_needs(m_j, l, M));
+  }
+  per_user = clamp_probability(per_user);
+  return clamp_probability(
+      1.0 - pow_one_minus(per_user, static_cast<double>(n_users - 2)));
+}
+
+double pi_tchain(std::int64_t m_j, std::int64_t m_i,
+                 const PieceCountDistribution& dist, std::int64_t n_users) {
+  const std::int64_t M = dist.total_pieces();
+  const double qij = q_needs(m_i, m_j, M);  // i needs from j
+  const double qji = q_needs(m_j, m_i, M);  // j needs from i
+  const double redirect = indirect_redirect_probability(m_j, dist, n_users);
+  return clamp_probability(qij * qji + qij * (1.0 - qji) * redirect);
+}
+
+double pi_bittorrent(std::int64_t m_j, std::int64_t m_i, std::int64_t M,
+                     double alpha_bt) {
+  if (alpha_bt < 0.0 || alpha_bt > 1.0) {
+    throw std::invalid_argument("pi_bittorrent: alpha_bt outside [0, 1]");
+  }
+  const double qij = q_needs(m_i, m_j, M);
+  const double qji = q_needs(m_j, m_i, M);
+  return clamp_probability(qij * ((1.0 - alpha_bt) * qji + alpha_bt));
+}
+
+double pi_altruism(std::int64_t m_j, std::int64_t m_i, std::int64_t M) {
+  return q_needs(m_i, m_j, M);
+}
+
+double pi_indirect_reciprocity(std::int64_t m_j, std::int64_t m_i,
+                               const PieceCountDistribution& dist,
+                               std::int64_t n_users) {
+  const std::int64_t M = dist.total_pieces();
+  const double qij = q_needs(m_i, m_j, M);
+  const double qji = q_needs(m_j, m_i, M);
+  return clamp_probability(
+      qij * (1.0 - qji) * indirect_redirect_probability(m_j, dist, n_users));
+}
+
+double alpha_bt_threshold(std::int64_t m_j,
+                          const PieceCountDistribution& dist,
+                          std::int64_t n_users) {
+  return indirect_redirect_probability(m_j, dist, n_users);
+}
+
+}  // namespace coopnet::core

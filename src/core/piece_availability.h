@@ -1,0 +1,116 @@
+// Piece-availability model (Section IV-A.2, eqs. 4-8, Prop. 2, Cor. 2).
+//
+// Pieces are assumed uniformly distributed: a user holding m pieces holds a
+// uniformly random m-subset of the M pieces (the behaviour local-rarest-
+// first piece selection approaches). Under this model the probability that
+// user i needs at least one of user j's pieces has the closed form q(i, j)
+// of eq. 5, and the per-algorithm exchange probabilities follow.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace coopnet::core {
+
+/// Probability q(i, j) that a user holding `m_i` pieces needs at least one
+/// piece from a user holding `m_j` pieces, out of `M` total (eq. 5).
+///
+/// Implementation note: for m_i >= m_j the paper prints
+/// 1 - C(M - m_j, m_i - m_j) / C(M, m_j); the denominator is a typo for
+/// C(M, m_i) (otherwise q is not a probability). We evaluate the equivalent
+/// subset form 1 - C(m_i, m_j) / C(M, m_j), which by the subset identity
+/// C(M, m_i) C(m_i, m_j) = C(M, m_j) C(M - m_j, m_i - m_j) equals the
+/// corrected expression.
+///
+/// Requires 0 <= m_i, m_j <= M and M >= 1.
+double q_needs(std::int64_t m_i, std::int64_t m_j, std::int64_t M);
+
+/// Probability that users with m_j and m_i pieces can exchange pieces with
+/// direct reciprocation, pi_DR = q(i,j) q(j,i) (eq. 4).
+double pi_direct_reciprocity(std::int64_t m_j, std::int64_t m_i,
+                             std::int64_t M);
+
+/// Distribution of per-user piece counts: p[k] = probability that a user
+/// holds exactly k pieces, k = 0..M.
+class PieceCountDistribution {
+ public:
+  /// Requires p of size M+1, entries >= 0 summing to 1 (within 1e-9).
+  PieceCountDistribution(std::vector<double> p, std::int64_t M);
+
+  /// All users hold exactly m pieces.
+  static PieceCountDistribution point_mass(std::int64_t m, std::int64_t M);
+  /// Uniform over 1..M-1 (the paper's steady-state mid-swarm picture).
+  static PieceCountDistribution uniform_interior(std::int64_t M);
+  /// Flash crowd: `fraction_new` of users hold 0 pieces, the rest uniform
+  /// over 1..m_max.
+  static PieceCountDistribution flash_crowd(double fraction_new,
+                                            std::int64_t m_max,
+                                            std::int64_t M);
+  /// Each piece held independently with probability phi (binomial counts).
+  static PieceCountDistribution binomial(double phi, std::int64_t M);
+
+  std::int64_t total_pieces() const { return m_; }
+  double p(std::int64_t k) const { return probs_.at(static_cast<std::size_t>(k)); }
+  const std::vector<double>& probabilities() const { return probs_; }
+
+  /// Mean piece count.
+  double mean() const;
+
+ private:
+  std::vector<double> probs_;
+  std::int64_t m_;
+};
+
+/// The "redirect" factor shared by T-Chain's indirect-reciprocity term and
+/// the collusion analysis: the probability that among `N - 2` other users
+/// there exists a user l that needs a piece from j while j needs none from
+/// l, with l's piece count drawn from `dist`:
+///   1 - (1 - sum_l p_l q(j,l) (1 - q(l,j)))^(N-2).
+double indirect_redirect_probability(std::int64_t m_j,
+                                     const PieceCountDistribution& dist,
+                                     std::int64_t n_users);
+
+/// pi_TC(j, i): probability that user j can upload to user i under T-Chain
+/// (eq. 6) -- direct reciprocity plus indirect reciprocity via a third user.
+double pi_tchain(std::int64_t m_j, std::int64_t m_i,
+                 const PieceCountDistribution& dist, std::int64_t n_users);
+
+/// pi_BT(j, i): probability that user j can upload to user i under
+/// BitTorrent (eq. 7) with optimistic-unchoke share alpha_bt.
+double pi_bittorrent(std::int64_t m_j, std::int64_t m_i, std::int64_t M,
+                     double alpha_bt);
+
+/// pi_A(j, i) = q(i, j): altruism is limited only by i needing a piece.
+double pi_altruism(std::int64_t m_j, std::int64_t m_i, std::int64_t M);
+
+/// pi_IR: the indirect-reciprocity summand of eq. 6 alone (used by the
+/// Table III collusion-probability row).
+double pi_indirect_reciprocity(std::int64_t m_j, std::int64_t m_i,
+                               const PieceCountDistribution& dist,
+                               std::int64_t n_users);
+
+/// Eq. 8's threshold on alpha_BT below which pi_TC >= pi_BT.
+double alpha_bt_threshold(std::int64_t m_j,
+                          const PieceCountDistribution& dist,
+                          std::int64_t n_users);
+
+/// Expected exchange probability with both users' piece counts drawn from
+/// `dist` (conditioning Corollary 2's comparison on a population mix).
+/// `algo_pi` is one of the pi_* functions above wrapped as a callable.
+template <typename Pi>
+double expected_pi(const PieceCountDistribution& dist, Pi&& algo_pi) {
+  const std::int64_t M = dist.total_pieces();
+  double total = 0.0;
+  for (std::int64_t mj = 0; mj <= M; ++mj) {
+    const double pj = dist.p(mj);
+    if (pj == 0.0) continue;
+    for (std::int64_t mi = 0; mi <= M; ++mi) {
+      const double pi_prob = dist.p(mi);
+      if (pi_prob == 0.0) continue;
+      total += pj * pi_prob * algo_pi(mj, mi);
+    }
+  }
+  return total;
+}
+
+}  // namespace coopnet::core

@@ -1,0 +1,47 @@
+#include "core/reputation_model.h"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "core/fairness_efficiency.h"
+
+namespace coopnet::core {
+
+ReputationEquilibrium reputation_equilibrium(
+    const std::vector<double>& reputations,
+    const std::vector<double>& capacities) {
+  if (reputations.size() != capacities.size() || reputations.empty()) {
+    throw std::invalid_argument(
+        "reputation_equilibrium: size mismatch or empty");
+  }
+  for (double r : reputations) {
+    if (r <= 0.0) {
+      throw std::invalid_argument("reputation_equilibrium: reputation <= 0");
+    }
+  }
+  for (double u : capacities) {
+    if (u <= 0.0) {
+      throw std::invalid_argument("reputation_equilibrium: capacity <= 0");
+    }
+  }
+  const double sum_r =
+      std::accumulate(reputations.begin(), reputations.end(), 0.0);
+  const double sum_u =
+      std::accumulate(capacities.begin(), capacities.end(), 0.0);
+
+  ReputationEquilibrium eq;
+  eq.download.reserve(reputations.size());
+  for (double r : reputations) {
+    eq.download.push_back(r * sum_u / sum_r);
+  }
+  eq.fairness = fairness_F(eq.download, capacities);
+  eq.efficiency = efficiency(eq.download);
+  return eq;
+}
+
+std::vector<double> proportional_reputations(
+    const std::vector<double>& capacities) {
+  return capacities;
+}
+
+}  // namespace coopnet::core

@@ -1,0 +1,39 @@
+// Reputation-equilibrium fairness and efficiency (Proposition 3).
+//
+// When every user requests pieces from every other user and uploads are
+// allocated proportionally to reputation, user i's download rate is
+//   d_i = r_i * sum_k U_k / sum_k r_k,
+// so a user whose reputation is out of line with its capacity drags both
+// fairness and efficiency down -- the effect Section V demonstrates for the
+// reputation algorithm in realistic (non-ideal) conditions.
+#pragma once
+
+#include <vector>
+
+namespace coopnet::core {
+
+/// Result of evaluating Proposition 3.
+struct ReputationEquilibrium {
+  std::vector<double> download;  // d_i = r_i sum_k U_k / sum_k r_k
+  double fairness = 0.0;         // F (eq. 3) with u_i = U_i
+  double efficiency = 0.0;       // E (eq. 2) for a unit file
+};
+
+/// Evaluates Proposition 3 for reputations `r` and capacities `U` (same
+/// size, all positive).
+///
+/// Note on normalization: the paper's eq. 9 prints E = sum_i sum_k r_k /
+/// (N r_i), omitting the 1 / sum_k U_k factor that follows from
+/// d_i = r_i sum U / sum r; we keep the factor so E stays comparable with
+/// eq. 2 elsewhere (it is a common positive constant and does not affect
+/// any ranking).
+ReputationEquilibrium reputation_equilibrium(
+    const std::vector<double>& reputations,
+    const std::vector<double>& capacities);
+
+/// Reputations proportional to capacity (the idealized assumption under
+/// which Prop. 1's Table I row is derived): r_i = U_i.
+std::vector<double> proportional_reputations(
+    const std::vector<double>& capacities);
+
+}  // namespace coopnet::core

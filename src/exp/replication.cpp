@@ -1,0 +1,79 @@
+#include "exp/replication.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "exp/runner.h"
+#include "util/stats.h"
+
+namespace coopnet::exp {
+
+std::string MetricEstimate::to_string(int precision) const {
+  std::ostringstream os;
+  os.precision(precision);
+  os << mean << " +/- " << ci95_half_width;
+  return os.str();
+}
+
+MetricEstimate estimate(const std::vector<double>& samples) {
+  if (samples.empty()) throw std::invalid_argument("estimate: no samples");
+  util::OnlineStats acc;
+  for (double x : samples) acc.add(x);
+  MetricEstimate e;
+  e.samples = samples.size();
+  e.mean = acc.mean();
+  e.stddev = acc.stddev();
+  e.ci95_half_width =
+      samples.size() < 2
+          ? 0.0
+          : 1.96 * e.stddev / std::sqrt(static_cast<double>(e.samples));
+  return e;
+}
+
+ReplicatedReport run_replicated(const sim::SwarmConfig& config,
+                                std::size_t replications,
+                                std::uint64_t seed0) {
+  if (replications < 1) {
+    throw std::invalid_argument("run_replicated: replications < 1");
+  }
+  ReplicatedReport out;
+  out.algorithm = config.algorithm;
+  out.replications = replications;
+
+  std::vector<double> mean_c, median_c, frac_c, boot, fair, fair_f, susc;
+  for (std::size_t r = 0; r < replications; ++r) {
+    sim::SwarmConfig run_config = config;
+    run_config.seed = seed0 + r;
+    out.runs.push_back(run_scenario(run_config));
+    const auto& report = out.runs.back();
+    if (!report.completion_times.empty()) {
+      mean_c.push_back(report.completion_summary.mean);
+      median_c.push_back(report.completion_summary.median);
+    }
+    frac_c.push_back(report.completed_fraction);
+    if (!report.bootstrap_times.empty()) {
+      boot.push_back(report.bootstrap_summary.median);
+    }
+    if (report.settled_fairness >= 0.0) {
+      fair.push_back(report.settled_fairness);
+    }
+    if (report.final_fairness_F >= 0.0) {
+      fair_f.push_back(report.final_fairness_F);
+    }
+    susc.push_back(report.susceptibility);
+  }
+  auto maybe = [](const std::vector<double>& v) {
+    return v.empty() ? MetricEstimate{} : estimate(v);
+  };
+  out.mean_completion = maybe(mean_c);
+  out.median_completion = maybe(median_c);
+  out.completed_fraction = maybe(frac_c);
+  out.median_bootstrap = maybe(boot);
+  out.settled_fairness = maybe(fair);
+  out.fairness_F = maybe(fair_f);
+  out.susceptibility = maybe(susc);
+  return out;
+}
+
+}  // namespace coopnet::exp

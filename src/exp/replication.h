@@ -1,0 +1,53 @@
+// Replicated runs: the same scenario across R seeds, with per-metric
+// mean / stddev / 95% confidence intervals. The figure benches accept
+// --reps to report these instead of single-seed values.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "metrics/report.h"
+#include "sim/config.h"
+
+namespace coopnet::exp {
+
+/// Mean with spread over replications of one scalar metric.
+struct MetricEstimate {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double ci95_half_width = 0.0;  // normal-approximation half width
+  std::size_t samples = 0;
+
+  double lo() const { return mean - ci95_half_width; }
+  double hi() const { return mean + ci95_half_width; }
+  /// "m +/- h" rendering for tables.
+  std::string to_string(int precision = 4) const;
+};
+
+/// Aggregated view of R runs of the same scenario.
+struct ReplicatedReport {
+  core::Algorithm algorithm = core::Algorithm::kBitTorrent;
+  std::size_t replications = 0;
+  MetricEstimate mean_completion;     // over runs with >= 1 completion
+  MetricEstimate median_completion;
+  MetricEstimate completed_fraction;
+  MetricEstimate median_bootstrap;
+  MetricEstimate settled_fairness;
+  MetricEstimate fairness_F;
+  MetricEstimate susceptibility;
+  /// The individual run reports, in seed order.
+  std::vector<metrics::RunReport> runs;
+};
+
+/// Estimates a metric from scalar samples (skipping NaN-like negatives is
+/// the caller's job). Requires at least one sample.
+MetricEstimate estimate(const std::vector<double>& samples);
+
+/// Runs `config` under seeds seed0, seed0+1, ..., seed0+replications-1 and
+/// aggregates. Requires replications >= 1.
+ReplicatedReport run_replicated(const sim::SwarmConfig& config,
+                                std::size_t replications,
+                                std::uint64_t seed0 = 1);
+
+}  // namespace coopnet::exp

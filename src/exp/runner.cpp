@@ -1,0 +1,54 @@
+#include "exp/runner.h"
+
+#include "sim/swarm.h"
+#include "strategy/factory.h"
+
+namespace coopnet::exp {
+
+metrics::RunReport run_scenario(const sim::SwarmConfig& config) {
+  sim::Swarm swarm(config, strategy::make_strategy(config.algorithm));
+  metrics::RunMetrics collector;
+  collector.install(swarm);
+  swarm.run();
+  return metrics::build_report(swarm, collector);
+}
+
+sim::AttackConfig targeted_attack(core::Algorithm algo) {
+  sim::AttackConfig attack;  // simple free-riding is always on
+  switch (algo) {
+    case core::Algorithm::kTChain:
+      attack.collusion = true;
+      break;
+    case core::Algorithm::kFairTorrent:
+      attack.whitewashing = true;
+      break;
+    case core::Algorithm::kReputation:
+      attack.sybil_praise = true;
+      break;
+    default:
+      break;
+  }
+  return attack;
+}
+
+sim::SwarmConfig with_freeriders(sim::SwarmConfig config, double fraction,
+                                 bool large_view) {
+  config.free_rider_fraction = fraction;
+  config.attack = targeted_attack(config.algorithm);
+  config.attack.large_view = large_view;
+  return config;
+}
+
+std::vector<metrics::RunReport> run_all_algorithms(
+    const sim::SwarmConfig& base) {
+  std::vector<metrics::RunReport> out;
+  out.reserve(core::kAllAlgorithms.size());
+  for (core::Algorithm algo : core::kAllAlgorithms) {
+    sim::SwarmConfig config = base;
+    config.algorithm = algo;
+    out.push_back(run_scenario(config));
+  }
+  return out;
+}
+
+}  // namespace coopnet::exp

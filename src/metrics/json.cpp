@@ -1,0 +1,198 @@
+#include "metrics/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace coopnet::metrics {
+
+namespace {
+
+/// Formats a double as a JSON number, or null when non-finite.
+std::string num(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+class Writer {
+ public:
+  explicit Writer(int indent) : indent_(indent) {}
+
+  void open(char bracket) {
+    pad();
+    os_ << bracket << '\n';
+    ++depth_;
+    first_in_scope_ = true;
+  }
+  void close(char bracket) {
+    --depth_;
+    os_ << '\n';
+    pad();
+    os_ << bracket;
+    first_in_scope_ = false;
+  }
+  void key(const std::string& name) {
+    comma();
+    pad();
+    os_ << '"' << json_escape(name) << "\": ";
+  }
+  void raw(const std::string& value) { os_ << value; }
+  void field(const std::string& name, const std::string& raw_value) {
+    key(name);
+    os_ << raw_value;
+  }
+  void string_field(const std::string& name, const std::string& value) {
+    field(name, "\"" + json_escape(value) + "\"");
+  }
+  void array_field(const std::string& name,
+                   const std::vector<double>& values) {
+    key(name);
+    os_ << '[';
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i) os_ << ',';
+      os_ << num(values[i]);
+    }
+    os_ << ']';
+  }
+  std::string str() const { return os_.str(); }
+
+  /// Begins a nested object value after key().
+  void begin_object() {
+    os_ << "{\n";
+    ++depth_;
+    first_in_scope_ = true;
+  }
+  void end_object() {
+    --depth_;
+    os_ << '\n';
+    pad();
+    os_ << '}';
+    first_in_scope_ = false;
+  }
+
+ private:
+  void comma() {
+    if (!first_in_scope_) os_ << ",\n";
+    first_in_scope_ = false;
+  }
+  void pad() {
+    for (int i = 0; i < depth_ * indent_; ++i) os_ << ' ';
+  }
+
+  std::ostringstream os_;
+  int indent_;
+  int depth_ = 0;
+  bool first_in_scope_ = true;
+};
+
+void series_object(Writer& w, const std::string& name,
+                   const util::TimeSeries& series) {
+  w.key(name);
+  w.begin_object();
+  std::vector<double> times, values;
+  times.reserve(series.size());
+  values.reserve(series.size());
+  for (const auto& p : series.points()) {
+    times.push_back(p.time);
+    values.push_back(p.value);
+  }
+  w.array_field("time", times);
+  w.array_field("value", values);
+  w.end_object();
+}
+
+void summary_object(Writer& w, const std::string& name,
+                    const util::Summary& s) {
+  w.key(name);
+  w.begin_object();
+  w.field("count", std::to_string(s.count));
+  w.field("mean", num(s.mean));
+  w.field("stddev", num(s.stddev));
+  w.field("min", num(s.min));
+  w.field("p25", num(s.p25));
+  w.field("median", num(s.median));
+  w.field("p75", num(s.p75));
+  w.field("p90", num(s.p90));
+  w.field("p99", num(s.p99));
+  w.field("max", num(s.max));
+  w.end_object();
+}
+
+void report_body(Writer& w, const RunReport& r) {
+  w.begin_object();
+  w.string_field("algorithm", core::to_string(r.algorithm));
+  w.field("compliant_population", std::to_string(r.compliant_population));
+  w.field("freerider_population", std::to_string(r.freerider_population));
+  w.field("sim_end_time", num(r.sim_end_time));
+  w.field("completed_fraction", num(r.completed_fraction));
+  w.field("bootstrapped_fraction", num(r.bootstrapped_fraction));
+  w.field("settled_fairness", num(r.settled_fairness));
+  w.field("final_fairness_F", num(r.final_fairness_F));
+  w.field("susceptibility", num(r.susceptibility));
+  w.field("total_uploaded_bytes", std::to_string(r.total_uploaded_bytes));
+  w.field("total_downloaded_raw_bytes",
+          std::to_string(r.total_downloaded_raw_bytes));
+  summary_object(w, "completion_summary", r.completion_summary);
+  summary_object(w, "bootstrap_summary", r.bootstrap_summary);
+  w.array_field("completion_times", r.completion_times);
+  w.array_field("bootstrap_times", r.bootstrap_times);
+  series_object(w, "fairness_series", r.fairness_series);
+  series_object(w, "susceptibility_series", r.susceptibility_series);
+  w.end_object();
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char raw : s) {
+    const auto c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += raw;
+        }
+    }
+  }
+  return out;
+}
+
+std::string to_json(const RunReport& report, int indent) {
+  Writer w(indent);
+  report_body(w, report);
+  return w.str();
+}
+
+std::string to_json(const std::vector<RunReport>& reports, int indent) {
+  std::string out = "[\n";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    if (i) out += ",\n";
+    out += to_json(reports[i], indent);
+  }
+  out += "\n]";
+  return out;
+}
+
+}  // namespace coopnet::metrics

@@ -1,0 +1,23 @@
+// JSON serialization of run reports (a minimal hand-rolled writer -- the
+// project has no third-party dependencies). The output is stable and
+// machine-readable so figure data can be post-processed outside C++.
+#pragma once
+
+#include <string>
+
+#include "metrics/report.h"
+
+namespace coopnet::metrics {
+
+/// Serializes a RunReport as a single JSON object. Series are emitted as
+/// parallel arrays; non-finite values (never-finished markers) are emitted
+/// as null.
+std::string to_json(const RunReport& report, int indent = 2);
+
+/// Serializes several reports as a JSON array.
+std::string to_json(const std::vector<RunReport>& reports, int indent = 2);
+
+/// Escapes a string for embedding in JSON (quotes, control characters).
+std::string json_escape(const std::string& s);
+
+}  // namespace coopnet::metrics

@@ -1,0 +1,72 @@
+// RunReport: the distilled result of one swarm run, plus rendering.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/algorithm.h"
+#include "metrics/run_metrics.h"
+#include "sim/swarm.h"
+#include "util/histogram.h"
+#include "util/stats.h"
+#include "util/timeseries.h"
+
+namespace coopnet::metrics {
+
+/// Everything the figures/tables need from one run.
+struct RunReport {
+  core::Algorithm algorithm = core::Algorithm::kBitTorrent;
+  std::size_t compliant_population = 0;
+  std::size_t freerider_population = 0;
+  std::size_t strategic_population = 0;
+  double sim_end_time = 0.0;
+
+  /// BitTyrant analysis: mean u/d give-take ratio per participant kind
+  /// (-1 when no such participants downloaded anything). A strategic
+  /// ratio well below the compliant one is a successful exploit.
+  double compliant_mean_ratio = -1.0;
+  double strategic_mean_ratio = -1.0;
+
+  // Efficiency (Fig. 4a / 5b / 6b).
+  std::vector<double> completion_times;  // compliant, arrival-to-finish
+  util::Summary completion_summary;
+  double completed_fraction = 0.0;  // compliant peers that finished
+
+  // Bootstrapping (Fig. 4c).
+  std::vector<double> bootstrap_times;
+  util::Summary bootstrap_summary;
+  double bootstrapped_fraction = 0.0;
+
+  // Fairness (Fig. 4b / 5c / 6c): Section V's mean u/d statistic.
+  util::TimeSeries fairness_series;
+  double settled_fairness = -1.0;  // tail mean of the series
+  double final_fairness_F = -1.0;  // eq. 3 statistic at end of run
+  /// Jain index of compliant finishers' realized download rates (1 = all
+  /// equal, as altruism's equalized service; lower = capacity-proportional
+  /// service as under T-Chain/FairTorrent). Complements F: it measures
+  /// *service* disparity rather than give/take balance.
+  double download_rate_jain = -1.0;
+
+  // Free-riding susceptibility (Fig. 5a / 6a).
+  util::TimeSeries susceptibility_series;
+  double susceptibility = 0.0;
+
+  // Conservation audit (eq. 1): total bytes sent vs received.
+  std::int64_t total_uploaded_bytes = 0;
+  std::int64_t total_downloaded_raw_bytes = 0;
+};
+
+/// Builds the report from a finished run.
+RunReport build_report(const sim::Swarm& swarm, const RunMetrics& metrics);
+
+/// One-paragraph human-readable summary.
+std::string summarize_report(const RunReport& report);
+
+/// Completion-time CDF over the compliant population (plateaus below 1 if
+/// some peers never finished).
+std::vector<util::CdfPoint> completion_cdf(const RunReport& report);
+
+/// Bootstrap-time CDF over the compliant population.
+std::vector<util::CdfPoint> bootstrap_cdf(const RunReport& report);
+
+}  // namespace coopnet::metrics

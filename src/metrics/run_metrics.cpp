@@ -1,0 +1,84 @@
+#include "metrics/run_metrics.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace coopnet::metrics {
+
+RunMetrics::RunMetrics(double sample_interval)
+    : sample_interval_(sample_interval) {
+  if (sample_interval <= 0.0) {
+    throw std::invalid_argument("RunMetrics: sample_interval <= 0");
+  }
+}
+
+void RunMetrics::install(sim::Swarm& swarm) {
+  if (installed_) throw std::logic_error("RunMetrics: already installed");
+  installed_ = true;
+  swarm.set_observer(this);
+  for (const sim::Peer& p : swarm.all_peers()) {
+    if (p.kind == sim::PeerKind::kCompliant) ++compliant_population_;
+    if (p.is_free_rider()) ++freerider_population_;
+    if (p.is_strategic()) ++strategic_population_;
+  }
+  swarm.engine().schedule(sample_interval_, [this, &swarm] { sample(swarm); });
+}
+
+void RunMetrics::sample(sim::Swarm& swarm) {
+  const double f = current_fairness(swarm);
+  if (f >= 0.0) fairness_.add(swarm.engine().now(), f);
+  susceptibility_.add(swarm.engine().now(), current_susceptibility(swarm));
+  if (swarm.engine().now() + sample_interval_ <= swarm.config().max_time) {
+    swarm.engine().schedule(sample_interval_,
+                            [this, &swarm] { sample(swarm); });
+  }
+}
+
+void RunMetrics::on_bootstrap(const sim::Swarm& swarm,
+                              const sim::Peer& peer) {
+  if (peer.kind != sim::PeerKind::kCompliant) return;
+  bootstrap_.push_back(swarm.engine().now() - peer.arrival_time);
+}
+
+void RunMetrics::on_finish(const sim::Swarm& swarm, const sim::Peer& peer) {
+  if (peer.kind != sim::PeerKind::kCompliant) return;
+  completion_.push_back(swarm.engine().now() - peer.arrival_time);
+}
+
+double current_fairness(const sim::Swarm& swarm) {
+  double total = 0.0;
+  std::size_t n = 0;
+  for (const sim::Peer& p : swarm.all_peers()) {
+    if (p.kind != sim::PeerKind::kCompliant) continue;
+    if (p.state == sim::PeerState::kPending) continue;
+    const double ratio = p.fairness_ratio();
+    if (ratio < 0.0) continue;
+    total += ratio;
+    ++n;
+  }
+  return n == 0 ? -1.0 : total / static_cast<double>(n);
+}
+
+double current_fairness_F(const sim::Swarm& swarm) {
+  double total = 0.0;
+  std::size_t n = 0;
+  for (const sim::Peer& p : swarm.all_peers()) {
+    if (p.kind != sim::PeerKind::kCompliant) continue;
+    if (p.state == sim::PeerState::kPending) continue;
+    if (p.uploaded_bytes <= 0 || p.downloaded_usable_bytes <= 0) continue;
+    total += std::fabs(std::log(
+        static_cast<double>(p.downloaded_usable_bytes) /
+        static_cast<double>(p.uploaded_bytes)));
+    ++n;
+  }
+  return n == 0 ? -1.0 : total / static_cast<double>(n);
+}
+
+double current_susceptibility(const sim::Swarm& swarm) {
+  const auto uploaded = swarm.leecher_uploaded_bytes();
+  if (uploaded <= 0) return 0.0;
+  return static_cast<double>(swarm.freerider_usable_bytes()) /
+         static_cast<double>(uploaded);
+}
+
+}  // namespace coopnet::metrics

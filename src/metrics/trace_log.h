@@ -1,0 +1,56 @@
+// Optional full-trace observer: records every completed transfer plus
+// bootstrap/finish events for post-hoc analysis or debugging. Chains to a
+// second observer so it can be stacked with RunMetrics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/swarm.h"
+
+namespace coopnet::metrics {
+
+/// One recorded lifecycle event.
+struct TraceEvent {
+  enum class Kind { kTransfer, kBootstrap, kFinish };
+  Kind kind = Kind::kTransfer;
+  double time = 0.0;
+  sim::PeerId peer = sim::kNoPeer;  // receiver / subject
+  sim::PeerId from = sim::kNoPeer;  // transfer source (kTransfer only)
+  sim::PieceId piece = sim::kNoPiece;
+  sim::Bytes bytes = 0;
+  bool locked = false;
+};
+
+/// Records the full event stream of a run. Memory grows with the number of
+/// transfers (one entry each); at paper scale (~512k transfers) this is a
+/// few tens of MB -- use the `transfers_enabled` switch for long sweeps.
+class TraceLog : public sim::SwarmObserver {
+ public:
+  explicit TraceLog(bool transfers_enabled = true)
+      : transfers_enabled_(transfers_enabled) {}
+
+  /// Chains another observer behind this one (e.g. RunMetrics).
+  void chain(sim::SwarmObserver* next) { next_ = next; }
+
+  void on_transfer(const sim::Swarm& swarm, const sim::Transfer& t) override;
+  void on_bootstrap(const sim::Swarm& swarm, const sim::Peer& peer) override;
+  void on_finish(const sim::Swarm& swarm, const sim::Peer& peer) override;
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t transfer_count() const { return transfer_count_; }
+
+  /// Events concerning one peer (as receiver/subject or transfer source).
+  std::vector<TraceEvent> for_peer(sim::PeerId id) const;
+
+  /// CSV dump: kind,time,peer,from,piece,bytes,locked.
+  std::string to_csv() const;
+
+ private:
+  bool transfers_enabled_;
+  sim::SwarmObserver* next_ = nullptr;
+  std::vector<TraceEvent> events_;
+  std::size_t transfer_count_ = 0;
+};
+
+}  // namespace coopnet::metrics

@@ -1,0 +1,45 @@
+#include "sim/engine.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace coopnet::sim {
+
+void SimEngine::schedule(Seconds delay, EventFn fn) {
+  if (delay < 0.0) throw std::invalid_argument("SimEngine: negative delay");
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+void SimEngine::schedule_at(Seconds at, EventFn fn) {
+  if (at < now_) {
+    throw std::invalid_argument("SimEngine: scheduling into the past");
+  }
+  if (!fn) throw std::invalid_argument("SimEngine: empty event");
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+void SimEngine::run() {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    // Copy out before pop: the callback may schedule new events.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ++processed_;
+    ev.fn();
+  }
+}
+
+void SimEngine::run_until(Seconds deadline) {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_ && queue_.top().time <= deadline) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ++processed_;
+    ev.fn();
+  }
+  if (!stopped_ && now_ < deadline) now_ = deadline;
+}
+
+}  // namespace coopnet::sim

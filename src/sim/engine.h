@@ -1,0 +1,66 @@
+// Discrete-event simulation engine.
+//
+// A binary-heap scheduler over (time, sequence) keys. Events are arbitrary
+// callbacks; ties break in scheduling order so runs are deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace coopnet::sim {
+
+/// Discrete-event engine: schedule callbacks, then run until the queue
+/// drains, a deadline passes, or stop() is called from inside an event.
+class SimEngine {
+ public:
+  using EventFn = std::function<void()>;
+
+  /// Current simulation time (seconds). Starts at 0.
+  Seconds now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` seconds from now. Requires delay >= 0.
+  void schedule(Seconds delay, EventFn fn);
+
+  /// Schedules `fn` at absolute time `at`. Requires at >= now().
+  void schedule_at(Seconds at, EventFn fn);
+
+  /// Runs events until the queue is empty or stop() is called.
+  void run();
+
+  /// Runs events with time <= deadline; leaves later events queued and
+  /// advances the clock to min(deadline, time of last executed event).
+  void run_until(Seconds deadline);
+
+  /// Requests the current run()/run_until() loop to return after the
+  /// in-flight event finishes.
+  void stop() { stopped_ = true; }
+
+  bool stopped() const { return stopped_; }
+  std::size_t pending() const { return queue_.size(); }
+  std::uint64_t events_processed() const { return processed_; }
+
+ private:
+  struct Event {
+    Seconds time;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Seconds now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace coopnet::sim

@@ -1,0 +1,32 @@
+// Random neighbor graphs.
+//
+// Each leecher is connected to `degree` random peers (symmetrized), plus
+// the seeder, which is connected to everyone (it plays the tracker-fed
+// central role of Section V's setup). Free-riders mounting the large-view
+// exploit connect to `degree * large_view_multiplier` peers instead --
+// Section V's Figure 6 attack.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/types.h"
+#include "util/rng.h"
+
+namespace coopnet::sim {
+
+struct NeighborGraphConfig {
+  std::size_t degree = 50;
+  /// Multiplier applied to the degree of peers flagged `large_view`.
+  double large_view_multiplier = 4.0;
+};
+
+/// Builds adjacency lists for `n_peers` leechers (ids 0..n_peers-1) and one
+/// seeder (id n_peers). `large_view[i]` marks leechers using the large-view
+/// exploit. The result has n_peers + 1 adjacency lists; edges between
+/// leechers are symmetric, and every leecher is adjacent to the seeder.
+std::vector<std::vector<PeerId>> build_neighbor_graph(
+    std::size_t n_peers, const NeighborGraphConfig& config,
+    const std::vector<bool>& large_view, util::Rng& rng);
+
+}  // namespace coopnet::sim

@@ -1,0 +1,11 @@
+#include "sim/peer.h"
+
+namespace coopnet::sim {
+
+double Peer::fairness_ratio() const {
+  if (downloaded_usable_bytes <= 0) return -1.0;
+  return static_cast<double>(uploaded_bytes) /
+         static_cast<double>(downloaded_usable_bytes);
+}
+
+}  // namespace coopnet::sim

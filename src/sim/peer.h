@@ -1,0 +1,92 @@
+// Per-peer simulation state.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "sim/piece_set.h"
+#include "sim/types.h"
+
+namespace coopnet::sim {
+
+/// What kind of participant a peer is.
+enum class PeerKind {
+  kCompliant,  // follows the configured exchange algorithm
+  kFreeRider,  // downloads but never uploads (attacks per AttackConfig)
+  kStrategic,  // BitTyrant-style: uploads the bare minimum that keeps
+               // reciprocity flowing, never volunteers (exploits
+               // BitTorrent's tit-for-tat; behaves compliantly elsewhere)
+  kSeeder,     // holds the full file, never downloads, never leaves
+};
+
+/// Lifecycle of a peer within a run.
+enum class PeerState {
+  kPending,  // not yet arrived
+  kActive,   // exchanging pieces
+  kLeft,     // finished and departed
+};
+
+/// All mutable per-peer simulation state. Owned by the Swarm; strategies
+/// read and update the exchange-related fields through Swarm accessors.
+struct Peer {
+  PeerId id = kNoPeer;
+  PeerKind kind = PeerKind::kCompliant;
+  PeerState state = PeerState::kPending;
+
+  double capacity = 0.0;  // upload bytes/second
+  int upload_slots = 0;
+  int busy_slots = 0;
+  int incoming_count = 0;  // concurrent transfers inbound right now
+
+  PieceSet pieces;   // usable pieces
+  PieceSet locked;   // delivered but encrypted (T-Chain)
+  PieceSet pending;  // in-flight downloads (dedup guard)
+  /// Maintained unions (updated by the Swarm alongside the sets above):
+  /// what this peer cannot accept (pieces | locked | pending) and what it
+  /// can transmit (pieces | locked -- encrypted payloads are forwardable).
+  PieceSet unavailable;
+  PieceSet transferable;
+
+  std::vector<PeerId> neighbors;
+
+  // --- lifetime bookkeeping -------------------------------------------
+  Seconds arrival_time = 0.0;
+  Seconds bootstrap_time = -1.0;  // first usable piece; -1 until then
+  Seconds finish_time = -1.0;     // completed download; -1 until then
+
+  // --- byte accounting --------------------------------------------------
+  Bytes uploaded_bytes = 0;          // payload sent (incl. locked payloads)
+  Bytes downloaded_usable_bytes = 0; // payload that became usable
+  Bytes downloaded_raw_bytes = 0;    // payload received (incl. still-locked)
+  /// Usable payload originally delivered by leechers (not the seeder);
+  /// the susceptibility metric counts only this (Section V measures the
+  /// fraction of *users'* upload bandwidth captured by free-riders).
+  Bytes usable_from_leechers_bytes = 0;
+
+  // --- per-neighbor exchange state --------------------------------------
+  /// Total bytes received from each peer (reciprocity ranking).
+  std::unordered_map<PeerId, Bytes> received_from;
+  /// Bytes received in the current/previous rechoke rounds (BitTorrent).
+  std::unordered_map<PeerId, Bytes> round_received;
+  std::unordered_map<PeerId, Bytes> prev_round_received;
+  /// FairTorrent deficit counters, in pieces: uploads to minus receipts
+  /// from each peer. Negative = "I owe them".
+  std::unordered_map<PeerId, std::int64_t> deficit;
+
+  // --- attack state -----------------------------------------------------
+  int collusion_group = -1;  // >= 0: member of that collusion ring
+
+  bool is_seeder() const { return kind == PeerKind::kSeeder; }
+  bool is_free_rider() const { return kind == PeerKind::kFreeRider; }
+  bool is_strategic() const { return kind == PeerKind::kStrategic; }
+  bool active() const { return state == PeerState::kActive; }
+  bool finished() const { return finish_time >= 0.0; }
+  bool bootstrapped() const { return bootstrap_time >= 0.0; }
+  int free_slots() const { return upload_slots - busy_slots; }
+
+  /// The u_i / d_i fairness ratio of Section V; -1 when undefined (no
+  /// usable downloads yet).
+  double fairness_ratio() const;
+};
+
+}  // namespace coopnet::sim

@@ -1,0 +1,70 @@
+// Per-peer piece bitmaps.
+//
+// The file is divided into M pieces; each peer tracks which it holds with a
+// word-packed bitset sized at construction. The hot operation is "find the
+// rarest piece the uploader can offer that the receiver still needs", which
+// iterates set bits of (offer & ~have & ~pending) a word at a time.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace coopnet::sim {
+
+/// Fixed-capacity bitset over piece ids [0, size).
+class PieceSet {
+ public:
+  PieceSet() = default;
+  explicit PieceSet(PieceId size);
+
+  PieceId size() const { return size_; }
+  PieceId count() const { return count_; }
+  bool complete() const { return count_ == size_; }
+  bool empty() const { return count_ == 0; }
+
+  bool has(PieceId p) const;
+  /// Adds p; returns false if already present.
+  bool add(PieceId p);
+  /// Removes p; returns false if absent.
+  bool remove(PieceId p);
+  /// Sets every piece.
+  void fill();
+  void clear();
+
+  /// Calls `fn(piece)` for every piece in (*this & ~excluded); returns the
+  /// number of visited pieces. Requires matching sizes; the callback may
+  /// not mutate either set.
+  template <typename Fn>
+  std::size_t for_each_offerable(const PieceSet& excluded, Fn&& fn) const {
+    if (excluded.size_ != size_) {
+      throw std::invalid_argument("PieceSet::for_each_offerable: size");
+    }
+    std::size_t visited = 0;
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t bits = words_[w] & ~excluded.words_[w];
+      while (bits) {
+        const int bit = __builtin_ctzll(bits);
+        bits &= bits - 1;
+        fn(static_cast<PieceId>(w * 64 + static_cast<std::size_t>(bit)));
+        ++visited;
+      }
+    }
+    return visited;
+  }
+
+  /// True if (*this & ~excluded) is non-empty: this set can offer something
+  /// to a peer whose held/pending/locked union is `excluded`.
+  bool can_offer(const PieceSet& excluded) const;
+
+ private:
+  void check(PieceId p) const;
+
+  std::vector<std::uint64_t> words_;
+  PieceId size_ = 0;
+  PieceId count_ = 0;
+};
+
+}  // namespace coopnet::sim

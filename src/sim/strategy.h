@@ -1,0 +1,86 @@
+// The exchange-strategy interface.
+//
+// A Swarm owns exactly one ExchangeStrategy, which encodes the incentive
+// mechanism under test: it decides where each free upload slot goes, whether
+// deliveries arrive usable or encrypted ("locked", T-Chain), and reacts to
+// deliveries and departures. Implementations live in src/strategy.
+#pragma once
+
+#include <optional>
+
+#include "sim/types.h"
+
+namespace coopnet::sim {
+
+class Swarm;
+
+/// A strategy's decision for one free upload slot.
+struct UploadAction {
+  PeerId to = kNoPeer;
+  PieceId piece = kNoPiece;
+  /// Deliver encrypted; the receiver must reciprocate before the piece
+  /// becomes usable (T-Chain).
+  bool locked = false;
+};
+
+/// Incentive-mechanism hook points. All methods are invoked from inside the
+/// simulation loop; implementations may call back into the Swarm's
+/// strategy-facing API (start transfers, unlock pieces, schedule events).
+class ExchangeStrategy {
+ public:
+  virtual ~ExchangeStrategy() = default;
+
+  /// Called once before the run starts; use to schedule recurring timers
+  /// (rechoke rounds, grace scans) on swarm.engine().
+  virtual void attach(Swarm& swarm) { (void)swarm; }
+
+  /// Picks the next upload for a compliant peer with a free slot, or
+  /// nullopt to leave the slot idle (the swarm retries on the next
+  /// trigger or retry tick). Never called for seeders or free-riders.
+  ///
+  /// Must be side-effect-free with respect to strategy state: a returned
+  /// action can still fail the swarm's start preconditions. Commit any
+  /// bookkeeping in on_upload_started, which fires only for transfers that
+  /// actually began.
+  virtual std::optional<UploadAction> next_upload(Swarm& swarm,
+                                                  PeerId uploader) = 0;
+
+  /// Called synchronously from inside Swarm::start_transfer once a
+  /// transfer (from any uploader, including the seeder) has begun.
+  virtual void on_upload_started(Swarm& swarm, const Transfer& transfer) {
+    (void)swarm;
+    (void)transfer;
+  }
+
+  /// Whether `target` is currently willing to accept a fresh delivery.
+  /// T-Chain peers refuse when their reciprocation backlog is full, which
+  /// is what caps their download rate at their upload capacity (Table I).
+  virtual bool accepts_delivery(const Swarm& swarm, PeerId target) const {
+    (void)swarm;
+    (void)target;
+    return true;
+  }
+
+  /// Whether seeder uploads are delivered locked (T-Chain: yes -- chains
+  /// start at the seeder).
+  virtual bool seeder_delivers_locked() const { return false; }
+
+  /// Called after a transfer completes and the payload is recorded
+  /// (usable or locked per the transfer's flag).
+  virtual void on_delivered(Swarm& swarm, const Transfer& transfer) {
+    (void)swarm;
+    (void)transfer;
+  }
+
+  virtual void on_peer_activated(Swarm& swarm, PeerId id) {
+    (void)swarm;
+    (void)id;
+  }
+
+  virtual void on_peer_left(Swarm& swarm, PeerId id) {
+    (void)swarm;
+    (void)id;
+  }
+};
+
+}  // namespace coopnet::sim

@@ -1,0 +1,493 @@
+#include "sim/swarm.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace coopnet::sim {
+
+Swarm::Swarm(SwarmConfig config, std::unique_ptr<ExchangeStrategy> strategy)
+    : config_(std::move(config)),
+      strategy_(std::move(strategy)),
+      rng_(config_.seed) {
+  config_.validate();
+  if (!strategy_) throw std::invalid_argument("Swarm: null strategy");
+  build_population();
+}
+
+std::vector<Seconds> Swarm::draw_arrival_times() {
+  const std::size_t n = config_.n_peers;
+  std::vector<Seconds> times(n, 0.0);
+  switch (config_.arrivals) {
+    case ArrivalProcess::kFlashCrowd:
+      for (auto& t : times) {
+        t = config_.flash_crowd_window <= 0.0
+                ? 0.0
+                : rng_.uniform(0.0, config_.flash_crowd_window);
+      }
+      break;
+    case ArrivalProcess::kPoisson: {
+      Seconds clock = 0.0;
+      for (auto& t : times) {
+        clock += rng_.exponential(config_.arrival_rate);
+        t = clock;
+      }
+      rng_.shuffle(times);  // decouple peer index from arrival order
+      break;
+    }
+    case ArrivalProcess::kStaggered: {
+      for (std::size_t i = 0; i < n; ++i) {
+        times[i] = static_cast<double>(i) / config_.arrival_rate;
+      }
+      rng_.shuffle(times);
+      break;
+    }
+  }
+  return times;
+}
+
+void Swarm::build_population() {
+  const std::size_t n = config_.n_peers;
+  const std::size_t total = n + config_.seeder_count;
+  const PieceId pieces = config_.piece_count();
+
+  auto capacities = config_.capacities.sample(n, rng_);
+  auto arrivals = draw_arrival_times();
+
+  // Free-riders and strategic clients are drawn uniformly from the
+  // population (so their capacity mix matches the compliant peers').
+  // All colluding attacks use one ring.
+  std::vector<bool> is_fr(n, false);
+  std::vector<bool> is_strategic(n, false);
+  {
+    auto picks = rng_.sample_indices(
+        n, config_.free_rider_count() + config_.strategic_count());
+    for (std::size_t k = 0; k < picks.size(); ++k) {
+      if (k < config_.free_rider_count()) {
+        is_fr[picks[k]] = true;
+      } else {
+        is_strategic[picks[k]] = true;
+      }
+    }
+  }
+  const bool ring_attacks =
+      config_.attack.collusion || config_.attack.sybil_praise;
+
+  std::vector<bool> large_view(n, false);
+  if (config_.attack.large_view) {
+    for (std::size_t i = 0; i < n; ++i) large_view[i] = is_fr[i];
+  }
+  // The graph builder produces leecher-leecher edges plus one seeder slot
+  // (id n); additional seeders are spliced in below.
+  auto adjacency = build_neighbor_graph(n, config_.graph, large_view, rng_);
+
+  peers_.resize(total);
+  piece_freq_.assign(pieces, 0);
+  reputation_.assign(total, 0.0);
+  compliant_unfinished_ = 0;
+
+  for (std::size_t i = 0; i < total; ++i) {
+    Peer& p = peers_[i];
+    p.id = static_cast<PeerId>(i);
+    p.pieces = PieceSet(pieces);
+    p.locked = PieceSet(pieces);
+    p.pending = PieceSet(pieces);
+    p.unavailable = PieceSet(pieces);
+    p.transferable = PieceSet(pieces);
+    if (i >= n) {
+      p.kind = PeerKind::kSeeder;
+      p.capacity = config_.seeder_capacity;
+      p.upload_slots = config_.seeder_slots;
+      p.pieces.fill();
+      p.transferable.fill();
+      p.unavailable.fill();
+      p.arrival_time = 0.0;
+      p.neighbors = adjacency[n];  // every seeder knows every leecher
+    } else {
+      p.kind = is_fr[i]          ? PeerKind::kFreeRider
+               : is_strategic[i] ? PeerKind::kStrategic
+                                 : PeerKind::kCompliant;
+      if (is_fr[i] && ring_attacks) p.collusion_group = 0;
+      p.capacity = capacities[i];
+      p.upload_slots = config_.upload_slots;
+      p.arrival_time = arrivals[i];
+      // Strategic clients are participants (the run waits for them too);
+      // only free-riders are excluded from the completion condition.
+      if (!is_fr[i]) ++compliant_unfinished_;
+      // Splice in the extra seeders (the builder already appended id n).
+      p.neighbors = adjacency[i];
+      for (std::size_t s = 1; s < config_.seeder_count; ++s) {
+        p.neighbors.push_back(static_cast<PeerId>(n + s));
+      }
+    }
+  }
+  // The seeders' pieces count toward availability exactly once: rarity
+  // should rank what *leechers* hold; every piece is equally seeder-backed.
+  for (auto& f : piece_freq_) f = 1;
+}
+
+void Swarm::run() {
+  if (ran_) throw std::logic_error("Swarm::run: already ran");
+  ran_ = true;
+
+  strategy_->attach(*this);
+
+  // Seeders are live from t = 0; leechers arrive per the arrival process.
+  for (std::size_t s = 0; s < seeder_count(); ++s) {
+    const PeerId id = static_cast<PeerId>(leechers() + s);
+    engine_.schedule_at(0.0, [this, id] { arrive(id); });
+  }
+  for (std::size_t i = 0; i < leechers(); ++i) {
+    const PeerId id = static_cast<PeerId>(i);
+    engine_.schedule_at(peers_[i].arrival_time, [this, id] { arrive(id); });
+  }
+
+  if (config_.attack.whitewashing) {
+    engine_.schedule(config_.attack.whitewash_interval,
+                     [this] { whitewash_timer(); });
+  }
+  if (config_.attack.sybil_praise) {
+    engine_.schedule(config_.attack.sybil_interval, [this] { sybil_timer(); });
+  }
+
+  engine_.run_until(config_.max_time);
+}
+
+void Swarm::arrive(PeerId id) {
+  Peer& p = peers_.at(id);
+  p.state = PeerState::kActive;
+  strategy_->on_peer_activated(*this, id);
+  try_fill(id);
+  engine_.schedule(config_.retry_interval, [this, id] { tick(id); });
+}
+
+void Swarm::tick(PeerId id) {
+  Peer& p = peers_.at(id);
+  if (p.state != PeerState::kActive) return;  // stop ticking after departure
+  try_fill(id);
+  engine_.schedule(config_.retry_interval, [this, id] { tick(id); });
+}
+
+void Swarm::request_refill(PeerId id) {
+  // A tiny delay batches cascading refills triggered within one event.
+  engine_.schedule(1e-6, [this, id] { try_fill(id); });
+}
+
+void Swarm::try_fill(PeerId id) {
+  Peer& p = peers_.at(id);
+  if (!p.active()) return;
+  while (p.free_slots() > 0) {
+    std::optional<UploadAction> action;
+    if (p.is_free_rider()) {
+      break;  // free-riders never upload, not even after finishing
+    } else if (p.is_seeder() || p.finished()) {
+      // Origin seeders and lingering finished peers seed identically.
+      action = seeder_action(id);
+    } else {
+      action = strategy_->next_upload(*this, id);
+    }
+    if (!action) break;
+    if (!start_transfer(id, action->to, action->piece, action->locked)) {
+      // The strategy proposed a stale action; avoid a hot loop.
+      break;
+    }
+  }
+}
+
+std::optional<UploadAction> Swarm::seeder_action(PeerId seeder) {
+  // Seeder policy: uniformly random neighbor that needs something, rarest
+  // piece first. In T-Chain deliveries are locked (chains start here).
+  auto needy = needy_neighbors(seeder, /*include_locked_offer=*/false);
+  if (needy.empty()) return std::nullopt;
+  const PeerId to = needy[rng_.uniform_u64(needy.size())];
+  const PieceId piece = pick_piece(seeder, to, false);
+  if (piece == kNoPiece) return std::nullopt;
+  return UploadAction{to, piece, strategy_->seeder_delivers_locked()};
+}
+
+std::vector<PeerId> Swarm::needy_neighbors(PeerId uploader,
+                                           bool include_locked_offer) {
+  const Peer& up = peers_.at(uploader);
+  const PieceSet& offer = include_locked_offer ? up.transferable : up.pieces;
+  std::vector<PeerId> out;
+  out.reserve(up.neighbors.size());
+  for (PeerId n : up.neighbors) {
+    const Peer& q = peers_.at(n);
+    if (!q.active() || q.is_seeder()) continue;
+    if (!accepts_incoming(n)) continue;
+    if (!offer.can_offer(q.unavailable)) continue;
+    if (!strategy_->accepts_delivery(*this, n)) continue;
+    out.push_back(n);
+  }
+  return out;
+}
+
+bool Swarm::needs_from(PeerId target, PeerId uploader,
+                       bool include_locked_offer) const {
+  const Peer& up = peers_.at(uploader);
+  const Peer& q = peers_.at(target);
+  if (!q.active() || q.is_seeder()) return false;
+  const PieceSet& offer = include_locked_offer ? up.transferable : up.pieces;
+  return offer.can_offer(q.unavailable);
+}
+
+PieceId Swarm::pick_piece(PeerId uploader, PeerId target,
+                          bool include_locked_offer) {
+  const Peer& up = peers_.at(uploader);
+  const Peer& q = peers_.at(target);
+  const PieceSet& offer = include_locked_offer ? up.transferable : up.pieces;
+
+  switch (config_.piece_selection) {
+    case PieceSelection::kRarestFirst: {
+      PieceId best = kNoPiece;
+      std::uint32_t best_freq = 0;
+      std::uint32_t ties = 0;
+      offer.for_each_offerable(q.unavailable, [&](PieceId piece) {
+        const std::uint32_t f = piece_freq_[piece];
+        if (best == kNoPiece || f < best_freq) {
+          best = piece;
+          best_freq = f;
+          ties = 1;
+        } else if (f == best_freq) {
+          // Reservoir-style random tie-break keeps selection unbiased.
+          ++ties;
+          if (rng_.uniform_u64(ties) == 0) best = piece;
+        }
+      });
+      return best;
+    }
+    case PieceSelection::kRandom: {
+      PieceId chosen = kNoPiece;
+      std::uint32_t seen = 0;
+      offer.for_each_offerable(q.unavailable, [&](PieceId piece) {
+        ++seen;  // reservoir sampling: uniform over offerable pieces
+        if (rng_.uniform_u64(seen) == 0) chosen = piece;
+      });
+      return chosen;
+    }
+    case PieceSelection::kSequential: {
+      PieceId lowest = kNoPiece;
+      offer.for_each_offerable(q.unavailable, [&](PieceId piece) {
+        if (lowest == kNoPiece) lowest = piece;  // bits iterate ascending
+      });
+      return lowest;
+    }
+  }
+  throw std::logic_error("pick_piece: unknown policy");
+}
+
+bool Swarm::start_transfer(PeerId from, PeerId to, PieceId piece,
+                           bool locked) {
+  Peer& up = peers_.at(from);
+  Peer& down = peers_.at(to);
+  if (from == to || piece == kNoPiece) return false;
+  if (!up.active() || up.free_slots() <= 0) return false;
+  if (!down.active() || down.is_seeder()) return false;
+  if (!accepts_incoming(to)) return false;
+  const PieceSet& offer = up.transferable;  // usable or forwardable payload
+  if (!offer.has(piece)) return false;
+  if (down.unavailable.has(piece)) return false;
+
+  const double rate = up.capacity / static_cast<double>(up.upload_slots);
+  const Seconds duration =
+      static_cast<double>(config_.piece_bytes) / rate;
+
+  ++up.busy_slots;
+  ++down.incoming_count;
+  down.pending.add(piece);
+  down.unavailable.add(piece);
+
+  Transfer t;
+  t.from = from;
+  t.to = to;
+  t.piece = piece;
+  t.start = engine_.now();
+  t.end = engine_.now() + duration;
+  t.bytes = config_.piece_bytes;
+  t.locked = locked;
+  engine_.schedule(duration, [this, t] { complete_transfer(t); });
+  strategy_->on_upload_started(*this, t);
+  return true;
+}
+
+void Swarm::complete_transfer(Transfer t) {
+  Peer& up = peers_.at(t.from);
+  Peer& down = peers_.at(t.to);
+  --up.busy_slots;
+  --down.incoming_count;
+
+  down.pending.remove(t.piece);
+  update_unavailable_bit(down, t.piece);
+
+  up.uploaded_bytes += t.bytes;  // slot time was spent either way
+  const bool delivered = down.state != PeerState::kLeft;
+  if (delivered) {
+    // Byte accounting and exchange bookkeeping.
+    down.downloaded_raw_bytes += t.bytes;
+    down.received_from[t.from] += t.bytes;
+    down.round_received[t.from] += t.bytes;
+    // FairTorrent-style deficits, in piece units, kept for all algorithms.
+    up.deficit[t.to] += 1;
+    down.deficit[t.from] -= 1;
+    // Real uploads are globally visible (Section V-A's reputation setup).
+    add_reported_upload(t.from, static_cast<double>(t.bytes));
+
+    // Bootstrapping counts the first *delivered* piece (Section IV-B's
+    // model): a T-Chain newcomer is bootstrapped when the payload arrives,
+    // before it reciprocates for the key.
+    if (!down.bootstrapped()) {
+      down.bootstrap_time = engine_.now();
+      if (observer_ != nullptr) observer_->on_bootstrap(*this, down);
+    }
+
+    if (t.locked) {
+      down.locked.add(t.piece);
+      down.unavailable.add(t.piece);
+      down.transferable.add(t.piece);
+    } else {
+      make_usable(t.to, t.piece, t.from);
+    }
+  }
+
+  // The strategy always observes completion (an uploader fulfilling a
+  // T-Chain obligation did the work even if the receiver just departed);
+  // it checks the receiver's state before receiver-side bookkeeping.
+  strategy_->on_delivered(*this, t);
+  if (delivered && observer_ != nullptr) observer_->on_transfer(*this, t);
+
+  try_fill(t.from);
+  // Receiving may enable reciprocation or forwarding on the receiver side.
+  if (delivered && peers_.at(t.to).active()) request_refill(t.to);
+}
+
+void Swarm::make_usable(PeerId id, PieceId piece, PeerId source) {
+  Peer& p = peers_.at(id);
+  if (p.pieces.has(piece)) return;
+  p.locked.remove(piece);
+  p.pieces.add(piece);
+  p.unavailable.add(piece);
+  p.transferable.add(piece);
+  ++piece_freq_[piece];
+  p.downloaded_usable_bytes += config_.piece_bytes;
+  if (source != kNoPeer && !peers_.at(source).is_seeder()) {
+    p.usable_from_leechers_bytes += config_.piece_bytes;
+  }
+
+  if (!p.bootstrapped()) {
+    p.bootstrap_time = engine_.now();
+    if (observer_ != nullptr) observer_->on_bootstrap(*this, p);
+  }
+  if (p.pieces.complete()) finish_peer(id);
+}
+
+void Swarm::finish_peer(PeerId id) {
+  Peer& p = peers_.at(id);
+  if (p.finished() || p.is_seeder()) return;
+  p.finish_time = engine_.now();
+  if (observer_ != nullptr) observer_->on_finish(*this, p);
+  const bool last_compliant =
+      !p.is_free_rider() && --compliant_unfinished_ == 0;
+  if (config_.linger_time > 0.0 && !last_compliant) {
+    // Stay and seed for a while before leaving.
+    engine_.schedule(config_.linger_time, [this, id] { depart(id); });
+    request_refill(id);
+  } else {
+    depart(id);
+  }
+  if (last_compliant) engine_.stop();
+}
+
+void Swarm::depart(PeerId id) {
+  Peer& p = peers_.at(id);
+  if (p.state == PeerState::kLeft || p.is_seeder()) return;
+  p.state = PeerState::kLeft;
+  // Departing copies stop counting toward availability.
+  for (PieceId piece = 0; piece < p.pieces.size(); ++piece) {
+    if (p.pieces.has(piece)) --piece_freq_[piece];
+  }
+  strategy_->on_peer_left(*this, id);
+}
+
+void Swarm::update_unavailable_bit(Peer& p, PieceId piece) {
+  if (!p.pieces.has(piece) && !p.locked.has(piece) &&
+      !p.pending.has(piece)) {
+    p.unavailable.remove(piece);
+  }
+}
+
+void Swarm::add_reported_upload(PeerId id, double bytes) {
+  if (bytes < 0.0) {
+    throw std::invalid_argument("add_reported_upload: negative bytes");
+  }
+  reputation_.at(id) += bytes;
+}
+
+bool Swarm::accepts_incoming(PeerId target) const {
+  if (config_.max_incoming == 0) return true;
+  return peers_.at(target).incoming_count < config_.max_incoming;
+}
+
+bool Swarm::same_collusion_ring(PeerId a, PeerId b) const {
+  const Peer& pa = peers_.at(a);
+  const Peer& pb = peers_.at(b);
+  return pa.collusion_group >= 0 && pa.collusion_group == pb.collusion_group;
+}
+
+void Swarm::whitewash_timer() {
+  // Each whitewashing free-rider discards its identity: every other peer's
+  // per-identity memory of it (deficits, receipt history) is reset, as if a
+  // brand-new peer had joined from the same address.
+  for (Peer& p : peers_) {
+    if (!p.is_free_rider() || !p.active()) continue;
+    const PeerId fr = p.id;
+    for (Peer& q : peers_) {
+      if (q.id == fr) continue;
+      q.deficit.erase(fr);
+      q.received_from.erase(fr);
+      q.round_received.erase(fr);
+      q.prev_round_received.erase(fr);
+    }
+    reputation_.at(fr) = 0.0;  // the new identity has no history at all
+  }
+  if (engine_.now() + config_.attack.whitewash_interval <= config_.max_time) {
+    engine_.schedule(config_.attack.whitewash_interval,
+                     [this] { whitewash_timer(); });
+  }
+}
+
+void Swarm::sybil_timer() {
+  // Colluders report fictitious uploads for one another, inflating their
+  // globally visible reputation scores (Section IV-C's "false praise").
+  for (Peer& p : peers_) {
+    if (p.collusion_group >= 0 && p.active()) {
+      reputation_.at(p.id) +=
+          config_.attack.sybil_rate * config_.attack.sybil_interval;
+    }
+  }
+  if (engine_.now() + config_.attack.sybil_interval <= config_.max_time) {
+    engine_.schedule(config_.attack.sybil_interval, [this] { sybil_timer(); });
+  }
+}
+
+Bytes Swarm::total_uploaded_bytes() const {
+  Bytes total = 0;
+  for (const Peer& p : peers_) total += p.uploaded_bytes;
+  return total;
+}
+
+Bytes Swarm::leecher_uploaded_bytes() const {
+  Bytes total = 0;
+  for (const Peer& p : peers_) {
+    if (!p.is_seeder()) total += p.uploaded_bytes;
+  }
+  return total;
+}
+
+Bytes Swarm::freerider_usable_bytes() const {
+  Bytes total = 0;
+  for (const Peer& p : peers_) {
+    if (p.is_free_rider()) total += p.usable_from_leechers_bytes;
+  }
+  return total;
+}
+
+}  // namespace coopnet::sim

@@ -1,0 +1,156 @@
+// The swarm: peers + seeder + neighbor graph + transfer machinery.
+//
+// The Swarm owns the event engine and all peer state, drives arrivals,
+// upload-slot filling, transfer completion, piece bookkeeping (including
+// rarest-first selection), departure-on-completion, the global reputation
+// ledger, and the attack timers (whitewashing, sybil praise). The incentive
+// mechanism itself is delegated to an ExchangeStrategy.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/engine.h"
+#include "sim/peer.h"
+#include "sim/strategy.h"
+#include "sim/types.h"
+#include "util/rng.h"
+
+namespace coopnet::sim {
+
+/// Observer hooks for metrics collection. All references are valid only for
+/// the duration of the call.
+class SwarmObserver {
+ public:
+  virtual ~SwarmObserver() = default;
+  virtual void on_transfer(const Swarm& swarm, const Transfer& t) {
+    (void)swarm;
+    (void)t;
+  }
+  virtual void on_bootstrap(const Swarm& swarm, const Peer& peer) {
+    (void)swarm;
+    (void)peer;
+  }
+  virtual void on_finish(const Swarm& swarm, const Peer& peer) {
+    (void)swarm;
+    (void)peer;
+  }
+};
+
+class Swarm {
+ public:
+  /// Builds the population, capacities, neighbor graph, and arrival
+  /// schedule. `strategy` must implement the configured algorithm.
+  Swarm(SwarmConfig config, std::unique_ptr<ExchangeStrategy> strategy);
+
+  /// Scheduled events capture `this`; the swarm must stay put.
+  Swarm(const Swarm&) = delete;
+  Swarm& operator=(const Swarm&) = delete;
+
+  /// Runs until every compliant leecher has finished, or config.max_time.
+  void run();
+
+  // --- views -------------------------------------------------------------
+  const SwarmConfig& config() const { return config_; }
+  SimEngine& engine() { return engine_; }
+  const SimEngine& engine() const { return engine_; }
+  util::Rng& rng() { return rng_; }
+
+  /// Leecher count (ids 0..leechers-1); seeders occupy the ids
+  /// [leechers(), leechers() + seeder_count()).
+  std::size_t leechers() const { return config_.n_peers; }
+  std::size_t seeder_count() const { return config_.seeder_count; }
+  /// Id of the first seeder.
+  PeerId seeder_id() const { return static_cast<PeerId>(config_.n_peers); }
+  bool is_seeder(PeerId id) const { return peers_.at(id).is_seeder(); }
+  /// True when `target` can take on another concurrent incoming transfer
+  /// (config.max_incoming download-side back-pressure; 0 = unlimited).
+  bool accepts_incoming(PeerId target) const;
+  Peer& peer(PeerId id) { return peers_.at(id); }
+  const Peer& peer(PeerId id) const { return peers_.at(id); }
+  const std::vector<Peer>& all_peers() const { return peers_; }
+
+  /// Number of compliant leechers that have not yet finished.
+  std::size_t compliant_unfinished() const { return compliant_unfinished_; }
+
+  // --- strategy-facing API -------------------------------------------------
+  /// Active neighbors of `uploader` that (a) need at least one piece the
+  /// uploader can offer and (b) accept deliveries per the strategy.
+  /// `include_locked_offer` additionally offers the uploader's locked
+  /// pieces (T-Chain forwarding).
+  std::vector<PeerId> needy_neighbors(PeerId uploader,
+                                      bool include_locked_offer = false);
+
+  /// True when `target` needs >= 1 piece that `uploader` can offer.
+  bool needs_from(PeerId target, PeerId uploader,
+                  bool include_locked_offer = false) const;
+
+  /// The piece `uploader` should offer `target` next under the configured
+  /// PieceSelection policy (rarest-first with random tie-break by
+  /// default), or kNoPiece when nothing is offerable.
+  PieceId pick_piece(PeerId uploader, PeerId target,
+                     bool include_locked_offer = false);
+
+  /// Starts a piece transfer. Returns false (and does nothing) if the
+  /// preconditions fail: uploader needs a free slot and the piece, target
+  /// must be active and need the piece. On success the transfer completes
+  /// after piece_bytes / (capacity / slots) seconds.
+  bool start_transfer(PeerId from, PeerId to, PieceId piece, bool locked);
+
+  /// Converts a delivered-locked (or fresh) piece into a usable one:
+  /// updates piece sets, rarity counts, bootstrap/finish bookkeeping.
+  /// `source` is the peer that delivered the payload (kNoPeer if unknown);
+  /// it attributes the bytes for the susceptibility metric. No-op if the
+  /// peer already has the piece usable.
+  void make_usable(PeerId id, PieceId piece, PeerId source);
+
+  /// Schedules a near-immediate try-fill for the peer's upload slots (used
+  /// after state changes that may enable uploads).
+  void request_refill(PeerId id);
+
+  // --- reputation ledger (globally visible, per Section V-A) -------------
+  double reputation(PeerId id) const { return reputation_.at(id); }
+  void add_reported_upload(PeerId id, double bytes);
+
+  // --- collusion ----------------------------------------------------------
+  bool same_collusion_ring(PeerId a, PeerId b) const;
+
+  // --- metrics ------------------------------------------------------------
+  void set_observer(SwarmObserver* observer) { observer_ = observer; }
+  Bytes total_uploaded_bytes() const;
+  /// Bytes uploaded by leechers (the seeder's bandwidth is not "users'
+  /// upload bandwidth" and is excluded from susceptibility).
+  Bytes leecher_uploaded_bytes() const;
+  /// Usable bytes free-riders obtained from leechers (susceptibility
+  /// numerator).
+  Bytes freerider_usable_bytes() const;
+
+ private:
+  void build_population();
+  std::vector<Seconds> draw_arrival_times();
+  void arrive(PeerId id);
+  void depart(PeerId id);
+  void try_fill(PeerId id);
+  std::optional<UploadAction> seeder_action(PeerId seeder);
+  void complete_transfer(Transfer t);
+  void finish_peer(PeerId id);
+  void tick(PeerId id);
+  void whitewash_timer();
+  void sybil_timer();
+  void update_unavailable_bit(Peer& p, PieceId piece);
+
+  SwarmConfig config_;
+  std::unique_ptr<ExchangeStrategy> strategy_;
+  SimEngine engine_;
+  util::Rng rng_;
+  std::vector<Peer> peers_;  // leechers + seeder (last)
+  std::vector<std::uint32_t> piece_freq_;  // usable copies among active peers
+  std::vector<double> reputation_;         // reported uploaded bytes
+  std::size_t compliant_unfinished_ = 0;
+  SwarmObserver* observer_ = nullptr;
+  bool ran_ = false;
+};
+
+}  // namespace coopnet::sim

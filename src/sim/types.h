@@ -1,0 +1,29 @@
+// Basic identifiers and units shared across the simulator.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace coopnet::sim {
+
+using PeerId = std::uint32_t;
+using PieceId = std::uint32_t;
+using Bytes = std::int64_t;
+using Seconds = double;
+
+inline constexpr PeerId kNoPeer = std::numeric_limits<PeerId>::max();
+inline constexpr PieceId kNoPiece = std::numeric_limits<PieceId>::max();
+
+/// A piece transfer between two peers. `locked` marks T-Chain deliveries
+/// whose payload is encrypted until the receiver reciprocates.
+struct Transfer {
+  PeerId from = kNoPeer;
+  PeerId to = kNoPeer;
+  PieceId piece = kNoPiece;
+  Seconds start = 0.0;
+  Seconds end = 0.0;
+  Bytes bytes = 0;
+  bool locked = false;
+};
+
+}  // namespace coopnet::sim

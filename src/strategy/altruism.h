@@ -1,0 +1,15 @@
+// Pure altruism (Section III-A): upload to uniformly random needy
+// neighbors at full capacity, with no reciprocity expectation.
+#pragma once
+
+#include "sim/strategy.h"
+
+namespace coopnet::strategy {
+
+class AltruismStrategy final : public sim::ExchangeStrategy {
+ public:
+  std::optional<sim::UploadAction> next_upload(sim::Swarm& swarm,
+                                               sim::PeerId uploader) override;
+};
+
+}  // namespace coopnet::strategy

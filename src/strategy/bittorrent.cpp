@@ -1,0 +1,187 @@
+#include "strategy/bittorrent.h"
+
+#include <algorithm>
+
+#include "sim/swarm.h"
+
+namespace coopnet::strategy {
+
+void BitTorrentStrategy::attach(sim::Swarm& swarm) {
+  swarm.engine().schedule(swarm.config().rechoke_interval,
+                          [this, &swarm] { rechoke_all(swarm); });
+}
+
+void BitTorrentStrategy::rechoke_all(sim::Swarm& swarm) {
+  ++round_;
+  const bool rotate =
+      (round_ % swarm.config().optimistic_rounds) == 1 ||
+      swarm.config().optimistic_rounds == 1;
+  for (std::size_t i = 0; i < swarm.leechers(); ++i) {
+    const auto id = static_cast<sim::PeerId>(i);
+    sim::Peer& p = swarm.peer(id);
+    if (!p.active() || p.is_free_rider()) continue;
+    // Strategic clients run no choker of their own but still need their
+    // per-round receipt windows advanced.
+    if (!p.is_strategic()) rechoke_one(swarm, id, rotate);
+    p.prev_round_received = std::move(p.round_received);
+    p.round_received.clear();
+    swarm.request_refill(id);
+  }
+  swarm.engine().schedule(swarm.config().rechoke_interval,
+                          [this, &swarm] { rechoke_all(swarm); });
+}
+
+void BitTorrentStrategy::rechoke_one(sim::Swarm& swarm, sim::PeerId id,
+                                     bool rotate_optimistic) {
+  sim::Peer& p = swarm.peer(id);
+  PeerChokeState& st = state_[id];
+
+  // Interested candidates: active neighbors we could serve.
+  std::vector<sim::PeerId> candidates;
+  candidates.reserve(p.neighbors.size());
+  for (sim::PeerId n : p.neighbors) {
+    if (swarm.needs_from(n, id)) candidates.push_back(n);
+  }
+  // Random shuffle first so the stable sort breaks byte-count ties fairly.
+  swarm.rng().shuffle(candidates);
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [&p](sim::PeerId a, sim::PeerId b) {
+                     auto get = [&p](sim::PeerId x) {
+                       auto it = p.round_received.find(x);
+                       return it == p.round_received.end() ? sim::Bytes{0}
+                                                           : it->second;
+                     };
+                     return get(a) > get(b);
+                   });
+
+  // Tit-for-tat slots are reserved for actual reciprocators: only
+  // neighbors that sent data this round are unchoked. Newcomers (and
+  // free-riders) can only be reached through the optimistic slot, which
+  // is what gives BitTorrent its slow Table II bootstrap probability.
+  const auto n_bt = static_cast<std::size_t>(swarm.config().n_bt);
+  st.unchoked.clear();
+  for (sim::PeerId n : candidates) {
+    if (st.unchoked.size() >= n_bt) break;
+    auto it = p.round_received.find(n);
+    if (it == p.round_received.end() || it->second <= 0) break;
+    st.unchoked.push_back(n);
+  }
+
+  const bool optimistic_stale =
+      st.optimistic == sim::kNoPeer ||
+      !swarm.needs_from(st.optimistic, id) ||
+      std::find(st.unchoked.begin(), st.unchoked.end(), st.optimistic) !=
+          st.unchoked.end();
+  if (rotate_optimistic || optimistic_stale) {
+    st.optimistic = sim::kNoPeer;
+    std::vector<sim::PeerId> pool;
+    for (sim::PeerId n : candidates) {
+      if (std::find(st.unchoked.begin(), st.unchoked.end(), n) ==
+          st.unchoked.end()) {
+        pool.push_back(n);
+      }
+    }
+    if (!pool.empty()) {
+      st.optimistic = pool[swarm.rng().uniform_u64(pool.size())];
+    }
+  }
+}
+
+std::optional<sim::UploadAction> BitTorrentStrategy::strategic_upload(
+    sim::Swarm& swarm, sim::PeerId uploader) {
+  // A BitTyrant client never opens optimistic slots and keeps at most one
+  // reciprocal upload in flight -- just enough give-back to stay in its
+  // benefactors' tit-for-tat sets. It repays the *cheapest* recent
+  // contributor first: that is the unchoke slot most at risk.
+  PeerChokeState& st = state_[uploader];
+  if (st.busy_tft >= 1) return std::nullopt;
+  const sim::Peer& up = swarm.peer(uploader);
+  sim::PeerId to = sim::kNoPeer;
+  sim::Bytes cheapest = 0;
+  for (const auto& [from, bytes] : up.prev_round_received) {
+    if (bytes <= 0 || swarm.is_seeder(from)) continue;
+    if (!swarm.needs_from(from, uploader)) continue;
+    if (to == sim::kNoPeer || bytes < cheapest) {
+      to = from;
+      cheapest = bytes;
+    }
+  }
+  if (to == sim::kNoPeer) return std::nullopt;
+  const sim::PieceId piece = swarm.pick_piece(uploader, to);
+  if (piece == sim::kNoPiece) return std::nullopt;
+  return sim::UploadAction{to, piece, /*locked=*/false};
+}
+
+std::optional<sim::UploadAction> BitTorrentStrategy::next_upload(
+    sim::Swarm& swarm, sim::PeerId uploader) {
+  if (swarm.peer(uploader).is_strategic()) {
+    return strategic_upload(swarm, uploader);
+  }
+  auto it = state_.find(uploader);
+  if (it == state_.end()) {
+    // Before this peer's first rechoke round there is no history: open an
+    // optimistic-unchoke slot toward one random neighbor and keep serving
+    // that same neighbor until the first rechoke (per-slot target churn
+    // would amount to altruism).
+    auto needy = swarm.needy_neighbors(uploader);
+    if (needy.empty()) return std::nullopt;
+    PeerChokeState& st = state_[uploader];
+    st.optimistic = needy[swarm.rng().uniform_u64(needy.size())];
+    it = state_.find(uploader);
+  }
+
+  // Enforce the n_bt : 1 slot split between tit-for-tat and the optimistic
+  // unchoke: at most one in-flight optimistic upload and at most n_bt
+  // in-flight tit-for-tat uploads. The optimistic share stays at
+  // ~alpha_BT = 1/(n_bt + 1) even when there are no reciprocators --
+  // tit-for-tat bandwidth idles rather than spilling into altruism, which
+  // is what bounds Table III's exploitable resources at alpha_BT * sum U.
+  const PeerChokeState& st = it->second;
+  sim::PeerId to = sim::kNoPeer;
+  if (st.busy_optimistic == 0 && st.optimistic != sim::kNoPeer &&
+      swarm.needs_from(st.optimistic, uploader)) {
+    to = st.optimistic;
+  } else if (st.busy_tft < swarm.config().n_bt) {
+    std::vector<sim::PeerId> live;
+    for (sim::PeerId n : st.unchoked) {
+      if (swarm.needs_from(n, uploader)) live.push_back(n);
+    }
+    if (!live.empty()) to = live[swarm.rng().uniform_u64(live.size())];
+  }
+  if (to == sim::kNoPeer) return std::nullopt;
+  const sim::PieceId piece = swarm.pick_piece(uploader, to);
+  if (piece == sim::kNoPiece) return std::nullopt;
+  return sim::UploadAction{to, piece, /*locked=*/false};
+}
+
+void BitTorrentStrategy::on_upload_started(sim::Swarm& swarm,
+                                           const sim::Transfer& t) {
+  if (swarm.is_seeder(t.from)) return;
+  auto it = state_.find(t.from);
+  if (it == state_.end()) return;
+  const bool optimistic = (t.to == it->second.optimistic);
+  inflight_optimistic_[transfer_key(t)] = optimistic;
+  if (optimistic) {
+    ++it->second.busy_optimistic;
+  } else {
+    ++it->second.busy_tft;
+  }
+}
+
+void BitTorrentStrategy::on_delivered(sim::Swarm& swarm,
+                                      const sim::Transfer& t) {
+  (void)swarm;
+  auto inflight = inflight_optimistic_.find(transfer_key(t));
+  if (inflight == inflight_optimistic_.end()) return;
+  const bool optimistic = inflight->second;
+  inflight_optimistic_.erase(inflight);
+  auto it = state_.find(t.from);
+  if (it == state_.end()) return;
+  if (optimistic) {
+    --it->second.busy_optimistic;
+  } else {
+    --it->second.busy_tft;
+  }
+}
+
+}  // namespace coopnet::strategy

@@ -1,0 +1,58 @@
+// BitTorrent (reciprocity/altruism hybrid, Section III-A).
+//
+// Every rechoke interval each peer unchokes the n_BT neighbors that sent it
+// the most data during the previous interval (tit-for-tat) plus one
+// optimistic-unchoke slot rotated every `optimistic_rounds` intervals.
+// With the default 5 upload slots the optimistic share is 1/5 = 20%,
+// matching Section V-A's "random neighbors with a 20% probability".
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/strategy.h"
+
+namespace coopnet::strategy {
+
+class BitTorrentStrategy final : public sim::ExchangeStrategy {
+ public:
+  void attach(sim::Swarm& swarm) override;
+  std::optional<sim::UploadAction> next_upload(sim::Swarm& swarm,
+                                               sim::PeerId uploader) override;
+  void on_upload_started(sim::Swarm& swarm,
+                         const sim::Transfer& transfer) override;
+  void on_delivered(sim::Swarm& swarm,
+                    const sim::Transfer& transfer) override;
+
+ private:
+  struct PeerChokeState {
+    std::vector<sim::PeerId> unchoked;       // tit-for-tat targets
+    sim::PeerId optimistic = sim::kNoPeer;  // altruism slot
+    /// In-flight uploads per category; at most 1 optimistic and n_bt
+    /// tit-for-tat transfers run concurrently, enforcing the
+    /// alpha_BT = 1/(n_bt + 1) bandwidth split of Table I/III.
+    int busy_optimistic = 0;
+    int busy_tft = 0;
+  };
+
+  void rechoke_all(sim::Swarm& swarm);
+  void rechoke_one(sim::Swarm& swarm, sim::PeerId id, bool rotate_optimistic);
+  /// BitTyrant-style decision for strategic clients: reciprocate minimally
+  /// toward last round's cheapest contributor, never optimistically.
+  std::optional<sim::UploadAction> strategic_upload(sim::Swarm& swarm,
+                                                    sim::PeerId uploader);
+
+  static std::uint64_t transfer_key(const sim::Transfer& t) {
+    return (static_cast<std::uint64_t>(t.from) << 42) |
+           (static_cast<std::uint64_t>(t.to) << 21) |
+           static_cast<std::uint64_t>(t.piece);
+  }
+
+  std::unordered_map<sim::PeerId, PeerChokeState> state_;
+  /// Category of each in-flight upload (true = optimistic slot).
+  std::unordered_map<std::uint64_t, bool> inflight_optimistic_;
+  int round_ = 0;
+};
+
+}  // namespace coopnet::strategy

@@ -1,0 +1,35 @@
+#include "strategy/factory.h"
+
+#include <stdexcept>
+
+#include "strategy/altruism.h"
+#include "strategy/bittorrent.h"
+#include "strategy/fairtorrent.h"
+#include "strategy/reciprocity.h"
+#include "strategy/propshare.h"
+#include "strategy/reputation.h"
+#include "strategy/tchain.h"
+
+namespace coopnet::strategy {
+
+std::unique_ptr<sim::ExchangeStrategy> make_strategy(core::Algorithm algo) {
+  switch (algo) {
+    case core::Algorithm::kReciprocity:
+      return std::make_unique<ReciprocityStrategy>();
+    case core::Algorithm::kTChain:
+      return std::make_unique<TChainStrategy>();
+    case core::Algorithm::kBitTorrent:
+      return std::make_unique<BitTorrentStrategy>();
+    case core::Algorithm::kFairTorrent:
+      return std::make_unique<FairTorrentStrategy>();
+    case core::Algorithm::kReputation:
+      return std::make_unique<ReputationStrategy>();
+    case core::Algorithm::kAltruism:
+      return std::make_unique<AltruismStrategy>();
+    case core::Algorithm::kPropShare:
+      return std::make_unique<PropShareStrategy>();
+  }
+  throw std::invalid_argument("make_strategy: unknown algorithm");
+}
+
+}  // namespace coopnet::strategy

@@ -1,0 +1,14 @@
+// Strategy factory: maps the paper's algorithm taxonomy to implementations.
+#pragma once
+
+#include <memory>
+
+#include "core/algorithm.h"
+#include "sim/strategy.h"
+
+namespace coopnet::strategy {
+
+/// Creates the ExchangeStrategy implementing `algo`.
+std::unique_ptr<sim::ExchangeStrategy> make_strategy(core::Algorithm algo);
+
+}  // namespace coopnet::strategy

@@ -1,0 +1,41 @@
+#include "strategy/fairtorrent.h"
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/swarm.h"
+
+namespace coopnet::strategy {
+
+std::optional<sim::UploadAction> FairTorrentStrategy::next_upload(
+    sim::Swarm& swarm, sim::PeerId uploader) {
+  const sim::Peer& up = swarm.peer(uploader);
+  auto needy = swarm.needy_neighbors(uploader);
+  if (needy.empty()) return std::nullopt;
+
+  // Smallest deficit wins; random tie-break. A missing entry is a zero
+  // deficit (newcomers). When the minimum is positive (everyone has been
+  // repaid in full and then some), the least-overpaid neighbor is served,
+  // which keeps the upload capacity utilized (Lemma 2) -- real FairTorrent
+  // behaves the same way.
+  std::int64_t best = 0;
+  std::vector<sim::PeerId> ties;
+  bool first = true;
+  for (sim::PeerId n : needy) {
+    auto it = up.deficit.find(n);
+    const std::int64_t d = it == up.deficit.end() ? 0 : it->second;
+    if (first || d < best) {
+      best = d;
+      ties.assign(1, n);
+      first = false;
+    } else if (d == best) {
+      ties.push_back(n);
+    }
+  }
+  const sim::PeerId to = ties[swarm.rng().uniform_u64(ties.size())];
+  const sim::PieceId piece = swarm.pick_piece(uploader, to);
+  if (piece == sim::kNoPiece) return std::nullopt;
+  return sim::UploadAction{to, piece, /*locked=*/false};
+}
+
+}  // namespace coopnet::strategy

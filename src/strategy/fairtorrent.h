@@ -1,0 +1,20 @@
+// FairTorrent (reputation/altruism hybrid, Section III-A).
+//
+// Each peer keeps a deficit counter per neighbor: pieces uploaded to minus
+// pieces received from. Every upload goes to the needy neighbor with the
+// smallest (most negative) deficit -- i.e. to whoever this peer owes most.
+// When every counter is non-negative the minimum is a zero-deficit
+// stranger, which is exactly the algorithm's altruistic bootstrap path.
+#pragma once
+
+#include "sim/strategy.h"
+
+namespace coopnet::strategy {
+
+class FairTorrentStrategy final : public sim::ExchangeStrategy {
+ public:
+  std::optional<sim::UploadAction> next_upload(sim::Swarm& swarm,
+                                               sim::PeerId uploader) override;
+};
+
+}  // namespace coopnet::strategy

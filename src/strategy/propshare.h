@@ -1,0 +1,54 @@
+// PropShare (extension; Levin et al., the paper's ref. [5]).
+//
+// Like BitTorrent, a reciprocity/altruism hybrid -- but instead of equal
+// tit-for-tat slots for the top n_BT contributors, each peer splits its
+// reciprocal bandwidth across *all* of last round's contributors in
+// proportion to what they sent ("BitTorrent is an auction: bid with your
+// upload"). The optimistic/altruism budget stays at alpha_BT = 1/(n_bt+1).
+//
+// PropShare's design goal is strategyproofness: a peer's return is exactly
+// proportional to its contribution, which removes the incentive to game
+// the top-n_BT threshold and narrows what free-riders can take to the
+// altruism budget alone.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/strategy.h"
+
+namespace coopnet::strategy {
+
+class PropShareStrategy final : public sim::ExchangeStrategy {
+ public:
+  void attach(sim::Swarm& swarm) override;
+  std::optional<sim::UploadAction> next_upload(sim::Swarm& swarm,
+                                               sim::PeerId uploader) override;
+  void on_upload_started(sim::Swarm& swarm,
+                         const sim::Transfer& transfer) override;
+  void on_delivered(sim::Swarm& swarm,
+                    const sim::Transfer& transfer) override;
+
+ private:
+  struct PeerShareState {
+    /// Last round's contributors and their byte counts (the "bids").
+    std::vector<std::pair<sim::PeerId, double>> shares;
+    sim::PeerId optimistic = sim::kNoPeer;
+    int busy_optimistic = 0;
+    int busy_share = 0;
+  };
+
+  void reshare_all(sim::Swarm& swarm);
+
+  static std::uint64_t transfer_key(const sim::Transfer& t) {
+    return (static_cast<std::uint64_t>(t.from) << 42) |
+           (static_cast<std::uint64_t>(t.to) << 21) |
+           static_cast<std::uint64_t>(t.piece);
+  }
+
+  std::unordered_map<sim::PeerId, PeerShareState> state_;
+  std::unordered_map<std::uint64_t, bool> inflight_optimistic_;
+};
+
+}  // namespace coopnet::strategy

@@ -1,0 +1,28 @@
+#include "strategy/reciprocity.h"
+
+#include "sim/swarm.h"
+
+namespace coopnet::strategy {
+
+std::optional<sim::UploadAction> ReciprocityStrategy::next_upload(
+    sim::Swarm& swarm, sim::PeerId uploader) {
+  // Candidates: neighbors that actually gave us data, ranked by bytes
+  // contributed; upload goes to the top contributor that needs something.
+  const sim::Peer& up = swarm.peer(uploader);
+  sim::PeerId best = sim::kNoPeer;
+  sim::Bytes best_bytes = 0;
+  for (const auto& [from, bytes] : up.received_from) {
+    if (bytes <= 0 || bytes < best_bytes) continue;
+    if (!swarm.needs_from(from, uploader)) continue;
+    if (bytes > best_bytes || best == sim::kNoPeer) {
+      best = from;
+      best_bytes = bytes;
+    }
+  }
+  if (best == sim::kNoPeer) return std::nullopt;
+  const sim::PieceId piece = swarm.pick_piece(uploader, best);
+  if (piece == sim::kNoPiece) return std::nullopt;
+  return sim::UploadAction{best, piece, /*locked=*/false};
+}
+
+}  // namespace coopnet::strategy

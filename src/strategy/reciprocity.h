@@ -1,0 +1,18 @@
+// Pure direct reciprocity (Section III-A): a user uploads only to the
+// neighbor that has contributed the most to it. Since no user can initiate
+// an exchange, the only uploads come from the seeder -- and its recipients
+// cannot reciprocate to it (it needs nothing), so peer-to-peer exchange
+// never starts (Lemma 2 / Prop. 1's degenerate row).
+#pragma once
+
+#include "sim/strategy.h"
+
+namespace coopnet::strategy {
+
+class ReciprocityStrategy final : public sim::ExchangeStrategy {
+ public:
+  std::optional<sim::UploadAction> next_upload(sim::Swarm& swarm,
+                                               sim::PeerId uploader) override;
+};
+
+}  // namespace coopnet::strategy

@@ -1,0 +1,47 @@
+// Global reputation algorithm (Section III-A).
+//
+// Every peer's reputation is the (globally visible) total number of bytes
+// it has uploaded to anyone. Uploads go to needy neighbors with probability
+// proportional to reputation; a fixed alpha_R fraction of bandwidth is
+// reserved for uniform altruism, which is how newcomers (zero reputation)
+// are bootstrapped -- the EigenTrust-style arrangement of Section III.
+//
+// The sybil-praise attack (Section IV-C) works against exactly this
+// visibility: colluders inject fictitious upload reports, inflating their
+// scores and with them their share of everyone's reciprocal bandwidth.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/eigentrust.h"
+#include "sim/strategy.h"
+
+namespace coopnet::strategy {
+
+class ReputationStrategy final : public sim::ExchangeStrategy {
+ public:
+  void attach(sim::Swarm& swarm) override;
+  std::optional<sim::UploadAction> next_upload(sim::Swarm& swarm,
+                                               sim::PeerId uploader) override;
+
+  /// The score the proportional allocation uses for `id`: the global
+  /// ledger, or the latest EigenTrust vector (SwarmConfig::reputation_mode).
+  double score(const sim::Swarm& swarm, sim::PeerId id) const;
+
+ private:
+  void rotate_altruism_targets(sim::Swarm& swarm);
+  void recompute_eigentrust(sim::Swarm& swarm);
+
+  /// Latest EigenTrust global-trust vector (kEigenTrust mode only).
+  std::vector<double> trust_;
+
+  /// Each peer's current altruism target. Pinned for a whole interval
+  /// (rotated on a timer), mirroring the Table II model in which an
+  /// altruistic user serves one newcomer per timeslot -- per-piece random
+  /// targets would bootstrap a flash crowd far faster than the analysis
+  /// (and EigenTrust-style systems) allow.
+  std::unordered_map<sim::PeerId, sim::PeerId> pinned_;
+};
+
+}  // namespace coopnet::strategy

@@ -1,0 +1,263 @@
+#include "strategy/tchain.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/swarm.h"
+
+namespace coopnet::strategy {
+
+void TChainStrategy::attach(sim::Swarm& swarm) {
+  max_backlog_ = swarm.config().tchain_backlog == 0
+                     ? std::numeric_limits<std::size_t>::max()
+                     : static_cast<std::size_t>(swarm.config().tchain_backlog);
+  grace_ = swarm.config().tchain_grace;
+  swarm.engine().schedule(grace_ / 2.0, [this, &swarm] { grace_scan(swarm); });
+}
+
+std::size_t TChainStrategy::backlog(sim::PeerId id) const {
+  auto it = state_.find(id);
+  if (it == state_.end()) return 0;
+  return it->second.obligations.size() + it->second.in_flight.size();
+}
+
+bool TChainStrategy::accepts_delivery(const sim::Swarm& swarm,
+                                      sim::PeerId target) const {
+  const sim::Peer& q = swarm.peer(target);
+  // Colluding free-riders fake-fulfill instantly, so their queue is always
+  // empty from the protocol's point of view; everyone else (compliant peers
+  // AND plain free-riders, whose queue never drains) is capped. This cap is
+  // what makes a compliant peer's download rate track its upload capacity
+  // and what starves non-colluding free-riders after a handful of pieces.
+  if (q.is_free_rider() && q.collusion_group >= 0) return true;
+  // Count queued duties, duties being discharged, and deliveries already
+  // in flight toward this peer -- each in-flight piece becomes a duty on
+  // arrival, so admission control must see it.
+  return backlog(target) + q.pending.count() < max_backlog_;
+}
+
+bool TChainStrategy::can_deliver(const sim::Swarm& swarm, sim::PeerId target,
+                                 sim::PieceId piece) const {
+  const sim::Peer& q = swarm.peer(target);
+  if (!q.active() || q.is_seeder()) return false;
+  if (q.unavailable.has(piece)) return false;
+  return accepts_delivery(swarm, target);
+}
+
+std::optional<sim::UploadAction> TChainStrategy::plan_obligation(
+    sim::Swarm& swarm, sim::PeerId p, const Obligation& ob) {
+  // Preferred: the designator's suggestion (direct reciprocity when the
+  // suggestion is the designator itself).
+  if (ob.suggested_target != sim::kNoPeer && ob.suggested_target != p) {
+    if (ob.suggested_target == ob.designator) {
+      // Direct reciprocity repays with any piece the designator needs.
+      const sim::PieceId piece = swarm.pick_piece(
+          p, ob.designator, /*include_locked_offer=*/true);
+      if (piece != sim::kNoPiece &&
+          can_deliver(swarm, ob.designator, piece)) {
+        return sim::UploadAction{ob.designator, piece, /*locked=*/true};
+      }
+    } else if (can_deliver(swarm, ob.suggested_target, ob.piece)) {
+      // Indirect reciprocity: forward the received payload.
+      return sim::UploadAction{ob.suggested_target, ob.piece,
+                               /*locked=*/true};
+    }
+  }
+  // Any neighbor that needs the received piece.
+  const sim::Peer& up = swarm.peer(p);
+  std::vector<sim::PeerId> candidates;
+  for (sim::PeerId n : up.neighbors) {
+    if (n != ob.designator && can_deliver(swarm, n, ob.piece)) {
+      candidates.push_back(n);
+    }
+  }
+  if (!candidates.empty()) {
+    const sim::PeerId to =
+        candidates[swarm.rng().uniform_u64(candidates.size())];
+    return sim::UploadAction{to, ob.piece, /*locked=*/true};
+  }
+  // Generalized reciprocation: any transferable piece to any needy
+  // neighbor ("users can reciprocate uploads by uploading a piece to any
+  // user", Section III-A).
+  auto needy = swarm.needy_neighbors(p, /*include_locked_offer=*/true);
+  if (!needy.empty()) {
+    const sim::PeerId to = needy[swarm.rng().uniform_u64(needy.size())];
+    const sim::PieceId piece =
+        swarm.pick_piece(p, to, /*include_locked_offer=*/true);
+    if (piece != sim::kNoPiece) {
+      return sim::UploadAction{to, piece, /*locked=*/true};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<sim::UploadAction> TChainStrategy::next_upload(
+    sim::Swarm& swarm, sim::PeerId uploader) {
+  pending_plan_ = PendingPlan{};
+  auto it = state_.find(uploader);
+  if (it != state_.end()) {
+    // 1. Discharge the oldest feasible obligation.
+    for (const Obligation& ob : it->second.obligations) {
+      if (auto action = plan_obligation(swarm, uploader, ob)) {
+        pending_plan_ = {uploader, action->to, action->piece, ob.piece, true};
+        return action;
+      }
+    }
+  }
+  // 2. Opportunistic seeding: initiate a fresh chain from usable pieces.
+  auto needy = swarm.needy_neighbors(uploader, /*include_locked_offer=*/false);
+  if (needy.empty()) return std::nullopt;
+  const sim::PeerId to = needy[swarm.rng().uniform_u64(needy.size())];
+  const sim::PieceId piece = swarm.pick_piece(uploader, to);
+  if (piece == sim::kNoPiece) return std::nullopt;
+  pending_plan_ = {uploader, to, piece, sim::kNoPiece, true};
+  return sim::UploadAction{to, piece, /*locked=*/true};
+}
+
+void TChainStrategy::drop_obligation(sim::PeerId p, sim::PieceId piece) {
+  auto it = state_.find(p);
+  if (it == state_.end()) return;
+  auto& q = it->second.obligations;
+  for (auto ob = q.begin(); ob != q.end(); ++ob) {
+    if (ob->piece == piece) {
+      q.erase(ob);
+      return;
+    }
+  }
+}
+
+void TChainStrategy::on_upload_started(sim::Swarm& swarm,
+                                       const sim::Transfer& t) {
+  (void)swarm;
+  if (!pending_plan_.valid || pending_plan_.from != t.from ||
+      pending_plan_.to != t.to || pending_plan_.piece != t.piece) {
+    return;  // a seeder upload or an unrelated start
+  }
+  if (pending_plan_.unlocks != sim::kNoPiece) {
+    // Commit: this transfer discharges an obligation. Move it from the
+    // queue into the in-flight map keyed by the outgoing transfer.
+    PeerState& st = state_[t.from];
+    st.in_flight[key(t.to, t.piece)] = pending_plan_.unlocks;
+    drop_obligation(t.from, pending_plan_.unlocks);
+  }
+  pending_plan_ = PendingPlan{};
+}
+
+void TChainStrategy::on_delivered(sim::Swarm& swarm, const sim::Transfer& t) {
+  // --- sender side: did this transfer discharge an obligation? ----------
+  auto sit = state_.find(t.from);
+  if (sit != state_.end()) {
+    auto inflight = sit->second.in_flight.find(key(t.to, t.piece));
+    if (inflight != sit->second.in_flight.end()) {
+      const sim::PieceId unlocked_piece = inflight->second;
+      sit->second.in_flight.erase(inflight);
+      resolve_fulfilled(swarm, t.from, unlocked_piece);
+    }
+  }
+
+  // --- receiver side: register the new chain link and obligation. --------
+  const sim::Peer& recv = swarm.peer(t.to);
+  if (recv.state == sim::PeerState::kLeft || !t.locked) return;
+
+  links_[key(t.to, t.piece)] = ChainLink{t.from, false};
+  downstream_[t.from].push_back({t.to, t.piece});
+
+  // The sender designates where to reciprocate: itself if it needs
+  // something from the receiver (direct reciprocity), otherwise a random
+  // neighbor of the sender's that still needs this piece.
+  sim::PeerId suggested = sim::kNoPeer;
+  if (!swarm.peer(t.from).is_seeder() &&
+      swarm.needs_from(t.from, t.to, /*include_locked_offer=*/true)) {
+    suggested = t.from;
+  } else {
+    std::vector<sim::PeerId> pool;
+    for (sim::PeerId n : swarm.peer(t.from).neighbors) {
+      if (n == t.to || n == t.from) continue;
+      const sim::Peer& q = swarm.peer(n);
+      if (q.active() && !q.is_seeder() && !q.unavailable.has(t.piece)) {
+        pool.push_back(n);
+      }
+    }
+    if (!pool.empty()) {
+      suggested = pool[swarm.rng().uniform_u64(pool.size())];
+    }
+  }
+
+  if (recv.is_free_rider()) {
+    // Collusion (Section IV-C): if the designated third party is a fellow
+    // colluder it falsely reports receipt, and the sender releases the key
+    // without any reciprocation having happened.
+    if (recv.collusion_group >= 0 && suggested != sim::kNoPeer &&
+        suggested != t.from && swarm.same_collusion_ring(t.to, suggested)) {
+      resolve_fulfilled(swarm, t.to, t.piece);
+      return;
+    }
+    // Plain free-riding: the obligation is silently queued and never acted
+    // on; the payload stays locked and the backlog cap starves the peer.
+    state_[t.to].obligations.push_back(
+        Obligation{t.piece, t.from, suggested, swarm.engine().now()});
+    return;
+  }
+
+  state_[t.to].obligations.push_back(
+      Obligation{t.piece, t.from, suggested, swarm.engine().now()});
+  swarm.request_refill(t.to);
+}
+
+void TChainStrategy::resolve_fulfilled(sim::Swarm& swarm,
+                                       sim::PeerId receiver,
+                                       sim::PieceId piece) {
+  auto it = links_.find(key(receiver, piece));
+  if (it == links_.end()) return;
+  it->second.fulfilled = true;
+  try_unlock(swarm, receiver, piece);
+}
+
+void TChainStrategy::try_unlock(sim::Swarm& swarm, sim::PeerId receiver,
+                                sim::PieceId piece) {
+  auto it = links_.find(key(receiver, piece));
+  if (it == links_.end() || !it->second.fulfilled) return;
+  const sim::PeerId sender = it->second.sender;
+  const sim::Peer& s = swarm.peer(sender);
+  // The sender can hand over the key once it holds the piece usable (or is
+  // the seeder / has since finished and left with the full file).
+  const bool sender_has_key = s.is_seeder() || s.pieces.has(piece) ||
+                              s.state == sim::PeerState::kLeft;
+  if (!sender_has_key) return;  // retried when the sender unlocks
+  links_.erase(it);
+  swarm.make_usable(receiver, piece, sender);
+  // Keys cascade: anyone waiting on `receiver` for this piece can now be
+  // unlocked (if they have fulfilled their own obligation).
+  auto down = downstream_.find(receiver);
+  if (down == downstream_.end()) return;
+  // Copy out: try_unlock recursion may mutate downstream_.
+  const auto waiters = down->second;
+  for (const auto& [r2, p2] : waiters) {
+    if (p2 == piece) try_unlock(swarm, r2, p2);
+  }
+}
+
+void TChainStrategy::grace_scan(sim::Swarm& swarm) {
+  const sim::Seconds now = swarm.engine().now();
+  for (auto& [id, st] : state_) {
+    const sim::Peer& p = swarm.peer(id);
+    if (p.is_free_rider()) continue;  // refusal is never excused
+    if (p.state == sim::PeerState::kPending) continue;
+    // Collect first (resolve_fulfilled can cascade into make_usable and
+    // mutate this peer's queue via finish bookkeeping).
+    std::vector<sim::PieceId> expired;
+    for (const Obligation& ob : st.obligations) {
+      if (now - ob.created >= grace_) expired.push_back(ob.piece);
+    }
+    for (sim::PieceId piece : expired) {
+      drop_obligation(id, piece);
+      resolve_fulfilled(swarm, id, piece);
+    }
+  }
+  if (now + grace_ / 2.0 <= swarm.config().max_time) {
+    swarm.engine().schedule(grace_ / 2.0,
+                            [this, &swarm] { grace_scan(swarm); });
+  }
+}
+
+}  // namespace coopnet::strategy

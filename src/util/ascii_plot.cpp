@@ -1,0 +1,82 @@
+#include "util/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+namespace coopnet::util {
+
+namespace {
+constexpr char kMarkers[] = {'*', 'o', '+', 'x', '#', '@', '%', '&'};
+}
+
+std::string line_chart(const std::vector<PlotSeries>& series,
+                       std::size_t width, std::size_t height,
+                       const std::string& x_label,
+                       const std::string& y_label) {
+  double xmin = std::numeric_limits<double>::infinity(), xmax = -xmin;
+  double ymin = xmin, ymax = -xmin;
+  bool any = false;
+  for (const auto& s : series) {
+    for (const auto& p : s.points) {
+      any = true;
+      xmin = std::min(xmin, p.time);
+      xmax = std::max(xmax, p.time);
+      ymin = std::min(ymin, p.value);
+      ymax = std::max(ymax, p.value);
+    }
+  }
+  if (!any) return "";
+  if (xmax == xmin) xmax = xmin + 1.0;
+  if (ymax == ymin) ymax = ymin + 1.0;
+
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char mark = kMarkers[si % sizeof(kMarkers)];
+    for (const auto& p : series[si].points) {
+      auto cx = static_cast<std::size_t>(std::lround(
+          (p.time - xmin) / (xmax - xmin) * static_cast<double>(width - 1)));
+      auto cy = static_cast<std::size_t>(std::lround(
+          (p.value - ymin) / (ymax - ymin) * static_cast<double>(height - 1)));
+      grid[height - 1 - cy][cx] = mark;
+    }
+  }
+
+  std::ostringstream os;
+  os << std::setprecision(4);
+  os << y_label << " [" << ymin << " .. " << ymax << "]\n";
+  for (const auto& row : grid) os << "  |" << row << '\n';
+  os << "  +" << std::string(width, '-') << '\n';
+  os << "   " << x_label << " [" << xmin << " .. " << xmax << "]\n";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    os << "   " << kMarkers[si % sizeof(kMarkers)] << " = "
+       << series[si].name << '\n';
+  }
+  return os.str();
+}
+
+std::string bar_chart(const std::vector<std::pair<std::string, double>>& bars,
+                      std::size_t width) {
+  double vmax = 0.0;
+  std::size_t label_w = 0;
+  for (const auto& [label, v] : bars) {
+    vmax = std::max(vmax, v);
+    label_w = std::max(label_w, label.size());
+  }
+  std::ostringstream os;
+  os << std::setprecision(4);
+  for (const auto& [label, v] : bars) {
+    const auto filled =
+        vmax <= 0.0 ? std::size_t{0}
+                    : static_cast<std::size_t>(std::lround(
+                          v / vmax * static_cast<double>(width)));
+    os << "  " << std::left << std::setw(static_cast<int>(label_w)) << label
+       << " |" << std::string(filled, '=') << std::string(width - filled, ' ')
+       << "| " << v << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace coopnet::util

@@ -1,0 +1,30 @@
+// Minimal ASCII charts so each bench binary can render its figure's series
+// directly in the terminal (alongside the machine-readable CSV).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/timeseries.h"
+
+namespace coopnet::util {
+
+/// A named series of (x, y) points for plotting.
+struct PlotSeries {
+  std::string name;
+  std::vector<TimePoint> points;  // time is used as x
+};
+
+/// Renders overlapping line charts of the series on a character grid.
+/// Each series is drawn with its own marker; a legend follows the chart.
+/// Returns "" for empty input.
+std::string line_chart(const std::vector<PlotSeries>& series,
+                       std::size_t width = 72, std::size_t height = 18,
+                       const std::string& x_label = "x",
+                       const std::string& y_label = "y");
+
+/// Renders a horizontal bar chart of labeled values, scaled to the maximum.
+std::string bar_chart(const std::vector<std::pair<std::string, double>>& bars,
+                      std::size_t width = 50);
+
+}  // namespace coopnet::util

@@ -1,0 +1,79 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace coopnet::util {
+
+Cli::Cli(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      options_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // `--key value` form: consume the next token unless it is another flag.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      options_[body] = argv[++i];
+    } else {
+      options_[body] = "";
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const {
+  return options_.count(name) != 0;
+}
+
+std::optional<std::string> Cli::get(const std::string& name) const {
+  auto it = options_.find(name);
+  if (it == options_.end() || it->second.empty()) return std::nullopt;
+  return it->second;
+}
+
+std::string Cli::get_string(const std::string& name,
+                            const std::string& fallback) const {
+  return get(name).value_or(fallback);
+}
+
+long Cli::get_int(const std::string& name, long fallback) const {
+  auto v = get(name);
+  if (!v) return fallback;
+  char* end = nullptr;
+  const long out = std::strtol(v->c_str(), &end, 10);
+  if (end == v->c_str() || *end != '\0') {
+    throw std::invalid_argument("Cli: bad integer for --" + name);
+  }
+  return out;
+}
+
+double Cli::get_double(const std::string& name, double fallback) const {
+  auto v = get(name);
+  if (!v) return fallback;
+  char* end = nullptr;
+  const double out = std::strtod(v->c_str(), &end);
+  if (end == v->c_str() || *end != '\0') {
+    throw std::invalid_argument("Cli: bad number for --" + name);
+  }
+  return out;
+}
+
+bool Cli::get_bool(const std::string& name, bool fallback) const {
+  auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v.empty() || v == "1" || v == "true" || v == "yes" || v == "on") {
+    return true;
+  }
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  throw std::invalid_argument("Cli: bad boolean for --" + name);
+}
+
+}  // namespace coopnet::util

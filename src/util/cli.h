@@ -1,0 +1,42 @@
+// Tiny command-line option parser for the bench and example binaries.
+//
+// Recognised syntax: `--key=value`, `--key value`, and bare `--flag`.
+// Anything not starting with `--` is a positional argument.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace coopnet::util {
+
+/// Parsed command line.
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  /// True if `--name` appeared (with or without a value).
+  bool has(const std::string& name) const;
+
+  /// Value of `--name`, if one was supplied.
+  std::optional<std::string> get(const std::string& name) const;
+
+  /// Typed getters with defaults; throw std::invalid_argument on a
+  /// malformed value.
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  long get_int(const std::string& name, long fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> options_;  // flag -> value ("" if none)
+  std::vector<std::string> positional_;
+};
+
+}  // namespace coopnet::util

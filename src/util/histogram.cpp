@@ -1,0 +1,74 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace coopnet::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo) {
+  if (!(lo < hi)) throw std::invalid_argument("Histogram: lo >= hi");
+  if (bins == 0) throw std::invalid_argument("Histogram: bins == 0");
+  width_ = (hi - lo) / static_cast<double>(bins);
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  const auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  if (idx >= counts_.size()) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[idx];
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  if (i >= counts_.size()) throw std::out_of_range("Histogram::bin_lo");
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i) + width_; }
+
+std::vector<CdfPoint> empirical_cdf(std::span<const double> sample,
+                                    std::size_t population) {
+  if (population < sample.size()) {
+    throw std::invalid_argument("empirical_cdf: population < sample size");
+  }
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<CdfPoint> cdf;
+  cdf.reserve(sorted.size());
+  const double denom =
+      population == 0 ? 1.0 : static_cast<double>(population);
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    // Collapse duplicate x values into their final (highest) fraction.
+    if (!cdf.empty() && cdf.back().x == sorted[i]) {
+      cdf.back().fraction = static_cast<double>(i + 1) / denom;
+    } else {
+      cdf.push_back({sorted[i], static_cast<double>(i + 1) / denom});
+    }
+  }
+  return cdf;
+}
+
+double cdf_at(const std::vector<CdfPoint>& cdf, double x) {
+  auto it = std::upper_bound(
+      cdf.begin(), cdf.end(), x,
+      [](double v, const CdfPoint& p) { return v < p.x; });
+  if (it == cdf.begin()) return 0.0;
+  return std::prev(it)->fraction;
+}
+
+std::string cdf_to_csv(const std::vector<CdfPoint>& cdf) {
+  std::ostringstream os;
+  os << "x,fraction\n";
+  for (const auto& p : cdf) os << p.x << ',' << p.fraction << '\n';
+  return os.str();
+}
+
+}  // namespace coopnet::util

@@ -1,0 +1,59 @@
+// Fixed-bin histograms and empirical CDFs for completion-time and
+// bootstrap-time distributions.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace coopnet::util {
+
+/// Fixed-width-bin histogram over [lo, hi); out-of-range samples are counted
+/// in the under/overflow tallies.
+class Histogram {
+ public:
+  /// Requires lo < hi and bins >= 1.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t count() const { return total_; }
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  /// Inclusive lower edge of bin i.
+  double bin_lo(std::size_t i) const;
+  /// Exclusive upper edge of bin i.
+  double bin_hi(std::size_t i) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+};
+
+/// One step of an empirical CDF: fraction of the population with value <= x.
+struct CdfPoint {
+  double x = 0.0;
+  double fraction = 0.0;
+};
+
+/// Builds the empirical CDF of `sample` over a population of `population`
+/// individuals (population >= sample size; the gap models individuals that
+/// never produced a value, e.g. peers that never finished, so the CDF
+/// plateaus below 1). Pass population == sample.size() for a standard CDF.
+std::vector<CdfPoint> empirical_cdf(std::span<const double> sample,
+                                    std::size_t population);
+
+/// Fraction of the population at or below x (step interpolation).
+double cdf_at(const std::vector<CdfPoint>& cdf, double x);
+
+/// CSV rendering: `x,fraction` rows with a header.
+std::string cdf_to_csv(const std::vector<CdfPoint>& cdf);
+
+}  // namespace coopnet::util

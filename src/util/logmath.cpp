@@ -1,0 +1,47 @@
+#include "util/logmath.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace coopnet::util {
+
+double log_factorial(std::int64_t n) {
+  if (n < 0) throw std::invalid_argument("log_factorial: n < 0");
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+double log_binomial(std::int64_t n, std::int64_t k) {
+  if (n < 0) throw std::invalid_argument("log_binomial: n < 0");
+  if (k < 0 || k > n) return -std::numeric_limits<double>::infinity();
+  return log_factorial(n) - log_factorial(k) - log_factorial(n - k);
+}
+
+double binomial_ratio(std::int64_t n, std::int64_t k, std::int64_t d_n,
+                      std::int64_t d_k) {
+  const double log_den = log_binomial(d_n, d_k);
+  if (std::isinf(log_den)) {
+    throw std::invalid_argument("binomial_ratio: zero denominator");
+  }
+  const double log_num = log_binomial(n, k);
+  if (std::isinf(log_num)) return 0.0;
+  return std::exp(log_num - log_den);
+}
+
+double pow_one_minus(double x, double n) {
+  if (x < 0.0 || x > 1.0) {
+    throw std::invalid_argument("pow_one_minus: x outside [0, 1]");
+  }
+  if (n < 0.0) throw std::invalid_argument("pow_one_minus: n < 0");
+  if (x >= 1.0) return n == 0.0 ? 1.0 : 0.0;
+  return std::exp(n * std::log1p(-x));
+}
+
+double clamp_probability(double p) {
+  if (std::isnan(p)) throw std::invalid_argument("clamp_probability: NaN");
+  if (p < 0.0) return 0.0;
+  if (p > 1.0) return 1.0;
+  return p;
+}
+
+}  // namespace coopnet::util

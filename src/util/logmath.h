@@ -1,0 +1,37 @@
+// Log-space combinatorics.
+//
+// The paper's piece-availability model (Section IV-A.2) evaluates ratios of
+// binomial coefficients with piece counts in the hundreds, e.g.
+//
+//   q(i,j) = 1 - C(M - m_j, m_i - m_j) / C(M, m_j)        (eq. 5)
+//
+// Direct evaluation overflows double well before M = 512, so every formula
+// here works with log-binomials via lgamma and exponentiates only the final
+// ratio.
+#pragma once
+
+#include <cstdint>
+
+namespace coopnet::util {
+
+/// Returns log(n!) computed via lgamma. Requires n >= 0.
+double log_factorial(std::int64_t n);
+
+/// Returns log C(n, k). Returns -infinity when the coefficient is zero
+/// (k < 0 or k > n). Requires n >= 0.
+double log_binomial(std::int64_t n, std::int64_t k);
+
+/// Returns C(n, k) / C(d_n, d_k), evaluated in log space. A zero numerator
+/// yields 0; a zero denominator is an error.
+double binomial_ratio(std::int64_t n, std::int64_t k, std::int64_t d_n,
+                      std::int64_t d_k);
+
+/// Returns (1 - x)^n without catastrophic cancellation for small x,
+/// computed as exp(n * log1p(-x)). Requires x in [0, 1] and n >= 0.
+double pow_one_minus(double x, double n);
+
+/// Numerically safe x in [0,1] clamp for probabilities assembled from
+/// floating-point pieces.
+double clamp_probability(double p);
+
+}  // namespace coopnet::util

@@ -1,0 +1,143 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+namespace coopnet::util {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& w : state_) w = splitmix64(s);
+  // xoshiro must not be seeded with the all-zero state.
+  if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+    state_[0] = 1;
+  }
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform_u64(std::uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument("Rng::uniform_u64: bound == 0");
+  // Lemire's method: multiply-shift with a rejection zone for exactness.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    std::uint64_t threshold = (0 - bound) % bound;
+    while (l < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::uniform_int: lo > hi");
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  // span == 0 means the full 64-bit range [INT64_MIN, INT64_MAX].
+  const std::uint64_t draw = (span == 0) ? next_u64() : uniform_u64(span);
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + draw);
+}
+
+double Rng::uniform01() {
+  // 53 random bits scaled into [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  if (!(lo < hi)) throw std::invalid_argument("Rng::uniform: lo >= hi");
+  return lo + (hi - lo) * uniform01();
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+double Rng::exponential(double rate) {
+  if (!(rate > 0.0)) throw std::invalid_argument("Rng::exponential: rate <= 0");
+  // 1 - uniform01() is in (0, 1], so the log is finite.
+  return -std::log(1.0 - uniform01()) / rate;
+}
+
+std::size_t Rng::weighted_index(std::span<const double> weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0 || !std::isfinite(w)) {
+      throw std::invalid_argument("Rng::weighted_index: bad weight");
+    }
+    total += w;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument("Rng::weighted_index: all weights zero");
+  }
+  double r = uniform01() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0.0) return i;
+  }
+  // Floating-point slack: return the last positively weighted index.
+  for (std::size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  if (k > n) throw std::invalid_argument("Rng::sample_indices: k > n");
+  if (k == 0) return {};
+  if (k * 3 >= n) {
+    // Dense case: partial Fisher-Yates over the full index range.
+    std::vector<std::size_t> all(n);
+    std::iota(all.begin(), all.end(), std::size_t{0});
+    for (std::size_t i = 0; i < k; ++i) {
+      std::size_t j = i + uniform_u64(n - i);
+      std::swap(all[i], all[j]);
+    }
+    all.resize(k);
+    return all;
+  }
+  // Sparse case: rejection sampling.
+  std::unordered_set<std::size_t> seen;
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  while (out.size() < k) {
+    std::size_t v = uniform_u64(n);
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace coopnet::util

@@ -1,0 +1,65 @@
+// Summary statistics used by the metrics collectors and benches.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace coopnet::util {
+
+/// Single-pass mean/variance accumulator (Welford's algorithm).
+class OnlineStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  /// Mean of the added values; 0 if empty.
+  double mean() const { return n_ == 0 ? 0.0 : mean_; }
+  /// Unbiased sample variance; 0 with fewer than two values.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Summary of a sample: count, mean, stddev, min, percentiles, max.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Computes a Summary of the sample (copies and sorts internally).
+Summary summarize(std::span<const double> sample);
+
+/// Returns the q-quantile (q in [0, 1]) of a sorted sample using linear
+/// interpolation. Requires a non-empty, ascending-sorted input.
+double quantile_sorted(std::span<const double> sorted, double q);
+
+/// Jain's fairness index: (sum x)^2 / (n * sum x^2), in (0, 1]; 1 means all
+/// values equal. Returns 1 for an empty or all-zero sample.
+double jain_index(std::span<const double> values);
+
+/// Mean of |log(x_i)| over strictly positive values -- the paper's system
+/// fairness statistic F (eq. 3) applied to per-user download/upload ratios.
+/// Non-positive ratios are skipped (they correspond to idle users, for which
+/// the paper's F is undefined). Returns 0 for an empty effective sample.
+double mean_abs_log(std::span<const double> ratios);
+
+}  // namespace coopnet::util

@@ -1,0 +1,109 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace coopnet::util {
+
+void Table::set_header(std::vector<std::string> header) {
+  if (!rows_.empty()) {
+    throw std::logic_error("Table::set_header: rows already added");
+  }
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  const std::size_t want = !header_.empty() ? header_.size()
+                           : !rows_.empty() ? rows_.front().size()
+                                            : row.size();
+  if (row.size() != want) {
+    throw std::invalid_argument("Table::add_row: row width mismatch");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::pct(double p, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << p * 100.0 << '%';
+  return os.str();
+}
+
+std::string Table::render() const {
+  const std::size_t ncol =
+      !header_.empty() ? header_.size()
+      : !rows_.empty() ? rows_.front().size()
+                       : 0;
+  std::vector<std::size_t> width(ncol, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  };
+  if (!header_.empty()) widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  std::ostringstream os;
+  auto rule = [&] {
+    os << '+';
+    for (std::size_t c = 0; c < ncol; ++c) {
+      os << std::string(width[c] + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+  auto line = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < ncol; ++c) {
+      os << ' ' << std::left << std::setw(static_cast<int>(width[c]))
+         << row[c] << " |";
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << title_ << '\n';
+  if (ncol == 0) return os.str();
+  rule();
+  if (!header_.empty()) {
+    line(header_);
+    rule();
+  }
+  for (const auto& r : rows_) line(r);
+  rule();
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  auto escape = [](const std::string& s) {
+    if (s.find(',') == std::string::npos &&
+        s.find('"') == std::string::npos) {
+      return s;
+    }
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << escape(row[c]);
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+}  // namespace coopnet::util

@@ -1,0 +1,41 @@
+// Aligned ASCII table rendering for the bench binaries, which print the
+// paper's tables (Tables I-III) and per-figure summary rows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace coopnet::util {
+
+/// Column-aligned ASCII table with an optional title and a header row.
+class Table {
+ public:
+  explicit Table(std::string title = "") : title_(std::move(title)) {}
+
+  /// Sets the header. Must be called before rows are added.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a row. Row width must match the header when one is set; rows
+  /// must all have the same width otherwise.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 4);
+  /// Convenience: formats a probability as a percentage, e.g. "91.8%".
+  static std::string pct(double p, int precision = 1);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders the table with box-drawing rules.
+  std::string render() const;
+
+  /// Renders as CSV (header then rows), without the title.
+  std::string to_csv() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace coopnet::util

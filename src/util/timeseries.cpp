@@ -1,0 +1,72 @@
+#include "util/timeseries.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace coopnet::util {
+
+void TimeSeries::add(double time, double value) {
+  if (!points_.empty() && time < points_.back().time) {
+    throw std::invalid_argument("TimeSeries::add: time went backwards");
+  }
+  points_.push_back({time, value});
+}
+
+double TimeSeries::value_at(double time) const {
+  if (points_.empty()) throw std::logic_error("TimeSeries::value_at: empty");
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), time,
+      [](double t, const TimePoint& p) { return t < p.time; });
+  if (it == points_.begin()) return points_.front().value;
+  return std::prev(it)->value;
+}
+
+double TimeSeries::tail_mean(double fraction) const {
+  if (points_.empty()) throw std::logic_error("TimeSeries::tail_mean: empty");
+  if (!(fraction > 0.0) || fraction > 1.0) {
+    throw std::invalid_argument("TimeSeries::tail_mean: bad fraction");
+  }
+  const double start = points_.front().time;
+  const double end = points_.back().time;
+  const double cutoff = end - fraction * (end - start);
+  double total = 0.0;
+  std::size_t n = 0;
+  for (const auto& p : points_) {
+    if (p.time >= cutoff) {
+      total += p.value;
+      ++n;
+    }
+  }
+  return total / static_cast<double>(n);
+}
+
+std::vector<TimePoint> TimeSeries::resample(std::size_t n) const {
+  if (points_.empty()) throw std::logic_error("TimeSeries::resample: empty");
+  if (n == 0) throw std::invalid_argument("TimeSeries::resample: n == 0");
+  std::vector<TimePoint> out;
+  out.reserve(n);
+  const double start = points_.front().time;
+  const double end = points_.back().time;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t =
+        n == 1 ? end
+               : start + (end - start) * static_cast<double>(i) /
+                             static_cast<double>(n - 1);
+    out.push_back({t, value_at(t)});
+  }
+  return out;
+}
+
+std::string to_csv(const std::vector<TimeSeries>& series) {
+  std::ostringstream os;
+  os << "series,time,value\n";
+  for (const auto& s : series) {
+    for (const auto& p : s.points()) {
+      os << s.name() << ',' << p.time << ',' << p.value << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace coopnet::util

@@ -1,0 +1,54 @@
+// Time-stamped sample series used by the metrics samplers (fairness vs time,
+// susceptibility vs time, ...) and the figure renderers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace coopnet::util {
+
+/// A (time, value) sample.
+struct TimePoint {
+  double time = 0.0;
+  double value = 0.0;
+};
+
+/// Append-only series of (time, value) samples with non-decreasing time.
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  explicit TimeSeries(std::string name) : name_(std::move(name)) {}
+
+  /// Appends a sample. Requires time >= the last appended time.
+  void add(double time, double value);
+
+  const std::string& name() const { return name_; }
+  bool empty() const { return points_.empty(); }
+  std::size_t size() const { return points_.size(); }
+  const std::vector<TimePoint>& points() const { return points_; }
+  const TimePoint& front() const { return points_.front(); }
+  const TimePoint& back() const { return points_.back(); }
+
+  /// Value at the given time by step interpolation (last sample at or before
+  /// `time`); the first value for times before the series starts. Requires a
+  /// non-empty series.
+  double value_at(double time) const;
+
+  /// Mean of the values over the final `fraction` of the covered time span
+  /// (used to report "settled" fairness). Requires fraction in (0, 1] and a
+  /// non-empty series.
+  double tail_mean(double fraction) const;
+
+  /// Resamples onto a uniform grid of `n` points across the covered span
+  /// using step interpolation. Requires a non-empty series and n >= 1.
+  std::vector<TimePoint> resample(std::size_t n) const;
+
+ private:
+  std::string name_;
+  std::vector<TimePoint> points_;
+};
+
+/// Writes one or more series in long CSV form: `series,time,value`.
+std::string to_csv(const std::vector<TimeSeries>& series);
+
+}  // namespace coopnet::util

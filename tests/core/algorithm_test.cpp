@@ -1,0 +1,62 @@
+#include "core/algorithm.h"
+
+#include <gtest/gtest.h>
+
+namespace coopnet::core {
+namespace {
+
+TEST(Algorithm, NamesMatchPaperTables) {
+  EXPECT_EQ(to_string(Algorithm::kReciprocity), "Reciprocity");
+  EXPECT_EQ(to_string(Algorithm::kTChain), "T-Chain");
+  EXPECT_EQ(to_string(Algorithm::kBitTorrent), "BitTorrent");
+  EXPECT_EQ(to_string(Algorithm::kFairTorrent), "FairTorrent");
+  EXPECT_EQ(to_string(Algorithm::kReputation), "Reputation");
+  EXPECT_EQ(to_string(Algorithm::kAltruism), "Altruism");
+}
+
+TEST(Algorithm, RoundTripThroughStrings) {
+  for (Algorithm a : kAllAlgorithms) {
+    EXPECT_EQ(algorithm_from_string(to_string(a)), a);
+  }
+}
+
+TEST(Algorithm, ParsingIsCaseInsensitive) {
+  EXPECT_EQ(algorithm_from_string("bittorrent"), Algorithm::kBitTorrent);
+  EXPECT_EQ(algorithm_from_string("ALTRUISM"), Algorithm::kAltruism);
+  EXPECT_EQ(algorithm_from_string("tchain"), Algorithm::kTChain);
+}
+
+TEST(Algorithm, UnknownNameThrows) {
+  EXPECT_THROW(algorithm_from_string("gnutella"), std::invalid_argument);
+}
+
+TEST(Algorithm, AllAlgorithmsListsSixInTableOrder) {
+  ASSERT_EQ(kAllAlgorithms.size(), 6u);
+  EXPECT_EQ(kAllAlgorithms.front(), Algorithm::kReciprocity);
+  EXPECT_EQ(kAllAlgorithms.back(), Algorithm::kAltruism);
+}
+
+TEST(ModelParams, DefaultsAreValid) {
+  ModelParams p;
+  EXPECT_NO_THROW(p.validate());
+  EXPECT_EQ(p.alpha_bt, 0.2);  // Section V: 20% optimistic unchoking
+  EXPECT_EQ(p.n_bt, 4);        // Table II example
+}
+
+TEST(ModelParams, RejectsOutOfRange) {
+  ModelParams p;
+  p.alpha_bt = 1.5;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = ModelParams{};
+  p.alpha_r = -0.1;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = ModelParams{};
+  p.n_bt = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = ModelParams{};
+  p.seeder_rate = -1.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace coopnet::core

@@ -1,0 +1,116 @@
+// Tests for the EigenTrust implementation (paper ref. [4]).
+#include "core/eigentrust.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace coopnet::core {
+namespace {
+
+double sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(EigenTrust, ValidatesInput) {
+  EXPECT_THROW(eigentrust(0, {}, {0}), std::invalid_argument);
+  EXPECT_THROW(eigentrust(3, {}, {}), std::invalid_argument);
+  EXPECT_THROW(eigentrust(3, {}, {5}), std::out_of_range);
+  EXPECT_THROW(eigentrust(3, {{0, 5, 1.0}}, {0}), std::out_of_range);
+  EXPECT_THROW(eigentrust(3, {{0, 1, -1.0}}, {0}), std::invalid_argument);
+  EigenTrustParams p;
+  p.pretrust_weight = 0.0;
+  EXPECT_THROW(eigentrust(3, {}, {0}, p), std::invalid_argument);
+  p = {};
+  p.max_iterations = 0;
+  EXPECT_THROW(eigentrust(3, {}, {0}, p), std::invalid_argument);
+}
+
+TEST(EigenTrust, SumsToOne) {
+  const auto t = eigentrust(
+      4, {{0, 1, 3.0}, {1, 2, 2.0}, {2, 0, 1.0}, {3, 0, 5.0}}, {0});
+  EXPECT_NEAR(sum(t), 1.0, 1e-9);
+  for (double v : t) EXPECT_GE(v, 0.0);
+}
+
+TEST(EigenTrust, NoEdgesYieldsPretrustDistribution) {
+  const auto t = eigentrust(4, {}, {1, 2});
+  EXPECT_NEAR(t[0], 0.0, 1e-9);
+  EXPECT_NEAR(t[1], 0.5, 1e-9);
+  EXPECT_NEAR(t[2], 0.5, 1e-9);
+  EXPECT_NEAR(t[3], 0.0, 1e-9);
+}
+
+TEST(EigenTrust, ServiceEarnsTrust) {
+  // Peer 2 serves everyone; peer 3 serves no one. Both are credited by
+  // nobody else... 2 must outrank 3.
+  const auto t = eigentrust(
+      4, {{0, 2, 4.0}, {1, 2, 4.0}, {2, 0, 1.0}}, {0});
+  EXPECT_GT(t[2], t[3]);
+  EXPECT_GT(t[2], t[1]);
+}
+
+TEST(EigenTrust, SelfEdgesIgnored) {
+  const auto with_self = eigentrust(3, {{0, 0, 100.0}, {0, 1, 1.0}}, {0});
+  const auto without = eigentrust(3, {{0, 1, 1.0}}, {0});
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(with_self[i], without[i], 1e-9);
+  }
+}
+
+TEST(EigenTrust, SybilRingGainsLittleWithoutRealService) {
+  // 10 honest peers exchanging among themselves + pre-trusted anchor; a
+  // 5-peer sybil ring praising itself lavishly. The ring's total trust
+  // must stay far below its population share.
+  std::vector<TrustEdge> edges;
+  const std::size_t honest = 10, sybil = 5, n = honest + sybil;
+  for (std::size_t i = 0; i < honest; ++i) {
+    for (std::size_t j = 0; j < honest; ++j) {
+      if (i != j) edges.push_back({i, j, 1.0});
+    }
+  }
+  for (std::size_t i = honest; i < n; ++i) {
+    for (std::size_t j = honest; j < n; ++j) {
+      if (i != j) edges.push_back({i, j, 1000.0});  // false praise
+    }
+  }
+  const auto t = eigentrust(n, edges, {0});
+  double ring = 0.0;
+  for (std::size_t i = honest; i < n; ++i) ring += t[i];
+  EXPECT_LT(ring, 0.10);  // vs 33% population share
+}
+
+TEST(EigenTrust, RealServiceToHonestPeersDoesEarnTrust) {
+  // Contrast: a peer that genuinely serves honest peers gains trust even
+  // though it is not pre-trusted.
+  std::vector<TrustEdge> edges = {
+      {0, 1, 1.0}, {1, 0, 1.0},      // honest pair
+      {0, 2, 10.0}, {1, 2, 10.0},    // both receive a lot from peer 2
+  };
+  const auto t = eigentrust(3, edges, {0});
+  EXPECT_GT(t[2], t[1]);
+}
+
+TEST(EigenTrust, RingDecaysGeometricallyFromTheAnchor) {
+  // A directed ring with damping: trust restarts at the anchor every step
+  // with probability a, so it decays geometrically with ring distance
+  // (the damped-walk behaviour, not a uniform distribution).
+  std::vector<TrustEdge> edges;
+  const std::size_t n = 20;
+  for (std::size_t i = 0; i < n; ++i) {
+    edges.push_back({i, (i + 1) % n, 1.0});
+  }
+  EigenTrustParams p;
+  p.max_iterations = 200;
+  const auto t = eigentrust(n, edges, {0}, p);
+  EXPECT_NEAR(sum(t), 1.0, 1e-9);
+  // Strictly decreasing with distance from the anchor's successor.
+  for (std::size_t i = 2; i < n; ++i) {
+    EXPECT_LT(t[i], t[i - 1]) << i;
+  }
+  // Successive ratios approach 1 - a.
+  EXPECT_NEAR(t[5] / t[4], 1.0 - p.pretrust_weight, 0.01);
+}
+
+}  // namespace
+}  // namespace coopnet::core

@@ -1,0 +1,163 @@
+// Tests for Lemma 2, Proposition 1 (Table I), and Lemma 1's optimum.
+#include "core/equilibrium.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/capacity.h"
+
+namespace coopnet::core {
+namespace {
+
+std::vector<double> caps4() { return {8.0, 4.0, 2.0, 2.0}; }
+
+ModelParams params_with_seeder(double s = 4.0) {
+  ModelParams p;
+  p.seeder_rate = s;
+  return p;
+}
+
+TEST(Equilibrium, RequiresSortedCapacities) {
+  EXPECT_THROW(equilibrium_rates(Algorithm::kAltruism, {1.0, 2.0}, {}),
+               std::invalid_argument);
+}
+
+TEST(Equilibrium, RequiresAtLeastTwoUsers) {
+  EXPECT_THROW(equilibrium_rates(Algorithm::kAltruism, {1.0}, {}),
+               std::invalid_argument);
+}
+
+TEST(Lemma2, FullUtilizationExceptReciprocity) {
+  for (Algorithm a : kAllAlgorithms) {
+    const auto rates = equilibrium_rates(a, caps4(), params_with_seeder());
+    for (std::size_t i = 0; i < caps4().size(); ++i) {
+      if (a == Algorithm::kReciprocity) {
+        EXPECT_EQ(rates.upload[i], 0.0) << to_string(a);
+      } else {
+        EXPECT_EQ(rates.upload[i], caps4()[i]) << to_string(a);
+      }
+    }
+  }
+}
+
+TEST(TableI, ReciprocityDownloadsOnlyFromSeeder) {
+  const auto rates =
+      equilibrium_rates(Algorithm::kReciprocity, caps4(), params_with_seeder());
+  for (double d : rates.download) EXPECT_NEAR(d, 1.0, 1e-12);  // u_S/N = 1
+}
+
+TEST(TableI, TChainAndFairTorrentDownloadEqualsCapacity) {
+  for (Algorithm a : {Algorithm::kTChain, Algorithm::kFairTorrent}) {
+    const auto rates = equilibrium_rates(a, caps4(), params_with_seeder());
+    for (std::size_t i = 0; i < caps4().size(); ++i) {
+      EXPECT_NEAR(rates.download[i], caps4()[i] + 1.0, 1e-12) << to_string(a);
+    }
+  }
+}
+
+TEST(TableI, AltruismDownloadIsMeanOfOthers) {
+  const auto rates =
+      equilibrium_rates(Algorithm::kAltruism, caps4(), params_with_seeder());
+  // User 0: (4 + 2 + 2) / 3 + 1.
+  EXPECT_NEAR(rates.download[0], 8.0 / 3.0 + 1.0, 1e-12);
+  // User 3: (8 + 4 + 2) / 3 + 1.
+  EXPECT_NEAR(rates.download[3], 14.0 / 3.0 + 1.0, 1e-12);
+}
+
+TEST(TableI, BitTorrentIsConvexMixOfGroupAndGlobalAverages) {
+  ModelParams p = params_with_seeder(0.0);
+  p.n_bt = 2;
+  p.alpha_bt = 0.25;
+  const auto rates = equilibrium_rates(Algorithm::kBitTorrent, caps4(), p);
+  // Groups of 2: {8, 4} and {2, 2}. User 0: 0.75 * 6 + 0.25 * (8/3).
+  EXPECT_NEAR(rates.download[0], 0.75 * 6.0 + 0.25 * (8.0 / 3.0), 1e-12);
+  // User 2: 0.75 * 2 + 0.25 * (14/3).
+  EXPECT_NEAR(rates.download[2], 0.75 * 2.0 + 0.25 * (14.0 / 3.0), 1e-12);
+}
+
+TEST(TableI, BitTorrentTrailingPartialGroupMergesBackward) {
+  ModelParams p;
+  p.n_bt = 2;
+  p.alpha_bt = 0.0;
+  const std::vector<double> caps = {6.0, 4.0, 2.0};  // N = 3, group tail of 1
+  const auto rates = equilibrium_rates(Algorithm::kBitTorrent, caps, p);
+  // User 2 cannot reciprocate alone; it joins the previous window {4, 2}.
+  EXPECT_NEAR(rates.download[2], 3.0, 1e-12);
+}
+
+TEST(TableI, BitTorrentHomogeneousMatchesCapacity) {
+  // With equal capacities every group average equals U, so d_i = U
+  // regardless of alpha (the Corollary 1 regularity case).
+  ModelParams p;
+  p.alpha_bt = 0.2;
+  const std::vector<double> caps(8, 5.0);
+  const auto rates = equilibrium_rates(Algorithm::kBitTorrent, caps, p);
+  for (double d : rates.download) EXPECT_NEAR(d, 5.0, 1e-12);
+}
+
+TEST(TableI, ReputationMatchesClosedForm) {
+  ModelParams p;
+  p.alpha_r = 0.2;
+  const auto caps = caps4();
+  const double total = total_capacity(caps);
+  const auto rates = equilibrium_rates(Algorithm::kReputation, caps, p);
+  for (std::size_t i = 0; i < caps.size(); ++i) {
+    double recip = 0.0;
+    for (std::size_t j = 0; j < caps.size(); ++j) {
+      if (j == i) continue;
+      recip += (1.0 - p.alpha_r) * caps[j] / (total - caps[j]);
+    }
+    const double expected =
+        caps[i] * recip +
+        p.alpha_r * (total - caps[i]) / static_cast<double>(caps.size() - 1);
+    EXPECT_NEAR(rates.download[i], expected, 1e-12);
+  }
+}
+
+TEST(TableI, ReputationNearCapacityForManySimilarUsers) {
+  // Prop. 1: sum_{j != i} U_j / sum_{k != j} U_k ~ 1 for large N, so the
+  // reciprocal share approaches U_i (1 - alpha_R).
+  ModelParams p;
+  p.alpha_r = 0.0;
+  const std::vector<double> caps(200, 3.0);
+  const auto rates = equilibrium_rates(Algorithm::kReputation, caps, p);
+  EXPECT_NEAR(rates.download[0], 3.0, 0.05);
+}
+
+TEST(FlowConservation, TotalDownloadEqualsTotalUploadPlusSeeder) {
+  // Eq. 1: u_S + sum u_i = sum d_i. Exact for the perfectly fair
+  // algorithms and altruism; the Table I BitTorrent/reputation forms are
+  // approximations, so allow a small relative error there.
+  const auto params = params_with_seeder(4.0);
+  for (Algorithm a : kAllAlgorithms) {
+    const auto rates = equilibrium_rates(a, caps4(), params);
+    const double up =
+        std::accumulate(rates.upload.begin(), rates.upload.end(), 0.0) +
+        params.seeder_rate;
+    const double down =
+        std::accumulate(rates.download.begin(), rates.download.end(), 0.0);
+    const double tolerance =
+        (a == Algorithm::kBitTorrent || a == Algorithm::kReputation)
+            ? 0.15 * up
+            : 1e-9;
+    EXPECT_NEAR(down, up, tolerance) << to_string(a);
+  }
+}
+
+TEST(Lemma1, OptimalRatesEqualizeDownloads) {
+  const auto opt = optimal_rates(caps4(), params_with_seeder());
+  for (double d : opt.download) {
+    EXPECT_NEAR(d, (16.0 + 4.0) / 4.0, 1e-12);
+  }
+  EXPECT_EQ(opt.upload, caps4());
+}
+
+TEST(DownloadUtilization, IndexOutOfRangeThrows) {
+  EXPECT_THROW(
+      download_utilization(Algorithm::kAltruism, caps4(), 4, ModelParams{}),
+      std::out_of_range);
+}
+
+}  // namespace
+}  // namespace coopnet::core

@@ -1,0 +1,125 @@
+// Exactness checks: the closed-form piece-availability probabilities
+// (eqs. 4-5) verified against brute-force enumeration over all piece-set
+// pairs for small M, and the bootstrap expectation (eq. 10 corrected)
+// verified against exhaustive Markov-chain evaluation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/bootstrap.h"
+#include "core/piece_availability.h"
+
+namespace coopnet::core {
+namespace {
+
+int popcount(std::uint32_t x) { return __builtin_popcount(x); }
+
+/// Brute force q(i, j): over all (set_i, set_j) pairs with the given
+/// sizes, the fraction where j holds at least one piece i lacks.
+double brute_force_q(int m_i, int m_j, int M) {
+  std::int64_t total = 0, needs = 0;
+  for (std::uint32_t si = 0; si < (1u << M); ++si) {
+    if (popcount(si) != m_i) continue;
+    for (std::uint32_t sj = 0; sj < (1u << M); ++sj) {
+      if (popcount(sj) != m_j) continue;
+      ++total;
+      if ((sj & ~si) != 0) ++needs;
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(needs) /
+                          static_cast<double>(total);
+}
+
+TEST(ExactEnumeration, QNeedsMatchesBruteForceForAllSmallCases) {
+  // Every (m_i, m_j) pair for M = 6: 49 closed forms against exhaustive
+  // enumeration over all 2^6 x 2^6 subset pairs.
+  const int M = 6;
+  for (int mi = 0; mi <= M; ++mi) {
+    for (int mj = 0; mj <= M; ++mj) {
+      EXPECT_NEAR(q_needs(mi, mj, M), brute_force_q(mi, mj, M), 1e-12)
+          << "m_i=" << mi << " m_j=" << mj;
+    }
+  }
+}
+
+TEST(ExactEnumeration, PiDirectReciprocityMatchesProductOfBruteForce) {
+  // pi_DR = q(i,j) q(j,i) under the independence the paper assumes; each
+  // factor must match enumeration.
+  const int M = 5;
+  for (int mi = 1; mi < M; ++mi) {
+    for (int mj = 1; mj < M; ++mj) {
+      const double expected =
+          brute_force_q(mi, mj, M) * brute_force_q(mj, mi, M);
+      EXPECT_NEAR(pi_direct_reciprocity(mj, mi, M), expected, 1e-12)
+          << "m_i=" << mi << " m_j=" << mj;
+    }
+  }
+}
+
+TEST(ExactEnumeration, ExpectedPiIsTrueAverageOverPointMasses) {
+  // expected_pi over an arbitrary distribution equals the probability-
+  // weighted sum of point evaluations.
+  const std::int64_t M = 8;
+  std::vector<double> p(static_cast<std::size_t>(M + 1), 0.0);
+  p[2] = 0.5;
+  p[5] = 0.3;
+  p[7] = 0.2;
+  const PieceCountDistribution dist(p, M);
+  const double got = expected_pi(dist, [&](auto mj, auto mi) {
+    return pi_altruism(mj, mi, M);
+  });
+  double want = 0.0;
+  for (std::int64_t mj : {2, 5, 7}) {
+    for (std::int64_t mi : {2, 5, 7}) {
+      want += dist.p(mj) * dist.p(mi) * pi_altruism(mj, mi, M);
+    }
+  }
+  EXPECT_NEAR(got, want, 1e-12);
+}
+
+TEST(ExactEnumeration, BootstrapExpectationMatchesMarkovChain) {
+  // E[T_B(P)] with constant p: exact evaluation of the absorbing Markov
+  // chain over the count of still-waiting newcomers (binomial thinning)
+  // versus the eq. 10 series.
+  const double p = 0.35;
+  const int P = 6;
+  // state[k] = probability that k newcomers still wait; step applies
+  // independent Bernoulli(p) bootstrap to each.
+  std::vector<double> state(static_cast<std::size_t>(P + 1), 0.0);
+  state[static_cast<std::size_t>(P)] = 1.0;
+  // Binomial pmf helper.
+  auto binom = [&](int n, int k) {
+    double c = 1.0;
+    for (int i = 0; i < k; ++i) {
+      c = c * static_cast<double>(n - i) / static_cast<double>(i + 1);
+    }
+    return c;
+  };
+  double expected = 0.0;
+  for (int step = 1; step < 10000; ++step) {
+    // P(T >= step) = P(someone still waiting before this slot).
+    const double waiting = 1.0 - state[0];
+    expected += waiting;
+    if (waiting < 1e-14) break;
+    std::vector<double> next(state.size(), 0.0);
+    for (int k = 0; k <= P; ++k) {
+      if (state[static_cast<std::size_t>(k)] == 0.0) continue;
+      for (int done = 0; done <= k; ++done) {
+        const double prob = binom(k, done) * std::pow(p, done) *
+                            std::pow(1.0 - p, k - done);
+        next[static_cast<std::size_t>(k - done)] +=
+            state[static_cast<std::size_t>(k)] * prob;
+      }
+    }
+    state.swap(next);
+  }
+  const double series = expected_bootstrap_time(
+      P, [p](std::int64_t) { return p; });
+  EXPECT_NEAR(series, expected, 1e-8);
+}
+
+}  // namespace
+}  // namespace coopnet::core

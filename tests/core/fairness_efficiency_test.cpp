@@ -1,0 +1,183 @@
+// Tests for eqs. 2-3, Lemma 1, and Corollary 1 (Figure 2's ranking).
+#include "core/fairness_efficiency.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "core/capacity.h"
+
+namespace coopnet::core {
+namespace {
+
+TEST(Efficiency, MatchesHandComputation) {
+  // E = sum 1/(N d_i) = (1/2)(1/2 + 1/4) = 0.375.
+  EXPECT_NEAR(efficiency({2.0, 4.0}), 0.375, 1e-12);
+}
+
+TEST(Efficiency, ZeroRateIsInfinite) {
+  EXPECT_TRUE(std::isinf(efficiency({1.0, 0.0})));
+}
+
+TEST(Efficiency, EmptyThrows) {
+  EXPECT_THROW(efficiency({}), std::invalid_argument);
+}
+
+TEST(FairnessF, ZeroIffRatesEqual) {
+  EXPECT_EQ(fairness_F({2.0, 3.0}, {2.0, 3.0}), 0.0);
+  EXPECT_GT(fairness_F({2.0, 3.0}, {3.0, 2.0}), 0.0);
+}
+
+TEST(FairnessF, SymmetricInDirection) {
+  // |log(d/u)| treats over- and under-consumption alike.
+  EXPECT_NEAR(fairness_F({4.0}, {2.0}), fairness_F({2.0}, {4.0}), 1e-12);
+  EXPECT_NEAR(fairness_F({4.0}, {2.0}), std::log(2.0), 1e-12);
+}
+
+TEST(FairnessF, SkipsDoublyIdleUsers) {
+  EXPECT_NEAR(fairness_F({0.0, 2.0}, {0.0, 2.0}), 0.0, 1e-12);
+}
+
+TEST(FairnessF, OneSidedZeroIsInfinite) {
+  EXPECT_TRUE(std::isinf(fairness_F({1.0}, {0.0})));
+  EXPECT_TRUE(std::isinf(fairness_F({0.0}, {1.0})));
+}
+
+TEST(FairnessF, SizeMismatchThrows) {
+  EXPECT_THROW(fairness_F({1.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(fairness_F({}, {}), std::invalid_argument);
+}
+
+TEST(FairnessAvgRatio, SectionVStatistic) {
+  // (u/d averaged): (2/4 + 6/3) / 2 = 1.25.
+  EXPECT_NEAR(fairness_avg_ratio({4.0, 3.0}, {2.0, 6.0}), 1.25, 1e-12);
+}
+
+TEST(FairnessAvgRatio, SkipsZeroDownload) {
+  EXPECT_NEAR(fairness_avg_ratio({0.0, 2.0}, {5.0, 2.0}), 1.0, 1e-12);
+}
+
+TEST(Lemma1, OptimalEfficiencyBeatsEveryAlgorithm) {
+  // N divisible by n_BT so BitTorrent's group averages partition the
+  // population exactly; otherwise the Table I approximation is not flow
+  // conserving and can spuriously "beat" the optimum.
+  const auto caps =
+      sorted_descending({8.0, 5.0, 4.0, 3.0, 2.0, 2.0, 2.0, 2.0});
+  ModelParams p;
+  p.seeder_rate = 1.0;
+  const double best = optimal_efficiency(caps, p);
+  for (Algorithm a : kAllAlgorithms) {
+    const auto rates = equilibrium_rates(a, caps, p);
+    EXPECT_GE(efficiency(rates.download), best - 1e-12) << to_string(a);
+  }
+}
+
+class Corollary1Test : public ::testing::Test {
+ protected:
+  // Similar capacities (the corollary's regularity condition
+  // U_i ~ U_{i + n_BT}) with mild heterogeneity.
+  std::vector<double> caps_ = sorted_descending(
+      {10.0, 9.8, 9.6, 9.4, 9.2, 9.0, 8.8, 8.6, 8.4, 8.2, 8.0, 7.8});
+  ModelParams params_;
+
+  std::map<Algorithm, IdealPerformance> run() {
+    std::map<Algorithm, IdealPerformance> by_algo;
+    for (const auto& perf : ideal_performance(caps_, params_)) {
+      by_algo[perf.algorithm] = perf;
+    }
+    return by_algo;
+  }
+};
+
+TEST_F(Corollary1Test, OnlyTChainAndFairTorrentAreOptimallyFair) {
+  const auto perf = run();
+  EXPECT_EQ(perf.at(Algorithm::kTChain).fairness, 0.0);
+  EXPECT_EQ(perf.at(Algorithm::kFairTorrent).fairness, 0.0);
+  EXPECT_GT(perf.at(Algorithm::kBitTorrent).fairness, 0.0);
+  EXPECT_GT(perf.at(Algorithm::kReputation).fairness, 0.0);
+  EXPECT_GT(perf.at(Algorithm::kAltruism).fairness, 0.0);
+}
+
+TEST_F(Corollary1Test, AltruismIsMostEfficient) {
+  const auto perf = run();
+  for (Algorithm a : kAllAlgorithms) {
+    if (a == Algorithm::kAltruism) continue;
+    EXPECT_LE(perf.at(Algorithm::kAltruism).efficiency,
+              perf.at(a).efficiency + 1e-12)
+        << to_string(a);
+  }
+}
+
+TEST_F(Corollary1Test, HybridsBeatTChainAndFairTorrent) {
+  const auto perf = run();
+  EXPECT_LT(perf.at(Algorithm::kBitTorrent).efficiency,
+            perf.at(Algorithm::kTChain).efficiency);
+  EXPECT_LT(perf.at(Algorithm::kReputation).efficiency,
+            perf.at(Algorithm::kTChain).efficiency);
+}
+
+TEST_F(Corollary1Test, ReciprocityIsLeastEfficient) {
+  const auto perf = run();
+  // No seeder: reciprocity users never download at all.
+  EXPECT_TRUE(std::isinf(perf.at(Algorithm::kReciprocity).efficiency));
+}
+
+TEST_F(Corollary1Test, AltruismFairnessWorstAmongNonDegenerate) {
+  const auto perf = run();
+  for (Algorithm a :
+       {Algorithm::kTChain, Algorithm::kBitTorrent, Algorithm::kFairTorrent,
+        Algorithm::kReputation}) {
+    EXPECT_GE(perf.at(Algorithm::kAltruism).fairness,
+              perf.at(a).fairness - 1e-12)
+        << to_string(a);
+  }
+}
+
+// Parameterized sweep: the fairness-efficiency ordering of Corollary 1 holds
+// across seeder rates and alpha settings for near-regular populations.
+struct SweepParam {
+  double seeder;
+  double alpha_bt;
+  double alpha_r;
+};
+
+class Corollary1Sweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(Corollary1Sweep, OrderingStable) {
+  const auto [seeder, alpha_bt, alpha_r] = GetParam();
+  ModelParams p;
+  p.seeder_rate = seeder;
+  p.alpha_bt = alpha_bt;
+  p.alpha_r = alpha_r;
+  std::vector<double> caps;
+  for (int i = 0; i < 24; ++i) caps.push_back(10.0 - 0.1 * i);
+  std::map<Algorithm, IdealPerformance> perf;
+  for (const auto& row : ideal_performance(caps, p)) {
+    perf[row.algorithm] = row;
+  }
+  // Altruism most efficient; T-Chain/FairTorrent the most fair (exactly
+  // fair when there is no seeder skew); hybrids in between on efficiency.
+  EXPECT_LE(perf.at(Algorithm::kAltruism).efficiency,
+            perf.at(Algorithm::kBitTorrent).efficiency + 1e-12);
+  EXPECT_LE(perf.at(Algorithm::kBitTorrent).efficiency,
+            perf.at(Algorithm::kTChain).efficiency + 1e-12);
+  if (seeder == 0.0) {
+    EXPECT_EQ(perf.at(Algorithm::kTChain).fairness, 0.0);
+    EXPECT_EQ(perf.at(Algorithm::kFairTorrent).fairness, 0.0);
+  }
+  EXPECT_LE(perf.at(Algorithm::kTChain).fairness,
+            perf.at(Algorithm::kBitTorrent).fairness + 1e-12);
+  EXPECT_GE(perf.at(Algorithm::kAltruism).fairness,
+            perf.at(Algorithm::kBitTorrent).fairness - 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeederAndAlphaGrid, Corollary1Sweep,
+    ::testing::Values(SweepParam{0.0, 0.2, 0.1}, SweepParam{5.0, 0.2, 0.1},
+                      SweepParam{0.0, 0.1, 0.3}, SweepParam{2.0, 0.4, 0.05},
+                      SweepParam{10.0, 0.3, 0.2}));
+
+}  // namespace
+}  // namespace coopnet::core

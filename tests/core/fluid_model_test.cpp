@@ -1,0 +1,148 @@
+// Tests for the mean-field fluid drain model.
+#include "core/fluid_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace coopnet::core {
+namespace {
+
+FluidParams small_params() {
+  FluidParams p;
+  p.file_bytes = 1024.0;  // small file, fast integration
+  p.seeder_rate = 0.0;
+  p.dt = 0.01;
+  p.max_time = 10000.0;
+  return p;
+}
+
+TEST(FluidModel, ValidatesInput) {
+  const FluidParams p = small_params();
+  EXPECT_THROW(fluid_completion(Algorithm::kAltruism, {}, p),
+               std::invalid_argument);
+  EXPECT_THROW(fluid_completion(Algorithm::kAltruism, {{0.0, 5.0}}, p),
+               std::invalid_argument);
+  EXPECT_THROW(fluid_completion(Algorithm::kAltruism, {{1.0, -1.0}}, p),
+               std::invalid_argument);
+  FluidParams bad = p;
+  bad.dt = 0.0;
+  EXPECT_THROW(fluid_completion(Algorithm::kAltruism, {{1.0, 5.0}}, bad),
+               std::invalid_argument);
+}
+
+TEST(FluidModel, TChainFinishTimeIsFileOverOwnCapacity) {
+  const auto p = small_params();
+  const std::vector<FluidClass> classes = {{32.0, 10.0}, {8.0, 10.0}};
+  const auto result = fluid_completion(Algorithm::kTChain, classes, p);
+  EXPECT_NEAR(result.finish_time[0], 1024.0 / 32.0, 0.5);
+  EXPECT_NEAR(result.finish_time[1], 1024.0 / 8.0, 0.5);
+}
+
+TEST(FluidModel, AltruismEqualizesFinishTimes) {
+  const auto p = small_params();
+  const std::vector<FluidClass> classes = {{32.0, 10.0}, {8.0, 10.0}};
+  const auto result = fluid_completion(Algorithm::kAltruism, classes, p);
+  // Everyone downloads at roughly the population mean (~20; the
+  // mean-of-others excludes one's own capacity, so the slow class sees a
+  // slightly higher pool and finishes marginally first).
+  EXPECT_NEAR(result.finish_time[0], result.finish_time[1], 2.5);
+  EXPECT_NEAR(result.finish_time[0], 1024.0 / 20.0, 3.0);
+  EXPECT_LE(result.finish_time[1], result.finish_time[0]);
+}
+
+TEST(FluidModel, ReciprocityWithoutSeederNeverFinishes) {
+  const auto p = small_params();
+  FluidParams capped = p;
+  capped.max_time = 100.0;
+  const auto result = fluid_completion(Algorithm::kReciprocity,
+                                       {{32.0, 10.0}}, capped);
+  EXPECT_TRUE(std::isinf(result.finish_time[0]));
+  EXPECT_TRUE(std::isinf(result.mean_finish_time));
+}
+
+TEST(FluidModel, ReciprocityDrainsAtSeederRateOnly) {
+  auto p = small_params();
+  p.seeder_rate = 160.0;  // u_S / N = 16 per user
+  const auto result =
+      fluid_completion(Algorithm::kReciprocity, {{32.0, 10.0}}, p);
+  EXPECT_NEAR(result.finish_time[0], 1024.0 / 16.0, 0.5);
+}
+
+TEST(FluidModel, BitTorrentInterpolatesWithAlpha) {
+  auto p = small_params();
+  const std::vector<FluidClass> classes = {{32.0, 10.0}, {8.0, 10.0}};
+  p.model.alpha_bt = 0.0;
+  const auto tft = fluid_completion(Algorithm::kBitTorrent, classes, p);
+  p.model.alpha_bt = 1.0;
+  const auto alt = fluid_completion(Algorithm::kBitTorrent, classes, p);
+  // alpha = 0: pure per-class rates; alpha = 1: altruism-like sharing.
+  EXPECT_NEAR(tft.finish_time[1], 1024.0 / 8.0, 1.0);
+  EXPECT_LT(alt.finish_time[1], tft.finish_time[1]);
+  EXPECT_GT(alt.finish_time[0], tft.finish_time[0]);
+}
+
+TEST(FluidModel, DepartureFeedbackSlowsAltruismTail) {
+  // One fast class, one slow class under BitTorrent: the fast class
+  // leaves first, after which the slow class loses the fast uploaders'
+  // altruism share -- its finish is later than a static estimate.
+  auto p = small_params();
+  p.model.alpha_bt = 0.5;
+  const std::vector<FluidClass> classes = {{64.0, 10.0}, {8.0, 10.0}};
+  const auto result = fluid_completion(Algorithm::kBitTorrent, classes, p);
+  ASSERT_LT(result.finish_time[0], result.finish_time[1]);
+  // Static estimate with the full population present the whole time:
+  const std::vector<FluidClass> active = classes;
+  const double static_rate =
+      fluid_download_rate(Algorithm::kBitTorrent, active, 1, p);
+  EXPECT_GT(result.finish_time[1], 1024.0 / static_rate - 1.0);
+}
+
+TEST(FluidModel, CompletionCurveIsMonotoneAndEndsAtOne) {
+  const auto p = small_params();
+  const std::vector<FluidClass> classes = {
+      {32.0, 5.0}, {16.0, 10.0}, {8.0, 20.0}};
+  const auto result = fluid_completion(Algorithm::kFairTorrent, classes, p);
+  double prev_t = -1.0, prev_f = -1.0;
+  for (const auto& point : result.completion_curve) {
+    EXPECT_GE(point.time, prev_t);
+    EXPECT_GE(point.value, prev_f);
+    prev_t = point.time;
+    prev_f = point.value;
+  }
+  EXPECT_NEAR(result.completion_curve.back().value, 1.0, 1e-9);
+}
+
+TEST(FluidModel, MeanFinishTimeIsPopulationWeighted) {
+  const auto p = small_params();
+  const std::vector<FluidClass> classes = {{32.0, 30.0}, {8.0, 10.0}};
+  const auto result = fluid_completion(Algorithm::kTChain, classes, p);
+  const double expected =
+      (result.finish_time[0] * 30.0 + result.finish_time[1] * 10.0) / 40.0;
+  EXPECT_NEAR(result.mean_finish_time, expected, 1e-9);
+}
+
+TEST(FluidModel, AlgorithmEfficiencyOrderingMatchesFigure2) {
+  auto p = small_params();
+  p.seeder_rate = 16.0;
+  const std::vector<FluidClass> classes = {
+      {64.0, 5.0}, {32.0, 10.0}, {8.0, 25.0}};
+  const double alt =
+      fluid_completion(Algorithm::kAltruism, classes, p).mean_finish_time;
+  const double bt =
+      fluid_completion(Algorithm::kBitTorrent, classes, p).mean_finish_time;
+  const double tc =
+      fluid_completion(Algorithm::kTChain, classes, p).mean_finish_time;
+  EXPECT_LT(alt, bt);
+  EXPECT_LT(bt, tc);
+}
+
+TEST(FluidDownloadRate, OutOfRangeThrows) {
+  const std::vector<FluidClass> active = {{8.0, 10.0}};
+  EXPECT_THROW(
+      fluid_download_rate(Algorithm::kAltruism, active, 1, FluidParams{}),
+      std::out_of_range);
+}
+
+}  // namespace
+}  // namespace coopnet::core

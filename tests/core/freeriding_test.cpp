@@ -1,0 +1,170 @@
+// Tests for Table III (Section IV-C).
+#include "core/freeriding.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+namespace coopnet::core {
+namespace {
+
+const std::vector<double> kCaps = {8.0, 4.0, 2.0, 2.0};  // total 16
+
+TEST(ExploitableResources, TableIIIRows) {
+  ModelParams p;
+  p.alpha_bt = 0.2;
+  p.alpha_r = 0.1;
+  const double omega = 0.75;
+  EXPECT_EQ(exploitable_resources(Algorithm::kReciprocity, kCaps, p, omega),
+            0.0);
+  EXPECT_EQ(exploitable_resources(Algorithm::kTChain, kCaps, p, omega), 0.0);
+  EXPECT_NEAR(exploitable_resources(Algorithm::kBitTorrent, kCaps, p, omega),
+              0.2 * 16.0, 1e-12);
+  EXPECT_NEAR(exploitable_resources(Algorithm::kFairTorrent, kCaps, p, omega),
+              0.25 * 16.0, 1e-12);
+  EXPECT_NEAR(exploitable_resources(Algorithm::kReputation, kCaps, p, omega),
+              0.1 * 16.0, 1e-12);
+  EXPECT_NEAR(exploitable_resources(Algorithm::kAltruism, kCaps, p, omega),
+              16.0, 1e-12);
+}
+
+TEST(ExploitableResources, OrderingMatchesTableIII) {
+  // Reciprocity = T-Chain = 0 < reputation/BitTorrent/FairTorrent <
+  // altruism (with the Section V parameters).
+  ModelParams p;
+  const double omega = 0.75;
+  std::map<Algorithm, double> r;
+  for (Algorithm a : kAllAlgorithms) {
+    r[a] = exploitable_resources(a, kCaps, p, omega);
+  }
+  EXPECT_EQ(r[Algorithm::kReciprocity], r[Algorithm::kTChain]);
+  EXPECT_LT(r[Algorithm::kTChain], r[Algorithm::kReputation]);
+  EXPECT_LT(r[Algorithm::kReputation], r[Algorithm::kBitTorrent]);
+  EXPECT_LT(r[Algorithm::kBitTorrent], r[Algorithm::kAltruism]);
+}
+
+TEST(ExploitableResources, FairTorrentVanishesAtOmegaOne) {
+  // omega = 1: every user always owes someone, so no altruistic uploads.
+  EXPECT_EQ(
+      exploitable_resources(Algorithm::kFairTorrent, kCaps, {}, 1.0), 0.0);
+}
+
+TEST(ExploitableResources, BadOmegaThrows) {
+  EXPECT_THROW(exploitable_resources(Algorithm::kAltruism, kCaps, {}, -0.1),
+               std::invalid_argument);
+  EXPECT_THROW(exploitable_resources(Algorithm::kAltruism, kCaps, {}, 1.1),
+               std::invalid_argument);
+}
+
+TEST(TChainCollusion, MatchesClosedForm) {
+  CollusionParams c;
+  c.n_users = 1000;
+  c.n_colluders = 200;
+  c.pi_ir = 0.1;
+  // pi_IR * m(m-1) / ((N-1)N) = 0.1 * 200*199 / (999*1000).
+  EXPECT_NEAR(tchain_collusion_probability(c),
+              0.1 * 200.0 * 199.0 / (999.0 * 1000.0), 1e-15);
+}
+
+TEST(TChainCollusion, MuchLessThanOneAtPaperScale) {
+  CollusionParams c;
+  c.n_users = 1000;
+  c.n_colluders = 200;  // the paper's 20% free-riders
+  c.pi_ir = 0.2;
+  EXPECT_LT(tchain_collusion_probability(c), 0.01);
+}
+
+TEST(TChainCollusion, ZeroWithoutAccomplices) {
+  CollusionParams c;
+  c.n_users = 100;
+  c.pi_ir = 0.5;
+  c.n_colluders = 0;
+  EXPECT_EQ(tchain_collusion_probability(c), 0.0);
+  c.n_colluders = 1;  // a lone colluder has no partner to lie for it
+  EXPECT_EQ(tchain_collusion_probability(c), 0.0);
+}
+
+TEST(TChainCollusion, RejectsBadInput) {
+  CollusionParams c;
+  c.n_users = 1;
+  EXPECT_THROW(tchain_collusion_probability(c), std::invalid_argument);
+  c = CollusionParams{};
+  c.n_colluders = 2000;
+  EXPECT_THROW(tchain_collusion_probability(c), std::invalid_argument);
+  c = CollusionParams{};
+  c.pi_ir = 1.5;
+  EXPECT_THROW(tchain_collusion_probability(c), std::invalid_argument);
+}
+
+TEST(FreeRidingTable, CollusionColumn) {
+  CollusionParams c;
+  c.n_users = 1000;
+  c.n_colluders = 200;
+  c.pi_ir = 0.1;
+  const auto rows = freeriding_table(kCaps, {}, 0.75, c);
+  ASSERT_EQ(rows.size(), 6u);
+  std::map<Algorithm, FreeRidingRow> by_algo;
+  for (const auto& r : rows) by_algo[r.algorithm] = r;
+
+  EXPECT_EQ(by_algo[Algorithm::kReciprocity].exposure,
+            CollusionExposure::kNone);
+  EXPECT_EQ(by_algo[Algorithm::kTChain].exposure, CollusionExposure::kRare);
+  EXPECT_GT(by_algo[Algorithm::kTChain].collusion_probability, 0.0);
+  EXPECT_LT(by_algo[Algorithm::kTChain].collusion_probability, 0.01);
+  EXPECT_EQ(by_algo[Algorithm::kBitTorrent].collusion_probability, 0.0);
+  EXPECT_EQ(by_algo[Algorithm::kFairTorrent].collusion_probability, 0.0);
+  EXPECT_EQ(by_algo[Algorithm::kReputation].exposure,
+            CollusionExposure::kTotal);
+  EXPECT_EQ(by_algo[Algorithm::kReputation].collusion_probability, 1.0);
+  EXPECT_EQ(by_algo[Algorithm::kAltruism].exposure,
+            CollusionExposure::kNotApplicable);
+}
+
+TEST(FairTorrentDeficitBound, GrowsLogarithmically) {
+  EXPECT_NEAR(fairtorrent_deficit_bound(1024), 10.0, 1e-9);
+  EXPECT_LT(fairtorrent_deficit_bound(1000) * 2,
+            fairtorrent_deficit_bound(1000000) * 2.1);
+  EXPECT_THROW(fairtorrent_deficit_bound(1), std::invalid_argument);
+}
+
+TEST(PredictedSusceptibility, CapsAtDemandShare) {
+  // Altruism exposes 100% of capacity, but 20% free-riders can only absorb
+  // their 20% demand share.
+  EXPECT_NEAR(
+      predicted_susceptibility(Algorithm::kAltruism, kCaps, {}, 0.75, 0.2),
+      0.2, 1e-12);
+}
+
+TEST(PredictedSusceptibility, CapsAtExploitableShare) {
+  // Reputation exposes alpha_R = 10%; even 40% free-riders get at most that.
+  ModelParams p;
+  p.alpha_r = 0.1;
+  EXPECT_NEAR(predicted_susceptibility(Algorithm::kReputation, kCaps, p,
+                                       0.75, 0.4),
+              0.1, 1e-12);
+}
+
+TEST(PredictedSusceptibility, ZeroForTChainAndReciprocity) {
+  for (Algorithm a : {Algorithm::kReciprocity, Algorithm::kTChain}) {
+    EXPECT_EQ(predicted_susceptibility(a, kCaps, {}, 0.75, 0.2), 0.0);
+  }
+}
+
+TEST(PredictedSusceptibility, RejectsBadInput) {
+  EXPECT_THROW(
+      predicted_susceptibility(Algorithm::kAltruism, kCaps, {}, 0.75, 1.0),
+      std::invalid_argument);
+  EXPECT_THROW(
+      predicted_susceptibility(Algorithm::kAltruism, {}, {}, 0.75, 0.2),
+      std::invalid_argument);
+}
+
+TEST(CollusionExposureNames, AreDescriptive) {
+  EXPECT_STREQ(to_string(CollusionExposure::kNone), "none");
+  EXPECT_NE(std::string(to_string(CollusionExposure::kRare)).find("indirect"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace coopnet::core

@@ -1,0 +1,238 @@
+// Tests for eqs. 4-8, Proposition 2, and Corollary 2.
+#include "core/piece_availability.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/logmath.h"
+
+namespace coopnet::core {
+namespace {
+
+TEST(QNeeds, BoundaryCases) {
+  EXPECT_EQ(q_needs(0, 0, 10), 0.0);   // j empty: nothing to need
+  EXPECT_EQ(q_needs(10, 5, 10), 0.0);  // i complete: needs nothing
+  EXPECT_EQ(q_needs(3, 7, 10), 1.0);   // m_i < m_j: pigeonhole guarantees need
+}
+
+TEST(QNeeds, ExactSmallCase) {
+  // M = 3, m_i = 2, m_j = 1: P(j's piece within i's 2) = C(2,1)/C(3,1) = 2/3,
+  // so q = 1/3.
+  EXPECT_NEAR(q_needs(2, 1, 3), 1.0 / 3.0, 1e-12);
+}
+
+TEST(QNeeds, ExactMediumCase) {
+  // M = 4, m_i = 2, m_j = 2: C(2,2)/C(4,2) = 1/6 -> q = 5/6.
+  EXPECT_NEAR(q_needs(2, 2, 4), 5.0 / 6.0, 1e-12);
+}
+
+TEST(QNeeds, IsProbabilityAcrossFullGrid) {
+  const std::int64_t M = 30;
+  for (std::int64_t mi = 0; mi <= M; ++mi) {
+    for (std::int64_t mj = 0; mj <= M; ++mj) {
+      const double q = q_needs(mi, mj, M);
+      ASSERT_GE(q, 0.0) << mi << "," << mj;
+      ASSERT_LE(q, 1.0) << mi << "," << mj;
+    }
+  }
+}
+
+TEST(QNeeds, MonotoneDecreasingInOwnPieces) {
+  // The more pieces i already holds, the less likely i needs one from j.
+  const std::int64_t M = 64, mj = 16;
+  double prev = 1.0;
+  for (std::int64_t mi = mj; mi <= M; ++mi) {
+    const double q = q_needs(mi, mj, M);
+    ASSERT_LE(q, prev + 1e-12) << mi;
+    prev = q;
+  }
+}
+
+TEST(QNeeds, PaperScaleIsFinite) {
+  const double q = q_needs(400, 380, 512);
+  EXPECT_GE(q, 0.0);
+  EXPECT_LE(q, 1.0);
+}
+
+TEST(QNeeds, OutOfRangeThrows) {
+  EXPECT_THROW(q_needs(-1, 0, 10), std::invalid_argument);
+  EXPECT_THROW(q_needs(0, 11, 10), std::invalid_argument);
+  EXPECT_THROW(q_needs(0, 0, 0), std::invalid_argument);
+}
+
+TEST(PiDirectReciprocity, ZeroWhenEitherUserEmpty) {
+  // Eq. 4's flash-crowd observation: with m_i or m_j = 0, no exchange.
+  EXPECT_EQ(pi_direct_reciprocity(0, 5, 10), 0.0);
+  EXPECT_EQ(pi_direct_reciprocity(5, 0, 10), 0.0);
+}
+
+TEST(PiDirectReciprocity, SymmetricInArguments) {
+  EXPECT_NEAR(pi_direct_reciprocity(3, 7, 16), pi_direct_reciprocity(7, 3, 16),
+              1e-12);
+}
+
+TEST(PiDirectReciprocity, MatchesPaperMinMaxForm) {
+  // Eq. 4's closed form: 1 - C(M - min, max - min) / C(M, max).
+  const std::int64_t M = 12, a = 4, b = 7;
+  const double direct = pi_direct_reciprocity(a, b, M);
+  const double closed =
+      1.0 - std::exp(util::log_binomial(M - a, b - a) -
+                     util::log_binomial(M, b));
+  EXPECT_NEAR(direct, closed, 1e-10);
+}
+
+TEST(PieceCountDistribution, ValidatesInput) {
+  EXPECT_THROW(PieceCountDistribution({0.5, 0.5}, 2), std::invalid_argument);
+  EXPECT_THROW(PieceCountDistribution({0.5, 0.6, 0.0}, 2),
+               std::invalid_argument);
+  EXPECT_THROW(PieceCountDistribution({1.5, -0.5, 0.0}, 2),
+               std::invalid_argument);
+}
+
+TEST(PieceCountDistribution, PointMass) {
+  const auto d = PieceCountDistribution::point_mass(3, 8);
+  EXPECT_EQ(d.p(3), 1.0);
+  EXPECT_EQ(d.p(2), 0.0);
+  EXPECT_EQ(d.mean(), 3.0);
+}
+
+TEST(PieceCountDistribution, UniformInterior) {
+  const auto d = PieceCountDistribution::uniform_interior(5);
+  EXPECT_EQ(d.p(0), 0.0);
+  EXPECT_EQ(d.p(5), 0.0);
+  for (std::int64_t k = 1; k <= 4; ++k) EXPECT_NEAR(d.p(k), 0.25, 1e-12);
+  EXPECT_NEAR(d.mean(), 2.5, 1e-12);
+}
+
+TEST(PieceCountDistribution, FlashCrowdMassAtZero) {
+  const auto d = PieceCountDistribution::flash_crowd(0.6, 2, 10);
+  EXPECT_NEAR(d.p(0), 0.6, 1e-12);
+  EXPECT_NEAR(d.p(1), 0.2, 1e-12);
+  EXPECT_NEAR(d.p(2), 0.2, 1e-12);
+  EXPECT_EQ(d.p(3), 0.0);
+}
+
+TEST(PieceCountDistribution, BinomialMeanIsPhiM) {
+  const auto d = PieceCountDistribution::binomial(0.3, 40);
+  EXPECT_NEAR(d.mean(), 12.0, 1e-9);
+}
+
+TEST(PieceCountDistribution, BinomialDegeneratePhi) {
+  EXPECT_EQ(PieceCountDistribution::binomial(0.0, 10).p(0), 1.0);
+  EXPECT_EQ(PieceCountDistribution::binomial(1.0, 10).p(10), 1.0);
+}
+
+TEST(PiTChain, AtLeastDirectReciprocity) {
+  const auto dist = PieceCountDistribution::uniform_interior(32);
+  for (std::int64_t mj : {1, 8, 16, 31}) {
+    for (std::int64_t mi : {1, 8, 16, 31}) {
+      EXPECT_GE(pi_tchain(mj, mi, dist, 50) + 1e-12,
+                pi_direct_reciprocity(mj, mi, 32));
+    }
+  }
+}
+
+TEST(PiTChain, EqualsDirectPlusIndirect) {
+  const auto dist = PieceCountDistribution::uniform_interior(32);
+  const std::int64_t mj = 10, mi = 20, N = 40;
+  EXPECT_NEAR(pi_tchain(mj, mi, dist, N),
+              pi_direct_reciprocity(mj, mi, 32) +
+                  pi_indirect_reciprocity(mj, mi, dist, N),
+              1e-12);
+}
+
+TEST(PiBitTorrent, ReducesToDirectReciprocityAtAlphaZero) {
+  EXPECT_NEAR(pi_bittorrent(10, 20, 32, 0.0),
+              pi_direct_reciprocity(10, 20, 32), 1e-12);
+}
+
+TEST(PiBitTorrent, ReducesToAltruismAtAlphaOne) {
+  EXPECT_NEAR(pi_bittorrent(10, 20, 32, 1.0), pi_altruism(10, 20, 32), 1e-12);
+}
+
+TEST(PiBitTorrent, MonotoneInAlpha) {
+  double prev = 0.0;
+  for (double a = 0.0; a <= 1.0; a += 0.1) {
+    const double pi = pi_bittorrent(10, 25, 32, a);
+    ASSERT_GE(pi + 1e-12, prev);
+    prev = pi;
+  }
+}
+
+TEST(Corollary2, AltruismDominatesEverything) {
+  const std::int64_t M = 48;
+  const auto dist = PieceCountDistribution::uniform_interior(M);
+  for (std::int64_t mj : {1, 12, 24, 47}) {
+    for (std::int64_t mi : {1, 12, 24, 47}) {
+      const double pa = pi_altruism(mj, mi, M);
+      EXPECT_GE(pa + 1e-12, pi_tchain(mj, mi, dist, 100));
+      EXPECT_GE(pa + 1e-12, pi_bittorrent(mj, mi, M, 0.2));
+      EXPECT_GE(pa + 1e-12, pi_direct_reciprocity(mj, mi, M));
+    }
+  }
+}
+
+TEST(Corollary2, TChainApproachesAltruismAsNGrows) {
+  const std::int64_t M = 48;
+  const auto dist = PieceCountDistribution::uniform_interior(M);
+  // Uploader j holds more pieces than receiver i, so direct reciprocity is
+  // uncertain and the indirect term (which grows with N) matters.
+  const std::int64_t mj = 30, mi = 20;
+  const double pa = pi_altruism(mj, mi, M);
+  // N = 2: no third user exists, so T-Chain is pure direct reciprocity.
+  const double gap_small = pa - pi_tchain(mj, mi, dist, 2);
+  const double gap_large = pa - pi_tchain(mj, mi, dist, 2000);
+  EXPECT_LT(gap_large, gap_small);
+  EXPECT_NEAR(pi_tchain(mj, mi, dist, 2000), pa, 1e-6);
+}
+
+TEST(Proposition2, TChainBeatsBitTorrentBelowAlphaThreshold) {
+  const std::int64_t M = 48, N = 60;
+  const auto dist = PieceCountDistribution::uniform_interior(M);
+  const std::int64_t mj = 20, mi = 30;
+  const double threshold = alpha_bt_threshold(mj, dist, N);
+  EXPECT_GT(threshold, 0.0);
+  EXPECT_LE(threshold, 1.0);
+  const double below = std::max(0.0, threshold - 0.05);
+  EXPECT_GE(pi_tchain(mj, mi, dist, N) + 1e-9,
+            pi_bittorrent(mj, mi, M, below));
+}
+
+TEST(Proposition2, BitTorrentBeatsTChainAboveThresholdForSmallN) {
+  // With few users the redirect factor is small; a generous alpha_BT gives
+  // BitTorrent the higher exchange probability.
+  const std::int64_t M = 48, N = 3;
+  const auto dist = PieceCountDistribution::point_mass(24, M);
+  const std::int64_t mj = 24, mi = 24;
+  const double threshold = alpha_bt_threshold(mj, dist, N);
+  ASSERT_LT(threshold, 0.9);
+  EXPECT_LE(pi_tchain(mj, mi, dist, N),
+            pi_bittorrent(mj, mi, M, 0.95) + 1e-12);
+}
+
+TEST(ExpectedPi, AveragesOverDistribution) {
+  const std::int64_t M = 16;
+  const auto dist = PieceCountDistribution::point_mass(8, M);
+  const double expected = expected_pi(
+      dist, [M](std::int64_t mj, std::int64_t mi) {
+        return pi_altruism(mj, mi, M);
+      });
+  EXPECT_NEAR(expected, pi_altruism(8, 8, M), 1e-12);
+}
+
+TEST(IndirectRedirect, GrowsWithN) {
+  const auto dist = PieceCountDistribution::uniform_interior(32);
+  const double small = indirect_redirect_probability(16, dist, 4);
+  const double large = indirect_redirect_probability(16, dist, 400);
+  EXPECT_LE(small, large + 1e-12);
+}
+
+TEST(IndirectRedirect, RejectsTinySwarm) {
+  const auto dist = PieceCountDistribution::uniform_interior(32);
+  EXPECT_THROW(indirect_redirect_probability(16, dist, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace coopnet::core

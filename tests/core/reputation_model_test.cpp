@@ -1,0 +1,90 @@
+// Tests for Proposition 3.
+#include "core/reputation_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/fairness_efficiency.h"
+
+namespace coopnet::core {
+namespace {
+
+TEST(ReputationEquilibrium, ProportionalReputationsArePerfectlyFair) {
+  const std::vector<double> caps = {8.0, 4.0, 2.0};
+  const auto eq = reputation_equilibrium(proportional_reputations(caps), caps);
+  EXPECT_NEAR(eq.fairness, 0.0, 1e-12);
+  for (std::size_t i = 0; i < caps.size(); ++i) {
+    EXPECT_NEAR(eq.download[i], caps[i], 1e-12);
+  }
+}
+
+TEST(ReputationEquilibrium, DownloadRatesMatchClosedForm) {
+  const std::vector<double> r = {1.0, 2.0, 3.0};
+  const std::vector<double> u = {6.0, 6.0, 6.0};
+  const auto eq = reputation_equilibrium(r, u);
+  // d_i = r_i * 18 / 6 = 3 r_i.
+  EXPECT_NEAR(eq.download[0], 3.0, 1e-12);
+  EXPECT_NEAR(eq.download[1], 6.0, 1e-12);
+  EXPECT_NEAR(eq.download[2], 9.0, 1e-12);
+}
+
+TEST(ReputationEquilibrium, MisalignedReputationHurtsFairness) {
+  const std::vector<double> caps = {8.0, 4.0, 2.0};
+  // One user with moderate capacity but very low reputation (the paper's
+  // worked example after Prop. 3).
+  const std::vector<double> skewed = {8.0, 0.01, 2.0};
+  const auto aligned =
+      reputation_equilibrium(proportional_reputations(caps), caps);
+  const auto misaligned = reputation_equilibrium(skewed, caps);
+  EXPECT_GT(misaligned.fairness, aligned.fairness);
+  EXPECT_GT(misaligned.efficiency, aligned.efficiency);
+}
+
+TEST(ReputationEquilibrium, EfficiencyConsistentWithEq2) {
+  const std::vector<double> r = {1.0, 4.0};
+  const std::vector<double> u = {5.0, 5.0};
+  const auto eq = reputation_equilibrium(r, u);
+  EXPECT_NEAR(eq.efficiency, efficiency(eq.download), 1e-12);
+}
+
+TEST(ReputationEquilibrium, FairnessFormulaMatchesEq3) {
+  const std::vector<double> r = {1.0, 2.0};
+  const std::vector<double> u = {3.0, 3.0};
+  const auto eq = reputation_equilibrium(r, u);
+  // d = {2, 4}; F = (|log(2/3)| + |log(4/3)|) / 2.
+  const double expected =
+      (std::fabs(std::log(2.0 / 3.0)) + std::fabs(std::log(4.0 / 3.0))) / 2.0;
+  EXPECT_NEAR(eq.fairness, expected, 1e-12);
+}
+
+TEST(ReputationEquilibrium, RejectsBadInput) {
+  EXPECT_THROW(reputation_equilibrium({}, {}), std::invalid_argument);
+  EXPECT_THROW(reputation_equilibrium({1.0}, {1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(reputation_equilibrium({0.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(reputation_equilibrium({1.0}, {0.0}), std::invalid_argument);
+}
+
+// Property sweep: total download rate always equals total capacity (the
+// reputation scheme reallocates, never creates, bandwidth).
+class ReputationConservation
+    : public ::testing::TestWithParam<std::vector<double>> {};
+
+TEST_P(ReputationConservation, TotalsPreserved) {
+  const std::vector<double> caps = {10.0, 6.0, 4.0, 4.0};
+  const auto eq = reputation_equilibrium(GetParam(), caps);
+  double total = 0.0;
+  for (double d : eq.download) total += d;
+  EXPECT_NEAR(total, 24.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ReputationVectors, ReputationConservation,
+    ::testing::Values(std::vector<double>{1.0, 1.0, 1.0, 1.0},
+                      std::vector<double>{10.0, 6.0, 4.0, 4.0},
+                      std::vector<double>{0.1, 5.0, 2.0, 9.0},
+                      std::vector<double>{100.0, 1.0, 1.0, 1.0}));
+
+}  // namespace
+}  // namespace coopnet::core

@@ -1,0 +1,68 @@
+#include "exp/replication.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace coopnet::exp {
+namespace {
+
+TEST(Estimate, SingleSampleHasZeroWidth) {
+  const auto e = estimate({5.0});
+  EXPECT_EQ(e.mean, 5.0);
+  EXPECT_EQ(e.stddev, 0.0);
+  EXPECT_EQ(e.ci95_half_width, 0.0);
+  EXPECT_EQ(e.samples, 1u);
+}
+
+TEST(Estimate, KnownSample) {
+  const auto e = estimate({2.0, 4.0, 6.0, 8.0});
+  EXPECT_NEAR(e.mean, 5.0, 1e-12);
+  EXPECT_NEAR(e.stddev, std::sqrt(20.0 / 3.0), 1e-12);
+  EXPECT_NEAR(e.ci95_half_width, 1.96 * e.stddev / 2.0, 1e-12);
+  EXPECT_NEAR(e.hi() - e.lo(), 2.0 * e.ci95_half_width, 1e-12);
+}
+
+TEST(Estimate, EmptyThrows) {
+  EXPECT_THROW(estimate({}), std::invalid_argument);
+}
+
+TEST(Estimate, ToStringMentionsBothNumbers) {
+  const auto e = estimate({1.0, 3.0});
+  const std::string s = e.to_string(3);
+  EXPECT_NE(s.find("2"), std::string::npos);
+  EXPECT_NE(s.find("+/-"), std::string::npos);
+}
+
+TEST(RunReplicated, AggregatesAcrossSeeds) {
+  auto config = sim::SwarmConfig::small(core::Algorithm::kAltruism, 0);
+  config.n_peers = 30;
+  const auto rep = run_replicated(config, 3, /*seed0=*/11);
+  EXPECT_EQ(rep.replications, 3u);
+  EXPECT_EQ(rep.runs.size(), 3u);
+  EXPECT_EQ(rep.algorithm, core::Algorithm::kAltruism);
+  EXPECT_NEAR(rep.completed_fraction.mean, 1.0, 1e-9);
+  EXPECT_GT(rep.mean_completion.mean, 0.0);
+  EXPECT_EQ(rep.mean_completion.samples, 3u);
+  // Different seeds genuinely differ.
+  EXPECT_NE(rep.runs[0].completion_times, rep.runs[1].completion_times);
+  // CI width is finite and nonnegative.
+  EXPECT_GE(rep.mean_completion.ci95_half_width, 0.0);
+}
+
+TEST(RunReplicated, ZeroReplicationsThrows) {
+  const auto config = sim::SwarmConfig::small(core::Algorithm::kAltruism, 0);
+  EXPECT_THROW(run_replicated(config, 0), std::invalid_argument);
+}
+
+TEST(RunReplicated, ReciprocityYieldsEmptyCompletionEstimates) {
+  auto config = sim::SwarmConfig::small(core::Algorithm::kReciprocity, 0);
+  config.n_peers = 30;
+  config.max_time = 60.0;
+  const auto rep = run_replicated(config, 2);
+  EXPECT_EQ(rep.mean_completion.samples, 0u);  // nobody ever finished
+  EXPECT_NEAR(rep.completed_fraction.mean, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace coopnet::exp

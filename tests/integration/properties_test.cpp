@@ -1,0 +1,152 @@
+// Property-style sweeps: invariants that must hold for every algorithm,
+// seed, and free-rider mix (parameterized over the grid).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "exp/runner.h"
+#include "strategy/factory.h"
+
+namespace coopnet::exp {
+namespace {
+
+using core::Algorithm;
+
+struct GridParam {
+  Algorithm algorithm;
+  std::uint64_t seed;
+  double free_riders;
+};
+
+std::string param_name(const ::testing::TestParamInfo<GridParam>& info) {
+  std::string name = core::to_string(info.param.algorithm);
+  name.erase(std::remove(name.begin(), name.end(), '-'), name.end());
+  name += "_seed" + std::to_string(info.param.seed);
+  name += info.param.free_riders > 0.0 ? "_fr" : "_clean";
+  return name;
+}
+
+class SwarmInvariants : public ::testing::TestWithParam<GridParam> {
+ protected:
+  static sim::SwarmConfig config_for(const GridParam& p) {
+    auto config = sim::SwarmConfig::small(p.algorithm, p.seed);
+    if (p.free_riders > 0.0) {
+      config = with_freeriders(config, p.free_riders, false);
+    }
+    config.max_time = 400.0;
+    return config;
+  }
+};
+
+TEST_P(SwarmInvariants, HoldAfterFullRun) {
+  const auto param = GetParam();
+  const auto config = config_for(param);
+  sim::Swarm swarm(config, coopnet::strategy::make_strategy(config.algorithm));
+  metrics::RunMetrics collector;
+  collector.install(swarm);
+  swarm.run();
+
+  sim::Bytes uploaded = 0, raw = 0, usable = 0;
+  for (const sim::Peer& p : swarm.all_peers()) {
+    uploaded += p.uploaded_bytes;
+    raw += p.downloaded_raw_bytes;
+    usable += p.downloaded_usable_bytes;
+
+    // Byte counters are consistent per peer.
+    EXPECT_GE(p.uploaded_bytes, 0);
+    EXPECT_GE(p.downloaded_raw_bytes, p.downloaded_usable_bytes -
+                                          static_cast<sim::Bytes>(0));
+    EXPECT_LE(p.usable_from_leechers_bytes, p.downloaded_usable_bytes);
+
+    if (p.is_seeder()) {
+      EXPECT_EQ(p.downloaded_raw_bytes, 0);
+      continue;
+    }
+    // Usable bytes match the usable piece count exactly.
+    EXPECT_EQ(p.downloaded_usable_bytes,
+              static_cast<sim::Bytes>(p.pieces.count()) *
+                  config.piece_bytes);
+    // Piece-set unions are maintained.
+    for (sim::PieceId q = 0; q < p.pieces.size(); ++q) {
+      const bool members =
+          p.pieces.has(q) || p.locked.has(q) || p.pending.has(q);
+      EXPECT_EQ(p.unavailable.has(q), members);
+      EXPECT_EQ(p.transferable.has(q), p.pieces.has(q) || p.locked.has(q));
+    }
+    // Finish implies the complete file; departure implies finish.
+    if (p.finished()) {
+      EXPECT_TRUE(p.pieces.complete());
+      EXPECT_GE(p.finish_time, p.arrival_time);
+      EXPECT_GE(p.finish_time, p.bootstrap_time);
+    }
+    if (p.state == sim::PeerState::kLeft) {
+      EXPECT_TRUE(p.finished());
+    }
+    // Free-riders never upload.
+    if (p.is_free_rider()) {
+      EXPECT_EQ(p.uploaded_bytes, 0);
+    }
+  }
+
+  // Flow conservation (eq. 1): uploads >= deliveries >= unlocked payload.
+  EXPECT_GE(uploaded, raw);
+  EXPECT_GE(raw, usable - 0);
+
+  // Reputation ledger only grows and covers all real leecher uploads
+  // (fake sybil praise may add more, never less).
+  double ledger = 0.0;
+  for (const sim::Peer& p : swarm.all_peers()) {
+    ledger += swarm.reputation(p.id);
+    EXPECT_GE(swarm.reputation(p.id),
+              static_cast<double>(p.uploaded_bytes) - 1e-6);
+  }
+  EXPECT_GE(ledger, static_cast<double>(uploaded) - 1e-6);
+
+  // Metrics cover exactly the compliant population.
+  EXPECT_LE(collector.completion_times().size(),
+            collector.compliant_population());
+  EXPECT_LE(collector.bootstrap_times().size(),
+            collector.compliant_population());
+  const auto report = metrics::build_report(swarm, collector);
+  EXPECT_GE(report.susceptibility, 0.0);
+  EXPECT_LE(report.susceptibility, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgorithmSeedGrid, SwarmInvariants,
+    ::testing::Values(
+        GridParam{Algorithm::kReciprocity, 1, 0.0},
+        GridParam{Algorithm::kReciprocity, 2, 0.2},
+        GridParam{Algorithm::kTChain, 1, 0.0},
+        GridParam{Algorithm::kTChain, 2, 0.2},
+        GridParam{Algorithm::kBitTorrent, 1, 0.0},
+        GridParam{Algorithm::kBitTorrent, 2, 0.2},
+        GridParam{Algorithm::kFairTorrent, 1, 0.0},
+        GridParam{Algorithm::kFairTorrent, 2, 0.2},
+        GridParam{Algorithm::kReputation, 1, 0.0},
+        GridParam{Algorithm::kReputation, 2, 0.2},
+        GridParam{Algorithm::kAltruism, 1, 0.0},
+        GridParam{Algorithm::kAltruism, 2, 0.2}),
+    param_name);
+
+// Equation-1 equilibrium check against the analytical model: in the
+// simulator's steady state the realized aggregate download rate cannot
+// exceed aggregate upload capacity plus the seeder's.
+TEST(ModelConsistency, AggregateRatesBoundedByCapacity) {
+  auto config = sim::SwarmConfig::small(Algorithm::kAltruism, 3);
+  sim::Swarm swarm(config, coopnet::strategy::make_strategy(config.algorithm));
+  swarm.run();
+  double capacity_time = 0.0;  // integral of available upload capacity
+  sim::Bytes delivered = 0;
+  for (const sim::Peer& p : swarm.all_peers()) {
+    const double end = p.finished() ? p.finish_time : swarm.engine().now();
+    capacity_time += p.capacity * std::max(0.0, end - p.arrival_time);
+    delivered += p.downloaded_raw_bytes;
+  }
+  EXPECT_LE(static_cast<double>(delivered), capacity_time + 1e6);
+}
+
+}  // namespace
+}  // namespace coopnet::exp

@@ -1,0 +1,97 @@
+#include "metrics/availability.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "strategy/factory.h"
+
+namespace coopnet::metrics {
+namespace {
+
+sim::SwarmConfig avail_config() {
+  auto config = sim::SwarmConfig::small(core::Algorithm::kAltruism, 91);
+  config.n_peers = 30;
+  return config;
+}
+
+TEST(AvailabilitySnapshot, InitialStateIsAllEmpty) {
+  auto config = avail_config();
+  sim::Swarm swarm(config, strategy::make_strategy(config.algorithm));
+  // Before run() nobody is active.
+  const auto snap = availability_snapshot(swarm);
+  EXPECT_EQ(snap.active_leechers, 0u);
+  EXPECT_EQ(snap.mean_pieces, 0.0);
+}
+
+TEST(AvailabilitySnapshot, MidRunDistributionIsNormalized) {
+  auto config = avail_config();
+  config.max_time = 5.0;  // stop mid-swarm
+  sim::Swarm swarm(config, strategy::make_strategy(config.algorithm));
+  swarm.run();
+  const auto snap = availability_snapshot(swarm);
+  ASSERT_GT(snap.active_leechers, 0u);
+  const double total = std::accumulate(
+      snap.piece_count_distribution.begin(),
+      snap.piece_count_distribution.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(snap.mean_pieces, 0.0);
+  EXPECT_LT(snap.mean_pieces,
+            static_cast<double>(config.piece_count()));
+  EXPECT_GE(snap.min_replication, 1u);  // the seeder backs every piece
+}
+
+TEST(AvailabilitySnapshot, FeedsTheAnalyticalModel) {
+  auto config = avail_config();
+  config.max_time = 5.0;
+  sim::Swarm swarm(config, strategy::make_strategy(config.algorithm));
+  swarm.run();
+  const auto snap = availability_snapshot(swarm);
+  ASSERT_GT(snap.active_leechers, 0u);
+  const auto dist = to_distribution(snap);
+  EXPECT_EQ(dist.total_pieces(),
+            static_cast<std::int64_t>(config.piece_count()));
+  EXPECT_NEAR(dist.mean(), snap.mean_pieces, 1e-9);
+  // The measured distribution plugs into the pi model and yields a valid
+  // probability.
+  const double pi = core::expected_pi(dist, [&](auto mj, auto mi) {
+    return core::pi_altruism(mj, mi, dist.total_pieces());
+  });
+  EXPECT_GE(pi, 0.0);
+  EXPECT_LE(pi, 1.0);
+}
+
+TEST(AvailabilityTracker, CollectsMonotoneMeanUnderAltruism) {
+  auto config = avail_config();
+  sim::Swarm swarm(config, strategy::make_strategy(config.algorithm));
+  AvailabilityTracker tracker(2.0);
+  tracker.install(swarm);
+  swarm.run();
+  ASSERT_GE(tracker.snapshots().size(), 2u);
+  const auto series = tracker.mean_pieces_series();
+  // Mean piece count over active peers rises while the swarm fills (the
+  // very tail can dip as finished peers leave; check the first half).
+  const auto& snaps = tracker.snapshots();
+  for (std::size_t i = 1; i < snaps.size() / 2; ++i) {
+    EXPECT_GE(snaps[i].mean_pieces, snaps[i - 1].mean_pieces - 1e-9) << i;
+  }
+  EXPECT_EQ(series.size(), snaps.size());
+}
+
+TEST(AvailabilityTracker, DoubleInstallThrows) {
+  auto config = avail_config();
+  sim::Swarm swarm(config, strategy::make_strategy(config.algorithm));
+  AvailabilityTracker tracker;
+  tracker.install(swarm);
+  EXPECT_THROW(tracker.install(swarm), std::logic_error);
+  EXPECT_THROW(AvailabilityTracker(0.0), std::invalid_argument);
+}
+
+TEST(ToDistribution, EmptySnapshotThrows) {
+  AvailabilitySnapshot snap;
+  snap.piece_count_distribution.assign(9, 0.0);
+  EXPECT_THROW(to_distribution(snap), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace coopnet::metrics

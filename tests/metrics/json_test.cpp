@@ -1,0 +1,111 @@
+#include "metrics/json.h"
+
+#include <gtest/gtest.h>
+
+#include "exp/runner.h"
+
+namespace coopnet::metrics {
+namespace {
+
+RunReport sample_report() {
+  auto config = sim::SwarmConfig::small(core::Algorithm::kAltruism, 51);
+  config.n_peers = 20;
+  config.free_rider_fraction = 0.1;
+  return exp::run_scenario(config);
+}
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(json_escape("BitTorrent"), "BitTorrent");
+}
+
+TEST(JsonEscape, EscapesSpecials) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape("a\tb"), "a\\tb");
+  EXPECT_EQ(json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(ToJson, ContainsAllTopLevelFields) {
+  const std::string json = to_json(sample_report());
+  for (const char* field :
+       {"\"algorithm\"", "\"compliant_population\"",
+        "\"completed_fraction\"", "\"susceptibility\"",
+        "\"completion_summary\"", "\"bootstrap_summary\"",
+        "\"completion_times\"", "\"bootstrap_times\"",
+        "\"fairness_series\"", "\"susceptibility_series\"",
+        "\"total_uploaded_bytes\""}) {
+    EXPECT_NE(json.find(field), std::string::npos) << field;
+  }
+  EXPECT_NE(json.find("\"Altruism\""), std::string::npos);
+}
+
+TEST(ToJson, BalancedBracesAndBrackets) {
+  const std::string json = to_json(sample_report());
+  long braces = 0, brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '"' && (i == 0 || json[i - 1] != '\\')) in_string = !in_string;
+    if (in_string) continue;
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+    ASSERT_GE(braces, 0);
+    ASSERT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(ToJson, SeriesArraysAreParallel) {
+  const auto report = sample_report();
+  const std::string json = to_json(report);
+  // Count commas inside the fairness series arrays indirectly: both arrays
+  // must contain the same number of elements as the series has points.
+  const auto pos = json.find("\"fairness_series\"");
+  ASSERT_NE(pos, std::string::npos);
+  const auto time_pos = json.find("\"time\": [", pos);
+  const auto value_pos = json.find("\"value\": [", pos);
+  ASSERT_NE(time_pos, std::string::npos);
+  ASSERT_NE(value_pos, std::string::npos);
+  auto count_elems = [&](std::size_t start) {
+    const auto open = json.find('[', start);
+    const auto close = json.find(']', open);
+    const std::string body = json.substr(open + 1, close - open - 1);
+    if (body.empty()) return std::size_t{0};
+    return static_cast<std::size_t>(
+               std::count(body.begin(), body.end(), ',')) +
+           1;
+  };
+  EXPECT_EQ(count_elems(time_pos), report.fairness_series.size());
+  EXPECT_EQ(count_elems(value_pos), report.fairness_series.size());
+}
+
+TEST(ToJson, NonFiniteValuesBecomeNull) {
+  RunReport r;
+  r.settled_fairness = std::numeric_limits<double>::infinity();
+  const std::string json = to_json(r);
+  const auto pos = json.find("\"settled_fairness\"");
+  ASSERT_NE(pos, std::string::npos);
+  EXPECT_EQ(json.substr(json.find(':', pos) + 2, 4), "null");
+}
+
+TEST(ToJson, ArrayOfReports) {
+  const auto r = sample_report();
+  const std::string json = to_json(std::vector<RunReport>{r, r});
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  // Two report objects.
+  std::size_t count = 0, pos = 0;
+  while ((pos = json.find("\"algorithm\"", pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+}  // namespace
+}  // namespace coopnet::metrics

@@ -1,0 +1,162 @@
+#include "metrics/run_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "metrics/report.h"
+#include "sim/swarm.h"
+#include "strategy/factory.h"
+
+namespace coopnet::metrics {
+namespace {
+
+using core::Algorithm;
+using sim::Swarm;
+using sim::SwarmConfig;
+
+SwarmConfig config_for(Algorithm algo, double fr = 0.0) {
+  SwarmConfig c;
+  c.algorithm = algo;
+  c.n_peers = 30;
+  c.free_rider_fraction = fr;
+  c.file_bytes = 16 * 64 * 1024;
+  c.piece_bytes = 64 * 1024;
+  c.capacities = core::CapacityDistribution::homogeneous(128.0 * 1024);
+  c.seeder_capacity = 256.0 * 1024;
+  c.graph.degree = 29;
+  c.flash_crowd_window = 2.0;
+  c.max_time = 600.0;
+  c.seed = 21;
+  return c;
+}
+
+TEST(RunMetrics, CollectsCompletionAndBootstrapForCompliantOnly) {
+  auto config = config_for(Algorithm::kAltruism, 0.2);
+  Swarm s(config, strategy::make_strategy(config.algorithm));
+  RunMetrics m;
+  m.install(s);
+  s.run();
+  EXPECT_EQ(m.compliant_population(), 24u);
+  EXPECT_EQ(m.freerider_population(), 6u);
+  EXPECT_EQ(m.completion_times().size(), 24u);
+  EXPECT_EQ(m.bootstrap_times().size(), 24u);
+  for (double t : m.completion_times()) EXPECT_GT(t, 0.0);
+  for (double t : m.bootstrap_times()) EXPECT_GE(t, 0.0);
+}
+
+TEST(RunMetrics, DoubleInstallThrows) {
+  auto config = config_for(Algorithm::kAltruism);
+  Swarm s(config, strategy::make_strategy(config.algorithm));
+  RunMetrics m;
+  m.install(s);
+  EXPECT_THROW(m.install(s), std::logic_error);
+}
+
+TEST(RunMetrics, BadSampleIntervalThrows) {
+  EXPECT_THROW(RunMetrics(0.0), std::invalid_argument);
+  EXPECT_THROW(RunMetrics(-1.0), std::invalid_argument);
+}
+
+TEST(RunMetrics, FairnessSeriesIsSampled) {
+  auto config = config_for(Algorithm::kAltruism);
+  Swarm s(config, strategy::make_strategy(config.algorithm));
+  RunMetrics m(5.0);
+  m.install(s);
+  s.run();
+  EXPECT_GE(m.fairness_series().size(), 2u);
+  for (const auto& p : m.fairness_series().points()) {
+    EXPECT_GE(p.value, 0.0);
+  }
+}
+
+TEST(CurrentFairness, UndefinedBeforeAnyDownloads) {
+  auto config = config_for(Algorithm::kAltruism);
+  Swarm s(config, strategy::make_strategy(config.algorithm));
+  EXPECT_EQ(current_fairness(s), -1.0);
+  EXPECT_EQ(current_fairness_F(s), -1.0);
+  EXPECT_EQ(current_susceptibility(s), 0.0);
+}
+
+TEST(Susceptibility, ZeroWithoutFreeRiders) {
+  auto config = config_for(Algorithm::kAltruism);
+  Swarm s(config, strategy::make_strategy(config.algorithm));
+  RunMetrics m;
+  m.install(s);
+  s.run();
+  EXPECT_EQ(current_susceptibility(s), 0.0);
+}
+
+TEST(Susceptibility, TracksFreeRiderShareUnderAltruism) {
+  auto config = config_for(Algorithm::kAltruism, 0.2);
+  Swarm s(config, strategy::make_strategy(config.algorithm));
+  RunMetrics m;
+  m.install(s);
+  s.run();
+  // Altruism hands free-riders roughly their population share.
+  EXPECT_NEAR(current_susceptibility(s), 0.2, 0.08);
+}
+
+TEST(Report, BuildsConsistentSummary) {
+  auto config = config_for(Algorithm::kAltruism, 0.2);
+  Swarm s(config, strategy::make_strategy(config.algorithm));
+  RunMetrics m;
+  m.install(s);
+  s.run();
+  const RunReport r = build_report(s, m);
+  EXPECT_EQ(r.algorithm, Algorithm::kAltruism);
+  EXPECT_EQ(r.compliant_population, 24u);
+  EXPECT_EQ(r.freerider_population, 6u);
+  EXPECT_NEAR(r.completed_fraction, 1.0, 1e-12);
+  EXPECT_NEAR(r.bootstrapped_fraction, 1.0, 1e-12);
+  EXPECT_GT(r.completion_summary.mean, 0.0);
+  EXPECT_GE(r.completion_summary.max, r.completion_summary.median);
+  EXPECT_GT(r.total_uploaded_bytes, 0);
+  EXPECT_GE(r.total_uploaded_bytes, r.total_downloaded_raw_bytes);
+  EXPECT_GT(r.susceptibility, 0.0);
+}
+
+TEST(Report, CdfsCoverPopulation) {
+  auto config = config_for(Algorithm::kAltruism);
+  Swarm s(config, strategy::make_strategy(config.algorithm));
+  RunMetrics m;
+  m.install(s);
+  s.run();
+  const RunReport r = build_report(s, m);
+  const auto completion = completion_cdf(r);
+  ASSERT_FALSE(completion.empty());
+  EXPECT_NEAR(completion.back().fraction, 1.0, 1e-12);
+  const auto bootstrap = bootstrap_cdf(r);
+  ASSERT_FALSE(bootstrap.empty());
+  EXPECT_NEAR(bootstrap.back().fraction, 1.0, 1e-12);
+  EXPECT_LE(bootstrap.back().x, completion.back().x);
+}
+
+TEST(Report, SummaryStringMentionsKeyFacts) {
+  auto config = config_for(Algorithm::kAltruism, 0.2);
+  Swarm s(config, strategy::make_strategy(config.algorithm));
+  RunMetrics m;
+  m.install(s);
+  s.run();
+  const std::string text = summarize_report(build_report(s, m));
+  EXPECT_NE(text.find("Altruism"), std::string::npos);
+  EXPECT_NE(text.find("24/24"), std::string::npos);
+  EXPECT_NE(text.find("susceptibility"), std::string::npos);
+}
+
+TEST(Report, ReciprocityReportsNobodyFinishing) {
+  auto config = config_for(Algorithm::kReciprocity);
+  config.max_time = 30.0;  // cut before the seeder can finish anyone fully
+  Swarm s(config, strategy::make_strategy(config.algorithm));
+  RunMetrics m;
+  m.install(s);
+  s.run();
+  const RunReport r = build_report(s, m);
+  EXPECT_EQ(r.completion_times.size(), 0u);
+  EXPECT_EQ(r.completed_fraction, 0.0);
+  const std::string text = summarize_report(r);
+  EXPECT_NE(text.find("0/30"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace coopnet::metrics

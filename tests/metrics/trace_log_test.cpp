@@ -1,0 +1,118 @@
+#include "metrics/trace_log.h"
+
+#include <gtest/gtest.h>
+
+#include "metrics/run_metrics.h"
+#include "strategy/factory.h"
+
+namespace coopnet::metrics {
+namespace {
+
+sim::SwarmConfig trace_config() {
+  auto config = sim::SwarmConfig::small(core::Algorithm::kAltruism, 61);
+  config.n_peers = 20;
+  return config;
+}
+
+TEST(TraceLog, RecordsAllEventKinds) {
+  auto config = trace_config();
+  sim::Swarm swarm(config, strategy::make_strategy(config.algorithm));
+  TraceLog trace;
+  swarm.set_observer(&trace);
+  swarm.run();
+
+  std::size_t transfers = 0, bootstraps = 0, finishes = 0;
+  for (const auto& e : trace.events()) {
+    switch (e.kind) {
+      case TraceEvent::Kind::kTransfer:
+        ++transfers;
+        EXPECT_NE(e.from, sim::kNoPeer);
+        EXPECT_NE(e.piece, sim::kNoPiece);
+        EXPECT_GT(e.bytes, 0);
+        break;
+      case TraceEvent::Kind::kBootstrap:
+        ++bootstraps;
+        break;
+      case TraceEvent::Kind::kFinish:
+        ++finishes;
+        break;
+    }
+  }
+  EXPECT_EQ(transfers, trace.transfer_count());
+  // Every leecher (including free-riderless compliant set) bootstraps and
+  // finishes under altruism.
+  EXPECT_EQ(bootstraps, swarm.leechers());
+  EXPECT_EQ(finishes, swarm.leechers());
+  // Total transferred bytes match the swarm's raw download accounting.
+  sim::Bytes total = 0;
+  for (const auto& e : trace.events()) total += e.bytes;
+  sim::Bytes raw = 0;
+  for (const auto& p : swarm.all_peers()) raw += p.downloaded_raw_bytes;
+  EXPECT_EQ(total, raw);
+}
+
+TEST(TraceLog, EventsAreTimeOrdered) {
+  auto config = trace_config();
+  sim::Swarm swarm(config, strategy::make_strategy(config.algorithm));
+  TraceLog trace;
+  swarm.set_observer(&trace);
+  swarm.run();
+  double prev = 0.0;
+  for (const auto& e : trace.events()) {
+    EXPECT_GE(e.time, prev);
+    prev = e.time;
+  }
+}
+
+TEST(TraceLog, TransfersCanBeDisabled) {
+  auto config = trace_config();
+  sim::Swarm swarm(config, strategy::make_strategy(config.algorithm));
+  TraceLog trace(/*transfers_enabled=*/false);
+  swarm.set_observer(&trace);
+  swarm.run();
+  EXPECT_GT(trace.transfer_count(), 0u);  // still counted
+  for (const auto& e : trace.events()) {
+    EXPECT_NE(e.kind, TraceEvent::Kind::kTransfer);  // but not stored
+  }
+}
+
+TEST(TraceLog, ChainsToSecondObserver) {
+  auto config = trace_config();
+  sim::Swarm swarm(config, strategy::make_strategy(config.algorithm));
+  TraceLog trace;
+  RunMetrics run_metrics;
+  run_metrics.install(swarm);   // registers itself as observer...
+  swarm.set_observer(&trace);   // ...then trace takes over and chains
+  trace.chain(&run_metrics);
+  swarm.run();
+  EXPECT_EQ(run_metrics.completion_times().size(), swarm.leechers());
+  EXPECT_GT(trace.transfer_count(), 0u);
+}
+
+TEST(TraceLog, ForPeerFiltersBothDirections) {
+  auto config = trace_config();
+  sim::Swarm swarm(config, strategy::make_strategy(config.algorithm));
+  TraceLog trace;
+  swarm.set_observer(&trace);
+  swarm.run();
+  const auto events = trace.for_peer(0);
+  EXPECT_FALSE(events.empty());
+  for (const auto& e : events) {
+    EXPECT_TRUE(e.peer == 0 || e.from == 0);
+  }
+}
+
+TEST(TraceLog, CsvHasHeaderAndOneLinePerEvent) {
+  auto config = trace_config();
+  sim::Swarm swarm(config, strategy::make_strategy(config.algorithm));
+  TraceLog trace;
+  swarm.set_observer(&trace);
+  swarm.run();
+  const std::string csv = trace.to_csv();
+  const auto lines = std::count(csv.begin(), csv.end(), '\n');
+  EXPECT_EQ(static_cast<std::size_t>(lines), trace.events().size() + 1);
+  EXPECT_EQ(csv.rfind("kind,time,peer,from,piece,bytes,locked\n", 0), 0u);
+}
+
+}  // namespace
+}  // namespace coopnet::metrics

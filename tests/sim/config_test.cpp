@@ -1,0 +1,76 @@
+#include "sim/config.h"
+
+#include <gtest/gtest.h>
+
+namespace coopnet::sim {
+namespace {
+
+TEST(SwarmConfig, DefaultsAreValid) {
+  SwarmConfig c;
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(SwarmConfig, PieceCountRoundsUp) {
+  SwarmConfig c;
+  c.file_bytes = 1000;
+  c.piece_bytes = 300;
+  EXPECT_EQ(c.piece_count(), 4u);
+  c.file_bytes = 900;
+  EXPECT_EQ(c.piece_count(), 3u);
+}
+
+TEST(SwarmConfig, FreeRiderCountFloors) {
+  SwarmConfig c;
+  c.n_peers = 10;
+  c.free_rider_fraction = 0.25;
+  EXPECT_EQ(c.free_rider_count(), 2u);
+  c.free_rider_fraction = 0.0;
+  EXPECT_EQ(c.free_rider_count(), 0u);
+}
+
+TEST(SwarmConfig, SmallPresetMatchesScale) {
+  const auto c = SwarmConfig::small(core::Algorithm::kAltruism, 9);
+  EXPECT_NO_THROW(c.validate());
+  EXPECT_EQ(c.algorithm, core::Algorithm::kAltruism);
+  EXPECT_EQ(c.seed, 9u);
+  EXPECT_EQ(c.n_peers, 60u);
+  EXPECT_EQ(c.piece_count(), 64u);  // 8 MB / 128 KB
+}
+
+TEST(SwarmConfig, PaperScalePresetMatchesSectionVA) {
+  const auto c = SwarmConfig::paper_scale(core::Algorithm::kTChain);
+  EXPECT_NO_THROW(c.validate());
+  EXPECT_EQ(c.n_peers, 1000u);                      // flash crowd of 1000
+  EXPECT_EQ(c.file_bytes, 128LL * 1024 * 1024);     // 128 MB file
+  EXPECT_EQ(c.piece_count(), 512u);
+  EXPECT_EQ(c.flash_crowd_window, 10.0);            // arrivals in first 10 s
+}
+
+TEST(SwarmConfig, ValidateCatchesBadValues) {
+  auto bad = [](auto mutate) {
+    SwarmConfig c;
+    mutate(c);
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+  };
+  bad([](SwarmConfig& c) { c.n_peers = 1; });
+  bad([](SwarmConfig& c) { c.free_rider_fraction = 1.0; });
+  bad([](SwarmConfig& c) { c.free_rider_fraction = -0.1; });
+  bad([](SwarmConfig& c) { c.piece_bytes = 0; });
+  bad([](SwarmConfig& c) { c.piece_bytes = c.file_bytes + 1; });
+  bad([](SwarmConfig& c) { c.seeder_capacity = 0.0; });
+  bad([](SwarmConfig& c) { c.upload_slots = 0; });
+  bad([](SwarmConfig& c) { c.rechoke_interval = 0.0; });
+  bad([](SwarmConfig& c) { c.retry_interval = -1.0; });
+  bad([](SwarmConfig& c) { c.optimistic_rounds = 0; });
+  bad([](SwarmConfig& c) { c.alpha_r = 1.5; });
+  bad([](SwarmConfig& c) { c.tchain_grace = 0.0; });
+  bad([](SwarmConfig& c) { c.tchain_backlog = -1; });
+  bad([](SwarmConfig& c) { c.max_time = 0.0; });
+  bad([](SwarmConfig& c) { c.flash_crowd_window = -1.0; });
+  bad([](SwarmConfig& c) { c.attack.whitewash_interval = 0.0; });
+  bad([](SwarmConfig& c) { c.attack.sybil_interval = -5.0; });
+  bad([](SwarmConfig& c) { c.attack.sybil_rate = -1.0; });
+}
+
+}  // namespace
+}  // namespace coopnet::sim

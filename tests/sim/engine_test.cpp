@@ -1,0 +1,104 @@
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace coopnet::sim {
+namespace {
+
+TEST(SimEngine, StartsAtZero) {
+  SimEngine e;
+  EXPECT_EQ(e.now(), 0.0);
+  EXPECT_EQ(e.pending(), 0u);
+  EXPECT_EQ(e.events_processed(), 0u);
+}
+
+TEST(SimEngine, RunsEventsInTimeOrder) {
+  SimEngine e;
+  std::vector<int> order;
+  e.schedule(3.0, [&] { order.push_back(3); });
+  e.schedule(1.0, [&] { order.push_back(1); });
+  e.schedule(2.0, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 3.0);
+  EXPECT_EQ(e.events_processed(), 3u);
+}
+
+TEST(SimEngine, TiesBreakInSchedulingOrder) {
+  SimEngine e;
+  std::vector<int> order;
+  e.schedule(1.0, [&] { order.push_back(1); });
+  e.schedule(1.0, [&] { order.push_back(2); });
+  e.schedule(1.0, [&] { order.push_back(3); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimEngine, EventsCanScheduleEvents) {
+  SimEngine e;
+  int fired = 0;
+  e.schedule(1.0, [&] {
+    ++fired;
+    e.schedule(1.0, [&] { ++fired; });
+  });
+  e.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(e.now(), 2.0);
+}
+
+TEST(SimEngine, RunUntilLeavesLaterEventsQueued) {
+  SimEngine e;
+  int fired = 0;
+  e.schedule(1.0, [&] { ++fired; });
+  e.schedule(5.0, [&] { ++fired; });
+  e.run_until(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(e.now(), 2.0);  // clock advances to the deadline
+  EXPECT_EQ(e.pending(), 1u);
+  e.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimEngine, StopHaltsTheLoop) {
+  SimEngine e;
+  int fired = 0;
+  e.schedule(1.0, [&] {
+    ++fired;
+    e.stop();
+  });
+  e.schedule(2.0, [&] { ++fired; });
+  e.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(e.stopped());
+  EXPECT_EQ(e.pending(), 1u);
+}
+
+TEST(SimEngine, StopIsResetByNextRun) {
+  SimEngine e;
+  e.schedule(1.0, [&] { e.stop(); });
+  e.run();
+  int fired = 0;
+  e.schedule(1.0, [&] { ++fired; });
+  e.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimEngine, RejectsBadScheduling) {
+  SimEngine e;
+  EXPECT_THROW(e.schedule(-1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(e.schedule(1.0, SimEngine::EventFn{}), std::invalid_argument);
+  e.schedule(5.0, [] {});
+  e.run();
+  EXPECT_THROW(e.schedule_at(1.0, [] {}), std::invalid_argument);
+}
+
+TEST(SimEngine, RunUntilWithEmptyQueueAdvancesClock) {
+  SimEngine e;
+  e.run_until(7.0);
+  EXPECT_EQ(e.now(), 7.0);
+}
+
+}  // namespace
+}  // namespace coopnet::sim

@@ -1,0 +1,102 @@
+// Tests for post-completion seeding (linger_time).
+#include <gtest/gtest.h>
+
+#include "exp/runner.h"
+#include "sim/swarm.h"
+#include "strategy/factory.h"
+
+namespace coopnet::sim {
+namespace {
+
+using core::Algorithm;
+
+SwarmConfig linger_config(Algorithm algo, double linger,
+                          std::uint64_t seed = 71) {
+  auto config = SwarmConfig::small(algo, seed);
+  config.n_peers = 50;
+  config.linger_time = linger;
+  config.max_time = 3000.0;
+  return config;
+}
+
+TEST(Linger, FinishedPeersKeepUploading) {
+  auto config = linger_config(Algorithm::kBitTorrent, 30.0);
+  Swarm s(config, strategy::make_strategy(config.algorithm));
+  // Snapshot uploads at finish via the observer.
+  struct Snap : SwarmObserver {
+    std::unordered_map<PeerId, Bytes> at_finish;
+    void on_finish(const Swarm&, const Peer& p) override {
+      at_finish[p.id] = p.uploaded_bytes;
+    }
+  } snap;
+  s.set_observer(&snap);
+  s.run();
+  std::size_t post_finish_uploaders = 0;
+  for (PeerId i = 0; i < s.leechers(); ++i) {
+    auto it = snap.at_finish.find(i);
+    if (it != snap.at_finish.end() &&
+        s.peer(i).uploaded_bytes > it->second) {
+      ++post_finish_uploaders;
+    }
+  }
+  // Early finishers had needy neighbors left to seed.
+  EXPECT_GT(post_finish_uploaders, 0u);
+}
+
+TEST(Linger, ImprovesOrMatchesCompletionTimes) {
+  for (Algorithm algo : {Algorithm::kBitTorrent, Algorithm::kFairTorrent}) {
+    const auto without =
+        exp::run_scenario(linger_config(algo, 0.0));
+    const auto with_linger =
+        exp::run_scenario(linger_config(algo, 60.0));
+    ASSERT_FALSE(without.completion_times.empty());
+    ASSERT_FALSE(with_linger.completion_times.empty());
+    // Lingering seeders add capacity; the tail cannot get slower by much.
+    EXPECT_LT(with_linger.completion_summary.p90,
+              without.completion_summary.p90 * 1.1)
+        << core::to_string(algo);
+  }
+}
+
+TEST(Linger, PeersStillDepartAfterTheWindow) {
+  auto config = linger_config(Algorithm::kAltruism, 5.0);
+  Swarm s(config, strategy::make_strategy(config.algorithm));
+  s.run();
+  // Run ends when the last compliant peer finishes; anyone whose linger
+  // window expired before that must have left.
+  const double end = s.engine().now();
+  for (PeerId i = 0; i < s.leechers(); ++i) {
+    const Peer& p = s.peer(i);
+    ASSERT_TRUE(p.finished());
+    if (p.finish_time + 5.0 < end - 1e-6) {
+      EXPECT_EQ(p.state, PeerState::kLeft) << i;
+    }
+  }
+}
+
+TEST(Linger, FreeRidersNeverSeedEvenAfterFinishing) {
+  auto config = linger_config(Algorithm::kAltruism, 60.0);
+  config.free_rider_fraction = 0.2;
+  Swarm s(config, strategy::make_strategy(config.algorithm));
+  s.run();
+  for (PeerId i = 0; i < s.leechers(); ++i) {
+    if (s.peer(i).is_free_rider()) {
+      EXPECT_EQ(s.peer(i).uploaded_bytes, 0) << i;
+    }
+  }
+}
+
+TEST(Linger, JainIndexReported) {
+  const auto altruism =
+      exp::run_scenario(linger_config(Algorithm::kAltruism, 0.0));
+  const auto fairtorrent =
+      exp::run_scenario(linger_config(Algorithm::kFairTorrent, 0.0));
+  ASSERT_GT(altruism.download_rate_jain, 0.0);
+  ASSERT_GT(fairtorrent.download_rate_jain, 0.0);
+  // Altruism equalizes service across capacities; FairTorrent's service is
+  // capacity-proportional, so its rate disparity is wider.
+  EXPECT_GT(altruism.download_rate_jain, fairtorrent.download_rate_jain);
+}
+
+}  // namespace
+}  // namespace coopnet::sim

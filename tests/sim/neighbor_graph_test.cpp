@@ -1,0 +1,114 @@
+#include "sim/neighbor_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace coopnet::sim {
+namespace {
+
+std::vector<std::vector<PeerId>> make_graph(std::size_t n,
+                                            std::size_t degree,
+                                            std::vector<bool> large = {},
+                                            double mult = 4.0) {
+  if (large.empty()) large.assign(n, false);
+  util::Rng rng(11);
+  NeighborGraphConfig cfg;
+  cfg.degree = degree;
+  cfg.large_view_multiplier = mult;
+  return build_neighbor_graph(n, cfg, large, rng);
+}
+
+TEST(NeighborGraph, HasOneListPerPeerPlusSeeder) {
+  const auto g = make_graph(20, 5);
+  EXPECT_EQ(g.size(), 21u);
+}
+
+TEST(NeighborGraph, EveryLeecherKnowsTheSeeder) {
+  const auto g = make_graph(20, 5);
+  const PeerId seeder = 20;
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_TRUE(std::count(g[i].begin(), g[i].end(), seeder) == 1) << i;
+  }
+  EXPECT_EQ(g[seeder].size(), 20u);
+}
+
+TEST(NeighborGraph, NoSelfLoopsOrDuplicates) {
+  const auto g = make_graph(50, 10);
+  for (std::size_t i = 0; i < 50; ++i) {
+    std::set<PeerId> uniq(g[i].begin(), g[i].end());
+    EXPECT_EQ(uniq.size(), g[i].size()) << "duplicates at " << i;
+    EXPECT_EQ(uniq.count(static_cast<PeerId>(i)), 0u) << "self loop at " << i;
+  }
+}
+
+TEST(NeighborGraph, LeecherEdgesAreSymmetric) {
+  const auto g = make_graph(50, 10);
+  for (std::size_t i = 0; i < 50; ++i) {
+    for (PeerId j : g[i]) {
+      if (j == 50) continue;  // seeder handled separately
+      EXPECT_TRUE(std::count(g[j].begin(), g[j].end(),
+                             static_cast<PeerId>(i)) == 1)
+          << i << " -> " << j;
+    }
+  }
+}
+
+TEST(NeighborGraph, DegreeAtLeastRequested) {
+  const auto g = make_graph(100, 10);
+  for (std::size_t i = 0; i < 100; ++i) {
+    // degree edges requested + seeder; symmetrization can only add more.
+    EXPECT_GE(g[i].size(), 11u) << i;
+  }
+}
+
+TEST(NeighborGraph, LargeViewPeersHaveInflatedDegree) {
+  std::vector<bool> large(200, false);
+  large[0] = true;
+  const auto g = make_graph(200, 10, large, 4.0);
+  // Peer 0 requested ~40 edges; a normal peer ~10 (plus incidental
+  // symmetrized edges and the seeder).
+  EXPECT_GE(g[0].size(), 40u);
+  std::size_t normal_total = 0;
+  for (std::size_t i = 1; i < 200; ++i) normal_total += g[i].size();
+  const double normal_avg =
+      static_cast<double>(normal_total) / 199.0;
+  EXPECT_GT(static_cast<double>(g[0].size()), 1.8 * normal_avg);
+}
+
+TEST(NeighborGraph, DegreeClampsToPopulation) {
+  const auto g = make_graph(5, 100);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(g[i].size(), 5u);  // 4 other leechers + seeder
+  }
+}
+
+TEST(NeighborGraph, RejectsBadInput) {
+  util::Rng rng(1);
+  NeighborGraphConfig cfg;
+  std::vector<bool> flags(5, false);
+  EXPECT_THROW(build_neighbor_graph(1, cfg, {false}, rng),
+               std::invalid_argument);
+  EXPECT_THROW(build_neighbor_graph(5, cfg, {false, true}, rng),
+               std::invalid_argument);
+  cfg.degree = 0;
+  EXPECT_THROW(build_neighbor_graph(5, cfg, flags, rng),
+               std::invalid_argument);
+  cfg.degree = 2;
+  cfg.large_view_multiplier = 0.5;
+  EXPECT_THROW(build_neighbor_graph(5, cfg, flags, rng),
+               std::invalid_argument);
+}
+
+TEST(NeighborGraph, DeterministicGivenSeed) {
+  util::Rng a(42), b(42);
+  NeighborGraphConfig cfg;
+  cfg.degree = 8;
+  std::vector<bool> flags(30, false);
+  EXPECT_EQ(build_neighbor_graph(30, cfg, flags, a),
+            build_neighbor_graph(30, cfg, flags, b));
+}
+
+}  // namespace
+}  // namespace coopnet::sim

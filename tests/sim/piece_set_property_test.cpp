@@ -1,0 +1,85 @@
+// Randomized property test: PieceSet against a std::set<PieceId> reference
+// model across thousands of random operations.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "sim/piece_set.h"
+#include "util/rng.h"
+
+namespace coopnet::sim {
+namespace {
+
+class PieceSetModelCheck : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PieceSetModelCheck, MatchesReferenceModel) {
+  util::Rng rng(GetParam());
+  const PieceId size = static_cast<PieceId>(rng.uniform_int(1, 300));
+  PieceSet sut(size);
+  std::set<PieceId> model;
+
+  for (int op = 0; op < 4000; ++op) {
+    const auto piece = static_cast<PieceId>(rng.uniform_u64(size));
+    switch (rng.uniform_u64(5)) {
+      case 0:
+      case 1: {  // add
+        const bool inserted = model.insert(piece).second;
+        ASSERT_EQ(sut.add(piece), inserted);
+        break;
+      }
+      case 2: {  // remove
+        const bool erased = model.erase(piece) > 0;
+        ASSERT_EQ(sut.remove(piece), erased);
+        break;
+      }
+      case 3: {  // point query
+        ASSERT_EQ(sut.has(piece), model.count(piece) > 0);
+        break;
+      }
+      case 4: {  // aggregate queries
+        ASSERT_EQ(sut.count(), model.size());
+        ASSERT_EQ(sut.empty(), model.empty());
+        ASSERT_EQ(sut.complete(), model.size() == size);
+        break;
+      }
+    }
+  }
+
+  // Full sweep at the end.
+  for (PieceId p = 0; p < size; ++p) {
+    ASSERT_EQ(sut.has(p), model.count(p) > 0) << p;
+  }
+}
+
+TEST_P(PieceSetModelCheck, OfferableMatchesSetDifference) {
+  util::Rng rng(GetParam() ^ 0xabcdef);
+  const PieceId size = static_cast<PieceId>(rng.uniform_int(1, 300));
+  PieceSet offer(size), excluded(size);
+  std::set<PieceId> offer_model, excluded_model;
+  for (PieceId p = 0; p < size; ++p) {
+    if (rng.bernoulli(0.4)) {
+      offer.add(p);
+      offer_model.insert(p);
+    }
+    if (rng.bernoulli(0.4)) {
+      excluded.add(p);
+      excluded_model.insert(p);
+    }
+  }
+  std::vector<PieceId> expected;
+  for (PieceId p : offer_model) {
+    if (excluded_model.count(p) == 0) expected.push_back(p);
+  }
+  std::vector<PieceId> actual;
+  offer.for_each_offerable(excluded,
+                           [&](PieceId p) { actual.push_back(p); });
+  EXPECT_EQ(actual, expected);
+  EXPECT_EQ(offer.can_offer(excluded), !expected.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, PieceSetModelCheck,
+                         ::testing::Values(1, 2, 3, 42, 777));
+
+}  // namespace
+}  // namespace coopnet::sim

@@ -1,0 +1,106 @@
+#include "sim/piece_set.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace coopnet::sim {
+namespace {
+
+TEST(PieceSet, StartsEmpty) {
+  PieceSet s(100);
+  EXPECT_EQ(s.size(), 100u);
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.complete());
+  EXPECT_FALSE(s.has(0));
+}
+
+TEST(PieceSet, AddRemoveRoundTrip) {
+  PieceSet s(70);
+  EXPECT_TRUE(s.add(63));
+  EXPECT_TRUE(s.add(64));  // crosses the word boundary
+  EXPECT_FALSE(s.add(63));  // duplicate
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_TRUE(s.has(63));
+  EXPECT_TRUE(s.has(64));
+  EXPECT_TRUE(s.remove(63));
+  EXPECT_FALSE(s.remove(63));
+  EXPECT_EQ(s.count(), 1u);
+}
+
+TEST(PieceSet, FillSetsEverythingIncludingTail) {
+  PieceSet s(67);  // non-multiple of 64 exercises the tail mask
+  s.fill();
+  EXPECT_TRUE(s.complete());
+  EXPECT_EQ(s.count(), 67u);
+  for (PieceId p = 0; p < 67; ++p) EXPECT_TRUE(s.has(p));
+}
+
+TEST(PieceSet, ClearResets) {
+  PieceSet s(10);
+  s.fill();
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.has(5));
+}
+
+TEST(PieceSet, OutOfRangeThrows) {
+  PieceSet s(10);
+  EXPECT_THROW(s.has(10), std::out_of_range);
+  EXPECT_THROW(s.add(10), std::out_of_range);
+  EXPECT_THROW(s.remove(99), std::out_of_range);
+}
+
+TEST(PieceSet, CanOfferBasics) {
+  PieceSet offer(10), excluded(10);
+  EXPECT_FALSE(offer.can_offer(excluded));  // nothing to give
+  offer.add(3);
+  EXPECT_TRUE(offer.can_offer(excluded));
+  excluded.add(3);
+  EXPECT_FALSE(offer.can_offer(excluded));  // the only piece is excluded
+  offer.add(7);
+  EXPECT_TRUE(offer.can_offer(excluded));
+}
+
+TEST(PieceSet, CanOfferSizeMismatchThrows) {
+  PieceSet a(10), b(11);
+  EXPECT_THROW(a.can_offer(b), std::invalid_argument);
+}
+
+TEST(PieceSet, ForEachOfferableVisitsExactDifference) {
+  PieceSet offer(130), excluded(130);
+  for (PieceId p : {0u, 63u, 64u, 100u, 129u}) offer.add(p);
+  excluded.add(63);
+  excluded.add(100);
+  excluded.add(5);  // not offered; irrelevant
+  std::vector<PieceId> seen;
+  const auto n = offer.for_each_offerable(
+      excluded, [&](PieceId p) { seen.push_back(p); });
+  EXPECT_EQ(n, 3u);
+  EXPECT_EQ(seen, (std::vector<PieceId>{0, 64, 129}));
+}
+
+TEST(PieceSet, ForEachOfferableSizeMismatchThrows) {
+  PieceSet a(10), b(20);
+  EXPECT_THROW(a.for_each_offerable(b, [](PieceId) {}),
+               std::invalid_argument);
+}
+
+TEST(PieceSet, CompleteAfterAddingAll) {
+  PieceSet s(3);
+  s.add(0);
+  s.add(1);
+  EXPECT_FALSE(s.complete());
+  s.add(2);
+  EXPECT_TRUE(s.complete());
+}
+
+TEST(PieceSet, DefaultConstructedIsZeroSized) {
+  PieceSet s;
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_TRUE(s.complete());  // vacuously: count == size == 0
+}
+
+}  // namespace
+}  // namespace coopnet::sim

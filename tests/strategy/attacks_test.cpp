@@ -1,0 +1,122 @@
+// Attack-effectiveness tests: each targeted attack of Section V-B2 must
+// strictly improve the free-riders' take against its target algorithm,
+// and must be the *most* effective attack for that algorithm.
+#include <gtest/gtest.h>
+
+#include "exp/runner.h"
+
+namespace coopnet::exp {
+namespace {
+
+using core::Algorithm;
+
+sim::SwarmConfig attack_scale(Algorithm algo, std::uint64_t seed) {
+  auto config = sim::SwarmConfig::paper_scale(algo, seed);
+  config.n_peers = 200;
+  config.file_bytes = 16LL * 1024 * 1024;
+  config.graph.degree = 25;
+  config.max_time = 1200.0;
+  config.free_rider_fraction = 0.2;
+  return config;
+}
+
+double susceptibility_with(Algorithm algo, const sim::AttackConfig& attack,
+                           std::uint64_t seed = 23) {
+  auto config = attack_scale(algo, seed);
+  config.attack = attack;
+  return run_scenario(config).susceptibility;
+}
+
+TEST(Attacks, CollusionStrictlyHelpsAgainstTChain) {
+  sim::AttackConfig plain;
+  sim::AttackConfig collusion;
+  collusion.collusion = true;
+  const double without = susceptibility_with(Algorithm::kTChain, plain);
+  const double with_ring =
+      susceptibility_with(Algorithm::kTChain, collusion);
+  EXPECT_LT(without, 0.001);  // plain free-riding extracts ~nothing
+  EXPECT_GT(with_ring, without);
+}
+
+TEST(Attacks, CollusionGainStaysSmall) {
+  // Table III: pi_IR * m(m-1)/((N-1)N) << 1 -- even a successful ring
+  // extracts only a sliver.
+  sim::AttackConfig collusion;
+  collusion.collusion = true;
+  EXPECT_LT(susceptibility_with(Algorithm::kTChain, collusion), 0.05);
+}
+
+TEST(Attacks, WhitewashingStrictlyHelpsAgainstFairTorrent) {
+  sim::AttackConfig plain;
+  sim::AttackConfig whitewash;
+  whitewash.whitewashing = true;
+  const double without =
+      susceptibility_with(Algorithm::kFairTorrent, plain);
+  const double with_reset =
+      susceptibility_with(Algorithm::kFairTorrent, whitewash);
+  EXPECT_GT(with_reset, without);
+}
+
+TEST(Attacks, FasterWhitewashingHelpsMore) {
+  sim::AttackConfig slow;
+  slow.whitewashing = true;
+  slow.whitewash_interval = 120.0;
+  sim::AttackConfig fast;
+  fast.whitewashing = true;
+  fast.whitewash_interval = 10.0;
+  EXPECT_GE(susceptibility_with(Algorithm::kFairTorrent, fast),
+            susceptibility_with(Algorithm::kFairTorrent, slow));
+}
+
+TEST(Attacks, SybilPraiseStrictlyHelpsAgainstReputation) {
+  sim::AttackConfig plain;
+  sim::AttackConfig sybil;
+  sybil.sybil_praise = true;
+  const double without =
+      susceptibility_with(Algorithm::kReputation, plain);
+  const double with_praise =
+      susceptibility_with(Algorithm::kReputation, sybil);
+  EXPECT_GT(with_praise, without);
+  // With forged reputations, free-riders reach roughly their demand share.
+  EXPECT_GT(with_praise, 0.12);
+}
+
+TEST(Attacks, SybilPraiseIsUselessAgainstFairTorrent) {
+  // FairTorrent ignores the global ledger entirely (local deficits only).
+  sim::AttackConfig plain;
+  sim::AttackConfig sybil;
+  sybil.sybil_praise = true;
+  EXPECT_NEAR(susceptibility_with(Algorithm::kFairTorrent, sybil),
+              susceptibility_with(Algorithm::kFairTorrent, plain), 0.02);
+}
+
+TEST(Attacks, CollusionIsUselessAgainstBitTorrent) {
+  // No third-party transactions to subvert (Table III: exposure "none").
+  sim::AttackConfig plain;
+  sim::AttackConfig collusion;
+  collusion.collusion = true;
+  EXPECT_NEAR(susceptibility_with(Algorithm::kBitTorrent, collusion),
+              susceptibility_with(Algorithm::kBitTorrent, plain), 0.02);
+}
+
+TEST(Attacks, LargeViewHelpsAgainstBitTorrent) {
+  sim::AttackConfig plain;
+  sim::AttackConfig large;
+  large.large_view = true;
+  EXPECT_GT(susceptibility_with(Algorithm::kBitTorrent, large),
+            susceptibility_with(Algorithm::kBitTorrent, plain));
+}
+
+TEST(Attacks, AltruismNeedsNoAttackAtAll) {
+  // Everything is already free: plain free-riding extracts the demand
+  // share, and no attack meaningfully improves on it.
+  sim::AttackConfig plain;
+  const double base = susceptibility_with(Algorithm::kAltruism, plain);
+  EXPECT_GT(base, 0.12);
+  sim::AttackConfig all;
+  all.collusion = all.whitewashing = all.sybil_praise = true;
+  EXPECT_NEAR(susceptibility_with(Algorithm::kAltruism, all), base, 0.05);
+}
+
+}  // namespace
+}  // namespace coopnet::exp

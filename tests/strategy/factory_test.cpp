@@ -1,0 +1,46 @@
+#include "strategy/factory.h"
+
+#include <gtest/gtest.h>
+
+#include "strategy/altruism.h"
+#include "strategy/bittorrent.h"
+#include "strategy/fairtorrent.h"
+#include "strategy/reciprocity.h"
+#include "strategy/reputation.h"
+#include "strategy/tchain.h"
+
+namespace coopnet::strategy {
+namespace {
+
+TEST(Factory, CreatesMatchingImplementations) {
+  EXPECT_NE(dynamic_cast<ReciprocityStrategy*>(
+                make_strategy(core::Algorithm::kReciprocity).get()),
+            nullptr);
+  EXPECT_NE(dynamic_cast<TChainStrategy*>(
+                make_strategy(core::Algorithm::kTChain).get()),
+            nullptr);
+  EXPECT_NE(dynamic_cast<BitTorrentStrategy*>(
+                make_strategy(core::Algorithm::kBitTorrent).get()),
+            nullptr);
+  EXPECT_NE(dynamic_cast<FairTorrentStrategy*>(
+                make_strategy(core::Algorithm::kFairTorrent).get()),
+            nullptr);
+  EXPECT_NE(dynamic_cast<ReputationStrategy*>(
+                make_strategy(core::Algorithm::kReputation).get()),
+            nullptr);
+  EXPECT_NE(dynamic_cast<AltruismStrategy*>(
+                make_strategy(core::Algorithm::kAltruism).get()),
+            nullptr);
+}
+
+TEST(Factory, OnlyTChainDeliversLocked) {
+  for (core::Algorithm a : core::kAllAlgorithms) {
+    const auto strategy = make_strategy(a);
+    EXPECT_EQ(strategy->seeder_delivers_locked(),
+              a == core::Algorithm::kTChain)
+        << core::to_string(a);
+  }
+}
+
+}  // namespace
+}  // namespace coopnet::strategy

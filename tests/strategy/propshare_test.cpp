@@ -1,0 +1,110 @@
+// Tests for the PropShare extension: completion, proportional response,
+// and the strategyproofness claim (free-riders limited to the altruism
+// budget, like BitTorrent).
+#include "strategy/propshare.h"
+
+#include <gtest/gtest.h>
+
+#include "core/bootstrap.h"
+#include "core/equilibrium.h"
+#include "exp/runner.h"
+#include "sim/swarm.h"
+#include "strategy/factory.h"
+
+namespace coopnet::strategy {
+namespace {
+
+using core::Algorithm;
+
+sim::SwarmConfig ps_config(std::uint64_t seed = 31) {
+  auto config = sim::SwarmConfig::paper_scale(Algorithm::kPropShare, seed);
+  config.n_peers = 200;
+  config.file_bytes = 16LL * 1024 * 1024;
+  config.graph.degree = 25;
+  config.max_time = 1500.0;
+  return config;
+}
+
+TEST(PropShare, FactoryCreatesIt) {
+  EXPECT_NE(dynamic_cast<PropShareStrategy*>(
+                make_strategy(Algorithm::kPropShare).get()),
+            nullptr);
+  EXPECT_EQ(core::to_string(Algorithm::kPropShare), "PropShare");
+  EXPECT_EQ(core::algorithm_from_string("propshare"),
+            Algorithm::kPropShare);
+}
+
+TEST(PropShare, SwarmCompletes) {
+  const auto report = exp::run_scenario(ps_config());
+  EXPECT_NEAR(report.completed_fraction, 1.0, 1e-9);
+}
+
+TEST(PropShare, FairnessComparableToBitTorrentOrBetter) {
+  const auto ps = exp::run_scenario(ps_config());
+  auto bt_config = ps_config();
+  bt_config.algorithm = Algorithm::kBitTorrent;
+  const auto bt = exp::run_scenario(bt_config);
+  // Proportional response returns contributions more precisely than equal
+  // tit-for-tat slots: eq. 3 fairness should not be worse.
+  EXPECT_LE(ps.final_fairness_F, bt.final_fairness_F + 0.1);
+}
+
+TEST(PropShare, FreeRidersLimitedToAltruismBudget) {
+  auto config = ps_config();
+  config.free_rider_fraction = 0.2;
+  const auto report = exp::run_scenario(config);
+  // Table III extension row: alpha_BT of leecher bandwidth is the ceiling
+  // scale; free-riders share it with compliant newcomers.
+  EXPECT_GT(report.susceptibility, 0.01);
+  EXPECT_LT(report.susceptibility, 0.25);
+}
+
+TEST(PropShare, EquilibriumRowMatchesDesignGoal) {
+  const std::vector<double> caps = {8.0, 4.0, 2.0, 2.0};
+  core::ModelParams params;
+  params.alpha_bt = 0.25;
+  const auto rates =
+      core::equilibrium_rates(Algorithm::kPropShare, caps, params);
+  // d_0 = 0.75 * 8 + 0.25 * (8/3).
+  EXPECT_NEAR(rates.download[0], 6.0 + 0.25 * 8.0 / 3.0, 1e-12);
+}
+
+TEST(PropShare, BootstrapSlowLikeBitTorrent) {
+  core::BootstrapParams params;
+  const double ps =
+      core::bootstrap_probability(Algorithm::kPropShare, params, 500);
+  const double bt =
+      core::bootstrap_probability(Algorithm::kBitTorrent, params, 500);
+  const double alt =
+      core::bootstrap_probability(Algorithm::kAltruism, params, 500);
+  EXPECT_LT(ps, alt);        // far slower than altruism
+  EXPECT_NEAR(ps, bt, 0.05); // in BitTorrent's tier
+}
+
+TEST(PropShare, ContributionProportionalReturns) {
+  // Two capacity classes: the fast class should see roughly proportionally
+  // faster downloads mid-run under proportional share.
+  auto config = ps_config();
+  config.capacities = core::CapacityDistribution(
+      {{128.0 * 1024, 0.5}, {512.0 * 1024, 0.5}});
+  config.max_time = 25.0;  // mid-run snapshot, before anyone finishes
+  sim::Swarm swarm(config, make_strategy(Algorithm::kPropShare));
+  swarm.run();
+  double fast = 0.0, slow = 0.0;
+  std::size_t fast_n = 0, slow_n = 0;
+  for (sim::PeerId i = 0; i < swarm.leechers(); ++i) {
+    const sim::Peer& p = swarm.peer(i);
+    if (p.capacity > 256.0 * 1024) {
+      fast += static_cast<double>(p.downloaded_usable_bytes);
+      ++fast_n;
+    } else {
+      slow += static_cast<double>(p.downloaded_usable_bytes);
+      ++slow_n;
+    }
+  }
+  EXPECT_GT(fast / static_cast<double>(fast_n),
+            1.3 * slow / static_cast<double>(slow_n));
+}
+
+}  // namespace
+}  // namespace coopnet::strategy

@@ -1,0 +1,97 @@
+// Tests for BitTyrant-style strategic clients.
+#include <gtest/gtest.h>
+
+#include "exp/runner.h"
+#include "sim/swarm.h"
+#include "strategy/factory.h"
+
+namespace coopnet::strategy {
+namespace {
+
+using core::Algorithm;
+
+sim::SwarmConfig strategic_config(Algorithm algo, std::uint64_t seed = 83) {
+  auto config = sim::SwarmConfig::paper_scale(algo, seed);
+  config.n_peers = 200;
+  config.file_bytes = 16LL * 1024 * 1024;
+  config.graph.degree = 25;
+  config.max_time = 2000.0;
+  config.strategic_fraction = 0.2;
+  return config;
+}
+
+TEST(Strategic, PopulationIsAssigned) {
+  const auto config = strategic_config(Algorithm::kBitTorrent);
+  sim::Swarm s(config, make_strategy(config.algorithm));
+  std::size_t strategic = 0;
+  for (sim::PeerId i = 0; i < s.leechers(); ++i) {
+    if (s.peer(i).is_strategic()) ++strategic;
+  }
+  EXPECT_EQ(strategic, 40u);
+}
+
+TEST(Strategic, ClientsStillFinishUnderBitTorrent) {
+  const auto report = exp::run_scenario(strategic_config(
+      Algorithm::kBitTorrent));
+  EXPECT_EQ(report.strategic_population, 40u);
+  // The run waits for strategic participants too; reaching here with all
+  // compliant peers done means the swarm drained.
+  EXPECT_NEAR(report.completed_fraction, 1.0, 1e-9);
+}
+
+TEST(Strategic, ExploitsBitTorrentTitForTat) {
+  const auto report =
+      exp::run_scenario(strategic_config(Algorithm::kBitTorrent));
+  ASSERT_GT(report.strategic_mean_ratio, 0.0);
+  ASSERT_GT(report.compliant_mean_ratio, 0.0);
+  // BitTyrant's headline: equal service for a fraction of the upload.
+  EXPECT_LT(report.strategic_mean_ratio,
+            0.7 * report.compliant_mean_ratio);
+}
+
+TEST(Strategic, NoAdvantageUnderTChain) {
+  // T-Chain demands reciprocation for every piece: a client that uploads
+  // the bare minimum simply downloads less. Its give-take ratio cannot
+  // drop much below the compliant one.
+  const auto report =
+      exp::run_scenario(strategic_config(Algorithm::kTChain));
+  ASSERT_GT(report.strategic_mean_ratio, 0.0);
+  EXPECT_GT(report.strategic_mean_ratio,
+            0.8 * report.compliant_mean_ratio);
+}
+
+TEST(Strategic, StrategicPeersDoUpload) {
+  // Unlike free-riders: strategic clients contribute (minimally).
+  const auto config = strategic_config(Algorithm::kBitTorrent);
+  sim::Swarm s(config, make_strategy(config.algorithm));
+  s.run();
+  sim::Bytes strategic_up = 0;
+  for (sim::PeerId i = 0; i < s.leechers(); ++i) {
+    if (s.peer(i).is_strategic()) strategic_up += s.peer(i).uploaded_bytes;
+  }
+  EXPECT_GT(strategic_up, 0);
+}
+
+TEST(Strategic, MixWithFreeRidersValidates) {
+  sim::SwarmConfig config;
+  config.free_rider_fraction = 0.5;
+  config.strategic_fraction = 0.5;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.free_rider_fraction = 0.2;
+  config.strategic_fraction = 0.2;
+  EXPECT_NO_THROW(config.validate());
+  config.strategic_fraction = -0.1;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(Strategic, ReportFieldsAbsentWithoutStrategicPeers) {
+  auto config = strategic_config(Algorithm::kBitTorrent);
+  config.strategic_fraction = 0.0;
+  const auto report = exp::run_scenario(config);
+  EXPECT_EQ(report.strategic_population, 0u);
+  EXPECT_EQ(report.strategic_mean_ratio, -1.0);
+  EXPECT_GT(report.compliant_mean_ratio, 0.0);
+}
+
+}  // namespace
+}  // namespace coopnet::strategy

@@ -1,0 +1,50 @@
+#include "util/ascii_plot.h"
+
+#include <gtest/gtest.h>
+
+namespace coopnet::util {
+namespace {
+
+TEST(LineChart, EmptyInputYieldsEmptyString) {
+  EXPECT_EQ(line_chart({}), "");
+  EXPECT_EQ(line_chart({{"s", {}}}), "");
+}
+
+TEST(LineChart, ContainsLegendAndAxes) {
+  PlotSeries s{"speed", {{0.0, 1.0}, {1.0, 2.0}}};
+  const std::string out = line_chart({s}, 40, 10, "time", "value");
+  EXPECT_NE(out.find("* = speed"), std::string::npos);
+  EXPECT_NE(out.find("time"), std::string::npos);
+  EXPECT_NE(out.find("value"), std::string::npos);
+}
+
+TEST(LineChart, TwoSeriesUseDistinctMarkers) {
+  PlotSeries a{"a", {{0.0, 0.0}, {1.0, 1.0}}};
+  PlotSeries b{"b", {{0.0, 1.0}, {1.0, 0.0}}};
+  const std::string out = line_chart({a, b});
+  EXPECT_NE(out.find("* = a"), std::string::npos);
+  EXPECT_NE(out.find("o = b"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('o'), std::string::npos);
+}
+
+TEST(LineChart, DegenerateRangesDoNotCrash) {
+  PlotSeries s{"const", {{5.0, 3.0}, {5.0, 3.0}}};
+  EXPECT_FALSE(line_chart({s}).empty());
+}
+
+TEST(BarChart, ScalesToMaximum) {
+  const std::string out =
+      bar_chart({{"half", 0.5}, {"full", 1.0}}, 10);
+  // The longest bar has exactly `width` fill characters.
+  EXPECT_NE(out.find("|==========|"), std::string::npos);
+  EXPECT_NE(out.find("|=====     |"), std::string::npos);
+}
+
+TEST(BarChart, AllZeroValues) {
+  const std::string out = bar_chart({{"z", 0.0}}, 10);
+  EXPECT_NE(out.find("|          |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace coopnet::util

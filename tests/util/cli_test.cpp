@@ -1,0 +1,81 @@
+#include "util/cli.h"
+
+#include <gtest/gtest.h>
+
+namespace coopnet::util {
+namespace {
+
+Cli make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, EqualsSyntax) {
+  const auto cli = make({"--n=42", "--name=abc"});
+  EXPECT_EQ(cli.get_int("n", 0), 42);
+  EXPECT_EQ(cli.get_string("name", ""), "abc");
+}
+
+TEST(Cli, SpaceSyntax) {
+  const auto cli = make({"--n", "42"});
+  EXPECT_EQ(cli.get_int("n", 0), 42);
+}
+
+TEST(Cli, BareFlag) {
+  const auto cli = make({"--verbose"});
+  EXPECT_TRUE(cli.has("verbose"));
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+  EXPECT_FALSE(cli.get("verbose").has_value());
+}
+
+TEST(Cli, FlagFollowedByFlagDoesNotConsume) {
+  const auto cli = make({"--a", "--b=1"});
+  EXPECT_TRUE(cli.has("a"));
+  EXPECT_FALSE(cli.get("a").has_value());
+  EXPECT_EQ(cli.get_int("b", 0), 1);
+}
+
+TEST(Cli, Positional) {
+  const auto cli = make({"file1", "--x=1", "file2"});
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "file1");
+  EXPECT_EQ(cli.positional()[1], "file2");
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  const auto cli = make({});
+  EXPECT_EQ(cli.get_int("n", 7), 7);
+  EXPECT_EQ(cli.get_double("x", 2.5), 2.5);
+  EXPECT_EQ(cli.get_string("s", "d"), "d");
+  EXPECT_FALSE(cli.get_bool("b", false));
+  EXPECT_TRUE(cli.get_bool("b", true));
+}
+
+TEST(Cli, BoolSpellings) {
+  EXPECT_TRUE(make({"--f=true"}).get_bool("f", false));
+  EXPECT_TRUE(make({"--f=yes"}).get_bool("f", false));
+  EXPECT_TRUE(make({"--f=1"}).get_bool("f", false));
+  EXPECT_FALSE(make({"--f=false"}).get_bool("f", true));
+  EXPECT_FALSE(make({"--f=off"}).get_bool("f", true));
+}
+
+TEST(Cli, MalformedValuesThrow) {
+  EXPECT_THROW(make({"--n=abc"}).get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW(make({"--x=1.2.3"}).get_double("x", 0), std::invalid_argument);
+  EXPECT_THROW(make({"--b=maybe"}).get_bool("b", false),
+               std::invalid_argument);
+}
+
+TEST(Cli, GetDouble) {
+  const auto cli = make({"--x=2.5"});
+  EXPECT_EQ(cli.get_double("x", 0.0), 2.5);
+}
+
+TEST(Cli, ProgramName) {
+  const auto cli = make({});
+  EXPECT_EQ(cli.program(), "prog");
+}
+
+}  // namespace
+}  // namespace coopnet::util

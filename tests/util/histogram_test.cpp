@@ -1,0 +1,96 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace coopnet::util {
+namespace {
+
+TEST(Histogram, BinsAndEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.bins(), 5u);
+  EXPECT_EQ(h.bin_lo(0), 0.0);
+  EXPECT_EQ(h.bin_hi(0), 2.0);
+  EXPECT_EQ(h.bin_lo(4), 8.0);
+  EXPECT_EQ(h.bin_hi(4), 10.0);
+}
+
+TEST(Histogram, CountsFallIntoCorrectBins) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.0);
+  h.add(1.9);
+  h.add(2.0);
+  h.add(9.9);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.bin_count(4), 1u);
+  EXPECT_EQ(h.count(), 4u);
+}
+
+TEST(Histogram, UnderAndOverflow) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);
+  h.add(10.0);  // hi edge is exclusive
+  h.add(100.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(Histogram, BadConstructionThrows) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 5), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 5), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, BinEdgeOutOfRangeThrows) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW(h.bin_lo(2), std::out_of_range);
+}
+
+TEST(EmpiricalCdf, FullPopulationReachesOne) {
+  const std::vector<double> v = {3.0, 1.0, 2.0};
+  const auto cdf = empirical_cdf(v, v.size());
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_EQ(cdf.front().x, 1.0);
+  EXPECT_NEAR(cdf.front().fraction, 1.0 / 3.0, 1e-12);
+  EXPECT_EQ(cdf.back().x, 3.0);
+  EXPECT_NEAR(cdf.back().fraction, 1.0, 1e-12);
+}
+
+TEST(EmpiricalCdf, PartialPopulationPlateausBelowOne) {
+  // 2 of 4 individuals produced a value (e.g. finished the download).
+  const std::vector<double> v = {5.0, 10.0};
+  const auto cdf = empirical_cdf(v, 4);
+  EXPECT_NEAR(cdf.back().fraction, 0.5, 1e-12);
+}
+
+TEST(EmpiricalCdf, DuplicatesCollapse) {
+  const std::vector<double> v = {2.0, 2.0, 2.0};
+  const auto cdf = empirical_cdf(v, 3);
+  ASSERT_EQ(cdf.size(), 1u);
+  EXPECT_EQ(cdf[0].x, 2.0);
+  EXPECT_NEAR(cdf[0].fraction, 1.0, 1e-12);
+}
+
+TEST(EmpiricalCdf, PopulationSmallerThanSampleThrows) {
+  const std::vector<double> v = {1.0, 2.0};
+  EXPECT_THROW(empirical_cdf(v, 1), std::invalid_argument);
+}
+
+TEST(CdfAt, StepSemantics) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  const auto cdf = empirical_cdf(v, 4);
+  EXPECT_EQ(cdf_at(cdf, 0.5), 0.0);
+  EXPECT_NEAR(cdf_at(cdf, 1.0), 0.25, 1e-12);
+  EXPECT_NEAR(cdf_at(cdf, 2.5), 0.5, 1e-12);
+  EXPECT_NEAR(cdf_at(cdf, 99.0), 1.0, 1e-12);
+}
+
+TEST(CdfToCsv, Format) {
+  const std::vector<double> v = {1.0};
+  const auto cdf = empirical_cdf(v, 2);
+  EXPECT_EQ(cdf_to_csv(cdf), "x,fraction\n1,0.5\n");
+}
+
+}  // namespace
+}  // namespace coopnet::util

@@ -1,0 +1,91 @@
+#include "util/logmath.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace coopnet::util {
+namespace {
+
+TEST(LogMath, LogFactorialSmallValues) {
+  EXPECT_NEAR(log_factorial(0), 0.0, 1e-12);
+  EXPECT_NEAR(log_factorial(1), 0.0, 1e-12);
+  EXPECT_NEAR(log_factorial(5), std::log(120.0), 1e-10);
+  EXPECT_NEAR(log_factorial(10), std::log(3628800.0), 1e-9);
+}
+
+TEST(LogMath, LogFactorialNegativeThrows) {
+  EXPECT_THROW(log_factorial(-1), std::invalid_argument);
+}
+
+TEST(LogMath, LogBinomialMatchesSmallCoefficients) {
+  EXPECT_NEAR(std::exp(log_binomial(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_binomial(10, 5)), 252.0, 1e-7);
+  EXPECT_NEAR(std::exp(log_binomial(7, 0)), 1.0, 1e-12);
+  EXPECT_NEAR(std::exp(log_binomial(7, 7)), 1.0, 1e-12);
+}
+
+TEST(LogMath, LogBinomialOutOfRangeIsMinusInfinity) {
+  EXPECT_TRUE(std::isinf(log_binomial(5, -1)));
+  EXPECT_TRUE(std::isinf(log_binomial(5, 6)));
+}
+
+TEST(LogMath, LogBinomialHandlesPaperScaleWithoutOverflow) {
+  // M = 512 pieces: C(512, 256) overflows double (~1e153); the log form
+  // must stay finite.
+  const double lb = log_binomial(512, 256);
+  EXPECT_TRUE(std::isfinite(lb));
+  EXPECT_GT(lb, 300.0);
+}
+
+TEST(LogMath, BinomialRatioExactForSmallValues) {
+  // C(4,2) / C(6,3) = 6 / 20.
+  EXPECT_NEAR(binomial_ratio(4, 2, 6, 3), 0.3, 1e-12);
+}
+
+TEST(LogMath, BinomialRatioZeroNumerator) {
+  EXPECT_EQ(binomial_ratio(3, 5, 6, 3), 0.0);
+}
+
+TEST(LogMath, BinomialRatioZeroDenominatorThrows) {
+  EXPECT_THROW(binomial_ratio(4, 2, 3, 5), std::invalid_argument);
+}
+
+TEST(LogMath, BinomialRatioSubsetIdentity) {
+  // C(M, m_i) C(m_i, m_j) == C(M, m_j) C(M - m_j, m_i - m_j): both sides of
+  // the identity used to implement q(i, j) in eq. 5.
+  const std::int64_t M = 200, mi = 120, mj = 45;
+  const double lhs = log_binomial(M, mi) + log_binomial(mi, mj);
+  const double rhs = log_binomial(M, mj) + log_binomial(M - mj, mi - mj);
+  EXPECT_NEAR(lhs, rhs, 1e-8);
+}
+
+TEST(LogMath, PowOneMinusMatchesDirectEvaluation) {
+  EXPECT_NEAR(pow_one_minus(0.25, 3), std::pow(0.75, 3), 1e-12);
+  EXPECT_NEAR(pow_one_minus(0.0, 100), 1.0, 1e-12);
+  EXPECT_NEAR(pow_one_minus(1.0, 5), 0.0, 1e-12);
+  EXPECT_NEAR(pow_one_minus(1.0, 0), 1.0, 1e-12);
+}
+
+TEST(LogMath, PowOneMinusAccurateForTinyX) {
+  // (1 - 1e-12)^1e6 ~ exp(-1e-6); naive pow loses precision here.
+  const double v = pow_one_minus(1e-12, 1e6);
+  EXPECT_NEAR(v, std::exp(-1e-6), 1e-12);
+}
+
+TEST(LogMath, PowOneMinusRejectsBadInput) {
+  EXPECT_THROW(pow_one_minus(-0.1, 2), std::invalid_argument);
+  EXPECT_THROW(pow_one_minus(1.1, 2), std::invalid_argument);
+  EXPECT_THROW(pow_one_minus(0.5, -1), std::invalid_argument);
+}
+
+TEST(LogMath, ClampProbability) {
+  EXPECT_EQ(clamp_probability(-0.5), 0.0);
+  EXPECT_EQ(clamp_probability(1.5), 1.0);
+  EXPECT_EQ(clamp_probability(0.25), 0.25);
+  EXPECT_THROW(clamp_probability(std::nan("")), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace coopnet::util

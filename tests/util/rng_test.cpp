@@ -1,0 +1,180 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+namespace coopnet::util {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformU64RespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform_u64(17), 17u);
+  }
+}
+
+TEST(Rng, UniformU64ZeroBoundThrows) {
+  Rng rng(7);
+  EXPECT_THROW(rng.uniform_u64(0), std::invalid_argument);
+}
+
+TEST(Rng, UniformU64CoversAllResidues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_u64(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntReversedThrows) {
+  Rng rng(3);
+  EXPECT_THROW(rng.uniform_int(2, 1), std::invalid_argument);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng(9);
+  double mean = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.uniform01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    mean += v;
+  }
+  mean /= 20000.0;
+  EXPECT_NEAR(mean, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(5);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliDegenerateProbabilities) {
+  Rng rng(5);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_FALSE(rng.bernoulli(-1.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+  EXPECT_TRUE(rng.bernoulli(2.0));
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(13);
+  double total = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) total += rng.exponential(2.0);
+  EXPECT_NEAR(total / n, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialBadRateThrows) {
+  Rng rng(13);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(rng.exponential(-1.0), std::invalid_argument);
+}
+
+TEST(Rng, WeightedIndexFollowsWeights) {
+  Rng rng(17);
+  const std::array<double, 3> w = {1.0, 0.0, 3.0};
+  std::array<int, 3> counts = {0, 0, 0};
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[rng.weighted_index(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.01);
+}
+
+TEST(Rng, WeightedIndexRejectsBadInput) {
+  Rng rng(17);
+  const std::array<double, 2> zero = {0.0, 0.0};
+  EXPECT_THROW(rng.weighted_index(zero), std::invalid_argument);
+  const std::array<double, 2> negative = {1.0, -0.5};
+  EXPECT_THROW(rng.weighted_index(negative), std::invalid_argument);
+}
+
+TEST(Rng, PickReturnsElementFromVector) {
+  Rng rng(19);
+  const std::vector<int> v = {10, 20, 30};
+  for (int i = 0; i < 100; ++i) {
+    const int x = rng.pick(v);
+    EXPECT_TRUE(x == 10 || x == 20 || x == 30);
+  }
+}
+
+TEST(Rng, PickEmptyThrows) {
+  Rng rng(19);
+  const std::vector<int> v;
+  EXPECT_THROW(rng.pick(v), std::invalid_argument);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(23);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng(29);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  const auto original = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, original);  // probability of identity is astronomically small
+}
+
+TEST(Rng, SampleIndicesDistinctAndInRange) {
+  Rng rng(31);
+  for (std::size_t k : {0u, 1u, 5u, 50u, 100u}) {
+    auto s = rng.sample_indices(100, k);
+    ASSERT_EQ(s.size(), k);
+    std::set<std::size_t> uniq(s.begin(), s.end());
+    EXPECT_EQ(uniq.size(), k);
+    for (auto idx : s) EXPECT_LT(idx, 100u);
+  }
+}
+
+TEST(Rng, SampleIndicesKGreaterThanNThrows) {
+  Rng rng(31);
+  EXPECT_THROW(rng.sample_indices(3, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace coopnet::util

@@ -1,0 +1,111 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace coopnet::util {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(OnlineStats, KnownSample) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_NEAR(s.mean(), 5.0, 1e-12);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.sum(), 40.0, 1e-12);
+}
+
+TEST(OnlineStats, SingleValueHasZeroVariance) {
+  OnlineStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.mean(), 3.5);
+}
+
+TEST(QuantileSorted, Endpoints) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_EQ(quantile_sorted(v, 0.0), 1.0);
+  EXPECT_EQ(quantile_sorted(v, 1.0), 4.0);
+}
+
+TEST(QuantileSorted, Interpolates) {
+  const std::vector<double> v = {0.0, 10.0};
+  EXPECT_NEAR(quantile_sorted(v, 0.5), 5.0, 1e-12);
+  EXPECT_NEAR(quantile_sorted(v, 0.25), 2.5, 1e-12);
+}
+
+TEST(QuantileSorted, EmptyThrows) {
+  const std::vector<double> v;
+  EXPECT_THROW(quantile_sorted(v, 0.5), std::invalid_argument);
+}
+
+TEST(Summarize, MatchesHandComputedValues) {
+  const std::vector<double> v = {5.0, 1.0, 3.0, 2.0, 4.0};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_NEAR(s.mean, 3.0, 1e-12);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.median, 3.0, 1e-12);
+  EXPECT_NEAR(s.p25, 2.0, 1e-12);
+  EXPECT_NEAR(s.p75, 4.0, 1e-12);
+}
+
+TEST(Summarize, EmptySampleIsAllZero) {
+  const Summary s = summarize(std::vector<double>{});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(JainIndex, AllEqualIsOne) {
+  const std::vector<double> v = {3.0, 3.0, 3.0};
+  EXPECT_NEAR(jain_index(v), 1.0, 1e-12);
+}
+
+TEST(JainIndex, SingleNonZeroAmongNIsOneOverN) {
+  const std::vector<double> v = {1.0, 0.0, 0.0, 0.0};
+  EXPECT_NEAR(jain_index(v), 0.25, 1e-12);
+}
+
+TEST(JainIndex, EmptyAndAllZeroAreOne) {
+  EXPECT_EQ(jain_index(std::vector<double>{}), 1.0);
+  const std::vector<double> z = {0.0, 0.0};
+  EXPECT_EQ(jain_index(z), 1.0);
+}
+
+TEST(MeanAbsLog, BalancedRatiosGiveZero) {
+  const std::vector<double> v = {1.0, 1.0, 1.0};
+  EXPECT_NEAR(mean_abs_log(v), 0.0, 1e-12);
+}
+
+TEST(MeanAbsLog, SymmetricRatios) {
+  // |log 2| appears twice; mean is log 2.
+  const std::vector<double> v = {2.0, 0.5};
+  EXPECT_NEAR(mean_abs_log(v), std::log(2.0), 1e-12);
+}
+
+TEST(MeanAbsLog, SkipsNonPositive) {
+  const std::vector<double> v = {0.0, -1.0, std::exp(1.0)};
+  EXPECT_NEAR(mean_abs_log(v), 1.0, 1e-12);
+}
+
+TEST(MeanAbsLog, EmptyEffectiveSampleIsZero) {
+  const std::vector<double> v = {0.0, -2.0};
+  EXPECT_EQ(mean_abs_log(v), 0.0);
+}
+
+}  // namespace
+}  // namespace coopnet::util

@@ -1,0 +1,63 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace coopnet::util {
+namespace {
+
+TEST(Table, RenderAlignsColumns) {
+  Table t("Title");
+  t.set_header({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Title"), std::string::npos);
+  EXPECT_NE(out.find("| name      | value |"), std::string::npos);
+  EXPECT_NE(out.find("| long-name | 22    |"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t;
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, HeaderAfterRowsThrows) {
+  Table t;
+  t.add_row({"x"});
+  EXPECT_THROW(t.set_header({"a"}), std::logic_error);
+}
+
+TEST(Table, RowsWithoutHeaderMustMatchFirstRow) {
+  Table t;
+  t.add_row({"a", "b"});
+  EXPECT_THROW(t.add_row({"c"}), std::invalid_argument);
+  EXPECT_NO_THROW(t.add_row({"c", "d"}));
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 3), "3.14");
+  EXPECT_EQ(Table::num(1000.0, 4), "1000");
+}
+
+TEST(Table, PctFormatsPercentage) {
+  EXPECT_EQ(Table::pct(0.918), "91.8%");
+  EXPECT_EQ(Table::pct(0.001), "0.1%");
+  EXPECT_EQ(Table::pct(0.5, 0), "50%");
+}
+
+TEST(Table, CsvEscapesCommasAndQuotes) {
+  Table t;
+  t.set_header({"k", "v"});
+  t.add_row({"a,b", "say \"hi\""});
+  EXPECT_EQ(t.to_csv(), "k,v\n\"a,b\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Table, EmptyTableRenders) {
+  Table t("empty");
+  EXPECT_EQ(t.render(), "empty\n");
+}
+
+}  // namespace
+}  // namespace coopnet::util

@@ -1,0 +1,93 @@
+#include "util/timeseries.h"
+
+#include <gtest/gtest.h>
+
+namespace coopnet::util {
+namespace {
+
+TimeSeries make_series() {
+  TimeSeries s("demo");
+  s.add(0.0, 1.0);
+  s.add(10.0, 2.0);
+  s.add(20.0, 4.0);
+  return s;
+}
+
+TEST(TimeSeries, AddAndAccess) {
+  const auto s = make_series();
+  EXPECT_EQ(s.name(), "demo");
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.front().value, 1.0);
+  EXPECT_EQ(s.back().value, 4.0);
+}
+
+TEST(TimeSeries, RejectsBackwardsTime) {
+  auto s = make_series();
+  EXPECT_THROW(s.add(5.0, 0.0), std::invalid_argument);
+}
+
+TEST(TimeSeries, AllowsEqualTimes) {
+  auto s = make_series();
+  EXPECT_NO_THROW(s.add(20.0, 5.0));
+}
+
+TEST(TimeSeries, ValueAtStepInterpolation) {
+  const auto s = make_series();
+  EXPECT_EQ(s.value_at(-5.0), 1.0);  // before start: first value
+  EXPECT_EQ(s.value_at(0.0), 1.0);
+  EXPECT_EQ(s.value_at(9.9), 1.0);
+  EXPECT_EQ(s.value_at(10.0), 2.0);
+  EXPECT_EQ(s.value_at(15.0), 2.0);
+  EXPECT_EQ(s.value_at(100.0), 4.0);
+}
+
+TEST(TimeSeries, ValueAtEmptyThrows) {
+  TimeSeries s;
+  EXPECT_THROW(s.value_at(0.0), std::logic_error);
+}
+
+TEST(TimeSeries, TailMeanLastHalf) {
+  const auto s = make_series();
+  // Cutoff at t = 10: samples at 10 and 20 -> mean 3.
+  EXPECT_NEAR(s.tail_mean(0.5), 3.0, 1e-12);
+}
+
+TEST(TimeSeries, TailMeanFullSpan) {
+  const auto s = make_series();
+  EXPECT_NEAR(s.tail_mean(1.0), 7.0 / 3.0, 1e-12);
+}
+
+TEST(TimeSeries, TailMeanBadFractionThrows) {
+  const auto s = make_series();
+  EXPECT_THROW(s.tail_mean(0.0), std::invalid_argument);
+  EXPECT_THROW(s.tail_mean(1.5), std::invalid_argument);
+}
+
+TEST(TimeSeries, ResampleUniformGrid) {
+  const auto s = make_series();
+  const auto grid = s.resample(5);
+  ASSERT_EQ(grid.size(), 5u);
+  EXPECT_EQ(grid.front().time, 0.0);
+  EXPECT_EQ(grid.back().time, 20.0);
+  EXPECT_EQ(grid[2].time, 10.0);
+  EXPECT_EQ(grid[2].value, 2.0);
+}
+
+TEST(TimeSeries, ResampleSinglePoint) {
+  const auto s = make_series();
+  const auto grid = s.resample(1);
+  ASSERT_EQ(grid.size(), 1u);
+  EXPECT_EQ(grid[0].value, 4.0);
+}
+
+TEST(TimeSeries, ToCsvLongFormat) {
+  TimeSeries a("a");
+  a.add(1.0, 2.0);
+  TimeSeries b("b");
+  b.add(3.0, 4.0);
+  const std::string csv = to_csv({a, b});
+  EXPECT_EQ(csv, "series,time,value\na,1,2\nb,3,4\n");
+}
+
+}  // namespace
+}  // namespace coopnet::util
