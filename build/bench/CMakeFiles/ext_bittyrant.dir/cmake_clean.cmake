@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_bittyrant.dir/ext_bittyrant.cpp.o"
+  "CMakeFiles/ext_bittyrant.dir/ext_bittyrant.cpp.o.d"
+  "ext_bittyrant"
+  "ext_bittyrant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_bittyrant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

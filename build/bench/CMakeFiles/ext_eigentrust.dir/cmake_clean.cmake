@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_eigentrust.dir/ext_eigentrust.cpp.o"
+  "CMakeFiles/ext_eigentrust.dir/ext_eigentrust.cpp.o.d"
+  "ext_eigentrust"
+  "ext_eigentrust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_eigentrust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

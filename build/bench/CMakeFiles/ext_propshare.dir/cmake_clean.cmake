@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_propshare.dir/ext_propshare.cpp.o"
+  "CMakeFiles/ext_propshare.dir/ext_propshare.cpp.o.d"
+  "ext_propshare"
+  "ext_propshare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_propshare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_classification.dir/fig1_classification.cpp.o"
+  "CMakeFiles/fig1_classification.dir/fig1_classification.cpp.o.d"
+  "fig1_classification"
+  "fig1_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_ideal_ranking.dir/fig2_ideal_ranking.cpp.o"
+  "CMakeFiles/fig2_ideal_ranking.dir/fig2_ideal_ranking.cpp.o.d"
+  "fig2_ideal_ranking"
+  "fig2_ideal_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_ideal_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

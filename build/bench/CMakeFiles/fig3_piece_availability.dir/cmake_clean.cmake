@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_piece_availability.dir/fig3_piece_availability.cpp.o"
+  "CMakeFiles/fig3_piece_availability.dir/fig3_piece_availability.cpp.o.d"
+  "fig3_piece_availability"
+  "fig3_piece_availability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_piece_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

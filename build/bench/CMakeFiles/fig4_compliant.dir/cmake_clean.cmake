@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_compliant.dir/fig4_compliant.cpp.o"
+  "CMakeFiles/fig4_compliant.dir/fig4_compliant.cpp.o.d"
+  "fig4_compliant"
+  "fig4_compliant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_compliant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_freeriders.dir/fig5_freeriders.cpp.o"
+  "CMakeFiles/fig5_freeriders.dir/fig5_freeriders.cpp.o.d"
+  "fig5_freeriders"
+  "fig5_freeriders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_freeriders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

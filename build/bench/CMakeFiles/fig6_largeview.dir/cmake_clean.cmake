@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_largeview.dir/fig6_largeview.cpp.o"
+  "CMakeFiles/fig6_largeview.dir/fig6_largeview.cpp.o.d"
+  "fig6_largeview"
+  "fig6_largeview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_largeview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_equilibrium.dir/table1_equilibrium.cpp.o"
+  "CMakeFiles/table1_equilibrium.dir/table1_equilibrium.cpp.o.d"
+  "table1_equilibrium"
+  "table1_equilibrium.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_equilibrium.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_bootstrap.dir/table2_bootstrap.cpp.o"
+  "CMakeFiles/table2_bootstrap.dir/table2_bootstrap.cpp.o.d"
+  "table2_bootstrap"
+  "table2_bootstrap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_bootstrap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

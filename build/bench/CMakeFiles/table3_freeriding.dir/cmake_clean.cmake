@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_freeriding.dir/table3_freeriding.cpp.o"
+  "CMakeFiles/table3_freeriding.dir/table3_freeriding.cpp.o.d"
+  "table3_freeriding"
+  "table3_freeriding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_freeriding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

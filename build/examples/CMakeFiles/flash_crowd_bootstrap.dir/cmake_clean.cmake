@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flash_crowd_bootstrap.dir/flash_crowd_bootstrap.cpp.o"
+  "CMakeFiles/flash_crowd_bootstrap.dir/flash_crowd_bootstrap.cpp.o.d"
+  "flash_crowd_bootstrap"
+  "flash_crowd_bootstrap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flash_crowd_bootstrap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freerider_audit.dir/freerider_audit.cpp.o"
+  "CMakeFiles/freerider_audit.dir/freerider_audit.cpp.o.d"
+  "freerider_audit"
+  "freerider_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freerider_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

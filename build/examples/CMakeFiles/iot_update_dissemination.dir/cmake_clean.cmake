@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iot_update_dissemination.dir/iot_update_dissemination.cpp.o"
+  "CMakeFiles/iot_update_dissemination.dir/iot_update_dissemination.cpp.o.d"
+  "iot_update_dissemination"
+  "iot_update_dissemination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iot_update_dissemination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

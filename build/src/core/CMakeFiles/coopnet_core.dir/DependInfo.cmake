@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/algorithm.cpp" "src/core/CMakeFiles/coopnet_core.dir/algorithm.cpp.o" "gcc" "src/core/CMakeFiles/coopnet_core.dir/algorithm.cpp.o.d"
+  "/root/repo/src/core/bootstrap.cpp" "src/core/CMakeFiles/coopnet_core.dir/bootstrap.cpp.o" "gcc" "src/core/CMakeFiles/coopnet_core.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/core/capacity.cpp" "src/core/CMakeFiles/coopnet_core.dir/capacity.cpp.o" "gcc" "src/core/CMakeFiles/coopnet_core.dir/capacity.cpp.o.d"
+  "/root/repo/src/core/eigentrust.cpp" "src/core/CMakeFiles/coopnet_core.dir/eigentrust.cpp.o" "gcc" "src/core/CMakeFiles/coopnet_core.dir/eigentrust.cpp.o.d"
+  "/root/repo/src/core/equilibrium.cpp" "src/core/CMakeFiles/coopnet_core.dir/equilibrium.cpp.o" "gcc" "src/core/CMakeFiles/coopnet_core.dir/equilibrium.cpp.o.d"
+  "/root/repo/src/core/fairness_efficiency.cpp" "src/core/CMakeFiles/coopnet_core.dir/fairness_efficiency.cpp.o" "gcc" "src/core/CMakeFiles/coopnet_core.dir/fairness_efficiency.cpp.o.d"
+  "/root/repo/src/core/fluid_model.cpp" "src/core/CMakeFiles/coopnet_core.dir/fluid_model.cpp.o" "gcc" "src/core/CMakeFiles/coopnet_core.dir/fluid_model.cpp.o.d"
+  "/root/repo/src/core/freeriding.cpp" "src/core/CMakeFiles/coopnet_core.dir/freeriding.cpp.o" "gcc" "src/core/CMakeFiles/coopnet_core.dir/freeriding.cpp.o.d"
+  "/root/repo/src/core/piece_availability.cpp" "src/core/CMakeFiles/coopnet_core.dir/piece_availability.cpp.o" "gcc" "src/core/CMakeFiles/coopnet_core.dir/piece_availability.cpp.o.d"
+  "/root/repo/src/core/reputation_model.cpp" "src/core/CMakeFiles/coopnet_core.dir/reputation_model.cpp.o" "gcc" "src/core/CMakeFiles/coopnet_core.dir/reputation_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/coopnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coopnet_core.dir/algorithm.cpp.o"
+  "CMakeFiles/coopnet_core.dir/algorithm.cpp.o.d"
+  "CMakeFiles/coopnet_core.dir/bootstrap.cpp.o"
+  "CMakeFiles/coopnet_core.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/coopnet_core.dir/capacity.cpp.o"
+  "CMakeFiles/coopnet_core.dir/capacity.cpp.o.d"
+  "CMakeFiles/coopnet_core.dir/eigentrust.cpp.o"
+  "CMakeFiles/coopnet_core.dir/eigentrust.cpp.o.d"
+  "CMakeFiles/coopnet_core.dir/equilibrium.cpp.o"
+  "CMakeFiles/coopnet_core.dir/equilibrium.cpp.o.d"
+  "CMakeFiles/coopnet_core.dir/fairness_efficiency.cpp.o"
+  "CMakeFiles/coopnet_core.dir/fairness_efficiency.cpp.o.d"
+  "CMakeFiles/coopnet_core.dir/fluid_model.cpp.o"
+  "CMakeFiles/coopnet_core.dir/fluid_model.cpp.o.d"
+  "CMakeFiles/coopnet_core.dir/freeriding.cpp.o"
+  "CMakeFiles/coopnet_core.dir/freeriding.cpp.o.d"
+  "CMakeFiles/coopnet_core.dir/piece_availability.cpp.o"
+  "CMakeFiles/coopnet_core.dir/piece_availability.cpp.o.d"
+  "CMakeFiles/coopnet_core.dir/reputation_model.cpp.o"
+  "CMakeFiles/coopnet_core.dir/reputation_model.cpp.o.d"
+  "libcoopnet_core.a"
+  "libcoopnet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coopnet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

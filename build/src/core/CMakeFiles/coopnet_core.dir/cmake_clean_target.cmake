@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcoopnet_core.a"
+)

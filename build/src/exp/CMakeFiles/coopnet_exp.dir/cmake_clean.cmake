@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coopnet_exp.dir/replication.cpp.o"
+  "CMakeFiles/coopnet_exp.dir/replication.cpp.o.d"
+  "CMakeFiles/coopnet_exp.dir/runner.cpp.o"
+  "CMakeFiles/coopnet_exp.dir/runner.cpp.o.d"
+  "libcoopnet_exp.a"
+  "libcoopnet_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coopnet_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

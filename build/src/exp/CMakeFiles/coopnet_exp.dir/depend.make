@@ -1,0 +1,2 @@
+# Empty dependencies file for coopnet_exp.
+# This may be replaced when dependencies are built.

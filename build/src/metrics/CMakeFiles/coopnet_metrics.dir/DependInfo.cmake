@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/availability.cpp" "src/metrics/CMakeFiles/coopnet_metrics.dir/availability.cpp.o" "gcc" "src/metrics/CMakeFiles/coopnet_metrics.dir/availability.cpp.o.d"
+  "/root/repo/src/metrics/json.cpp" "src/metrics/CMakeFiles/coopnet_metrics.dir/json.cpp.o" "gcc" "src/metrics/CMakeFiles/coopnet_metrics.dir/json.cpp.o.d"
+  "/root/repo/src/metrics/report.cpp" "src/metrics/CMakeFiles/coopnet_metrics.dir/report.cpp.o" "gcc" "src/metrics/CMakeFiles/coopnet_metrics.dir/report.cpp.o.d"
+  "/root/repo/src/metrics/run_metrics.cpp" "src/metrics/CMakeFiles/coopnet_metrics.dir/run_metrics.cpp.o" "gcc" "src/metrics/CMakeFiles/coopnet_metrics.dir/run_metrics.cpp.o.d"
+  "/root/repo/src/metrics/trace_log.cpp" "src/metrics/CMakeFiles/coopnet_metrics.dir/trace_log.cpp.o" "gcc" "src/metrics/CMakeFiles/coopnet_metrics.dir/trace_log.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/coopnet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/coopnet_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/coopnet_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

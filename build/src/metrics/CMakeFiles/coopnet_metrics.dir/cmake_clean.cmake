@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coopnet_metrics.dir/availability.cpp.o"
+  "CMakeFiles/coopnet_metrics.dir/availability.cpp.o.d"
+  "CMakeFiles/coopnet_metrics.dir/json.cpp.o"
+  "CMakeFiles/coopnet_metrics.dir/json.cpp.o.d"
+  "CMakeFiles/coopnet_metrics.dir/report.cpp.o"
+  "CMakeFiles/coopnet_metrics.dir/report.cpp.o.d"
+  "CMakeFiles/coopnet_metrics.dir/run_metrics.cpp.o"
+  "CMakeFiles/coopnet_metrics.dir/run_metrics.cpp.o.d"
+  "CMakeFiles/coopnet_metrics.dir/trace_log.cpp.o"
+  "CMakeFiles/coopnet_metrics.dir/trace_log.cpp.o.d"
+  "libcoopnet_metrics.a"
+  "libcoopnet_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coopnet_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

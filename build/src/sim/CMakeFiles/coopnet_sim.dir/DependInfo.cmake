@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/config.cpp" "src/sim/CMakeFiles/coopnet_sim.dir/config.cpp.o" "gcc" "src/sim/CMakeFiles/coopnet_sim.dir/config.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/coopnet_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/coopnet_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/neighbor_graph.cpp" "src/sim/CMakeFiles/coopnet_sim.dir/neighbor_graph.cpp.o" "gcc" "src/sim/CMakeFiles/coopnet_sim.dir/neighbor_graph.cpp.o.d"
+  "/root/repo/src/sim/peer.cpp" "src/sim/CMakeFiles/coopnet_sim.dir/peer.cpp.o" "gcc" "src/sim/CMakeFiles/coopnet_sim.dir/peer.cpp.o.d"
+  "/root/repo/src/sim/piece_set.cpp" "src/sim/CMakeFiles/coopnet_sim.dir/piece_set.cpp.o" "gcc" "src/sim/CMakeFiles/coopnet_sim.dir/piece_set.cpp.o.d"
+  "/root/repo/src/sim/swarm.cpp" "src/sim/CMakeFiles/coopnet_sim.dir/swarm.cpp.o" "gcc" "src/sim/CMakeFiles/coopnet_sim.dir/swarm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/coopnet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/coopnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coopnet_sim.dir/config.cpp.o"
+  "CMakeFiles/coopnet_sim.dir/config.cpp.o.d"
+  "CMakeFiles/coopnet_sim.dir/engine.cpp.o"
+  "CMakeFiles/coopnet_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/coopnet_sim.dir/neighbor_graph.cpp.o"
+  "CMakeFiles/coopnet_sim.dir/neighbor_graph.cpp.o.d"
+  "CMakeFiles/coopnet_sim.dir/peer.cpp.o"
+  "CMakeFiles/coopnet_sim.dir/peer.cpp.o.d"
+  "CMakeFiles/coopnet_sim.dir/piece_set.cpp.o"
+  "CMakeFiles/coopnet_sim.dir/piece_set.cpp.o.d"
+  "CMakeFiles/coopnet_sim.dir/swarm.cpp.o"
+  "CMakeFiles/coopnet_sim.dir/swarm.cpp.o.d"
+  "libcoopnet_sim.a"
+  "libcoopnet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coopnet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/strategy/altruism.cpp" "src/strategy/CMakeFiles/coopnet_strategy.dir/altruism.cpp.o" "gcc" "src/strategy/CMakeFiles/coopnet_strategy.dir/altruism.cpp.o.d"
+  "/root/repo/src/strategy/bittorrent.cpp" "src/strategy/CMakeFiles/coopnet_strategy.dir/bittorrent.cpp.o" "gcc" "src/strategy/CMakeFiles/coopnet_strategy.dir/bittorrent.cpp.o.d"
+  "/root/repo/src/strategy/factory.cpp" "src/strategy/CMakeFiles/coopnet_strategy.dir/factory.cpp.o" "gcc" "src/strategy/CMakeFiles/coopnet_strategy.dir/factory.cpp.o.d"
+  "/root/repo/src/strategy/fairtorrent.cpp" "src/strategy/CMakeFiles/coopnet_strategy.dir/fairtorrent.cpp.o" "gcc" "src/strategy/CMakeFiles/coopnet_strategy.dir/fairtorrent.cpp.o.d"
+  "/root/repo/src/strategy/propshare.cpp" "src/strategy/CMakeFiles/coopnet_strategy.dir/propshare.cpp.o" "gcc" "src/strategy/CMakeFiles/coopnet_strategy.dir/propshare.cpp.o.d"
+  "/root/repo/src/strategy/reciprocity.cpp" "src/strategy/CMakeFiles/coopnet_strategy.dir/reciprocity.cpp.o" "gcc" "src/strategy/CMakeFiles/coopnet_strategy.dir/reciprocity.cpp.o.d"
+  "/root/repo/src/strategy/reputation.cpp" "src/strategy/CMakeFiles/coopnet_strategy.dir/reputation.cpp.o" "gcc" "src/strategy/CMakeFiles/coopnet_strategy.dir/reputation.cpp.o.d"
+  "/root/repo/src/strategy/tchain.cpp" "src/strategy/CMakeFiles/coopnet_strategy.dir/tchain.cpp.o" "gcc" "src/strategy/CMakeFiles/coopnet_strategy.dir/tchain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/coopnet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/coopnet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/coopnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coopnet_strategy.dir/altruism.cpp.o"
+  "CMakeFiles/coopnet_strategy.dir/altruism.cpp.o.d"
+  "CMakeFiles/coopnet_strategy.dir/bittorrent.cpp.o"
+  "CMakeFiles/coopnet_strategy.dir/bittorrent.cpp.o.d"
+  "CMakeFiles/coopnet_strategy.dir/factory.cpp.o"
+  "CMakeFiles/coopnet_strategy.dir/factory.cpp.o.d"
+  "CMakeFiles/coopnet_strategy.dir/fairtorrent.cpp.o"
+  "CMakeFiles/coopnet_strategy.dir/fairtorrent.cpp.o.d"
+  "CMakeFiles/coopnet_strategy.dir/propshare.cpp.o"
+  "CMakeFiles/coopnet_strategy.dir/propshare.cpp.o.d"
+  "CMakeFiles/coopnet_strategy.dir/reciprocity.cpp.o"
+  "CMakeFiles/coopnet_strategy.dir/reciprocity.cpp.o.d"
+  "CMakeFiles/coopnet_strategy.dir/reputation.cpp.o"
+  "CMakeFiles/coopnet_strategy.dir/reputation.cpp.o.d"
+  "CMakeFiles/coopnet_strategy.dir/tchain.cpp.o"
+  "CMakeFiles/coopnet_strategy.dir/tchain.cpp.o.d"
+  "libcoopnet_strategy.a"
+  "libcoopnet_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coopnet_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

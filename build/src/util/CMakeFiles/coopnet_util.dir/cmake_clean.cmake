@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coopnet_util.dir/ascii_plot.cpp.o"
+  "CMakeFiles/coopnet_util.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/coopnet_util.dir/cli.cpp.o"
+  "CMakeFiles/coopnet_util.dir/cli.cpp.o.d"
+  "CMakeFiles/coopnet_util.dir/histogram.cpp.o"
+  "CMakeFiles/coopnet_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/coopnet_util.dir/logmath.cpp.o"
+  "CMakeFiles/coopnet_util.dir/logmath.cpp.o.d"
+  "CMakeFiles/coopnet_util.dir/rng.cpp.o"
+  "CMakeFiles/coopnet_util.dir/rng.cpp.o.d"
+  "CMakeFiles/coopnet_util.dir/stats.cpp.o"
+  "CMakeFiles/coopnet_util.dir/stats.cpp.o.d"
+  "CMakeFiles/coopnet_util.dir/table.cpp.o"
+  "CMakeFiles/coopnet_util.dir/table.cpp.o.d"
+  "CMakeFiles/coopnet_util.dir/timeseries.cpp.o"
+  "CMakeFiles/coopnet_util.dir/timeseries.cpp.o.d"
+  "libcoopnet_util.a"
+  "libcoopnet_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coopnet_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

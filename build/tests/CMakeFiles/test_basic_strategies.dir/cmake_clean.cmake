@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_basic_strategies.dir/strategy/basic_strategies_test.cpp.o"
+  "CMakeFiles/test_basic_strategies.dir/strategy/basic_strategies_test.cpp.o.d"
+  "test_basic_strategies"
+  "test_basic_strategies.pdb"
+  "test_basic_strategies[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_basic_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/strategy/bittorrent_test.cpp" "tests/CMakeFiles/test_bittorrent_strategy.dir/strategy/bittorrent_test.cpp.o" "gcc" "tests/CMakeFiles/test_bittorrent_strategy.dir/strategy/bittorrent_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/coopnet_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/coopnet_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/strategy/CMakeFiles/coopnet_strategy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/coopnet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/coopnet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/coopnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

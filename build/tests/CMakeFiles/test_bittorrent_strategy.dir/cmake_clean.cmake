@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bittorrent_strategy.dir/strategy/bittorrent_test.cpp.o"
+  "CMakeFiles/test_bittorrent_strategy.dir/strategy/bittorrent_test.cpp.o.d"
+  "test_bittorrent_strategy"
+  "test_bittorrent_strategy.pdb"
+  "test_bittorrent_strategy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bittorrent_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eigentrust.dir/core/eigentrust_test.cpp.o"
+  "CMakeFiles/test_eigentrust.dir/core/eigentrust_test.cpp.o.d"
+  "test_eigentrust"
+  "test_eigentrust.pdb"
+  "test_eigentrust[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eigentrust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

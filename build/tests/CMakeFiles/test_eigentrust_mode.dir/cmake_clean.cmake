@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eigentrust_mode.dir/strategy/eigentrust_mode_test.cpp.o"
+  "CMakeFiles/test_eigentrust_mode.dir/strategy/eigentrust_mode_test.cpp.o.d"
+  "test_eigentrust_mode"
+  "test_eigentrust_mode.pdb"
+  "test_eigentrust_mode[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eigentrust_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_equilibrium.dir/core/equilibrium_test.cpp.o"
+  "CMakeFiles/test_equilibrium.dir/core/equilibrium_test.cpp.o.d"
+  "test_equilibrium"
+  "test_equilibrium.pdb"
+  "test_equilibrium[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_equilibrium.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exact_enumeration.dir/core/exact_enumeration_test.cpp.o"
+  "CMakeFiles/test_exact_enumeration.dir/core/exact_enumeration_test.cpp.o.d"
+  "test_exact_enumeration"
+  "test_exact_enumeration.pdb"
+  "test_exact_enumeration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exact_enumeration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fairness_efficiency.dir/core/fairness_efficiency_test.cpp.o"
+  "CMakeFiles/test_fairness_efficiency.dir/core/fairness_efficiency_test.cpp.o.d"
+  "test_fairness_efficiency"
+  "test_fairness_efficiency.pdb"
+  "test_fairness_efficiency[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fairness_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

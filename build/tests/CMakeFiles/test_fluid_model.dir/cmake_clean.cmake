@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fluid_model.dir/core/fluid_model_test.cpp.o"
+  "CMakeFiles/test_fluid_model.dir/core/fluid_model_test.cpp.o.d"
+  "test_fluid_model"
+  "test_fluid_model.pdb"
+  "test_fluid_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fluid_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

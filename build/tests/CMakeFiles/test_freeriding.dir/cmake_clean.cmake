@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_freeriding.dir/core/freeriding_test.cpp.o"
+  "CMakeFiles/test_freeriding.dir/core/freeriding_test.cpp.o.d"
+  "test_freeriding"
+  "test_freeriding.pdb"
+  "test_freeriding[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_freeriding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_freeriding_integration.dir/integration/freeriding_integration_test.cpp.o"
+  "CMakeFiles/test_freeriding_integration.dir/integration/freeriding_integration_test.cpp.o.d"
+  "test_freeriding_integration"
+  "test_freeriding_integration.pdb"
+  "test_freeriding_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_freeriding_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

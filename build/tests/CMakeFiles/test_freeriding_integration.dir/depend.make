@@ -1,0 +1,2 @@
+# Empty dependencies file for test_freeriding_integration.
+# This may be replaced when dependencies are built.

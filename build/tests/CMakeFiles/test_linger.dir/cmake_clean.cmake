@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linger.dir/sim/linger_test.cpp.o"
+  "CMakeFiles/test_linger.dir/sim/linger_test.cpp.o.d"
+  "test_linger"
+  "test_linger.pdb"
+  "test_linger[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

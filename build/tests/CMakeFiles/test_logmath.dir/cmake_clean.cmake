@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_logmath.dir/util/logmath_test.cpp.o"
+  "CMakeFiles/test_logmath.dir/util/logmath_test.cpp.o.d"
+  "test_logmath"
+  "test_logmath.pdb"
+  "test_logmath[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_logmath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

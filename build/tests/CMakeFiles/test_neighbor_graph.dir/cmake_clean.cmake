@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_neighbor_graph.dir/sim/neighbor_graph_test.cpp.o"
+  "CMakeFiles/test_neighbor_graph.dir/sim/neighbor_graph_test.cpp.o.d"
+  "test_neighbor_graph"
+  "test_neighbor_graph.pdb"
+  "test_neighbor_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_neighbor_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

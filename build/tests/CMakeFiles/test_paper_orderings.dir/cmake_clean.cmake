@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paper_orderings.dir/integration/paper_orderings_test.cpp.o"
+  "CMakeFiles/test_paper_orderings.dir/integration/paper_orderings_test.cpp.o.d"
+  "test_paper_orderings"
+  "test_paper_orderings.pdb"
+  "test_paper_orderings[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paper_orderings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

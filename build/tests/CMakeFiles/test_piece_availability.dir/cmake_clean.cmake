@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_piece_availability.dir/core/piece_availability_test.cpp.o"
+  "CMakeFiles/test_piece_availability.dir/core/piece_availability_test.cpp.o.d"
+  "test_piece_availability"
+  "test_piece_availability.pdb"
+  "test_piece_availability[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_piece_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_piece_selection.dir/sim/piece_selection_test.cpp.o"
+  "CMakeFiles/test_piece_selection.dir/sim/piece_selection_test.cpp.o.d"
+  "test_piece_selection"
+  "test_piece_selection.pdb"
+  "test_piece_selection[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_piece_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_piece_set.dir/sim/piece_set_test.cpp.o"
+  "CMakeFiles/test_piece_set.dir/sim/piece_set_test.cpp.o.d"
+  "test_piece_set"
+  "test_piece_set.pdb"
+  "test_piece_set[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_piece_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_piece_set_property.dir/sim/piece_set_property_test.cpp.o"
+  "CMakeFiles/test_piece_set_property.dir/sim/piece_set_property_test.cpp.o.d"
+  "test_piece_set_property"
+  "test_piece_set_property.pdb"
+  "test_piece_set_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_piece_set_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_propshare_strategy.dir/strategy/propshare_test.cpp.o"
+  "CMakeFiles/test_propshare_strategy.dir/strategy/propshare_test.cpp.o.d"
+  "test_propshare_strategy"
+  "test_propshare_strategy.pdb"
+  "test_propshare_strategy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_propshare_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reputation_model.dir/core/reputation_model_test.cpp.o"
+  "CMakeFiles/test_reputation_model.dir/core/reputation_model_test.cpp.o.d"
+  "test_reputation_model"
+  "test_reputation_model.pdb"
+  "test_reputation_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reputation_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_run_metrics.dir/metrics/run_metrics_test.cpp.o"
+  "CMakeFiles/test_run_metrics.dir/metrics/run_metrics_test.cpp.o.d"
+  "test_run_metrics"
+  "test_run_metrics.pdb"
+  "test_run_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_run_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_strategic.dir/strategy/strategic_test.cpp.o"
+  "CMakeFiles/test_strategic.dir/strategy/strategic_test.cpp.o.d"
+  "test_strategic"
+  "test_strategic.pdb"
+  "test_strategic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_strategic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

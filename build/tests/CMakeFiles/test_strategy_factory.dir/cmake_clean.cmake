@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_strategy_factory.dir/strategy/factory_test.cpp.o"
+  "CMakeFiles/test_strategy_factory.dir/strategy/factory_test.cpp.o.d"
+  "test_strategy_factory"
+  "test_strategy_factory.pdb"
+  "test_strategy_factory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_strategy_factory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_swarm.dir/sim/swarm_test.cpp.o"
+  "CMakeFiles/test_swarm.dir/sim/swarm_test.cpp.o.d"
+  "test_swarm"
+  "test_swarm.pdb"
+  "test_swarm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_swarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tchain_strategy.dir/strategy/tchain_test.cpp.o"
+  "CMakeFiles/test_tchain_strategy.dir/strategy/tchain_test.cpp.o.d"
+  "test_tchain_strategy"
+  "test_tchain_strategy.pdb"
+  "test_tchain_strategy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tchain_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

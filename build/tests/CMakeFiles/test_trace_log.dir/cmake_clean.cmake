@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_log.dir/metrics/trace_log_test.cpp.o"
+  "CMakeFiles/test_trace_log.dir/metrics/trace_log_test.cpp.o.d"
+  "test_trace_log"
+  "test_trace_log.pdb"
+  "test_trace_log[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coopnet_run.dir/coopnet_run.cpp.o"
+  "CMakeFiles/coopnet_run.dir/coopnet_run.cpp.o.d"
+  "coopnet_run"
+  "coopnet_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coopnet_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
