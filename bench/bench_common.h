@@ -19,8 +19,10 @@ namespace coopnet::bench {
 /// Base swarm scenario selected by --scale={small,mid,paper}; paper is the
 /// Section V-A setup (1000 peers, 128 MB file). Individual knobs are
 /// overridable: --n, --file-mb, --seed, --max-time.
-inline sim::SwarmConfig scenario_from_cli(const util::Cli& cli) {
-  const std::string scale = cli.get_string("scale", "paper");
+inline sim::SwarmConfig scenario_from_cli(const util::Cli& cli,
+                                          const std::string& default_scale =
+                                              "paper") {
+  const std::string scale = cli.get_string("scale", default_scale);
   sim::SwarmConfig config;
   if (scale == "small") {
     config = sim::SwarmConfig::small(core::Algorithm::kBitTorrent);

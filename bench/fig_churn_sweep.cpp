@@ -1,0 +1,120 @@
+// Degradation sweep: every incentive mechanism under increasing fault and
+// churn pressure (robustness companion to Figures 4-6, which assume an
+// ideal transport).
+//
+// For each fault level the full algorithm set runs over the same base
+// scenario (same seed => same capacities/topology), and the table reports
+// how completion, efficiency, and goodput degrade relative to the
+// fault-free run.
+//
+//   ./fig_churn_sweep [--scale small|mid|paper] [--n N] [--seed S]
+//                     [--max-time T] [--json]
+#include "bench_common.h"
+#include "sim/faults.h"
+
+namespace {
+
+struct FaultLevel {
+  std::string name;
+  coopnet::sim::FaultConfig faults;
+};
+
+std::vector<FaultLevel> fault_levels() {
+  using namespace coopnet::sim;
+  std::vector<FaultLevel> levels;
+  levels.push_back({"none", FaultConfig{}});
+  levels.push_back({"loss 5%", lossy_faults(0.05)});
+  levels.push_back({"loss 20%", lossy_faults(0.20)});
+  {
+    FaultLevel l{"stalls 10%", FaultConfig{}};
+    l.faults.transfer_stall_rate = 0.10;
+    l.faults.stall_timeout = 30.0;
+    levels.push_back(l);
+  }
+  levels.push_back({"moderate churn", moderate_churn()});
+  levels.push_back({"heavy churn", heavy_churn()});
+  {
+    // Everything at once: the "hostile weekend" scenario.
+    FaultLevel l{"loss 10% + heavy churn + seeder blinks", heavy_churn()};
+    l.faults.transfer_loss_rate = 0.10;
+    l.faults.seeder_uptime = 120.0;
+    l.faults.seeder_downtime = 30.0;
+    levels.push_back(l);
+  }
+  return levels;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace coopnet;
+  const util::Cli cli(argc, argv);
+  // Small scale by default: the sweep runs |levels| x |algorithms| swarms.
+  sim::SwarmConfig base = bench::scenario_from_cli(cli, "small");
+
+  const auto levels = fault_levels();
+  std::vector<metrics::RunReport> all_reports;
+  util::Table table(
+      "Degradation under faults & churn (per fault level x mechanism)");
+  table.set_header({"Fault level", "Algorithm", "finished", "mean compl. (s)",
+                    "vs clean", "retries", "abandoned", "departed(rejoined)",
+                    "goodput"});
+
+  // Per-algorithm fault-free mean completion, for the "vs clean" column.
+  std::vector<double> clean_mean(core::kAllAlgorithms.size(), -1.0);
+
+  for (const auto& level : levels) {
+    for (std::size_t ai = 0; ai < core::kAllAlgorithms.size(); ++ai) {
+      const core::Algorithm algo = core::kAllAlgorithms[ai];
+      sim::SwarmConfig config = base;
+      config.algorithm = algo;
+      config.faults = level.faults;
+      std::fprintf(stderr, "  [%s] running %s...\n", level.name.c_str(),
+                   core::to_string(algo).c_str());
+      const metrics::RunReport r = exp::run_scenario(config);
+      all_reports.push_back(r);
+
+      const bool finished_any = !r.completion_times.empty();
+      const double mean =
+          finished_any ? r.completion_summary.mean : -1.0;
+      if (level.name == "none") clean_mean[ai] = mean;
+      std::string vs_clean = "-";
+      if (mean > 0.0 && clean_mean[ai] > 0.0) {
+        vs_clean = util::Table::num(mean / clean_mean[ai], 3) + "x";
+      }
+      const auto& f = r.faults;
+      table.add_row(
+          {level.name, core::to_string(algo),
+           std::to_string(r.completion_times.size()) + "/" +
+               std::to_string(r.compliant_population),
+           finished_any ? util::Table::num(mean, 5) : "never",
+           vs_clean, std::to_string(f.retries_scheduled),
+           std::to_string(f.transfers_abandoned),
+           std::to_string(f.churn_departures) + "(" +
+               std::to_string(f.churn_rejoins) + ")",
+           util::Table::pct(r.goodput_ratio)});
+    }
+  }
+  std::printf("%s", table.render().c_str());
+
+  // Completion-rate-under-churn summary: the headline robustness number.
+  util::Table summary("Completion rate by fault level (fraction of "
+                      "compliant peers that finish)");
+  std::vector<std::string> header{"Algorithm"};
+  for (const auto& level : levels) header.push_back(level.name);
+  summary.set_header(header);
+  for (std::size_t ai = 0; ai < core::kAllAlgorithms.size(); ++ai) {
+    std::vector<std::string> row{
+        core::to_string(core::kAllAlgorithms[ai])};
+    for (std::size_t li = 0; li < levels.size(); ++li) {
+      const auto& r =
+          all_reports[li * core::kAllAlgorithms.size() + ai];
+      row.push_back(util::Table::pct(r.completed_fraction));
+    }
+    summary.add_row(row);
+  }
+  std::printf("\n%s", summary.render().c_str());
+
+  bench::maybe_dump_csv(cli, all_reports);
+  return 0;
+}

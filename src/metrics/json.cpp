@@ -120,6 +120,26 @@ void summary_object(Writer& w, const std::string& name,
   w.end_object();
 }
 
+void fault_object(Writer& w, const std::string& name,
+                  const sim::FaultStats& f) {
+  w.key(name);
+  w.begin_object();
+  w.field("transfer_failures", std::to_string(f.transfer_failures));
+  w.field("transfer_stalls", std::to_string(f.transfer_stalls));
+  w.field("uploader_vanished", std::to_string(f.uploader_vanished));
+  w.field("retries_scheduled", std::to_string(f.retries_scheduled));
+  w.field("retry_successes", std::to_string(f.retry_successes));
+  w.field("retries_dropped", std::to_string(f.retries_dropped));
+  w.field("transfers_abandoned", std::to_string(f.transfers_abandoned));
+  w.field("churn_departures", std::to_string(f.churn_departures));
+  w.field("churn_rejoins", std::to_string(f.churn_rejoins));
+  w.field("churn_losses", std::to_string(f.churn_losses));
+  w.field("seeder_outages", std::to_string(f.seeder_outages));
+  w.field("offered_bytes", std::to_string(f.offered_bytes));
+  w.field("goodput_bytes", std::to_string(f.goodput_bytes));
+  w.end_object();
+}
+
 void report_body(Writer& w, const RunReport& r) {
   w.begin_object();
   w.string_field("algorithm", core::to_string(r.algorithm));
@@ -134,6 +154,8 @@ void report_body(Writer& w, const RunReport& r) {
   w.field("total_uploaded_bytes", std::to_string(r.total_uploaded_bytes));
   w.field("total_downloaded_raw_bytes",
           std::to_string(r.total_downloaded_raw_bytes));
+  w.field("goodput_ratio", num(r.goodput_ratio));
+  fault_object(w, "faults", r.faults);
   summary_object(w, "completion_summary", r.completion_summary);
   summary_object(w, "bootstrap_summary", r.bootstrap_summary);
   w.array_field("completion_times", r.completion_times);

@@ -73,6 +73,9 @@ RunReport build_report(const sim::Swarm& swarm, const RunMetrics& metrics) {
   for (const sim::Peer& p : swarm.all_peers()) {
     r.total_downloaded_raw_bytes += p.downloaded_raw_bytes;
   }
+
+  r.faults = swarm.fault_stats();
+  r.goodput_ratio = r.faults.goodput_ratio();
   return r;
 }
 
@@ -98,6 +101,17 @@ std::string summarize_report(const RunReport& r) {
   }
   if (r.freerider_population > 0) {
     os << "; susceptibility " << r.susceptibility * 100.0 << "%";
+  }
+  if (r.faults.transfer_failures + r.faults.transfer_stalls +
+          r.faults.churn_departures + r.faults.seeder_outages >
+      0) {
+    os << "; faults: " << r.faults.transfer_failures << " lost, "
+       << r.faults.transfer_stalls << " stalled, "
+       << r.faults.retries_scheduled << " retries ("
+       << r.faults.transfers_abandoned << " abandoned), "
+       << r.faults.churn_departures << " departures ("
+       << r.faults.churn_rejoins << " rejoined), goodput "
+       << r.goodput_ratio * 100.0 << "%";
   }
   return os.str();
 }

@@ -54,6 +54,10 @@ struct RunReport {
   // Conservation audit (eq. 1): total bytes sent vs received.
   std::int64_t total_uploaded_bytes = 0;
   std::int64_t total_downloaded_raw_bytes = 0;
+
+  // Degradation under faults (all zero / ratio 1.0 on a fault-free run).
+  sim::FaultStats faults;
+  double goodput_ratio = 1.0;
 };
 
 /// Builds the report from a finished run.

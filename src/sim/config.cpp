@@ -1,5 +1,6 @@
 #include "sim/config.h"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace coopnet::sim {
@@ -57,10 +58,27 @@ void SwarmConfig::validate() const {
   if (linger_time < 0.0) {
     throw std::invalid_argument("SwarmConfig: linger_time < 0");
   }
+  // Attack timing knobs: both intervals schedule recurring event-loop
+  // timers, so a non-positive (or non-finite) period with the attack
+  // enabled would spin or wedge the run. Fail fast instead.
+  if (!std::isfinite(attack.whitewash_interval) ||
+      !std::isfinite(attack.sybil_interval) ||
+      !std::isfinite(attack.sybil_rate)) {
+    throw std::invalid_argument("SwarmConfig: non-finite attack knobs");
+  }
+  if (attack.whitewashing && attack.whitewash_interval <= 0.0) {
+    throw std::invalid_argument(
+        "SwarmConfig: whitewashing enabled with whitewash_interval <= 0");
+  }
+  if (attack.sybil_praise && attack.sybil_interval <= 0.0) {
+    throw std::invalid_argument(
+        "SwarmConfig: sybil_praise enabled with sybil_interval <= 0");
+  }
   if (attack.whitewash_interval <= 0.0 || attack.sybil_interval <= 0.0 ||
       attack.sybil_rate < 0.0) {
     throw std::invalid_argument("SwarmConfig: bad attack timings");
   }
+  faults.validate();
 }
 
 SwarmConfig SwarmConfig::small(core::Algorithm algo, std::uint64_t seed) {

@@ -5,6 +5,7 @@
 
 #include "core/algorithm.h"
 #include "core/capacity.h"
+#include "sim/faults.h"
 #include "sim/neighbor_graph.h"
 #include "sim/types.h"
 
@@ -110,6 +111,12 @@ struct SwarmConfig {
 
   // --- attack -------------------------------------------------------------
   AttackConfig attack;
+
+  // --- faults & churn -----------------------------------------------------
+  /// Transfer loss/stall (with retry/backoff), leecher churn, and seeder
+  /// outages. The default disables everything and is bit-for-bit identical
+  /// to the fault-free simulator (no extra Rng draws, no extra events).
+  FaultConfig faults;
 
   /// How long a finished peer stays and seeds before departing (Section V
   /// has peers "exit the swarm immediately after finishing", i.e. 0; a

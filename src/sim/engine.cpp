@@ -19,7 +19,6 @@ void SimEngine::schedule_at(Seconds at, EventFn fn) {
 }
 
 void SimEngine::run() {
-  stopped_ = false;
   while (!queue_.empty() && !stopped_) {
     // Copy out before pop: the callback may schedule new events.
     Event ev = queue_.top();
@@ -31,7 +30,6 @@ void SimEngine::run() {
 }
 
 void SimEngine::run_until(Seconds deadline) {
-  stopped_ = false;
   while (!queue_.empty() && !stopped_ && queue_.top().time <= deadline) {
     Event ev = queue_.top();
     queue_.pop();

@@ -28,16 +28,23 @@ class SimEngine {
   /// Schedules `fn` at absolute time `at`. Requires at >= now().
   void schedule_at(Seconds at, EventFn fn);
 
-  /// Runs events until the queue is empty or stop() is called.
+  /// Runs events until the queue is empty or stop() is called. Returns
+  /// immediately while a stop request is pending (see stop()).
   void run();
 
   /// Runs events with time <= deadline; leaves later events queued and
   /// advances the clock to min(deadline, time of last executed event).
+  /// Returns immediately (clock untouched) while a stop request is pending.
   void run_until(Seconds deadline);
 
   /// Requests the current run()/run_until() loop to return after the
-  /// in-flight event finishes.
+  /// in-flight event finishes. The request is sticky: subsequent runs
+  /// return immediately until reset_stop() clears it, so a stop raised
+  /// inside an event cannot be silently swallowed by the next run call.
   void stop() { stopped_ = true; }
+
+  /// Clears a pending stop request so the engine can run again.
+  void reset_stop() { stopped_ = false; }
 
   bool stopped() const { return stopped_; }
   std::size_t pending() const { return queue_.size(); }

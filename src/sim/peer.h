@@ -23,7 +23,8 @@ enum class PeerKind {
 enum class PeerState {
   kPending,  // not yet arrived
   kActive,   // exchanging pieces
-  kLeft,     // finished and departed
+  kChurned,  // abruptly departed mid-download; may rejoin (fault injection)
+  kLeft,     // departed for good (finished, or churned without rejoining)
 };
 
 /// All mutable per-peer simulation state. Owned by the Swarm; strategies
@@ -37,6 +38,10 @@ struct Peer {
   int upload_slots = 0;
   int busy_slots = 0;
   int incoming_count = 0;  // concurrent transfers inbound right now
+  /// Incarnation counter, bumped on every churn departure. Events created
+  /// before the bump (transfer completions, ticks) compare their captured
+  /// epoch and become no-ops for this peer.
+  std::uint32_t epoch = 0;
 
   PieceSet pieces;   // usable pieces
   PieceSet locked;   // delivered but encrypted (T-Chain)

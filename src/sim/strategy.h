@@ -81,6 +81,36 @@ class ExchangeStrategy {
     (void)swarm;
     (void)id;
   }
+
+  // --- fault-injection hooks (no-ops in a fault-free run) ----------------
+
+  /// Called when a transfer aborts: loss, stall timeout, or an endpoint
+  /// that churned mid-flight. `will_retry` is true when the swarm has
+  /// queued a backoff retry of the same (from, to, piece); the terminal
+  /// notification (`will_retry == false`) fires exactly once per transfer
+  /// chain, when the swarm gives up. Strategies that track in-flight
+  /// uploads must release that bookkeeping here.
+  virtual void on_transfer_failed(Swarm& swarm, const Transfer& transfer,
+                                  bool will_retry) {
+    (void)swarm;
+    (void)transfer;
+    (void)will_retry;
+  }
+
+  /// Called when `id` abruptly departs mid-download (churn). The default
+  /// treats the departure as permanent (same as on_peer_left); strategies
+  /// whose state should survive a rejoin override this pair.
+  virtual void on_peer_departed(Swarm& swarm, PeerId id, bool will_rejoin) {
+    (void)will_rejoin;
+    on_peer_left(swarm, id);
+  }
+
+  /// Called when a churned peer re-enters the swarm (piece set intact;
+  /// incentive state per the strategy's departure handling). The default
+  /// treats the rejoiner as a fresh activation.
+  virtual void on_peer_rejoined(Swarm& swarm, PeerId id) {
+    on_peer_activated(swarm, id);
+  }
 };
 
 }  // namespace coopnet::sim

@@ -148,6 +148,10 @@ void Swarm::run() {
   if (config_.attack.sybil_praise) {
     engine_.schedule(config_.attack.sybil_interval, [this] { sybil_timer(); });
   }
+  if (config_.faults.seeder_outages_enabled()) {
+    engine_.schedule(config_.faults.seeder_uptime,
+                     [this] { seeder_outage_begin(); });
+  }
 
   engine_.run_until(config_.max_time);
 }
@@ -157,14 +161,23 @@ void Swarm::arrive(PeerId id) {
   p.state = PeerState::kActive;
   strategy_->on_peer_activated(*this, id);
   try_fill(id);
-  engine_.schedule(config_.retry_interval, [this, id] { tick(id); });
+  const std::uint32_t epoch = p.epoch;
+  engine_.schedule(config_.retry_interval, [this, id, epoch] {
+    tick(id, epoch);
+  });
+  if (config_.faults.churn_enabled() && !p.is_seeder()) schedule_churn(id);
 }
 
-void Swarm::tick(PeerId id) {
+void Swarm::tick(PeerId id, std::uint32_t epoch) {
   Peer& p = peers_.at(id);
-  if (p.state != PeerState::kActive) return;  // stop ticking after departure
+  // Stop ticking after departure. The epoch guard kills the old tick chain
+  // when a peer churns out: rejoin starts a fresh chain, so there is never
+  // more than one live chain per peer.
+  if (p.state != PeerState::kActive || p.epoch != epoch) return;
   try_fill(id);
-  engine_.schedule(config_.retry_interval, [this, id] { tick(id); });
+  engine_.schedule(config_.retry_interval, [this, id, epoch] {
+    tick(id, epoch);
+  });
 }
 
 void Swarm::request_refill(PeerId id) {
@@ -277,6 +290,11 @@ PieceId Swarm::pick_piece(PeerId uploader, PeerId target,
 
 bool Swarm::start_transfer(PeerId from, PeerId to, PieceId piece,
                            bool locked) {
+  return start_transfer_attempt(from, to, piece, locked, /*attempt=*/0);
+}
+
+bool Swarm::start_transfer_attempt(PeerId from, PeerId to, PieceId piece,
+                                   bool locked, int attempt) {
   Peer& up = peers_.at(from);
   Peer& down = peers_.at(to);
   if (from == to || piece == kNoPiece) return false;
@@ -304,7 +322,33 @@ bool Swarm::start_transfer(PeerId from, PeerId to, PieceId piece,
   t.end = engine_.now() + duration;
   t.bytes = config_.piece_bytes;
   t.locked = locked;
-  engine_.schedule(duration, [this, t] { complete_transfer(t); });
+  t.attempt = attempt;
+  t.from_epoch = up.epoch;
+  t.to_epoch = down.epoch;
+  fault_stats_.offered_bytes += t.bytes;
+
+  // Fault draw. Guarded so that a fault-free config performs no Rng draws
+  // and schedules exactly the events the fault-free simulator would.
+  const FaultConfig& faults = config_.faults;
+  bool doomed = false;
+  if (faults.transfer_faults_enabled()) {
+    if (faults.transfer_loss_rate > 0.0 &&
+        rng_.bernoulli(faults.transfer_loss_rate)) {
+      // The connection drops partway through; the failure point is uniform
+      // over the transfer's duration.
+      const Seconds fail_after = rng_.uniform01() * duration;
+      engine_.schedule(fail_after,
+                       [this, t] { fail_transfer(t, /*stalled=*/false); });
+      doomed = true;
+    } else if (faults.transfer_stall_rate > 0.0 &&
+               rng_.bernoulli(faults.transfer_stall_rate)) {
+      // The transfer hangs; the slot stays occupied until the timeout.
+      engine_.schedule(faults.stall_timeout,
+                       [this, t] { fail_transfer(t, /*stalled=*/true); });
+      doomed = true;
+    }
+  }
+  if (!doomed) engine_.schedule(duration, [this, t] { complete_transfer(t); });
   strategy_->on_upload_started(*this, t);
   return true;
 }
@@ -312,15 +356,33 @@ bool Swarm::start_transfer(PeerId from, PeerId to, PieceId piece,
 void Swarm::complete_transfer(Transfer t) {
   Peer& up = peers_.at(t.from);
   Peer& down = peers_.at(t.to);
-  --up.busy_slots;
-  --down.incoming_count;
+  // Epoch guards: a churned endpoint already zeroed its slot counters and
+  // cleared its pending reservations, so this event must not touch them.
+  const bool up_current = up.epoch == t.from_epoch;
+  const bool down_current = down.epoch == t.to_epoch;
+  if (up_current) --up.busy_slots;
+  if (down_current) {
+    --down.incoming_count;
+    down.pending.remove(t.piece);
+    update_unavailable_bit(down, t.piece);
+  }
 
-  down.pending.remove(t.piece);
-  update_unavailable_bit(down, t.piece);
+  if (!up_current) {
+    // The uploader vanished mid-transfer: the payload never finished
+    // arriving. No retry -- the source is gone; the receiver re-requests
+    // the piece through the normal machinery.
+    ++fault_stats_.uploader_vanished;
+    ++fault_stats_.transfers_abandoned;
+    strategy_->on_transfer_failed(*this, t, /*will_retry=*/false);
+    if (down_current && down.active()) request_refill(t.to);
+    return;
+  }
 
   up.uploaded_bytes += t.bytes;  // slot time was spent either way
-  const bool delivered = down.state != PeerState::kLeft;
+  const bool delivered = down.state == PeerState::kActive && down_current;
   if (delivered) {
+    fault_stats_.goodput_bytes += t.bytes;
+    if (t.attempt > 0) ++fault_stats_.retry_successes;
     // Byte accounting and exchange bookkeeping.
     down.downloaded_raw_bytes += t.bytes;
     down.received_from[t.from] += t.bytes;
@@ -366,7 +428,9 @@ void Swarm::make_usable(PeerId id, PieceId piece, PeerId source) {
   p.pieces.add(piece);
   p.unavailable.add(piece);
   p.transferable.add(piece);
-  ++piece_freq_[piece];
+  // piece_freq_ counts usable copies among *active* peers; a churned peer's
+  // copies were subtracted on departure and are re-added on rejoin.
+  if (p.active()) ++piece_freq_[piece];
   p.downloaded_usable_bytes += config_.piece_bytes;
   if (source != kNoPeer && !peers_.at(source).is_seeder()) {
     p.usable_from_leechers_bytes += config_.piece_bytes;
@@ -376,7 +440,8 @@ void Swarm::make_usable(PeerId id, PieceId piece, PeerId source) {
     p.bootstrap_time = engine_.now();
     if (observer_ != nullptr) observer_->on_bootstrap(*this, p);
   }
-  if (p.pieces.complete()) finish_peer(id);
+  // A peer unlocked into completeness while churned finishes on rejoin.
+  if (p.pieces.complete() && p.active()) finish_peer(id);
 }
 
 void Swarm::finish_peer(PeerId id) {
@@ -405,6 +470,192 @@ void Swarm::depart(PeerId id) {
     if (p.pieces.has(piece)) --piece_freq_[piece];
   }
   strategy_->on_peer_left(*this, id);
+}
+
+// --- fault injection -------------------------------------------------------
+
+void Swarm::fail_transfer(Transfer t, bool stalled) {
+  Peer& up = peers_.at(t.from);
+  Peer& down = peers_.at(t.to);
+  if (stalled) {
+    ++fault_stats_.transfer_stalls;
+  } else {
+    ++fault_stats_.transfer_failures;
+  }
+
+  const bool up_current = up.epoch == t.from_epoch;
+  const bool down_current = down.epoch == t.to_epoch;
+  // No byte credit for the uploader: the payload never made it across, and
+  // crediting it would inflate the u/d fairness statistics. The wasted slot
+  // time shows up as offered bytes without matching goodput.
+  const bool endpoints_ok = up_current && up.active() && down_current &&
+                            down.active() && !down.finished();
+  const bool will_retry =
+      endpoints_ok && t.attempt < config_.faults.max_retries;
+  if (up_current) --up.busy_slots;
+  if (down_current) {
+    --down.incoming_count;
+    // A scheduled retry keeps the receiver's piece reservation through the
+    // backoff window, so nobody duplicates the piece in the meantime;
+    // retry_transfer releases it before re-attempting.
+    if (!will_retry) {
+      down.pending.remove(t.piece);
+      update_unavailable_bit(down, t.piece);
+    }
+  }
+  if (will_retry) {
+    ++fault_stats_.retries_scheduled;
+    strategy_->on_transfer_failed(*this, t, /*will_retry=*/true);
+    engine_.schedule(config_.faults.backoff_for(t.attempt),
+                     [this, t] { retry_transfer(t); });
+  } else {
+    ++fault_stats_.transfers_abandoned;
+    strategy_->on_transfer_failed(*this, t, /*will_retry=*/false);
+  }
+
+  // The freed slot (and the receiver's freed reservation) can be reused
+  // right away.
+  if (up_current && up.active()) try_fill(t.from);
+  if (down_current && down.active()) request_refill(t.to);
+}
+
+void Swarm::retry_transfer(Transfer t) {
+  Peer& up = peers_.at(t.from);
+  Peer& down = peers_.at(t.to);
+  // Release the reservation held through the backoff (churn already cleared
+  // it if the receiver's epoch moved on). Within this event nothing can
+  // grab the piece before the re-attempt below.
+  if (down.epoch == t.to_epoch) {
+    down.pending.remove(t.piece);
+    update_unavailable_bit(down, t.piece);
+  }
+  const bool still_wanted = down.epoch == t.to_epoch && down.active() &&
+                            !down.unavailable.has(t.piece);
+  const bool source_ok = up.epoch == t.from_epoch && up.active() &&
+                         up.transferable.has(t.piece);
+  if (still_wanted && source_ok &&
+      start_transfer_attempt(t.from, t.to, t.piece, t.locked,
+                             t.attempt + 1)) {
+    return;
+  }
+  // The retry chain ends here: tell the strategy so in-flight bookkeeping
+  // (e.g. a T-Chain reciprocation duty) is released, and classify the
+  // outcome -- a piece the receiver no longer needs is a moot retry, not an
+  // abandonment.
+  if (still_wanted) {
+    ++fault_stats_.transfers_abandoned;
+  } else {
+    ++fault_stats_.retries_dropped;
+  }
+  strategy_->on_transfer_failed(*this, t, /*will_retry=*/false);
+}
+
+void Swarm::schedule_churn(PeerId id) {
+  const Seconds dt = rng_.exponential(config_.faults.churn_rate);
+  const std::uint32_t epoch = peers_.at(id).epoch;
+  engine_.schedule(dt, [this, id, epoch] {
+    Peer& p = peers_.at(id);
+    // Lingering finished peers depart on their own schedule; churning them
+    // would only re-run departure bookkeeping.
+    if (p.epoch != epoch || !p.active() || p.finished()) return;
+    churn_out(id);
+  });
+}
+
+void Swarm::churn_out(PeerId id) {
+  Peer& p = peers_.at(id);
+  ++fault_stats_.churn_departures;
+  // Invalidate every event that captured the old incarnation: in-flight
+  // transfer completions/failures and the tick chain become no-ops.
+  ++p.epoch;
+  p.busy_slots = 0;
+  p.incoming_count = 0;
+  // Clear in-flight download reservations so the pieces can be re-requested
+  // (now by someone else, or after a rejoin by this peer).
+  for (PieceId piece = 0; piece < p.pending.size(); ++piece) {
+    if (p.pending.has(piece)) {
+      p.pending.remove(piece);
+      update_unavailable_bit(p, piece);
+    }
+  }
+  p.state = PeerState::kChurned;
+  for (PieceId piece = 0; piece < p.pieces.size(); ++piece) {
+    if (p.pieces.has(piece)) --piece_freq_[piece];
+  }
+
+  const bool will_rejoin = rng_.bernoulli(config_.faults.rejoin_probability);
+  strategy_->on_peer_departed(*this, id, will_rejoin);
+  if (will_rejoin) {
+    const Seconds downtime =
+        config_.faults.mean_downtime <= 0.0
+            ? 0.0
+            : rng_.exponential(1.0 / config_.faults.mean_downtime);
+    engine_.schedule(downtime, [this, id] { rejoin(id); });
+    return;
+  }
+  ++fault_stats_.churn_losses;
+  p.state = PeerState::kLeft;
+  // A permanently lost compliant peer will never finish; without this the
+  // run would idle until max_time waiting for it.
+  if (!p.is_free_rider() && !p.finished() &&
+      --compliant_unfinished_ == 0) {
+    engine_.stop();
+  }
+}
+
+void Swarm::rejoin(PeerId id) {
+  Peer& p = peers_.at(id);
+  ++fault_stats_.churn_rejoins;
+  p.state = PeerState::kActive;
+  // The piece set survived the downtime; its copies count again.
+  for (PieceId piece = 0; piece < p.pieces.size(); ++piece) {
+    if (p.pieces.has(piece)) ++piece_freq_[piece];
+  }
+  strategy_->on_peer_rejoined(*this, id);
+  // Unlock cascades may have completed this peer's file while it was gone.
+  if (p.pieces.complete() && !p.finished()) {
+    finish_peer(id);
+    return;
+  }
+  try_fill(id);
+  const std::uint32_t epoch = p.epoch;
+  engine_.schedule(config_.retry_interval, [this, id, epoch] {
+    tick(id, epoch);
+  });
+  schedule_churn(id);
+}
+
+void Swarm::seeder_outage_begin() {
+  ++fault_stats_.seeder_outages;
+  for (std::size_t s = 0; s < seeder_count(); ++s) {
+    Peer& p = peers_.at(static_cast<PeerId>(leechers() + s));
+    if (!p.active()) continue;
+    ++p.epoch;  // in-flight uploads from the seeder die
+    p.busy_slots = 0;
+    p.state = PeerState::kChurned;
+    strategy_->on_peer_departed(*this, p.id, /*will_rejoin=*/true);
+  }
+  engine_.schedule(config_.faults.seeder_downtime,
+                   [this] { seeder_outage_end(); });
+}
+
+void Swarm::seeder_outage_end() {
+  for (std::size_t s = 0; s < seeder_count(); ++s) {
+    Peer& p = peers_.at(static_cast<PeerId>(leechers() + s));
+    if (p.state != PeerState::kChurned) continue;
+    p.state = PeerState::kActive;
+    strategy_->on_peer_rejoined(*this, p.id);
+    try_fill(p.id);
+    const std::uint32_t epoch = p.epoch;
+    const PeerId id = p.id;
+    engine_.schedule(config_.retry_interval, [this, id, epoch] {
+      tick(id, epoch);
+    });
+  }
+  if (engine_.now() + config_.faults.seeder_uptime <= config_.max_time) {
+    engine_.schedule(config_.faults.seeder_uptime,
+                     [this] { seeder_outage_begin(); });
+  }
 }
 
 void Swarm::update_unavailable_bit(Peer& p, PieceId piece) {

@@ -3,8 +3,10 @@
 // The Swarm owns the event engine and all peer state, drives arrivals,
 // upload-slot filling, transfer completion, piece bookkeeping (including
 // rarest-first selection), departure-on-completion, the global reputation
-// ledger, and the attack timers (whitewashing, sybil praise). The incentive
-// mechanism itself is delegated to an ExchangeStrategy.
+// ledger, the attack timers (whitewashing, sybil praise), and the fault
+// layer (lossy/stalling transfers with backoff retries, leecher churn,
+// seeder outages; see sim/faults.h). The incentive mechanism itself is
+// delegated to an ExchangeStrategy.
 #pragma once
 
 #include <functional>
@@ -119,6 +121,13 @@ class Swarm {
 
   // --- metrics ------------------------------------------------------------
   void set_observer(SwarmObserver* observer) { observer_ = observer; }
+  /// Fault/churn counters and goodput accounting (all zero except the byte
+  /// counters when FaultConfig disables every fault).
+  const FaultStats& fault_stats() const { return fault_stats_; }
+  /// Usable copies of `piece` among active peers (+1 for seeder backing).
+  std::uint32_t piece_frequency(PieceId piece) const {
+    return piece_freq_.at(piece);
+  }
   Bytes total_uploaded_bytes() const;
   /// Bytes uploaded by leechers (the seeder's bandwidth is not "users'
   /// upload bandwidth" and is excluded from susceptibility).
@@ -134,12 +143,29 @@ class Swarm {
   void depart(PeerId id);
   void try_fill(PeerId id);
   std::optional<UploadAction> seeder_action(PeerId seeder);
+  bool start_transfer_attempt(PeerId from, PeerId to, PieceId piece,
+                              bool locked, int attempt);
   void complete_transfer(Transfer t);
   void finish_peer(PeerId id);
-  void tick(PeerId id);
+  void tick(PeerId id, std::uint32_t epoch);
   void whitewash_timer();
   void sybil_timer();
   void update_unavailable_bit(Peer& p, PieceId piece);
+
+  // --- fault injection (src/sim/faults.h) --------------------------------
+  /// Aborts a lossy/stalled transfer, releases both endpoints' slot state,
+  /// and queues a backoff retry (or abandons the chain).
+  void fail_transfer(Transfer t, bool stalled);
+  /// Re-attempts a previously failed transfer; abandons it when the start
+  /// preconditions no longer hold.
+  void retry_transfer(Transfer t);
+  /// Draws the next churn departure time for `id` (churn must be enabled).
+  void schedule_churn(PeerId id);
+  /// Abrupt mid-download departure; decides rejoin-vs-loss on the spot.
+  void churn_out(PeerId id);
+  void rejoin(PeerId id);
+  void seeder_outage_begin();
+  void seeder_outage_end();
 
   SwarmConfig config_;
   std::unique_ptr<ExchangeStrategy> strategy_;
@@ -149,6 +175,7 @@ class Swarm {
   std::vector<std::uint32_t> piece_freq_;  // usable copies among active peers
   std::vector<double> reputation_;         // reported uploaded bytes
   std::size_t compliant_unfinished_ = 0;
+  FaultStats fault_stats_;
   SwarmObserver* observer_ = nullptr;
   bool ran_ = false;
 };

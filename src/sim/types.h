@@ -24,6 +24,13 @@ struct Transfer {
   Seconds end = 0.0;
   Bytes bytes = 0;
   bool locked = false;
+  /// Retry/timeout machinery (fault injection): which attempt this is
+  /// (0 = first try) and the endpoints' incarnation counters at start.
+  /// A churned-and-rejoined peer has a newer epoch, which is how the
+  /// completion/failure events recognize that a transfer died under them.
+  int attempt = 0;
+  std::uint32_t from_epoch = 0;
+  std::uint32_t to_epoch = 0;
 };
 
 }  // namespace coopnet::sim

@@ -168,6 +168,17 @@ void BitTorrentStrategy::on_upload_started(sim::Swarm& swarm,
   }
 }
 
+void BitTorrentStrategy::on_transfer_failed(sim::Swarm& swarm,
+                                            const sim::Transfer& t,
+                                            bool will_retry) {
+  (void)will_retry;
+  // Slot accounting for this attempt ends here either way: a queued retry
+  // re-registers through on_upload_started when it actually starts. The
+  // terminal notification after a released attempt is a harmless no-op
+  // (the in-flight entry is already gone).
+  on_delivered(swarm, t);
+}
+
 void BitTorrentStrategy::on_delivered(sim::Swarm& swarm,
                                       const sim::Transfer& t) {
   (void)swarm;

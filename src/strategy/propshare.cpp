@@ -91,6 +91,15 @@ void PropShareStrategy::on_upload_started(sim::Swarm& swarm,
   }
 }
 
+void PropShareStrategy::on_transfer_failed(sim::Swarm& swarm,
+                                           const sim::Transfer& t,
+                                           bool will_retry) {
+  (void)will_retry;
+  // Same release as a completion; a queued retry re-registers via
+  // on_upload_started, and duplicate notifications no-op on the erased key.
+  on_delivered(swarm, t);
+}
+
 void PropShareStrategy::on_delivered(sim::Swarm& swarm,
                                      const sim::Transfer& t) {
   (void)swarm;

@@ -29,6 +29,8 @@ class PropShareStrategy final : public sim::ExchangeStrategy {
                          const sim::Transfer& transfer) override;
   void on_delivered(sim::Swarm& swarm,
                     const sim::Transfer& transfer) override;
+  void on_transfer_failed(sim::Swarm& swarm, const sim::Transfer& transfer,
+                          bool will_retry) override;
 
  private:
   struct PeerShareState {

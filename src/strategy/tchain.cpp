@@ -137,10 +137,39 @@ void TChainStrategy::on_upload_started(sim::Swarm& swarm,
     // Commit: this transfer discharges an obligation. Move it from the
     // queue into the in-flight map keyed by the outgoing transfer.
     PeerState& st = state_[t.from];
-    st.in_flight[key(t.to, t.piece)] = pending_plan_.unlocks;
+    InFlightDuty duty;
+    duty.unlocks = pending_plan_.unlocks;
+    for (const Obligation& ob : st.obligations) {
+      if (ob.piece == pending_plan_.unlocks) {
+        duty.designator = ob.designator;
+        duty.suggested_target = ob.suggested_target;
+        break;
+      }
+    }
+    st.in_flight[key(t.to, t.piece)] = duty;
     drop_obligation(t.from, pending_plan_.unlocks);
   }
   pending_plan_ = PendingPlan{};
+}
+
+void TChainStrategy::on_transfer_failed(sim::Swarm& swarm,
+                                        const sim::Transfer& t,
+                                        bool will_retry) {
+  // While a retry is queued the duty stays registered under the same
+  // (target, piece) key -- the retried transfer's completion discharges it.
+  if (will_retry) return;
+  auto sit = state_.find(t.from);
+  if (sit == state_.end()) return;
+  auto inflight = sit->second.in_flight.find(key(t.to, t.piece));
+  if (inflight == sit->second.in_flight.end()) return;
+  const InFlightDuty duty = inflight->second;
+  sit->second.in_flight.erase(inflight);
+  // The reciprocation never happened: requeue the duty (fresh timestamp,
+  // so the grace clock restarts) and let next_upload find another route.
+  sit->second.obligations.push_back(Obligation{
+      duty.unlocks, duty.designator, duty.suggested_target,
+      swarm.engine().now()});
+  if (swarm.peer(t.from).active()) swarm.request_refill(t.from);
 }
 
 void TChainStrategy::on_delivered(sim::Swarm& swarm, const sim::Transfer& t) {
@@ -149,15 +178,20 @@ void TChainStrategy::on_delivered(sim::Swarm& swarm, const sim::Transfer& t) {
   if (sit != state_.end()) {
     auto inflight = sit->second.in_flight.find(key(t.to, t.piece));
     if (inflight != sit->second.in_flight.end()) {
-      const sim::PieceId unlocked_piece = inflight->second;
+      const sim::PieceId unlocked_piece = inflight->second.unlocks;
       sit->second.in_flight.erase(inflight);
       resolve_fulfilled(swarm, t.from, unlocked_piece);
     }
   }
 
   // --- receiver side: register the new chain link and obligation. --------
+  // A receiver that churned mid-transfer (even one that already rejoined,
+  // hence the epoch check) never got the payload: no link, no duty.
   const sim::Peer& recv = swarm.peer(t.to);
-  if (recv.state == sim::PeerState::kLeft || !t.locked) return;
+  if (recv.state != sim::PeerState::kActive || recv.epoch != t.to_epoch ||
+      !t.locked) {
+    return;
+  }
 
   links_[key(t.to, t.piece)] = ChainLink{t.from, false};
   downstream_[t.from].push_back({t.to, t.piece});

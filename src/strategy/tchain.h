@@ -45,6 +45,11 @@ class TChainStrategy final : public sim::ExchangeStrategy {
   bool seeder_delivers_locked() const override { return true; }
   void on_delivered(sim::Swarm& swarm,
                     const sim::Transfer& transfer) override;
+  /// When an obligation-discharging upload is abandoned (not merely queued
+  /// for retry), the duty moves back into the obligations queue so the
+  /// peer can repay through another route.
+  void on_transfer_failed(sim::Swarm& swarm, const sim::Transfer& transfer,
+                          bool will_retry) override;
 
   /// Obligations currently queued at a peer (exposed for tests/metrics).
   std::size_t backlog(sim::PeerId id) const;
@@ -66,11 +71,20 @@ class TChainStrategy final : public sim::ExchangeStrategy {
     bool fulfilled = false;
   };
 
+  /// An obligation being discharged by an in-flight upload. Carries the
+  /// original obligation's fields so an abandoned upload (fault injection)
+  /// can requeue the duty intact.
+  struct InFlightDuty {
+    sim::PieceId unlocks = sim::kNoPiece;
+    sim::PeerId designator = sim::kNoPeer;
+    sim::PeerId suggested_target = sim::kNoPeer;
+  };
+
   struct PeerState {
     std::deque<Obligation> obligations;
     /// Obligation uploads in flight, keyed by (target, piece) of the
-    /// outgoing transfer; value = the locked piece this upload unlocks.
-    std::unordered_map<std::uint64_t, sim::PieceId> in_flight;
+    /// outgoing transfer.
+    std::unordered_map<std::uint64_t, InFlightDuty> in_flight;
   };
 
   static std::uint64_t key(sim::PeerId peer, sim::PieceId piece) {

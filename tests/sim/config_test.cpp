@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace coopnet::sim {
 namespace {
 
@@ -70,6 +72,50 @@ TEST(SwarmConfig, ValidateCatchesBadValues) {
   bad([](SwarmConfig& c) { c.attack.whitewash_interval = 0.0; });
   bad([](SwarmConfig& c) { c.attack.sybil_interval = -5.0; });
   bad([](SwarmConfig& c) { c.attack.sybil_rate = -1.0; });
+  bad([](SwarmConfig& c) { c.faults.transfer_loss_rate = 1.0; });
+  bad([](SwarmConfig& c) { c.faults.churn_rate = -0.1; });
+}
+
+TEST(SwarmConfig, ValidateCatchesBadAttackTimers) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  auto bad = [](auto mutate) {
+    SwarmConfig c;
+    mutate(c);
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+  };
+  // A non-positive or non-finite interval would wedge (or never fire) the
+  // attack timers; both must be rejected whenever the attack is enabled.
+  bad([](SwarmConfig& c) {
+    c.attack.whitewashing = true;
+    c.attack.whitewash_interval = 0.0;
+  });
+  bad([](SwarmConfig& c) {
+    c.attack.whitewashing = true;
+    c.attack.whitewash_interval = -10.0;
+  });
+  bad([nan](SwarmConfig& c) {
+    c.attack.whitewashing = true;
+    c.attack.whitewash_interval = nan;
+  });
+  bad([](SwarmConfig& c) {
+    c.attack.sybil_praise = true;
+    c.attack.sybil_interval = 0.0;
+  });
+  bad([nan](SwarmConfig& c) {
+    c.attack.sybil_praise = true;
+    c.attack.sybil_interval = nan;
+  });
+  bad([nan](SwarmConfig& c) {
+    c.attack.sybil_praise = true;
+    c.attack.sybil_rate = nan;
+  });
+  // Positive, finite timers validate with the attacks on.
+  SwarmConfig ok;
+  ok.attack.whitewashing = true;
+  ok.attack.sybil_praise = true;
+  ok.attack.whitewash_interval = 50.0;
+  ok.attack.sybil_interval = 25.0;
+  EXPECT_NO_THROW(ok.validate());
 }
 
 }  // namespace

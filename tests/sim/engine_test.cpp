@@ -75,14 +75,30 @@ TEST(SimEngine, StopHaltsTheLoop) {
   EXPECT_EQ(e.pending(), 1u);
 }
 
-TEST(SimEngine, StopIsResetByNextRun) {
+TEST(SimEngine, StopIsStickyUntilReset) {
   SimEngine e;
   e.schedule(1.0, [&] { e.stop(); });
   e.run();
+  ASSERT_TRUE(e.stopped());
+
+  // A stop raised inside an event must not be swallowed by the next run:
+  // both run() and run_until() return immediately without executing events
+  // or advancing the clock.
   int fired = 0;
   e.schedule(1.0, [&] { ++fired; });
   e.run();
+  EXPECT_EQ(fired, 0);
+  e.run_until(10.0);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(e.now(), 1.0);
+  EXPECT_EQ(e.pending(), 1u);
+
+  // Only an explicit reset lets the engine run again.
+  e.reset_stop();
+  EXPECT_FALSE(e.stopped());
+  e.run_until(10.0);
   EXPECT_EQ(fired, 1);
+  EXPECT_EQ(e.now(), 10.0);
 }
 
 TEST(SimEngine, RejectsBadScheduling) {

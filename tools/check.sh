@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Full check: configure + build + ctest for the normal tree, then again
+# with COOPNET_SANITIZE=ON (ASan + UBSan) in a separate build directory.
+#
+#   tools/check.sh             # both passes
+#   tools/check.sh --fast      # normal pass only
+#   CTEST_ARGS="-R Faults" tools/check.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=$(nproc 2>/dev/null || echo 4)
+CTEST_ARGS=${CTEST_ARGS:-}
+
+run_pass() {
+  local dir=$1
+  shift
+  echo "=== configure ${dir} ($*) ==="
+  cmake -B "${dir}" -S . "$@"
+  echo "=== build ${dir} ==="
+  cmake --build "${dir}" -j "${JOBS}"
+  echo "=== ctest ${dir} ==="
+  # shellcheck disable=SC2086
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" ${CTEST_ARGS}
+}
+
+run_pass build
+
+if [[ "${1:-}" != "--fast" ]]; then
+  run_pass build-asan -DCOOPNET_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+fi
+
+echo "All checks passed."
