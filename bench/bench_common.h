@@ -9,6 +9,7 @@
 
 #include "core/fluid_model.h"
 #include "exp/runner.h"
+#include "exp/schedule.h"
 #include "metrics/json.h"
 #include "util/ascii_plot.h"
 #include "util/cli.h"
@@ -45,6 +46,21 @@ inline sim::SwarmConfig scenario_from_cli(const util::Cli& cli,
   // Cap the run so pure reciprocity (which never completes) terminates.
   config.max_time = cli.get_double("max-time", 4000.0);
   return config;
+}
+
+/// Worker count selected by --jobs. Defaults to the hardware concurrency;
+/// `--jobs 1` runs every sweep sequentially on the calling thread (results
+/// are identical either way -- only the wall clock moves).
+inline std::size_t jobs_from_cli(const util::Cli& cli) {
+  const long jobs = cli.get_int("jobs", 0);
+  if (jobs < 0) throw std::invalid_argument("--jobs must be >= 1");
+  return jobs == 0 ? exp::default_jobs() : static_cast<std::size_t>(jobs);
+}
+
+/// Prints the per-sweep wall-clock/throughput line under a table, so the
+/// --jobs speedup is visible in the artifact itself.
+inline void print_sweep_timing(const exp::SweepTiming& timing) {
+  std::printf("sweep wall-clock: %s\n", timing.to_string().c_str());
 }
 
 /// Renders a (time, value) series per algorithm as an ASCII chart.
@@ -89,13 +105,9 @@ inline void print_cdf_chart(
 /// completion-time CDFs (efficiency), the fairness-vs-time series, and the
 /// bootstrap CDFs. Returns the reports for further rendering.
 inline std::vector<metrics::RunReport> run_figure_suite(
-    const sim::SwarmConfig& base, bool with_susceptibility) {
-  std::vector<metrics::RunReport> reports;
-  util::Table table("Per-algorithm summary");
-  table.set_header({"Algorithm", "finished", "mean compl. (s)",
-                    "median compl. (s)", "boot median (s)",
-                    "settled fairness (u/d)", "fairness F",
-                    "susceptibility"});
+    const sim::SwarmConfig& base, bool with_susceptibility,
+    std::size_t jobs = 1) {
+  std::vector<sim::SwarmConfig> cells;
   for (core::Algorithm algo : core::kAllAlgorithms) {
     sim::SwarmConfig config = base;
     config.algorithm = algo;
@@ -104,12 +116,22 @@ inline std::vector<metrics::RunReport> run_figure_suite(
       config = exp::with_freeriders(config, config.free_rider_fraction,
                                     large);
     }
-    std::fprintf(stderr, "  running %s...\n",
-                 core::to_string(algo).c_str());
-    reports.push_back(exp::run_scenario(config));
-    const auto& r = reports.back();
+    cells.push_back(config);
+  }
+  std::fprintf(stderr, "  running %zu algorithms (jobs=%zu)...\n",
+               cells.size(), jobs == 0 ? exp::default_jobs() : jobs);
+  exp::SweepTiming timing;
+  const std::vector<metrics::RunReport> reports =
+      exp::run_cells(cells, jobs, &timing);
+
+  util::Table table("Per-algorithm summary");
+  table.set_header({"Algorithm", "finished", "mean compl. (s)",
+                    "median compl. (s)", "boot median (s)",
+                    "settled fairness (u/d)", "fairness F",
+                    "susceptibility"});
+  for (const auto& r : reports) {
     table.add_row(
-        {core::to_string(algo),
+        {core::to_string(r.algorithm),
          std::to_string(r.completion_times.size()) + "/" +
              std::to_string(r.compliant_population),
          r.completion_times.empty()
@@ -130,6 +152,7 @@ inline std::vector<metrics::RunReport> run_figure_suite(
          with_susceptibility ? util::Table::pct(r.susceptibility) : "-"});
   }
   std::printf("%s", table.render().c_str());
+  print_sweep_timing(timing);
 
   if (with_susceptibility) {
     std::vector<std::pair<std::string, double>> bars;

@@ -29,11 +29,18 @@ int main(int argc, char** argv) {
   util::Table table("Strategic advantage per mechanism");
   table.set_header({"Mechanism", "compliant u/d", "strategic u/d",
                     "advantage (1 - s/c)", "mean compl. (s)"});
+  std::vector<sim::SwarmConfig> cells;
   for (core::Algorithm algo : core::kAllAlgorithmsExtended) {
     if (algo == core::Algorithm::kReciprocity) continue;  // nothing moves
     auto config = base;
     config.algorithm = algo;
-    const auto r = exp::run_scenario(config);
+    cells.push_back(config);
+  }
+  exp::SweepTiming timing;
+  const auto reports =
+      exp::run_cells(cells, bench::jobs_from_cli(cli), &timing);
+  for (const auto& r : reports) {
+    const core::Algorithm algo = r.algorithm;
     const bool defined =
         r.strategic_mean_ratio > 0.0 && r.compliant_mean_ratio > 0.0;
     table.add_row(
@@ -52,6 +59,7 @@ int main(int argc, char** argv) {
              : util::Table::num(r.completion_summary.mean, 5)});
   }
   std::printf("%s", table.render().c_str());
+  bench::print_sweep_timing(timing);
   std::printf(
       "\nExpected shape: a clear strategic advantage under BitTorrent "
       "(tit-for-tat is\ngameable with minimal give-back); little to none "

@@ -24,27 +24,37 @@ int main(int argc, char** argv) {
                     "sybil praise");
   table.set_header({"backend", "plain free-riding", "+ sybil praise",
                     "mean compl. (s, honest swarm)"});
-  for (auto mode : {sim::ReputationMode::kGlobalLedger,
-                    sim::ReputationMode::kEigenTrust}) {
-    const char* name = mode == sim::ReputationMode::kEigenTrust
-                           ? "EigenTrust [4]"
-                           : "global ledger (paper Sec. V-A)";
-    std::vector<std::string> row = {name};
+  // 3 cells per backend: plain free-riding, + sybil praise, honest swarm.
+  const std::vector<sim::ReputationMode> modes = {
+      sim::ReputationMode::kGlobalLedger, sim::ReputationMode::kEigenTrust};
+  std::vector<sim::SwarmConfig> cells;
+  for (auto mode : modes) {
     for (bool sybil : {false, true}) {
       auto config = base;
       config.reputation_mode = mode;
       config.free_rider_fraction = 0.2;
       config.attack.sybil_praise = sybil;
-      row.push_back(
-          util::Table::pct(exp::run_scenario(config).susceptibility));
+      cells.push_back(config);
     }
     auto honest = base;
     honest.reputation_mode = mode;
-    row.push_back(util::Table::num(
-        exp::run_scenario(honest).completion_summary.mean, 5));
-    table.add_row(row);
+    cells.push_back(honest);
+  }
+  exp::SweepTiming timing;
+  const auto reports =
+      exp::run_cells(cells, bench::jobs_from_cli(cli), &timing);
+  for (std::size_t m = 0; m < modes.size(); ++m) {
+    const char* name = modes[m] == sim::ReputationMode::kEigenTrust
+                           ? "EigenTrust [4]"
+                           : "global ledger (paper Sec. V-A)";
+    const std::size_t at = m * 3;
+    table.add_row(
+        {name, util::Table::pct(reports[at].susceptibility),
+         util::Table::pct(reports[at + 1].susceptibility),
+         util::Table::num(reports[at + 2].completion_summary.mean, 5)});
   }
   std::printf("%s", table.render().c_str());
+  bench::print_sweep_timing(timing);
   std::printf(
       "\nExpected shape: sybil praise multiplies the ledger backend's leak "
       "several\ntimes over (forged reports enter the score directly) but "

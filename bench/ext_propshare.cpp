@@ -21,15 +21,34 @@ int main(int argc, char** argv) {
   std::printf("Extension: PropShare (proportional-share reciprocity) vs "
               "BitTorrent, N = %zu\n\n", base.n_peers);
 
+  // One batch: 2 head-to-head cells followed by the 4x2 free-rider sweep.
+  const std::vector<core::Algorithm> pair = {core::Algorithm::kBitTorrent,
+                                             core::Algorithm::kPropShare};
+  const std::vector<double> fractions = {0.1, 0.2, 0.3, 0.4};
+  std::vector<sim::SwarmConfig> cells;
+  for (core::Algorithm algo : pair) {
+    auto config = base;
+    config.algorithm = algo;
+    cells.push_back(config);
+  }
+  for (double f : fractions) {
+    for (core::Algorithm algo : pair) {
+      auto config = base;
+      config.algorithm = algo;
+      config.free_rider_fraction = f;
+      cells.push_back(config);
+    }
+  }
+  exp::SweepTiming timing;
+  const auto reports =
+      exp::run_cells(cells, bench::jobs_from_cli(cli), &timing);
+
   util::Table table("Head-to-head (no free-riders)");
   table.set_header({"Mechanism", "mean compl. (s)", "fairness F",
                     "boot median (s)"});
-  for (core::Algorithm algo :
-       {core::Algorithm::kBitTorrent, core::Algorithm::kPropShare}) {
-    auto config = base;
-    config.algorithm = algo;
-    const auto r = exp::run_scenario(config);
-    table.add_row({core::to_string(algo),
+  for (std::size_t i = 0; i < pair.size(); ++i) {
+    const auto& r = reports[i];
+    table.add_row({core::to_string(pair[i]),
                    util::Table::num(r.completion_summary.mean, 5),
                    util::Table::num(r.final_fairness_F, 4),
                    util::Table::num(r.bootstrap_summary.median, 4)});
@@ -39,18 +58,16 @@ int main(int argc, char** argv) {
   util::Table sweep("Susceptibility vs free-rider fraction (plain "
                     "free-riding)");
   sweep.set_header({"free-riders", "BitTorrent", "PropShare"});
-  for (double f : {0.1, 0.2, 0.3, 0.4}) {
+  std::size_t cell = pair.size();
+  for (double f : fractions) {
     std::vector<std::string> row = {util::Table::pct(f, 0)};
-    for (core::Algorithm algo :
-         {core::Algorithm::kBitTorrent, core::Algorithm::kPropShare}) {
-      auto config = base;
-      config.algorithm = algo;
-      config.free_rider_fraction = f;
-      row.push_back(util::Table::pct(exp::run_scenario(config).susceptibility));
+    for (std::size_t a = 0; a < pair.size(); ++a) {
+      row.push_back(util::Table::pct(reports[cell++].susceptibility));
     }
     sweep.add_row(row);
   }
   std::printf("\n%s", sweep.render().c_str());
+  bench::print_sweep_timing(timing);
   std::printf(
       "\nExpected shape: PropShare matches BitTorrent's efficiency tier "
       "while being\nat least as fair (proportional response) and leaking "

@@ -18,8 +18,8 @@ int main(int argc, char** argv) {
               config.n_peers,
               static_cast<long long>(config.file_bytes / (1024 * 1024)),
               static_cast<unsigned long long>(config.seed));
-  const auto reports =
-      bench::run_figure_suite(config, /*with_susceptibility=*/false);
+  const auto reports = bench::run_figure_suite(
+      config, /*with_susceptibility=*/false, bench::jobs_from_cli(cli));
   bench::print_fluid_overlay(config, reports);
 
   std::printf(

@@ -18,8 +18,8 @@ int main(int argc, char** argv) {
               config.free_rider_fraction * 100.0, config.n_peers,
               static_cast<long long>(config.file_bytes / (1024 * 1024)),
               static_cast<unsigned long long>(config.seed));
-  const auto reports =
-      bench::run_figure_suite(config, /*with_susceptibility=*/true);
+  const auto reports = bench::run_figure_suite(
+      config, /*with_susceptibility=*/true, bench::jobs_from_cli(cli));
 
   std::printf(
       "\nExpected shape (Fig. 5): susceptibility ~0 for reciprocity and "

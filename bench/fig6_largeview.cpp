@@ -18,8 +18,9 @@ int main(int argc, char** argv) {
               config.free_rider_fraction * 100.0,
               config.graph.large_view_multiplier, config.n_peers,
               static_cast<unsigned long long>(config.seed));
+  const std::size_t jobs = bench::jobs_from_cli(cli);
   const auto reports =
-      bench::run_figure_suite(config, /*with_susceptibility=*/true);
+      bench::run_figure_suite(config, /*with_susceptibility=*/true, jobs);
 
   std::printf(
       "\nExpected shape (Fig. 6): susceptibility rises vs Fig. 5 for the "
@@ -34,15 +35,23 @@ int main(int argc, char** argv) {
                 "(BitTorrent)\n");
     util::Table table("");
     table.set_header({"multiplier", "susceptibility"});
-    for (double mult : {1.0, 2.0, 4.0, 8.0}) {
+    const std::vector<double> mults = {1.0, 2.0, 4.0, 8.0};
+    std::vector<sim::SwarmConfig> cells;
+    for (double mult : mults) {
       auto c = config;
       c.algorithm = core::Algorithm::kBitTorrent;
       c.graph.large_view_multiplier = mult;
       c = exp::with_freeriders(c, c.free_rider_fraction, mult > 1.0);
-      table.add_row({util::Table::num(mult, 2),
-                     util::Table::pct(exp::run_scenario(c).susceptibility)});
+      cells.push_back(c);
+    }
+    exp::SweepTiming timing;
+    const auto sweep = exp::run_cells(cells, jobs, &timing);
+    for (std::size_t i = 0; i < mults.size(); ++i) {
+      table.add_row({util::Table::num(mults[i], 2),
+                     util::Table::pct(sweep[i].susceptibility)});
     }
     std::printf("%s", table.render().c_str());
+    bench::print_sweep_timing(timing);
   }
   return 0;
 }

@@ -8,7 +8,7 @@
 // fault-free run.
 //
 //   ./fig_churn_sweep [--scale small|mid|paper] [--n N] [--seed S]
-//                     [--max-time T] [--json]
+//                     [--max-time T] [--jobs J] [--json]
 #include "bench_common.h"
 #include "sim/faults.h"
 
@@ -53,7 +53,28 @@ int main(int argc, char** argv) {
   sim::SwarmConfig base = bench::scenario_from_cli(cli, "small");
 
   const auto levels = fault_levels();
-  std::vector<metrics::RunReport> all_reports;
+  const std::size_t jobs = bench::jobs_from_cli(cli);
+
+  // The whole sweep is one batch of independent (fault level, algorithm)
+  // cells; slot order reproduces the sequential row order exactly.
+  std::vector<sim::SwarmConfig> cells;
+  for (const auto& level : levels) {
+    for (core::Algorithm algo : core::kAllAlgorithms) {
+      sim::SwarmConfig config = base;
+      config.algorithm = algo;
+      config.faults = level.faults;
+      cells.push_back(config);
+    }
+  }
+  std::fprintf(stderr,
+               "  running %zu fault levels x %zu algorithms = %zu swarms "
+               "(jobs=%zu)...\n",
+               levels.size(), core::kAllAlgorithms.size(), cells.size(),
+               jobs);
+  exp::SweepTiming timing;
+  const std::vector<metrics::RunReport> all_reports =
+      exp::run_cells(cells, jobs, &timing);
+
   util::Table table(
       "Degradation under faults & churn (per fault level x mechanism)");
   table.set_header({"Fault level", "Algorithm", "finished", "mean compl. (s)",
@@ -63,16 +84,12 @@ int main(int argc, char** argv) {
   // Per-algorithm fault-free mean completion, for the "vs clean" column.
   std::vector<double> clean_mean(core::kAllAlgorithms.size(), -1.0);
 
-  for (const auto& level : levels) {
+  for (std::size_t li = 0; li < levels.size(); ++li) {
+    const auto& level = levels[li];
     for (std::size_t ai = 0; ai < core::kAllAlgorithms.size(); ++ai) {
       const core::Algorithm algo = core::kAllAlgorithms[ai];
-      sim::SwarmConfig config = base;
-      config.algorithm = algo;
-      config.faults = level.faults;
-      std::fprintf(stderr, "  [%s] running %s...\n", level.name.c_str(),
-                   core::to_string(algo).c_str());
-      const metrics::RunReport r = exp::run_scenario(config);
-      all_reports.push_back(r);
+      const metrics::RunReport& r =
+          all_reports[li * core::kAllAlgorithms.size() + ai];
 
       const bool finished_any = !r.completion_times.empty();
       const double mean =
@@ -96,6 +113,7 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("%s", table.render().c_str());
+  bench::print_sweep_timing(timing);
 
   // Completion-rate-under-churn summary: the headline robustness number.
   util::Table summary("Completion rate by fault level (fraction of "

@@ -71,9 +71,11 @@ void simulation_validation(const util::Cli& cli) {
   table.set_header({"Algorithm", "predicted d_i (B/s)",
                     "realized file/median-time (B/s)", "ratio"});
 
-  for (Algorithm a :
-       {Algorithm::kTChain, Algorithm::kBitTorrent, Algorithm::kFairTorrent,
-        Algorithm::kReputation, Algorithm::kAltruism}) {
+  const std::vector<Algorithm> algos = {
+      Algorithm::kTChain, Algorithm::kBitTorrent, Algorithm::kFairTorrent,
+      Algorithm::kReputation, Algorithm::kAltruism};
+  std::vector<sim::SwarmConfig> cells;
+  for (Algorithm a : algos) {
     sim::SwarmConfig config;
     config.algorithm = a;
     config.n_peers = static_cast<std::size_t>(cli.get_int("n", 120));
@@ -86,23 +88,31 @@ void simulation_validation(const util::Cli& cli) {
     config.tchain_grace = 8.0;
     config.max_time = 4000.0;
     config.seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
-    const auto report = exp::run_scenario(config);
+    cells.push_back(config);
+  }
+  exp::SweepTiming timing;
+  const auto reports =
+      exp::run_cells(cells, bench::jobs_from_cli(cli), &timing);
 
-    const std::vector<double> caps(config.n_peers, capacity);
+  for (std::size_t i = 0; i < algos.size(); ++i) {
+    const Algorithm a = algos[i];
+    const auto& report = reports[i];
+    const std::vector<double> caps(cells[i].n_peers, capacity);
     core::ModelParams params;
-    params.seeder_rate = config.seeder_capacity;
+    params.seeder_rate = cells[i].seeder_capacity;
     const double predicted =
         core::equilibrium_rates(a, caps, params).download.front();
     const double realized =
         report.completion_times.empty()
             ? 0.0
-            : static_cast<double>(config.file_bytes) /
+            : static_cast<double>(cells[i].file_bytes) /
                   report.completion_summary.median;
     table.add_row({core::to_string(a), util::Table::num(predicted, 6),
                    util::Table::num(realized, 6),
                    util::Table::num(realized / predicted, 3)});
   }
   std::printf("\n%s", table.render().c_str());
+  bench::print_sweep_timing(timing);
   std::printf(
       "\nExpected shape: ratios of order 1; reciprocity omitted (Table I "
       "row is 0 -- no exchange ever starts).\n");

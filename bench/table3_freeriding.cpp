@@ -102,6 +102,7 @@ void simulation_cross_check(const util::Cli& cli) {
       core::CapacityDistribution::default_mix().sample(300, rng));
   const double total = core::total_capacity(caps);
 
+  std::vector<sim::SwarmConfig> cells;
   for (Algorithm a : core::kAllAlgorithms) {
     auto config = sim::SwarmConfig::paper_scale(a, 7);
     config.n_peers = 300;
@@ -109,14 +110,21 @@ void simulation_cross_check(const util::Cli& cli) {
     config.graph.degree = 30;
     config.max_time = 1500.0;
     config.free_rider_fraction = 0.2;  // plain free-riding, no extra attack
-    const auto report = exp::run_scenario(config);
+    cells.push_back(config);
+  }
+  exp::SweepTiming timing;
+  const auto reports =
+      exp::run_cells(cells, bench::jobs_from_cli(cli), &timing);
+  for (std::size_t i = 0; i < core::kAllAlgorithms.size(); ++i) {
+    const Algorithm a = core::kAllAlgorithms[i];
     table.add_row(
         {core::to_string(a),
          util::Table::pct(
              core::exploitable_resources(a, caps, {}, 0.75) / total),
-         util::Table::pct(report.susceptibility)});
+         util::Table::pct(reports[i].susceptibility)});
   }
   std::printf("%s", table.render().c_str());
+  bench::print_sweep_timing(timing);
   std::printf("Expected shape: both columns rank reciprocity = T-Chain ~ 0 "
               "< reputation/BitTorrent/FairTorrent < altruism.\n");
 }

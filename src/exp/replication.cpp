@@ -4,7 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
-#include "exp/runner.h"
+#include "exp/schedule.h"
 #include "util/stats.h"
 
 namespace coopnet::exp {
@@ -27,13 +27,14 @@ MetricEstimate estimate(const std::vector<double>& samples) {
   e.ci95_half_width =
       samples.size() < 2
           ? 0.0
-          : 1.96 * e.stddev / std::sqrt(static_cast<double>(e.samples));
+          : util::t_critical_975(e.samples - 1) * e.stddev /
+                std::sqrt(static_cast<double>(e.samples));
   return e;
 }
 
 ReplicatedReport run_replicated(const sim::SwarmConfig& config,
                                 std::size_t replications,
-                                std::uint64_t seed0) {
+                                std::uint64_t seed0, std::size_t jobs) {
   if (replications < 1) {
     throw std::invalid_argument("run_replicated: replications < 1");
   }
@@ -41,12 +42,14 @@ ReplicatedReport run_replicated(const sim::SwarmConfig& config,
   out.algorithm = config.algorithm;
   out.replications = replications;
 
-  std::vector<double> mean_c, median_c, frac_c, boot, fair, fair_f, susc;
+  std::vector<sim::SwarmConfig> cells(replications, config);
   for (std::size_t r = 0; r < replications; ++r) {
-    sim::SwarmConfig run_config = config;
-    run_config.seed = seed0 + r;
-    out.runs.push_back(run_scenario(run_config));
-    const auto& report = out.runs.back();
+    cells[r].seed = cell_seed(seed0, r);
+  }
+  out.runs = run_cells(cells, jobs);
+
+  std::vector<double> mean_c, median_c, frac_c, boot, fair, fair_f, susc;
+  for (const auto& report : out.runs) {
     if (!report.completion_times.empty()) {
       mean_c.push_back(report.completion_summary.mean);
       median_c.push_back(report.completion_summary.median);

@@ -16,7 +16,10 @@ namespace coopnet::exp {
 struct MetricEstimate {
   double mean = 0.0;
   double stddev = 0.0;
-  double ci95_half_width = 0.0;  // normal-approximation half width
+  /// Two-sided 95% CI half width. Uses the Student-t critical value for
+  /// small samples (n < 30) -- honest at `--reps 5` -- and the normal
+  /// approximation 1.96 for n >= 30 (util::t_critical_975).
+  double ci95_half_width = 0.0;
   std::size_t samples = 0;
 
   double lo() const { return mean - ci95_half_width; }
@@ -44,10 +47,14 @@ struct ReplicatedReport {
 /// the caller's job). Requires at least one sample.
 MetricEstimate estimate(const std::vector<double>& samples);
 
-/// Runs `config` under seeds seed0, seed0+1, ..., seed0+replications-1 and
-/// aggregates. Requires replications >= 1.
+/// Runs `config` under the per-replication seeds cell_seed(seed0, r),
+/// r = 0..replications-1 (see exp/schedule.h), and aggregates. Requires
+/// replications >= 1. `jobs` cells run concurrently (1 = sequential on the
+/// calling thread, 0 = hardware concurrency); results are bit-identical
+/// across jobs values, and `runs` is always in replication order.
 ReplicatedReport run_replicated(const sim::SwarmConfig& config,
                                 std::size_t replications,
-                                std::uint64_t seed0 = 1);
+                                std::uint64_t seed0 = 1,
+                                std::size_t jobs = 1);
 
 }  // namespace coopnet::exp

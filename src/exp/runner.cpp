@@ -1,5 +1,6 @@
 #include "exp/runner.h"
 
+#include "exp/schedule.h"
 #include "sim/swarm.h"
 #include "strategy/factory.h"
 
@@ -40,15 +41,12 @@ sim::SwarmConfig with_freeriders(sim::SwarmConfig config, double fraction,
 }
 
 std::vector<metrics::RunReport> run_all_algorithms(
-    const sim::SwarmConfig& base) {
-  std::vector<metrics::RunReport> out;
-  out.reserve(core::kAllAlgorithms.size());
-  for (core::Algorithm algo : core::kAllAlgorithms) {
-    sim::SwarmConfig config = base;
-    config.algorithm = algo;
-    out.push_back(run_scenario(config));
+    const sim::SwarmConfig& base, std::size_t jobs) {
+  std::vector<sim::SwarmConfig> cells(core::kAllAlgorithms.size(), base);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    cells[i].algorithm = core::kAllAlgorithms[i];
   }
-  return out;
+  return run_cells(cells, jobs);
 }
 
 }  // namespace coopnet::exp

@@ -25,8 +25,10 @@ sim::SwarmConfig with_freeriders(sim::SwarmConfig config, double fraction,
 
 /// Runs all six algorithms over the same base scenario (same seed =>
 /// same capacities/topology draw per algorithm). The base config's
-/// `algorithm` field is overridden per run.
+/// `algorithm` field is overridden per run. `jobs` algorithms run
+/// concurrently (1 = sequential, 0 = hardware concurrency); the report
+/// order and contents are identical for every jobs value.
 std::vector<metrics::RunReport> run_all_algorithms(
-    const sim::SwarmConfig& base);
+    const sim::SwarmConfig& base, std::size_t jobs = 1);
 
 }  // namespace coopnet::exp

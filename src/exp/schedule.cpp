@@ -1,0 +1,75 @@
+#include "exp/schedule.h"
+
+#include <chrono>
+#include <future>
+#include <sstream>
+
+#include "exp/runner.h"
+#include "metrics/collector.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace coopnet::exp {
+
+std::uint64_t cell_seed(std::uint64_t base_seed, std::uint64_t cell_index) {
+  // SplitMix64 adds a fixed gamma to its state each step, so seeding the
+  // state at base + index * gamma and mixing once yields exactly stream
+  // element `cell_index` without walking the stream.
+  std::uint64_t state = base_seed + cell_index * 0x9e3779b97f4a7c15ULL;
+  return util::splitmix64(state);
+}
+
+std::size_t default_jobs() { return util::ThreadPool::default_workers(); }
+
+double SweepTiming::throughput() const {
+  return wall_seconds > 0.0 ? static_cast<double>(cells) / wall_seconds
+                            : 0.0;
+}
+
+std::string SweepTiming::to_string() const {
+  std::ostringstream os;
+  os.precision(3);
+  os << cells << (cells == 1 ? " run in " : " runs in ") << wall_seconds
+     << " s (" << throughput() << " runs/s, jobs=" << jobs << ")";
+  return os.str();
+}
+
+std::vector<metrics::RunReport> run_cells(
+    const std::vector<sim::SwarmConfig>& cells, std::size_t jobs,
+    SweepTiming* timing) {
+  if (jobs == 0) jobs = default_jobs();
+  const auto start = std::chrono::steady_clock::now();
+
+  metrics::ReportCollector collector(cells.size());
+  if (jobs == 1 || cells.size() <= 1) {
+    // Sequential reference path: same cells, same slots, no threads.
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      collector.store(i, run_scenario(cells[i]));
+    }
+  } else {
+    util::ThreadPool pool(std::min(jobs, cells.size()));
+    std::vector<std::future<void>> pending;
+    pending.reserve(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      pending.push_back(pool.submit([&collector, &cells, i] {
+        collector.store(i, run_scenario(cells[i]));
+      }));
+    }
+    // get() rethrows the first failing cell's exception after all futures
+    // up to it have completed; remaining cells finish or are drained by
+    // the pool destructor before the exception propagates.
+    for (auto& f : pending) f.get();
+  }
+
+  if (timing != nullptr) {
+    timing->wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    timing->cells = cells.size();
+    timing->jobs = jobs;
+  }
+  return collector.take();
+}
+
+}  // namespace coopnet::exp

@@ -1,0 +1,53 @@
+// Parallel experiment scheduler: runs independent (scenario, seed) cells
+// on a fixed-size thread pool with results written into pre-sized slots.
+//
+// Determinism contract: a cell is a fully-specified SwarmConfig; the swarm
+// constructs its own RNG from config.seed, touches no shared mutable state,
+// and its report goes into the slot matching its submission index. Workers
+// therefore only change *when* a cell runs, never *what* it computes or
+// *where* its result lands -- `jobs = N` output is bit-identical to
+// `jobs = 1` (enforced by tests/exp/parallel_determinism_test.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "metrics/report.h"
+#include "sim/config.h"
+
+namespace coopnet::exp {
+
+/// Stable per-cell seed: output `cell_index` of the SplitMix64 stream
+/// seeded with `base_seed`. O(1) per cell (SplitMix64's state advances by
+/// a fixed increment, so the stream can be entered at any position), and
+/// decorrelated across both cells and nearby base seeds.
+std::uint64_t cell_seed(std::uint64_t base_seed, std::uint64_t cell_index);
+
+/// Default worker count for --jobs: the hardware concurrency (>= 1).
+std::size_t default_jobs();
+
+/// Wall-clock accounting for one sweep, printed by the bench binaries so
+/// parallel speedup is visible next to the tables it produced.
+struct SweepTiming {
+  double wall_seconds = 0.0;
+  std::size_t cells = 0;
+  std::size_t jobs = 1;
+
+  /// Cells completed per wall-clock second (0 if no time elapsed).
+  double throughput() const;
+  /// e.g. "42 runs in 12.3 s (3.41 runs/s, jobs=8)".
+  std::string to_string() const;
+};
+
+/// Runs every fully-specified config cell and returns the reports in input
+/// order. `jobs == 1` runs inline on the calling thread (no threads are
+/// created); `jobs > 1` dispatches to a ThreadPool of min(jobs, cells)
+/// workers. `jobs == 0` means default_jobs(). The first exception thrown
+/// by any cell is rethrown. Optionally fills `timing`.
+std::vector<metrics::RunReport> run_cells(
+    const std::vector<sim::SwarmConfig>& cells, std::size_t jobs,
+    SweepTiming* timing = nullptr);
+
+}  // namespace coopnet::exp

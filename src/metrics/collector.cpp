@@ -1,0 +1,42 @@
+#include "metrics/collector.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace coopnet::metrics {
+
+ReportCollector::ReportCollector(std::size_t slots)
+    : slot_count_(slots), reports_(slots), filled_(slots, 0) {}
+
+void ReportCollector::store(std::size_t slot, RunReport report) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (slot >= slot_count_) {
+    throw std::out_of_range("ReportCollector::store: slot out of range");
+  }
+  if (filled_[slot]) {
+    throw std::logic_error("ReportCollector::store: slot stored twice");
+  }
+  reports_[slot] = std::move(report);
+  filled_[slot] = 1;
+  ++stored_;
+}
+
+std::size_t ReportCollector::stored() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stored_;
+}
+
+std::vector<RunReport> ReportCollector::take() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stored_ != slot_count_) {
+    throw std::logic_error("ReportCollector::take: missing slots");
+  }
+  std::vector<RunReport> out = std::move(reports_);
+  reports_.clear();
+  filled_.assign(filled_.size(), 0);
+  stored_ = 0;
+  slot_count_ = 0;
+  return out;
+}
+
+}  // namespace coopnet::metrics

@@ -1,0 +1,43 @@
+// Thread-safe, slot-ordered collection of RunReports for the parallel
+// experiment scheduler: worker threads finish cells in any order, but each
+// cell writes into its pre-sized slot, so the collected vector is always in
+// submission order -- the property that keeps `--jobs N` output
+// bit-identical to the sequential path.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "metrics/report.h"
+
+namespace coopnet::metrics {
+
+/// Fixed-size slot array of RunReports with thread-safe stores.
+class ReportCollector {
+ public:
+  /// Pre-sizes `slots` empty report slots.
+  explicit ReportCollector(std::size_t slots);
+
+  /// Stores `report` into `slot`. Thread-safe; each slot may be stored at
+  /// most once. Throws std::out_of_range / std::logic_error on misuse.
+  void store(std::size_t slot, RunReport report);
+
+  /// Number of slots stored so far. Thread-safe.
+  std::size_t stored() const;
+
+  std::size_t size() const { return slot_count_; }
+
+  /// Moves the reports out in slot order. Requires every slot stored
+  /// (throws std::logic_error otherwise); the collector is empty after.
+  std::vector<RunReport> take();
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t slot_count_;
+  std::vector<RunReport> reports_;
+  std::vector<char> filled_;  // char, not bool: distinct addressable flags
+  std::size_t stored_ = 0;
+};
+
+}  // namespace coopnet::metrics

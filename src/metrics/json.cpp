@@ -44,7 +44,11 @@ class Writer {
     os_ << raw_value;
   }
   void string_field(const std::string& name, const std::string& value) {
-    field(name, "\"" + json_escape(value) + "\"");
+    // Streamed piecewise (not built with operator+): the temporary-concat
+    // form trips GCC 12's -Wrestrict false positive (PR 105329) at -O2,
+    // which the -Werror CI lint build would turn fatal.
+    key(name);
+    os_ << '"' << json_escape(value) << '"';
   }
   void array_field(const std::string& name,
                    const std::vector<double>& values) {

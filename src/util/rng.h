@@ -14,6 +14,12 @@
 
 namespace coopnet::util {
 
+/// Advances a SplitMix64 state by one step and returns the mixed output.
+/// This is the seeding PRNG recommended by the xoshiro authors; the
+/// experiment scheduler also uses it to derive independent per-cell seeds
+/// from a (base seed, cell index) pair.
+std::uint64_t splitmix64(std::uint64_t& state);
+
 /// Deterministic random number generator (xoshiro256**).
 ///
 /// Not thread-safe; each simulation owns exactly one Rng and all components

@@ -73,6 +73,19 @@ double jain_index(std::span<const double> values) {
   return (sum * sum) / (static_cast<double>(values.size()) * sum_sq);
 }
 
+double t_critical_975(std::size_t df) {
+  if (df < 1) {
+    throw std::invalid_argument("t_critical_975: df < 1");
+  }
+  // 0.975 quantiles of Student's t for df = 1..29 (two-sided 95%).
+  static constexpr double kTable[] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045};
+  if (df <= 29) return kTable[df - 1];
+  return 1.96;  // normal approximation; error < 2% from df = 30 on
+}
+
 double mean_abs_log(std::span<const double> ratios) {
   double total = 0.0;
   std::size_t n = 0;

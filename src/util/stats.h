@@ -56,6 +56,13 @@ double quantile_sorted(std::span<const double> sorted, double q);
 /// values equal. Returns 1 for an empty or all-zero sample.
 double jain_index(std::span<const double> values);
 
+/// Two-sided 95% critical value of Student's t-distribution with `df`
+/// degrees of freedom (the 0.975 quantile). Exact table values for
+/// df <= 29; the normal approximation 1.96 for df >= 30, where the two
+/// differ by under 2%. Used for honest confidence intervals on small
+/// replication counts. Requires df >= 1.
+double t_critical_975(std::size_t df);
+
 /// Mean of |log(x_i)| over strictly positive values -- the paper's system
 /// fairness statistic F (eq. 3) applied to per-user download/upload ratios.
 /// Non-positive ratios are skipped (they correspond to idle users, for which

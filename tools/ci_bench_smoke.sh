@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Smoke-runs every bench binary at tiny scale so the bench targets cannot
+# silently rot: each must exit 0 and produce output. Not a performance
+# gate -- CI runs this once per push (see .github/workflows/ci.yml).
+#
+#   tools/ci_bench_smoke.sh [build-dir]    # default: build
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${1:-build}
+BENCH="${BUILD_DIR}/bench"
+TOOLS="${BUILD_DIR}/tools"
+
+if [[ ! -d "${BENCH}" ]]; then
+  echo "error: ${BENCH} not found (build first: cmake --build ${BUILD_DIR})" >&2
+  exit 1
+fi
+
+JOBS=$(nproc 2>/dev/null || echo 2)
+fail=0
+
+run() {
+  local name=$1
+  shift
+  echo "=== smoke: ${name} $* ==="
+  local out
+  if ! out=$("$@" 2>&1); then
+    echo "${out}"
+    echo "FAILED: ${name}" >&2
+    fail=1
+    return
+  fi
+  if [[ -z "${out}" ]]; then
+    echo "FAILED: ${name} produced no output" >&2
+    fail=1
+    return
+  fi
+  # Show the tail so the CI log proves the artifact rendered.
+  echo "${out}" | tail -n 3
+}
+
+# Analytic artifacts (no simulation; already fast at defaults).
+run fig1_classification   "${BENCH}/fig1_classification"
+run fig2_ideal_ranking    "${BENCH}/fig2_ideal_ranking"
+run fig3_piece_availability "${BENCH}/fig3_piece_availability"
+run table2_bootstrap      "${BENCH}/table2_bootstrap"
+
+# Simulation-backed artifacts, shrunk hard: tiny swarms, short horizons,
+# all hardware threads.
+run table1_equilibrium "${BENCH}/table1_equilibrium" --n 60 --jobs "${JOBS}"
+run table3_freeriding  "${BENCH}/table3_freeriding" --n 120 --jobs "${JOBS}"
+SMALL=(--scale small --n 30 --file-mb 2 --max-time 600 --jobs "${JOBS}")
+run fig4_compliant  "${BENCH}/fig4_compliant"  "${SMALL[@]}"
+run fig5_freeriders "${BENCH}/fig5_freeriders" "${SMALL[@]}"
+run fig6_largeview  "${BENCH}/fig6_largeview"  "${SMALL[@]}"
+run fig_churn_sweep "${BENCH}/fig_churn_sweep" "${SMALL[@]}"
+run ext_propshare   "${BENCH}/ext_propshare"   "${SMALL[@]}"
+run ext_bittyrant   "${BENCH}/ext_bittyrant"   "${SMALL[@]}"
+run ext_eigentrust  "${BENCH}/ext_eigentrust"  "${SMALL[@]}"
+
+# The scenario CLI: replicated + parallel + JSON in one pass.
+run coopnet_run "${TOOLS}/coopnet_run" --algo BitTorrent --n 30 --file-mb 2 \
+  --reps 3 --jobs "${JOBS}" --json
+
+# google-benchmark guards: one cheap kernel each, minimal measuring time.
+run micro_engine "${BENCH}/micro_engine" \
+  --benchmark_filter='BM_QNeedsKernel' --benchmark_min_time=0.01
+run micro_pool "${BENCH}/micro_pool" \
+  --benchmark_filter='BM_CellSeed|BM_PoolSubmitValue' \
+  --benchmark_min_time=0.01
+
+if [[ ${fail} -ne 0 ]]; then
+  echo "bench smoke: FAILURES (see above)" >&2
+  exit 1
+fi
+echo "bench smoke: all binaries OK."

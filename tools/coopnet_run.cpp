@@ -8,11 +8,13 @@
 //               --attack collusion --large-view --reps 5
 //
 // Run with --help for the full flag list.
+#include <chrono>
 #include <cstdio>
 #include <string>
 
 #include "exp/replication.h"
 #include "exp/runner.h"
+#include "exp/schedule.h"
 #include "metrics/json.h"
 #include "metrics/trace_log.h"
 #include "sim/swarm.h"
@@ -52,6 +54,9 @@ algorithm knobs:
   --tchain-backlog N   reciprocation admission cap, 0 = unlimited
 output:
   --reps R             replications (mean +/- 95% CI; default 1)
+  --jobs J             replications run concurrently (default: all
+                       hardware threads; 1 = sequential; results are
+                       bit-identical for every J)
   --seed S             base seed (default 7)
   --json               print the full RunReport(s) as JSON
   --trace              print the transfer trace CSV (single run only)
@@ -132,7 +137,15 @@ int run(const util::Cli& cli) {
   const auto reps = static_cast<std::size_t>(cli.get_int("reps", 1));
 
   if (reps > 1) {
-    const auto rep = exp::run_replicated(config, reps, config.seed);
+    const long jobs_flag = cli.get_int("jobs", 0);
+    if (jobs_flag < 0) throw std::invalid_argument("--jobs must be >= 1");
+    const auto jobs = jobs_flag == 0 ? exp::default_jobs()
+                                     : static_cast<std::size_t>(jobs_flag);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto rep = exp::run_replicated(config, reps, config.seed, jobs);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
     util::Table table("aggregated over " + std::to_string(reps) + " seeds");
     table.set_header({"metric", "mean +/- 95% CI"});
     table.add_row({"completed fraction",
@@ -145,6 +158,10 @@ int run(const util::Cli& cli) {
     table.add_row({"fairness F", rep.fairness_F.to_string()});
     table.add_row({"susceptibility", rep.susceptibility.to_string()});
     std::printf("%s", table.render().c_str());
+    std::printf("replication wall-clock: %.3f s (%zu runs, %.3f runs/s, "
+                "jobs=%zu)\n",
+                wall, reps, wall > 0.0 ? static_cast<double>(reps) / wall : 0.0,
+                jobs);
     if (cli.has("json")) {
       std::printf("%s\n", metrics::to_json(rep.runs).c_str());
     }
