@@ -4,9 +4,14 @@
 // algorithm. Not a paper artifact; a performance guard for the substrate.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+
 #include "core/piece_availability.h"
 #include "exp/runner.h"
+#include "metrics/json.h"
 #include "sim/engine.h"
+#include "sim/faults.h"
 #include "sim/piece_set.h"
 #include "strategy/factory.h"
 #include "util/rng.h"
@@ -100,6 +105,38 @@ void BM_MidSwarmBitTorrent(benchmark::State& state) {
 }
 BENCHMARK(BM_MidSwarmBitTorrent)->Unit(benchmark::kMillisecond);
 
+// Audit-neutrality self-check: the auditor is pure observation, so a run
+// with invariant checks at every event must produce a bit-identical
+// report to the same run with auditing off -- in audit builds (checks on
+// vs off) and in normal builds (where audit_every must be a no-op knob
+// with zero overhead). Runs once before the benchmarks.
+bool audit_neutrality_check() {
+  auto config = sim::SwarmConfig::small(core::Algorithm::kBitTorrent, 7);
+  config.max_time = 500.0;
+  config.faults = sim::moderate_churn();
+  config.faults.transfer_loss_rate = 0.05;
+
+  config.audit_every = 1;
+  const std::string audited = metrics::to_json(exp::run_scenario(config));
+  config.audit_every = 0;
+  const std::string bare = metrics::to_json(exp::run_scenario(config));
+  if (audited != bare) {
+    std::fprintf(stderr,
+                 "micro_engine: FAIL -- auditing perturbed the run "
+                 "(audit_every=1 vs 0 reports differ)\n");
+    return false;
+  }
+  std::fprintf(stderr, "audit-neutrality self-check: OK\n");
+  return true;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (!audit_neutrality_check()) return 1;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -40,10 +40,16 @@ class TraceLog : public sim::SwarmObserver {
   const std::vector<TraceEvent>& events() const { return events_; }
   std::size_t transfer_count() const { return transfer_count_; }
 
+  /// Appends a hand-built event (testing seam; the observer callbacks are
+  /// the normal source).
+  void append(const TraceEvent& e) { events_.push_back(e); }
+
   /// Events concerning one peer (as receiver/subject or transfer source).
   std::vector<TraceEvent> for_peer(sim::PeerId id) const;
 
-  /// CSV dump: kind,time,peer,from,piece,bytes,locked.
+  /// CSV dump: kind,time,peer,from,piece,bytes,locked. Times are written
+  /// at round-trip (max_digits10) precision so the CSV preserves event
+  /// order and sub-second spacing even late in long runs.
   std::string to_csv() const;
 
  private:

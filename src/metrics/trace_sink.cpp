@@ -1,0 +1,64 @@
+#include "metrics/trace_sink.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace coopnet::metrics {
+
+TraceSink::TraceSink(std::ostream& out, bool transfers_enabled)
+    : out_(&out), transfers_enabled_(transfers_enabled) {}
+
+TraceSink::TraceSink(const std::string& path, bool transfers_enabled)
+    : owned_(path, std::ios::out | std::ios::trunc),
+      out_(&owned_),
+      transfers_enabled_(transfers_enabled) {
+  if (!owned_) {
+    throw std::runtime_error("TraceSink: cannot open " + path);
+  }
+}
+
+void TraceSink::write(const TraceEvent& e) {
+  const char* kind = e.kind == TraceEvent::Kind::kTransfer ? "transfer"
+                     : e.kind == TraceEvent::Kind::kBootstrap ? "bootstrap"
+                                                              : "finish";
+  char buf[192];
+  if (e.kind == TraceEvent::Kind::kTransfer) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"kind\":\"%s\",\"time\":%.17g,\"peer\":%u,\"from\":%u,"
+                  "\"piece\":%u,\"bytes\":%lld,\"locked\":%s}",
+                  kind, e.time, e.peer, e.from, e.piece,
+                  static_cast<long long>(e.bytes),
+                  e.locked ? "true" : "false");
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"kind\":\"%s\",\"time\":%.17g,\"peer\":%u}", kind,
+                  e.time, e.peer);
+  }
+  *out_ << buf << '\n';
+  // Per-event flush: the trace is the post-mortem record when an audit
+  // violation (or a crash) aborts the run, so it must not sit in a buffer.
+  out_->flush();
+  ++events_written_;
+}
+
+void TraceSink::on_transfer(const sim::Swarm& swarm, const sim::Transfer& t) {
+  if (transfers_enabled_) {
+    write({TraceEvent::Kind::kTransfer, t.end, t.to, t.from, t.piece, t.bytes,
+           t.locked});
+  }
+  if (next_ != nullptr) next_->on_transfer(swarm, t);
+}
+
+void TraceSink::on_bootstrap(const sim::Swarm& swarm, const sim::Peer& peer) {
+  write({TraceEvent::Kind::kBootstrap, swarm.engine().now(), peer.id,
+         sim::kNoPeer, sim::kNoPiece, 0, false});
+  if (next_ != nullptr) next_->on_bootstrap(swarm, peer);
+}
+
+void TraceSink::on_finish(const sim::Swarm& swarm, const sim::Peer& peer) {
+  write({TraceEvent::Kind::kFinish, swarm.engine().now(), peer.id,
+         sim::kNoPeer, sim::kNoPiece, 0, false});
+  if (next_ != nullptr) next_->on_finish(swarm, peer);
+}
+
+}  // namespace coopnet::metrics

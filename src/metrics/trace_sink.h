@@ -1,0 +1,56 @@
+// Streaming JSONL trace sink: the bounded-memory counterpart of TraceLog.
+//
+// TraceLog keeps every event in memory (fine for one run, tens of MB at
+// paper scale); a long sweep or an audited run that may die mid-flight
+// wants the trace on disk as it happens. TraceSink writes one JSON object
+// per line and flushes after every event, so the trace survives a crash
+// or an InvariantViolation with at most the current line at risk, and
+// memory stays O(1) regardless of run length. Chains to a second observer
+// (e.g. RunMetrics) exactly like TraceLog.
+#pragma once
+
+#include <fstream>
+#include <ostream>
+#include <string>
+
+#include "metrics/trace_log.h"
+#include "sim/swarm.h"
+
+namespace coopnet::metrics {
+
+/// Writes every transfer/bootstrap/finish event to a stream as JSON lines:
+///   {"kind":"transfer","time":...,"peer":4,"from":17,"piece":3,
+///    "bytes":131072,"locked":false}
+///   {"kind":"finish","time":...,"peer":4}
+/// Times use round-trip (max_digits10) precision.
+class TraceSink : public sim::SwarmObserver {
+ public:
+  /// Streams to `out` (not owned; must outlive the sink).
+  explicit TraceSink(std::ostream& out, bool transfers_enabled = true);
+
+  /// Opens `path` for writing (truncates). Throws std::runtime_error when
+  /// the file cannot be opened.
+  explicit TraceSink(const std::string& path, bool transfers_enabled = true);
+
+  /// Chains another observer behind this one (e.g. RunMetrics).
+  void chain(sim::SwarmObserver* next) { next_ = next; }
+
+  void on_transfer(const sim::Swarm& swarm, const sim::Transfer& t) override;
+  void on_bootstrap(const sim::Swarm& swarm, const sim::Peer& peer) override;
+  void on_finish(const sim::Swarm& swarm, const sim::Peer& peer) override;
+
+  /// Writes one hand-built event (testing seam; the observer callbacks are
+  /// the normal source).
+  void write(const TraceEvent& e);
+
+  std::size_t events_written() const { return events_written_; }
+
+ private:
+  std::ofstream owned_;  // backing file for the path constructor
+  std::ostream* out_;
+  bool transfers_enabled_;
+  sim::SwarmObserver* next_ = nullptr;
+  std::size_t events_written_ = 0;
+};
+
+}  // namespace coopnet::metrics

@@ -1,0 +1,388 @@
+#include "sim/auditor.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "sim/swarm.h"
+
+namespace coopnet::sim {
+
+namespace {
+
+const char* kind_name(AuditEvent::Kind kind) {
+  switch (kind) {
+    case AuditEvent::Kind::kArrive:
+      return "arrive";
+    case AuditEvent::Kind::kFinish:
+      return "finish";
+    case AuditEvent::Kind::kDepart:
+      return "depart";
+    case AuditEvent::Kind::kChurnOut:
+      return "churn-out";
+    case AuditEvent::Kind::kRejoin:
+      return "rejoin";
+    case AuditEvent::Kind::kSeederDown:
+      return "seeder-down";
+    case AuditEvent::Kind::kSeederUp:
+      return "seeder-up";
+    case AuditEvent::Kind::kTransferStart:
+      return "start";
+    case AuditEvent::Kind::kTransferEnd:
+      return "complete";
+    case AuditEvent::Kind::kTransferFail:
+      return "fail";
+    case AuditEvent::Kind::kRetry:
+      return "retry";
+  }
+  return "?";
+}
+
+bool is_transfer_kind(AuditEvent::Kind kind) {
+  switch (kind) {
+    case AuditEvent::Kind::kTransferStart:
+    case AuditEvent::Kind::kTransferEnd:
+    case AuditEvent::Kind::kTransferFail:
+    case AuditEvent::Kind::kRetry:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::string AuditEvent::to_string() const {
+  char buf[160];
+  if (is_transfer_kind(kind)) {
+    std::snprintf(buf, sizeof(buf),
+                  "t=%-10.4f %-11s %u->%u piece=%u attempt=%d "
+                  "epochs=%u/%u%s",
+                  time, kind_name(kind), from, to, piece, attempt, from_epoch,
+                  to_epoch,
+                  kind == Kind::kTransferEnd
+                      ? (flag ? " delivered" : " undelivered")
+                      : (kind == Kind::kTransferFail
+                             ? (flag ? " will-retry" : " terminal")
+                             : ""));
+  } else {
+    std::snprintf(buf, sizeof(buf), "t=%-10.4f %-11s peer=%u", time,
+                  kind_name(kind), from);
+  }
+  return buf;
+}
+
+InvariantViolation::InvariantViolation(std::string invariant,
+                                       std::string detail, Seconds time,
+                                       PeerId peer, std::uint32_t epoch,
+                                       std::uint64_t events_processed,
+                                       std::string trail)
+    : std::logic_error([&] {
+        std::ostringstream os;
+        os << "swarm invariant violated: " << invariant << " (t=" << time
+           << ", peer=";
+        if (peer == kNoPeer) {
+          os << "-";
+        } else {
+          os << peer << ", epoch=" << epoch;
+        }
+        os << ", engine event #" << events_processed << ")\n  " << detail;
+        if (!trail.empty()) os << "\nrecent events (newest last):\n" << trail;
+        return os.str();
+      }()),
+      invariant_(std::move(invariant)),
+      detail_(std::move(detail)),
+      time_(time),
+      peer_(peer),
+      epoch_(epoch),
+      events_processed_(events_processed),
+      trail_(std::move(trail)) {}
+
+InvariantAuditor::InvariantAuditor(const Swarm& swarm,
+                                   std::uint64_t check_every,
+                                   std::size_t trail_capacity)
+    : swarm_(swarm),
+      check_every_(std::max<std::uint64_t>(1, check_every)),
+      trail_capacity_(trail_capacity) {}
+
+void InvariantAuditor::record(const AuditEvent& e) {
+  ++events_recorded_;
+  ++events_since_check_;
+  if (trail_capacity_ > 0) {
+    if (trail_.size() == trail_capacity_) trail_.pop_front();
+    trail_.push_back(e);
+  }
+
+  switch (e.kind) {
+    case AuditEvent::Kind::kTransferStart:
+      inflight_.push_back({e.from, e.to, e.piece, e.attempt, e.from_epoch,
+                           e.to_epoch, e.bytes});
+      inflight_bytes_ += e.bytes;
+      break;
+    case AuditEvent::Kind::kTransferEnd:
+    case AuditEvent::Kind::kTransferFail: {
+      const auto it = std::find_if(
+          inflight_.begin(), inflight_.end(), [&](const InFlight& f) {
+            return f.from == e.from && f.to == e.to && f.piece == e.piece &&
+                   f.attempt == e.attempt;
+          });
+      if (it == inflight_.end()) {
+        fail("transfer-lifecycle",
+             "completion/failure event for a transfer the auditor never saw "
+             "start (double termination?)",
+             e.from, e.from_epoch);
+      }
+      inflight_bytes_ -= it->bytes;
+      if (e.kind == AuditEvent::Kind::kTransferEnd && e.flag) {
+        goodput_bytes_ += it->bytes;
+      } else {
+        lost_bytes_ += it->bytes;
+      }
+      inflight_.erase(it);
+      if (e.kind == AuditEvent::Kind::kTransferFail && e.flag) {
+        holds_.push_back({e.to, e.piece, e.to_epoch});
+      }
+      break;
+    }
+    case AuditEvent::Kind::kRetry: {
+      const auto it = std::find_if(
+          holds_.begin(), holds_.end(), [&](const Hold& h) {
+            return h.to == e.to && h.piece == e.piece &&
+                   h.to_epoch == e.to_epoch;
+          });
+      if (it == holds_.end()) {
+        fail("retry-reservation",
+             "retry fired without a matching backoff-held reservation "
+             "(double retry?)",
+             e.to, e.to_epoch);
+      }
+      holds_.erase(it);
+      break;
+    }
+    default:
+      break;  // peer lifecycle events only feed the trail
+  }
+}
+
+void InvariantAuditor::maybe_check() {
+  if (events_since_check_ < check_every_) return;
+  events_since_check_ = 0;
+  ++checks_run_;
+  check_now();
+}
+
+void InvariantAuditor::fail(const std::string& invariant,
+                            const std::string& detail, PeerId peer,
+                            std::uint32_t epoch) const {
+  throw InvariantViolation(invariant, detail, swarm_.engine().now(), peer,
+                           epoch, swarm_.engine().events_processed(),
+                           trail_string());
+}
+
+void InvariantAuditor::check_now() const {
+  check_peer_invariants();
+  check_piece_frequencies();
+  check_census();
+  check_byte_identity();
+}
+
+void InvariantAuditor::check_peer_invariants() const {
+  const std::vector<Peer>& peers = swarm_.all_peers();
+  const std::size_t n = peers.size();
+
+  // One pass over the shadow ledger builds the per-peer expectations
+  // (epoch-filtered: transfers pinned to an older incarnation no longer
+  // count). A per-peer scan of the ledger would make every check
+  // O(peers x in-flight), which at mid scale turns an audited run from
+  // seconds into hours.
+  std::vector<int> expected_busy(n, 0);
+  std::vector<int> expected_incoming(n, 0);
+  std::vector<std::size_t> expected_pending(n, 0);
+  for (const InFlight& f : inflight_) {
+    if (f.from < n && f.from_epoch == peers[f.from].epoch) {
+      ++expected_busy[f.from];
+    }
+    if (f.to < n && f.to_epoch == peers[f.to].epoch) {
+      ++expected_incoming[f.to];
+      ++expected_pending[f.to];
+      if (!peers[f.to].pending.has(f.piece)) {
+        fail("pending-reservation",
+             "piece " + std::to_string(f.piece) +
+                 " has an in-flight transfer but is not in the pending set",
+             f.to, f.to_epoch);
+      }
+    }
+  }
+  for (const Hold& h : holds_) {
+    if (h.to < n && h.to_epoch == peers[h.to].epoch) {
+      ++expected_pending[h.to];
+      if (!peers[h.to].pending.has(h.piece)) {
+        fail("pending-reservation",
+             "piece " + std::to_string(h.piece) +
+                 " has a backoff-held reservation but is not in the "
+                 "pending set",
+             h.to, h.to_epoch);
+      }
+    }
+  }
+
+  for (const Peer& p : peers) {
+    // 1+2: slot counters vs the shadow in-flight ledger.
+    if (p.busy_slots != expected_busy[p.id]) {
+      fail("busy-slots",
+           "busy_slots=" + std::to_string(p.busy_slots) + " but " +
+               std::to_string(expected_busy[p.id]) +
+               " in-flight uploads from the current incarnation",
+           p.id, p.epoch);
+    }
+    if (p.busy_slots > p.upload_slots) {
+      fail("busy-slots",
+           "busy_slots=" + std::to_string(p.busy_slots) + " exceeds " +
+               std::to_string(p.upload_slots) + " upload slots",
+           p.id, p.epoch);
+    }
+    if (p.incoming_count != expected_incoming[p.id]) {
+      fail("incoming-count",
+           "incoming_count=" + std::to_string(p.incoming_count) + " but " +
+               std::to_string(expected_incoming[p.id]) +
+               " in-flight downloads to the current incarnation",
+           p.id, p.epoch);
+    }
+    const int max_incoming = swarm_.config().max_incoming;
+    if (max_incoming > 0 && p.incoming_count > max_incoming) {
+      fail("incoming-count",
+           "incoming_count=" + std::to_string(p.incoming_count) +
+               " exceeds max_incoming=" + std::to_string(max_incoming),
+           p.id, p.epoch);
+    }
+
+    // 3: pending == in-flight pieces + backoff-held reservations, exactly
+    // (membership was checked in the ledger pass above; the count closes
+    // the other direction).
+    if (p.pending.count() != expected_pending[p.id]) {
+      fail("pending-reservation",
+           "pending holds " + std::to_string(p.pending.count()) +
+               " pieces but only " + std::to_string(expected_pending[p.id]) +
+               " in-flight/backoff reservations exist (stale reservation "
+               "leak)",
+           p.id, p.epoch);
+    }
+
+    // 4: set algebra. pieces/locked/pending are pairwise disjoint;
+    // unavailable is exactly their union; transferable is pieces|locked.
+    if (p.pieces.intersects(p.locked)) {
+      fail("pieces-locked-disjoint", "a piece is both usable and locked",
+           p.id, p.epoch);
+    }
+    if (p.pending.intersects(p.pieces) || p.pending.intersects(p.locked)) {
+      fail("pending-disjoint",
+           "a pending (in-flight) piece is already usable or locked", p.id,
+           p.epoch);
+    }
+    if (!p.pieces.subset_of(p.unavailable) ||
+        !p.locked.subset_of(p.unavailable) ||
+        !p.pending.subset_of(p.unavailable)) {
+      fail("unavailable-superset",
+           "pieces/locked/pending must each be a subset of unavailable",
+           p.id, p.epoch);
+    }
+    if (p.unavailable.count() !=
+        p.pieces.count() + p.locked.count() + p.pending.count()) {
+      fail("unavailable-union",
+           "unavailable has " + std::to_string(p.unavailable.count()) +
+               " pieces; pieces+locked+pending have " +
+               std::to_string(p.pieces.count() + p.locked.count() +
+                              p.pending.count()),
+           p.id, p.epoch);
+    }
+    if (!p.pieces.subset_of(p.transferable) ||
+        !p.locked.subset_of(p.transferable) ||
+        p.transferable.count() != p.pieces.count() + p.locked.count()) {
+      fail("transferable-union", "transferable != pieces | locked", p.id,
+           p.epoch);
+    }
+
+    // 8: the reputation ledger never goes negative.
+    if (swarm_.reputation(p.id) < 0.0) {
+      fail("reputation-nonnegative", "negative reported-upload balance",
+           p.id, p.epoch);
+    }
+  }
+}
+
+void InvariantAuditor::check_piece_frequencies() const {
+  // 5: recompute rarity from scratch. Seeders contribute exactly one
+  // backing count per piece; active leechers contribute their usable sets
+  // (a churned peer's copies are subtracted until it rejoins).
+  const PieceId pieces = swarm_.config().piece_count();
+  std::vector<std::uint32_t> freq(pieces, 1);
+  for (PeerId id = 0; id < static_cast<PeerId>(swarm_.leechers()); ++id) {
+    const Peer& p = swarm_.peer(id);
+    if (!p.active()) continue;
+    p.pieces.for_each([&](PieceId piece) { ++freq[piece]; });
+  }
+  for (PieceId piece = 0; piece < pieces; ++piece) {
+    if (swarm_.piece_frequency(piece) != freq[piece]) {
+      fail("piece-frequency",
+           "piece " + std::to_string(piece) + ": maintained count " +
+               std::to_string(swarm_.piece_frequency(piece)) +
+               " != recomputed " + std::to_string(freq[piece]),
+           kNoPeer, 0);
+    }
+  }
+}
+
+void InvariantAuditor::check_census() const {
+  // 6: the completion condition's census. Compliant and strategic
+  // leechers count until they finish or are permanently gone; free-riders
+  // never count.
+  std::size_t census = 0;
+  for (PeerId id = 0; id < static_cast<PeerId>(swarm_.leechers()); ++id) {
+    const Peer& p = swarm_.peer(id);
+    if (p.is_free_rider() || p.finished()) continue;
+    if (p.state == PeerState::kLeft) continue;
+    ++census;
+  }
+  if (swarm_.compliant_unfinished() != census) {
+    fail("compliant-census",
+         "compliant_unfinished=" +
+             std::to_string(swarm_.compliant_unfinished()) +
+             " but the census counts " + std::to_string(census),
+         kNoPeer, 0);
+  }
+}
+
+void InvariantAuditor::check_byte_identity() const {
+  // 7: every offered byte is delivered, lost, or still in flight.
+  const FaultStats& stats = swarm_.fault_stats();
+  const Bytes accounted = goodput_bytes_ + lost_bytes_ + inflight_bytes_;
+  if (stats.offered_bytes != accounted) {
+    fail("offered-byte-identity",
+         "offered_bytes=" + std::to_string(stats.offered_bytes) +
+             " != goodput " + std::to_string(goodput_bytes_) + " + lost " +
+             std::to_string(lost_bytes_) + " + in-flight " +
+             std::to_string(inflight_bytes_),
+         kNoPeer, 0);
+  }
+  if (stats.goodput_bytes != goodput_bytes_) {
+    fail("goodput-ledger",
+         "goodput_bytes=" + std::to_string(stats.goodput_bytes) +
+             " != per-transfer delivered ledger " +
+             std::to_string(goodput_bytes_),
+         kNoPeer, 0);
+  }
+}
+
+std::string InvariantAuditor::trail_string() const {
+  std::string out;
+  for (const AuditEvent& e : trail_) {
+    out += "  ";
+    out += e.to_string();
+    out += '\n';
+  }
+  if (!out.empty()) out.pop_back();
+  return out;
+}
+
+}  // namespace coopnet::sim

@@ -128,6 +128,11 @@ struct SwarmConfig {
   Seconds max_time = 36000.0;
   Seconds retry_interval = 1.0;   // idle-slot refill period
   std::uint64_t seed = 1;
+  /// Invariant-audit cadence: run a full InvariantAuditor check at every
+  /// N-th swarm event (1 = every event). Only honored by builds configured
+  /// with -DCOOPNET_AUDIT=ON; otherwise ignored at zero cost. 0 disables
+  /// auditing even in audit builds.
+  std::uint64_t audit_every = 1;
 
   PieceId piece_count() const {
     return static_cast<PieceId>((file_bytes + piece_bytes - 1) / piece_bytes);

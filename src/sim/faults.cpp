@@ -18,12 +18,12 @@ void require(bool ok, const char* what) {
 }  // namespace
 
 Seconds FaultConfig::backoff_for(int attempt) const {
-  Seconds b = retry_backoff;
-  for (int i = 0; i < attempt; ++i) {
-    b *= retry_backoff_factor;
-    if (b >= retry_backoff_cap) break;
-  }
-  return std::min(b, retry_backoff_cap);
+  // Closed form: min(retry_backoff * factor^attempt, cap). For large
+  // attempts pow() overflows to +inf, which min() clamps to the cap, so
+  // saturation is safe without the old O(attempt) multiply loop.
+  if (attempt <= 0) return std::min(retry_backoff, retry_backoff_cap);
+  return std::min(retry_backoff * std::pow(retry_backoff_factor, attempt),
+                  retry_backoff_cap);
 }
 
 void FaultConfig::validate() const {

@@ -60,4 +60,24 @@ bool PieceSet::can_offer(const PieceSet& excluded) const {
   return false;
 }
 
+bool PieceSet::intersects(const PieceSet& other) const {
+  if (other.size_ != size_) {
+    throw std::invalid_argument("PieceSet::intersects: size mismatch");
+  }
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w] & other.words_[w]) return true;
+  }
+  return false;
+}
+
+bool PieceSet::subset_of(const PieceSet& other) const {
+  if (other.size_ != size_) {
+    throw std::invalid_argument("PieceSet::subset_of: size mismatch");
+  }
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w] & ~other.words_[w]) return false;
+  }
+  return true;
+}
+
 }  // namespace coopnet::sim

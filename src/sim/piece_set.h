@@ -59,6 +59,28 @@ class PieceSet {
   /// to a peer whose held/pending/locked union is `excluded`.
   bool can_offer(const PieceSet& excluded) const;
 
+  /// True when the two sets share at least one piece. Requires matching
+  /// sizes.
+  bool intersects(const PieceSet& other) const;
+
+  /// True when every piece of *this is also in `other`. Requires matching
+  /// sizes.
+  bool subset_of(const PieceSet& other) const;
+
+  /// Calls `fn(piece)` for every piece in the set, ascending. The callback
+  /// may not mutate the set.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t bits = words_[w];
+      while (bits) {
+        const int bit = __builtin_ctzll(bits);
+        bits &= bits - 1;
+        fn(static_cast<PieceId>(w * 64 + static_cast<std::size_t>(bit)));
+      }
+    }
+  }
+
  private:
   void check(PieceId p) const;
 

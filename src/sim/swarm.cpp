@@ -3,7 +3,62 @@
 #include <algorithm>
 #include <stdexcept>
 
+// Invariant-audit instrumentation (sim/auditor.h). AUDIT_RECORD feeds the
+// auditor's shadow ledger and sits with the state-mutation group it
+// describes; AUDIT_CHECK runs a full invariant check and may only appear
+// where the global accounting is quiescent (event-handler boundaries).
+// Audit-off builds compile both to nothing: the argument expressions are
+// never evaluated, so the simulation is bit-for-bit unchanged.
+#if COOPNET_AUDIT
+#define AUDIT_RECORD(...) \
+  do {                    \
+    if (auditor_) auditor_->record(__VA_ARGS__); \
+  } while (0)
+#define AUDIT_CHECK() \
+  do {                \
+    if (auditor_) auditor_->maybe_check(); \
+  } while (0)
+#else
+#define AUDIT_RECORD(...) \
+  do {                    \
+  } while (0)
+#define AUDIT_CHECK() \
+  do {                \
+  } while (0)
+#endif
+
 namespace coopnet::sim {
+
+#if COOPNET_AUDIT
+namespace {
+
+AuditEvent transfer_event(AuditEvent::Kind kind, const Transfer& t,
+                          Seconds now, bool flag = false) {
+  AuditEvent e;
+  e.kind = kind;
+  e.time = now;
+  e.from = t.from;
+  e.to = t.to;
+  e.piece = t.piece;
+  e.bytes = t.bytes;
+  e.attempt = t.attempt;
+  e.from_epoch = t.from_epoch;
+  e.to_epoch = t.to_epoch;
+  e.flag = flag;
+  return e;
+}
+
+AuditEvent peer_event(AuditEvent::Kind kind, const Peer& p, Seconds now) {
+  AuditEvent e;
+  e.kind = kind;
+  e.time = now;
+  e.from = p.id;
+  e.from_epoch = p.epoch;
+  return e;
+}
+
+}  // namespace
+#endif
 
 Swarm::Swarm(SwarmConfig config, std::unique_ptr<ExchangeStrategy> strategy)
     : config_(std::move(config)),
@@ -12,6 +67,11 @@ Swarm::Swarm(SwarmConfig config, std::unique_ptr<ExchangeStrategy> strategy)
   config_.validate();
   if (!strategy_) throw std::invalid_argument("Swarm: null strategy");
   build_population();
+#if COOPNET_AUDIT
+  if (config_.audit_every > 0) {
+    auditor_ = std::make_unique<InvariantAuditor>(*this, config_.audit_every);
+  }
+#endif
 }
 
 std::vector<Seconds> Swarm::draw_arrival_times() {
@@ -159,6 +219,7 @@ void Swarm::run() {
 void Swarm::arrive(PeerId id) {
   Peer& p = peers_.at(id);
   p.state = PeerState::kActive;
+  AUDIT_RECORD(peer_event(AuditEvent::Kind::kArrive, p, engine_.now()));
   strategy_->on_peer_activated(*this, id);
   try_fill(id);
   const std::uint32_t epoch = p.epoch;
@@ -166,6 +227,7 @@ void Swarm::arrive(PeerId id) {
     tick(id, epoch);
   });
   if (config_.faults.churn_enabled() && !p.is_seeder()) schedule_churn(id);
+  AUDIT_CHECK();
 }
 
 void Swarm::tick(PeerId id, std::uint32_t epoch) {
@@ -204,6 +266,7 @@ void Swarm::try_fill(PeerId id) {
       break;
     }
   }
+  AUDIT_CHECK();
 }
 
 std::optional<UploadAction> Swarm::seeder_action(PeerId seeder) {
@@ -326,6 +389,8 @@ bool Swarm::start_transfer_attempt(PeerId from, PeerId to, PieceId piece,
   t.from_epoch = up.epoch;
   t.to_epoch = down.epoch;
   fault_stats_.offered_bytes += t.bytes;
+  AUDIT_RECORD(
+      transfer_event(AuditEvent::Kind::kTransferStart, t, engine_.now()));
 
   // Fault draw. Guarded so that a fault-free config performs no Rng draws
   // and schedules exactly the events the fault-free simulator would.
@@ -371,15 +436,20 @@ void Swarm::complete_transfer(Transfer t) {
     // The uploader vanished mid-transfer: the payload never finished
     // arriving. No retry -- the source is gone; the receiver re-requests
     // the piece through the normal machinery.
+    AUDIT_RECORD(transfer_event(AuditEvent::Kind::kTransferEnd, t,
+                                engine_.now(), /*flag=*/false));
     ++fault_stats_.uploader_vanished;
     ++fault_stats_.transfers_abandoned;
     strategy_->on_transfer_failed(*this, t, /*will_retry=*/false);
     if (down_current && down.active()) request_refill(t.to);
+    AUDIT_CHECK();
     return;
   }
 
   up.uploaded_bytes += t.bytes;  // slot time was spent either way
   const bool delivered = down.state == PeerState::kActive && down_current;
+  AUDIT_RECORD(transfer_event(AuditEvent::Kind::kTransferEnd, t,
+                              engine_.now(), delivered));
   if (delivered) {
     fault_stats_.goodput_bytes += t.bytes;
     if (t.attempt > 0) ++fault_stats_.retry_successes;
@@ -419,6 +489,7 @@ void Swarm::complete_transfer(Transfer t) {
   try_fill(t.from);
   // Receiving may enable reciprocation or forwarding on the receiver side.
   if (delivered && peers_.at(t.to).active()) request_refill(t.to);
+  AUDIT_CHECK();
 }
 
 void Swarm::make_usable(PeerId id, PieceId piece, PeerId source) {
@@ -451,6 +522,7 @@ void Swarm::finish_peer(PeerId id) {
   if (observer_ != nullptr) observer_->on_finish(*this, p);
   const bool last_compliant =
       !p.is_free_rider() && --compliant_unfinished_ == 0;
+  AUDIT_RECORD(peer_event(AuditEvent::Kind::kFinish, p, engine_.now()));
   if (config_.linger_time > 0.0 && !last_compliant) {
     // Stay and seed for a while before leaving.
     engine_.schedule(config_.linger_time, [this, id] { depart(id); });
@@ -469,7 +541,9 @@ void Swarm::depart(PeerId id) {
   for (PieceId piece = 0; piece < p.pieces.size(); ++piece) {
     if (p.pieces.has(piece)) --piece_freq_[piece];
   }
+  AUDIT_RECORD(peer_event(AuditEvent::Kind::kDepart, p, engine_.now()));
   strategy_->on_peer_left(*this, id);
+  AUDIT_CHECK();
 }
 
 // --- fault injection -------------------------------------------------------
@@ -503,6 +577,8 @@ void Swarm::fail_transfer(Transfer t, bool stalled) {
       update_unavailable_bit(down, t.piece);
     }
   }
+  AUDIT_RECORD(transfer_event(AuditEvent::Kind::kTransferFail, t,
+                              engine_.now(), will_retry));
   if (will_retry) {
     ++fault_stats_.retries_scheduled;
     strategy_->on_transfer_failed(*this, t, /*will_retry=*/true);
@@ -517,6 +593,7 @@ void Swarm::fail_transfer(Transfer t, bool stalled) {
   // right away.
   if (up_current && up.active()) try_fill(t.from);
   if (down_current && down.active()) request_refill(t.to);
+  AUDIT_CHECK();
 }
 
 void Swarm::retry_transfer(Transfer t) {
@@ -529,6 +606,7 @@ void Swarm::retry_transfer(Transfer t) {
     down.pending.remove(t.piece);
     update_unavailable_bit(down, t.piece);
   }
+  AUDIT_RECORD(transfer_event(AuditEvent::Kind::kRetry, t, engine_.now()));
   const bool still_wanted = down.epoch == t.to_epoch && down.active() &&
                             !down.unavailable.has(t.piece);
   const bool source_ok = up.epoch == t.from_epoch && up.active() &&
@@ -536,6 +614,7 @@ void Swarm::retry_transfer(Transfer t) {
   if (still_wanted && source_ok &&
       start_transfer_attempt(t.from, t.to, t.piece, t.locked,
                              t.attempt + 1)) {
+    AUDIT_CHECK();
     return;
   }
   // The retry chain ends here: tell the strategy so in-flight bookkeeping
@@ -548,6 +627,7 @@ void Swarm::retry_transfer(Transfer t) {
     ++fault_stats_.retries_dropped;
   }
   strategy_->on_transfer_failed(*this, t, /*will_retry=*/false);
+  AUDIT_CHECK();
 }
 
 void Swarm::schedule_churn(PeerId id) {
@@ -582,6 +662,7 @@ void Swarm::churn_out(PeerId id) {
   for (PieceId piece = 0; piece < p.pieces.size(); ++piece) {
     if (p.pieces.has(piece)) --piece_freq_[piece];
   }
+  AUDIT_RECORD(peer_event(AuditEvent::Kind::kChurnOut, p, engine_.now()));
 
   const bool will_rejoin = rng_.bernoulli(config_.faults.rejoin_probability);
   strategy_->on_peer_departed(*this, id, will_rejoin);
@@ -591,6 +672,7 @@ void Swarm::churn_out(PeerId id) {
             ? 0.0
             : rng_.exponential(1.0 / config_.faults.mean_downtime);
     engine_.schedule(downtime, [this, id] { rejoin(id); });
+    AUDIT_CHECK();
     return;
   }
   ++fault_stats_.churn_losses;
@@ -601,6 +683,7 @@ void Swarm::churn_out(PeerId id) {
       --compliant_unfinished_ == 0) {
     engine_.stop();
   }
+  AUDIT_CHECK();
 }
 
 void Swarm::rejoin(PeerId id) {
@@ -611,10 +694,12 @@ void Swarm::rejoin(PeerId id) {
   for (PieceId piece = 0; piece < p.pieces.size(); ++piece) {
     if (p.pieces.has(piece)) ++piece_freq_[piece];
   }
+  AUDIT_RECORD(peer_event(AuditEvent::Kind::kRejoin, p, engine_.now()));
   strategy_->on_peer_rejoined(*this, id);
   // Unlock cascades may have completed this peer's file while it was gone.
   if (p.pieces.complete() && !p.finished()) {
     finish_peer(id);
+    AUDIT_CHECK();
     return;
   }
   try_fill(id);
@@ -623,6 +708,7 @@ void Swarm::rejoin(PeerId id) {
     tick(id, epoch);
   });
   schedule_churn(id);
+  AUDIT_CHECK();
 }
 
 void Swarm::seeder_outage_begin() {
@@ -633,10 +719,12 @@ void Swarm::seeder_outage_begin() {
     ++p.epoch;  // in-flight uploads from the seeder die
     p.busy_slots = 0;
     p.state = PeerState::kChurned;
+    AUDIT_RECORD(peer_event(AuditEvent::Kind::kSeederDown, p, engine_.now()));
     strategy_->on_peer_departed(*this, p.id, /*will_rejoin=*/true);
   }
   engine_.schedule(config_.faults.seeder_downtime,
                    [this] { seeder_outage_end(); });
+  AUDIT_CHECK();
 }
 
 void Swarm::seeder_outage_end() {
@@ -644,6 +732,7 @@ void Swarm::seeder_outage_end() {
     Peer& p = peers_.at(static_cast<PeerId>(leechers() + s));
     if (p.state != PeerState::kChurned) continue;
     p.state = PeerState::kActive;
+    AUDIT_RECORD(peer_event(AuditEvent::Kind::kSeederUp, p, engine_.now()));
     strategy_->on_peer_rejoined(*this, p.id);
     try_fill(p.id);
     const std::uint32_t epoch = p.epoch;

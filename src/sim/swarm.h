@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "sim/auditor.h"
 #include "sim/config.h"
 #include "sim/engine.h"
 #include "sim/peer.h"
@@ -128,6 +129,15 @@ class Swarm {
   std::uint32_t piece_frequency(PieceId piece) const {
     return piece_freq_.at(piece);
   }
+  /// The invariant auditor, or nullptr when this build was not configured
+  /// with -DCOOPNET_AUDIT=ON or config.audit_every is 0.
+  const InvariantAuditor* auditor() const {
+#if COOPNET_AUDIT
+    return auditor_.get();
+#else
+    return nullptr;
+#endif
+  }
   Bytes total_uploaded_bytes() const;
   /// Bytes uploaded by leechers (the seeder's bandwidth is not "users'
   /// upload bandwidth" and is excluded from susceptibility).
@@ -177,6 +187,9 @@ class Swarm {
   std::size_t compliant_unfinished_ = 0;
   FaultStats fault_stats_;
   SwarmObserver* observer_ = nullptr;
+#if COOPNET_AUDIT
+  std::unique_ptr<InvariantAuditor> auditor_;
+#endif
   bool ran_ = false;
 };
 

@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <sstream>
+#include <string>
+
 #include "metrics/run_metrics.h"
+#include "sim/faults.h"
 #include "strategy/factory.h"
 
 namespace coopnet::metrics {
@@ -100,6 +105,111 @@ TEST(TraceLog, ForPeerFiltersBothDirections) {
   for (const auto& e : events) {
     EXPECT_TRUE(e.peer == 0 || e.from == 0);
   }
+}
+
+// Golden CSV: times must round-trip at full double precision. The old
+// 6-significant-digit default formatted t = 100000.0625 as "100000", so
+// sub-second spacing late in a long run vanished and the CSV could no
+// longer reproduce event order.
+TEST(TraceLog, CsvKeepsSubSecondPrecisionOnLongRuns) {
+  TraceLog trace;
+  trace.append({TraceEvent::Kind::kTransfer, 100000.0625, 4, 17, 3,
+                131072, false});
+  trace.append({TraceEvent::Kind::kTransfer, 100000.125, 4, 9, 5, 131072,
+                true});
+  trace.append({TraceEvent::Kind::kBootstrap, 0.5, 4, sim::kNoPeer,
+                sim::kNoPiece, 0, false});
+  trace.append({TraceEvent::Kind::kFinish, 123456.78125, 4, sim::kNoPeer,
+                sim::kNoPiece, 0, false});
+  EXPECT_EQ(trace.to_csv(),
+            "kind,time,peer,from,piece,bytes,locked\n"
+            "transfer,100000.0625,4,17,3,131072,0\n"
+            "transfer,100000.125,4,9,5,131072,1\n"
+            "bootstrap,0.5,4,-,-,0,0\n"
+            "finish,123456.78125,4,-,-,0,0\n");
+}
+
+TEST(TraceLog, CsvTimesParseBackExactly) {
+  auto config = trace_config();
+  config.max_time = 200000.0;
+  sim::Swarm swarm(config, strategy::make_strategy(config.algorithm));
+  TraceLog trace;
+  swarm.set_observer(&trace);
+  swarm.run();
+  const std::string csv = trace.to_csv();
+  std::istringstream in(csv);
+  std::string line;
+  std::getline(in, line);  // header
+  std::size_t i = 0;
+  while (std::getline(in, line)) {
+    const auto a = line.find(',');
+    const auto b = line.find(',', a + 1);
+    ASSERT_NE(b, std::string::npos);
+    const double parsed = std::stod(line.substr(a + 1, b - a - 1));
+    ASSERT_LT(i, trace.events().size());
+    EXPECT_EQ(parsed, trace.events()[i].time) << "line " << i;
+    ++i;
+  }
+  EXPECT_EQ(i, trace.events().size());
+}
+
+// A counting observer for exactly-once delivery checks.
+struct CountingObserver : sim::SwarmObserver {
+  std::size_t transfers = 0, bootstraps = 0, finishes = 0;
+  sim::Bytes bytes = 0;
+  void on_transfer(const sim::Swarm&, const sim::Transfer& t) override {
+    ++transfers;
+    bytes += t.bytes;
+  }
+  void on_bootstrap(const sim::Swarm&, const sim::Peer&) override {
+    ++bootstraps;
+  }
+  void on_finish(const sim::Swarm&, const sim::Peer&) override {
+    ++finishes;
+  }
+};
+
+// chain() must deliver every event exactly once to both observers --
+// including under faults, where retries, churn and vanished uploaders
+// produce completion events that must NOT be double-reported.
+TEST(TraceLog, ChainDeliversEveryEventExactlyOnceUnderFaults) {
+  auto config = trace_config();
+  config.faults = sim::moderate_churn();
+  config.faults.transfer_loss_rate = 0.10;
+  config.faults.transfer_stall_rate = 0.05;
+  config.faults.stall_timeout = 20.0;
+  config.max_time = 20000.0;
+  sim::Swarm swarm(config, strategy::make_strategy(config.algorithm));
+  TraceLog trace;
+  CountingObserver counter;
+  trace.chain(&counter);
+  swarm.set_observer(&trace);
+  swarm.run();
+
+  std::size_t transfers = 0, bootstraps = 0, finishes = 0;
+  sim::Bytes bytes = 0;
+  for (const auto& e : trace.events()) {
+    switch (e.kind) {
+      case TraceEvent::Kind::kTransfer:
+        ++transfers;
+        bytes += e.bytes;
+        break;
+      case TraceEvent::Kind::kBootstrap:
+        ++bootstraps;
+        break;
+      case TraceEvent::Kind::kFinish:
+        ++finishes;
+        break;
+    }
+  }
+  ASSERT_GT(counter.transfers, 0u);
+  EXPECT_EQ(counter.transfers, transfers);
+  EXPECT_EQ(counter.transfers, trace.transfer_count());
+  EXPECT_EQ(counter.bootstraps, bootstraps);
+  EXPECT_EQ(counter.finishes, finishes);
+  EXPECT_EQ(counter.bytes, bytes);
+  // Delivered payload seen by observers matches the swarm's goodput ledger.
+  EXPECT_EQ(counter.bytes, swarm.fault_stats().goodput_bytes);
 }
 
 TEST(TraceLog, CsvHasHeaderAndOneLinePerEvent) {

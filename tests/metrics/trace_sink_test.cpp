@@ -1,0 +1,148 @@
+// Streaming JSONL trace sink: line format, per-event streaming, chaining,
+// file output, and agreement with the in-memory TraceLog.
+#include "metrics/trace_sink.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "metrics/run_metrics.h"
+#include "metrics/trace_log.h"
+#include "sim/faults.h"
+#include "strategy/factory.h"
+
+namespace coopnet::metrics {
+namespace {
+
+sim::SwarmConfig sink_config() {
+  auto config = sim::SwarmConfig::small(core::Algorithm::kAltruism, 61);
+  config.n_peers = 20;
+  return config;
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) out.push_back(line);
+  return out;
+}
+
+TEST(TraceSink, WritesOneJsonObjectPerLine) {
+  std::ostringstream out;
+  TraceSink sink(out);
+  sink.write({TraceEvent::Kind::kTransfer, 12.5, 4, 17, 3, 131072, false});
+  sink.write({TraceEvent::Kind::kTransfer, 100000.0625, 4, 9, 5, 131072,
+              true});
+  sink.write({TraceEvent::Kind::kBootstrap, 0.5, 4, sim::kNoPeer,
+              sim::kNoPiece, 0, false});
+  sink.write({TraceEvent::Kind::kFinish, 123456.78125, 4, sim::kNoPeer,
+              sim::kNoPiece, 0, false});
+  EXPECT_EQ(sink.events_written(), 4u);
+  EXPECT_EQ(
+      out.str(),
+      "{\"kind\":\"transfer\",\"time\":12.5,\"peer\":4,\"from\":17,"
+      "\"piece\":3,\"bytes\":131072,\"locked\":false}\n"
+      "{\"kind\":\"transfer\",\"time\":100000.0625,\"peer\":4,\"from\":9,"
+      "\"piece\":5,\"bytes\":131072,\"locked\":true}\n"
+      "{\"kind\":\"bootstrap\",\"time\":0.5,\"peer\":4}\n"
+      "{\"kind\":\"finish\",\"time\":123456.78125,\"peer\":4}\n");
+}
+
+TEST(TraceSink, StreamsEveryEventOfARun) {
+  auto config = sink_config();
+  // One run observed by both the sink and the in-memory log: they must
+  // agree event-for-event.
+  sim::Swarm swarm(config, strategy::make_strategy(config.algorithm));
+  std::ostringstream out;
+  TraceSink sink(out);
+  TraceLog log;
+  sink.chain(&log);
+  swarm.set_observer(&sink);
+  swarm.run();
+
+  const auto lines = lines_of(out.str());
+  EXPECT_EQ(sink.events_written(), log.events().size());
+  ASSERT_EQ(lines.size(), log.events().size());
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    EXPECT_EQ(lines[i].front(), '{');
+    EXPECT_EQ(lines[i].back(), '}');
+    const char* kind =
+        log.events()[i].kind == TraceEvent::Kind::kTransfer ? "transfer"
+        : log.events()[i].kind == TraceEvent::Kind::kBootstrap
+            ? "bootstrap"
+            : "finish";
+    EXPECT_NE(lines[i].find(std::string("\"kind\":\"") + kind + "\""),
+              std::string::npos)
+        << "line " << i;
+  }
+}
+
+TEST(TraceSink, ChainsToRunMetricsUnderFaults) {
+  auto config = sink_config();
+  config.faults = sim::moderate_churn();
+  config.faults.transfer_loss_rate = 0.10;
+  config.max_time = 20000.0;
+  sim::Swarm swarm(config, strategy::make_strategy(config.algorithm));
+  std::ostringstream out;
+  TraceSink sink(out);
+  RunMetrics run_metrics;
+  run_metrics.install(swarm);
+  sink.chain(&run_metrics);
+  swarm.set_observer(&sink);
+  swarm.run();
+  // The chained collector saw the finishes the sink wrote.
+  std::size_t finish_lines = 0;
+  for (const auto& line : lines_of(out.str())) {
+    if (line.find("\"kind\":\"finish\"") != std::string::npos) {
+      ++finish_lines;
+    }
+  }
+  EXPECT_EQ(finish_lines, run_metrics.completion_times().size());
+  EXPECT_GT(finish_lines, 0u);
+}
+
+TEST(TraceSink, TransfersCanBeDisabled) {
+  auto config = sink_config();
+  sim::Swarm swarm(config, strategy::make_strategy(config.algorithm));
+  std::ostringstream out;
+  TraceSink sink(out, /*transfers_enabled=*/false);
+  swarm.set_observer(&sink);
+  swarm.run();
+  EXPECT_GT(sink.events_written(), 0u);
+  for (const auto& line : lines_of(out.str())) {
+    EXPECT_EQ(line.find("\"kind\":\"transfer\""), std::string::npos);
+  }
+}
+
+TEST(TraceSink, WritesToFile) {
+  const std::string path =
+      ::testing::TempDir() + "coopnet_trace_sink_test.jsonl";
+  auto config = sink_config();
+  {
+    sim::Swarm swarm(config, strategy::make_strategy(config.algorithm));
+    TraceSink sink(path);
+    swarm.set_observer(&sink);
+    swarm.run();
+    EXPECT_GT(sink.events_written(), 0u);
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::size_t count = 0;
+  std::string line;
+  while (std::getline(in, line)) ++count;
+  EXPECT_GT(count, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceSink, ThrowsOnUnopenablePath) {
+  EXPECT_THROW(TraceSink("/nonexistent-dir/trace.jsonl"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace coopnet::metrics

@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <limits>
 #include <memory>
 #include <string>
@@ -137,6 +139,60 @@ TEST(FaultConfig, BackoffIsCappedExponential) {
   EXPECT_DOUBLE_EQ(f.backoff_for(2), 2.0);
   EXPECT_DOUBLE_EQ(f.backoff_for(3), 3.0);  // capped
   EXPECT_DOUBLE_EQ(f.backoff_for(10), 3.0);
+}
+
+// The pre-closed-form reference: multiply up the attempts, break at the
+// cap (the shape backoff_for replaced; kept here as the property-test
+// oracle).
+double backoff_reference(const FaultConfig& f, int attempt) {
+  double b = f.retry_backoff;
+  for (int i = 0; i < attempt; ++i) {
+    b *= f.retry_backoff_factor;
+    if (b >= f.retry_backoff_cap) break;
+  }
+  return std::min(b, f.retry_backoff_cap);
+}
+
+TEST(FaultConfig, BackoffClosedFormMatchesReferenceLoop) {
+  // A grid of (base, factor, cap) shapes: the defaults, fast growth,
+  // non-dyadic factors, factor 1 (flat), and a cap below the base's first
+  // doubling.
+  const struct {
+    double base, factor, cap;
+  } shapes[] = {
+      {0.5, 2.0, 8.0},    {0.5, 2.0, 3.0},    {1.0, 1.0, 10.0},
+      {0.25, 1.5, 60.0},  {0.1, 3.7, 1e6},    {2.0, 10.0, 1e12},
+      {0.5, 1.001, 2.0},
+  };
+  for (const auto& s : shapes) {
+    FaultConfig f;
+    f.retry_backoff = s.base;
+    f.retry_backoff_factor = s.factor;
+    f.retry_backoff_cap = s.cap;
+    for (int attempt = 0; attempt <= 64; ++attempt) {
+      const double expected = backoff_reference(f, attempt);
+      const double got = f.backoff_for(attempt);
+      // pow() and the multiply loop may differ by rounding; both are
+      // clamped to the same cap, so the tolerance only matters pre-cap.
+      EXPECT_NEAR(got, expected, 1e-9 * std::max(1.0, expected))
+          << "base=" << s.base << " factor=" << s.factor << " cap=" << s.cap
+          << " attempt=" << attempt;
+    }
+  }
+}
+
+TEST(FaultConfig, BackoffSaturatesInsteadOfOverflowing) {
+  FaultConfig f;
+  f.retry_backoff = 1.0;
+  f.retry_backoff_factor = 1e10;  // factor^64 overflows double to +inf
+  f.retry_backoff_cap = 30.0;
+  for (int attempt : {32, 64, 1000, std::numeric_limits<int>::max()}) {
+    const double b = f.backoff_for(attempt);
+    EXPECT_TRUE(std::isfinite(b)) << "attempt=" << attempt;
+    EXPECT_DOUBLE_EQ(b, 30.0) << "attempt=" << attempt;
+  }
+  // Defensive: a nonsense negative attempt behaves like attempt 0.
+  EXPECT_DOUBLE_EQ(f.backoff_for(-3), 1.0);
 }
 
 // --- fault-free runs -------------------------------------------------------

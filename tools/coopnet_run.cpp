@@ -10,6 +10,7 @@
 // Run with --help for the full flag list.
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "exp/replication.h"
@@ -17,6 +18,8 @@
 #include "exp/schedule.h"
 #include "metrics/json.h"
 #include "metrics/trace_log.h"
+#include "metrics/trace_sink.h"
+#include "sim/auditor.h"
 #include "sim/swarm.h"
 #include "strategy/factory.h"
 #include "util/cli.h"
@@ -52,6 +55,16 @@ algorithm knobs:
   --alpha-r F          reputation altruism share (default 0.1)
   --reputation MODE    ledger|eigentrust (default ledger)
   --tchain-backlog N   reciprocation admission cap, 0 = unlimited
+faults / observability:
+  --loss F             transfer loss probability (default 0)
+  --stall F            transfer stall probability (default 0)
+  --churn LEVEL        none|moderate|heavy leecher churn (default none)
+  --audit              assert invariant auditing is available (requires a
+                       build configured with -DCOOPNET_AUDIT=ON; such
+                       builds audit every event by default)
+  --audit-every N      audit cadence in swarm events (default 1)
+  --trace-out FILE     stream the event trace to FILE as JSON lines
+                       (bounded memory, flushed per event; single run)
 output:
   --reps R             replications (mean +/- 95% CI; default 1)
   --jobs J             replications run concurrently (default: all
@@ -128,6 +141,27 @@ sim::SwarmConfig config_from(const util::Cli& cli) {
         "--attack: collusion|whitewash|sybil|targeted");
   }
   config.attack.large_view = cli.has("large-view");
+
+  const std::string churn = cli.get_string("churn", "none");
+  if (churn == "moderate") {
+    config.faults = sim::moderate_churn();
+  } else if (churn == "heavy") {
+    config.faults = sim::heavy_churn();
+  } else if (churn != "none") {
+    throw std::invalid_argument("--churn: none|moderate|heavy");
+  }
+  config.faults.transfer_loss_rate = cli.get_double("loss", 0.0);
+  config.faults.transfer_stall_rate = cli.get_double("stall", 0.0);
+
+  if (cli.has("audit") || cli.has("audit-every")) {
+    if (!sim::kAuditCompiledIn) {
+      throw std::invalid_argument(
+          "--audit needs a build configured with -DCOOPNET_AUDIT=ON "
+          "(this binary compiled the instrumentation away)");
+    }
+    config.audit_every =
+        static_cast<std::uint64_t>(cli.get_int("audit-every", 1));
+  }
   config.validate();
   return config;
 }
@@ -168,18 +202,34 @@ int run(const util::Cli& cli) {
     return 0;
   }
 
-  // Single run; optionally with the full trace attached.
+  // Single run; optionally with the in-memory trace and/or a streaming
+  // JSONL sink attached (sink -> log -> collector, each chaining on).
   sim::Swarm swarm(config, strategy::make_strategy(config.algorithm));
   metrics::RunMetrics collector;
   collector.install(swarm);
   metrics::TraceLog trace(cli.has("trace"));
+  std::unique_ptr<metrics::TraceSink> sink;
+  sim::SwarmObserver* head = nullptr;
   if (cli.has("trace")) {
     trace.chain(&collector);
-    swarm.set_observer(&trace);
+    head = &trace;
   }
+  if (cli.has("trace-out")) {
+    sink = std::make_unique<metrics::TraceSink>(
+        cli.get_string("trace-out", ""));
+    sink->chain(head != nullptr ? head : &collector);
+    head = sink.get();
+  }
+  if (head != nullptr) swarm.set_observer(head);
   swarm.run();
   const auto report = metrics::build_report(swarm, collector);
   std::printf("%s\n", metrics::summarize_report(report).c_str());
+  if (const auto* auditor = swarm.auditor()) {
+    std::printf("audit: %llu events recorded, %llu invariant checks, "
+                "0 violations\n",
+                static_cast<unsigned long long>(auditor->events_recorded()),
+                static_cast<unsigned long long>(auditor->checks_run()));
+  }
   if (cli.has("json")) {
     std::printf("%s\n", metrics::to_json(report).c_str());
   }
