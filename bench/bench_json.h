@@ -1,0 +1,80 @@
+// Machine-readable benchmark records: the BENCH_*.json pipeline.
+//
+// micro_engine and micro_swarm emit one JSON document each (BENCH_engine
+// and BENCH_swarm) with named throughput records; tools/ci_bench_gate.sh
+// diffs a fresh run against the committed baseline under bench/baselines/
+// and fails CI on a >20% throughput regression (warns at >5%). Record
+// names are the join key, so keep them stable; add new records freely.
+#pragma once
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace coopnet::bench {
+
+/// One named throughput measurement. `extra` holds pre-rendered JSON
+/// key/value pairs (e.g. machine-independent speedup ratios) appended to
+/// the record verbatim.
+struct BenchRecord {
+  std::string name;
+  std::uint64_t events = 0;
+  double wall_s = 0.0;
+  std::vector<std::pair<std::string, double>> extra;
+
+  double events_per_sec() const {
+    return wall_s > 0.0 ? static_cast<double>(events) / wall_s : 0.0;
+  }
+  double ns_per_event() const {
+    return events > 0 ? wall_s * 1e9 / static_cast<double>(events) : 0.0;
+  }
+};
+
+/// Peak resident set size of this process, in kilobytes.
+inline long peak_rss_kb() {
+  struct rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss;
+}
+
+/// Monotonic wall-clock seconds for timing benchmark sections.
+inline double wall_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Writes the BENCH_*.json document. Layout:
+///   {"tool": ..., "schema": 1, "peak_rss_kb": ...,
+///    "results": [{"name": ..., "events": ..., "wall_s": ...,
+///                 "events_per_sec": ..., "ns_per_event": ..., ...}, ...]}
+inline void write_bench_json(const std::string& path, const std::string& tool,
+                             const std::vector<BenchRecord>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    throw std::runtime_error("cannot write bench JSON: " + path);
+  }
+  std::fprintf(f, "{\n  \"tool\": \"%s\",\n  \"schema\": 1,\n", tool.c_str());
+  std::fprintf(f, "  \"peak_rss_kb\": %ld,\n  \"results\": [", peak_rss_kb());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    std::fprintf(f, "%s\n    {\"name\": \"%s\", \"events\": %llu, ",
+                 i == 0 ? "" : ",", r.name.c_str(),
+                 static_cast<unsigned long long>(r.events));
+    std::fprintf(f, "\"wall_s\": %.6f, \"events_per_sec\": %.1f, "
+                 "\"ns_per_event\": %.2f",
+                 r.wall_s, r.events_per_sec(), r.ns_per_event());
+    for (const auto& [key, value] : r.extra) {
+      std::fprintf(f, ", \"%s\": %.6f", key.c_str(), value);
+    }
+    std::fprintf(f, "}");
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace coopnet::bench

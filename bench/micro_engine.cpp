@@ -5,20 +5,83 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
 
+#include "bench_json.h"
 #include "core/piece_availability.h"
 #include "exp/runner.h"
 #include "metrics/json.h"
 #include "sim/engine.h"
 #include "sim/faults.h"
 #include "sim/piece_set.h"
+#include "sim/reference_engine.h"
 #include "strategy/factory.h"
 #include "util/rng.h"
 
 namespace {
 
 using namespace coopnet;
+
+// --- churn workload --------------------------------------------------------
+// The simulator's event pattern, distilled: a standing population of
+// pending events where every fired event reschedules one successor (a tick
+// chain) and sometimes a second, larger event (a transfer completion
+// carrying a Transfer-sized payload that overflows small-capture
+// optimizations). Both engines replay it identically -- pop order decides
+// the RNG draws, and the differential suite pins pop order -- so the
+// optimized/reference ratio isolates pure scheduler cost.
+template <typename Engine>
+struct ChurnDriver {
+  // Matches sizeof a [this, Transfer] capture (64 bytes): the completion
+  // events that dominate a real run and exceed any 48-byte inline buffer.
+  struct Payload {
+    double a[6];
+    std::uint32_t b[4];
+  };
+
+  Engine engine;
+  util::Rng rng{42};
+  std::uint64_t fired = 0;
+  std::uint64_t budget = 0;
+  double sink = 0.0;
+
+  void fire_small() {
+    ++fired;
+    reschedule();
+  }
+  void fire_payload(const Payload& p) {
+    ++fired;
+    sink += p.a[0];
+    reschedule();
+  }
+  void reschedule() {
+    if (fired >= budget) return;
+    engine.schedule(rng.uniform(0.0, 2.0), [this] { fire_small(); });
+    if (rng.bernoulli(0.3)) {
+      Payload p{};
+      p.a[0] = 1.0;
+      engine.schedule(rng.uniform(0.0, 4.0),
+                      [this, p] { fire_payload(p); });
+    }
+  }
+};
+
+template <typename Engine>
+std::uint64_t run_churn(std::size_t pending, std::uint64_t budget) {
+  ChurnDriver<Engine> driver;
+  driver.budget = budget;
+  for (std::size_t i = 0; i < pending; ++i) {
+    driver.engine.schedule(driver.rng.uniform(0.0, 2.0),
+                           [d = &driver] { d->fire_small(); });
+  }
+  driver.engine.run();
+  benchmark::DoNotOptimize(driver.sink);
+  return driver.engine.events_processed();
+}
 
 void BM_EventQueueScheduleRun(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -36,6 +99,30 @@ void BM_EventQueueScheduleRun(benchmark::State& state) {
                           static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(100000);
+
+// The headline scheduler benchmark: self-rescheduling event churn (see
+// ChurnDriver) on the optimized engine vs the preserved seed engine. The
+// perf gate tracks the optimized/reference events/sec ratio, which is
+// machine-independent.
+void BM_EventQueueChurn(benchmark::State& state) {
+  const auto pending = static_cast<std::size_t>(state.range(0));
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    events += run_churn<sim::SimEngine>(pending, pending * 20);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_EventQueueChurn)->Arg(1000)->Arg(100000);
+
+void BM_EventQueueChurnReference(benchmark::State& state) {
+  const auto pending = static_cast<std::size_t>(state.range(0));
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    events += run_churn<sim::ReferenceEngine>(pending, pending * 20);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_EventQueueChurnReference)->Arg(1000)->Arg(100000);
 
 void BM_PieceSetOfferScan(benchmark::State& state) {
   const auto m = static_cast<sim::PieceId>(state.range(0));
@@ -130,10 +217,115 @@ bool audit_neutrality_check() {
   return true;
 }
 
+// --- BENCH_engine.json -----------------------------------------------------
+// Fixed-workload measurements for the perf-regression gate: the churn and
+// schedule/run workloads on the optimized engine and the preserved seed
+// engine, in this one binary, so the "speedup" fields are measured on one
+// machine by identical code. tools/ci_bench_gate.sh gates on the ratios.
+int emit_bench_json(const std::string& path) {
+  using bench::BenchRecord;
+  std::vector<BenchRecord> records;
+
+  auto timed = [](auto&& fn) {
+    const double start = bench::wall_now();
+    const std::uint64_t events = fn();
+    return std::pair<std::uint64_t, double>(events,
+                                            bench::wall_now() - start);
+  };
+  // Best-of-three keeps one scheduler hiccup from polluting the committed
+  // baseline.
+  auto best_of = [&timed](auto&& fn) {
+    std::uint64_t events = 0;
+    double best = -1.0;
+    for (int rep = 0; rep < 3; ++rep) {
+      auto [e, w] = timed(fn);
+      if (best < 0.0 || w < best) {
+        best = w;
+        events = e;
+      }
+    }
+    return std::pair<std::uint64_t, double>(events, best);
+  };
+
+  struct Workload {
+    const char* name;
+    std::size_t pending;
+    std::uint64_t budget;
+  };
+  for (const Workload& w : {Workload{"churn/pending=1000", 1000, 2000000},
+                            Workload{"churn/pending=100000", 100000,
+                                     2000000}}) {
+    BenchRecord opt;
+    opt.name = std::string("engine_") + w.name;
+    std::tie(opt.events, opt.wall_s) = best_of(
+        [&w] { return run_churn<sim::SimEngine>(w.pending, w.budget); });
+
+    BenchRecord ref;
+    ref.name = std::string("reference_") + w.name;
+    std::tie(ref.events, ref.wall_s) = best_of(
+        [&w] { return run_churn<sim::ReferenceEngine>(w.pending, w.budget); });
+
+    opt.extra.push_back(
+        {"speedup_vs_reference", opt.events_per_sec() / ref.events_per_sec()});
+    std::printf("%-28s %12.0f events/s  (reference %12.0f, speedup %.2fx)\n",
+                w.name, opt.events_per_sec(), ref.events_per_sec(),
+                opt.events_per_sec() / ref.events_per_sec());
+    records.push_back(std::move(opt));
+    records.push_back(std::move(ref));
+  }
+
+  {
+    util::Rng rng(1);
+    std::vector<double> times(500000);
+    for (auto& t : times) t = rng.uniform(0.0, 1000.0);
+    auto schedule_run = [&times](auto engine_tag) {
+      decltype(engine_tag) engine;
+      std::size_t fired = 0;
+      for (double t : times) {
+        engine.schedule(t, [&fired] { ++fired; });
+      }
+      engine.run();
+      benchmark::DoNotOptimize(fired);
+      return engine.events_processed();
+    };
+    BenchRecord opt;
+    opt.name = "engine_schedule_run/n=500000";
+    std::tie(opt.events, opt.wall_s) =
+        best_of([&] { return schedule_run(sim::SimEngine{}); });
+    BenchRecord ref;
+    ref.name = "reference_schedule_run/n=500000";
+    std::tie(ref.events, ref.wall_s) =
+        best_of([&] { return schedule_run(sim::ReferenceEngine{}); });
+    opt.extra.push_back(
+        {"speedup_vs_reference", opt.events_per_sec() / ref.events_per_sec()});
+    std::printf("%-28s %12.0f events/s  (reference %12.0f, speedup %.2fx)\n",
+                "schedule_run/n=500000", opt.events_per_sec(),
+                ref.events_per_sec(),
+                opt.events_per_sec() / ref.events_per_sec());
+    records.push_back(std::move(opt));
+    records.push_back(std::move(ref));
+  }
+
+  bench::write_bench_json(path, "micro_engine", records);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (!audit_neutrality_check()) return 1;
+  // --json-out=FILE bypasses google-benchmark and runs the fixed-workload
+  // BENCH_engine.json measurements (the perf-gate artifact).
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--json-out=", 11) == 0) {
+      return emit_bench_json(arg + 11);
+    }
+    if (std::strcmp(arg, "--json-out") == 0 && i + 1 < argc) {
+      return emit_bench_json(argv[i + 1]);
+    }
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -1,0 +1,102 @@
+// End-to-end swarm throughput benchmark: the six-mechanism sweep at
+// N in {100, 1000, 5000}, measured in simulator events per wall-clock
+// second. This is the macro counterpart of micro_engine: it exercises the
+// full hot path (event engine, neighbor interest checks, rarest-first
+// selection, transfer machinery) exactly the way the paper's Section V
+// experiments do.
+//
+//   micro_swarm [--json-out FILE] [--max-n N] [--seed S]
+//
+// --json-out writes the BENCH_swarm.json document consumed by
+// tools/ci_bench_gate.sh; bench/baselines/BENCH_swarm.json is the
+// committed baseline and bench/baselines/BENCH_swarm.seed.json preserves
+// the pre-optimization numbers the PR's speedup claim is measured against
+// (same source file, same workloads). --max-n 1000 skips the N = 5000 leg
+// (the CI perf-smoke setting).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "metrics/run_metrics.h"
+#include "sim/swarm.h"
+#include "strategy/factory.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace coopnet;
+
+sim::SwarmConfig sweep_config(core::Algorithm algo, std::size_t n,
+                              std::uint64_t seed) {
+  auto config = sim::SwarmConfig::paper_scale(algo, seed);
+  config.n_peers = n;
+  if (n <= 100) {
+    config.file_bytes = 16LL * 1024 * 1024;
+  } else if (n >= 5000) {
+    // Smaller file at N = 5000 bounds the sweep's wall clock; the point of
+    // the leg is scheduler + index scaling with swarm size, not file size.
+    config.file_bytes = 32LL * 1024 * 1024;
+  }
+  // Cap idle tails (pure reciprocity never completes); matches the bench
+  // default in bench_common.h.
+  config.max_time = 4000.0;
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+  const auto max_n = static_cast<std::size_t>(cli.get_int("max-n", 5000));
+  const std::string json_out = cli.get_string("json-out", "");
+
+  std::vector<bench::BenchRecord> records;
+  util::Table table("micro_swarm: six-mechanism sweep throughput");
+  table.set_header({"N", "mechanism", "events", "wall (s)", "events/s",
+                    "ns/event"});
+
+  for (std::size_t n : {std::size_t{100}, std::size_t{1000},
+                        std::size_t{5000}}) {
+    if (n > max_n) continue;
+    bench::BenchRecord sweep;
+    sweep.name = "sweep/n=" + std::to_string(n);
+    for (core::Algorithm algo : core::kAllAlgorithms) {
+      const auto config = sweep_config(algo, n, seed);
+      sim::Swarm swarm(config, strategy::make_strategy(config.algorithm));
+      metrics::RunMetrics collector;
+      collector.install(swarm);
+      const double start = bench::wall_now();
+      swarm.run();
+      const double wall = bench::wall_now() - start;
+
+      bench::BenchRecord r;
+      r.name = core::to_string(algo) + "/n=" + std::to_string(n);
+      r.events = swarm.engine().events_processed();
+      r.wall_s = wall;
+      sweep.events += r.events;
+      sweep.wall_s += r.wall_s;
+      table.add_row({std::to_string(n), core::to_string(algo),
+                     std::to_string(r.events), util::Table::num(r.wall_s, 3),
+                     util::Table::num(r.events_per_sec(), 0),
+                     util::Table::num(r.ns_per_event(), 1)});
+      records.push_back(std::move(r));
+    }
+    table.add_row({std::to_string(n), "ALL (sweep)",
+                   std::to_string(sweep.events),
+                   util::Table::num(sweep.wall_s, 3),
+                   util::Table::num(sweep.events_per_sec(), 0),
+                   util::Table::num(sweep.ns_per_event(), 1)});
+    records.push_back(std::move(sweep));
+  }
+
+  std::printf("%s", table.render().c_str());
+  std::printf("peak RSS: %ld kB\n", bench::peak_rss_kb());
+  if (!json_out.empty()) {
+    bench::write_bench_json(json_out, "micro_swarm", records);
+    std::printf("wrote %s\n", json_out.c_str());
+  }
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "sim/engine.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -15,27 +16,103 @@ void SimEngine::schedule_at(Seconds at, EventFn fn) {
     throw std::invalid_argument("SimEngine: scheduling into the past");
   }
   if (!fn) throw std::invalid_argument("SimEngine: empty event");
-  queue_.push(Event{at, next_seq_++, std::move(fn)});
+  push_entry(at, std::move(fn));
+}
+
+void SimEngine::push_entry(Seconds at, EventFn fn) {
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    pool_[slot] = std::move(fn);
+  } else {
+    slot = static_cast<std::uint32_t>(pool_.size());
+    pool_.push_back(std::move(fn));
+  }
+  const Meta m{next_seq_++, slot};
+  // Grow both halves, then sift the new entry up from the first free leaf.
+  times_.push_back(at);
+  meta_.push_back(m);
+  sift_up(times_.size() - 1, at, m);
+}
+
+SimEngine::EventFn SimEngine::pop_top(Seconds& top_time) {
+  top_time = times_[kRoot];
+  const std::uint32_t slot = meta_[kRoot].slot;
+  // Staged prefetch: the popped callback was written at schedule time,
+  // typically megabytes of event traffic ago. Request its pool line now so
+  // it travels while the sift-down runs, then (once that line is here)
+  // request any spilled capture block before the caller invokes.
+  __builtin_prefetch(&pool_[slot]);
+  const Seconds last_time = times_.back();
+  const Meta last_meta = meta_.back();
+  times_.pop_back();
+  meta_.pop_back();
+  if (times_.size() > kRoot) sift_down_from_root(last_time, last_meta);
+  pool_[slot].prefetch_target();
+  EventFn fn = std::move(pool_[slot]);
+  free_slots_.push_back(slot);
+  return fn;
+}
+
+void SimEngine::sift_up(std::size_t i, Seconds time, Meta m) {
+  while (i > kRoot) {
+    const std::size_t parent = i / 4 + 2;
+    const Seconds pt = times_[parent];
+    if (pt < time || (pt == time && meta_[parent].seq < m.seq)) break;
+    times_[i] = pt;
+    meta_[i] = meta_[parent];
+    i = parent;
+  }
+  times_[i] = time;
+  meta_[i] = m;
+}
+
+void SimEngine::sift_down_from_root(Seconds time, Meta m) {
+  const std::size_t n = times_.size();
+  std::size_t i = kRoot;
+  for (;;) {
+    const std::size_t first = 4 * i - 8;
+    if (first >= n) break;
+    // Min of up to four sibling keys -- one aligned 32-byte span of times_.
+    std::size_t best = first;
+    Seconds bt = times_[first];
+    const std::size_t last = std::min(first + 4, n);
+    for (std::size_t c = first + 1; c < last; ++c) {
+      const Seconds ct = times_[c];
+      if (ct < bt || (ct == bt && meta_[c].seq < meta_[best].seq)) {
+        best = c;
+        bt = ct;
+      }
+    }
+    if (time < bt || (time == bt && m.seq < meta_[best].seq)) break;
+    times_[i] = bt;
+    meta_[i] = meta_[best];
+    i = best;
+  }
+  times_[i] = time;
+  meta_[i] = m;
 }
 
 void SimEngine::run() {
-  while (!queue_.empty() && !stopped_) {
-    // Copy out before pop: the callback may schedule new events.
-    Event ev = queue_.top();
-    queue_.pop();
-    now_ = ev.time;
+  while (times_.size() > kRoot && !stopped_) {
+    Seconds at;
+    // The slot is freed inside pop_top before the call: the callback may
+    // schedule new events (growing the pool), so it runs from this local.
+    EventFn fn = pop_top(at);
+    now_ = at;
     ++processed_;
-    ev.fn();
+    fn();
   }
 }
 
 void SimEngine::run_until(Seconds deadline) {
-  while (!queue_.empty() && !stopped_ && queue_.top().time <= deadline) {
-    Event ev = queue_.top();
-    queue_.pop();
-    now_ = ev.time;
+  while (times_.size() > kRoot && !stopped_ && times_[kRoot] <= deadline) {
+    Seconds at;
+    EventFn fn = pop_top(at);
+    now_ = at;
     ++processed_;
-    ev.fn();
+    fn();
   }
   if (!stopped_ && now_ < deadline) now_ = deadline;
 }

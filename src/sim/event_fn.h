@@ -1,0 +1,216 @@
+// Small-buffer move-only callable for simulator events.
+//
+// std::function<void()> heap-allocates every transfer-completion closure
+// (a [this, Transfer] capture is 64 bytes, far past libstdc++'s 16-byte
+// inline buffer) and again on the priority_queue's copy-out-of-top. This
+// type keeps captures up to 48 bytes inline in the engine's slab pool; a
+// larger capture spills to a thread-local freelist of uniform 128-byte
+// blocks, so the steady-state churn of schedule/fire/reschedule recycles
+// the same few blocks instead of hitting the allocator per event. Captures
+// past 128 bytes (none in the simulator today) fall back to plain new.
+//
+// Move-only by design: events are scheduled once and invoked once, and the
+// engine's event pool relocates entries on growth, so moves must be
+// noexcept and copies are never needed.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace coopnet::sim {
+
+namespace detail {
+
+/// Freelist of uniform spill blocks for captures that exceed the inline
+/// buffer. One size class keeps release() trivial. thread_local because
+/// each Swarm (and each parallel-runner worker) runs wholly on one thread;
+/// blocks never migrate since an event is scheduled and fired on the same
+/// engine.
+class SpillPool {
+ public:
+  static constexpr std::size_t kBlockBytes = 128;
+
+  void* acquire() {
+    if (free_ != nullptr) {
+      Node* node = free_;
+      free_ = node->next;
+      return node;
+    }
+    return ::operator new(kBlockBytes);
+  }
+
+  void release(void* block) {
+    Node* node = static_cast<Node*>(block);
+    node->next = free_;
+    free_ = node;
+  }
+
+  ~SpillPool() {
+    while (free_ != nullptr) {
+      Node* node = free_;
+      free_ = node->next;
+      ::operator delete(node);
+    }
+  }
+
+ private:
+  struct Node {
+    Node* next;
+  };
+  Node* free_ = nullptr;
+};
+
+inline SpillPool& spill_pool() {
+  thread_local SpillPool pool;
+  return pool;
+}
+
+}  // namespace detail
+
+/// Move-only `void()` callable with a 48-byte inline capture buffer.
+/// Matches the std::function surface the engine needs: default
+/// construction, conversion from any callable, operator bool, invocation.
+class SmallEventFn {
+ public:
+  static constexpr std::size_t kInlineBytes = 48;
+
+  SmallEventFn() = default;
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, SmallEventFn> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  SmallEventFn(F&& fn) {  // NOLINT(google-explicit-constructor)
+    constexpr bool fits_inline = sizeof(D) <= kInlineBytes &&
+                                 alignof(D) <= alignof(std::max_align_t) &&
+                                 std::is_nothrow_move_constructible_v<D>;
+    if constexpr (fits_inline) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(fn));
+      invoke_ = [](void* storage) { (*static_cast<D*>(storage))(); };
+      ops_ = &kInlineOps<D>;
+    } else if constexpr (sizeof(D) <= detail::SpillPool::kBlockBytes &&
+                         alignof(D) <= alignof(std::max_align_t)) {
+      void* block = detail::spill_pool().acquire();
+      ::new (block) D(std::forward<F>(fn));
+      target_ptr() = block;
+      invoke_ = [](void* storage) {
+        (*static_cast<D*>(target_ptr_of(storage)))();
+      };
+      ops_ = &kPooledOps<D>;
+    } else {
+      target_ptr() = new D(std::forward<F>(fn));
+      invoke_ = [](void* storage) {
+        (*static_cast<D*>(target_ptr_of(storage)))();
+      };
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  SmallEventFn(SmallEventFn&& other) noexcept
+      : invoke_(other.invoke_), ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.invoke_ = nullptr;
+      other.ops_ = nullptr;
+    }
+  }
+
+  SmallEventFn& operator=(SmallEventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      invoke_ = other.invoke_;
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(buf_, other.buf_);
+        other.invoke_ = nullptr;
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  SmallEventFn(const SmallEventFn&) = delete;
+  SmallEventFn& operator=(const SmallEventFn&) = delete;
+
+  ~SmallEventFn() { reset(); }
+
+  void operator()() { invoke_(buf_); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+  bool operator!() const { return invoke_ == nullptr; }
+
+  /// Hints the prefetcher at a spilled capture block. The engine calls
+  /// this between the heap sift and the invoke so the (cold, scheduled
+  /// long ago) closure bytes start travelling while the pop finishes.
+  void prefetch_target() const {
+    if (ops_ != nullptr && ops_->indirect) {
+      __builtin_prefetch(*reinterpret_cast<void* const*>(buf_));
+    }
+  }
+
+ private:
+  struct Ops {
+    /// Move the target from `src` storage into `dst` storage and leave
+    /// `src` destroyed. Noexcept by construction (inline targets require
+    /// nothrow move; indirect targets just move a pointer).
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage);
+    /// True when the target lives behind a pointer (pooled or heap).
+    bool indirect;
+  };
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      invoke_ = nullptr;
+      ops_ = nullptr;
+    }
+  }
+
+  void*& target_ptr() { return *reinterpret_cast<void**>(buf_); }
+  static void*& target_ptr_of(void* storage) {
+    return *static_cast<void**>(storage);
+  }
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      [](void* dst, void* src) noexcept {
+        D* from = static_cast<D*>(src);
+        ::new (dst) D(std::move(*from));
+        from->~D();
+      },
+      [](void* storage) { static_cast<D*>(storage)->~D(); },
+      /*indirect=*/false,
+  };
+
+  template <typename D>
+  static constexpr Ops kPooledOps = {
+      [](void* dst, void* src) noexcept {
+        target_ptr_of(dst) = target_ptr_of(src);
+      },
+      [](void* storage) {
+        void* block = target_ptr_of(storage);
+        static_cast<D*>(block)->~D();
+        detail::spill_pool().release(block);
+      },
+      /*indirect=*/true,
+  };
+
+  template <typename D>
+  static constexpr Ops kHeapOps = {
+      [](void* dst, void* src) noexcept {
+        target_ptr_of(dst) = target_ptr_of(src);
+      },
+      [](void* storage) { delete static_cast<D*>(target_ptr_of(storage)); },
+      /*indirect=*/true,
+  };
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  // Invoke is the per-pop hot call, so it gets its own slot (one load
+  // instead of a dependent ops_ chain); relocate/destroy share the table.
+  void (*invoke_)(void* storage) = nullptr;
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace coopnet::sim

@@ -52,7 +52,26 @@ struct Peer {
   PieceSet unavailable;
   PieceSet transferable;
 
+  /// Version counters for the interest cache: the Swarm bumps these at
+  /// every mutation of the corresponding set. A (offer_ver, avail_ver)
+  /// pair stamped into a memo entry proves the cached can_offer result is
+  /// still current. Start at 1 so a zero-initialized memo never matches.
+  std::uint32_t pieces_ver = 1;
+  std::uint32_t transferable_ver = 1;
+  std::uint32_t unavail_ver = 1;
+
   std::vector<PeerId> neighbors;
+
+  /// Cached can_offer(neighbor.unavailable) verdicts, parallel to
+  /// `neighbors`, one lane per offer flavor (0: pieces, 1: transferable).
+  /// Owned and maintained by Swarm::needy_neighbors; strategies never see
+  /// stale data because entries revalidate against the version counters.
+  struct InterestMemo {
+    std::uint32_t offer_ver = 0;
+    std::uint32_t avail_ver = 0;
+    bool can_offer = false;
+  };
+  std::vector<InterestMemo> interest_memo[2];
 
   // --- lifetime bookkeeping -------------------------------------------
   Seconds arrival_time = 0.0;

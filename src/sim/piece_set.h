@@ -6,6 +6,7 @@
 // iterates set bits of (offer & ~have & ~pending) a word at a time.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <stdexcept>
 #include <vector>
@@ -26,6 +27,12 @@ class PieceSet {
   bool empty() const { return count_ == 0; }
 
   bool has(PieceId p) const;
+  /// Unchecked membership test for hot paths: same result as has(), but the
+  /// range check is a debug-only assert instead of a throw.
+  bool test(PieceId p) const {
+    assert(p < size_ && "PieceSet::test: piece id out of range");
+    return (words_[p >> 6] >> (p & 63)) & 1u;
+  }
   /// Adds p; returns false if already present.
   bool add(PieceId p);
   /// Removes p; returns false if absent.
@@ -80,6 +87,11 @@ class PieceSet {
       }
     }
   }
+
+  /// Raw bitmask words (64 pieces per word, ascending). Bits past size()
+  /// are always clear. Used by the rarity index's masked walks.
+  std::uint64_t word(std::size_t i) const { return words_[i]; }
+  std::size_t word_count() const { return words_.size(); }
 
  private:
   void check(PieceId p) const;

@@ -141,7 +141,10 @@ void Swarm::build_population() {
   auto adjacency = build_neighbor_graph(n, config_.graph, large_view, rng_);
 
   peers_.resize(total);
-  piece_freq_.assign(pieces, 0);
+  // Frequencies are bounded by every peer holding a piece plus the seeder
+  // backing added below.
+  piece_freq_.init(static_cast<PieceId>(pieces),
+                   static_cast<std::uint32_t>(total) + 1);
   reputation_.assign(total, 0.0);
   compliant_unfinished_ = 0;
 
@@ -182,7 +185,14 @@ void Swarm::build_population() {
   }
   // The seeders' pieces count toward availability exactly once: rarity
   // should rank what *leechers* hold; every piece is equally seeder-backed.
-  for (auto& f : piece_freq_) f = 1;
+  for (PieceId piece = 0; piece < piece_freq_.pieces(); ++piece) {
+    piece_freq_.increment(piece);
+  }
+  // Size the interest memos now that the neighbor lists are final.
+  for (Peer& p : peers_) {
+    p.interest_memo[0].assign(p.neighbors.size(), Peer::InterestMemo{});
+    p.interest_memo[1].assign(p.neighbors.size(), Peer::InterestMemo{});
+  }
 }
 
 void Swarm::run() {
@@ -282,15 +292,29 @@ std::optional<UploadAction> Swarm::seeder_action(PeerId seeder) {
 
 std::vector<PeerId> Swarm::needy_neighbors(PeerId uploader,
                                            bool include_locked_offer) {
-  const Peer& up = peers_.at(uploader);
+  Peer& up = peers_.at(uploader);
   const PieceSet& offer = include_locked_offer ? up.transferable : up.pieces;
+  const std::uint32_t offer_ver =
+      include_locked_offer ? up.transferable_ver : up.pieces_ver;
+  auto& memo = up.interest_memo[include_locked_offer ? 1 : 0];
   std::vector<PeerId> out;
   out.reserve(up.neighbors.size());
-  for (PeerId n : up.neighbors) {
-    const Peer& q = peers_.at(n);
+  for (std::size_t i = 0; i < up.neighbors.size(); ++i) {
+    const PeerId n = up.neighbors[i];
+    const Peer& q = peers_[n];
     if (!q.active() || q.is_seeder()) continue;
     if (!accepts_incoming(n)) continue;
-    if (!offer.can_offer(q.unavailable)) continue;
+    // The word-scan over (offer & ~q.unavailable) is the per-neighbor hot
+    // cost; its verdict only moves when one of the two sets does, so it is
+    // memoized against the version counters (filter order is unchanged:
+    // active -> accepts_incoming -> can_offer -> accepts_delivery).
+    Peer::InterestMemo& m = memo[i];
+    if (m.offer_ver != offer_ver || m.avail_ver != q.unavail_ver) {
+      m.offer_ver = offer_ver;
+      m.avail_ver = q.unavail_ver;
+      m.can_offer = offer.can_offer(q.unavailable);
+    }
+    if (!m.can_offer) continue;
     if (!strategy_->accepts_delivery(*this, n)) continue;
     out.push_back(n);
   }
@@ -313,24 +337,10 @@ PieceId Swarm::pick_piece(PeerId uploader, PeerId target,
   const PieceSet& offer = include_locked_offer ? up.transferable : up.pieces;
 
   switch (config_.piece_selection) {
-    case PieceSelection::kRarestFirst: {
-      PieceId best = kNoPiece;
-      std::uint32_t best_freq = 0;
-      std::uint32_t ties = 0;
-      offer.for_each_offerable(q.unavailable, [&](PieceId piece) {
-        const std::uint32_t f = piece_freq_[piece];
-        if (best == kNoPiece || f < best_freq) {
-          best = piece;
-          best_freq = f;
-          ties = 1;
-        } else if (f == best_freq) {
-          // Reservoir-style random tie-break keeps selection unbiased.
-          ++ties;
-          if (rng_.uniform_u64(ties) == 0) best = piece;
-        }
-      });
-      return best;
-    }
+    case PieceSelection::kRarestFirst:
+      // Frequency-bucketed walk; reproduces the seed full scan's reservoir
+      // tie-break and RNG draw sequence exactly (see PieceFreqIndex).
+      return piece_freq_.pick_rarest(offer, q.unavailable, rng_);
     case PieceSelection::kRandom: {
       PieceId chosen = kNoPiece;
       std::uint32_t seen = 0;
@@ -376,6 +386,7 @@ bool Swarm::start_transfer_attempt(PeerId from, PeerId to, PieceId piece,
   ++down.incoming_count;
   down.pending.add(piece);
   down.unavailable.add(piece);
+  ++down.unavail_ver;
 
   Transfer t;
   t.from = from;
@@ -475,6 +486,8 @@ void Swarm::complete_transfer(Transfer t) {
       down.locked.add(t.piece);
       down.unavailable.add(t.piece);
       down.transferable.add(t.piece);
+      ++down.unavail_ver;
+      ++down.transferable_ver;
     } else {
       make_usable(t.to, t.piece, t.from);
     }
@@ -499,9 +512,12 @@ void Swarm::make_usable(PeerId id, PieceId piece, PeerId source) {
   p.pieces.add(piece);
   p.unavailable.add(piece);
   p.transferable.add(piece);
+  ++p.pieces_ver;
+  ++p.unavail_ver;
+  ++p.transferable_ver;
   // piece_freq_ counts usable copies among *active* peers; a churned peer's
   // copies were subtracted on departure and are re-added on rejoin.
-  if (p.active()) ++piece_freq_[piece];
+  if (p.active()) piece_freq_.increment(piece);
   p.downloaded_usable_bytes += config_.piece_bytes;
   if (source != kNoPeer && !peers_.at(source).is_seeder()) {
     p.usable_from_leechers_bytes += config_.piece_bytes;
@@ -539,7 +555,7 @@ void Swarm::depart(PeerId id) {
   p.state = PeerState::kLeft;
   // Departing copies stop counting toward availability.
   for (PieceId piece = 0; piece < p.pieces.size(); ++piece) {
-    if (p.pieces.has(piece)) --piece_freq_[piece];
+    if (p.pieces.has(piece)) piece_freq_.decrement(piece);
   }
   AUDIT_RECORD(peer_event(AuditEvent::Kind::kDepart, p, engine_.now()));
   strategy_->on_peer_left(*this, id);
@@ -660,7 +676,7 @@ void Swarm::churn_out(PeerId id) {
   }
   p.state = PeerState::kChurned;
   for (PieceId piece = 0; piece < p.pieces.size(); ++piece) {
-    if (p.pieces.has(piece)) --piece_freq_[piece];
+    if (p.pieces.has(piece)) piece_freq_.decrement(piece);
   }
   AUDIT_RECORD(peer_event(AuditEvent::Kind::kChurnOut, p, engine_.now()));
 
@@ -692,7 +708,7 @@ void Swarm::rejoin(PeerId id) {
   p.state = PeerState::kActive;
   // The piece set survived the downtime; its copies count again.
   for (PieceId piece = 0; piece < p.pieces.size(); ++piece) {
-    if (p.pieces.has(piece)) ++piece_freq_[piece];
+    if (p.pieces.has(piece)) piece_freq_.increment(piece);
   }
   AUDIT_RECORD(peer_event(AuditEvent::Kind::kRejoin, p, engine_.now()));
   strategy_->on_peer_rejoined(*this, id);
@@ -751,6 +767,7 @@ void Swarm::update_unavailable_bit(Peer& p, PieceId piece) {
   if (!p.pieces.has(piece) && !p.locked.has(piece) &&
       !p.pending.has(piece)) {
     p.unavailable.remove(piece);
+    ++p.unavail_ver;
   }
 }
 

@@ -9,6 +9,7 @@
 // delegated to an ExchangeStrategy.
 #pragma once
 
+#include <cassert>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -17,6 +18,7 @@
 #include "sim/config.h"
 #include "sim/engine.h"
 #include "sim/peer.h"
+#include "sim/piece_freq_index.h"
 #include "sim/strategy.h"
 #include "sim/types.h"
 #include "util/rng.h"
@@ -67,12 +69,20 @@ class Swarm {
   std::size_t seeder_count() const { return config_.seeder_count; }
   /// Id of the first seeder.
   PeerId seeder_id() const { return static_cast<PeerId>(config_.n_peers); }
-  bool is_seeder(PeerId id) const { return peers_.at(id).is_seeder(); }
+  bool is_seeder(PeerId id) const { return peer(id).is_seeder(); }
   /// True when `target` can take on another concurrent incoming transfer
   /// (config.max_incoming download-side back-pressure; 0 = unlimited).
   bool accepts_incoming(PeerId target) const;
-  Peer& peer(PeerId id) { return peers_.at(id); }
-  const Peer& peer(PeerId id) const { return peers_.at(id); }
+  /// Unchecked in release builds (hot path -- strategies call this per
+  /// neighbor per planning step); debug builds assert the id is in range.
+  Peer& peer(PeerId id) {
+    assert(id < peers_.size() && "Swarm::peer: id out of range");
+    return peers_[id];
+  }
+  const Peer& peer(PeerId id) const {
+    assert(id < peers_.size() && "Swarm::peer: id out of range");
+    return peers_[id];
+  }
   const std::vector<Peer>& all_peers() const { return peers_; }
 
   /// Number of compliant leechers that have not yet finished.
@@ -126,9 +136,15 @@ class Swarm {
   /// counters when FaultConfig disables every fault).
   const FaultStats& fault_stats() const { return fault_stats_; }
   /// Usable copies of `piece` among active peers (+1 for seeder backing).
+  /// Unchecked in release builds (hot path); debug builds assert the piece
+  /// id is in range.
   std::uint32_t piece_frequency(PieceId piece) const {
-    return piece_freq_.at(piece);
+    assert(piece < piece_freq_.pieces() &&
+           "Swarm::piece_frequency: piece out of range");
+    return piece_freq_.freq(piece);
   }
+  /// The rarity index (frequency-bucket bitmasks over piece_frequency).
+  const PieceFreqIndex& piece_freq_index() const { return piece_freq_; }
   /// The invariant auditor, or nullptr when this build was not configured
   /// with -DCOOPNET_AUDIT=ON or config.audit_every is 0.
   const InvariantAuditor* auditor() const {
@@ -182,7 +198,7 @@ class Swarm {
   SimEngine engine_;
   util::Rng rng_;
   std::vector<Peer> peers_;  // leechers + seeder (last)
-  std::vector<std::uint32_t> piece_freq_;  // usable copies among active peers
+  PieceFreqIndex piece_freq_;  // usable copies among active peers
   std::vector<double> reputation_;         // reported uploaded bytes
   std::size_t compliant_unfinished_ = 0;
   FaultStats fault_stats_;

@@ -12,10 +12,23 @@ void TChainStrategy::attach(sim::Swarm& swarm) {
                      ? std::numeric_limits<std::size_t>::max()
                      : static_cast<std::size_t>(swarm.config().tchain_backlog);
   grace_ = swarm.config().tchain_grace;
+  backlog_count_.assign(swarm.all_peers().size(), 0);
   swarm.engine().schedule(grace_ / 2.0, [this, &swarm] { grace_scan(swarm); });
 }
 
 std::size_t TChainStrategy::backlog(sim::PeerId id) const {
+  if (id < backlog_count_.size()) {
+#ifndef NDEBUG
+    auto dbg = state_.find(id);
+    const std::size_t slow =
+        dbg == state_.end()
+            ? 0
+            : dbg->second.obligations.size() + dbg->second.in_flight.size();
+    assert(slow == backlog_count_[id] &&
+           "TChainStrategy: backlog counter out of sync");
+#endif
+    return backlog_count_[id];
+  }
   auto it = state_.find(id);
   if (it == state_.end()) return 0;
   return it->second.obligations.size() + it->second.in_flight.size();
@@ -40,7 +53,7 @@ bool TChainStrategy::can_deliver(const sim::Swarm& swarm, sim::PeerId target,
                                  sim::PieceId piece) const {
   const sim::Peer& q = swarm.peer(target);
   if (!q.active() || q.is_seeder()) return false;
-  if (q.unavailable.has(piece)) return false;
+  if (q.unavailable.test(piece)) return false;
   return accepts_delivery(swarm, target);
 }
 
@@ -121,6 +134,7 @@ void TChainStrategy::drop_obligation(sim::PeerId p, sim::PieceId piece) {
   for (auto ob = q.begin(); ob != q.end(); ++ob) {
     if (ob->piece == piece) {
       q.erase(ob);
+      dec_backlog(p);
       return;
     }
   }
@@ -146,7 +160,9 @@ void TChainStrategy::on_upload_started(sim::Swarm& swarm,
         break;
       }
     }
-    st.in_flight[key(t.to, t.piece)] = duty;
+    if (st.in_flight.insert_or_assign(key(t.to, t.piece), duty).second) {
+      inc_backlog(t.from);
+    }
     drop_obligation(t.from, pending_plan_.unlocks);
   }
   pending_plan_ = PendingPlan{};
@@ -166,6 +182,7 @@ void TChainStrategy::on_transfer_failed(sim::Swarm& swarm,
   sit->second.in_flight.erase(inflight);
   // The reciprocation never happened: requeue the duty (fresh timestamp,
   // so the grace clock restarts) and let next_upload find another route.
+  // backlog_count_ is unchanged: one in-flight entry out, one duty in.
   sit->second.obligations.push_back(Obligation{
       duty.unlocks, duty.designator, duty.suggested_target,
       swarm.engine().now()});
@@ -180,6 +197,7 @@ void TChainStrategy::on_delivered(sim::Swarm& swarm, const sim::Transfer& t) {
     if (inflight != sit->second.in_flight.end()) {
       const sim::PieceId unlocked_piece = inflight->second.unlocks;
       sit->second.in_flight.erase(inflight);
+      dec_backlog(t.from);
       resolve_fulfilled(swarm, t.from, unlocked_piece);
     }
   }
@@ -208,7 +226,7 @@ void TChainStrategy::on_delivered(sim::Swarm& swarm, const sim::Transfer& t) {
     for (sim::PeerId n : swarm.peer(t.from).neighbors) {
       if (n == t.to || n == t.from) continue;
       const sim::Peer& q = swarm.peer(n);
-      if (q.active() && !q.is_seeder() && !q.unavailable.has(t.piece)) {
+      if (q.active() && !q.is_seeder() && !q.unavailable.test(t.piece)) {
         pool.push_back(n);
       }
     }
@@ -230,11 +248,13 @@ void TChainStrategy::on_delivered(sim::Swarm& swarm, const sim::Transfer& t) {
     // on; the payload stays locked and the backlog cap starves the peer.
     state_[t.to].obligations.push_back(
         Obligation{t.piece, t.from, suggested, swarm.engine().now()});
+    inc_backlog(t.to);
     return;
   }
 
   state_[t.to].obligations.push_back(
       Obligation{t.piece, t.from, suggested, swarm.engine().now()});
+  inc_backlog(t.to);
   swarm.request_refill(t.to);
 }
 
@@ -255,7 +275,7 @@ void TChainStrategy::try_unlock(sim::Swarm& swarm, sim::PeerId receiver,
   const sim::Peer& s = swarm.peer(sender);
   // The sender can hand over the key once it holds the piece usable (or is
   // the seeder / has since finished and left with the full file).
-  const bool sender_has_key = s.is_seeder() || s.pieces.has(piece) ||
+  const bool sender_has_key = s.is_seeder() || s.pieces.test(piece) ||
                               s.state == sim::PeerState::kLeft;
   if (!sender_has_key) return;  // retried when the sender unlocks
   links_.erase(it);

@@ -106,7 +106,21 @@ class TChainStrategy final : public sim::ExchangeStrategy {
   void grace_scan(sim::Swarm& swarm);
   void drop_obligation(sim::PeerId p, sim::PieceId piece);
 
+  void inc_backlog(sim::PeerId p) {
+    if (p < backlog_count_.size()) ++backlog_count_[p];
+  }
+  void dec_backlog(sim::PeerId p) {
+    if (p < backlog_count_.size()) --backlog_count_[p];
+  }
+
   std::unordered_map<sim::PeerId, PeerState> state_;
+  /// Dense mirror of obligations.size() + in_flight.size() per peer, sized
+  /// by attach() and updated in step with every queue mutation. backlog()
+  /// is on the admission-control hot path (called once per candidate
+  /// neighbor per planning step) and reads this instead of hashing into
+  /// state_. Before attach() the vector is empty and backlog() falls back
+  /// to the map.
+  std::vector<std::uint32_t> backlog_count_;
   std::unordered_map<std::uint64_t, ChainLink> links_;  // (receiver, piece)
   /// sender -> (receiver, piece) links awaiting that sender's key.
   std::unordered_map<sim::PeerId,

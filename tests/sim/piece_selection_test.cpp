@@ -1,12 +1,18 @@
 // Tests for the piece-selection policies and their effect on piece
 // availability (the eq. 4-8 model assumes rarest-first's near-uniform
-// piece spread).
+// piece spread), plus property tests for the frequency-bucket rarity
+// index behind rarest-first (sim/piece_freq_index.h).
 #include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
 
 #include "exp/runner.h"
 #include "metrics/availability.h"
+#include "sim/piece_freq_index.h"
 #include "sim/swarm.h"
 #include "strategy/factory.h"
+#include "util/rng.h"
 
 namespace coopnet::sim {
 namespace {
@@ -80,6 +86,179 @@ TEST(PieceSelection, PoliciesProduceDifferentRuns) {
   const auto b =
       exp::run_scenario(selection_config(PieceSelection::kRandom));
   EXPECT_NE(a.completion_times, b.completion_times);
+}
+
+// --- frequency-bucket index properties ---------------------------------
+
+/// The pre-index full scan (what Swarm::pick_piece did before
+/// sim/piece_freq_index.h): reservoir tie-break over every offerable
+/// piece, ascending. pick_rarest must match it pick-for-pick AND
+/// draw-for-draw.
+PieceId reference_rarest(const PieceSet& offer, const PieceSet& excluded,
+                         const std::vector<std::uint32_t>& freq,
+                         util::Rng& rng) {
+  PieceId best = kNoPiece;
+  std::uint32_t best_freq = 0;
+  std::uint64_t ties = 0;
+  offer.for_each_offerable(excluded, [&](PieceId p) {
+    const std::uint32_t f = freq[p];
+    if (best == kNoPiece || f < best_freq) {
+      best = p;
+      best_freq = f;
+      ties = 1;
+    } else if (f == best_freq) {
+      ++ties;
+      if (rng.uniform_u64(ties) == 0) best = p;
+    }
+  });
+  return best;
+}
+
+/// Invariant: bit p of level row f is set iff freq(p) <= f, for every row.
+void expect_levels_match_recount(const PieceFreqIndex& idx) {
+  for (std::uint32_t f = 0; f <= idx.max_freq(); ++f) {
+    const std::uint64_t* level = idx.level_words(f);
+    for (std::size_t w = 0; w < idx.word_count(); ++w) {
+      std::uint64_t expect = 0;
+      for (std::size_t b = 0; b < 64; ++b) {
+        const std::size_t p = w * 64 + b;
+        if (p >= idx.pieces()) break;
+        if (idx.freq(static_cast<PieceId>(p)) <= f) {
+          expect |= std::uint64_t{1} << b;
+        }
+      }
+      ASSERT_EQ(level[w], expect) << "level " << f << " word " << w;
+    }
+  }
+}
+
+TEST(PieceFreqIndex, LevelMasksMatchRecountUnderRandomOps) {
+  constexpr PieceId kPieces = 200;
+  constexpr std::uint32_t kMaxFreq = 12;
+  PieceFreqIndex idx;
+  idx.init(kPieces, kMaxFreq);
+  expect_levels_match_recount(idx);
+  std::vector<std::uint32_t> shadow(kPieces, 0);
+  util::Rng rng(12345);
+  for (int step = 0; step < 5000; ++step) {
+    const auto p = static_cast<PieceId>(rng.uniform_u64(kPieces));
+    const bool up = shadow[p] == 0 ||
+                    (shadow[p] < kMaxFreq && rng.uniform_u64(2) == 0);
+    if (up) {
+      idx.increment(p);
+      ++shadow[p];
+    } else {
+      idx.decrement(p);
+      --shadow[p];
+    }
+    ASSERT_EQ(idx.freq(p), shadow[p]);
+    if (step % 500 == 0) expect_levels_match_recount(idx);
+  }
+  expect_levels_match_recount(idx);
+}
+
+TEST(PieceFreqIndex, SwarmIndexMatchesRecountMidRun) {
+  // The swarm bumps the index on make_usable/depart/rejoin; after a real
+  // (partial) run the level masks must still recount from the per-piece
+  // frequencies.
+  auto config = selection_config(PieceSelection::kRarestFirst);
+  config.max_time = 7.0;  // mid-swarm snapshot
+  Swarm s(config, strategy::make_strategy(config.algorithm));
+  s.run();
+  expect_levels_match_recount(s.piece_freq_index());
+}
+
+TEST(PieceFreqIndex, PickRarestMatchesReferenceScanInLockstep) {
+  constexpr PieceId kPieces = 150;
+  constexpr std::uint32_t kMaxFreq = 10;
+  PieceFreqIndex idx;
+  idx.init(kPieces, kMaxFreq);
+  std::vector<std::uint32_t> freq(kPieces, 0);
+  util::Rng setup(7);
+  for (PieceId p = 0; p < kPieces; ++p) {
+    const auto f = static_cast<std::uint32_t>(setup.uniform_u64(6));
+    for (std::uint32_t i = 0; i < f; ++i) idx.increment(p);
+    freq[p] = f;
+  }
+  util::Rng fast_rng(99);
+  util::Rng slow_rng(99);
+  util::Rng sets(31);
+  for (int round = 0; round < 10000; ++round) {
+    PieceSet offer(kPieces);
+    PieceSet excluded(kPieces);
+    for (PieceId p = 0; p < kPieces; ++p) {
+      if (sets.uniform_u64(100) < 60) offer.add(p);
+      if (sets.uniform_u64(100) < 40) excluded.add(p);
+    }
+    const PieceId fast = idx.pick_rarest(offer, excluded, fast_rng);
+    const PieceId slow = reference_rarest(offer, excluded, freq, slow_rng);
+    ASSERT_EQ(fast, slow) << "round " << round;
+    // Same draw count and bounds: the streams must stay in lockstep.
+    ASSERT_EQ(fast_rng.uniform_u64(std::uint64_t{1} << 30),
+              slow_rng.uniform_u64(std::uint64_t{1} << 30))
+        << "round " << round;
+    // Churn the frequencies between picks to interleave bump paths.
+    const auto m = static_cast<PieceId>(sets.uniform_u64(kPieces));
+    if (freq[m] > 0 && sets.uniform_u64(2) == 0) {
+      idx.decrement(m);
+      --freq[m];
+    } else if (freq[m] < kMaxFreq) {
+      idx.increment(m);
+      ++freq[m];
+    }
+  }
+}
+
+TEST(PieceFreqIndex, TieBreakDistributionIsUniform) {
+  // kTied pieces share the minimum frequency; over many draws the
+  // reservoir must pick each near-uniformly. The seed is fixed, so the
+  // chi-squared statistic is deterministic: a failure means a real bias,
+  // not noise.
+  constexpr PieceId kPieces = 64;
+  constexpr PieceId kTied = 8;
+  constexpr int kDraws = 10000;
+  PieceFreqIndex idx;
+  idx.init(kPieces, 8);
+  PieceSet offer(kPieces);
+  PieceSet excluded(kPieces);
+  for (PieceId p = 0; p < kPieces; ++p) {
+    offer.add(p);
+    idx.increment(p);  // everyone holds >= 1 copy
+    if (p >= kTied) {  // the rest sit strictly higher
+      idx.increment(p);
+      idx.increment(p);
+    }
+  }
+  std::vector<int> hits(kPieces, 0);
+  util::Rng rng(2024);
+  for (int d = 0; d < kDraws; ++d) {
+    const PieceId pick = idx.pick_rarest(offer, excluded, rng);
+    ASSERT_NE(pick, kNoPiece);
+    ASSERT_LT(pick, kTied);  // only tied-minimum pieces can win
+    ++hits[pick];
+  }
+  const double expected = static_cast<double>(kDraws) / kTied;
+  double chi2 = 0.0;
+  for (PieceId p = 0; p < kTied; ++p) {
+    const double diff = static_cast<double>(hits[p]) - expected;
+    chi2 += diff * diff / expected;
+  }
+  // 7 degrees of freedom; 24.32 is the 99.9th-percentile critical value.
+  EXPECT_LT(chi2, 24.32);
+}
+
+// --- piece_frequency range contract ------------------------------------
+
+TEST(PieceFrequencyDeathTest, OutOfRangePieceIdAssertsInDebugBuilds) {
+#ifdef NDEBUG
+  GTEST_SKIP() << "range asserts compile out of NDEBUG builds";
+#else
+  auto config = selection_config(PieceSelection::kRarestFirst);
+  Swarm s(config, strategy::make_strategy(config.algorithm));
+  EXPECT_DEATH(
+      (void)s.piece_frequency(config.piece_count() + 1000),
+      "piece out of range");
+#endif
 }
 
 }  // namespace

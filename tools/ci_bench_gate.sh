@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Perf-regression gate over the machine-readable bench artifacts.
+#
+# Re-runs the fixed-workload measurements (micro_engine/micro_swarm
+# --json-out) and diffs them against the committed baselines in
+# bench/baselines/. Two kinds of metric:
+#
+#   * machine-normalized: `speedup_vs_reference` (the indexed-heap engine
+#     vs the seed priority_queue engine, measured in the same process) and
+#     the per-workload event counts (which are deterministic and must be
+#     byte-equal). These gate in every mode.
+#   * absolute events/sec: meaningful only on hardware comparable to where
+#     the baseline was captured. Gated in `full` mode (local dev boxes);
+#     demoted to warnings in `ratio` mode (CI runners of unknown speed).
+#
+# Thresholds: FAIL on a >20% regression, WARN on >5%.
+#
+#   tools/ci_bench_gate.sh [build-dir] [mode]   # mode: full (default) | ratio
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${1:-build}
+MODE=${2:-full}
+BASELINES=bench/baselines
+OUT="${BUILD_DIR}/bench-gate"
+mkdir -p "${OUT}"
+
+if [[ ! -x "${BUILD_DIR}/bench/micro_engine" ||
+      ! -x "${BUILD_DIR}/bench/micro_swarm" ]]; then
+  echo "error: bench binaries missing (build first: cmake --build ${BUILD_DIR})" >&2
+  exit 1
+fi
+
+echo "=== bench gate: measuring (mode=${MODE}) ==="
+"${BUILD_DIR}/bench/micro_engine" --json-out "${OUT}/BENCH_engine.json"
+# N=1000 keeps the gate under a minute; the committed baseline's N=5000
+# rows are simply absent from the fresh run and skipped by the comparator.
+"${BUILD_DIR}/bench/micro_swarm" --max-n 1000 \
+  --json-out "${OUT}/BENCH_swarm.json" > /dev/null
+
+python3 - "${MODE}" "${OUT}" <<'EOF'
+import json, sys
+
+mode, outdir = sys.argv[1], sys.argv[2]
+FAIL, WARN = 0.20, 0.05
+failures, warnings = [], []
+
+def load(path):
+    with open(path) as f:
+        return {r["name"]: r for r in json.load(f)["results"]}
+
+def check(metric, name, old, new, gate):
+    drop = (old - new) / old if old > 0 else 0.0
+    line = f"{name} [{metric}]: baseline {old:.6g} -> {new:.6g} ({-drop:+.1%})"
+    if drop > FAIL and gate:
+        failures.append(line)
+        print("FAIL  " + line)
+    elif drop > WARN:
+        warnings.append(line)
+        print("warn  " + line)
+    else:
+        print("ok    " + line)
+
+for tool in ("engine", "swarm"):
+    base = load(f"bench/baselines/BENCH_{tool}.json")
+    fresh = load(f"{outdir}/BENCH_{tool}.json")
+    for name, b in sorted(base.items()):
+        r = fresh.get(name)
+        if r is None:
+            print(f"skip  {name}: not measured in this run")
+            continue
+        # Event counts are deterministic: any difference is a behavior
+        # change, not noise. Always a hard failure.
+        if b.get("events") != r.get("events"):
+            failures.append(
+                f"{name} [events]: baseline {b.get('events')} != "
+                f"measured {r.get('events')}")
+            print("FAIL  " + failures[-1])
+            continue
+        if "speedup_vs_reference" in b and "speedup_vs_reference" in r:
+            check("speedup_vs_reference", name,
+                  float(b["speedup_vs_reference"]),
+                  float(r["speedup_vs_reference"]), gate=True)
+        check("events_per_sec", name,
+              float(b["events_per_sec"]), float(r["events_per_sec"]),
+              gate=(mode == "full"))
+
+print(f"\nbench gate: {len(failures)} failure(s), {len(warnings)} warning(s)")
+sys.exit(1 if failures else 0)
+EOF

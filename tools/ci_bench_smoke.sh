@@ -65,6 +65,7 @@ run coopnet_run "${TOOLS}/coopnet_run" --algo BitTorrent --n 30 --file-mb 2 \
 # google-benchmark guards: one cheap kernel each, minimal measuring time.
 run micro_engine "${BENCH}/micro_engine" \
   --benchmark_filter='BM_QNeedsKernel' --benchmark_min_time=0.01
+run micro_swarm "${BENCH}/micro_swarm" --max-n 100
 run micro_pool "${BENCH}/micro_pool" \
   --benchmark_filter='BM_CellSeed|BM_PoolSubmitValue' \
   --benchmark_min_time=0.01
