@@ -8,10 +8,13 @@
 #include <vector>
 
 #include "core/fluid_model.h"
+#include "exp/journal.h"
 #include "exp/runner.h"
 #include "exp/schedule.h"
+#include "exp/supervise.h"
 #include "metrics/json.h"
 #include "util/ascii_plot.h"
+#include "util/atomic_file.h"
 #include "util/cli.h"
 #include "util/table.h"
 
@@ -190,13 +193,173 @@ inline std::vector<metrics::RunReport> run_figure_suite(
   return reports;
 }
 
-/// Optional machine-readable dumps: --csv (long-form series) and --json
-/// (full RunReport array).
+/// Opens the journal/resume pair for a supervised sweep and reports the
+/// resume coverage on stderr.
+inline exp::SweepJournal open_journal_from_cli(
+    const exp::SweepControl& control, std::size_t cells,
+    std::uint64_t base_seed) {
+  exp::SweepJournal sj = exp::open_sweep_journal(control, cells, base_seed);
+  if (sj.resume != nullptr) {
+    std::fprintf(stderr, "  resume: %zu of %zu cells journaled in %s%s\n",
+                 sj.resume->size(), cells, control.resume_path.c_str(),
+                 sj.resume->torn_lines() > 0 ? " (torn trailing line dropped)"
+                                             : "");
+  }
+  return sj;
+}
+
+/// Prints the quarantine report for a degraded sweep (no-op when every
+/// cell is ok).
+inline void print_degraded_coverage(const exp::SweepResult& sweep) {
+  if (sweep.complete()) return;
+  std::printf("\ndegraded coverage: %zu of %zu cells did not complete\n%s",
+              sweep.outcomes.size() -
+                  sweep.count(exp::CellOutcome::Status::kOk),
+              sweep.outcomes.size(), sweep.degradation_summary().c_str());
+}
+
+/// Machine-readable dumps for a supervised sweep: --json prints the
+/// merged per-cell array (null for non-ok cells; byte-identical to the
+/// unsupervised dump when all cells are ok), --json-out writes the same
+/// bytes crash-safely.
+inline void maybe_dump_supervised_json(const util::Cli& cli,
+                                       const exp::SweepResult& sweep) {
+  if (cli.has("json")) {
+    std::printf("\n--- JSON ---\n%s\n", sweep.merged_json().c_str());
+  }
+  if (cli.has("json-out")) {
+    util::write_file_atomic(cli.get_string("json-out", ""),
+                            sweep.merged_json() + "\n");
+  }
+}
+
+/// Supervised variant of run_figure_suite: same cells and rendering, but
+/// each algorithm runs under the per-cell watchdogs, failures are
+/// quarantined into their table row instead of aborting, and outcomes are
+/// journaled/resumed per `control`. Charts cover the cells that ran to
+/// completion in this process (journal-resumed cells carry scalar metrics
+/// only).
+inline exp::SweepResult run_figure_suite_supervised(
+    const sim::SwarmConfig& base, bool with_susceptibility, std::size_t jobs,
+    const exp::SweepControl& control) {
+  std::vector<sim::SwarmConfig> cells;
+  for (core::Algorithm algo : core::kAllAlgorithms) {
+    sim::SwarmConfig config = base;
+    config.algorithm = algo;
+    if (config.free_rider_fraction > 0.0) {
+      const bool large = config.attack.large_view;
+      config = exp::with_freeriders(config, config.free_rider_fraction,
+                                    large);
+    }
+    cells.push_back(config);
+  }
+  exp::SweepJournal sj =
+      open_journal_from_cli(control, cells.size(), base.seed);
+  std::fprintf(stderr,
+               "  running %zu algorithms under supervision (jobs=%zu)...\n",
+               cells.size(), jobs == 0 ? exp::default_jobs() : jobs);
+  const exp::SweepResult sweep = exp::run_cells_supervised(
+      cells, jobs, control.supervision, sj.journal.get(), sj.resume.get());
+
+  util::Table table("Per-algorithm summary (supervised)");
+  table.set_header({"Algorithm", "status", "finished", "mean compl. (s)",
+                    "median compl. (s)", "boot median (s)",
+                    "settled fairness (u/d)", "fairness F",
+                    "susceptibility"});
+  for (const auto& o : sweep.outcomes) {
+    if (!o.has_report) {
+      table.add_row({o.algorithm, to_string(o.status), "-", "-", "-", "-",
+                     "-", "-", "-"});
+      continue;
+    }
+    const metrics::RunReport& r = o.report;
+    table.add_row(
+        {o.algorithm,
+         o.from_journal ? "ok (journal)" : to_string(o.status),
+         std::to_string(r.completion_times.size()) + "/" +
+             std::to_string(r.compliant_population),
+         r.completion_times.empty()
+             ? "-"
+             : util::Table::num(r.completion_summary.mean, 5),
+         r.completion_times.empty()
+             ? "-"
+             : util::Table::num(r.completion_summary.median, 5),
+         r.bootstrap_times.empty()
+             ? "-"
+             : util::Table::num(r.bootstrap_summary.median, 4),
+         r.settled_fairness < 0.0
+             ? "-"
+             : util::Table::num(r.settled_fairness, 4),
+         r.final_fairness_F < 0.0
+             ? "-"
+             : util::Table::num(r.final_fairness_F, 4),
+         with_susceptibility ? util::Table::pct(r.susceptibility) : "-"});
+  }
+  std::printf("%s", table.render().c_str());
+  print_sweep_timing(sweep.timing);
+  print_degraded_coverage(sweep);
+
+  if (with_susceptibility) {
+    std::vector<std::pair<std::string, double>> bars;
+    for (const auto& o : sweep.outcomes) {
+      if (o.has_report) bars.push_back({o.algorithm, o.report.susceptibility});
+    }
+    std::printf("\n(a) Susceptibility: fraction of users' upload bandwidth "
+                "captured by free-riders\n%s",
+                util::bar_chart(bars).c_str());
+  }
+
+  // Series charts need the full report; journal-resumed cells only carry
+  // scalars, so chart what ran in this process.
+  std::vector<const metrics::RunReport*> fresh;
+  for (const auto& o : sweep.outcomes) {
+    if (o.ok() && !o.from_journal) fresh.push_back(&o.report);
+  }
+  if (fresh.size() < sweep.outcomes.size()) {
+    std::printf("\n(charts cover the %zu cells run in this process; "
+                "resumed/failed cells are tabulated above)\n",
+                fresh.size());
+  }
+  if (!fresh.empty()) {
+    std::vector<std::pair<std::string, std::vector<util::CdfPoint>>> cdfs;
+    for (const auto* r : fresh) {
+      cdfs.push_back({core::to_string(r->algorithm),
+                      metrics::completion_cdf(*r)});
+    }
+    print_cdf_chart("(b) Efficiency: download completion-time CDF "
+                    "(reciprocity flat at 0 -- nobody finishes)",
+                    cdfs, "seconds since arrival");
+
+    std::vector<std::pair<std::string, util::TimeSeries>> fairness;
+    for (const auto* r : fresh) {
+      fairness.push_back({core::to_string(r->algorithm), r->fairness_series});
+    }
+    print_series_chart("(c) Fairness: mean u/d over compliant peers vs time",
+                       fairness, "seconds", "mean u/d");
+
+    std::vector<std::pair<std::string, std::vector<util::CdfPoint>>> boots;
+    for (const auto* r : fresh) {
+      boots.push_back({core::to_string(r->algorithm),
+                       metrics::bootstrap_cdf(*r)});
+    }
+    print_cdf_chart("(d) Bootstrapping: time-to-first-piece CDF", boots,
+                    "seconds since arrival");
+  }
+  return sweep;
+}
+
+/// Optional machine-readable dumps: --csv (long-form series), --json
+/// (full RunReport array on stdout), and --json-out FILE (same array
+/// written crash-safely via temp-file + atomic rename).
 inline void maybe_dump_csv(const util::Cli& cli,
                            const std::vector<metrics::RunReport>& reports) {
   if (cli.has("json")) {
     std::printf("\n--- JSON ---\n%s\n",
                 metrics::to_json(reports).c_str());
+  }
+  if (cli.has("json-out")) {
+    util::write_file_atomic(cli.get_string("json-out", ""),
+                            metrics::to_json(reports) + "\n");
   }
   if (!cli.has("csv")) return;
   std::printf("\n--- CSV: fairness series ---\nalgorithm,time,value\n");

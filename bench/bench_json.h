@@ -11,9 +11,10 @@
 
 #include <chrono>
 #include <cstdio>
-#include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "util/atomic_file.h"
 
 namespace coopnet::bench {
 
@@ -48,33 +49,37 @@ inline double wall_now() {
       .count();
 }
 
-/// Writes the BENCH_*.json document. Layout:
+/// Writes the BENCH_*.json document crash-safely (the CI gate diffs these
+/// against committed baselines -- a torn artifact must be impossible).
+/// Layout:
 ///   {"tool": ..., "schema": 1, "peak_rss_kb": ...,
 ///    "results": [{"name": ..., "events": ..., "wall_s": ...,
 ///                 "events_per_sec": ..., "ns_per_event": ..., ...}, ...]}
 inline void write_bench_json(const std::string& path, const std::string& tool,
                              const std::vector<BenchRecord>& records) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    throw std::runtime_error("cannot write bench JSON: " + path);
-  }
-  std::fprintf(f, "{\n  \"tool\": \"%s\",\n  \"schema\": 1,\n", tool.c_str());
-  std::fprintf(f, "  \"peak_rss_kb\": %ld,\n  \"results\": [", peak_rss_kb());
+  std::string out;
+  char buf[256];
+  auto append = [&out, &buf](const char* fmt, auto... args) {
+    std::snprintf(buf, sizeof(buf), fmt, args...);
+    out += buf;
+  };
+  append("{\n  \"tool\": \"%s\",\n  \"schema\": 1,\n", tool.c_str());
+  append("  \"peak_rss_kb\": %ld,\n  \"results\": [", peak_rss_kb());
   for (std::size_t i = 0; i < records.size(); ++i) {
     const BenchRecord& r = records[i];
-    std::fprintf(f, "%s\n    {\"name\": \"%s\", \"events\": %llu, ",
-                 i == 0 ? "" : ",", r.name.c_str(),
-                 static_cast<unsigned long long>(r.events));
-    std::fprintf(f, "\"wall_s\": %.6f, \"events_per_sec\": %.1f, "
-                 "\"ns_per_event\": %.2f",
-                 r.wall_s, r.events_per_sec(), r.ns_per_event());
+    append("%s\n    {\"name\": \"%s\", \"events\": %llu, ",
+           i == 0 ? "" : ",", r.name.c_str(),
+           static_cast<unsigned long long>(r.events));
+    append("\"wall_s\": %.6f, \"events_per_sec\": %.1f, "
+           "\"ns_per_event\": %.2f",
+           r.wall_s, r.events_per_sec(), r.ns_per_event());
     for (const auto& [key, value] : r.extra) {
-      std::fprintf(f, ", \"%s\": %.6f", key.c_str(), value);
+      append(", \"%s\": %.6f", key.c_str(), value);
     }
-    std::fprintf(f, "}");
+    out += "}";
   }
-  std::fprintf(f, "\n  ]\n}\n");
-  std::fclose(f);
+  out += "\n  ]\n}\n";
+  util::write_file_atomic(path, out);
 }
 
 }  // namespace coopnet::bench

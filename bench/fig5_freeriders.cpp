@@ -2,6 +2,9 @@
 // most effective attack (Section V-B2): (a) susceptibility, (b) efficiency,
 // (c) fairness. Attacks: plain free-riding everywhere, plus collusion vs
 // T-Chain, whitewashing vs FairTorrent, sybil praise vs reputation.
+//
+// Supervised-sweep flags (--cell-timeout, --event-budget, --journal,
+// --resume) quarantine failing cells; exit code 3 flags degraded coverage.
 #include <cstdio>
 
 #include "bench_common.h"
@@ -9,24 +12,37 @@
 int main(int argc, char** argv) {
   using namespace coopnet;
   const util::Cli cli(argc, argv);
-  auto config = bench::scenario_from_cli(cli);
-  config.free_rider_fraction = cli.get_double("free-riders", 0.2);
-  config.attack.large_view = false;
+  try {
+    auto config = bench::scenario_from_cli(cli);
+    config.free_rider_fraction = cli.get_double("free-riders", 0.2);
+    config.attack.large_view = false;
+    const exp::SweepControl control = exp::sweep_control_from_cli(cli);
 
-  std::printf("Figure 5: %.0f%% free-riders with targeted attacks, N = %zu, "
-              "file = %lld MiB, seed = %llu\n\n",
-              config.free_rider_fraction * 100.0, config.n_peers,
-              static_cast<long long>(config.file_bytes / (1024 * 1024)),
-              static_cast<unsigned long long>(config.seed));
-  const auto reports = bench::run_figure_suite(
-      config, /*with_susceptibility=*/true, bench::jobs_from_cli(cli));
+    std::printf("Figure 5: %.0f%% free-riders with targeted attacks, N = %zu, "
+                "file = %lld MiB, seed = %llu\n\n",
+                config.free_rider_fraction * 100.0, config.n_peers,
+                static_cast<long long>(config.file_bytes / (1024 * 1024)),
+                static_cast<unsigned long long>(config.seed));
+    if (control.active()) {
+      const exp::SweepResult sweep = bench::run_figure_suite_supervised(
+          config, /*with_susceptibility=*/true, bench::jobs_from_cli(cli),
+          control);
+      bench::maybe_dump_supervised_json(cli, sweep);
+      return sweep.complete() ? 0 : 3;
+    }
+    const auto reports = bench::run_figure_suite(
+        config, /*with_susceptibility=*/true, bench::jobs_from_cli(cli));
 
-  std::printf(
-      "\nExpected shape (Fig. 5): susceptibility ~0 for reciprocity and "
-      "T-Chain;\naltruism and (sybil-attacked) reputation highest; "
-      "BitTorrent and FairTorrent\nin between. Efficiency and fairness of "
-      "the susceptible algorithms degrade\nrelative to Fig. 4; T-Chain "
-      "barely moves.\n");
-  bench::maybe_dump_csv(cli, reports);
-  return 0;
+    std::printf(
+        "\nExpected shape (Fig. 5): susceptibility ~0 for reciprocity and "
+        "T-Chain;\naltruism and (sybil-attacked) reputation highest; "
+        "BitTorrent and FairTorrent\nin between. Efficiency and fairness of "
+        "the susceptible algorithms degrade\nrelative to Fig. 4; T-Chain "
+        "barely moves.\n");
+    bench::maybe_dump_csv(cli, reports);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fig5_freeriders: %s\n", e.what());
+    return 1;
+  }
 }

@@ -1,6 +1,9 @@
 // Figure 6 -- Figure 5's free-riding attacks plus the large-view exploit:
 // free-riders connect to several times more neighbors than compliant peers
 // (default 4x; --view-mult to sweep).
+//
+// Supervised-sweep flags (--cell-timeout, --event-budget, --journal,
+// --resume) quarantine failing cells; exit code 3 flags degraded coverage.
 #include <cstdio>
 
 #include "bench_common.h"
@@ -8,50 +11,62 @@
 int main(int argc, char** argv) {
   using namespace coopnet;
   const util::Cli cli(argc, argv);
-  auto config = bench::scenario_from_cli(cli);
-  config.free_rider_fraction = cli.get_double("free-riders", 0.2);
-  config.attack.large_view = true;
-  config.graph.large_view_multiplier = cli.get_double("view-mult", 4.0);
+  try {
+    auto config = bench::scenario_from_cli(cli);
+    config.free_rider_fraction = cli.get_double("free-riders", 0.2);
+    config.attack.large_view = true;
+    config.graph.large_view_multiplier = cli.get_double("view-mult", 4.0);
+    const exp::SweepControl control = exp::sweep_control_from_cli(cli);
 
-  std::printf("Figure 6: %.0f%% free-riders, targeted attacks + large-view "
-              "exploit (%gx neighbors), N = %zu, seed = %llu\n\n",
-              config.free_rider_fraction * 100.0,
-              config.graph.large_view_multiplier, config.n_peers,
-              static_cast<unsigned long long>(config.seed));
-  const std::size_t jobs = bench::jobs_from_cli(cli);
-  const auto reports =
-      bench::run_figure_suite(config, /*with_susceptibility=*/true, jobs);
-
-  std::printf(
-      "\nExpected shape (Fig. 6): susceptibility rises vs Fig. 5 for the "
-      "algorithms\nthat ration their leak per neighborhood (T-Chain, "
-      "BitTorrent, FairTorrent);\naltruism/reputation were already handing "
-      "free-riders their full demand share.\nT-Chain stays ~1%% and is now "
-      "visibly more efficient and fair than the\nsusceptible hybrids.\n");
-  bench::maybe_dump_csv(cli, reports);
-
-  if (cli.has("sweep-view")) {
-    std::printf("\nAblation: large-view multiplier vs susceptibility "
-                "(BitTorrent)\n");
-    util::Table table("");
-    table.set_header({"multiplier", "susceptibility"});
-    const std::vector<double> mults = {1.0, 2.0, 4.0, 8.0};
-    std::vector<sim::SwarmConfig> cells;
-    for (double mult : mults) {
-      auto c = config;
-      c.algorithm = core::Algorithm::kBitTorrent;
-      c.graph.large_view_multiplier = mult;
-      c = exp::with_freeriders(c, c.free_rider_fraction, mult > 1.0);
-      cells.push_back(c);
+    std::printf("Figure 6: %.0f%% free-riders, targeted attacks + large-view "
+                "exploit (%gx neighbors), N = %zu, seed = %llu\n\n",
+                config.free_rider_fraction * 100.0,
+                config.graph.large_view_multiplier, config.n_peers,
+                static_cast<unsigned long long>(config.seed));
+    const std::size_t jobs = bench::jobs_from_cli(cli);
+    if (control.active()) {
+      const exp::SweepResult sweep = bench::run_figure_suite_supervised(
+          config, /*with_susceptibility=*/true, jobs, control);
+      bench::maybe_dump_supervised_json(cli, sweep);
+      return sweep.complete() ? 0 : 3;
     }
-    exp::SweepTiming timing;
-    const auto sweep = exp::run_cells(cells, jobs, &timing);
-    for (std::size_t i = 0; i < mults.size(); ++i) {
-      table.add_row({util::Table::num(mults[i], 2),
-                     util::Table::pct(sweep[i].susceptibility)});
+    const auto reports =
+        bench::run_figure_suite(config, /*with_susceptibility=*/true, jobs);
+
+    std::printf(
+        "\nExpected shape (Fig. 6): susceptibility rises vs Fig. 5 for the "
+        "algorithms\nthat ration their leak per neighborhood (T-Chain, "
+        "BitTorrent, FairTorrent);\naltruism/reputation were already handing "
+        "free-riders their full demand share.\nT-Chain stays ~1%% and is now "
+        "visibly more efficient and fair than the\nsusceptible hybrids.\n");
+    bench::maybe_dump_csv(cli, reports);
+
+    if (cli.has("sweep-view")) {
+      std::printf("\nAblation: large-view multiplier vs susceptibility "
+                  "(BitTorrent)\n");
+      util::Table table("");
+      table.set_header({"multiplier", "susceptibility"});
+      const std::vector<double> mults = {1.0, 2.0, 4.0, 8.0};
+      std::vector<sim::SwarmConfig> cells;
+      for (double mult : mults) {
+        auto c = config;
+        c.algorithm = core::Algorithm::kBitTorrent;
+        c.graph.large_view_multiplier = mult;
+        c = exp::with_freeriders(c, c.free_rider_fraction, mult > 1.0);
+        cells.push_back(c);
+      }
+      exp::SweepTiming timing;
+      const auto sweep = exp::run_cells(cells, jobs, &timing);
+      for (std::size_t i = 0; i < mults.size(); ++i) {
+        table.add_row({util::Table::num(mults[i], 2),
+                       util::Table::pct(sweep[i].susceptibility)});
+      }
+      std::printf("%s", table.render().c_str());
+      bench::print_sweep_timing(timing);
     }
-    std::printf("%s", table.render().c_str());
-    bench::print_sweep_timing(timing);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fig6_largeview: %s\n", e.what());
+    return 1;
   }
-  return 0;
 }

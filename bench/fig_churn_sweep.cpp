@@ -8,8 +8,15 @@
 // fault-free run.
 //
 //   ./fig_churn_sweep [--scale small|mid|paper] [--n N] [--seed S]
-//                     [--max-time T] [--jobs J] [--json]
+//                     [--max-time T] [--jobs J] [--json] [--json-out F]
 //                     [--audit] [--audit-every N]
+//                     [--cell-timeout S] [--event-budget N]
+//                     [--journal F] [--resume F]
+//
+// The supervised flags (see exp/supervise.h) quarantine failing cells
+// instead of aborting the whole matrix, journal completed cells
+// crash-safely, and make an interrupted sweep resumable; exit code 3
+// flags degraded coverage.
 //
 // --audit runs the whole fault x mechanism matrix under the swarm
 // invariant auditor (requires a -DCOOPNET_AUDIT=ON build; any violation
@@ -51,11 +58,93 @@ std::vector<FaultLevel> fault_levels() {
   return levels;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int run_supervised_sweep(const coopnet::util::Cli& cli,
+                         const std::vector<FaultLevel>& levels,
+                         const std::vector<coopnet::sim::SwarmConfig>& cells,
+                         std::size_t jobs, std::uint64_t base_seed,
+                         const coopnet::exp::SweepControl& control) {
   using namespace coopnet;
-  const util::Cli cli(argc, argv);
+  exp::SweepJournal sj =
+      bench::open_journal_from_cli(control, cells.size(), base_seed);
+  const exp::SweepResult sweep = exp::run_cells_supervised(
+      cells, jobs, control.supervision, sj.journal.get(), sj.resume.get());
+
+  util::Table table(
+      "Degradation under faults & churn (per fault level x mechanism)");
+  table.set_header({"Fault level", "Algorithm", "status", "finished",
+                    "mean compl. (s)", "vs clean", "retries", "abandoned",
+                    "departed(rejoined)", "goodput"});
+  std::vector<double> clean_mean(core::kAllAlgorithms.size(), -1.0);
+  for (std::size_t li = 0; li < levels.size(); ++li) {
+    const auto& level = levels[li];
+    for (std::size_t ai = 0; ai < core::kAllAlgorithms.size(); ++ai) {
+      const core::Algorithm algo = core::kAllAlgorithms[ai];
+      const exp::CellOutcome& o =
+          sweep.outcomes[li * core::kAllAlgorithms.size() + ai];
+      const std::string status =
+          o.from_journal ? "ok (journal)" : to_string(o.status);
+      if (!o.has_report) {
+        table.add_row({level.name, core::to_string(algo), status, "-", "-",
+                       "-", "-", "-", "-", "-"});
+        continue;
+      }
+      const metrics::RunReport& r = o.report;
+      const bool finished_any = !r.completion_times.empty();
+      const double mean = finished_any ? r.completion_summary.mean : -1.0;
+      if (level.name == "none") clean_mean[ai] = mean;
+      std::string vs_clean = "-";
+      if (mean > 0.0 && clean_mean[ai] > 0.0) {
+        vs_clean = util::Table::num(mean / clean_mean[ai], 3) + "x";
+      }
+      // Journal stubs restore the headline metrics but not the fault
+      // counters or goodput, so resumed rows show "-" there.
+      const auto& f = r.faults;
+      table.add_row(
+          {level.name, core::to_string(algo), status,
+           std::to_string(r.completion_times.size()) + "/" +
+               std::to_string(r.compliant_population),
+           finished_any ? util::Table::num(mean, 5) : "never", vs_clean,
+           o.from_journal ? "-" : std::to_string(f.retries_scheduled),
+           o.from_journal ? "-" : std::to_string(f.transfers_abandoned),
+           o.from_journal ? "-"
+                          : std::to_string(f.churn_departures) + "(" +
+                                std::to_string(f.churn_rejoins) + ")",
+           o.from_journal ? "-" : util::Table::pct(r.goodput_ratio)});
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  bench::print_sweep_timing(sweep.timing);
+  bench::print_degraded_coverage(sweep);
+
+  util::Table summary("Completion rate by fault level (fraction of "
+                      "compliant peers that finish)");
+  std::vector<std::string> header{"Algorithm"};
+  for (const auto& level : levels) header.push_back(level.name);
+  summary.set_header(header);
+  for (std::size_t ai = 0; ai < core::kAllAlgorithms.size(); ++ai) {
+    std::vector<std::string> row{core::to_string(core::kAllAlgorithms[ai])};
+    for (std::size_t li = 0; li < levels.size(); ++li) {
+      const auto& o = sweep.outcomes[li * core::kAllAlgorithms.size() + ai];
+      row.push_back(o.has_report
+                        ? util::Table::pct(o.report.completed_fraction)
+                        : "-");
+    }
+    summary.add_row(row);
+  }
+  std::printf("\n%s", summary.render().c_str());
+
+  if (cli.has("audit")) {
+    std::printf("\naudit: %zu swarms ran under the invariant auditor "
+                "(quarantined cells excluded)\n",
+                sweep.count(exp::CellOutcome::Status::kOk));
+  }
+
+  bench::maybe_dump_supervised_json(cli, sweep);
+  return sweep.complete() ? 0 : 3;
+}
+
+int run_sweep(const coopnet::util::Cli& cli) {
+  using namespace coopnet;
   // Small scale by default: the sweep runs |levels| x |algorithms| swarms.
   sim::SwarmConfig base = bench::scenario_from_cli(cli, "small");
 
@@ -70,6 +159,7 @@ int main(int argc, char** argv) {
 
   const auto levels = fault_levels();
   const std::size_t jobs = bench::jobs_from_cli(cli);
+  const exp::SweepControl control = exp::sweep_control_from_cli(cli);
 
   // The whole sweep is one batch of independent (fault level, algorithm)
   // cells; slot order reproduces the sequential row order exactly.
@@ -87,6 +177,9 @@ int main(int argc, char** argv) {
                "(jobs=%zu)...\n",
                levels.size(), core::kAllAlgorithms.size(), cells.size(),
                jobs);
+  if (control.active()) {
+    return run_supervised_sweep(cli, levels, cells, jobs, base.seed, control);
+  }
   exp::SweepTiming timing;
   const std::vector<metrics::RunReport> all_reports =
       exp::run_cells(cells, jobs, &timing);
@@ -157,4 +250,16 @@ int main(int argc, char** argv) {
 
   bench::maybe_dump_csv(cli, all_reports);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const coopnet::util::Cli cli(argc, argv);
+  try {
+    return run_sweep(cli);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fig_churn_sweep: %s\n", e.what());
+    return 1;
+  }
 }

@@ -1,0 +1,327 @@
+#include "exp/journal.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "metrics/json.h"
+
+namespace coopnet::exp {
+
+namespace {
+
+/// %.17g: enough digits that strtod round-trips every finite double
+/// exactly, which is what makes resumed aggregates bit-identical.
+std::string g17(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string render_header_line(std::size_t cells, std::uint64_t base_seed) {
+  std::ostringstream os;
+  os << "{\"kind\":\"header\",\"schema\":1,\"cells\":" << cells
+     << ",\"base_seed\":" << base_seed << "}";
+  return os.str();
+}
+
+std::string render_cell_line(const CellOutcome& o) {
+  std::ostringstream os;
+  os << "{\"kind\":\"cell\",\"index\":" << o.index << ",\"seed\":" << o.seed
+     << ",\"algorithm\":\"" << metrics::json_escape(o.algorithm)
+     << "\",\"status\":\"" << to_string(o.status) << "\",\"error\":\""
+     << metrics::json_escape(o.error) << "\",\"wall_s\":" << g17(o.wall_seconds)
+     << ",\"events\":" << o.events;
+  if (o.ok() && o.has_report) {
+    const metrics::RunReport& r = o.report;
+    os << ",\"compliant_population\":" << r.compliant_population
+       << ",\"completions\":" << r.completion_times.size()
+       << ",\"bootstraps\":" << r.bootstrap_times.size()
+       << ",\"mean_completion\":" << g17(r.completion_summary.mean)
+       << ",\"median_completion\":" << g17(r.completion_summary.median)
+       << ",\"completed_fraction\":" << g17(r.completed_fraction)
+       << ",\"median_bootstrap\":" << g17(r.bootstrap_summary.median)
+       << ",\"settled_fairness\":" << g17(r.settled_fairness)
+       << ",\"fairness_F\":" << g17(r.final_fairness_F)
+       << ",\"susceptibility\":" << g17(r.susceptibility)
+       // Last on purpose: the value is escaped, so no `"key":` pattern
+       // can occur inside it and the field scans above stay unambiguous.
+       << ",\"report\":\"" << metrics::json_escape(o.report_json) << "\"";
+  }
+  os << "}";
+  return os.str();
+}
+
+/// Finds `"key":` in a journal line and extracts the raw value token:
+/// for strings the *still-escaped* contents between the quotes, for
+/// numbers the digits up to the next ',' or '}'.
+bool find_field(const std::string& line, const std::string& key,
+                std::string* out) {
+  const std::string pattern = "\"" + key + "\":";
+  const std::size_t pos = line.find(pattern);
+  if (pos == std::string::npos) return false;
+  std::size_t v = pos + pattern.size();
+  if (v >= line.size()) return false;
+  if (line[v] == '"') {
+    ++v;
+    std::string raw;
+    while (v < line.size()) {
+      const char c = line[v];
+      if (c == '\\') {
+        if (v + 1 >= line.size()) return false;
+        raw += c;
+        raw += line[v + 1];
+        v += 2;
+        continue;
+      }
+      if (c == '"') {
+        *out = std::move(raw);
+        return true;
+      }
+      raw += c;
+      ++v;
+    }
+    return false;  // unterminated string: torn line
+  }
+  std::size_t end = v;
+  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  if (end == v) return false;
+  *out = line.substr(v, end - v);
+  return true;
+}
+
+bool parse_u64(const std::string& raw, std::uint64_t* out) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(raw.c_str(), &end, 10);
+  if (errno != 0 || end == raw.c_str() || *end != '\0') return false;
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+bool parse_double(const std::string& raw, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(raw.c_str(), &end);
+  if (end == raw.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool parse_cell_line(const std::string& line, JournalEntry* entry) {
+  std::string raw;
+  std::uint64_t u = 0;
+  if (!find_field(line, "index", &raw) || !parse_u64(raw, &u)) return false;
+  entry->index = static_cast<std::size_t>(u);
+  if (!find_field(line, "seed", &raw) || !parse_u64(raw, &entry->seed)) {
+    return false;
+  }
+  if (!find_field(line, "algorithm", &raw)) return false;
+  entry->algorithm = metrics::json_unescape(raw);
+  if (!find_field(line, "status", &raw)) return false;
+  try {
+    entry->status = status_from_string(metrics::json_unescape(raw));
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
+  if (!find_field(line, "error", &raw)) return false;
+  entry->error = metrics::json_unescape(raw);
+  if (!find_field(line, "wall_s", &raw) ||
+      !parse_double(raw, &entry->wall_seconds)) {
+    return false;
+  }
+  if (!find_field(line, "events", &raw) ||
+      !parse_u64(raw, &entry->events)) {
+    return false;
+  }
+  if (entry->status != CellOutcome::Status::kOk) return true;
+
+  // Ok records additionally carry the scalar metrics and the full report.
+  if (!find_field(line, "compliant_population", &raw) ||
+      !parse_u64(raw, &u)) {
+    return false;
+  }
+  entry->compliant_population = static_cast<std::size_t>(u);
+  if (!find_field(line, "completions", &raw) || !parse_u64(raw, &u)) {
+    return false;
+  }
+  entry->completions = static_cast<std::size_t>(u);
+  if (!find_field(line, "bootstraps", &raw) || !parse_u64(raw, &u)) {
+    return false;
+  }
+  entry->bootstraps = static_cast<std::size_t>(u);
+  const std::pair<const char*, double*> scalars[] = {
+      {"mean_completion", &entry->mean_completion},
+      {"median_completion", &entry->median_completion},
+      {"completed_fraction", &entry->completed_fraction},
+      {"median_bootstrap", &entry->median_bootstrap},
+      {"settled_fairness", &entry->settled_fairness},
+      {"fairness_F", &entry->fairness_F},
+      {"susceptibility", &entry->susceptibility},
+  };
+  for (const auto& [key, dst] : scalars) {
+    if (!find_field(line, key, &raw) || !parse_double(raw, dst)) {
+      return false;
+    }
+  }
+  if (!find_field(line, "report", &raw)) return false;
+  entry->report_json = metrics::json_unescape(raw);
+  return !entry->report_json.empty();
+}
+
+}  // namespace
+
+JournalIndex JournalIndex::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open run journal: " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string contents = buf.str();
+
+  JournalIndex index;
+  bool header_seen = false;
+  std::size_t pos = 0;
+  while (pos < contents.size()) {
+    const std::size_t nl = contents.find('\n', pos);
+    if (nl == std::string::npos) {
+      // No terminating newline: the fsync'd write was cut short. At most
+      // one such line exists; drop it.
+      ++index.torn_lines_;
+      break;
+    }
+    const std::string line = contents.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty()) continue;
+
+    std::string kind;
+    if (!find_field(line, "kind", &kind) || line.back() != '}') {
+      ++index.torn_lines_;
+      continue;
+    }
+    if (kind == "header") {
+      std::string raw;
+      std::uint64_t cells = 0;
+      if (find_field(line, "cells", &raw) && parse_u64(raw, &cells) &&
+          find_field(line, "base_seed", &raw) &&
+          parse_u64(raw, &index.base_seed_)) {
+        index.sweep_cells_ = static_cast<std::size_t>(cells);
+        header_seen = true;
+      } else {
+        ++index.torn_lines_;
+      }
+    } else if (kind == "cell") {
+      JournalEntry entry;
+      if (parse_cell_line(line, &entry)) {
+        // Later records win (can only happen if a resumed sweep re-ran a
+        // cell whose first record was torn).
+        index.entries_[entry.index] = std::move(entry);
+      } else {
+        ++index.torn_lines_;
+      }
+    } else {
+      ++index.torn_lines_;  // unknown record kind: schema drift
+    }
+  }
+  if (!header_seen) {
+    throw std::runtime_error(
+        "run journal has no header line (not a coopnet run journal, or "
+        "the sweep was killed before the first fsync): " +
+        path);
+  }
+  return index;
+}
+
+const JournalEntry* JournalIndex::find(std::size_t index) const {
+  const auto it = entries_.find(index);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+RunJournal::RunJournal(const std::string& path, Mode mode) : path_(path) {
+  file_ = std::fopen(path.c_str(), mode == Mode::kTruncate ? "wb" : "ab");
+  if (file_ == nullptr) {
+    throw std::runtime_error("cannot open run journal for writing: " + path);
+  }
+}
+
+RunJournal::~RunJournal() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void RunJournal::write_header(std::size_t cells, std::uint64_t base_seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  write_line(render_header_line(cells, base_seed));
+}
+
+void RunJournal::record(const CellOutcome& outcome) {
+  const std::string line = render_cell_line(outcome);
+  std::lock_guard<std::mutex> lock(mu_);
+  write_line(line);
+  ++records_;
+}
+
+std::size_t RunJournal::records_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+void RunJournal::write_line(const std::string& line) {
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+      std::fputc('\n', file_) == EOF || std::fflush(file_) != 0 ||
+      ::fsync(::fileno(file_)) != 0) {
+    throw std::runtime_error("run journal write failed: " + path_);
+  }
+}
+
+CellOutcome outcome_from_journal(const JournalEntry& entry,
+                                 const sim::SwarmConfig& cell) {
+  if (entry.seed != cell.seed ||
+      entry.algorithm != core::to_string(cell.algorithm)) {
+    std::ostringstream os;
+    os << "--resume: journal record for cell " << entry.index << " ("
+       << entry.algorithm << ", seed " << entry.seed
+       << ") does not match this sweep's cell ("
+       << core::to_string(cell.algorithm) << ", seed " << cell.seed
+       << ") -- the journal was written by a different command line";
+    throw std::invalid_argument(os.str());
+  }
+  CellOutcome out;
+  out.status = entry.status;
+  out.index = entry.index;
+  out.seed = entry.seed;
+  out.algorithm = entry.algorithm;
+  out.error = entry.error;
+  out.wall_seconds = entry.wall_seconds;
+  out.events = entry.events;
+  out.from_journal = true;
+  if (entry.status != CellOutcome::Status::kOk) return out;
+
+  // Scalar-only stub report: exact aggregate metrics, placeholder series.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  metrics::RunReport r;
+  r.algorithm = cell.algorithm;
+  r.compliant_population = entry.compliant_population;
+  r.completion_times.assign(entry.completions, nan);
+  r.completion_summary.count = entry.completions;
+  r.completion_summary.mean = entry.mean_completion;
+  r.completion_summary.median = entry.median_completion;
+  r.completed_fraction = entry.completed_fraction;
+  r.bootstrap_times.assign(entry.bootstraps, nan);
+  r.bootstrap_summary.count = entry.bootstraps;
+  r.bootstrap_summary.median = entry.median_bootstrap;
+  r.settled_fairness = entry.settled_fairness;
+  r.final_fairness_F = entry.fairness_F;
+  r.susceptibility = entry.susceptibility;
+  out.report = std::move(r);
+  out.report_json = entry.report_json;
+  out.has_report = true;
+  return out;
+}
+
+}  // namespace coopnet::exp

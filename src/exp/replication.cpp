@@ -32,22 +32,21 @@ MetricEstimate estimate(const std::vector<double>& samples) {
   return e;
 }
 
-ReplicatedReport run_replicated(const sim::SwarmConfig& config,
-                                std::size_t replications,
-                                std::uint64_t seed0, std::size_t jobs) {
-  if (replications < 1) {
-    throw std::invalid_argument("run_replicated: replications < 1");
-  }
-  ReplicatedReport out;
-  out.algorithm = config.algorithm;
-  out.replications = replications;
+namespace {
 
+/// Builds the R replication cells for `config` seeded from `seed0`.
+std::vector<sim::SwarmConfig> replication_cells(const sim::SwarmConfig& config,
+                                                std::size_t replications,
+                                                std::uint64_t seed0) {
   std::vector<sim::SwarmConfig> cells(replications, config);
   for (std::size_t r = 0; r < replications; ++r) {
     cells[r].seed = cell_seed(seed0, r);
   }
-  out.runs = run_cells(cells, jobs);
+  return cells;
+}
 
+/// Fills the per-metric estimates of `out` from out.runs.
+void fill_estimates(ReplicatedReport& out) {
   std::vector<double> mean_c, median_c, frac_c, boot, fair, fair_f, susc;
   for (const auto& report : out.runs) {
     if (!report.completion_times.empty()) {
@@ -76,6 +75,40 @@ ReplicatedReport run_replicated(const sim::SwarmConfig& config,
   out.settled_fairness = maybe(fair);
   out.fairness_F = maybe(fair_f);
   out.susceptibility = maybe(susc);
+}
+
+}  // namespace
+
+ReplicatedReport run_replicated(const sim::SwarmConfig& config,
+                                std::size_t replications,
+                                std::uint64_t seed0, std::size_t jobs) {
+  if (replications < 1) {
+    throw std::invalid_argument("run_replicated: replications < 1");
+  }
+  ReplicatedReport out;
+  out.algorithm = config.algorithm;
+  out.replications = replications;
+  out.runs = run_cells(replication_cells(config, replications, seed0), jobs);
+  fill_estimates(out);
+  return out;
+}
+
+SupervisedReplication run_replicated_supervised(
+    const sim::SwarmConfig& config, std::size_t replications,
+    std::uint64_t seed0, std::size_t jobs, const Supervision& supervision,
+    RunJournal* journal, const JournalIndex* resume) {
+  if (replications < 1) {
+    throw std::invalid_argument(
+        "run_replicated_supervised: replications < 1");
+  }
+  SupervisedReplication out;
+  out.sweep =
+      run_cells_supervised(replication_cells(config, replications, seed0),
+                           jobs, supervision, journal, resume);
+  out.aggregate.algorithm = config.algorithm;
+  out.aggregate.replications = replications;
+  out.aggregate.runs = out.sweep.ok_reports();
+  if (!out.aggregate.runs.empty()) fill_estimates(out.aggregate);
   return out;
 }
 

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "exp/supervise.h"
 #include "metrics/report.h"
 #include "sim/config.h"
 
@@ -56,5 +57,25 @@ ReplicatedReport run_replicated(const sim::SwarmConfig& config,
                                 std::size_t replications,
                                 std::uint64_t seed0 = 1,
                                 std::size_t jobs = 1);
+
+/// run_replicated under supervision: per-cell outcomes plus the aggregate
+/// over the cells that produced reports.
+struct SupervisedReplication {
+  /// Aggregated over every ok cell (fresh and journal-resumed -- the
+  /// journal's %.17g scalars make resumed aggregates bit-identical to an
+  /// uninterrupted run). `runs` holds those reports in replication order.
+  ReplicatedReport aggregate;
+  SweepResult sweep;
+};
+
+/// Supervised counterpart of run_replicated: failed/timed-out
+/// replications are quarantined instead of aborting the sweep, outcomes
+/// are journaled/resumed when `journal`/`resume` are given, and the
+/// aggregate covers the surviving replications. With no failures and no
+/// supervision triggers the aggregate equals run_replicated's exactly.
+SupervisedReplication run_replicated_supervised(
+    const sim::SwarmConfig& config, std::size_t replications,
+    std::uint64_t seed0, std::size_t jobs, const Supervision& supervision,
+    RunJournal* journal = nullptr, const JournalIndex* resume = nullptr);
 
 }  // namespace coopnet::exp

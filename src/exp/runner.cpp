@@ -40,13 +40,30 @@ sim::SwarmConfig with_freeriders(sim::SwarmConfig config, double fraction,
   return config;
 }
 
-std::vector<metrics::RunReport> run_all_algorithms(
-    const sim::SwarmConfig& base, std::size_t jobs) {
+namespace {
+
+std::vector<sim::SwarmConfig> algorithm_cells(const sim::SwarmConfig& base) {
   std::vector<sim::SwarmConfig> cells(core::kAllAlgorithms.size(), base);
   for (std::size_t i = 0; i < cells.size(); ++i) {
     cells[i].algorithm = core::kAllAlgorithms[i];
   }
-  return run_cells(cells, jobs);
+  return cells;
+}
+
+}  // namespace
+
+std::vector<metrics::RunReport> run_all_algorithms(
+    const sim::SwarmConfig& base, std::size_t jobs) {
+  return run_cells(algorithm_cells(base), jobs);
+}
+
+SweepResult run_all_algorithms_supervised(const sim::SwarmConfig& base,
+                                          std::size_t jobs,
+                                          const Supervision& supervision,
+                                          RunJournal* journal,
+                                          const JournalIndex* resume) {
+  return run_cells_supervised(algorithm_cells(base), jobs, supervision,
+                              journal, resume);
 }
 
 }  // namespace coopnet::exp

@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "exp/supervise.h"
 #include "metrics/report.h"
 #include "sim/config.h"
 
@@ -30,5 +31,14 @@ sim::SwarmConfig with_freeriders(sim::SwarmConfig config, double fraction,
 /// order and contents are identical for every jobs value.
 std::vector<metrics::RunReport> run_all_algorithms(
     const sim::SwarmConfig& base, std::size_t jobs = 1);
+
+/// Supervised counterpart of run_all_algorithms: a poisoned or runaway
+/// algorithm cell is quarantined into its CellOutcome and the remaining
+/// algorithms still run; outcomes are journaled/resumed when
+/// `journal`/`resume` are given (see exp/supervise.h).
+SweepResult run_all_algorithms_supervised(
+    const sim::SwarmConfig& base, std::size_t jobs,
+    const Supervision& supervision, RunJournal* journal = nullptr,
+    const JournalIndex* resume = nullptr);
 
 }  // namespace coopnet::exp

@@ -31,6 +31,10 @@ std::string SweepTiming::to_string() const {
   os.precision(3);
   os << cells << (cells == 1 ? " run in " : " runs in ") << wall_seconds
      << " s (" << throughput() << " runs/s, jobs=" << jobs << ")";
+  if (failed != 0 || skipped != 0) {
+    os << ", " << completed << " ok / " << failed << " failed";
+    if (skipped != 0) os << " / " << skipped << " skipped";
+  }
   return os.str();
 }
 
@@ -41,10 +45,20 @@ std::vector<metrics::RunReport> run_cells(
   const auto start = std::chrono::steady_clock::now();
 
   metrics::ReportCollector collector(cells.size());
+  std::exception_ptr first_error;
+  std::size_t failed = 0;
   if (jobs == 1 || cells.size() <= 1) {
-    // Sequential reference path: same cells, same slots, no threads.
+    // Sequential reference path: same cells, same slots, no threads. A
+    // failing cell still aborts the rest of the sweep (legacy contract);
+    // only the timing accounting survives.
     for (std::size_t i = 0; i < cells.size(); ++i) {
-      collector.store(i, run_scenario(cells[i]));
+      try {
+        collector.store(i, run_scenario(cells[i]));
+      } catch (...) {
+        first_error = std::current_exception();
+        failed = 1;
+        break;
+      }
     }
   } else {
     util::ThreadPool pool(std::min(jobs, cells.size()));
@@ -55,10 +69,16 @@ std::vector<metrics::RunReport> run_cells(
         collector.store(i, run_scenario(cells[i]));
       }));
     }
-    // get() rethrows the first failing cell's exception after all futures
-    // up to it have completed; remaining cells finish or are drained by
-    // the pool destructor before the exception propagates.
-    for (auto& f : pending) f.get();
+    // Drain every future so all cells finish (or fail) before the first
+    // failing cell's exception -- in submission order -- is rethrown.
+    for (auto& f : pending) {
+      try {
+        f.get();
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+        ++failed;
+      }
+    }
   }
 
   if (timing != nullptr) {
@@ -68,7 +88,11 @@ std::vector<metrics::RunReport> run_cells(
             .count();
     timing->cells = cells.size();
     timing->jobs = jobs;
+    timing->completed = collector.stored();
+    timing->failed = failed;
+    timing->skipped = cells.size() - collector.stored() - failed;
   }
+  if (first_error) std::rethrow_exception(first_error);
   return collector.take();
 }
 

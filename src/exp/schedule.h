@@ -34,10 +34,20 @@ struct SweepTiming {
   double wall_seconds = 0.0;
   std::size_t cells = 0;
   std::size_t jobs = 1;
+  /// Outcome counts. `completed` cells produced a report; `failed` threw
+  /// or were cancelled by a watchdog; `skipped` were resumed from a
+  /// journal or never started. Filled by run_cells (including when it
+  /// rethrows -- timing is never lost to a failing cell) and by
+  /// run_cells_supervised.
+  std::size_t completed = 0;
+  std::size_t failed = 0;
+  std::size_t skipped = 0;
 
   /// Cells completed per wall-clock second (0 if no time elapsed).
   double throughput() const;
-  /// e.g. "42 runs in 12.3 s (3.41 runs/s, jobs=8)".
+  /// e.g. "42 runs in 12.3 s (3.41 runs/s, jobs=8)". Degraded sweeps
+  /// (failed or skipped cells) append ", 40 ok / 2 failed"; fully
+  /// successful sweeps render exactly as before.
   std::string to_string() const;
 };
 
@@ -45,7 +55,9 @@ struct SweepTiming {
 /// order. `jobs == 1` runs inline on the calling thread (no threads are
 /// created); `jobs > 1` dispatches to a ThreadPool of min(jobs, cells)
 /// workers. `jobs == 0` means default_jobs(). The first exception thrown
-/// by any cell is rethrown. Optionally fills `timing`.
+/// by any cell is rethrown -- after `timing` (if given) has been filled,
+/// so partial-sweep accounting survives the failure. For sweeps that must
+/// outlive poisoned cells, use exp::run_cells_supervised (supervise.h).
 std::vector<metrics::RunReport> run_cells(
     const std::vector<sim::SwarmConfig>& cells, std::size_t jobs,
     SweepTiming* timing = nullptr);

@@ -1,0 +1,200 @@
+// Supervised sweep execution: per-cell watchdogs, failure quarantine, and
+// structured outcomes.
+//
+// exp::run_cells keeps its rethrow-first contract for unsupervised
+// sweeps; run_cells_supervised never lets one cell kill the sweep. Every
+// cell yields a CellOutcome -- ok with its RunReport, failed with the
+// exception text, timed-out when the wall-clock watchdog or event budget
+// cancelled it, or skipped (resumed from a journal, or never started
+// because the sweep was interrupted) -- and the remaining cells always
+// complete, so a poisoned or livelocked cell costs exactly its own data
+// point.
+//
+// Determinism contract: supervision is enforced cooperatively through
+// SimEngine::set_guard / set_event_limit / stop(). No extra events are
+// scheduled and no RNG is drawn, so a cell that finishes within its
+// limits is bit-identical to an unsupervised run, and an event-budget
+// cancellation lands after exactly the budgeted number of events.
+// Wall-clock cancellations are inherently non-deterministic in *where*
+// they land; the run journal (exp/journal.h) records what actually
+// happened either way.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exp/schedule.h"
+#include "metrics/report.h"
+#include "sim/config.h"
+#include "sim/engine.h"
+#include "util/cli.h"
+
+namespace coopnet::exp {
+
+class RunJournal;
+class JournalIndex;
+
+/// Per-cell resource limits plus sweep-level cancellation.
+struct Supervision {
+  /// Wall-clock budget per cell, in seconds; 0 disables the watchdog.
+  double cell_timeout = 0.0;
+  /// Engine-event budget per cell; 0 disables. Enforced exactly: a
+  /// breached cell stops after precisely this many events.
+  std::uint64_t event_budget = 0;
+  /// How often (in engine events) the wall-clock/cancellation guard runs.
+  std::uint64_t guard_every = 1024;
+  /// Optional sweep-level cancellation flag (signal handlers flip it);
+  /// checked by the guard and before each cell starts. May be null.
+  const std::atomic<bool>* cancel = nullptr;
+
+  /// True when any per-cell limit or a cancellation flag is configured.
+  bool any() const;
+  /// Throws std::invalid_argument (with the offending value) on
+  /// nonsensical knobs: negative/NaN cell_timeout, guard_every == 0.
+  void validate() const;
+};
+
+/// What happened to one (scenario, seed) cell.
+struct CellOutcome {
+  enum class Status {
+    kOk,        // ran to completion; `report` is valid
+    kFailed,    // threw; `error` holds the exception text
+    kTimedOut,  // cancelled by the wall-clock watchdog or event budget
+    kSkipped,   // resumed from a journal entry, or never ran (interrupt)
+  };
+
+  Status status = Status::kSkipped;
+  std::size_t index = 0;      // position in the sweep's cell list
+  std::uint64_t seed = 0;     // the cell's SwarmConfig::seed
+  std::string algorithm;      // core::to_string of the cell's algorithm
+  /// Diagnostic for non-ok cells: exception text, which budget fired, or
+  /// why the cell never ran.
+  std::string error;
+  double wall_seconds = 0.0;
+  std::uint64_t events = 0;   // engine events processed before returning
+  /// True when this outcome was restored from a run journal rather than
+  /// executed. `report` then carries only the scalar metrics (enough for
+  /// aggregate tables); the series arrays are placeholder NaNs.
+  bool from_journal = false;
+  bool has_report = false;
+  metrics::RunReport report;
+  /// The exact metrics::to_json(report) bytes. Journal-resumed cells
+  /// restore the bytes recorded by the original run, which is what keeps
+  /// a resumed sweep's merged JSON byte-identical to an uninterrupted
+  /// one.
+  std::string report_json;
+
+  bool ok() const { return status == Status::kOk; }
+};
+
+/// "ok" / "failed" / "timed-out" / "skipped".
+const char* to_string(CellOutcome::Status status);
+/// Inverse of to_string; throws std::invalid_argument on unknown names.
+CellOutcome::Status status_from_string(const std::string& name);
+
+/// A supervised sweep's full result: one outcome per cell, input order.
+struct SweepResult {
+  std::vector<CellOutcome> outcomes;
+  SweepTiming timing;
+
+  std::size_t count(CellOutcome::Status status) const;
+  /// Outcomes restored from a journal (subset of their own statuses).
+  std::size_t resumed() const;
+  /// True when every cell is ok (fresh or resumed).
+  bool complete() const;
+  /// Reports of the ok cells, in input order (journal-resumed cells
+  /// contribute their scalar-only stub reports).
+  std::vector<metrics::RunReport> ok_reports() const;
+  /// One line per non-ok cell, e.g.
+  /// "  cell 3 (T-Chain, seed 42): timed-out: wall-clock timeout ...".
+  std::string degradation_summary() const;
+  /// JSON array of the per-cell reports, byte-identical to
+  /// metrics::to_json(reports) when every cell is ok; non-ok cells emit
+  /// null in their slot.
+  std::string merged_json() const;
+};
+
+/// Installs the Supervision watchdogs on an engine (RAII-style: construct
+/// before Swarm::run, query after). The guard closes over this object, so
+/// it must outlive the run and stay at a fixed address.
+class CellGuard {
+ public:
+  CellGuard(sim::SimEngine& engine, const Supervision& supervision);
+  CellGuard(const CellGuard&) = delete;
+  CellGuard& operator=(const CellGuard&) = delete;
+
+  /// Classification of a finished run: kOk when no limit fired,
+  /// kTimedOut for the event budget or wall-clock watchdog, kSkipped when
+  /// the sweep-level cancel flag stopped it mid-run.
+  CellOutcome::Status status() const;
+  /// Human-readable reason for a non-ok status ("" when ok).
+  std::string reason() const;
+
+ private:
+  sim::SimEngine& engine_;
+  double cell_timeout_;
+  std::uint64_t event_budget_;
+  std::chrono::steady_clock::time_point start_;
+  bool timed_out_ = false;
+  bool interrupted_ = false;
+};
+
+/// Runs one cell under supervision. Cell errors never escape: every
+/// failure mode is folded into the returned CellOutcome.
+CellOutcome run_supervised_cell(std::size_t index,
+                                const sim::SwarmConfig& config,
+                                const Supervision& supervision);
+
+/// Supervised counterpart of run_cells. Every cell yields an outcome, no
+/// exception escapes a cell, and the remaining cells always complete
+/// (quarantine). With `journal`, each terminal outcome (ok / failed /
+/// timed-out) is appended and fsync'd as it lands; with `resume`,
+/// journaled cells are skipped and their recorded outcomes merged back in
+/// input order. Scheduling matches run_cells: jobs == 1 runs inline,
+/// jobs > 1 uses a ThreadPool, jobs == 0 means default_jobs(), and
+/// results are bit-identical across jobs values.
+SweepResult run_cells_supervised(const std::vector<sim::SwarmConfig>& cells,
+                                 std::size_t jobs,
+                                 const Supervision& supervision,
+                                 RunJournal* journal = nullptr,
+                                 const JournalIndex* resume = nullptr);
+
+/// The supervised-sweep flags shared by coopnet_run and the figure/churn
+/// benches: --cell-timeout, --event-budget, --journal, --resume.
+struct SweepControl {
+  Supervision supervision;
+  /// Journal to write ("" = none). --resume implies journaling new
+  /// outcomes into the same file.
+  std::string journal_path;
+  /// Journal to resume from ("" = fresh sweep).
+  std::string resume_path;
+
+  /// True when any supervised-sweep flag was given.
+  bool active() const;
+};
+
+/// Parses and validates the supervised-sweep flags, rejecting
+/// negative/NaN --cell-timeout and zero --event-budget with actionable
+/// messages. Throws std::invalid_argument.
+SweepControl sweep_control_from_cli(const util::Cli& cli);
+
+/// The opened journal/resume pair for one sweep.
+struct SweepJournal {
+  std::unique_ptr<RunJournal> journal;
+  std::unique_ptr<JournalIndex> resume;
+};
+
+/// Opens (or resumes) the journal described by `control` for a sweep of
+/// `cells` cells seeded from `base_seed`. A fresh --journal truncates the
+/// file and writes the sweep header; --resume validates the existing
+/// header against (cells, base_seed) and reopens for append. Throws
+/// std::invalid_argument on a header mismatch (journal from a different
+/// command line).
+SweepJournal open_sweep_journal(const SweepControl& control,
+                                std::size_t cells, std::uint64_t base_seed);
+
+}  // namespace coopnet::exp

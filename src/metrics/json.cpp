@@ -205,6 +205,65 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+std::string json_unescape(const std::string& s) {
+  auto hex = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 >= s.size()) {
+      out += s[i];
+      continue;
+    }
+    const char e = s[++i];
+    switch (e) {
+      case '"':
+        out += '"';
+        break;
+      case '\\':
+        out += '\\';
+        break;
+      case 'n':
+        out += '\n';
+        break;
+      case 'r':
+        out += '\r';
+        break;
+      case 't':
+        out += '\t';
+        break;
+      case 'u': {
+        int code = 0;
+        bool valid = i + 4 < s.size();
+        for (std::size_t k = 1; valid && k <= 4; ++k) {
+          const int d = hex(s[i + k]);
+          if (d < 0) {
+            valid = false;
+          } else {
+            code = code * 16 + d;
+          }
+        }
+        if (valid && code < 0x100) {
+          out += static_cast<char>(code);
+          i += 4;
+        } else {
+          out += "\\u";  // not ours; keep literal
+        }
+        break;
+      }
+      default:
+        // Unknown escape: keep both characters literally.
+        out += '\\';
+        out += e;
+    }
+  }
+  return out;
+}
+
 std::string to_json(const RunReport& report, int indent) {
   Writer w(indent);
   report_body(w, report);

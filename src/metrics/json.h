@@ -20,4 +20,10 @@ std::string to_json(const std::vector<RunReport>& reports, int indent = 2);
 /// Escapes a string for embedding in JSON (quotes, control characters).
 std::string json_escape(const std::string& s);
 
+/// Inverse of json_escape: decodes \" \\ \n \r \t and \uXXXX (only
+/// code points below 0x100 -- json_escape never emits larger ones).
+/// Malformed escapes are passed through literally rather than rejected;
+/// json_unescape(json_escape(s)) == s for every byte string s.
+std::string json_unescape(const std::string& s);
+
 }  // namespace coopnet::metrics

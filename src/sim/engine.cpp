@@ -94,6 +94,36 @@ void SimEngine::sift_down_from_root(Seconds time, Meta m) {
   meta_[i] = m;
 }
 
+void SimEngine::set_event_limit(std::uint64_t limit) {
+  event_limit_ = limit;
+  limit_hit_ = false;
+  supervised_ = event_limit_ != 0 || guard_every_ != 0;
+}
+
+void SimEngine::set_guard(std::uint64_t every, std::function<void()> fn) {
+  if (every == 0 || !fn) {
+    guard_every_ = 0;
+    guard_fn_ = nullptr;
+  } else {
+    guard_every_ = every;
+    guard_fn_ = std::move(fn);
+  }
+  guard_tick_ = 0;
+  supervised_ = event_limit_ != 0 || guard_every_ != 0;
+}
+
+void SimEngine::after_event() {
+  if (event_limit_ != 0 && processed_ >= event_limit_) {
+    limit_hit_ = true;
+    stopped_ = true;  // sticky, like stop(): later runs stay cancelled
+    return;
+  }
+  if (guard_every_ != 0 && ++guard_tick_ >= guard_every_) {
+    guard_tick_ = 0;
+    guard_fn_();
+  }
+}
+
 void SimEngine::run() {
   while (times_.size() > kRoot && !stopped_) {
     Seconds at;
@@ -103,6 +133,7 @@ void SimEngine::run() {
     now_ = at;
     ++processed_;
     fn();
+    if (supervised_) after_event();
   }
 }
 
@@ -113,6 +144,7 @@ void SimEngine::run_until(Seconds deadline) {
     now_ = at;
     ++processed_;
     fn();
+    if (supervised_) after_event();
   }
   if (!stopped_ && now_ < deadline) now_ = deadline;
 }

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "sim/event_fn.h"
@@ -62,6 +63,29 @@ class SimEngine {
   std::size_t pending() const { return times_.size() - kRoot; }
   std::uint64_t events_processed() const { return processed_; }
 
+  // --- cooperative supervision hooks (see exp/supervise.h) ---------------
+  // Both hooks run on the cold after-event path, guarded by one branch in
+  // the hot loops. Neither schedules events nor draws RNG, so a run whose
+  // limits never trigger is bit-identical to an unsupervised run.
+
+  /// Stops the run loops (sticky, exactly like stop()) once
+  /// events_processed() reaches `limit`; 0 disables. The check runs after
+  /// every event, so a budget-cancelled run stops after precisely `limit`
+  /// events -- deterministic run-to-run. Setting a new limit clears the
+  /// event_limit_hit() flag (but not a pending stop).
+  void set_event_limit(std::uint64_t limit);
+  /// True when the last stop was raised by the event limit (stop() and
+  /// guard-initiated stops leave it false).
+  bool event_limit_hit() const { return limit_hit_; }
+
+  /// Installs `fn` to run after every `every`-th processed event; the
+  /// guard may call stop() (wall-clock watchdogs, cancellation flags).
+  /// It must not schedule events or draw from the simulation's RNG --
+  /// either would perturb event sequence numbers or random streams and
+  /// break the bit-identical-when-untriggered contract. `every == 0` or
+  /// an empty fn removes the guard.
+  void set_guard(std::uint64_t every, std::function<void()> fn);
+
  private:
   /// The heap root lives at index 3 (indices 0-2 are dead padding): with
   /// children of i at [4i-8, 4i-5], every sibling group starts at an index
@@ -75,6 +99,10 @@ class SimEngine {
     std::uint64_t seq;
     std::uint32_t slot;
   };
+
+  /// Supervision bookkeeping (event limit + guard cadence), kept out of
+  /// the hot loop body behind the single `supervised_` branch.
+  void after_event();
 
   void push_entry(Seconds at, EventFn fn);
   /// Pops the root entry, frees its pool slot, and returns the callback.
@@ -96,6 +124,14 @@ class SimEngine {
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
   bool stopped_ = false;
+
+  // Supervision state (cold; only `supervised_` is read per event).
+  std::function<void()> guard_fn_;
+  std::uint64_t event_limit_ = 0;
+  std::uint64_t guard_every_ = 0;
+  std::uint64_t guard_tick_ = 0;
+  bool limit_hit_ = false;
+  bool supervised_ = false;
 };
 
 }  // namespace coopnet::sim

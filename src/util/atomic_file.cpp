@@ -1,0 +1,76 @@
+#include "util/atomic_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <system_error>
+
+namespace coopnet::util {
+
+namespace {
+
+[[noreturn]] void fail(int err, const std::string& what,
+                       const std::string& path) {
+  throw std::system_error(err, std::generic_category(), what + ": " + path);
+}
+
+}  // namespace
+
+void write_file_atomic(const std::string& path, std::string_view content) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+  // The pid suffix keeps concurrent writers (e.g. parallel test shards
+  // regenerating the same golden) from clobbering each other's temp file.
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail(errno, "write_file_atomic: cannot create temp file", tmp);
+
+  const char* p = content.data();
+  std::size_t left = content.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      fail(err, "write_file_atomic: write failed", tmp);
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+
+  // Data must be durable before the rename publishes it, or a crash could
+  // expose a renamed-but-empty file.
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    fail(err, "write_file_atomic: fsync failed", tmp);
+  }
+  if (::close(fd) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    fail(err, "write_file_atomic: close failed", tmp);
+  }
+
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    fail(err, "write_file_atomic: rename failed", path);
+  }
+
+  // Persist the rename itself. Best-effort: some filesystems refuse
+  // O_DIRECTORY opens, and the data rename above is already atomic.
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+}  // namespace coopnet::util

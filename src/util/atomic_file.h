@@ -1,0 +1,20 @@
+// Crash-safe artifact writes: temp file in the target directory, fsync,
+// rename(2) over the destination, then fsync the directory. A reader (or
+// a crash at any instant) sees either the complete old contents or the
+// complete new contents -- never a torn mix. Every artifact writer in the
+// repo (RunReport JSON, bench --json-out, golden files) routes through
+// this helper; only append-only streams (run journals, trace sinks) are
+// exempt, because their formats tolerate a torn trailing record.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace coopnet::util {
+
+/// Atomically replaces `path` with `content`. Throws std::system_error
+/// (with errno context) if any step fails; on failure the temp file is
+/// removed and the destination is untouched.
+void write_file_atomic(const std::string& path, std::string_view content);
+
+}  // namespace coopnet::util

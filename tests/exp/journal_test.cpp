@@ -1,0 +1,277 @@
+// Crash-safe run journals: fsync'd JSONL records, torn-line tolerance,
+// and the bit-identical --resume merge.
+//
+// The core guarantee under test: truncate a journal anywhere (the
+// SIGKILL case), resume the sweep, and the merged JSON and replication
+// aggregates are byte/bit-identical to the uninterrupted run.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exp/journal.h"
+#include "exp/replication.h"
+#include "exp/schedule.h"
+#include "exp/supervise.h"
+#include "metrics/json.h"
+
+namespace coopnet::exp {
+namespace {
+
+sim::SwarmConfig small_cell(core::Algorithm algo, std::uint64_t seed) {
+  auto config = sim::SwarmConfig::small(algo, seed);
+  config.n_peers = 30;
+  config.file_bytes = 1LL * 1024 * 1024;
+  return config;
+}
+
+std::vector<sim::SwarmConfig> replication_cells(std::size_t reps,
+                                                std::uint64_t seed0) {
+  std::vector<sim::SwarmConfig> cells;
+  for (std::size_t i = 0; i < reps; ++i) {
+    cells.push_back(small_cell(core::Algorithm::kBitTorrent,
+                               cell_seed(seed0, i)));
+  }
+  return cells;
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+// Keeps the first `keep_lines` newline-terminated lines of `path`.
+void truncate_to_lines(const std::string& path, std::size_t keep_lines) {
+  const std::string content = read_file(path);
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < keep_lines; ++i) {
+    pos = content.find('\n', pos);
+    ASSERT_NE(pos, std::string::npos);
+    ++pos;
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content.substr(0, pos);
+}
+
+TEST(RunJournal, RoundTripsOutcomesExactly) {
+  const auto cells = replication_cells(3, 7);
+  const std::string path = temp_path("journal_roundtrip.jsonl");
+  {
+    RunJournal journal(path, RunJournal::Mode::kTruncate);
+    journal.write_header(cells.size(), 7);
+    const auto sweep =
+        run_cells_supervised(cells, 1, Supervision{}, &journal, nullptr);
+    ASSERT_TRUE(sweep.complete());
+    EXPECT_EQ(journal.records_written(), cells.size());
+
+    const auto index = JournalIndex::load(path);
+    EXPECT_EQ(index.size(), cells.size());
+    EXPECT_EQ(index.sweep_cells(), cells.size());
+    EXPECT_EQ(index.base_seed(), 7u);
+    EXPECT_EQ(index.torn_lines(), 0u);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const JournalEntry* entry = index.find(i);
+      ASSERT_NE(entry, nullptr) << "cell " << i;
+      EXPECT_EQ(entry->seed, cells[i].seed);
+      EXPECT_EQ(entry->algorithm, "BitTorrent");
+      EXPECT_EQ(entry->status, CellOutcome::Status::kOk);
+      // The exact rendered bytes survive the escape/unescape round trip.
+      EXPECT_EQ(entry->report_json, sweep.outcomes[i].report_json);
+      // Scalars round-trip bit-exactly at %.17g.
+      const auto& r = sweep.outcomes[i].report;
+      EXPECT_EQ(entry->compliant_population, r.compliant_population);
+      EXPECT_EQ(entry->completions, r.completion_times.size());
+      EXPECT_EQ(entry->mean_completion, r.completion_summary.mean);
+      EXPECT_EQ(entry->median_completion, r.completion_summary.median);
+      EXPECT_EQ(entry->completed_fraction, r.completed_fraction);
+      EXPECT_EQ(entry->median_bootstrap, r.bootstrap_summary.median);
+      EXPECT_EQ(entry->settled_fairness, r.settled_fairness);
+      EXPECT_EQ(entry->fairness_F, r.final_fairness_F);
+      EXPECT_EQ(entry->susceptibility, r.susceptibility);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(RunJournal, NonOkOutcomesJournalTheirDiagnostics) {
+  auto cells = replication_cells(2, 9);
+  cells[1].n_peers = 0;  // poison
+  const std::string path = temp_path("journal_failures.jsonl");
+  {
+    RunJournal journal(path, RunJournal::Mode::kTruncate);
+    journal.write_header(cells.size(), 9);
+    run_cells_supervised(cells, 1, Supervision{}, &journal, nullptr);
+  }
+  const auto index = JournalIndex::load(path);
+  const JournalEntry* failed = index.find(1);
+  ASSERT_NE(failed, nullptr);
+  EXPECT_EQ(failed->status, CellOutcome::Status::kFailed);
+  EXPECT_FALSE(failed->error.empty());
+  EXPECT_TRUE(failed->report_json.empty());
+
+  // A failed record resumes as a failed outcome, not a silent gap.
+  const auto outcome = outcome_from_journal(*failed, cells[1]);
+  EXPECT_EQ(outcome.status, CellOutcome::Status::kFailed);
+  EXPECT_TRUE(outcome.from_journal);
+  EXPECT_FALSE(outcome.has_report);
+  std::remove(path.c_str());
+}
+
+TEST(RunJournal, ResumeAfterTruncationMergesByteIdentically) {
+  const auto cells = replication_cells(4, 11);
+  const std::string path = temp_path("journal_resume.jsonl");
+
+  // Uninterrupted reference.
+  const auto reference =
+      run_cells_supervised(cells, 1, Supervision{}, nullptr, nullptr);
+  ASSERT_TRUE(reference.complete());
+
+  // Full journaled run, then simulate a crash after two records landed.
+  {
+    RunJournal journal(path, RunJournal::Mode::kTruncate);
+    journal.write_header(cells.size(), 11);
+    run_cells_supervised(cells, 1, Supervision{}, &journal, nullptr);
+  }
+  truncate_to_lines(path, 3);  // header + 2 cells
+
+  const auto index = JournalIndex::load(path);
+  EXPECT_EQ(index.size(), 2u);
+  RunJournal journal(path, RunJournal::Mode::kAppend);
+  const auto resumed =
+      run_cells_supervised(cells, 2, Supervision{}, &journal, &index);
+
+  EXPECT_EQ(resumed.resumed(), 2u);
+  EXPECT_TRUE(resumed.complete());
+  EXPECT_EQ(resumed.merged_json(), reference.merged_json());
+  // The resumed journal is whole again: a second resume has all 4 cells.
+  EXPECT_EQ(JournalIndex::load(path).size(), cells.size());
+  std::remove(path.c_str());
+}
+
+TEST(RunJournal, ToleratesATornTrailingLine) {
+  const auto cells = replication_cells(2, 13);
+  const std::string path = temp_path("journal_torn.jsonl");
+  {
+    RunJournal journal(path, RunJournal::Mode::kTruncate);
+    journal.write_header(cells.size(), 13);
+    run_cells_supervised(cells, 1, Supervision{}, &journal, nullptr);
+  }
+  // A SIGKILL mid-write leaves a partial record with no trailing newline.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << R"({"kind":"cell","index":1,"seed":12)";
+  }
+  const auto index = JournalIndex::load(path);
+  EXPECT_EQ(index.size(), 2u);
+  EXPECT_EQ(index.torn_lines(), 1u);
+}
+
+TEST(RunJournal, LoadRejectsMissingOrHeaderlessFiles) {
+  EXPECT_THROW(JournalIndex::load(temp_path("does_not_exist.jsonl")),
+               std::runtime_error);
+
+  const std::string path = temp_path("journal_headerless.jsonl");
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "not a journal\n";
+  }
+  EXPECT_THROW(JournalIndex::load(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(RunJournal, ResumeRejectsRecordsFromADifferentSweep) {
+  const auto cells = replication_cells(2, 17);
+  const std::string path = temp_path("journal_mismatch.jsonl");
+  {
+    RunJournal journal(path, RunJournal::Mode::kTruncate);
+    journal.write_header(cells.size(), 17);
+    run_cells_supervised(cells, 1, Supervision{}, &journal, nullptr);
+  }
+  const auto index = JournalIndex::load(path);
+  const JournalEntry* entry = index.find(0);
+  ASSERT_NE(entry, nullptr);
+
+  // Wrong seed: this journal record belongs to a different schedule.
+  auto wrong_seed = cells[0];
+  wrong_seed.seed += 1;
+  EXPECT_THROW(outcome_from_journal(*entry, wrong_seed),
+               std::invalid_argument);
+
+  // Wrong algorithm, same seed.
+  auto wrong_algo = cells[0];
+  wrong_algo.algorithm = core::Algorithm::kAltruism;
+  EXPECT_THROW(outcome_from_journal(*entry, wrong_algo),
+               std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+TEST(OpenSweepJournal, RejectsAHeaderFromADifferentCommandLine) {
+  const std::string path = temp_path("journal_header_mismatch.jsonl");
+  {
+    RunJournal journal(path, RunJournal::Mode::kTruncate);
+    journal.write_header(4, 11);
+  }
+  SweepControl control;
+  control.resume_path = path;
+  control.journal_path = path;
+  EXPECT_NO_THROW(open_sweep_journal(control, 4, 11));
+  EXPECT_THROW(open_sweep_journal(control, 5, 11), std::invalid_argument);
+  EXPECT_THROW(open_sweep_journal(control, 4, 12), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+TEST(RunReplicatedSupervised, ResumedAggregatesAreBitIdentical) {
+  const auto config = small_cell(core::Algorithm::kBitTorrent, 21);
+  const std::size_t reps = 4;
+
+  const auto reference =
+      run_replicated(config, reps, /*seed0=*/21, /*jobs=*/1);
+
+  const std::string path = temp_path("journal_aggregate.jsonl");
+  {
+    RunJournal journal(path, RunJournal::Mode::kTruncate);
+    journal.write_header(reps, 21);
+    run_replicated_supervised(config, reps, 21, 1, Supervision{}, &journal,
+                              nullptr);
+  }
+  truncate_to_lines(path, 3);  // header + 2 replications
+
+  const auto index = JournalIndex::load(path);
+  RunJournal journal(path, RunJournal::Mode::kAppend);
+  const auto resumed = run_replicated_supervised(config, reps, 21, 2,
+                                                 Supervision{}, &journal,
+                                                 &index);
+
+  ASSERT_TRUE(resumed.sweep.complete());
+  EXPECT_EQ(resumed.sweep.resumed(), 2u);
+  EXPECT_EQ(resumed.sweep.merged_json(), metrics::to_json(reference.runs));
+  // Aggregates recomputed over the journal stubs match bit-for-bit: the
+  // scalars were stored at %.17g.
+  EXPECT_EQ(resumed.aggregate.completed_fraction.mean,
+            reference.completed_fraction.mean);
+  EXPECT_EQ(resumed.aggregate.mean_completion.mean,
+            reference.mean_completion.mean);
+  EXPECT_EQ(resumed.aggregate.mean_completion.ci95_half_width,
+            reference.mean_completion.ci95_half_width);
+  EXPECT_EQ(resumed.aggregate.median_bootstrap.mean,
+            reference.median_bootstrap.mean);
+  EXPECT_EQ(resumed.aggregate.settled_fairness.mean,
+            reference.settled_fairness.mean);
+  EXPECT_EQ(resumed.aggregate.fairness_F.mean, reference.fairness_F.mean);
+  EXPECT_EQ(resumed.aggregate.susceptibility.mean,
+            reference.susceptibility.mean);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace coopnet::exp

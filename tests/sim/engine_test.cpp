@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
 
 namespace coopnet::sim {
@@ -114,6 +115,72 @@ TEST(SimEngine, RunUntilWithEmptyQueueAdvancesClock) {
   SimEngine e;
   e.run_until(7.0);
   EXPECT_EQ(e.now(), 7.0);
+}
+
+// A self-rescheduling chain that would run forever without supervision.
+// (EventFn is move-only, so the recursion goes through a functor that
+// schedules a fresh copy of itself.)
+struct Ticker {
+  SimEngine* e;
+  void operator()() const { e->schedule(1.0, Ticker{e}); }
+};
+
+TEST(SimEngine, EventLimitStopsAfterExactlyNEvents) {
+  SimEngine e;
+  e.schedule(1.0, Ticker{&e});
+  e.set_event_limit(5);
+  e.run();
+  EXPECT_EQ(e.events_processed(), 5u);
+  EXPECT_TRUE(e.event_limit_hit());
+  EXPECT_TRUE(e.stopped());
+
+  // Sticky like stop(): another run() without a reset does nothing.
+  e.run();
+  EXPECT_EQ(e.events_processed(), 5u);
+
+  // Raising the limit and clearing the stop resumes the same chain; the
+  // new limit is again exact.
+  e.set_event_limit(8);
+  EXPECT_FALSE(e.event_limit_hit());
+  e.reset_stop();
+  e.run();
+  EXPECT_EQ(e.events_processed(), 8u);
+  EXPECT_TRUE(e.event_limit_hit());
+}
+
+TEST(SimEngine, GuardRunsAtItsCadenceAndCanStopTheRun) {
+  SimEngine e;
+  e.schedule(1.0, Ticker{&e});
+  int guard_calls = 0;
+  e.set_guard(3, [&] {
+    if (++guard_calls == 4) e.stop();
+  });
+  e.run();
+  // Guard fires after events 3, 6, 9, 12; the fourth call stops the run.
+  EXPECT_EQ(guard_calls, 4);
+  EXPECT_EQ(e.events_processed(), 12u);
+  // A guard-initiated stop is a plain stop, not an event-limit hit.
+  EXPECT_FALSE(e.event_limit_hit());
+}
+
+TEST(SimEngine, GuardDoesNotPerturbEventOrderOrClock) {
+  // Identical schedules with and without an (inert) guard must pop in the
+  // same order at the same times -- supervision must be invisible when it
+  // does not fire.
+  const auto run_trace = [](bool with_guard) {
+    SimEngine e;
+    if (with_guard) e.set_guard(2, [] {});
+    std::vector<std::pair<double, int>> trace;
+    for (int i = 0; i < 6; ++i) {
+      // Ties at t=1.0 and t=2.0 exercise the seq tie-break.
+      e.schedule(1.0 + (i % 2), [&trace, &e, i] {
+        trace.emplace_back(e.now(), i);
+      });
+    }
+    e.run();
+    return trace;
+  };
+  EXPECT_EQ(run_trace(false), run_trace(true));
 }
 
 }  // namespace

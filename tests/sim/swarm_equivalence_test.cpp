@@ -33,6 +33,7 @@
 #include "sim/faults.h"
 #include "sim/swarm.h"
 #include "strategy/factory.h"
+#include "util/atomic_file.h"
 
 #ifndef COOPNET_GOLDEN_DIR
 #error "COOPNET_GOLDEN_DIR must point at tests/golden"
@@ -147,9 +148,10 @@ bool read_file(const std::string& path, std::string& out) {
 }
 
 void write_file(const std::string& path, const std::string& contents) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  ASSERT_TRUE(out) << "cannot write " << path;
-  out << contents;
+  // Atomic (temp + rename): an interrupted regen can't leave a torn
+  // golden file that every later run would diff against.
+  ASSERT_NO_THROW(util::write_file_atomic(path, contents))
+      << "cannot write " << path;
 }
 
 std::string trace_meta(const CellResult& r) {

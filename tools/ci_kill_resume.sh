@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# CI kill-and-resume leg: SIGKILL a journaled churn sweep mid-flight,
+# resume it, and require the merged JSON to be byte-identical to an
+# uninterrupted reference run. Exercises the crash-safe run journal end
+# to end: fsync'd per-cell records, torn-trailing-line tolerance, and the
+# bit-identical --resume merge (DESIGN.md "Crash-safety & resumability").
+#
+# Usage: tools/ci_kill_resume.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BUILD_DIR=${1:-build}
+SWEEP="$BUILD_DIR/bench/fig_churn_sweep"
+# Scale chosen so the full matrix takes ~1 s: long enough for the kill to
+# land mid-flight, short enough for CI.
+ARGS=(--n 150 --file-mb 8 --jobs 2 --seed 11 --cell-timeout 300)
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+cell_count() {
+  grep -c '"kind":"cell"' "$1" 2>/dev/null || true
+}
+
+echo "== reference: uninterrupted supervised churn sweep"
+"$SWEEP" "${ARGS[@]}" --journal "$tmp/ref.jsonl" --json-out "$tmp/ref.json" \
+  > /dev/null
+
+echo "== victim: SIGKILL mid-sweep"
+"$SWEEP" "${ARGS[@]}" --journal "$tmp/run.jsonl" --json-out "$tmp/run.json" \
+  > /dev/null 2>&1 &
+pid=$!
+for _ in $(seq 1 3000); do
+  cells=$(cell_count "$tmp/run.jsonl")
+  [ "${cells:-0}" -ge 3 ] && break
+  sleep 0.01
+done
+kill -9 "$pid" 2> /dev/null || true
+wait "$pid" 2> /dev/null || true
+echo "   journal holds $(cell_count "$tmp/run.jsonl") completed cells at kill time"
+
+echo "== resume the interrupted sweep"
+"$SWEEP" "${ARGS[@]}" --resume "$tmp/run.jsonl" --json-out "$tmp/run.json" \
+  > /dev/null
+
+echo "== diff merged JSON against the uninterrupted reference"
+cmp "$tmp/ref.json" "$tmp/run.json"
+echo "kill-and-resume: merged JSON is byte-identical to the uninterrupted run"

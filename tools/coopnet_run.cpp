@@ -8,20 +8,26 @@
 //               --attack collusion --large-view --reps 5
 //
 // Run with --help for the full flag list.
+#include <csignal>
+
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
 
+#include "exp/journal.h"
 #include "exp/replication.h"
 #include "exp/runner.h"
 #include "exp/schedule.h"
+#include "exp/supervise.h"
 #include "metrics/json.h"
 #include "metrics/trace_log.h"
 #include "metrics/trace_sink.h"
 #include "sim/auditor.h"
 #include "sim/swarm.h"
 #include "strategy/factory.h"
+#include "util/atomic_file.h"
 #include "util/cli.h"
 #include "util/table.h"
 
@@ -65,6 +71,15 @@ faults / observability:
   --audit-every N      audit cadence in swarm events (default 1)
   --trace-out FILE     stream the event trace to FILE as JSON lines
                        (bounded memory, flushed per event; single run)
+supervision / crash-safety (DESIGN.md "Crash-safety & resumability"):
+  --cell-timeout S     wall-clock watchdog per run; a run exceeding it is
+                       cancelled deterministically and quarantined
+  --event-budget N     cancel a run after exactly N engine events
+  --journal FILE       append each completed replication to FILE as an
+                       fsync'd JSON line (requires --reps >= 2)
+  --resume FILE        skip replications already journaled in FILE and
+                       merge their results bit-identically (implies
+                       --journal FILE; requires --reps >= 2)
 output:
   --reps R             replications (mean +/- 95% CI; default 1)
   --jobs J             replications run concurrently (default: all
@@ -72,8 +87,33 @@ output:
                        bit-identical for every J)
   --seed S             base seed (default 7)
   --json               print the full RunReport(s) as JSON
+  --json-out FILE      write the JSON report(s) to FILE atomically
+                       (temp file + fsync + rename; never torn)
   --trace              print the transfer trace CSV (single run only)
+
+exit codes: 0 ok; 1 error; 3 degraded (some cells quarantined, the rest
+completed); 128+signal on SIGINT/SIGTERM (journal already flushed --
+rerun with --resume FILE to finish the sweep).
 )";
+
+// SIGINT/SIGTERM flip the flag the cell guards poll; in-flight cells then
+// cancel at their next guard tick, the sweep drains (the journal is
+// fsync'd per record, so nothing is lost), and main exits 128+signum.
+std::atomic<bool> g_cancel{false};
+volatile std::sig_atomic_t g_signal = 0;
+
+void handle_signal(int signum) {
+  g_signal = signum;
+  g_cancel.store(true, std::memory_order_relaxed);
+}
+
+void install_signal_handlers() {
+  struct sigaction sa{};
+  sa.sa_handler = handle_signal;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
 
 sim::SwarmConfig config_from(const util::Cli& cli) {
   sim::SwarmConfig config;
@@ -166,38 +206,117 @@ sim::SwarmConfig config_from(const util::Cli& cli) {
   return config;
 }
 
+// Renders the replication aggregate table shared by the legacy and
+// supervised --reps paths.
+void print_aggregate(const std::string& title,
+                     const exp::ReplicatedReport& rep, double wall,
+                     std::size_t reps, std::size_t jobs) {
+  util::Table table(title);
+  table.set_header({"metric", "mean +/- 95% CI"});
+  table.add_row({"completed fraction",
+                 rep.completed_fraction.to_string()});
+  table.add_row({"mean completion (s)", rep.mean_completion.to_string()});
+  table.add_row({"median bootstrap (s)",
+                 rep.median_bootstrap.to_string()});
+  table.add_row({"settled fairness (u/d)",
+                 rep.settled_fairness.to_string()});
+  table.add_row({"fairness F", rep.fairness_F.to_string()});
+  table.add_row({"susceptibility", rep.susceptibility.to_string()});
+  std::printf("%s", table.render().c_str());
+  std::printf("replication wall-clock: %.3f s (%zu runs, %.3f runs/s, "
+              "jobs=%zu)\n",
+              wall, reps, wall > 0.0 ? static_cast<double>(reps) / wall : 0.0,
+              jobs);
+}
+
+// --reps with any supervision flag: per-replication watchdogs, quarantine,
+// journal/resume, and SIGINT/SIGTERM draining to exit 128+signum.
+int run_replicated_supervised_cli(const util::Cli& cli,
+                                  const sim::SwarmConfig& config,
+                                  std::size_t reps, std::size_t jobs,
+                                  const exp::SweepControl& control) {
+  exp::SweepJournal sj = exp::open_sweep_journal(control, reps, config.seed);
+  if (sj.resume != nullptr) {
+    std::fprintf(stderr,
+                 "resume: %zu of %zu replications journaled in %s%s\n",
+                 sj.resume->size(), reps, control.resume_path.c_str(),
+                 sj.resume->torn_lines() > 0 ? " (torn trailing line dropped)"
+                                             : "");
+  }
+  exp::Supervision supervision = control.supervision;
+  supervision.cancel = &g_cancel;
+  install_signal_handlers();
+  const auto t0 = std::chrono::steady_clock::now();
+  const exp::SupervisedReplication out = exp::run_replicated_supervised(
+      config, reps, config.seed, jobs, supervision, sj.journal.get(),
+      sj.resume.get());
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const std::size_t ok = out.sweep.count(exp::CellOutcome::Status::kOk);
+  const std::string title =
+      ok == reps ? "aggregated over " + std::to_string(reps) + " seeds"
+                 : "aggregated over " + std::to_string(ok) + " of " +
+                       std::to_string(reps) + " seeds";
+  print_aggregate(title, out.aggregate, wall, reps, jobs);
+  std::printf("sweep: %s\n", out.sweep.timing.to_string().c_str());
+  if (!out.sweep.complete()) {
+    std::printf("degraded coverage: %zu of %zu replications did not "
+                "complete\n%s",
+                reps - ok, reps, out.sweep.degradation_summary().c_str());
+  }
+  if (cli.has("json")) {
+    std::printf("%s\n", out.sweep.merged_json().c_str());
+  }
+  if (cli.has("json-out")) {
+    util::write_file_atomic(cli.get_string("json-out", ""),
+                            out.sweep.merged_json() + "\n");
+  }
+  if (g_signal != 0) {
+    const std::string hint =
+        control.journal_path.empty()
+            ? "rerun to finish the sweep"
+            : "journal flushed -- rerun with --resume " +
+                  control.journal_path + " to finish the sweep";
+    std::fprintf(stderr, "coopnet_run: interrupted by signal %d; %s\n",
+                 static_cast<int>(g_signal), hint.c_str());
+    return 128 + static_cast<int>(g_signal);
+  }
+  return out.sweep.complete() ? 0 : 3;
+}
+
 int run(const util::Cli& cli) {
   const auto config = config_from(cli);
   const auto reps = static_cast<std::size_t>(cli.get_int("reps", 1));
+  exp::SweepControl control = exp::sweep_control_from_cli(cli);
+  if (reps < 2 &&
+      (!control.journal_path.empty() || !control.resume_path.empty())) {
+    throw std::invalid_argument(
+        "--journal/--resume record per-replication cells and need "
+        "--reps >= 2 (got --reps " + std::to_string(reps) + ")");
+  }
 
   if (reps > 1) {
     const long jobs_flag = cli.get_int("jobs", 0);
     if (jobs_flag < 0) throw std::invalid_argument("--jobs must be >= 1");
     const auto jobs = jobs_flag == 0 ? exp::default_jobs()
                                      : static_cast<std::size_t>(jobs_flag);
+    if (control.active()) {
+      return run_replicated_supervised_cli(cli, config, reps, jobs, control);
+    }
     const auto t0 = std::chrono::steady_clock::now();
     const auto rep = exp::run_replicated(config, reps, config.seed, jobs);
     const double wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
-    util::Table table("aggregated over " + std::to_string(reps) + " seeds");
-    table.set_header({"metric", "mean +/- 95% CI"});
-    table.add_row({"completed fraction",
-                   rep.completed_fraction.to_string()});
-    table.add_row({"mean completion (s)", rep.mean_completion.to_string()});
-    table.add_row({"median bootstrap (s)",
-                   rep.median_bootstrap.to_string()});
-    table.add_row({"settled fairness (u/d)",
-                   rep.settled_fairness.to_string()});
-    table.add_row({"fairness F", rep.fairness_F.to_string()});
-    table.add_row({"susceptibility", rep.susceptibility.to_string()});
-    std::printf("%s", table.render().c_str());
-    std::printf("replication wall-clock: %.3f s (%zu runs, %.3f runs/s, "
-                "jobs=%zu)\n",
-                wall, reps, wall > 0.0 ? static_cast<double>(reps) / wall : 0.0,
-                jobs);
+    print_aggregate("aggregated over " + std::to_string(reps) + " seeds",
+                    rep, wall, reps, jobs);
     if (cli.has("json")) {
       std::printf("%s\n", metrics::to_json(rep.runs).c_str());
+    }
+    if (cli.has("json-out")) {
+      util::write_file_atomic(cli.get_string("json-out", ""),
+                              metrics::to_json(rep.runs) + "\n");
     }
     return 0;
   }
@@ -205,6 +324,13 @@ int run(const util::Cli& cli) {
   // Single run; optionally with the in-memory trace and/or a streaming
   // JSONL sink attached (sink -> log -> collector, each chaining on).
   sim::Swarm swarm(config, strategy::make_strategy(config.algorithm));
+  std::unique_ptr<exp::CellGuard> guard;
+  if (control.supervision.any()) {
+    control.supervision.cancel = &g_cancel;
+    install_signal_handlers();
+    guard = std::make_unique<exp::CellGuard>(swarm.engine(),
+                                             control.supervision);
+  }
   metrics::RunMetrics collector;
   collector.install(swarm);
   metrics::TraceLog trace(cli.has("trace"));
@@ -223,6 +349,12 @@ int run(const util::Cli& cli) {
   if (head != nullptr) swarm.set_observer(head);
   swarm.run();
   const auto report = metrics::build_report(swarm, collector);
+  const bool cancelled =
+      guard != nullptr && guard->status() != exp::CellOutcome::Status::kOk;
+  if (cancelled) {
+    std::printf("run cancelled: %s (metrics below cover the partial run)\n",
+                guard->reason().c_str());
+  }
   std::printf("%s\n", metrics::summarize_report(report).c_str());
   if (const auto* auditor = swarm.auditor()) {
     std::printf("audit: %llu events recorded, %llu invariant checks, "
@@ -233,10 +365,19 @@ int run(const util::Cli& cli) {
   if (cli.has("json")) {
     std::printf("%s\n", metrics::to_json(report).c_str());
   }
+  if (cli.has("json-out")) {
+    util::write_file_atomic(cli.get_string("json-out", ""),
+                            metrics::to_json(report) + "\n");
+  }
   if (cli.has("trace")) {
     std::printf("%s", trace.to_csv().c_str());
   }
-  return 0;
+  if (g_signal != 0) {
+    std::fprintf(stderr, "coopnet_run: interrupted by signal %d\n",
+                 static_cast<int>(g_signal));
+    return 128 + static_cast<int>(g_signal);
+  }
+  return cancelled ? 3 : 0;
 }
 
 }  // namespace
