@@ -12,6 +12,9 @@
 #include "exp/runner.h"
 #include "exp/schedule.h"
 #include "exp/supervise.h"
+#include "fleet/coordinator.h"
+#include "fleet/options.h"
+#include "fleet/worker.h"
 #include "metrics/json.h"
 #include "util/ascii_plot.h"
 #include "util/atomic_file.h"
@@ -103,13 +106,12 @@ inline void print_cdf_chart(
               util::line_chart(plots, 72, 18, x_label, "fraction").c_str());
 }
 
-/// Runs all six algorithms over a scenario and prints the Figure 4/5/6
-/// artifact set: susceptibility (when free-riders are present), the
-/// completion-time CDFs (efficiency), the fairness-vs-time series, and the
-/// bootstrap CDFs. Returns the reports for further rendering.
-inline std::vector<metrics::RunReport> run_figure_suite(
-    const sim::SwarmConfig& base, bool with_susceptibility,
-    std::size_t jobs = 1) {
+/// The Figure 4/5/6 cell schedule: one cell per algorithm over `base`
+/// (free-rider population expanded when configured). Deterministic in
+/// `base`, so a fleet coordinator and its workers build identical
+/// schedules from the same flags.
+inline std::vector<sim::SwarmConfig> figure_suite_cells(
+    const sim::SwarmConfig& base) {
   std::vector<sim::SwarmConfig> cells;
   for (core::Algorithm algo : core::kAllAlgorithms) {
     sim::SwarmConfig config = base;
@@ -121,6 +123,17 @@ inline std::vector<metrics::RunReport> run_figure_suite(
     }
     cells.push_back(config);
   }
+  return cells;
+}
+
+/// Runs all six algorithms over a scenario and prints the Figure 4/5/6
+/// artifact set: susceptibility (when free-riders are present), the
+/// completion-time CDFs (efficiency), the fairness-vs-time series, and the
+/// bootstrap CDFs. Returns the reports for further rendering.
+inline std::vector<metrics::RunReport> run_figure_suite(
+    const sim::SwarmConfig& base, bool with_susceptibility,
+    std::size_t jobs = 1) {
+  const std::vector<sim::SwarmConfig> cells = figure_suite_cells(base);
   std::fprintf(stderr, "  running %zu algorithms (jobs=%zu)...\n",
                cells.size(), jobs == 0 ? exp::default_jobs() : jobs);
   exp::SweepTiming timing;
@@ -208,6 +221,63 @@ inline exp::SweepJournal open_journal_from_cli(
   return sj;
 }
 
+/// Runs this process as a fleet worker over the given deterministic cell
+/// schedule and returns the process exit code. Workers render no tables:
+/// they stream journal record lines to the coordinator, which owns the
+/// merged artifacts.
+inline int run_fleet_worker(const std::vector<sim::SwarmConfig>& cells,
+                            std::uint64_t base_seed,
+                            const fleet::FleetControl& fleet,
+                            const exp::Supervision& supervision) {
+  std::fprintf(stderr,
+               "  fleet worker '%s' connecting to %s:%u (%zu cells in "
+               "schedule)...\n",
+               fleet.worker_name.c_str(), fleet.host.c_str(),
+               static_cast<unsigned>(fleet.port), cells.size());
+  fleet::FleetWorker worker(cells, base_seed, fleet, supervision);
+  const fleet::WorkerStats stats = worker.run();
+  std::printf(
+      "fleet worker '%s': ran %zu cell(s) over %zu lease(s), "
+      "%zu reconnect(s)\n",
+      fleet.worker_name.c_str(), stats.cells_run, stats.leases_received,
+      stats.reconnects);
+  return 0;
+}
+
+/// Serves a sweep as the fleet coordinator over an already-opened
+/// journal (the coordinator's crash-recovery log) and returns the merged
+/// result -- byte-identical artifacts to a local run_cells_supervised
+/// sweep of the same cells.
+inline exp::SweepResult serve_fleet_coordinator(
+    const std::vector<sim::SwarmConfig>& cells, std::uint64_t base_seed,
+    const fleet::FleetControl& fleet, exp::SweepJournal& sj) {
+  if (sj.journal == nullptr) {
+    throw std::invalid_argument(
+        "--fleet-listen requires --journal FILE: the journal is the "
+        "coordinator's crash-recovery log and the source of the merged "
+        "artifacts (restart with --resume FILE to pick a partial fleet "
+        "sweep back up)");
+  }
+  fleet::FleetCoordinator coordinator(cells, base_seed, fleet,
+                                      sj.journal.get(), sj.resume.get());
+  std::fprintf(stderr,
+               "  fleet coordinator listening on %s:%u (%zu cells, "
+               "%zu already journaled)...\n",
+               fleet.host.c_str(), static_cast<unsigned>(coordinator.port()),
+               cells.size(), sj.resume ? sj.resume->size() : 0);
+  const exp::SweepResult sweep = coordinator.serve();
+  const fleet::CoordinatorStats& fs = coordinator.stats();
+  std::fprintf(stderr,
+               "  fleet: %zu worker(s) joined, %zu lost, %zu lease(s) "
+               "granted, %zu expired, %llu cell reassignment(s), "
+               "%zu abandoned, %zu duplicate result(s)\n",
+               fs.workers_joined, fs.workers_lost, fs.leases_granted,
+               fs.leases_expired,
+               static_cast<unsigned long long>(fs.cells_reassigned),
+               fs.cells_abandoned, fs.duplicate_results);
+  return sweep;
+}
+
 /// Prints the quarantine report for a degraded sweep (no-op when every
 /// cell is ok).
 inline void print_degraded_coverage(const exp::SweepResult& sweep) {
@@ -241,25 +311,19 @@ inline void maybe_dump_supervised_json(const util::Cli& cli,
 /// only).
 inline exp::SweepResult run_figure_suite_supervised(
     const sim::SwarmConfig& base, bool with_susceptibility, std::size_t jobs,
-    const exp::SweepControl& control) {
-  std::vector<sim::SwarmConfig> cells;
-  for (core::Algorithm algo : core::kAllAlgorithms) {
-    sim::SwarmConfig config = base;
-    config.algorithm = algo;
-    if (config.free_rider_fraction > 0.0) {
-      const bool large = config.attack.large_view;
-      config = exp::with_freeriders(config, config.free_rider_fraction,
-                                    large);
-    }
-    cells.push_back(config);
-  }
+    const exp::SweepControl& control,
+    const fleet::FleetControl* fleet = nullptr) {
+  const std::vector<sim::SwarmConfig> cells = figure_suite_cells(base);
   exp::SweepJournal sj =
       open_journal_from_cli(control, cells.size(), base.seed);
   std::fprintf(stderr,
                "  running %zu algorithms under supervision (jobs=%zu)...\n",
                cells.size(), jobs == 0 ? exp::default_jobs() : jobs);
-  const exp::SweepResult sweep = exp::run_cells_supervised(
-      cells, jobs, control.supervision, sj.journal.get(), sj.resume.get());
+  const exp::SweepResult sweep =
+      (fleet != nullptr && fleet->coordinator())
+          ? serve_fleet_coordinator(cells, base.seed, *fleet, sj)
+          : exp::run_cells_supervised(cells, jobs, control.supervision,
+                                      sj.journal.get(), sj.resume.get());
 
   util::Table table("Per-algorithm summary (supervised)");
   table.set_header({"Algorithm", "status", "finished", "mean compl. (s)",

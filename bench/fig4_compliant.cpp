@@ -17,16 +17,21 @@ int main(int argc, char** argv) {
   try {
     auto config = bench::scenario_from_cli(cli);
     const exp::SweepControl control = exp::sweep_control_from_cli(cli);
+    const fleet::FleetControl fleet = fleet::fleet_control_from_cli(cli);
+    if (fleet.worker()) {
+      return bench::run_fleet_worker(bench::figure_suite_cells(config),
+                                     config.seed, fleet, control.supervision);
+    }
 
     std::printf("Figure 4: compliant swarm, N = %zu, file = %lld MiB, seed = "
                 "%llu\n\n",
                 config.n_peers,
                 static_cast<long long>(config.file_bytes / (1024 * 1024)),
                 static_cast<unsigned long long>(config.seed));
-    if (control.active()) {
+    if (control.active() || fleet.active()) {
       const exp::SweepResult sweep = bench::run_figure_suite_supervised(
           config, /*with_susceptibility=*/false, bench::jobs_from_cli(cli),
-          control);
+          control, &fleet);
       bench::print_fluid_overlay(config, sweep.ok_reports());
       bench::maybe_dump_supervised_json(cli, sweep);
       return sweep.complete() ? 0 : 3;

@@ -17,16 +17,21 @@ int main(int argc, char** argv) {
     config.free_rider_fraction = cli.get_double("free-riders", 0.2);
     config.attack.large_view = false;
     const exp::SweepControl control = exp::sweep_control_from_cli(cli);
+    const fleet::FleetControl fleet = fleet::fleet_control_from_cli(cli);
+    if (fleet.worker()) {
+      return bench::run_fleet_worker(bench::figure_suite_cells(config),
+                                     config.seed, fleet, control.supervision);
+    }
 
     std::printf("Figure 5: %.0f%% free-riders with targeted attacks, N = %zu, "
                 "file = %lld MiB, seed = %llu\n\n",
                 config.free_rider_fraction * 100.0, config.n_peers,
                 static_cast<long long>(config.file_bytes / (1024 * 1024)),
                 static_cast<unsigned long long>(config.seed));
-    if (control.active()) {
+    if (control.active() || fleet.active()) {
       const exp::SweepResult sweep = bench::run_figure_suite_supervised(
           config, /*with_susceptibility=*/true, bench::jobs_from_cli(cli),
-          control);
+          control, &fleet);
       bench::maybe_dump_supervised_json(cli, sweep);
       return sweep.complete() ? 0 : 3;
     }

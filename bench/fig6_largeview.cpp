@@ -17,6 +17,11 @@ int main(int argc, char** argv) {
     config.attack.large_view = true;
     config.graph.large_view_multiplier = cli.get_double("view-mult", 4.0);
     const exp::SweepControl control = exp::sweep_control_from_cli(cli);
+    const fleet::FleetControl fleet = fleet::fleet_control_from_cli(cli);
+    if (fleet.worker()) {
+      return bench::run_fleet_worker(bench::figure_suite_cells(config),
+                                     config.seed, fleet, control.supervision);
+    }
 
     std::printf("Figure 6: %.0f%% free-riders, targeted attacks + large-view "
                 "exploit (%gx neighbors), N = %zu, seed = %llu\n\n",
@@ -24,9 +29,9 @@ int main(int argc, char** argv) {
                 config.graph.large_view_multiplier, config.n_peers,
                 static_cast<unsigned long long>(config.seed));
     const std::size_t jobs = bench::jobs_from_cli(cli);
-    if (control.active()) {
+    if (control.active() || fleet.active()) {
       const exp::SweepResult sweep = bench::run_figure_suite_supervised(
-          config, /*with_susceptibility=*/true, jobs, control);
+          config, /*with_susceptibility=*/true, jobs, control, &fleet);
       bench::maybe_dump_supervised_json(cli, sweep);
       return sweep.complete() ? 0 : 3;
     }

@@ -12,11 +12,18 @@
 //                     [--audit] [--audit-every N]
 //                     [--cell-timeout S] [--event-budget N]
 //                     [--journal F] [--resume F]
+//                     [--fleet-listen [HOST:]PORT | --fleet-connect H:P]
 //
 // The supervised flags (see exp/supervise.h) quarantine failing cells
 // instead of aborting the whole matrix, journal completed cells
 // crash-safely, and make an interrupted sweep resumable; exit code 3
 // flags degraded coverage.
+//
+// The fleet flags (see fleet/options.h) distribute the same cell matrix
+// across machines: one process runs --fleet-listen (the coordinator;
+// requires --journal) and any number run --fleet-connect with the SAME
+// sweep flags. Artifacts are byte-identical to a local --jobs N run,
+// and a SIGKILLed worker only costs wall-clock time.
 //
 // --audit runs the whole fault x mechanism matrix under the swarm
 // invariant auditor (requires a -DCOOPNET_AUDIT=ON build; any violation
@@ -62,12 +69,18 @@ int run_supervised_sweep(const coopnet::util::Cli& cli,
                          const std::vector<FaultLevel>& levels,
                          const std::vector<coopnet::sim::SwarmConfig>& cells,
                          std::size_t jobs, std::uint64_t base_seed,
-                         const coopnet::exp::SweepControl& control) {
+                         const coopnet::exp::SweepControl& control,
+                         const coopnet::fleet::FleetControl& fleet) {
   using namespace coopnet;
   exp::SweepJournal sj =
       bench::open_journal_from_cli(control, cells.size(), base_seed);
-  const exp::SweepResult sweep = exp::run_cells_supervised(
-      cells, jobs, control.supervision, sj.journal.get(), sj.resume.get());
+  // A fleet coordinator distributes the same cells to TCP workers and
+  // merges their journal records; artifacts are byte-identical either way.
+  const exp::SweepResult sweep =
+      fleet.coordinator()
+          ? bench::serve_fleet_coordinator(cells, base_seed, fleet, sj)
+          : exp::run_cells_supervised(cells, jobs, control.supervision,
+                                      sj.journal.get(), sj.resume.get());
 
   util::Table table(
       "Degradation under faults & churn (per fault level x mechanism)");
@@ -172,13 +185,20 @@ int run_sweep(const coopnet::util::Cli& cli) {
       cells.push_back(config);
     }
   }
+  const fleet::FleetControl fleet = fleet::fleet_control_from_cli(cli);
+  if (fleet.worker()) {
+    // Workers run cells for the coordinator and render nothing locally.
+    return bench::run_fleet_worker(cells, base.seed, fleet,
+                                   control.supervision);
+  }
   std::fprintf(stderr,
                "  running %zu fault levels x %zu algorithms = %zu swarms "
                "(jobs=%zu)...\n",
                levels.size(), core::kAllAlgorithms.size(), cells.size(),
                jobs);
-  if (control.active()) {
-    return run_supervised_sweep(cli, levels, cells, jobs, base.seed, control);
+  if (control.active() || fleet.active()) {
+    return run_supervised_sweep(cli, levels, cells, jobs, base.seed, control,
+                                fleet);
   }
   exp::SweepTiming timing;
   const std::vector<metrics::RunReport> all_reports =

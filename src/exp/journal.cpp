@@ -26,8 +26,8 @@ std::string g17(double v) {
 
 std::string render_header_line(std::size_t cells, std::uint64_t base_seed) {
   std::ostringstream os;
-  os << "{\"kind\":\"header\",\"schema\":1,\"cells\":" << cells
-     << ",\"base_seed\":" << base_seed << "}";
+  os << "{\"kind\":\"header\",\"schema\":" << kJournalSchemaVersion
+     << ",\"cells\":" << cells << ",\"base_seed\":" << base_seed << "}";
   return os.str();
 }
 
@@ -208,10 +208,29 @@ JournalIndex JournalIndex::load(const std::string& path) {
     if (kind == "header") {
       std::string raw;
       std::uint64_t cells = 0;
+      std::uint64_t schema = 0;
+      if (!find_field(line, "schema", &raw) || !parse_u64(raw, &schema)) {
+        throw std::runtime_error(
+            "run journal " + path +
+            " has a header with no schema version -- it predates the "
+            "versioned record layout; delete it and rerun the sweep fresh "
+            "(without --resume)");
+      }
+      if (schema != kJournalSchemaVersion) {
+        std::ostringstream os;
+        os << "run journal " << path << " was written with schema version "
+           << schema << " but this binary reads version "
+           << kJournalSchemaVersion
+           << "; the record layouts are incompatible, so resuming would "
+              "merge garbage -- finish the sweep with a matching build, or "
+              "delete the journal and rerun fresh (without --resume)";
+        throw std::runtime_error(os.str());
+      }
       if (find_field(line, "cells", &raw) && parse_u64(raw, &cells) &&
           find_field(line, "base_seed", &raw) &&
           parse_u64(raw, &index.base_seed_)) {
         index.sweep_cells_ = static_cast<std::size_t>(cells);
+        index.schema_ = schema;
         header_seen = true;
       } else {
         ++index.torn_lines_;
@@ -260,7 +279,10 @@ void RunJournal::write_header(std::size_t cells, std::uint64_t base_seed) {
 }
 
 void RunJournal::record(const CellOutcome& outcome) {
-  const std::string line = render_cell_line(outcome);
+  append_record_line(render_cell_line(outcome));
+}
+
+void RunJournal::append_record_line(const std::string& line) {
   std::lock_guard<std::mutex> lock(mu_);
   write_line(line);
   ++records_;
@@ -277,6 +299,19 @@ void RunJournal::write_line(const std::string& line) {
       ::fsync(::fileno(file_)) != 0) {
     throw std::runtime_error("run journal write failed: " + path_);
   }
+}
+
+std::string render_cell_record(const CellOutcome& outcome) {
+  return render_cell_line(outcome);
+}
+
+bool parse_cell_record(const std::string& line, JournalEntry* entry) {
+  std::string kind;
+  if (line.empty() || line.back() != '}' ||
+      !find_field(line, "kind", &kind) || kind != "cell") {
+    return false;
+  }
+  return parse_cell_line(line, entry);
 }
 
 CellOutcome outcome_from_journal(const JournalEntry& entry,

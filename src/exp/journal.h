@@ -35,6 +35,12 @@
 
 namespace coopnet::exp {
 
+/// Journal record-layout version, written in (and enforced against) the
+/// header's "schema" field. Bump when a record field changes meaning or
+/// layout; loaders reject any other version with an actionable error
+/// instead of silently merging incompatible records.
+inline constexpr std::uint64_t kJournalSchemaVersion = 1;
+
 /// One journaled cell record, as parsed back from disk.
 struct JournalEntry {
   std::size_t index = 0;
@@ -74,6 +80,9 @@ class JournalIndex {
   /// Sweep shape recorded in the header, for resume validation.
   std::size_t sweep_cells() const { return sweep_cells_; }
   std::uint64_t base_seed() const { return base_seed_; }
+  /// Schema version the journal was written with (always
+  /// kJournalSchemaVersion -- load() rejects anything else).
+  std::uint64_t schema() const { return schema_; }
   /// Lines dropped as torn/unparseable (at most 1 after a clean kill).
   std::size_t torn_lines() const { return torn_lines_; }
 
@@ -81,6 +90,7 @@ class JournalIndex {
   std::map<std::size_t, JournalEntry> entries_;
   std::size_t sweep_cells_ = 0;
   std::uint64_t base_seed_ = 0;
+  std::uint64_t schema_ = kJournalSchemaVersion;
   std::size_t torn_lines_ = 0;
 };
 
@@ -106,6 +116,13 @@ class RunJournal {
   /// returning). Throws std::runtime_error on I/O failure.
   void record(const CellOutcome& outcome);
 
+  /// Appends one pre-rendered record line (no trailing newline) with the
+  /// same durability as record(). The fleet coordinator uses this to
+  /// persist cell records streamed from workers byte-for-byte; callers
+  /// must pass lines produced by render_cell_record (validated with
+  /// parse_cell_record) so the journal stays loadable.
+  void append_record_line(const std::string& line);
+
   const std::string& path() const { return path_; }
   std::size_t records_written() const;
 
@@ -128,5 +145,16 @@ class RunJournal {
 /// run bit-for-bit while full series live only in `report_json`.
 CellOutcome outcome_from_journal(const JournalEntry& entry,
                                  const sim::SwarmConfig& cell);
+
+/// Renders the exact JSONL record line (no trailing newline) that
+/// RunJournal::record would append for `outcome`. The fleet protocol
+/// ships these lines verbatim from worker to coordinator, so one framing
+/// implementation serves disk and wire.
+std::string render_cell_record(const CellOutcome& outcome);
+
+/// Parses one journal cell record line into `entry`. Returns false on a
+/// torn or malformed line (never throws) -- the single-line counterpart
+/// of JournalIndex::load's tolerant per-line scan.
+bool parse_cell_record(const std::string& line, JournalEntry* entry);
 
 }  // namespace coopnet::exp

@@ -1,0 +1,204 @@
+#include "fleet/lease.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace coopnet::fleet {
+
+void LeaseConfig::validate() const {
+  if (cells_per_lease == 0) {
+    throw std::invalid_argument("LeaseConfig: cells_per_lease must be >= 1");
+  }
+  if (!std::isfinite(lease_duration) || lease_duration <= 0.0) {
+    throw std::invalid_argument(
+        "LeaseConfig: lease_duration must be a finite number of seconds "
+        "> 0");
+  }
+  if (max_attempts < 1) {
+    throw std::invalid_argument("LeaseConfig: max_attempts must be >= 1");
+  }
+  reassign_backoff.validate();
+}
+
+LeaseTable::LeaseTable(std::size_t cell_count, const LeaseConfig& config)
+    : config_(config), states_(cell_count) {
+  config_.validate();
+}
+
+void LeaseTable::mark_done(std::size_t cell) {
+  CellInfo& info = states_.at(cell);
+  if (info.state == State::kDone) return;
+  if (info.state == State::kLeased) {
+    // Shouldn't happen before serving starts, but keep the invariant:
+    // remove the cell from its lease.
+    complete(cell);
+    return;
+  }
+  info.state = State::kDone;
+  ++done_;
+}
+
+std::optional<Lease> LeaseTable::acquire(std::uint64_t holder, double now) {
+  std::size_t first = states_.size();
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    if (grantable(states_[i], now)) {
+      first = i;
+      break;
+    }
+  }
+  if (first == states_.size()) return std::nullopt;
+
+  std::size_t count = 1;
+  while (count < config_.cells_per_lease &&
+         first + count < states_.size() &&
+         grantable(states_[first + count], now)) {
+    ++count;
+  }
+
+  Lease lease;
+  lease.id = next_lease_id_++;
+  lease.holder = holder;
+  lease.first = first;
+  lease.count = count;
+  lease.deadline = now + config_.lease_duration;
+  for (std::size_t i = first; i < first + count; ++i) {
+    states_[i].state = State::kLeased;
+    states_[i].lease_id = lease.id;
+    ++states_[i].attempts;
+  }
+  leases_.push_back(lease);
+  return lease;
+}
+
+double LeaseTable::next_grant_time(double now) const {
+  double earliest = std::numeric_limits<double>::infinity();
+  for (const CellInfo& cell : states_) {
+    if (cell.state != State::kPending) continue;
+    earliest = std::min(earliest, std::max(cell.not_before, now));
+    if (earliest <= now) return now;
+  }
+  return earliest;
+}
+
+bool LeaseTable::complete(std::size_t cell) {
+  CellInfo& info = states_.at(cell);
+  if (info.state == State::kDone) return false;
+  if (info.state == State::kLeased) {
+    // Shrink the lease holding this cell; drop it once empty. The lease
+    // span is bookkeeping only (count of outstanding cells), so it is
+    // enough to decrement.
+    for (std::size_t li = 0; li < leases_.size(); ++li) {
+      if (leases_[li].id != info.lease_id) continue;
+      if (--leases_[li].count == 0) {
+        leases_.erase(leases_.begin() + static_cast<std::ptrdiff_t>(li));
+      }
+      break;
+    }
+  }
+  info.state = State::kDone;
+  info.lease_id = 0;
+  ++done_;
+  return true;
+}
+
+void LeaseTable::renew(std::uint64_t holder, double now) {
+  for (Lease& lease : leases_) {
+    if (lease.holder == holder) {
+      lease.deadline = now + config_.lease_duration;
+    }
+  }
+}
+
+void LeaseTable::requeue_cell(std::size_t index, double now) {
+  CellInfo& info = states_[index];
+  info.lease_id = 0;
+  if (info.attempts >= config_.max_attempts) {
+    // This cell has eaten its last lease: quarantine instead of another
+    // bounce. State flips to Done when the caller drains take_abandoned;
+    // the infinite not_before keeps it ungrantable in between.
+    info.state = State::kPending;  // transient; take_abandoned finishes it
+    info.not_before = std::numeric_limits<double>::infinity();
+    abandoned_.push_back(index);
+    return;
+  }
+  info.state = State::kPending;
+  info.not_before =
+      now + config_.reassign_backoff.delay_for(info.attempts - 1);
+  ++reassignments_;
+}
+
+void LeaseTable::drop_lease_cells(const Lease& lease, double now) {
+  // A lease's outstanding cells are exactly the leased-state cells whose
+  // lease_id matches (completed cells already left the lease).
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    if (states_[i].state == State::kLeased &&
+        states_[i].lease_id == lease.id) {
+      requeue_cell(i, now);
+    }
+  }
+}
+
+std::size_t LeaseTable::expire(double now) {
+  std::size_t requeued = 0;
+  for (std::size_t li = 0; li < leases_.size();) {
+    if (leases_[li].deadline >= now) {
+      ++li;
+      continue;
+    }
+    const Lease dead = leases_[li];
+    leases_.erase(leases_.begin() + static_cast<std::ptrdiff_t>(li));
+    const std::size_t before = abandoned_.size();
+    drop_lease_cells(dead, now);
+    requeued += dead.count - (abandoned_.size() - before);
+  }
+  return requeued;
+}
+
+std::size_t LeaseTable::release_holder(std::uint64_t holder, double now) {
+  std::size_t requeued = 0;
+  for (std::size_t li = 0; li < leases_.size();) {
+    if (leases_[li].holder != holder) {
+      ++li;
+      continue;
+    }
+    const Lease dead = leases_[li];
+    leases_.erase(leases_.begin() + static_cast<std::ptrdiff_t>(li));
+    const std::size_t before = abandoned_.size();
+    drop_lease_cells(dead, now);
+    requeued += dead.count - (abandoned_.size() - before);
+  }
+  return requeued;
+}
+
+std::vector<std::size_t> LeaseTable::take_abandoned() {
+  std::vector<std::size_t> out;
+  out.swap(abandoned_);
+  for (std::size_t index : out) {
+    CellInfo& info = states_[index];
+    if (info.state != State::kDone) {
+      info.state = State::kDone;
+      ++done_;
+    }
+  }
+  return out;
+}
+
+std::size_t LeaseTable::pending_count() const {
+  std::size_t n = 0;
+  for (const CellInfo& cell : states_) {
+    if (cell.state == State::kPending) ++n;
+  }
+  return n;
+}
+
+std::size_t LeaseTable::leased_count() const {
+  std::size_t n = 0;
+  for (const CellInfo& cell : states_) {
+    if (cell.state == State::kLeased) ++n;
+  }
+  return n;
+}
+
+}  // namespace coopnet::fleet

@@ -1,0 +1,135 @@
+// Lease table: the coordinator's authoritative view of which cell of the
+// deterministic schedule is pending, leased to a worker, or terminal.
+//
+// Robustness semantics:
+//  - A lease covers a contiguous run of cell indices and carries a
+//    deadline. Heartbeats renew every lease a worker holds; a missed
+//    deadline (worker hang / network partition) or an explicit release
+//    (worker EOF, the SIGKILL case) returns the lease's unfinished cells
+//    to the pending pool.
+//  - Reassignment is paced by the shared util::Backoff curve: a cell
+//    that has bounced k times may not be granted again before
+//    now + backoff(k-1), so a flapping worker cannot spin the fleet.
+//  - A cell that has consumed `max_attempts` leases without a result is
+//    abandoned: the coordinator quarantines it as failed (one poisoned
+//    cell -- e.g. one that crashes every worker it lands on -- costs
+//    exactly one data point, fleet-wide, mirroring PR 5's single-machine
+//    quarantine).
+//
+// Time is injected as monotonic seconds so the table is deterministic
+// under test; the coordinator passes its steady_clock.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/backoff.h"
+
+namespace coopnet::fleet {
+
+/// Lease-granting knobs, validated by validate().
+struct LeaseConfig {
+  /// Max cells per lease (contiguous run; smaller runs are granted when
+  /// the pending pool is fragmented).
+  std::size_t cells_per_lease = 4;
+  /// Seconds a lease stays valid without a heartbeat renewal.
+  double lease_duration = 30.0;
+  /// Reassignment pacing for cells returned by a lost worker.
+  util::Backoff reassign_backoff{0.25, 2.0, 8.0};
+  /// Leases a cell may consume before it is abandoned (quarantined).
+  int max_attempts = 5;
+
+  /// Throws std::invalid_argument on nonsensical knobs.
+  void validate() const;
+};
+
+/// One granted lease, as returned to the coordinator.
+struct Lease {
+  std::uint64_t id = 0;
+  std::uint64_t holder = 0;  // coordinator-side connection id
+  std::size_t first = 0;
+  std::size_t count = 0;
+  double deadline = 0.0;
+};
+
+class LeaseTable {
+ public:
+  LeaseTable(std::size_t cell_count, const LeaseConfig& config);
+
+  /// Marks a cell terminal before serving starts (journal recovery on
+  /// coordinator restart).
+  void mark_done(std::size_t cell);
+
+  /// Grants a lease to `holder` at time `now`: the first grantable
+  /// pending cell plus the contiguous grantable run after it, up to
+  /// cells_per_lease. nullopt when nothing is grantable right now
+  /// (everything leased, done, or backing off).
+  std::optional<Lease> acquire(std::uint64_t holder, double now);
+
+  /// Earliest future time acquire could succeed, or +infinity when no
+  /// cell is pending (used to size WAIT replies). Returns `now` when a
+  /// grant is possible immediately.
+  double next_grant_time(double now) const;
+
+  /// Marks a cell terminal (result received, any status). Safe for
+  /// duplicates and for cells currently leased elsewhere (the slower
+  /// lease shrinks). Returns false when the cell was already terminal
+  /// (duplicate delivery -- the caller skips journaling it again).
+  bool complete(std::size_t cell);
+
+  /// Heartbeat: pushes the deadline of every lease `holder` holds to
+  /// now + lease_duration.
+  void renew(std::uint64_t holder, double now);
+
+  /// Expires leases whose deadline passed; their unfinished cells return
+  /// to pending with backoff. Returns the number of cells re-queued.
+  std::size_t expire(double now);
+
+  /// Releases every lease `holder` holds (disconnect/SIGKILL detected
+  /// via EOF). Unfinished cells return to pending with backoff. Returns
+  /// the number of cells re-queued.
+  std::size_t release_holder(std::uint64_t holder, double now);
+
+  /// Cells that exhausted max_attempts and must be quarantined by the
+  /// caller. Each abandoned cell is reported exactly once, and is marked
+  /// terminal here when drained.
+  std::vector<std::size_t> take_abandoned();
+
+  bool all_done() const { return done_ == states_.size(); }
+  std::size_t cell_count() const { return states_.size(); }
+  std::size_t done_count() const { return done_; }
+  std::size_t pending_count() const;
+  std::size_t leased_count() const;
+  std::size_t active_leases() const { return leases_.size(); }
+  /// Total cells ever re-queued by expiry or holder loss.
+  std::uint64_t reassignments() const { return reassignments_; }
+
+ private:
+  enum class State : std::uint8_t { kPending, kLeased, kDone };
+
+  struct CellInfo {
+    State state = State::kPending;
+    double not_before = 0.0;  // earliest next grant (backoff pacing)
+    int attempts = 0;         // leases consumed so far
+    std::uint64_t lease_id = 0;
+  };
+
+  bool grantable(const CellInfo& cell, double now) const {
+    return cell.state == State::kPending && cell.not_before <= now;
+  }
+  void requeue_cell(std::size_t index, double now);
+  void drop_lease_cells(const Lease& lease, double now);
+
+  LeaseConfig config_;
+  std::vector<CellInfo> states_;
+  std::vector<Lease> leases_;
+  std::vector<std::size_t> abandoned_;
+  std::uint64_t next_lease_id_ = 1;
+  std::size_t done_ = 0;
+  std::uint64_t reassignments_ = 0;
+};
+
+}  // namespace coopnet::fleet

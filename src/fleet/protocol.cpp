@@ -1,0 +1,232 @@
+#include "fleet/protocol.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+
+namespace coopnet::fleet {
+
+namespace {
+
+/// %.17g so WELCOME/WAIT durations round-trip exactly (same rationale as
+/// the journal's scalar fields).
+std::string g17(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Splits `line` into the keyword and the remainder after one space.
+void split_keyword(const std::string& line, std::string* keyword,
+                   std::string* rest) {
+  const std::size_t sp = line.find(' ');
+  if (sp == std::string::npos) {
+    *keyword = line;
+    rest->clear();
+  } else {
+    *keyword = line.substr(0, sp);
+    *rest = line.substr(sp + 1);
+  }
+}
+
+bool next_token(std::istringstream& in, std::string* token) {
+  return static_cast<bool>(in >> *token);
+}
+
+bool parse_u64_token(std::istringstream& in, std::uint64_t* out) {
+  std::string token;
+  if (!next_token(in, &token)) return false;
+  // strtoull silently wraps a leading '-' (e.g. "-1" -> ULLONG_MAX), so
+  // reject anything that is not a plain decimal digit string up front.
+  if (token.empty() || token.find_first_not_of("0123456789") !=
+                           std::string::npos) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+  if (errno != 0 || end == token.c_str() || *end != '\0') return false;
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+bool parse_double_token(std::istringstream& in, double* out) {
+  std::string token;
+  if (!next_token(in, &token)) return false;
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end == token.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(Frame::Type type) {
+  switch (type) {
+    case Frame::Type::kHello:
+      return "HELLO";
+    case Frame::Type::kWelcome:
+      return "WELCOME";
+    case Frame::Type::kError:
+      return "ERROR";
+    case Frame::Type::kRequest:
+      return "REQUEST";
+    case Frame::Type::kLease:
+      return "LEASE";
+    case Frame::Type::kWait:
+      return "WAIT";
+    case Frame::Type::kDone:
+      return "DONE";
+    case Frame::Type::kResult:
+      return "RESULT";
+    case Frame::Type::kPing:
+      return "PING";
+    case Frame::Type::kBye:
+      return "BYE";
+  }
+  return "unknown";
+}
+
+std::string render_hello(const std::string& name, std::size_t cells,
+                         std::uint64_t base_seed) {
+  std::ostringstream os;
+  os << "HELLO " << kProtocolVersion << " " << name << " " << cells << " "
+     << base_seed;
+  return os.str();
+}
+
+std::string render_welcome(double heartbeat_s, double lease_s) {
+  return "WELCOME " + g17(heartbeat_s) + " " + g17(lease_s);
+}
+
+std::string render_error(const std::string& message) {
+  return "ERROR " + message;
+}
+
+std::string render_request() { return "REQUEST"; }
+
+std::string render_lease(std::size_t first, std::size_t count) {
+  std::ostringstream os;
+  os << "LEASE " << first << " " << count;
+  return os.str();
+}
+
+std::string render_wait(double seconds) { return "WAIT " + g17(seconds); }
+
+std::string render_done() { return "DONE"; }
+
+std::string render_result(const std::string& journal_cell_line) {
+  return "RESULT " + journal_cell_line;
+}
+
+std::string render_ping() { return "PING"; }
+
+std::string render_bye() { return "BYE"; }
+
+bool parse_frame(const std::string& line, Frame* frame, std::string* error) {
+  std::string keyword;
+  std::string rest;
+  split_keyword(line, &keyword, &rest);
+  *frame = Frame{};
+
+  const auto fail = [error, &keyword](const char* what) {
+    *error = keyword + ": " + what;
+    return false;
+  };
+
+  if (keyword == "HELLO") {
+    frame->type = Frame::Type::kHello;
+    std::istringstream in(rest);
+    std::uint64_t proto = 0;
+    std::uint64_t cells = 0;
+    if (!parse_u64_token(in, &proto) || !next_token(in, &frame->name) ||
+        !parse_u64_token(in, &cells) ||
+        !parse_u64_token(in, &frame->base_seed)) {
+      return fail("expected <proto> <name> <cells> <base_seed>");
+    }
+    frame->proto = static_cast<int>(proto);
+    frame->cells = static_cast<std::size_t>(cells);
+    return true;
+  }
+  if (keyword == "WELCOME") {
+    frame->type = Frame::Type::kWelcome;
+    std::istringstream in(rest);
+    if (!parse_double_token(in, &frame->heartbeat_s) ||
+        !parse_double_token(in, &frame->lease_s)) {
+      return fail("expected <heartbeat_s> <lease_s>");
+    }
+    return true;
+  }
+  if (keyword == "ERROR") {
+    frame->type = Frame::Type::kError;
+    frame->name = rest;
+    return true;
+  }
+  if (keyword == "REQUEST") {
+    frame->type = Frame::Type::kRequest;
+    return true;
+  }
+  if (keyword == "LEASE") {
+    frame->type = Frame::Type::kLease;
+    std::istringstream in(rest);
+    std::uint64_t first = 0;
+    std::uint64_t count = 0;
+    if (!parse_u64_token(in, &first) || !parse_u64_token(in, &count) ||
+        count == 0) {
+      return fail("expected <first> <count >= 1>");
+    }
+    frame->first = static_cast<std::size_t>(first);
+    frame->count = static_cast<std::size_t>(count);
+    return true;
+  }
+  if (keyword == "WAIT") {
+    frame->type = Frame::Type::kWait;
+    std::istringstream in(rest);
+    if (!parse_double_token(in, &frame->wait_s) || frame->wait_s < 0.0) {
+      return fail("expected <seconds >= 0>");
+    }
+    return true;
+  }
+  if (keyword == "DONE") {
+    frame->type = Frame::Type::kDone;
+    return true;
+  }
+  if (keyword == "RESULT") {
+    frame->type = Frame::Type::kResult;
+    if (rest.empty()) return fail("missing journal record payload");
+    frame->payload = rest;
+    return true;
+  }
+  if (keyword == "PING") {
+    frame->type = Frame::Type::kPing;
+    return true;
+  }
+  if (keyword == "BYE") {
+    frame->type = Frame::Type::kBye;
+    return true;
+  }
+  *error = "unknown frame keyword: " + keyword;
+  return false;
+}
+
+bool LineBuffer::next_line(std::string* line) {
+  const std::size_t nl = buf_.find('\n', pos_);
+  if (nl == std::string::npos) {
+    // Compact consumed bytes so the buffer doesn't grow without bound.
+    if (pos_ > 0) {
+      buf_.erase(0, pos_);
+      pos_ = 0;
+    }
+    return false;
+  }
+  line->assign(buf_, pos_, nl - pos_);
+  pos_ = nl + 1;
+  return true;
+}
+
+bool send_frame(util::Socket& sock, const std::string& line) {
+  return sock.send_all(line + "\n");
+}
+
+}  // namespace coopnet::fleet

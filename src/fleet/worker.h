@@ -1,0 +1,76 @@
+// Fleet worker: connects to the coordinator, leases contiguous cell
+// ranges, runs each cell under the regular per-cell supervision
+// (watchdog + quarantine, exactly like a local sweep), and streams every
+// terminal outcome back as the exact journal record line.
+//
+// Robustness:
+//  - A heartbeat thread PINGs on the WELCOME-advertised cadence, so a
+//    long cell never lets the worker's leases expire.
+//  - A lost connection (coordinator restart, transient network failure)
+//    triggers reconnect under capped-exponential backoff; the worker
+//    re-joins with HELLO and keeps going. Cells whose results never
+//    reached the coordinator are simply re-leased -- the coordinator's
+//    journal is the source of truth.
+//  - A fatal ERROR from the coordinator (protocol or sweep-fingerprint
+//    mismatch) throws: retrying cannot fix a worker built from the
+//    wrong command line.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "exp/supervise.h"
+#include "fleet/options.h"
+#include "fleet/protocol.h"
+#include "sim/config.h"
+#include "util/socket.h"
+
+namespace coopnet::fleet {
+
+struct WorkerStats {
+  std::size_t cells_run = 0;
+  std::size_t leases_received = 0;
+  std::size_t reconnects = 0;
+  std::size_t waits = 0;  // WAIT frames honoured
+};
+
+class FleetWorker {
+ public:
+  /// `cells` must be the same deterministic schedule the coordinator
+  /// built (same sweep flags); `supervision` applies per cell, exactly
+  /// as in a local run_cells_supervised sweep.
+  FleetWorker(const std::vector<sim::SwarmConfig>& cells,
+              std::uint64_t base_seed, const FleetControl& control,
+              const exp::Supervision& supervision);
+
+  /// Serves until the coordinator says DONE. Throws std::runtime_error
+  /// when the coordinator is unreachable past the reconnect budget or
+  /// rejects this worker outright (ERROR frame).
+  WorkerStats run();
+
+ private:
+  /// Thrown internally when the connection drops mid-conversation;
+  /// run() catches it and reconnects.
+  struct ConnectionLost {};
+
+  void connect_and_join();
+  /// Returns true when the coordinator sent DONE (sweep over); throws
+  /// ConnectionLost on socket failure.
+  bool serve_connection();
+  Frame read_frame(int timeout_ms);
+  void send_locked(const std::string& line);
+  void run_lease(std::size_t first, std::size_t count);
+
+  std::vector<sim::SwarmConfig> cells_;
+  std::uint64_t base_seed_;
+  FleetControl control_;
+  exp::Supervision supervision_;
+  util::Socket sock_;
+  LineBuffer buf_;
+  std::mutex write_mu_;
+  double heartbeat_interval_ = 2.0;  // overwritten by WELCOME
+  WorkerStats stats_;
+};
+
+}  // namespace coopnet::fleet

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/backoff.h"
+
 namespace coopnet::sim {
 
 namespace {
@@ -18,12 +20,12 @@ void require(bool ok, const char* what) {
 }  // namespace
 
 Seconds FaultConfig::backoff_for(int attempt) const {
-  // Closed form: min(retry_backoff * factor^attempt, cap). For large
-  // attempts pow() overflows to +inf, which min() clamps to the cap, so
-  // saturation is safe without the old O(attempt) multiply loop.
-  if (attempt <= 0) return std::min(retry_backoff, retry_backoff_cap);
-  return std::min(retry_backoff * std::pow(retry_backoff_factor, attempt),
-                  retry_backoff_cap);
+  // The shared capped-exponential schedule (util::Backoff) with this
+  // config's retry knobs; fleet reconnect/reassignment uses the same
+  // curve.
+  return util::Backoff{retry_backoff, retry_backoff_factor,
+                       retry_backoff_cap}
+      .delay_for(attempt);
 }
 
 void FaultConfig::validate() const {

@@ -1,0 +1,27 @@
+#include "util/backoff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace coopnet::util {
+
+double Backoff::delay_for(int attempt) const {
+  // Closed form: min(base * factor^attempt, cap). For large attempts
+  // pow() overflows to +inf, which min() clamps to the cap, so
+  // saturation is safe without an O(attempt) multiply loop.
+  if (attempt <= 0) return std::min(base, cap);
+  return std::min(base * std::pow(factor, attempt), cap);
+}
+
+void Backoff::validate() const {
+  const auto require = [](bool ok, const char* what) {
+    if (!ok) throw std::invalid_argument(std::string("Backoff: ") + what);
+  };
+  require(std::isfinite(base) && base > 0.0, "base <= 0");
+  require(std::isfinite(factor) && factor >= 1.0, "factor < 1");
+  require(std::isfinite(cap) && cap >= base, "cap < base");
+}
+
+}  // namespace coopnet::util

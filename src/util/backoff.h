@@ -1,0 +1,31 @@
+// Capped exponential backoff, shared by every retry loop in the tree.
+//
+// The shape is the one sim::FaultConfig::backoff_for established for
+// transfer retries -- min(base * factor^attempt, cap), saturating safely
+// for huge attempt counts -- extracted here so the fleet layer's
+// reconnect and lease-reassignment retries use the identical, tested
+// curve instead of growing their own.
+#pragma once
+
+namespace coopnet::util {
+
+/// Capped exponential backoff schedule. Value semantics; cheap to copy.
+struct Backoff {
+  /// Delay before attempt 0 (and the floor for negative attempts).
+  double base = 0.5;
+  /// Multiplier per attempt; 1.0 degenerates to a constant delay.
+  double factor = 2.0;
+  /// Upper bound every delay saturates to.
+  double cap = 8.0;
+
+  /// Delay in seconds before retry attempt `attempt` (0-based):
+  /// min(base * factor^attempt, cap). attempt <= 0 yields min(base, cap).
+  /// Saturates (never overflows, never NaN) for any attempt count.
+  double delay_for(int attempt) const;
+
+  /// Throws std::invalid_argument on non-finite or out-of-range knobs
+  /// (base <= 0, factor < 1, cap < base).
+  void validate() const;
+};
+
+}  // namespace coopnet::util

@@ -1,0 +1,152 @@
+#include "util/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace coopnet::util {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+::sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  ::sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string numeric = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, numeric.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error(
+        "socket: host must be a numeric IPv4 address or \"localhost\" "
+        "(got \"" + host + "\")");
+  }
+  return addr;
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Socket::send_all(const void* data, std::size_t size) {
+  const char* p = static_cast<const char*>(data);
+  std::size_t left = size;
+  while (left > 0) {
+    const ::ssize_t n = ::send(fd_, p, left, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+::ssize_t Socket::recv_some(void* buf, std::size_t size) {
+  for (;;) {
+    const ::ssize_t n = ::recv(fd_, buf, size, 0);
+    if (n < 0 && errno == EINTR) continue;
+    return n;
+  }
+}
+
+bool Socket::wait_readable(int timeout_ms) {
+  ::pollfd pfd{fd_, POLLIN, 0};
+  for (;;) {
+    const int r = ::poll(&pfd, 1, timeout_ms);
+    if (r < 0 && errno == EINTR) continue;
+    return r > 0 && (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+  }
+}
+
+void Socket::set_nonblocking(bool nonblocking) {
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) throw_errno("fcntl(F_GETFL)");
+  const int want = nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd_, F_SETFL, want) < 0) throw_errno("fcntl(F_SETFL)");
+}
+
+Socket tcp_connect(const std::string& host, std::uint16_t port) {
+  const ::sockaddr_in addr = make_addr(host, port);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  Socket sock(fd);
+  for (;;) {
+    if (::connect(fd, reinterpret_cast<const ::sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      break;
+    }
+    if (errno == EINTR) continue;
+    throw_errno("connect to " + host + ":" + std::to_string(port));
+  }
+  set_nodelay(fd);
+  return sock;
+}
+
+TcpListener::TcpListener(std::uint16_t port, const std::string& host) {
+  ::sockaddr_in addr = make_addr(host, port);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  sock_ = Socket(fd);
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const ::sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    throw_errno("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(fd, 64) != 0) throw_errno("listen");
+  ::socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<::sockaddr*>(&addr), &len) != 0) {
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  sock_.set_nonblocking(true);
+}
+
+Socket TcpListener::accept() {
+  for (;;) {
+    const int fd = ::accept(sock_.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      set_nodelay(fd);
+      return Socket(fd);
+    }
+    if (errno == EINTR) continue;
+    return Socket();  // EAGAIN/EWOULDBLOCK: nothing queued
+  }
+}
+
+}  // namespace coopnet::util

@@ -1,0 +1,84 @@
+// Thin POSIX TCP primitives for the fleet layer: an RAII socket with
+// EINTR-safe whole-buffer sends, and a localhost-friendly listener.
+//
+// Scope is deliberately narrow -- numeric IPv4 endpoints (plus the
+// literal name "localhost"), blocking or non-blocking stream sockets,
+// and nothing else. The fleet protocol (src/fleet/protocol.h) layers
+// newline-delimited frames on top; nothing here knows about messages.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <sys/types.h>
+
+namespace coopnet::util {
+
+/// RAII wrapper over a connected (or accepted) stream-socket fd.
+/// Move-only; the destructor closes the fd.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+
+  /// Sends the whole buffer, retrying partial writes and EINTR. Uses
+  /// MSG_NOSIGNAL, so a dead peer surfaces as `false` (EPIPE), never as
+  /// a process-killing SIGPIPE. Returns false on any send error.
+  bool send_all(const void* data, std::size_t size);
+  bool send_all(const std::string& data) {
+    return send_all(data.data(), data.size());
+  }
+
+  /// Receives up to `size` bytes. Returns the byte count, 0 on orderly
+  /// peer shutdown (EOF), and -1 on error (EAGAIN/EWOULDBLOCK included;
+  /// EINTR is retried internally).
+  ::ssize_t recv_some(void* buf, std::size_t size);
+
+  /// Blocks until the socket is readable or `timeout_ms` elapses
+  /// (-1 = forever). Returns true when readable (including EOF).
+  bool wait_readable(int timeout_ms);
+
+  /// Switches O_NONBLOCK; throws std::runtime_error on fcntl failure.
+  void set_nonblocking(bool nonblocking);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Connects to host:port (numeric IPv4, or "localhost"). Blocking
+/// connect; throws std::runtime_error with errno text on failure.
+Socket tcp_connect(const std::string& host, std::uint16_t port);
+
+/// Listening TCP socket bound to `host`:`port` (port 0 = kernel-chosen
+/// ephemeral port, readable via port() -- what the tests use). The
+/// accepting fd is non-blocking so a poll loop can drain it.
+class TcpListener {
+ public:
+  /// Binds and listens; throws std::runtime_error on failure.
+  explicit TcpListener(std::uint16_t port,
+                       const std::string& host = "127.0.0.1");
+
+  /// The actual bound port (resolves port 0 to the kernel's choice).
+  std::uint16_t port() const { return port_; }
+  int fd() const { return sock_.fd(); }
+
+  /// Accepts one pending connection, or an invalid Socket when none is
+  /// queued (the listener is non-blocking). Accepted sockets are
+  /// blocking with TCP_NODELAY set.
+  Socket accept();
+
+ private:
+  Socket sock_;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace coopnet::util

@@ -176,6 +176,144 @@ TEST(RunJournal, ToleratesATornTrailingLine) {
   EXPECT_EQ(index.torn_lines(), 1u);
 }
 
+TEST(RunJournal, LoadRejectsASchemaVersionMismatchActionably) {
+  const std::string path = temp_path("journal_schema.jsonl");
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << R"({"kind":"header","schema":99,"cells":2,"base_seed":7})"
+        << "\n";
+  }
+  try {
+    JournalIndex::load(path);
+    FAIL() << "schema 99 must be rejected";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    // The error names both versions and tells the user what to do.
+    EXPECT_NE(what.find("schema version 99"), std::string::npos) << what;
+    EXPECT_NE(what.find("version 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("rerun"), std::string::npos) << what;
+  }
+
+  // A header with no schema field at all (pre-versioning layout) is also
+  // rejected, not silently merged.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << R"({"kind":"header","cells":2,"base_seed":7})" << "\n";
+  }
+  EXPECT_THROW(JournalIndex::load(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(RunJournal, SchemaMismatchRejectsResumeEndToEnd) {
+  const std::string path = temp_path("journal_schema_resume.jsonl");
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << R"({"kind":"header","schema":2,"cells":4,"base_seed":11})"
+        << "\n";
+  }
+  SweepControl control;
+  control.resume_path = path;
+  control.journal_path = path;
+  EXPECT_THROW(open_sweep_journal(control, 4, 11), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+// Adversarial truncation: cut a valid journal at EVERY byte offset and
+// require the loader to (a) never crash or throw anything unexpected,
+// (b) recover exactly the records whose full line (newline included)
+// survived the cut, and (c) throw the documented runtime_error only
+// while the header line is still incomplete.
+TEST(RunJournal, LoaderRecoversAllCompleteRecordsAtEveryTruncation) {
+  const auto cells = replication_cells(3, 23);
+  const std::string path = temp_path("journal_everycut.jsonl");
+  {
+    RunJournal journal(path, RunJournal::Mode::kTruncate);
+    journal.write_header(cells.size(), 23);
+    const auto sweep =
+        run_cells_supervised(cells, 1, Supervision{}, &journal, nullptr);
+    ASSERT_TRUE(sweep.complete());
+  }
+  const std::string whole = read_file(path);
+  ASSERT_FALSE(whole.empty());
+
+  // Line-end offsets: a record is recoverable once its '\n' landed.
+  std::vector<std::size_t> line_ends;
+  for (std::size_t i = 0; i < whole.size(); ++i) {
+    if (whole[i] == '\n') line_ends.push_back(i + 1);
+  }
+  ASSERT_EQ(line_ends.size(), cells.size() + 1);  // header + cells
+
+  const std::string cut_path = temp_path("journal_everycut_prefix.jsonl");
+  for (std::size_t cut = 0; cut <= whole.size(); ++cut) {
+    {
+      std::ofstream out(cut_path, std::ios::binary | std::ios::trunc);
+      out << whole.substr(0, cut);
+    }
+    std::size_t complete_lines = 0;
+    while (complete_lines < line_ends.size() &&
+           line_ends[complete_lines] <= cut) {
+      ++complete_lines;
+    }
+    if (complete_lines == 0) {
+      // Header not yet durable: the documented "no header" error, never
+      // anything else.
+      EXPECT_THROW(JournalIndex::load(cut_path), std::runtime_error)
+          << "cut at byte " << cut;
+      continue;
+    }
+    JournalIndex index = JournalIndex::load(cut_path);
+    EXPECT_EQ(index.size(), complete_lines - 1) << "cut at byte " << cut;
+    // Whatever was recovered must be the exact journaled record.
+    for (std::size_t i = 0; i + 1 < complete_lines; ++i) {
+      const JournalEntry* entry = index.find(i);
+      ASSERT_NE(entry, nullptr) << "cut at byte " << cut << ", cell " << i;
+      EXPECT_EQ(entry->seed, cells[i].seed);
+      EXPECT_EQ(entry->status, CellOutcome::Status::kOk);
+      EXPECT_FALSE(entry->report_json.empty());
+    }
+    // At most the one torn trailing line.
+    EXPECT_LE(index.torn_lines(), 1u) << "cut at byte " << cut;
+  }
+  std::remove(path.c_str());
+  std::remove(cut_path.c_str());
+}
+
+TEST(RunJournal, CellRecordRenderParseRoundTripsOnOneLine) {
+  const auto cells = replication_cells(1, 29);
+  const auto sweep =
+      run_cells_supervised(cells, 1, Supervision{}, nullptr, nullptr);
+  ASSERT_TRUE(sweep.complete());
+
+  const std::string line = render_cell_record(sweep.outcomes[0]);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+
+  JournalEntry entry;
+  ASSERT_TRUE(parse_cell_record(line, &entry));
+  EXPECT_EQ(entry.index, 0u);
+  EXPECT_EQ(entry.seed, cells[0].seed);
+  EXPECT_EQ(entry.report_json, sweep.outcomes[0].report_json);
+
+  // Malformed inputs report false, never throw.
+  EXPECT_FALSE(parse_cell_record("", &entry));
+  EXPECT_FALSE(parse_cell_record("RESULT garbage", &entry));
+  EXPECT_FALSE(parse_cell_record(line.substr(0, line.size() / 2), &entry));
+  EXPECT_FALSE(parse_cell_record(
+      R"({"kind":"header","schema":1,"cells":1,"base_seed":1})", &entry));
+
+  // An appended raw line is indistinguishable from a record() write.
+  const std::string path = temp_path("journal_rawline.jsonl");
+  {
+    RunJournal journal(path, RunJournal::Mode::kTruncate);
+    journal.write_header(cells.size(), 29);
+    journal.append_record_line(line);
+    EXPECT_EQ(journal.records_written(), 1u);
+  }
+  const auto index = JournalIndex::load(path);
+  ASSERT_EQ(index.size(), 1u);
+  EXPECT_EQ(index.find(0)->report_json, sweep.outcomes[0].report_json);
+  std::remove(path.c_str());
+}
+
 TEST(RunJournal, LoadRejectsMissingOrHeaderlessFiles) {
   EXPECT_THROW(JournalIndex::load(temp_path("does_not_exist.jsonl")),
                std::runtime_error);

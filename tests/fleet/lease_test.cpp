@@ -1,0 +1,142 @@
+// LeaseTable: contiguous grants, heartbeat renewal, deadline expiry with
+// backoff-paced reassignment, and max-attempts abandonment (quarantine).
+// Time is injected, so every scenario here is deterministic.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "fleet/lease.h"
+
+namespace coopnet::fleet {
+namespace {
+
+LeaseConfig fast_config() {
+  LeaseConfig config;
+  config.cells_per_lease = 4;
+  config.lease_duration = 30.0;
+  config.reassign_backoff = util::Backoff{0.25, 2.0, 8.0};
+  config.max_attempts = 3;
+  return config;
+}
+
+TEST(LeaseTableTest, GrantsContiguousRunsUpToCellsPerLease) {
+  LeaseTable table(10, fast_config());
+  const auto a = table.acquire(1, 0.0);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->first, 0u);
+  EXPECT_EQ(a->count, 4u);
+  const auto b = table.acquire(2, 0.0);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->first, 4u);
+  EXPECT_EQ(b->count, 4u);
+  const auto c = table.acquire(1, 0.0);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->first, 8u);
+  EXPECT_EQ(c->count, 2u);  // tail run is shorter than cells_per_lease
+  EXPECT_FALSE(table.acquire(3, 0.0).has_value());
+  EXPECT_EQ(table.leased_count(), 10u);
+  EXPECT_EQ(table.pending_count(), 0u);
+}
+
+TEST(LeaseTableTest, CompleteIsIdempotentAndShrinksTheLease) {
+  LeaseTable table(4, fast_config());
+  ASSERT_TRUE(table.acquire(1, 0.0).has_value());
+  EXPECT_TRUE(table.complete(0));
+  EXPECT_FALSE(table.complete(0)) << "duplicate completion must report false";
+  EXPECT_TRUE(table.complete(1));
+  EXPECT_TRUE(table.complete(2));
+  EXPECT_TRUE(table.complete(3));
+  EXPECT_TRUE(table.all_done());
+  EXPECT_EQ(table.active_leases(), 0u) << "a fully completed lease is dropped";
+}
+
+TEST(LeaseTableTest, ExpiryRequeuesUnderBackoffPacing) {
+  LeaseTable table(4, fast_config());
+  ASSERT_TRUE(table.acquire(1, 0.0).has_value());
+  EXPECT_EQ(table.expire(29.0), 0u) << "deadline not reached yet";
+  EXPECT_EQ(table.expire(31.0), 4u);
+  // attempts == 1, so the cells back off by delay_for(0) == 0.25 s.
+  EXPECT_FALSE(table.acquire(2, 31.0).has_value());
+  EXPECT_DOUBLE_EQ(table.next_grant_time(31.0), 31.25);
+  const auto lease = table.acquire(2, 31.25);
+  ASSERT_TRUE(lease.has_value());
+  EXPECT_EQ(lease->first, 0u);
+  EXPECT_EQ(lease->count, 4u);
+  EXPECT_EQ(table.reassignments(), 4u);
+}
+
+TEST(LeaseTableTest, RenewPushesTheDeadline) {
+  LeaseTable table(4, fast_config());
+  ASSERT_TRUE(table.acquire(1, 0.0).has_value());
+  table.renew(1, 20.0);
+  EXPECT_EQ(table.expire(31.0), 0u) << "heartbeat at t=20 renews to t=50";
+  EXPECT_EQ(table.expire(50.5), 4u);
+}
+
+TEST(LeaseTableTest, ReleaseHolderOnlyTouchesThatHoldersLeases) {
+  LeaseTable table(8, fast_config());
+  ASSERT_TRUE(table.acquire(1, 0.0).has_value());
+  ASSERT_TRUE(table.acquire(2, 0.0).has_value());
+  EXPECT_EQ(table.release_holder(1, 1.0), 4u);
+  EXPECT_EQ(table.leased_count(), 4u) << "holder 2's lease is untouched";
+  EXPECT_EQ(table.pending_count(), 4u);
+}
+
+TEST(LeaseTableTest, CompletedCellsDoNotRequeueOnExpiry) {
+  LeaseTable table(4, fast_config());
+  ASSERT_TRUE(table.acquire(1, 0.0).has_value());
+  EXPECT_TRUE(table.complete(0));
+  EXPECT_TRUE(table.complete(1));
+  EXPECT_EQ(table.expire(31.0), 2u) << "only the unfinished cells requeue";
+  EXPECT_EQ(table.done_count(), 2u);
+}
+
+TEST(LeaseTableTest, MaxAttemptsAbandonsInsteadOfRegranting) {
+  LeaseConfig config = fast_config();
+  config.cells_per_lease = 1;
+  config.max_attempts = 2;
+  LeaseTable table(1, config);
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const auto lease =
+        table.acquire(7, 100.0 * attempt + 50.0);  // past any backoff
+    ASSERT_TRUE(lease.has_value()) << "attempt " << attempt;
+    EXPECT_EQ(table.release_holder(7, 100.0 * attempt + 51.0),
+              attempt == 1 ? 0u : 1u)
+        << "the final loss abandons rather than requeues";
+  }
+  // Exhausted: never grantable again, even arbitrarily far in the future.
+  EXPECT_FALSE(table.acquire(8, 1e18).has_value());
+  EXPECT_EQ(table.next_grant_time(1e18),
+            std::numeric_limits<double>::infinity());
+  const auto abandoned = table.take_abandoned();
+  ASSERT_EQ(abandoned.size(), 1u);
+  EXPECT_EQ(abandoned[0], 0u);
+  EXPECT_TRUE(table.all_done()) << "abandoned cells count as terminal";
+  EXPECT_TRUE(table.take_abandoned().empty()) << "reported exactly once";
+}
+
+TEST(LeaseTableTest, MarkDoneSeedsResumeAndSkipsGranting) {
+  LeaseTable table(6, fast_config());
+  table.mark_done(0);
+  table.mark_done(1);
+  table.mark_done(1);  // idempotent
+  const auto lease = table.acquire(1, 0.0);
+  ASSERT_TRUE(lease.has_value());
+  EXPECT_EQ(lease->first, 2u) << "journaled cells are never re-granted";
+  EXPECT_EQ(table.done_count(), 2u);
+}
+
+TEST(LeaseTableTest, ValidateRejectsNonsense) {
+  LeaseConfig config = fast_config();
+  config.cells_per_lease = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = fast_config();
+  config.lease_duration = 0.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = fast_config();
+  config.max_attempts = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace coopnet::fleet

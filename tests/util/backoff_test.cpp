@@ -1,0 +1,73 @@
+// util::Backoff: the shared capped-exponential retry schedule. The curve
+// must match sim::FaultConfig::backoff_for exactly (that code now
+// delegates here), so the fault-retry property tests double as coverage
+// for this shape; these tests pin the contract directly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/faults.h"
+#include "util/backoff.h"
+
+namespace coopnet::util {
+namespace {
+
+TEST(Backoff, FollowsTheCappedExponentialCurve) {
+  const Backoff b{0.5, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(b.delay_for(0), 0.5);
+  EXPECT_DOUBLE_EQ(b.delay_for(1), 1.0);
+  EXPECT_DOUBLE_EQ(b.delay_for(2), 2.0);
+  EXPECT_DOUBLE_EQ(b.delay_for(3), 3.0);  // capped
+  EXPECT_DOUBLE_EQ(b.delay_for(10), 3.0);
+}
+
+TEST(Backoff, NegativeAttemptsFloorAtTheBase) {
+  const Backoff b{1.0, 2.0, 8.0};
+  EXPECT_DOUBLE_EQ(b.delay_for(-5), 1.0);
+  // base above cap: the cap still wins even for attempt 0.
+  const Backoff tight{4.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(tight.delay_for(0), 4.0);
+}
+
+TEST(Backoff, SaturatesForHugeAttemptCounts) {
+  const Backoff b{0.25, 2.0, 60.0};
+  for (int attempt : {64, 1024, 1 << 30}) {
+    const double d = b.delay_for(attempt);
+    EXPECT_TRUE(std::isfinite(d));
+    EXPECT_DOUBLE_EQ(d, 60.0);
+  }
+}
+
+TEST(Backoff, UnitFactorIsAConstantDelay) {
+  const Backoff b{2.0, 1.0, 8.0};
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    EXPECT_DOUBLE_EQ(b.delay_for(attempt), 2.0);
+  }
+}
+
+TEST(Backoff, MatchesFaultConfigBackoffForEveryAttempt) {
+  sim::FaultConfig f;
+  f.retry_backoff = 0.3;
+  f.retry_backoff_factor = 1.7;
+  f.retry_backoff_cap = 11.0;
+  const Backoff b{f.retry_backoff, f.retry_backoff_factor,
+                  f.retry_backoff_cap};
+  for (int attempt = -2; attempt <= 64; ++attempt) {
+    EXPECT_DOUBLE_EQ(b.delay_for(attempt), f.backoff_for(attempt))
+        << "attempt " << attempt;
+  }
+}
+
+TEST(Backoff, ValidateRejectsNonsense) {
+  EXPECT_NO_THROW((Backoff{0.5, 2.0, 8.0}).validate());
+  EXPECT_THROW((Backoff{0.0, 2.0, 8.0}).validate(), std::invalid_argument);
+  EXPECT_THROW((Backoff{-1.0, 2.0, 8.0}).validate(), std::invalid_argument);
+  EXPECT_THROW((Backoff{0.5, 0.5, 8.0}).validate(), std::invalid_argument);
+  EXPECT_THROW((Backoff{0.5, 2.0, 0.1}).validate(), std::invalid_argument);
+  EXPECT_THROW((Backoff{std::nan(""), 2.0, 8.0}).validate(),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace coopnet::util

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# CI fleet-kill leg: run a 3-worker localhost fleet sweep, SIGKILL one
+# worker mid-flight, and require the coordinator's merged JSON to be
+# byte-identical to an uninterrupted single-machine --jobs 2 reference.
+# Exercises the fleet subsystem end to end: TCP leases + heartbeats, EOF
+# detection of the killed worker, backoff-paced reassignment of its
+# cells, the fsync'd coordinator journal, and the bit-identical merge
+# (DESIGN.md "Fleet architecture").
+#
+# Usage: tools/ci_fleet_kill.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BUILD_DIR=${1:-build}
+SWEEP="$BUILD_DIR/bench/fig_churn_sweep"
+# Same scale as ci_kill_resume.sh: the 42-cell matrix takes ~1 s of CPU,
+# long enough for the kill to land while cells are still outstanding.
+ARGS=(--n 150 --file-mb 8 --seed 11 --cell-timeout 300)
+PORT=${COOPNET_FLEET_PORT:-39117}
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"; kill $(jobs -p) 2> /dev/null || true' EXIT
+
+cell_count() {
+  grep -c '"kind":"cell"' "$1" 2>/dev/null || true
+}
+
+echo "== reference: uninterrupted single-machine --jobs 2 sweep"
+"$SWEEP" "${ARGS[@]}" --jobs 2 --journal "$tmp/ref.jsonl" \
+  --json-out "$tmp/ref.json" > /dev/null
+
+echo "== coordinator + 3 workers on 127.0.0.1:$PORT"
+# Tight lease/heartbeat so the killed worker's cells reassign quickly;
+# --max-cell-attempts high enough that the kill never quarantines them.
+"$SWEEP" "${ARGS[@]}" --fleet-listen "$PORT" --lease-cells 2 \
+  --lease-timeout 10 --heartbeat 1 --journal "$tmp/fleet.jsonl" \
+  --json-out "$tmp/fleet.json" > "$tmp/coordinator.log" 2>&1 &
+coord_pid=$!
+
+# exec so the background pid is the worker binary itself -- the SIGKILL
+# below must hit the worker, not a wrapping subshell.
+worker() {
+  exec "$SWEEP" "${ARGS[@]}" --fleet-connect "127.0.0.1:$PORT" \
+    --fleet-name "$1" > "$tmp/$1.log" 2>&1
+}
+worker w1 & w1_pid=$!
+worker w2 & w2_pid=$!
+worker victim & victim_pid=$!
+
+# Let the fleet make some progress, then SIGKILL one worker mid-lease.
+for _ in $(seq 1 3000); do
+  cells=$(cell_count "$tmp/fleet.jsonl")
+  [ "${cells:-0}" -ge 3 ] && break
+  sleep 0.01
+done
+# The victim holds leases (or is about to); a SIGKILL closes its socket
+# and the coordinator must re-queue whatever it was holding.
+kill -9 "$victim_pid" 2> /dev/null || true
+wait "$victim_pid" 2> /dev/null || true
+echo "   victim killed with $(cell_count "$tmp/fleet.jsonl") cells journaled"
+
+wait "$w1_pid" "$w2_pid"
+wait "$coord_pid"
+grep -E "fleet: .* worker" "$tmp/coordinator.log" || true
+
+# The kill must actually have been observed as a worker loss -- without
+# this check the test silently degrades into a plain 3-worker run.
+grep -qE "fleet: .* joined, [1-9][0-9]* lost," "$tmp/coordinator.log" || {
+  echo "fleet-kill: coordinator never saw the victim die" >&2
+  exit 1
+}
+
+echo "== diff merged JSON against the single-machine reference"
+cmp "$tmp/ref.json" "$tmp/fleet.json"
+echo "== diff the loaded journals (same records either way)"
+[ "$(cell_count "$tmp/fleet.jsonl")" -eq "$(cell_count "$tmp/ref.jsonl")" ]
+echo "fleet-kill: merged JSON is byte-identical to the single-machine run"
