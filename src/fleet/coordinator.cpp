@@ -23,6 +23,12 @@ constexpr int kPollTimeoutMs = 200;
 /// generous chunks.
 constexpr std::size_t kRecvChunk = 64 * 1024;
 
+/// Bound on any single blocking send to a worker. Frames are tiny, so a
+/// worker that cannot drain one within this window is stalled or gone;
+/// failing the send (and closing the client) keeps the single-threaded
+/// poll loop -- lease expiry included -- from freezing behind it.
+constexpr double kSendTimeoutSecs = 10.0;
+
 }  // namespace
 
 struct FleetCoordinator::Client {
@@ -81,7 +87,13 @@ double FleetCoordinator::now() const {
 
 exp::SweepResult FleetCoordinator::serve() {
   while (!table_.all_done()) {
+    // fds covers the listener plus the clients that exist right now;
+    // accept_new_clients() below grows clients_, so the dispatch loop
+    // must stay bounded by this snapshot or it would index past the
+    // end of fds. Fresh connections get polled on the next tick.
+    const std::size_t n_polled = clients_.size();
     std::vector<pollfd> fds;
+    fds.reserve(n_polled + 1);
     fds.push_back({listener_.fd(), POLLIN, 0});
     for (const auto& client : clients_) {
       fds.push_back({client->sock.fd(), POLLIN, 0});
@@ -89,7 +101,7 @@ exp::SweepResult FleetCoordinator::serve() {
     ::poll(fds.data(), fds.size(), kPollTimeoutMs);  // EINTR: just retick
 
     if (fds[0].revents & POLLIN) accept_new_clients();
-    for (std::size_t i = 0; i < clients_.size(); ++i) {
+    for (std::size_t i = 0; i < n_polled; ++i) {
       if (fds[i + 1].revents & (POLLIN | POLLHUP | POLLERR)) {
         pump_client(*clients_[i]);
       }
@@ -113,7 +125,9 @@ exp::SweepResult FleetCoordinator::serve() {
   // Everyone still connected gets told the sweep is over, so a worker
   // sleeping on WAIT wakes up to DONE instead of a dead socket.
   for (auto& client : clients_) {
-    if (!client->closed) send_frame(client->sock, render_done());
+    if (!client->closed && !send_frame(client->sock, render_done())) {
+      client->closed = true;
+    }
   }
   // Linger briefly so in-flight frames (a duplicate RESULT, the BYE
   // replies) drain instead of triggering RSTs that could destroy the
@@ -150,6 +164,7 @@ void FleetCoordinator::accept_new_clients() {
     auto client = std::make_unique<Client>();
     client->id = next_client_id_++;
     client->sock = std::move(sock);
+    client->sock.set_send_timeout(kSendTimeoutSecs);
     clients_.push_back(std::move(client));
   }
 }
@@ -248,14 +263,18 @@ bool FleetCoordinator::handle_frame(Client& client, const Frame& frame) {
 }
 
 void FleetCoordinator::answer_request(Client& client) {
+  // A failed (or timed-out) send means the worker is gone or wedged;
+  // closing it lets its leases expire and move elsewhere.
   if (table_.all_done()) {
-    send_frame(client.sock, render_done());
+    if (!send_frame(client.sock, render_done())) client.closed = true;
     return;
   }
   const double t = now();
   if (std::optional<Lease> lease = table_.acquire(client.id, t)) {
     ++stats_.leases_granted;
-    send_frame(client.sock, render_lease(lease->first, lease->count));
+    if (!send_frame(client.sock, render_lease(lease->first, lease->count))) {
+      client.closed = true;
+    }
     return;
   }
   // Nothing grantable: either every pending cell is backing off (tell
@@ -265,7 +284,7 @@ void FleetCoordinator::answer_request(Client& client) {
   double wait = control_.lease.lease_duration / 2.0;
   if (next > t && next - t < wait) wait = next - t;
   wait = std::clamp(wait, 0.05, 5.0);
-  send_frame(client.sock, render_wait(wait));
+  if (!send_frame(client.sock, render_wait(wait))) client.closed = true;
 }
 
 bool FleetCoordinator::ingest_result(Client& client,

@@ -24,9 +24,16 @@ void parse_endpoint(const std::string& spec, const std::string& flag,
     throw std::invalid_argument(flag + ": expected HOST:PORT (got \"" +
                                 spec + "\")");
   }
+  // std::stoi alone accepts a numeric prefix ("8080junk" -> 8080);
+  // require an all-digit token, like parse_u64_token in the protocol.
+  if (port_str.empty() ||
+      port_str.find_first_not_of("0123456789") != std::string::npos) {
+    throw std::invalid_argument(flag + ": \"" + port_str +
+                                "\" is not a port number (0-65535)");
+  }
   try {
     const int v = std::stoi(port_str);
-    if (v < 0 || v > 65535) throw std::out_of_range("port");
+    if (v > 65535) throw std::out_of_range("port");
     *port = static_cast<std::uint16_t>(v);
   } catch (const std::exception&) {
     throw std::invalid_argument(flag + ": \"" + port_str +

@@ -6,6 +6,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -90,6 +91,16 @@ bool Socket::wait_readable(int timeout_ms) {
     const int r = ::poll(&pfd, 1, timeout_ms);
     if (r < 0 && errno == EINTR) continue;
     return r > 0 && (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+  }
+}
+
+void Socket::set_send_timeout(double seconds) {
+  ::timeval tv{};
+  tv.tv_sec = static_cast<::time_t>(seconds);
+  tv.tv_usec = static_cast<::suseconds_t>(
+      (seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  if (::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    throw_errno("setsockopt(SO_SNDTIMEO)");
   }
 }
 

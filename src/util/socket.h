@@ -50,6 +50,12 @@ class Socket {
   /// Switches O_NONBLOCK; throws std::runtime_error on fcntl failure.
   void set_nonblocking(bool nonblocking);
 
+  /// Bounds each blocking send() on this socket (SO_SNDTIMEO): once the
+  /// peer stops draining for `seconds`, the send fails and send_all
+  /// returns false instead of blocking the caller forever. Throws
+  /// std::runtime_error on setsockopt failure.
+  void set_send_timeout(double seconds);
+
  private:
   int fd_ = -1;
 };
