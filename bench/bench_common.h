@@ -43,8 +43,8 @@ inline sim::SwarmConfig scenario_from_cli(const util::Cli& cli,
   } else {
     throw std::invalid_argument("unknown --scale (small|mid|paper)");
   }
-  config.n_peers = static_cast<std::size_t>(
-      cli.get_int("n", static_cast<long>(config.n_peers)));
+  config.n_peers =
+      cli.get_count("n", config.n_peers, sim::kMaxPeerCount);
   config.file_bytes =
       cli.get_int("file-mb", config.file_bytes / (1024 * 1024)) * 1024LL *
       1024LL;

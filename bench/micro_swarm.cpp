@@ -6,6 +6,7 @@
 // experiments do.
 //
 //   micro_swarm [--json-out FILE] [--max-n N] [--seed S]
+//   micro_swarm --peers N [--horizon SECS] [--json-out FILE] [--seed S]
 //
 // --json-out writes the BENCH_swarm.json document consumed by
 // tools/ci_bench_gate.sh; bench/baselines/BENCH_swarm.json is the
@@ -13,6 +14,13 @@
 // the pre-optimization numbers the PR's speedup claim is measured against
 // (same source file, same workloads). --max-n 1000 skips the N = 5000 leg
 // (the CI perf-smoke setting).
+//
+// --peers switches to the single-run scale leg: one BitTorrent swarm of N
+// peers over a small file (8 MB / 32 pieces) and a fixed simulated
+// horizon, sized so N = 100,000 fits a CI wall-clock budget. Emits
+// BENCH_swarm_scale.json-style records (one `scale/n=N` row); the
+// document-level peak_rss_kb is the memory gate's input. Event counts
+// stay deterministic, so the gate diffs them byte-for-byte.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -45,13 +53,68 @@ sim::SwarmConfig sweep_config(core::Algorithm algo, std::size_t n,
   return config;
 }
 
-}  // namespace
+// The scale leg: piece work per peer is capped (32 pieces) so event count
+// grows ~linearly with N and the run measures per-peer bookkeeping --
+// membership, choking, timers -- not file size.
+sim::SwarmConfig scale_config(std::size_t n, double horizon,
+                              std::uint64_t seed) {
+  auto config = sim::SwarmConfig::paper_scale(core::Algorithm::kBitTorrent,
+                                              seed);
+  config.n_peers = n;
+  config.file_bytes = 8LL * 1024 * 1024;  // 32 pieces of 256 KB
+  config.graph.degree = 30;
+  // A short flash crowd keeps the whole population live at once -- the
+  // worst case for the active-set and timer machinery.
+  config.flash_crowd_window = 10.0;
+  config.max_time = horizon;
+  return config;
+}
 
-int main(int argc, char** argv) {
+int run_scale_leg(const util::Cli& cli, std::uint64_t seed,
+                  const std::string& json_out) {
+  const std::size_t n = cli.get_count("peers", 100000, sim::kMaxPeerCount);
+  const double horizon = cli.get_double("horizon", 120.0);
+  if (horizon <= 0.0) {
+    std::fprintf(stderr, "error: --horizon must be > 0 (got %g)\n", horizon);
+    return 1;
+  }
+
+  const auto config = scale_config(n, horizon, seed);
+  const double t_build = bench::wall_now();
+  sim::Swarm swarm(config, strategy::make_strategy(config.algorithm));
+  const double build_wall = bench::wall_now() - t_build;
+  const double start = bench::wall_now();
+  swarm.run();
+  const double wall = bench::wall_now() - start;
+
+  bench::BenchRecord r;
+  r.name = "scale/n=" + std::to_string(n);
+  r.events = swarm.engine().events_processed();
+  r.wall_s = wall;
+  r.extra.emplace_back("build_wall_s", build_wall);
+
+  util::Table table("micro_swarm: scale leg (BitTorrent, 8 MB file)");
+  table.set_header({"N", "horizon (s)", "events", "build (s)", "run (s)",
+                    "events/s"});
+  table.add_row({std::to_string(n), util::Table::num(horizon, 0),
+                 std::to_string(r.events), util::Table::num(build_wall, 3),
+                 util::Table::num(wall, 3),
+                 util::Table::num(r.events_per_sec(), 0)});
+  std::printf("%s", table.render().c_str());
+  std::printf("peak RSS: %ld kB\n", bench::peak_rss_kb());
+  if (!json_out.empty()) {
+    bench::write_bench_json(json_out, "micro_swarm_scale", {r});
+    std::printf("wrote %s\n", json_out.c_str());
+  }
+  return 0;
+}
+
+int run(int argc, char** argv) {
   util::Cli cli(argc, argv);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
-  const auto max_n = static_cast<std::size_t>(cli.get_int("max-n", 5000));
   const std::string json_out = cli.get_string("json-out", "");
+  if (cli.has("peers")) return run_scale_leg(cli, seed, json_out);
+  const auto max_n = cli.get_count("max-n", 5000, sim::kMaxPeerCount);
 
   std::vector<bench::BenchRecord> records;
   util::Table table("micro_swarm: six-mechanism sweep throughput");
@@ -99,4 +162,15 @@ int main(int argc, char** argv) {
     std::printf("wrote %s\n", json_out.c_str());
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }

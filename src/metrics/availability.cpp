@@ -15,24 +15,24 @@ AvailabilitySnapshot availability_snapshot(const sim::Swarm& swarm) {
   snap.piece_count_distribution.assign(pieces + 1, 0.0);
 
   std::vector<std::uint32_t> replication(pieces, 1);  // seeder-backed copy
-  double total_pieces = 0.0;
-  for (sim::PeerId i = 0; i < swarm.leechers(); ++i) {
-    const sim::Peer& p = swarm.peer(i);
-    if (!p.active()) continue;
+  // O(active): every accumulation here is an exact integer sum, so the
+  // active registry's arbitrary iteration order cannot change the result.
+  std::uint64_t total_pieces = 0;
+  for (const sim::PeerId id : swarm.active_ids()) {
+    sim::ConstPeer p = swarm.peer(id);
+    if (p.is_seeder()) continue;
     ++snap.active_leechers;
-    const auto count = p.pieces.count();
+    const auto count = p.pieces().count();
     snap.piece_count_distribution[count] += 1.0;
-    total_pieces += static_cast<double>(count);
-    for (sim::PieceId q = 0; q < pieces; ++q) {
-      if (p.pieces.has(q)) ++replication[q];
-    }
+    total_pieces += count;
+    p.pieces().for_each([&](sim::PieceId q) { ++replication[q]; });
   }
   if (snap.active_leechers > 0) {
     for (double& v : snap.piece_count_distribution) {
       v /= static_cast<double>(snap.active_leechers);
     }
-    snap.mean_pieces =
-        total_pieces / static_cast<double>(snap.active_leechers);
+    snap.mean_pieces = static_cast<double>(total_pieces) /
+                       static_cast<double>(snap.active_leechers);
   }
   snap.min_replication = std::numeric_limits<std::uint32_t>::max();
   for (std::uint32_t r : replication) {

@@ -14,10 +14,10 @@ RunReport build_report(const sim::Swarm& swarm, const RunMetrics& metrics) {
 
   double compliant_ratio = 0.0, strategic_ratio = 0.0;
   std::size_t compliant_n = 0, strategic_n = 0;
-  for (const sim::Peer& p : swarm.all_peers()) {
+  for (sim::ConstPeer p : swarm.peers()) {
     const double ratio = p.fairness_ratio();
     if (ratio < 0.0) continue;
-    if (p.kind == sim::PeerKind::kCompliant) {
+    if (p.kind() == sim::PeerKind::kCompliant) {
       compliant_ratio += ratio;
       ++compliant_n;
     } else if (p.is_strategic()) {
@@ -57,11 +57,12 @@ RunReport build_report(const sim::Swarm& swarm, const RunMetrics& metrics) {
   r.final_fairness_F = current_fairness_F(swarm);
 
   std::vector<double> rates;
-  for (const sim::Peer& p : swarm.all_peers()) {
-    if (p.kind != sim::PeerKind::kCompliant || !p.finished()) continue;
-    const double span = p.finish_time - p.arrival_time;
+  for (sim::ConstPeer p : swarm.peers()) {
+    if (p.kind() != sim::PeerKind::kCompliant || !p.finished()) continue;
+    const double span = p.finish_time() - p.arrival_time();
     if (span > 0.0) {
-      rates.push_back(static_cast<double>(p.downloaded_usable_bytes) / span);
+      rates.push_back(static_cast<double>(p.downloaded_usable_bytes()) /
+                      span);
     }
   }
   if (!rates.empty()) r.download_rate_jain = util::jain_index(rates);
@@ -70,9 +71,8 @@ RunReport build_report(const sim::Swarm& swarm, const RunMetrics& metrics) {
   r.susceptibility = current_susceptibility(swarm);
 
   r.total_uploaded_bytes = swarm.total_uploaded_bytes();
-  for (const sim::Peer& p : swarm.all_peers()) {
-    r.total_downloaded_raw_bytes += p.downloaded_raw_bytes;
-  }
+  r.total_downloaded_raw_bytes =
+      swarm.peer_store().total_downloaded_raw_bytes();
 
   r.faults = swarm.fault_stats();
   r.goodput_ratio = r.faults.goodput_ratio();

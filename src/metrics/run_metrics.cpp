@@ -16,8 +16,8 @@ void RunMetrics::install(sim::Swarm& swarm) {
   if (installed_) throw std::logic_error("RunMetrics: already installed");
   installed_ = true;
   swarm.set_observer(this);
-  for (const sim::Peer& p : swarm.all_peers()) {
-    if (p.kind == sim::PeerKind::kCompliant) ++compliant_population_;
+  for (sim::ConstPeer p : swarm.peers()) {
+    if (p.kind() == sim::PeerKind::kCompliant) ++compliant_population_;
     if (p.is_free_rider()) ++freerider_population_;
     if (p.is_strategic()) ++strategic_population_;
   }
@@ -35,22 +35,22 @@ void RunMetrics::sample(sim::Swarm& swarm) {
 }
 
 void RunMetrics::on_bootstrap(const sim::Swarm& swarm,
-                              const sim::Peer& peer) {
-  if (peer.kind != sim::PeerKind::kCompliant) return;
-  bootstrap_.push_back(swarm.engine().now() - peer.arrival_time);
+                              sim::ConstPeer peer) {
+  if (peer.kind() != sim::PeerKind::kCompliant) return;
+  bootstrap_.push_back(swarm.engine().now() - peer.arrival_time());
 }
 
-void RunMetrics::on_finish(const sim::Swarm& swarm, const sim::Peer& peer) {
-  if (peer.kind != sim::PeerKind::kCompliant) return;
-  completion_.push_back(swarm.engine().now() - peer.arrival_time);
+void RunMetrics::on_finish(const sim::Swarm& swarm, sim::ConstPeer peer) {
+  if (peer.kind() != sim::PeerKind::kCompliant) return;
+  completion_.push_back(swarm.engine().now() - peer.arrival_time());
 }
 
 double current_fairness(const sim::Swarm& swarm) {
   double total = 0.0;
   std::size_t n = 0;
-  for (const sim::Peer& p : swarm.all_peers()) {
-    if (p.kind != sim::PeerKind::kCompliant) continue;
-    if (p.state == sim::PeerState::kPending) continue;
+  for (sim::ConstPeer p : swarm.peers()) {
+    if (p.kind() != sim::PeerKind::kCompliant) continue;
+    if (p.state() == sim::PeerState::kPending) continue;
     const double ratio = p.fairness_ratio();
     if (ratio < 0.0) continue;
     total += ratio;
@@ -62,13 +62,13 @@ double current_fairness(const sim::Swarm& swarm) {
 double current_fairness_F(const sim::Swarm& swarm) {
   double total = 0.0;
   std::size_t n = 0;
-  for (const sim::Peer& p : swarm.all_peers()) {
-    if (p.kind != sim::PeerKind::kCompliant) continue;
-    if (p.state == sim::PeerState::kPending) continue;
-    if (p.uploaded_bytes <= 0 || p.downloaded_usable_bytes <= 0) continue;
+  for (sim::ConstPeer p : swarm.peers()) {
+    if (p.kind() != sim::PeerKind::kCompliant) continue;
+    if (p.state() == sim::PeerState::kPending) continue;
+    if (p.uploaded_bytes() <= 0 || p.downloaded_usable_bytes() <= 0) continue;
     total += std::fabs(std::log(
-        static_cast<double>(p.downloaded_usable_bytes) /
-        static_cast<double>(p.uploaded_bytes)));
+        static_cast<double>(p.downloaded_usable_bytes()) /
+        static_cast<double>(p.uploaded_bytes())));
     ++n;
   }
   return n == 0 ? -1.0 : total / static_cast<double>(n);

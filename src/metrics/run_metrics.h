@@ -25,8 +25,8 @@ class RunMetrics : public sim::SwarmObserver {
   void install(sim::Swarm& swarm);
 
   // SwarmObserver:
-  void on_bootstrap(const sim::Swarm& swarm, const sim::Peer& peer) override;
-  void on_finish(const sim::Swarm& swarm, const sim::Peer& peer) override;
+  void on_bootstrap(const sim::Swarm& swarm, sim::ConstPeer peer) override;
+  void on_finish(const sim::Swarm& swarm, sim::ConstPeer peer) override;
 
   // --- results (valid after the run) -------------------------------------
   /// Download completion times of compliant peers, arrival-to-finish.

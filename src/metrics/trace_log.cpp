@@ -27,15 +27,15 @@ void TraceLog::on_transfer(const sim::Swarm& swarm, const sim::Transfer& t) {
   if (next_ != nullptr) next_->on_transfer(swarm, t);
 }
 
-void TraceLog::on_bootstrap(const sim::Swarm& swarm, const sim::Peer& peer) {
+void TraceLog::on_bootstrap(const sim::Swarm& swarm, sim::ConstPeer peer) {
   events_.push_back({TraceEvent::Kind::kBootstrap, swarm.engine().now(),
-                     peer.id, sim::kNoPeer, sim::kNoPiece, 0, false});
+                     peer.id(), sim::kNoPeer, sim::kNoPiece, 0, false});
   if (next_ != nullptr) next_->on_bootstrap(swarm, peer);
 }
 
-void TraceLog::on_finish(const sim::Swarm& swarm, const sim::Peer& peer) {
+void TraceLog::on_finish(const sim::Swarm& swarm, sim::ConstPeer peer) {
   events_.push_back({TraceEvent::Kind::kFinish, swarm.engine().now(),
-                     peer.id, sim::kNoPeer, sim::kNoPiece, 0, false});
+                     peer.id(), sim::kNoPeer, sim::kNoPiece, 0, false});
   if (next_ != nullptr) next_->on_finish(swarm, peer);
 }
 

@@ -34,8 +34,8 @@ class TraceLog : public sim::SwarmObserver {
   void chain(sim::SwarmObserver* next) { next_ = next; }
 
   void on_transfer(const sim::Swarm& swarm, const sim::Transfer& t) override;
-  void on_bootstrap(const sim::Swarm& swarm, const sim::Peer& peer) override;
-  void on_finish(const sim::Swarm& swarm, const sim::Peer& peer) override;
+  void on_bootstrap(const sim::Swarm& swarm, sim::ConstPeer peer) override;
+  void on_finish(const sim::Swarm& swarm, sim::ConstPeer peer) override;
 
   const std::vector<TraceEvent>& events() const { return events_; }
   std::size_t transfer_count() const { return transfer_count_; }

@@ -49,14 +49,14 @@ void TraceSink::on_transfer(const sim::Swarm& swarm, const sim::Transfer& t) {
   if (next_ != nullptr) next_->on_transfer(swarm, t);
 }
 
-void TraceSink::on_bootstrap(const sim::Swarm& swarm, const sim::Peer& peer) {
-  write({TraceEvent::Kind::kBootstrap, swarm.engine().now(), peer.id,
+void TraceSink::on_bootstrap(const sim::Swarm& swarm, sim::ConstPeer peer) {
+  write({TraceEvent::Kind::kBootstrap, swarm.engine().now(), peer.id(),
          sim::kNoPeer, sim::kNoPiece, 0, false});
   if (next_ != nullptr) next_->on_bootstrap(swarm, peer);
 }
 
-void TraceSink::on_finish(const sim::Swarm& swarm, const sim::Peer& peer) {
-  write({TraceEvent::Kind::kFinish, swarm.engine().now(), peer.id,
+void TraceSink::on_finish(const sim::Swarm& swarm, sim::ConstPeer peer) {
+  write({TraceEvent::Kind::kFinish, swarm.engine().now(), peer.id(),
          sim::kNoPeer, sim::kNoPiece, 0, false});
   if (next_ != nullptr) next_->on_finish(swarm, peer);
 }

@@ -36,8 +36,8 @@ class TraceSink : public sim::SwarmObserver {
   void chain(sim::SwarmObserver* next) { next_ = next; }
 
   void on_transfer(const sim::Swarm& swarm, const sim::Transfer& t) override;
-  void on_bootstrap(const sim::Swarm& swarm, const sim::Peer& peer) override;
-  void on_finish(const sim::Swarm& swarm, const sim::Peer& peer) override;
+  void on_bootstrap(const sim::Swarm& swarm, sim::ConstPeer peer) override;
+  void on_finish(const sim::Swarm& swarm, sim::ConstPeer peer) override;
 
   /// Writes one hand-built event (testing seam; the observer callbacks are
   /// the normal source).

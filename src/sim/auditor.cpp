@@ -188,8 +188,8 @@ void InvariantAuditor::check_now() const {
 }
 
 void InvariantAuditor::check_peer_invariants() const {
-  const std::vector<Peer>& peers = swarm_.all_peers();
-  const std::size_t n = peers.size();
+  const PeerStore& store = swarm_.peer_store();
+  const std::size_t n = store.size();
 
   // One pass over the shadow ledger builds the per-peer expectations
   // (epoch-filtered: transfers pinned to an older incarnation no longer
@@ -200,13 +200,13 @@ void InvariantAuditor::check_peer_invariants() const {
   std::vector<int> expected_incoming(n, 0);
   std::vector<std::size_t> expected_pending(n, 0);
   for (const InFlight& f : inflight_) {
-    if (f.from < n && f.from_epoch == peers[f.from].epoch) {
+    if (f.from < n && f.from_epoch == store.epoch(f.from)) {
       ++expected_busy[f.from];
     }
-    if (f.to < n && f.to_epoch == peers[f.to].epoch) {
+    if (f.to < n && f.to_epoch == store.epoch(f.to)) {
       ++expected_incoming[f.to];
       ++expected_pending[f.to];
-      if (!peers[f.to].pending.has(f.piece)) {
+      if (!store.pending(f.to).has(f.piece)) {
         fail("pending-reservation",
              "piece " + std::to_string(f.piece) +
                  " has an in-flight transfer but is not in the pending set",
@@ -215,9 +215,9 @@ void InvariantAuditor::check_peer_invariants() const {
     }
   }
   for (const Hold& h : holds_) {
-    if (h.to < n && h.to_epoch == peers[h.to].epoch) {
+    if (h.to < n && h.to_epoch == store.epoch(h.to)) {
       ++expected_pending[h.to];
-      if (!peers[h.to].pending.has(h.piece)) {
+      if (!store.pending(h.to).has(h.piece)) {
         fail("pending-reservation",
              "piece " + std::to_string(h.piece) +
                  " has a backoff-held reservation but is not in the "
@@ -227,86 +227,88 @@ void InvariantAuditor::check_peer_invariants() const {
     }
   }
 
-  for (const Peer& p : peers) {
+  for (ConstPeer p : swarm_.peers()) {
     // 1+2: slot counters vs the shadow in-flight ledger.
-    if (p.busy_slots != expected_busy[p.id]) {
+    if (p.busy_slots() != expected_busy[p.id()]) {
       fail("busy-slots",
-           "busy_slots=" + std::to_string(p.busy_slots) + " but " +
-               std::to_string(expected_busy[p.id]) +
+           "busy_slots=" + std::to_string(p.busy_slots()) + " but " +
+               std::to_string(expected_busy[p.id()]) +
                " in-flight uploads from the current incarnation",
-           p.id, p.epoch);
+           p.id(), p.epoch());
     }
-    if (p.busy_slots > p.upload_slots) {
+    if (p.busy_slots() > p.upload_slots()) {
       fail("busy-slots",
-           "busy_slots=" + std::to_string(p.busy_slots) + " exceeds " +
-               std::to_string(p.upload_slots) + " upload slots",
-           p.id, p.epoch);
+           "busy_slots=" + std::to_string(p.busy_slots()) + " exceeds " +
+               std::to_string(p.upload_slots()) + " upload slots",
+           p.id(), p.epoch());
     }
-    if (p.incoming_count != expected_incoming[p.id]) {
+    if (p.incoming_count() != expected_incoming[p.id()]) {
       fail("incoming-count",
-           "incoming_count=" + std::to_string(p.incoming_count) + " but " +
-               std::to_string(expected_incoming[p.id]) +
+           "incoming_count=" + std::to_string(p.incoming_count()) + " but " +
+               std::to_string(expected_incoming[p.id()]) +
                " in-flight downloads to the current incarnation",
-           p.id, p.epoch);
+           p.id(), p.epoch());
     }
     const int max_incoming = swarm_.config().max_incoming;
-    if (max_incoming > 0 && p.incoming_count > max_incoming) {
+    if (max_incoming > 0 && p.incoming_count() > max_incoming) {
       fail("incoming-count",
-           "incoming_count=" + std::to_string(p.incoming_count) +
+           "incoming_count=" + std::to_string(p.incoming_count()) +
                " exceeds max_incoming=" + std::to_string(max_incoming),
-           p.id, p.epoch);
+           p.id(), p.epoch());
     }
 
     // 3: pending == in-flight pieces + backoff-held reservations, exactly
     // (membership was checked in the ledger pass above; the count closes
     // the other direction).
-    if (p.pending.count() != expected_pending[p.id]) {
+    if (p.pending().count() != expected_pending[p.id()]) {
       fail("pending-reservation",
-           "pending holds " + std::to_string(p.pending.count()) +
-               " pieces but only " + std::to_string(expected_pending[p.id]) +
+           "pending holds " + std::to_string(p.pending().count()) +
+               " pieces but only " +
+               std::to_string(expected_pending[p.id()]) +
                " in-flight/backoff reservations exist (stale reservation "
                "leak)",
-           p.id, p.epoch);
+           p.id(), p.epoch());
     }
 
     // 4: set algebra. pieces/locked/pending are pairwise disjoint;
     // unavailable is exactly their union; transferable is pieces|locked.
-    if (p.pieces.intersects(p.locked)) {
+    if (p.pieces().intersects(p.locked())) {
       fail("pieces-locked-disjoint", "a piece is both usable and locked",
-           p.id, p.epoch);
+           p.id(), p.epoch());
     }
-    if (p.pending.intersects(p.pieces) || p.pending.intersects(p.locked)) {
+    if (p.pending().intersects(p.pieces()) ||
+        p.pending().intersects(p.locked())) {
       fail("pending-disjoint",
-           "a pending (in-flight) piece is already usable or locked", p.id,
-           p.epoch);
+           "a pending (in-flight) piece is already usable or locked", p.id(),
+           p.epoch());
     }
-    if (!p.pieces.subset_of(p.unavailable) ||
-        !p.locked.subset_of(p.unavailable) ||
-        !p.pending.subset_of(p.unavailable)) {
+    if (!p.pieces().subset_of(p.unavailable()) ||
+        !p.locked().subset_of(p.unavailable()) ||
+        !p.pending().subset_of(p.unavailable())) {
       fail("unavailable-superset",
            "pieces/locked/pending must each be a subset of unavailable",
-           p.id, p.epoch);
+           p.id(), p.epoch());
     }
-    if (p.unavailable.count() !=
-        p.pieces.count() + p.locked.count() + p.pending.count()) {
+    if (p.unavailable().count() !=
+        p.pieces().count() + p.locked().count() + p.pending().count()) {
       fail("unavailable-union",
-           "unavailable has " + std::to_string(p.unavailable.count()) +
+           "unavailable has " + std::to_string(p.unavailable().count()) +
                " pieces; pieces+locked+pending have " +
-               std::to_string(p.pieces.count() + p.locked.count() +
-                              p.pending.count()),
-           p.id, p.epoch);
+               std::to_string(p.pieces().count() + p.locked().count() +
+                              p.pending().count()),
+           p.id(), p.epoch());
     }
-    if (!p.pieces.subset_of(p.transferable) ||
-        !p.locked.subset_of(p.transferable) ||
-        p.transferable.count() != p.pieces.count() + p.locked.count()) {
-      fail("transferable-union", "transferable != pieces | locked", p.id,
-           p.epoch);
+    if (!p.pieces().subset_of(p.transferable()) ||
+        !p.locked().subset_of(p.transferable()) ||
+        p.transferable().count() != p.pieces().count() + p.locked().count()) {
+      fail("transferable-union", "transferable != pieces | locked", p.id(),
+           p.epoch());
     }
 
     // 8: the reputation ledger never goes negative.
-    if (swarm_.reputation(p.id) < 0.0) {
+    if (swarm_.reputation(p.id()) < 0.0) {
       fail("reputation-nonnegative", "negative reported-upload balance",
-           p.id, p.epoch);
+           p.id(), p.epoch());
     }
   }
 }
@@ -317,10 +319,13 @@ void InvariantAuditor::check_piece_frequencies() const {
   // (a churned peer's copies are subtracted until it rejoins).
   const PieceId pieces = swarm_.config().piece_count();
   std::vector<std::uint32_t> freq(pieces, 1);
-  for (PeerId id = 0; id < static_cast<PeerId>(swarm_.leechers()); ++id) {
-    const Peer& p = swarm_.peer(id);
-    if (!p.active()) continue;
-    p.pieces.for_each([&](PieceId piece) { ++freq[piece]; });
+  // Frequency recount is a commutative sum, so it can walk the store's
+  // O(active) registry (arbitrary order) instead of scanning every slot;
+  // seeders are registered too but their backing is the baseline 1.
+  for (const PeerId id : swarm_.active_ids()) {
+    ConstPeer p = swarm_.peer(id);
+    if (p.is_seeder()) continue;
+    p.pieces().for_each([&](PieceId piece) { ++freq[piece]; });
   }
   for (PieceId piece = 0; piece < pieces; ++piece) {
     if (swarm_.piece_frequency(piece) != freq[piece]) {
@@ -337,11 +342,13 @@ void InvariantAuditor::check_census() const {
   // 6: the completion condition's census. Compliant and strategic
   // leechers count until they finish or are permanently gone; free-riders
   // never count.
+  // This census must scan every leecher slot (not the active registry):
+  // kPending and kChurned peers still count toward completion.
   std::size_t census = 0;
   for (PeerId id = 0; id < static_cast<PeerId>(swarm_.leechers()); ++id) {
-    const Peer& p = swarm_.peer(id);
+    ConstPeer p = swarm_.peer(id);
     if (p.is_free_rider() || p.finished()) continue;
-    if (p.state == PeerState::kLeft) continue;
+    if (p.state() == PeerState::kLeft) continue;
     ++census;
   }
   if (swarm_.compliant_unfinished() != census) {

@@ -1,116 +1,201 @@
-// Per-peer simulation state.
+// Peer handles over the struct-of-arrays store.
+//
+// `Peer` used to be the fat struct holding all per-peer state; that state
+// now lives in PeerStore's parallel arrays (sim/peer_store.h) and `Peer`
+// is a 16-byte {store, id} handle. Accessors carry the old field names, so
+// call sites read as before with parentheses appended (`p.busy_slots()`),
+// and the mutable handle returns references (`++p.busy_slots()`).
+// `ConstPeer` is the read-only flavor; a `Peer` converts to it implicitly.
+//
+// Handles are values: copy them freely, but remember they alias store
+// state -- two handles with the same id see the same peer. A handle does
+// not witness incarnation (see PeerStore epochs); code that may outlive a
+// churn must capture `epoch()` alongside the id.
 #pragma once
 
-#include <unordered_map>
-#include <vector>
+#include <cstddef>
+#include <type_traits>
 
+#include "sim/peer_store.h"
 #include "sim/piece_set.h"
 #include "sim/types.h"
 
 namespace coopnet::sim {
 
-/// What kind of participant a peer is.
-enum class PeerKind {
-  kCompliant,  // follows the configured exchange algorithm
-  kFreeRider,  // downloads but never uploads (attacks per AttackConfig)
-  kStrategic,  // BitTyrant-style: uploads the bare minimum that keeps
-               // reciprocity flowing, never volunteers (exploits
-               // BitTorrent's tit-for-tat; behaves compliantly elsewhere)
-  kSeeder,     // holds the full file, never downloads, never leaves
+/// Read-only view of a peer's neighbor list (a slice of the store's CSR
+/// adjacency array).
+class NeighborRange {
+ public:
+  NeighborRange(const PeerId* begin, const PeerId* end)
+      : begin_(begin), end_(end) {}
+  const PeerId* begin() const { return begin_; }
+  const PeerId* end() const { return end_; }
+  std::size_t size() const { return static_cast<std::size_t>(end_ - begin_); }
+  bool empty() const { return begin_ == end_; }
+  PeerId operator[](std::size_t i) const { return begin_[i]; }
+
+ private:
+  const PeerId* begin_;
+  const PeerId* end_;
 };
 
-/// Lifecycle of a peer within a run.
-enum class PeerState {
-  kPending,  // not yet arrived
-  kActive,   // exchanging pieces
-  kChurned,  // abruptly departed mid-download; may rejoin (fault injection)
-  kLeft,     // departed for good (finished, or churned without rejoining)
-};
+/// Lightweight handle to one peer's state inside a PeerStore. StoreT is
+/// PeerStore (mutable handle, accessors return references) or
+/// `const PeerStore` (read-only handle, accessors return values/const
+/// references). Members that mutate only compile on the mutable flavor.
+template <typename StoreT>
+class PeerHandle {
+ public:
+  PeerHandle(StoreT* store, PeerId id) : store_(store), id_(id) {}
 
-/// All mutable per-peer simulation state. Owned by the Swarm; strategies
-/// read and update the exchange-related fields through Swarm accessors.
-struct Peer {
-  PeerId id = kNoPeer;
-  PeerKind kind = PeerKind::kCompliant;
-  PeerState state = PeerState::kPending;
+  /// Peer -> ConstPeer conversion.
+  template <typename U,
+            typename = std::enable_if_t<
+                std::is_const_v<StoreT> && !std::is_const_v<U> &&
+                std::is_same_v<std::remove_const_t<StoreT>, U>>>
+  PeerHandle(const PeerHandle<U>& other)  // NOLINT(runtime/explicit)
+      : store_(other.store()), id_(other.id()) {}
 
-  double capacity = 0.0;  // upload bytes/second
-  int upload_slots = 0;
-  int busy_slots = 0;
-  int incoming_count = 0;  // concurrent transfers inbound right now
-  /// Incarnation counter, bumped on every churn departure. Events created
-  /// before the bump (transfer completions, ticks) compare their captured
-  /// epoch and become no-ops for this peer.
-  std::uint32_t epoch = 0;
+  PeerId id() const { return id_; }
+  StoreT* store() const { return store_; }
 
-  PieceSet pieces;   // usable pieces
-  PieceSet locked;   // delivered but encrypted (T-Chain)
-  PieceSet pending;  // in-flight downloads (dedup guard)
-  /// Maintained unions (updated by the Swarm alongside the sets above):
-  /// what this peer cannot accept (pieces | locked | pending) and what it
-  /// can transmit (pieces | locked -- encrypted payloads are forwardable).
-  PieceSet unavailable;
-  PieceSet transferable;
+  // --- identity / role ---------------------------------------------------
+  decltype(auto) kind() const { return store_->kind(id_); }
+  PeerState state() const { return store_->state(id_); }
+  /// The only state-mutation path (keeps the store's active registry
+  /// exact); there is deliberately no `state() = ...`.
+  void set_state(PeerState next) const { store_->set_state(id_, next); }
+  decltype(auto) collusion_group() const {
+    return store_->collusion_group(id_);
+  }
+  std::uint32_t epoch() const { return store_->epoch(id_); }
+  void bump_epoch() const { store_->bump_epoch(id_); }
 
-  /// Version counters for the interest cache: the Swarm bumps these at
-  /// every mutation of the corresponding set. A (offer_ver, avail_ver)
-  /// pair stamped into a memo entry proves the cached can_offer result is
-  /// still current. Start at 1 so a zero-initialized memo never matches.
-  std::uint32_t pieces_ver = 1;
-  std::uint32_t transferable_ver = 1;
-  std::uint32_t unavail_ver = 1;
+  // --- bandwidth / slots ---------------------------------------------------
+  decltype(auto) capacity() const { return store_->capacity(id_); }
+  decltype(auto) upload_slots() const { return store_->upload_slots(id_); }
+  decltype(auto) busy_slots() const { return store_->busy_slots(id_); }
+  decltype(auto) incoming_count() const {
+    return store_->incoming_count(id_);
+  }
 
-  std::vector<PeerId> neighbors;
+  // --- piece sets ---------------------------------------------------------
+  decltype(auto) pieces() const { return store_->pieces(id_); }
+  decltype(auto) locked() const { return store_->locked(id_); }
+  decltype(auto) pending() const { return store_->pending(id_); }
+  decltype(auto) unavailable() const { return store_->unavailable(id_); }
+  decltype(auto) transferable() const { return store_->transferable(id_); }
 
-  /// Cached can_offer(neighbor.unavailable) verdicts, parallel to
-  /// `neighbors`, one lane per offer flavor (0: pieces, 1: transferable).
-  /// Owned and maintained by Swarm::needy_neighbors; strategies never see
-  /// stale data because entries revalidate against the version counters.
-  struct InterestMemo {
-    std::uint32_t offer_ver = 0;
-    std::uint32_t avail_ver = 0;
-    bool can_offer = false;
-  };
-  std::vector<InterestMemo> interest_memo[2];
+  std::uint32_t pieces_ver() const { return store_->pieces_ver(id_); }
+  std::uint32_t transferable_ver() const {
+    return store_->transferable_ver(id_);
+  }
+  std::uint32_t unavail_ver() const { return store_->unavail_ver(id_); }
+  void bump_pieces_ver() const { store_->bump_pieces_ver(id_); }
+  void bump_transferable_ver() const { store_->bump_transferable_ver(id_); }
+  void bump_unavail_ver() const { store_->bump_unavail_ver(id_); }
+
+  NeighborRange neighbors() const {
+    return {store_->neighbors_begin(id_), store_->neighbors_end(id_)};
+  }
 
   // --- lifetime bookkeeping -------------------------------------------
-  Seconds arrival_time = 0.0;
-  Seconds bootstrap_time = -1.0;  // first usable piece; -1 until then
-  Seconds finish_time = -1.0;     // completed download; -1 until then
+  decltype(auto) arrival_time() const { return store_->arrival_time(id_); }
+  decltype(auto) bootstrap_time() const {
+    return store_->bootstrap_time(id_);
+  }
+  decltype(auto) finish_time() const { return store_->finish_time(id_); }
 
   // --- byte accounting --------------------------------------------------
-  Bytes uploaded_bytes = 0;          // payload sent (incl. locked payloads)
-  Bytes downloaded_usable_bytes = 0; // payload that became usable
-  Bytes downloaded_raw_bytes = 0;    // payload received (incl. still-locked)
-  /// Usable payload originally delivered by leechers (not the seeder);
-  /// the susceptibility metric counts only this (Section V measures the
-  /// fraction of *users'* upload bandwidth captured by free-riders).
-  Bytes usable_from_leechers_bytes = 0;
+  // Reads by value; writes through credit_* so the store's population
+  // aggregates stay exact.
+  Bytes uploaded_bytes() const { return store_->uploaded_bytes(id_); }
+  Bytes downloaded_usable_bytes() const {
+    return store_->downloaded_usable_bytes(id_);
+  }
+  Bytes downloaded_raw_bytes() const {
+    return store_->downloaded_raw_bytes(id_);
+  }
+  Bytes usable_from_leechers_bytes() const {
+    return store_->usable_from_leechers_bytes(id_);
+  }
+  void credit_uploaded(Bytes b) const { store_->credit_uploaded(id_, b); }
+  void credit_downloaded_raw(Bytes b) const {
+    store_->credit_downloaded_raw(id_, b);
+  }
+  void credit_downloaded_usable(Bytes b) const {
+    store_->credit_downloaded_usable(id_, b);
+  }
+  void credit_usable_from_leechers(Bytes b) const {
+    store_->credit_usable_from_leechers(id_, b);
+  }
 
   // --- per-neighbor exchange state --------------------------------------
-  /// Total bytes received from each peer (reciprocity ranking).
-  std::unordered_map<PeerId, Bytes> received_from;
-  /// Bytes received in the current/previous rechoke rounds (BitTorrent).
-  std::unordered_map<PeerId, Bytes> round_received;
-  std::unordered_map<PeerId, Bytes> prev_round_received;
-  /// FairTorrent deficit counters, in pieces: uploads to minus receipts
-  /// from each peer. Negative = "I owe them".
-  std::unordered_map<PeerId, std::int64_t> deficit;
+  decltype(auto) received_from() const { return store_->received_from(id_); }
+  decltype(auto) round_received() const {
+    return store_->round_received(id_);
+  }
+  decltype(auto) prev_round_received() const {
+    return store_->prev_round_received(id_);
+  }
+  decltype(auto) deficit() const { return store_->deficit(id_); }
 
-  // --- attack state -----------------------------------------------------
-  int collusion_group = -1;  // >= 0: member of that collusion ring
-
-  bool is_seeder() const { return kind == PeerKind::kSeeder; }
-  bool is_free_rider() const { return kind == PeerKind::kFreeRider; }
-  bool is_strategic() const { return kind == PeerKind::kStrategic; }
-  bool active() const { return state == PeerState::kActive; }
-  bool finished() const { return finish_time >= 0.0; }
-  bool bootstrapped() const { return bootstrap_time >= 0.0; }
-  int free_slots() const { return upload_slots - busy_slots; }
+  // --- predicates ---------------------------------------------------------
+  bool is_seeder() const { return kind() == PeerKind::kSeeder; }
+  bool is_free_rider() const { return kind() == PeerKind::kFreeRider; }
+  bool is_strategic() const { return kind() == PeerKind::kStrategic; }
+  bool active() const { return state() == PeerState::kActive; }
+  bool finished() const { return finish_time() >= 0.0; }
+  bool bootstrapped() const { return bootstrap_time() >= 0.0; }
+  int free_slots() const { return upload_slots() - busy_slots(); }
 
   /// The u_i / d_i fairness ratio of Section V; -1 when undefined (no
   /// usable downloads yet).
-  double fairness_ratio() const;
+  double fairness_ratio() const {
+    const Bytes down = downloaded_usable_bytes();
+    if (down <= 0) return -1.0;
+    return static_cast<double>(uploaded_bytes()) / static_cast<double>(down);
+  }
+
+ private:
+  StoreT* store_;
+  PeerId id_;
+};
+
+using Peer = PeerHandle<PeerStore>;
+using ConstPeer = PeerHandle<const PeerStore>;
+
+/// Iterable view over every peer slot of a store, in ascending id order,
+/// yielding handles. `for (auto p : swarm.peers())` replaces the old
+/// iteration over the fat-object vector.
+template <typename StoreT>
+class PeerRange {
+ public:
+  class iterator {
+   public:
+    iterator(StoreT* store, PeerId id) : store_(store), id_(id) {}
+    PeerHandle<StoreT> operator*() const { return {store_, id_}; }
+    iterator& operator++() {
+      ++id_;
+      return *this;
+    }
+    bool operator!=(const iterator& o) const { return id_ != o.id_; }
+    bool operator==(const iterator& o) const { return id_ == o.id_; }
+
+   private:
+    StoreT* store_;
+    PeerId id_;
+  };
+
+  explicit PeerRange(StoreT* store) : store_(store) {}
+  iterator begin() const { return {store_, 0}; }
+  iterator end() const {
+    return {store_, static_cast<PeerId>(store_->size())};
+  }
+  std::size_t size() const { return store_->size(); }
+
+ private:
+  StoreT* store_;
 };
 
 }  // namespace coopnet::sim

@@ -1,0 +1,154 @@
+#include "sim/peer_store.h"
+
+namespace coopnet::sim {
+
+void PeerStore::init(std::size_t count, PieceId pieces) {
+  piece_space_ = pieces;
+
+  kind_.assign(count, PeerKind::kCompliant);
+  state_.assign(count, PeerState::kPending);
+  capacity_.assign(count, 0.0);
+  upload_slots_.assign(count, 0);
+  busy_slots_.assign(count, 0);
+  incoming_count_.assign(count, 0);
+  collusion_group_.assign(count, -1);
+  epoch_.assign(count, 0);
+
+  pieces_.assign(count, PieceSet(pieces));
+  locked_.assign(count, PieceSet(pieces));
+  pending_.assign(count, PieceSet(pieces));
+  unavailable_.assign(count, PieceSet(pieces));
+  transferable_.assign(count, PieceSet(pieces));
+
+  // Version counters start at 1 so a zero-initialized memo never matches.
+  pieces_ver_.assign(count, 1);
+  transferable_ver_.assign(count, 1);
+  unavail_ver_.assign(count, 1);
+
+  arrival_time_.assign(count, 0.0);
+  bootstrap_time_.assign(count, -1.0);
+  finish_time_.assign(count, -1.0);
+
+  uploaded_bytes_.assign(count, 0);
+  downloaded_usable_bytes_.assign(count, 0);
+  downloaded_raw_bytes_.assign(count, 0);
+  usable_from_leechers_bytes_.assign(count, 0);
+  total_uploaded_ = 0;
+  leecher_uploaded_ = 0;
+  freerider_usable_ = 0;
+  total_downloaded_raw_ = 0;
+
+  received_from_.assign(count, {});
+  round_received_.assign(count, {});
+  prev_round_received_.assign(count, {});
+  deficit_.assign(count, {});
+
+  nbr_offset_.assign(count + 1, 0);
+  nbr_data_.clear();
+  memo_[0].clear();
+  memo_[1].clear();
+
+  active_ids_.clear();
+  active_pos_.assign(count, kNoPos);
+  free_ids_.clear();
+}
+
+void PeerStore::build_neighbors(
+    const std::vector<std::vector<PeerId>>& adjacency) {
+  assert(adjacency.size() == size() &&
+         "PeerStore::build_neighbors: one list per peer");
+  assert(nbr_data_.empty() && "PeerStore::build_neighbors: already built");
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < adjacency.size(); ++i) {
+    nbr_offset_[i] = static_cast<std::uint32_t>(total);
+    total += adjacency[i].size();
+  }
+  nbr_offset_[adjacency.size()] = static_cast<std::uint32_t>(total);
+  nbr_data_.reserve(total);
+  for (const auto& list : adjacency) {
+    nbr_data_.insert(nbr_data_.end(), list.begin(), list.end());
+  }
+}
+
+void PeerStore::set_state(PeerId id, PeerState next) {
+  PeerState& slot = at(state_, id);
+  const PeerState prev = slot;
+  if (prev == next) return;
+  slot = next;
+  if (next == PeerState::kActive) {
+    active_pos_[id] = static_cast<std::uint32_t>(active_ids_.size());
+    active_ids_.push_back(id);
+  } else if (prev == PeerState::kActive) {
+    // Swap-remove: the last active peer takes the vacated position. The
+    // resulting order is a pure function of the transition history, which
+    // is deterministic; it is NOT sorted, so only commutative work may
+    // iterate active_ids().
+    const std::uint32_t pos = active_pos_[id];
+    assert(pos != kNoPos && active_ids_[pos] == id);
+    const PeerId moved = active_ids_.back();
+    active_ids_[pos] = moved;
+    active_pos_[moved] = pos;
+    active_ids_.pop_back();
+    active_pos_[id] = kNoPos;
+  }
+}
+
+void PeerStore::release_slot(PeerId id) {
+  check(id);
+  assert(state(id) == PeerState::kLeft &&
+         "PeerStore::release_slot: only departed peers may be recycled");
+  // Bump now, not at acquire time: any event or cached id captured before
+  // the release must already observe a stale incarnation.
+  bump_epoch(id);
+  free_ids_.push_back(id);
+}
+
+PeerId PeerStore::acquire_slot() {
+  if (free_ids_.empty()) return kNoPeer;
+  const PeerId id = free_ids_.back();  // LIFO: deterministic reuse order
+  free_ids_.pop_back();
+
+  // Subtract the previous incarnation's residual byte counters so the
+  // population aggregates keep equaling the sum of per-peer counters.
+  total_uploaded_ -= uploaded_bytes_[id];
+  if (kind_[id] != PeerKind::kSeeder) leecher_uploaded_ -= uploaded_bytes_[id];
+  if (kind_[id] == PeerKind::kFreeRider) {
+    freerider_usable_ -= usable_from_leechers_bytes_[id];
+  }
+  total_downloaded_raw_ -= downloaded_raw_bytes_[id];
+
+  kind_[id] = PeerKind::kCompliant;
+  assert(state_[id] == PeerState::kLeft && active_pos_[id] == kNoPos);
+  state_[id] = PeerState::kPending;
+  capacity_[id] = 0.0;
+  upload_slots_[id] = 0;
+  busy_slots_[id] = 0;
+  incoming_count_[id] = 0;
+  collusion_group_[id] = -1;
+  // epoch_ intentionally NOT reset: it keeps counting up across lives so
+  // references captured in any previous life stay detectably stale. The
+  // version counters are kept monotonic for the same reason -- a memo
+  // entry stamped by the previous incarnation must never validate.
+  pieces_[id] = PieceSet(piece_space_);
+  locked_[id] = PieceSet(piece_space_);
+  pending_[id] = PieceSet(piece_space_);
+  unavailable_[id] = PieceSet(piece_space_);
+  transferable_[id] = PieceSet(piece_space_);
+  bump_pieces_ver(id);
+  bump_transferable_ver(id);
+  bump_unavail_ver(id);
+  arrival_time_[id] = 0.0;
+  bootstrap_time_[id] = -1.0;
+  finish_time_[id] = -1.0;
+  uploaded_bytes_[id] = 0;
+  downloaded_usable_bytes_[id] = 0;
+  downloaded_raw_bytes_[id] = 0;
+  usable_from_leechers_bytes_[id] = 0;
+  received_from_[id].clear();
+  round_received_[id].clear();
+  prev_round_received_[id].clear();
+  deficit_[id].clear();
+  return id;
+}
+
+}  // namespace coopnet::sim

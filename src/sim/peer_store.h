@@ -1,0 +1,324 @@
+// Struct-of-arrays peer storage.
+//
+// All mutable per-peer simulation state lives here, one dense parallel
+// array per field, addressed by PeerId. The layout exists for scale: hot
+// paths (interest checks, slot accounting, timer guards) touch one small
+// array per field instead of striding through ~500-byte Peer objects, and
+// whole-population scans (fairness samples, audit recounts) become linear
+// walks over contiguous scalars. Peer (sim/peer.h) is a thin handle over
+// this store; the Swarm owns the store and hands out handles.
+//
+// Invariants the store maintains itself:
+//   * the active registry (`active_ids`) lists exactly the peers whose
+//     state is kActive, in deterministic (transition-history) order --
+//     all state changes must go through set_state;
+//   * released slots are epoch-bumped before reuse, so any stale index
+//     captured before release (scheduled events, cached PeerIds) can be
+//     detected by comparing epochs (no stale-index aliasing);
+//   * the byte aggregates (total/leecher uploaded, free-rider usable)
+//     stay in sync with the per-peer counters -- byte counters must be
+//     credited through the credit_* methods.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/piece_set.h"
+#include "sim/types.h"
+
+namespace coopnet::sim {
+
+/// What kind of participant a peer is.
+enum class PeerKind : std::uint8_t {
+  kCompliant,  // follows the configured exchange algorithm
+  kFreeRider,  // downloads but never uploads (attacks per AttackConfig)
+  kStrategic,  // BitTyrant-style: uploads the bare minimum that keeps
+               // reciprocity flowing, never volunteers (exploits
+               // BitTorrent's tit-for-tat; behaves compliantly elsewhere)
+  kSeeder,     // holds the full file, never downloads, never leaves
+};
+
+/// Lifecycle of a peer within a run.
+enum class PeerState : std::uint8_t {
+  kPending,  // not yet arrived
+  kActive,   // exchanging pieces
+  kChurned,  // abruptly departed mid-download; may rejoin (fault injection)
+  kLeft,     // departed for good (finished, or churned without rejoining)
+};
+
+/// One cached can_offer(neighbor.unavailable) verdict (see
+/// Swarm::needy_neighbors). A (offer_ver, avail_ver) pair stamped into the
+/// entry proves the cached result is still current. Entries start
+/// zeroed; peer version counters start at 1, so a fresh memo never
+/// matches.
+struct InterestMemo {
+  std::uint32_t offer_ver = 0;
+  std::uint32_t avail_ver = 0;
+  bool can_offer = false;
+};
+
+class PeerStore {
+ public:
+  PeerStore() = default;
+  /// Handles and scheduled events point into the arrays; the store must
+  /// stay put.
+  PeerStore(const PeerStore&) = delete;
+  PeerStore& operator=(const PeerStore&) = delete;
+
+  /// Sizes every array for `count` peers, each with piece sets over
+  /// `pieces` pieces. All peers start kPending/kCompliant with zeroed
+  /// counters and epoch 0.
+  void init(std::size_t count, PieceId pieces);
+
+  std::size_t size() const { return state_.size(); }
+  PieceId piece_space() const { return piece_space_; }
+
+  // --- scalar fields -----------------------------------------------------
+  // Each field has a checked-in-debug accessor pair; the mutable overload
+  // returns a reference so call sites read like the old Peer struct
+  // (`++store.busy_slots(id)`).
+  PeerKind& kind(PeerId id) { return at(kind_, id); }
+  PeerKind kind(PeerId id) const { return at(kind_, id); }
+  PeerState state(PeerId id) const { return at(state_, id); }
+  double& capacity(PeerId id) { return at(capacity_, id); }
+  double capacity(PeerId id) const { return at(capacity_, id); }
+  int& upload_slots(PeerId id) { return at(upload_slots_, id); }
+  int upload_slots(PeerId id) const { return at(upload_slots_, id); }
+  int& busy_slots(PeerId id) { return at(busy_slots_, id); }
+  int busy_slots(PeerId id) const { return at(busy_slots_, id); }
+  int& incoming_count(PeerId id) { return at(incoming_count_, id); }
+  int incoming_count(PeerId id) const { return at(incoming_count_, id); }
+  int& collusion_group(PeerId id) { return at(collusion_group_, id); }
+  int collusion_group(PeerId id) const { return at(collusion_group_, id); }
+  std::uint32_t epoch(PeerId id) const { return at(epoch_, id); }
+  /// Invalidates every event/reference that captured the old incarnation.
+  void bump_epoch(PeerId id) { ++at(epoch_, id); }
+
+  Seconds& arrival_time(PeerId id) { return at(arrival_time_, id); }
+  Seconds arrival_time(PeerId id) const { return at(arrival_time_, id); }
+  Seconds& bootstrap_time(PeerId id) { return at(bootstrap_time_, id); }
+  Seconds bootstrap_time(PeerId id) const { return at(bootstrap_time_, id); }
+  Seconds& finish_time(PeerId id) { return at(finish_time_, id); }
+  Seconds finish_time(PeerId id) const { return at(finish_time_, id); }
+
+  // --- piece sets ---------------------------------------------------------
+  PieceSet& pieces(PeerId id) { return at(pieces_, id); }
+  const PieceSet& pieces(PeerId id) const { return at(pieces_, id); }
+  PieceSet& locked(PeerId id) { return at(locked_, id); }
+  const PieceSet& locked(PeerId id) const { return at(locked_, id); }
+  PieceSet& pending(PeerId id) { return at(pending_, id); }
+  const PieceSet& pending(PeerId id) const { return at(pending_, id); }
+  PieceSet& unavailable(PeerId id) { return at(unavailable_, id); }
+  const PieceSet& unavailable(PeerId id) const {
+    return at(unavailable_, id);
+  }
+  PieceSet& transferable(PeerId id) { return at(transferable_, id); }
+  const PieceSet& transferable(PeerId id) const {
+    return at(transferable_, id);
+  }
+
+  // --- interest-memo version counters -------------------------------------
+  std::uint32_t pieces_ver(PeerId id) const { return at(pieces_ver_, id); }
+  std::uint32_t transferable_ver(PeerId id) const {
+    return at(transferable_ver_, id);
+  }
+  std::uint32_t unavail_ver(PeerId id) const { return at(unavail_ver_, id); }
+  void bump_pieces_ver(PeerId id) { ++at(pieces_ver_, id); }
+  void bump_transferable_ver(PeerId id) { ++at(transferable_ver_, id); }
+  void bump_unavail_ver(PeerId id) { ++at(unavail_ver_, id); }
+
+  // --- byte accounting -----------------------------------------------------
+  // Reads are plain; writes go through credit_* so the O(1) population
+  // aggregates cannot drift from the per-peer counters.
+  Bytes uploaded_bytes(PeerId id) const { return at(uploaded_bytes_, id); }
+  Bytes downloaded_usable_bytes(PeerId id) const {
+    return at(downloaded_usable_bytes_, id);
+  }
+  Bytes downloaded_raw_bytes(PeerId id) const {
+    return at(downloaded_raw_bytes_, id);
+  }
+  Bytes usable_from_leechers_bytes(PeerId id) const {
+    return at(usable_from_leechers_bytes_, id);
+  }
+  void credit_uploaded(PeerId id, Bytes bytes) {
+    at(uploaded_bytes_, id) += bytes;
+    total_uploaded_ += bytes;
+    if (kind(id) != PeerKind::kSeeder) leecher_uploaded_ += bytes;
+  }
+  void credit_downloaded_raw(PeerId id, Bytes bytes) {
+    at(downloaded_raw_bytes_, id) += bytes;
+    total_downloaded_raw_ += bytes;
+  }
+  void credit_downloaded_usable(PeerId id, Bytes bytes) {
+    at(downloaded_usable_bytes_, id) += bytes;
+  }
+  void credit_usable_from_leechers(PeerId id, Bytes bytes) {
+    at(usable_from_leechers_bytes_, id) += bytes;
+    if (kind(id) == PeerKind::kFreeRider) freerider_usable_ += bytes;
+  }
+
+  /// Population-wide byte aggregates, maintained incrementally by the
+  /// credit_* methods (exact integer sums of the per-peer counters, so
+  /// they are byte-identical to a fresh scan).
+  Bytes total_uploaded_bytes() const { return total_uploaded_; }
+  Bytes leecher_uploaded_bytes() const { return leecher_uploaded_; }
+  Bytes freerider_usable_bytes() const { return freerider_usable_; }
+  Bytes total_downloaded_raw_bytes() const { return total_downloaded_raw_; }
+
+  // --- per-neighbor exchange state ----------------------------------------
+  std::unordered_map<PeerId, Bytes>& received_from(PeerId id) {
+    return at(received_from_, id);
+  }
+  const std::unordered_map<PeerId, Bytes>& received_from(PeerId id) const {
+    return at(received_from_, id);
+  }
+  std::unordered_map<PeerId, Bytes>& round_received(PeerId id) {
+    return at(round_received_, id);
+  }
+  const std::unordered_map<PeerId, Bytes>& round_received(PeerId id) const {
+    return at(round_received_, id);
+  }
+  std::unordered_map<PeerId, Bytes>& prev_round_received(PeerId id) {
+    return at(prev_round_received_, id);
+  }
+  const std::unordered_map<PeerId, Bytes>& prev_round_received(
+      PeerId id) const {
+    return at(prev_round_received_, id);
+  }
+  std::unordered_map<PeerId, std::int64_t>& deficit(PeerId id) {
+    return at(deficit_, id);
+  }
+  const std::unordered_map<PeerId, std::int64_t>& deficit(PeerId id) const {
+    return at(deficit_, id);
+  }
+
+  // --- neighbors (CSR) ----------------------------------------------------
+  /// Freezes the adjacency lists into one contiguous CSR array. Must be
+  /// called exactly once, after init(), with one list per peer.
+  void build_neighbors(const std::vector<std::vector<PeerId>>& adjacency);
+  std::size_t neighbor_count(PeerId id) const {
+    check(id);
+    return nbr_offset_[id + 1] - nbr_offset_[id];
+  }
+  const PeerId* neighbors_begin(PeerId id) const {
+    check(id);
+    return nbr_data_.data() + nbr_offset_[id];
+  }
+  const PeerId* neighbors_end(PeerId id) const {
+    check(id);
+    return nbr_data_.data() + nbr_offset_[id + 1];
+  }
+
+  /// Interest-memo lane (0: pieces offers, 1: transferable offers),
+  /// CSR-aligned with the neighbor array. Lanes are allocated on first
+  /// touch: mechanisms that never offer locked pieces never pay for lane 1
+  /// (at scale each lane is sizeof(InterestMemo) per edge).
+  InterestMemo* memo_lane(int lane, PeerId id) {
+    check(id);
+    auto& lane_data = memo_[lane];
+    if (lane_data.empty()) lane_data.resize(nbr_data_.size());
+    return lane_data.data() + nbr_offset_[id];
+  }
+
+  // --- membership ----------------------------------------------------------
+  /// The only way to change a peer's lifecycle state: keeps the active
+  /// registry exact. Transition order is deterministic (driven solely by
+  /// the simulation's event sequence), so iteration over active_ids() is
+  /// deterministic too -- but its order is *arbitrary* (swap-remove), so
+  /// only order-insensitive (commutative) work may iterate it. Anything
+  /// whose side effects depend on visit order must walk ids in ascending
+  /// order instead.
+  void set_state(PeerId id, PeerState next);
+
+  /// Dense list of exactly the peers whose state is kActive.
+  const std::vector<PeerId>& active_ids() const { return active_ids_; }
+  std::size_t active_count() const { return active_ids_.size(); }
+
+  // --- slot reuse (free-list) ----------------------------------------------
+  /// Releases a slot for reuse by a future acquire(): the peer must have
+  /// left, its epoch is bumped immediately so events/handles captured
+  /// before the release observe a stale incarnation, and the id goes on
+  /// the free-list. The fixed-population Swarm never releases slots (ids
+  /// double as stable report indices); dynamic-membership workloads
+  /// (trace-driven arrivals) recycle slots through this pair.
+  void release_slot(PeerId id);
+  /// Pops the most recently released slot (LIFO -- deterministic), resets
+  /// every per-peer field to its init() value, and returns the id. The
+  /// slot's epoch keeps counting up from its previous life, which is what
+  /// keeps old captures detectably stale. Returns kNoPeer when the
+  /// free-list is empty.
+  PeerId acquire_slot();
+  std::size_t free_slot_count() const { return free_ids_.size(); }
+
+ private:
+  template <typename T>
+  T& at(std::vector<T>& v, PeerId id) {
+    check(id);
+    return v[id];
+  }
+  template <typename T>
+  const T& at(const std::vector<T>& v, PeerId id) const {
+    check(id);
+    return v[id];
+  }
+  void check(PeerId id) const {
+    assert(id < state_.size() && "PeerStore: peer id out of range");
+    (void)id;
+  }
+
+  PieceId piece_space_ = 0;
+
+  std::vector<PeerKind> kind_;
+  std::vector<PeerState> state_;
+  std::vector<double> capacity_;
+  std::vector<int> upload_slots_;
+  std::vector<int> busy_slots_;
+  std::vector<int> incoming_count_;
+  std::vector<int> collusion_group_;
+  std::vector<std::uint32_t> epoch_;
+
+  std::vector<PieceSet> pieces_;
+  std::vector<PieceSet> locked_;
+  std::vector<PieceSet> pending_;
+  std::vector<PieceSet> unavailable_;
+  std::vector<PieceSet> transferable_;
+
+  std::vector<std::uint32_t> pieces_ver_;
+  std::vector<std::uint32_t> transferable_ver_;
+  std::vector<std::uint32_t> unavail_ver_;
+
+  std::vector<Seconds> arrival_time_;
+  std::vector<Seconds> bootstrap_time_;
+  std::vector<Seconds> finish_time_;
+
+  std::vector<Bytes> uploaded_bytes_;
+  std::vector<Bytes> downloaded_usable_bytes_;
+  std::vector<Bytes> downloaded_raw_bytes_;
+  std::vector<Bytes> usable_from_leechers_bytes_;
+  Bytes total_uploaded_ = 0;
+  Bytes leecher_uploaded_ = 0;
+  Bytes freerider_usable_ = 0;
+  Bytes total_downloaded_raw_ = 0;
+
+  std::vector<std::unordered_map<PeerId, Bytes>> received_from_;
+  std::vector<std::unordered_map<PeerId, Bytes>> round_received_;
+  std::vector<std::unordered_map<PeerId, Bytes>> prev_round_received_;
+  std::vector<std::unordered_map<PeerId, std::int64_t>> deficit_;
+
+  std::vector<std::uint32_t> nbr_offset_;  // size() + 1 entries
+  std::vector<PeerId> nbr_data_;
+  std::vector<InterestMemo> memo_[2];  // lazily sized to nbr_data_.size()
+
+  std::vector<PeerId> active_ids_;
+  std::vector<std::uint32_t> active_pos_;  // kNoPos when not active
+  std::vector<PeerId> free_ids_;
+
+  static constexpr std::uint32_t kNoPos =
+      std::numeric_limits<std::uint32_t>::max();
+};
+
+}  // namespace coopnet::sim

@@ -48,12 +48,12 @@ AuditEvent transfer_event(AuditEvent::Kind kind, const Transfer& t,
   return e;
 }
 
-AuditEvent peer_event(AuditEvent::Kind kind, const Peer& p, Seconds now) {
+AuditEvent peer_event(AuditEvent::Kind kind, ConstPeer p, Seconds now) {
   AuditEvent e;
   e.kind = kind;
   e.time = now;
-  e.from = p.id;
-  e.from_epoch = p.epoch;
+  e.from = p.id();
+  e.from_epoch = p.epoch();
   return e;
 }
 
@@ -140,58 +140,63 @@ void Swarm::build_population() {
   // (id n); additional seeders are spliced in below.
   auto adjacency = build_neighbor_graph(n, config_.graph, large_view, rng_);
 
-  peers_.resize(total);
+  store_.init(total, pieces);
   // Frequencies are bounded by every peer holding a piece plus the seeder
   // backing added below.
   piece_freq_.init(static_cast<PieceId>(pieces),
                    static_cast<std::uint32_t>(total) + 1);
   reputation_.assign(total, 0.0);
   compliant_unfinished_ = 0;
+  freerider_ids_.clear();
+  colluder_ids_.clear();
 
   for (std::size_t i = 0; i < total; ++i) {
-    Peer& p = peers_[i];
-    p.id = static_cast<PeerId>(i);
-    p.pieces = PieceSet(pieces);
-    p.locked = PieceSet(pieces);
-    p.pending = PieceSet(pieces);
-    p.unavailable = PieceSet(pieces);
-    p.transferable = PieceSet(pieces);
+    Peer p = peer(static_cast<PeerId>(i));
     if (i >= n) {
-      p.kind = PeerKind::kSeeder;
-      p.capacity = config_.seeder_capacity;
-      p.upload_slots = config_.seeder_slots;
-      p.pieces.fill();
-      p.transferable.fill();
-      p.unavailable.fill();
-      p.arrival_time = 0.0;
-      p.neighbors = adjacency[n];  // every seeder knows every leecher
+      p.kind() = PeerKind::kSeeder;
+      p.capacity() = config_.seeder_capacity;
+      p.upload_slots() = config_.seeder_slots;
+      p.pieces().fill();
+      p.transferable().fill();
+      p.unavailable().fill();
+      p.arrival_time() = 0.0;
     } else {
-      p.kind = is_fr[i]          ? PeerKind::kFreeRider
-               : is_strategic[i] ? PeerKind::kStrategic
-                                 : PeerKind::kCompliant;
-      if (is_fr[i] && ring_attacks) p.collusion_group = 0;
-      p.capacity = capacities[i];
-      p.upload_slots = config_.upload_slots;
-      p.arrival_time = arrivals[i];
+      p.kind() = is_fr[i]          ? PeerKind::kFreeRider
+                 : is_strategic[i] ? PeerKind::kStrategic
+                                   : PeerKind::kCompliant;
+      if (is_fr[i]) freerider_ids_.push_back(static_cast<PeerId>(i));
+      if (is_fr[i] && ring_attacks) {
+        p.collusion_group() = 0;
+        colluder_ids_.push_back(static_cast<PeerId>(i));
+      }
+      p.capacity() = capacities[i];
+      p.upload_slots() = config_.upload_slots;
+      p.arrival_time() = arrivals[i];
       // Strategic clients are participants (the run waits for them too);
       // only free-riders are excluded from the completion condition.
       if (!is_fr[i]) ++compliant_unfinished_;
-      // Splice in the extra seeders (the builder already appended id n).
-      p.neighbors = adjacency[i];
+    }
+  }
+  // Freeze the adjacency into the store's CSR array: leechers keep their
+  // generated lists plus the extra seeders spliced in (the builder already
+  // appended id n); every seeder knows every leecher.
+  {
+    std::vector<std::vector<PeerId>> adj_all(total);
+    for (std::size_t i = 0; i < n; ++i) {
+      adj_all[i] = std::move(adjacency[i]);
       for (std::size_t s = 1; s < config_.seeder_count; ++s) {
-        p.neighbors.push_back(static_cast<PeerId>(n + s));
+        adj_all[i].push_back(static_cast<PeerId>(n + s));
       }
     }
+    for (std::size_t s = 0; s < config_.seeder_count; ++s) {
+      adj_all[n + s] = adjacency[n];
+    }
+    store_.build_neighbors(adj_all);
   }
   // The seeders' pieces count toward availability exactly once: rarity
   // should rank what *leechers* hold; every piece is equally seeder-backed.
   for (PieceId piece = 0; piece < piece_freq_.pieces(); ++piece) {
     piece_freq_.increment(piece);
-  }
-  // Size the interest memos now that the neighbor lists are final.
-  for (Peer& p : peers_) {
-    p.interest_memo[0].assign(p.neighbors.size(), Peer::InterestMemo{});
-    p.interest_memo[1].assign(p.neighbors.size(), Peer::InterestMemo{});
   }
 }
 
@@ -208,7 +213,7 @@ void Swarm::run() {
   }
   for (std::size_t i = 0; i < leechers(); ++i) {
     const PeerId id = static_cast<PeerId>(i);
-    engine_.schedule_at(peers_[i].arrival_time, [this, id] { arrive(id); });
+    engine_.schedule_at(store_.arrival_time(id), [this, id] { arrive(id); });
   }
 
   if (config_.attack.whitewashing) {
@@ -227,12 +232,12 @@ void Swarm::run() {
 }
 
 void Swarm::arrive(PeerId id) {
-  Peer& p = peers_.at(id);
-  p.state = PeerState::kActive;
+  Peer p = peer(id);
+  p.set_state(PeerState::kActive);
   AUDIT_RECORD(peer_event(AuditEvent::Kind::kArrive, p, engine_.now()));
   strategy_->on_peer_activated(*this, id);
   try_fill(id);
-  const std::uint32_t epoch = p.epoch;
+  const std::uint32_t epoch = p.epoch();
   engine_.schedule(config_.retry_interval, [this, id, epoch] {
     tick(id, epoch);
   });
@@ -241,11 +246,12 @@ void Swarm::arrive(PeerId id) {
 }
 
 void Swarm::tick(PeerId id, std::uint32_t epoch) {
-  Peer& p = peers_.at(id);
   // Stop ticking after departure. The epoch guard kills the old tick chain
   // when a peer churns out: rejoin starts a fresh chain, so there is never
   // more than one live chain per peer.
-  if (p.state != PeerState::kActive || p.epoch != epoch) return;
+  if (store_.state(id) != PeerState::kActive || store_.epoch(id) != epoch) {
+    return;
+  }
   try_fill(id);
   engine_.schedule(config_.retry_interval, [this, id, epoch] {
     tick(id, epoch);
@@ -258,7 +264,7 @@ void Swarm::request_refill(PeerId id) {
 }
 
 void Swarm::try_fill(PeerId id) {
-  Peer& p = peers_.at(id);
+  Peer p = peer(id);
   if (!p.active()) return;
   while (p.free_slots() > 0) {
     std::optional<UploadAction> action;
@@ -292,27 +298,33 @@ std::optional<UploadAction> Swarm::seeder_action(PeerId seeder) {
 
 std::vector<PeerId> Swarm::needy_neighbors(PeerId uploader,
                                            bool include_locked_offer) {
-  Peer& up = peers_.at(uploader);
-  const PieceSet& offer = include_locked_offer ? up.transferable : up.pieces;
+  Peer up = peer(uploader);
+  const PieceSet& offer =
+      include_locked_offer ? up.transferable() : up.pieces();
   const std::uint32_t offer_ver =
-      include_locked_offer ? up.transferable_ver : up.pieces_ver;
-  auto& memo = up.interest_memo[include_locked_offer ? 1 : 0];
+      include_locked_offer ? up.transferable_ver() : up.pieces_ver();
+  InterestMemo* memo =
+      store_.memo_lane(include_locked_offer ? 1 : 0, uploader);
+  const NeighborRange nbrs = up.neighbors();
   std::vector<PeerId> out;
-  out.reserve(up.neighbors.size());
-  for (std::size_t i = 0; i < up.neighbors.size(); ++i) {
-    const PeerId n = up.neighbors[i];
-    const Peer& q = peers_[n];
-    if (!q.active() || q.is_seeder()) continue;
+  out.reserve(nbrs.size());
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    const PeerId n = nbrs[i];
+    if (store_.state(n) != PeerState::kActive ||
+        store_.kind(n) == PeerKind::kSeeder) {
+      continue;
+    }
     if (!accepts_incoming(n)) continue;
     // The word-scan over (offer & ~q.unavailable) is the per-neighbor hot
     // cost; its verdict only moves when one of the two sets does, so it is
     // memoized against the version counters (filter order is unchanged:
     // active -> accepts_incoming -> can_offer -> accepts_delivery).
-    Peer::InterestMemo& m = memo[i];
-    if (m.offer_ver != offer_ver || m.avail_ver != q.unavail_ver) {
+    InterestMemo& m = memo[i];
+    const std::uint32_t avail_ver = store_.unavail_ver(n);
+    if (m.offer_ver != offer_ver || m.avail_ver != avail_ver) {
       m.offer_ver = offer_ver;
-      m.avail_ver = q.unavail_ver;
-      m.can_offer = offer.can_offer(q.unavailable);
+      m.avail_ver = avail_ver;
+      m.can_offer = offer.can_offer(store_.unavailable(n));
     }
     if (!m.can_offer) continue;
     if (!strategy_->accepts_delivery(*this, n)) continue;
@@ -323,28 +335,30 @@ std::vector<PeerId> Swarm::needy_neighbors(PeerId uploader,
 
 bool Swarm::needs_from(PeerId target, PeerId uploader,
                        bool include_locked_offer) const {
-  const Peer& up = peers_.at(uploader);
-  const Peer& q = peers_.at(target);
+  ConstPeer up = peer(uploader);
+  ConstPeer q = peer(target);
   if (!q.active() || q.is_seeder()) return false;
-  const PieceSet& offer = include_locked_offer ? up.transferable : up.pieces;
-  return offer.can_offer(q.unavailable);
+  const PieceSet& offer =
+      include_locked_offer ? up.transferable() : up.pieces();
+  return offer.can_offer(q.unavailable());
 }
 
 PieceId Swarm::pick_piece(PeerId uploader, PeerId target,
                           bool include_locked_offer) {
-  const Peer& up = peers_.at(uploader);
-  const Peer& q = peers_.at(target);
-  const PieceSet& offer = include_locked_offer ? up.transferable : up.pieces;
+  ConstPeer up = peer(uploader);
+  ConstPeer q = peer(target);
+  const PieceSet& offer =
+      include_locked_offer ? up.transferable() : up.pieces();
 
   switch (config_.piece_selection) {
     case PieceSelection::kRarestFirst:
       // Frequency-bucketed walk; reproduces the seed full scan's reservoir
       // tie-break and RNG draw sequence exactly (see PieceFreqIndex).
-      return piece_freq_.pick_rarest(offer, q.unavailable, rng_);
+      return piece_freq_.pick_rarest(offer, q.unavailable(), rng_);
     case PieceSelection::kRandom: {
       PieceId chosen = kNoPiece;
       std::uint32_t seen = 0;
-      offer.for_each_offerable(q.unavailable, [&](PieceId piece) {
+      offer.for_each_offerable(q.unavailable(), [&](PieceId piece) {
         ++seen;  // reservoir sampling: uniform over offerable pieces
         if (rng_.uniform_u64(seen) == 0) chosen = piece;
       });
@@ -352,7 +366,7 @@ PieceId Swarm::pick_piece(PeerId uploader, PeerId target,
     }
     case PieceSelection::kSequential: {
       PieceId lowest = kNoPiece;
-      offer.for_each_offerable(q.unavailable, [&](PieceId piece) {
+      offer.for_each_offerable(q.unavailable(), [&](PieceId piece) {
         if (lowest == kNoPiece) lowest = piece;  // bits iterate ascending
       });
       return lowest;
@@ -368,25 +382,25 @@ bool Swarm::start_transfer(PeerId from, PeerId to, PieceId piece,
 
 bool Swarm::start_transfer_attempt(PeerId from, PeerId to, PieceId piece,
                                    bool locked, int attempt) {
-  Peer& up = peers_.at(from);
-  Peer& down = peers_.at(to);
+  Peer up = peer(from);
+  Peer down = peer(to);
   if (from == to || piece == kNoPiece) return false;
   if (!up.active() || up.free_slots() <= 0) return false;
   if (!down.active() || down.is_seeder()) return false;
   if (!accepts_incoming(to)) return false;
-  const PieceSet& offer = up.transferable;  // usable or forwardable payload
+  const PieceSet& offer = up.transferable();  // usable or forwardable payload
   if (!offer.has(piece)) return false;
-  if (down.unavailable.has(piece)) return false;
+  if (down.unavailable().has(piece)) return false;
 
-  const double rate = up.capacity / static_cast<double>(up.upload_slots);
+  const double rate = up.capacity() / static_cast<double>(up.upload_slots());
   const Seconds duration =
       static_cast<double>(config_.piece_bytes) / rate;
 
-  ++up.busy_slots;
-  ++down.incoming_count;
-  down.pending.add(piece);
-  down.unavailable.add(piece);
-  ++down.unavail_ver;
+  ++up.busy_slots();
+  ++down.incoming_count();
+  down.pending().add(piece);
+  down.unavailable().add(piece);
+  down.bump_unavail_ver();
 
   Transfer t;
   t.from = from;
@@ -397,8 +411,8 @@ bool Swarm::start_transfer_attempt(PeerId from, PeerId to, PieceId piece,
   t.bytes = config_.piece_bytes;
   t.locked = locked;
   t.attempt = attempt;
-  t.from_epoch = up.epoch;
-  t.to_epoch = down.epoch;
+  t.from_epoch = up.epoch();
+  t.to_epoch = down.epoch();
   fault_stats_.offered_bytes += t.bytes;
   AUDIT_RECORD(
       transfer_event(AuditEvent::Kind::kTransferStart, t, engine_.now()));
@@ -430,16 +444,16 @@ bool Swarm::start_transfer_attempt(PeerId from, PeerId to, PieceId piece,
 }
 
 void Swarm::complete_transfer(Transfer t) {
-  Peer& up = peers_.at(t.from);
-  Peer& down = peers_.at(t.to);
+  Peer up = peer(t.from);
+  Peer down = peer(t.to);
   // Epoch guards: a churned endpoint already zeroed its slot counters and
   // cleared its pending reservations, so this event must not touch them.
-  const bool up_current = up.epoch == t.from_epoch;
-  const bool down_current = down.epoch == t.to_epoch;
-  if (up_current) --up.busy_slots;
+  const bool up_current = up.epoch() == t.from_epoch;
+  const bool down_current = down.epoch() == t.to_epoch;
+  if (up_current) --up.busy_slots();
   if (down_current) {
-    --down.incoming_count;
-    down.pending.remove(t.piece);
+    --down.incoming_count();
+    down.pending().remove(t.piece);
     update_unavailable_bit(down, t.piece);
   }
 
@@ -457,20 +471,20 @@ void Swarm::complete_transfer(Transfer t) {
     return;
   }
 
-  up.uploaded_bytes += t.bytes;  // slot time was spent either way
-  const bool delivered = down.state == PeerState::kActive && down_current;
+  up.credit_uploaded(t.bytes);  // slot time was spent either way
+  const bool delivered = down.state() == PeerState::kActive && down_current;
   AUDIT_RECORD(transfer_event(AuditEvent::Kind::kTransferEnd, t,
                               engine_.now(), delivered));
   if (delivered) {
     fault_stats_.goodput_bytes += t.bytes;
     if (t.attempt > 0) ++fault_stats_.retry_successes;
     // Byte accounting and exchange bookkeeping.
-    down.downloaded_raw_bytes += t.bytes;
-    down.received_from[t.from] += t.bytes;
-    down.round_received[t.from] += t.bytes;
+    down.credit_downloaded_raw(t.bytes);
+    down.received_from()[t.from] += t.bytes;
+    down.round_received()[t.from] += t.bytes;
     // FairTorrent-style deficits, in piece units, kept for all algorithms.
-    up.deficit[t.to] += 1;
-    down.deficit[t.from] -= 1;
+    up.deficit()[t.to] += 1;
+    down.deficit()[t.from] -= 1;
     // Real uploads are globally visible (Section V-A's reputation setup).
     add_reported_upload(t.from, static_cast<double>(t.bytes));
 
@@ -478,16 +492,16 @@ void Swarm::complete_transfer(Transfer t) {
     // model): a T-Chain newcomer is bootstrapped when the payload arrives,
     // before it reciprocates for the key.
     if (!down.bootstrapped()) {
-      down.bootstrap_time = engine_.now();
+      down.bootstrap_time() = engine_.now();
       if (observer_ != nullptr) observer_->on_bootstrap(*this, down);
     }
 
     if (t.locked) {
-      down.locked.add(t.piece);
-      down.unavailable.add(t.piece);
-      down.transferable.add(t.piece);
-      ++down.unavail_ver;
-      ++down.transferable_ver;
+      down.locked().add(t.piece);
+      down.unavailable().add(t.piece);
+      down.transferable().add(t.piece);
+      down.bump_unavail_ver();
+      down.bump_transferable_ver();
     } else {
       make_usable(t.to, t.piece, t.from);
     }
@@ -501,40 +515,40 @@ void Swarm::complete_transfer(Transfer t) {
 
   try_fill(t.from);
   // Receiving may enable reciprocation or forwarding on the receiver side.
-  if (delivered && peers_.at(t.to).active()) request_refill(t.to);
+  if (delivered && peer(t.to).active()) request_refill(t.to);
   AUDIT_CHECK();
 }
 
 void Swarm::make_usable(PeerId id, PieceId piece, PeerId source) {
-  Peer& p = peers_.at(id);
-  if (p.pieces.has(piece)) return;
-  p.locked.remove(piece);
-  p.pieces.add(piece);
-  p.unavailable.add(piece);
-  p.transferable.add(piece);
-  ++p.pieces_ver;
-  ++p.unavail_ver;
-  ++p.transferable_ver;
+  Peer p = peer(id);
+  if (p.pieces().has(piece)) return;
+  p.locked().remove(piece);
+  p.pieces().add(piece);
+  p.unavailable().add(piece);
+  p.transferable().add(piece);
+  p.bump_pieces_ver();
+  p.bump_unavail_ver();
+  p.bump_transferable_ver();
   // piece_freq_ counts usable copies among *active* peers; a churned peer's
   // copies were subtracted on departure and are re-added on rejoin.
   if (p.active()) piece_freq_.increment(piece);
-  p.downloaded_usable_bytes += config_.piece_bytes;
-  if (source != kNoPeer && !peers_.at(source).is_seeder()) {
-    p.usable_from_leechers_bytes += config_.piece_bytes;
+  p.credit_downloaded_usable(config_.piece_bytes);
+  if (source != kNoPeer && !peer(source).is_seeder()) {
+    p.credit_usable_from_leechers(config_.piece_bytes);
   }
 
   if (!p.bootstrapped()) {
-    p.bootstrap_time = engine_.now();
+    p.bootstrap_time() = engine_.now();
     if (observer_ != nullptr) observer_->on_bootstrap(*this, p);
   }
   // A peer unlocked into completeness while churned finishes on rejoin.
-  if (p.pieces.complete() && p.active()) finish_peer(id);
+  if (p.pieces().complete() && p.active()) finish_peer(id);
 }
 
 void Swarm::finish_peer(PeerId id) {
-  Peer& p = peers_.at(id);
+  Peer p = peer(id);
   if (p.finished() || p.is_seeder()) return;
-  p.finish_time = engine_.now();
+  p.finish_time() = engine_.now();
   if (observer_ != nullptr) observer_->on_finish(*this, p);
   const bool last_compliant =
       !p.is_free_rider() && --compliant_unfinished_ == 0;
@@ -550,13 +564,11 @@ void Swarm::finish_peer(PeerId id) {
 }
 
 void Swarm::depart(PeerId id) {
-  Peer& p = peers_.at(id);
-  if (p.state == PeerState::kLeft || p.is_seeder()) return;
-  p.state = PeerState::kLeft;
+  Peer p = peer(id);
+  if (p.state() == PeerState::kLeft || p.is_seeder()) return;
+  p.set_state(PeerState::kLeft);
   // Departing copies stop counting toward availability.
-  for (PieceId piece = 0; piece < p.pieces.size(); ++piece) {
-    if (p.pieces.has(piece)) piece_freq_.decrement(piece);
-  }
+  p.pieces().for_each([&](PieceId piece) { piece_freq_.decrement(piece); });
   AUDIT_RECORD(peer_event(AuditEvent::Kind::kDepart, p, engine_.now()));
   strategy_->on_peer_left(*this, id);
   AUDIT_CHECK();
@@ -565,16 +577,16 @@ void Swarm::depart(PeerId id) {
 // --- fault injection -------------------------------------------------------
 
 void Swarm::fail_transfer(Transfer t, bool stalled) {
-  Peer& up = peers_.at(t.from);
-  Peer& down = peers_.at(t.to);
+  Peer up = peer(t.from);
+  Peer down = peer(t.to);
   if (stalled) {
     ++fault_stats_.transfer_stalls;
   } else {
     ++fault_stats_.transfer_failures;
   }
 
-  const bool up_current = up.epoch == t.from_epoch;
-  const bool down_current = down.epoch == t.to_epoch;
+  const bool up_current = up.epoch() == t.from_epoch;
+  const bool down_current = down.epoch() == t.to_epoch;
   // No byte credit for the uploader: the payload never made it across, and
   // crediting it would inflate the u/d fairness statistics. The wasted slot
   // time shows up as offered bytes without matching goodput.
@@ -582,14 +594,14 @@ void Swarm::fail_transfer(Transfer t, bool stalled) {
                             down.active() && !down.finished();
   const bool will_retry =
       endpoints_ok && t.attempt < config_.faults.max_retries;
-  if (up_current) --up.busy_slots;
+  if (up_current) --up.busy_slots();
   if (down_current) {
-    --down.incoming_count;
+    --down.incoming_count();
     // A scheduled retry keeps the receiver's piece reservation through the
     // backoff window, so nobody duplicates the piece in the meantime;
     // retry_transfer releases it before re-attempting.
     if (!will_retry) {
-      down.pending.remove(t.piece);
+      down.pending().remove(t.piece);
       update_unavailable_bit(down, t.piece);
     }
   }
@@ -613,20 +625,20 @@ void Swarm::fail_transfer(Transfer t, bool stalled) {
 }
 
 void Swarm::retry_transfer(Transfer t) {
-  Peer& up = peers_.at(t.from);
-  Peer& down = peers_.at(t.to);
+  Peer up = peer(t.from);
+  Peer down = peer(t.to);
   // Release the reservation held through the backoff (churn already cleared
   // it if the receiver's epoch moved on). Within this event nothing can
   // grab the piece before the re-attempt below.
-  if (down.epoch == t.to_epoch) {
-    down.pending.remove(t.piece);
+  if (down.epoch() == t.to_epoch) {
+    down.pending().remove(t.piece);
     update_unavailable_bit(down, t.piece);
   }
   AUDIT_RECORD(transfer_event(AuditEvent::Kind::kRetry, t, engine_.now()));
-  const bool still_wanted = down.epoch == t.to_epoch && down.active() &&
-                            !down.unavailable.has(t.piece);
-  const bool source_ok = up.epoch == t.from_epoch && up.active() &&
-                         up.transferable.has(t.piece);
+  const bool still_wanted = down.epoch() == t.to_epoch && down.active() &&
+                            !down.unavailable().has(t.piece);
+  const bool source_ok = up.epoch() == t.from_epoch && up.active() &&
+                         up.transferable().has(t.piece);
   if (still_wanted && source_ok &&
       start_transfer_attempt(t.from, t.to, t.piece, t.locked,
                              t.attempt + 1)) {
@@ -648,36 +660,34 @@ void Swarm::retry_transfer(Transfer t) {
 
 void Swarm::schedule_churn(PeerId id) {
   const Seconds dt = rng_.exponential(config_.faults.churn_rate);
-  const std::uint32_t epoch = peers_.at(id).epoch;
+  const std::uint32_t epoch = store_.epoch(id);
   engine_.schedule(dt, [this, id, epoch] {
-    Peer& p = peers_.at(id);
+    ConstPeer p = peer(id);
     // Lingering finished peers depart on their own schedule; churning them
     // would only re-run departure bookkeeping.
-    if (p.epoch != epoch || !p.active() || p.finished()) return;
+    if (p.epoch() != epoch || !p.active() || p.finished()) return;
     churn_out(id);
   });
 }
 
 void Swarm::churn_out(PeerId id) {
-  Peer& p = peers_.at(id);
+  Peer p = peer(id);
   ++fault_stats_.churn_departures;
   // Invalidate every event that captured the old incarnation: in-flight
   // transfer completions/failures and the tick chain become no-ops.
-  ++p.epoch;
-  p.busy_slots = 0;
-  p.incoming_count = 0;
+  p.bump_epoch();
+  p.busy_slots() = 0;
+  p.incoming_count() = 0;
   // Clear in-flight download reservations so the pieces can be re-requested
   // (now by someone else, or after a rejoin by this peer).
-  for (PieceId piece = 0; piece < p.pending.size(); ++piece) {
-    if (p.pending.has(piece)) {
-      p.pending.remove(piece);
+  for (PieceId piece = 0; piece < p.pending().size(); ++piece) {
+    if (p.pending().has(piece)) {
+      p.pending().remove(piece);
       update_unavailable_bit(p, piece);
     }
   }
-  p.state = PeerState::kChurned;
-  for (PieceId piece = 0; piece < p.pieces.size(); ++piece) {
-    if (p.pieces.has(piece)) piece_freq_.decrement(piece);
-  }
+  p.set_state(PeerState::kChurned);
+  p.pieces().for_each([&](PieceId piece) { piece_freq_.decrement(piece); });
   AUDIT_RECORD(peer_event(AuditEvent::Kind::kChurnOut, p, engine_.now()));
 
   const bool will_rejoin = rng_.bernoulli(config_.faults.rejoin_probability);
@@ -692,7 +702,7 @@ void Swarm::churn_out(PeerId id) {
     return;
   }
   ++fault_stats_.churn_losses;
-  p.state = PeerState::kLeft;
+  p.set_state(PeerState::kLeft);
   // A permanently lost compliant peer will never finish; without this the
   // run would idle until max_time waiting for it.
   if (!p.is_free_rider() && !p.finished() &&
@@ -703,23 +713,21 @@ void Swarm::churn_out(PeerId id) {
 }
 
 void Swarm::rejoin(PeerId id) {
-  Peer& p = peers_.at(id);
+  Peer p = peer(id);
   ++fault_stats_.churn_rejoins;
-  p.state = PeerState::kActive;
+  p.set_state(PeerState::kActive);
   // The piece set survived the downtime; its copies count again.
-  for (PieceId piece = 0; piece < p.pieces.size(); ++piece) {
-    if (p.pieces.has(piece)) piece_freq_.increment(piece);
-  }
+  p.pieces().for_each([&](PieceId piece) { piece_freq_.increment(piece); });
   AUDIT_RECORD(peer_event(AuditEvent::Kind::kRejoin, p, engine_.now()));
   strategy_->on_peer_rejoined(*this, id);
   // Unlock cascades may have completed this peer's file while it was gone.
-  if (p.pieces.complete() && !p.finished()) {
+  if (p.pieces().complete() && !p.finished()) {
     finish_peer(id);
     AUDIT_CHECK();
     return;
   }
   try_fill(id);
-  const std::uint32_t epoch = p.epoch;
+  const std::uint32_t epoch = p.epoch();
   engine_.schedule(config_.retry_interval, [this, id, epoch] {
     tick(id, epoch);
   });
@@ -730,13 +738,13 @@ void Swarm::rejoin(PeerId id) {
 void Swarm::seeder_outage_begin() {
   ++fault_stats_.seeder_outages;
   for (std::size_t s = 0; s < seeder_count(); ++s) {
-    Peer& p = peers_.at(static_cast<PeerId>(leechers() + s));
+    Peer p = peer(static_cast<PeerId>(leechers() + s));
     if (!p.active()) continue;
-    ++p.epoch;  // in-flight uploads from the seeder die
-    p.busy_slots = 0;
-    p.state = PeerState::kChurned;
+    p.bump_epoch();  // in-flight uploads from the seeder die
+    p.busy_slots() = 0;
+    p.set_state(PeerState::kChurned);
     AUDIT_RECORD(peer_event(AuditEvent::Kind::kSeederDown, p, engine_.now()));
-    strategy_->on_peer_departed(*this, p.id, /*will_rejoin=*/true);
+    strategy_->on_peer_departed(*this, p.id(), /*will_rejoin=*/true);
   }
   engine_.schedule(config_.faults.seeder_downtime,
                    [this] { seeder_outage_end(); });
@@ -745,14 +753,14 @@ void Swarm::seeder_outage_begin() {
 
 void Swarm::seeder_outage_end() {
   for (std::size_t s = 0; s < seeder_count(); ++s) {
-    Peer& p = peers_.at(static_cast<PeerId>(leechers() + s));
-    if (p.state != PeerState::kChurned) continue;
-    p.state = PeerState::kActive;
+    Peer p = peer(static_cast<PeerId>(leechers() + s));
+    if (p.state() != PeerState::kChurned) continue;
+    p.set_state(PeerState::kActive);
     AUDIT_RECORD(peer_event(AuditEvent::Kind::kSeederUp, p, engine_.now()));
-    strategy_->on_peer_rejoined(*this, p.id);
-    try_fill(p.id);
-    const std::uint32_t epoch = p.epoch;
-    const PeerId id = p.id;
+    strategy_->on_peer_rejoined(*this, p.id());
+    try_fill(p.id());
+    const std::uint32_t epoch = p.epoch();
+    const PeerId id = p.id();
     engine_.schedule(config_.retry_interval, [this, id, epoch] {
       tick(id, epoch);
     });
@@ -763,11 +771,11 @@ void Swarm::seeder_outage_end() {
   }
 }
 
-void Swarm::update_unavailable_bit(Peer& p, PieceId piece) {
-  if (!p.pieces.has(piece) && !p.locked.has(piece) &&
-      !p.pending.has(piece)) {
-    p.unavailable.remove(piece);
-    ++p.unavail_ver;
+void Swarm::update_unavailable_bit(Peer p, PieceId piece) {
+  if (!p.pieces().has(piece) && !p.locked().has(piece) &&
+      !p.pending().has(piece)) {
+    p.unavailable().remove(piece);
+    p.bump_unavail_ver();
   }
 }
 
@@ -780,28 +788,29 @@ void Swarm::add_reported_upload(PeerId id, double bytes) {
 
 bool Swarm::accepts_incoming(PeerId target) const {
   if (config_.max_incoming == 0) return true;
-  return peers_.at(target).incoming_count < config_.max_incoming;
+  return store_.incoming_count(target) < config_.max_incoming;
 }
 
 bool Swarm::same_collusion_ring(PeerId a, PeerId b) const {
-  const Peer& pa = peers_.at(a);
-  const Peer& pb = peers_.at(b);
-  return pa.collusion_group >= 0 && pa.collusion_group == pb.collusion_group;
+  const int ga = store_.collusion_group(a);
+  return ga >= 0 && ga == store_.collusion_group(b);
 }
 
 void Swarm::whitewash_timer() {
   // Each whitewashing free-rider discards its identity: every other peer's
   // per-identity memory of it (deficits, receipt history) is reset, as if a
-  // brand-new peer had joined from the same address.
-  for (Peer& p : peers_) {
-    if (!p.is_free_rider() || !p.active()) continue;
-    const PeerId fr = p.id;
-    for (Peer& q : peers_) {
-      if (q.id == fr) continue;
-      q.deficit.erase(fr);
-      q.received_from.erase(fr);
-      q.round_received.erase(fr);
-      q.prev_round_received.erase(fr);
+  // brand-new peer had joined from the same address. The outer loop walks
+  // the fixed free-rider list instead of scanning the population; the
+  // inner loop must stay full-range because departed peers' receipt maps
+  // still feed EigenTrust's recompute.
+  for (const PeerId fr : freerider_ids_) {
+    if (store_.state(fr) != PeerState::kActive) continue;
+    for (PeerId q = 0; q < store_.size(); ++q) {
+      if (q == fr) continue;
+      store_.deficit(q).erase(fr);
+      store_.received_from(q).erase(fr);
+      store_.round_received(q).erase(fr);
+      store_.prev_round_received(q).erase(fr);
     }
     reputation_.at(fr) = 0.0;  // the new identity has no history at all
   }
@@ -814,37 +823,17 @@ void Swarm::whitewash_timer() {
 void Swarm::sybil_timer() {
   // Colluders report fictitious uploads for one another, inflating their
   // globally visible reputation scores (Section IV-C's "false praise").
-  for (Peer& p : peers_) {
-    if (p.collusion_group >= 0 && p.active()) {
-      reputation_.at(p.id) +=
+  // Ring membership is fixed at build time, so the timer walks the
+  // colluder list instead of scanning the population.
+  for (const PeerId id : colluder_ids_) {
+    if (store_.state(id) == PeerState::kActive) {
+      reputation_.at(id) +=
           config_.attack.sybil_rate * config_.attack.sybil_interval;
     }
   }
   if (engine_.now() + config_.attack.sybil_interval <= config_.max_time) {
     engine_.schedule(config_.attack.sybil_interval, [this] { sybil_timer(); });
   }
-}
-
-Bytes Swarm::total_uploaded_bytes() const {
-  Bytes total = 0;
-  for (const Peer& p : peers_) total += p.uploaded_bytes;
-  return total;
-}
-
-Bytes Swarm::leecher_uploaded_bytes() const {
-  Bytes total = 0;
-  for (const Peer& p : peers_) {
-    if (!p.is_seeder()) total += p.uploaded_bytes;
-  }
-  return total;
-}
-
-Bytes Swarm::freerider_usable_bytes() const {
-  Bytes total = 0;
-  for (const Peer& p : peers_) {
-    if (p.is_free_rider()) total += p.usable_from_leechers_bytes;
-  }
-  return total;
 }
 
 }  // namespace coopnet::sim

@@ -7,6 +7,11 @@
 // layer (lossy/stalling transfers with backoff retries, leecher churn,
 // seeder outages; see sim/faults.h). The incentive mechanism itself is
 // delegated to an ExchangeStrategy.
+//
+// Peer state lives in a struct-of-arrays PeerStore (sim/peer_store.h);
+// `peer(id)` hands out lightweight handles over it. The store also keeps
+// the active-peer registry and the O(1) population byte aggregates the
+// metrics samplers read.
 #pragma once
 
 #include <cassert>
@@ -25,8 +30,8 @@
 
 namespace coopnet::sim {
 
-/// Observer hooks for metrics collection. All references are valid only for
-/// the duration of the call.
+/// Observer hooks for metrics collection. All references and handles are
+/// valid only for the duration of the call.
 class SwarmObserver {
  public:
   virtual ~SwarmObserver() = default;
@@ -34,11 +39,11 @@ class SwarmObserver {
     (void)swarm;
     (void)t;
   }
-  virtual void on_bootstrap(const Swarm& swarm, const Peer& peer) {
+  virtual void on_bootstrap(const Swarm& swarm, ConstPeer peer) {
     (void)swarm;
     (void)peer;
   }
-  virtual void on_finish(const Swarm& swarm, const Peer& peer) {
+  virtual void on_finish(const Swarm& swarm, ConstPeer peer) {
     (void)swarm;
     (void)peer;
   }
@@ -73,17 +78,31 @@ class Swarm {
   /// True when `target` can take on another concurrent incoming transfer
   /// (config.max_incoming download-side back-pressure; 0 = unlimited).
   bool accepts_incoming(PeerId target) const;
-  /// Unchecked in release builds (hot path -- strategies call this per
-  /// neighbor per planning step); debug builds assert the id is in range.
-  Peer& peer(PeerId id) {
-    assert(id < peers_.size() && "Swarm::peer: id out of range");
-    return peers_[id];
+  /// Handle to one peer's state. Unchecked in release builds (hot path --
+  /// strategies call this per neighbor per planning step); debug builds
+  /// assert the id is in range.
+  Peer peer(PeerId id) {
+    assert(id < store_.size() && "Swarm::peer: id out of range");
+    return {&store_, id};
   }
-  const Peer& peer(PeerId id) const {
-    assert(id < peers_.size() && "Swarm::peer: id out of range");
-    return peers_[id];
+  ConstPeer peer(PeerId id) const {
+    assert(id < store_.size() && "Swarm::peer: id out of range");
+    return {&store_, id};
   }
-  const std::vector<Peer>& all_peers() const { return peers_; }
+  /// Every peer slot (leechers then seeders), ascending id, as handles.
+  PeerRange<const PeerStore> peers() const {
+    return PeerRange<const PeerStore>(&store_);
+  }
+  std::size_t peer_count() const { return store_.size(); }
+  /// The underlying struct-of-arrays storage (read-only; mutation goes
+  /// through handles and the Swarm's own machinery).
+  const PeerStore& peer_store() const { return store_; }
+  /// Ids of exactly the currently active peers, in deterministic but
+  /// arbitrary (swap-remove) order: iterate it only for order-insensitive
+  /// work. O(active) replacement for filtered full-population scans.
+  const std::vector<PeerId>& active_ids() const {
+    return store_.active_ids();
+  }
 
   /// Number of compliant leechers that have not yet finished.
   std::size_t compliant_unfinished() const { return compliant_unfinished_; }
@@ -154,13 +173,19 @@ class Swarm {
     return nullptr;
 #endif
   }
-  Bytes total_uploaded_bytes() const;
+  // O(1): maintained by the store's credit_* methods as exact integer sums
+  // of the per-peer counters (metrics sample these every interval).
+  Bytes total_uploaded_bytes() const { return store_.total_uploaded_bytes(); }
   /// Bytes uploaded by leechers (the seeder's bandwidth is not "users'
   /// upload bandwidth" and is excluded from susceptibility).
-  Bytes leecher_uploaded_bytes() const;
+  Bytes leecher_uploaded_bytes() const {
+    return store_.leecher_uploaded_bytes();
+  }
   /// Usable bytes free-riders obtained from leechers (susceptibility
   /// numerator).
-  Bytes freerider_usable_bytes() const;
+  Bytes freerider_usable_bytes() const {
+    return store_.freerider_usable_bytes();
+  }
 
  private:
   void build_population();
@@ -176,7 +201,7 @@ class Swarm {
   void tick(PeerId id, std::uint32_t epoch);
   void whitewash_timer();
   void sybil_timer();
-  void update_unavailable_bit(Peer& p, PieceId piece);
+  void update_unavailable_bit(Peer p, PieceId piece);
 
   // --- fault injection (src/sim/faults.h) --------------------------------
   /// Aborts a lossy/stalled transfer, releases both endpoints' slot state,
@@ -197,10 +222,15 @@ class Swarm {
   std::unique_ptr<ExchangeStrategy> strategy_;
   SimEngine engine_;
   util::Rng rng_;
-  std::vector<Peer> peers_;  // leechers + seeder (last)
+  PeerStore store_;  // leechers + seeders (last)
   PieceFreqIndex piece_freq_;  // usable copies among active peers
   std::vector<double> reputation_;         // reported uploaded bytes
   std::size_t compliant_unfinished_ = 0;
+  /// Attack-timer work lists, fixed at build time (kinds never change):
+  /// the whitewash/sybil timers iterate these instead of scanning the
+  /// whole population every interval.
+  std::vector<PeerId> freerider_ids_;
+  std::vector<PeerId> colluder_ids_;
   FaultStats fault_stats_;
   SwarmObserver* observer_ = nullptr;
 #if COOPNET_AUDIT

@@ -1,6 +1,7 @@
 // Basic identifiers and units shared across the simulator.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 
@@ -13,6 +14,12 @@ using Seconds = double;
 
 inline constexpr PeerId kNoPeer = std::numeric_limits<PeerId>::max();
 inline constexpr PieceId kNoPiece = std::numeric_limits<PieceId>::max();
+
+/// Largest population any CLI accepts for --n / --peers / --seeders.
+/// PeerId is 32-bit with kNoPeer reserved; 100M already exceeds every
+/// experiment in the paper by 5 orders of magnitude, so anything above it
+/// is a typo about to size a few hundred GB of allocations.
+inline constexpr std::size_t kMaxPeerCount = 100'000'000;
 
 /// A piece transfer between two peers. `locked` marks T-Chain deliveries
 /// whose payload is encrypted until the receiver reciprocates.

@@ -18,13 +18,13 @@ void BitTorrentStrategy::rechoke_all(sim::Swarm& swarm) {
       swarm.config().optimistic_rounds == 1;
   for (std::size_t i = 0; i < swarm.leechers(); ++i) {
     const auto id = static_cast<sim::PeerId>(i);
-    sim::Peer& p = swarm.peer(id);
+    sim::Peer p = swarm.peer(id);
     if (!p.active() || p.is_free_rider()) continue;
     // Strategic clients run no choker of their own but still need their
     // per-round receipt windows advanced.
     if (!p.is_strategic()) rechoke_one(swarm, id, rotate);
-    p.prev_round_received = std::move(p.round_received);
-    p.round_received.clear();
+    p.prev_round_received() = std::move(p.round_received());
+    p.round_received().clear();
     swarm.request_refill(id);
   }
   swarm.engine().schedule(swarm.config().rechoke_interval,
@@ -33,13 +33,13 @@ void BitTorrentStrategy::rechoke_all(sim::Swarm& swarm) {
 
 void BitTorrentStrategy::rechoke_one(sim::Swarm& swarm, sim::PeerId id,
                                      bool rotate_optimistic) {
-  sim::Peer& p = swarm.peer(id);
+  sim::Peer p = swarm.peer(id);
   PeerChokeState& st = state_[id];
 
   // Interested candidates: active neighbors we could serve.
   std::vector<sim::PeerId> candidates;
-  candidates.reserve(p.neighbors.size());
-  for (sim::PeerId n : p.neighbors) {
+  candidates.reserve(p.neighbors().size());
+  for (sim::PeerId n : p.neighbors()) {
     if (swarm.needs_from(n, id)) candidates.push_back(n);
   }
   // Random shuffle first so the stable sort breaks byte-count ties fairly.
@@ -47,8 +47,8 @@ void BitTorrentStrategy::rechoke_one(sim::Swarm& swarm, sim::PeerId id,
   std::stable_sort(candidates.begin(), candidates.end(),
                    [&p](sim::PeerId a, sim::PeerId b) {
                      auto get = [&p](sim::PeerId x) {
-                       auto it = p.round_received.find(x);
-                       return it == p.round_received.end() ? sim::Bytes{0}
+                       auto it = p.round_received().find(x);
+                       return it == p.round_received().end() ? sim::Bytes{0}
                                                            : it->second;
                      };
                      return get(a) > get(b);
@@ -62,8 +62,8 @@ void BitTorrentStrategy::rechoke_one(sim::Swarm& swarm, sim::PeerId id,
   st.unchoked.clear();
   for (sim::PeerId n : candidates) {
     if (st.unchoked.size() >= n_bt) break;
-    auto it = p.round_received.find(n);
-    if (it == p.round_received.end() || it->second <= 0) break;
+    auto it = p.round_received().find(n);
+    if (it == p.round_received().end() || it->second <= 0) break;
     st.unchoked.push_back(n);
   }
 
@@ -95,10 +95,10 @@ std::optional<sim::UploadAction> BitTorrentStrategy::strategic_upload(
   // contributor first: that is the unchoke slot most at risk.
   PeerChokeState& st = state_[uploader];
   if (st.busy_tft >= 1) return std::nullopt;
-  const sim::Peer& up = swarm.peer(uploader);
+  const sim::Peer up = swarm.peer(uploader);
   sim::PeerId to = sim::kNoPeer;
   sim::Bytes cheapest = 0;
-  for (const auto& [from, bytes] : up.prev_round_received) {
+  for (const auto& [from, bytes] : up.prev_round_received()) {
     if (bytes <= 0 || swarm.is_seeder(from)) continue;
     if (!swarm.needs_from(from, uploader)) continue;
     if (to == sim::kNoPeer || bytes < cheapest) {

@@ -9,7 +9,7 @@ namespace coopnet::strategy {
 
 std::optional<sim::UploadAction> FairTorrentStrategy::next_upload(
     sim::Swarm& swarm, sim::PeerId uploader) {
-  const sim::Peer& up = swarm.peer(uploader);
+  const sim::Peer up = swarm.peer(uploader);
   auto needy = swarm.needy_neighbors(uploader);
   if (needy.empty()) return std::nullopt;
 
@@ -22,8 +22,8 @@ std::optional<sim::UploadAction> FairTorrentStrategy::next_upload(
   std::vector<sim::PeerId> ties;
   bool first = true;
   for (sim::PeerId n : needy) {
-    auto it = up.deficit.find(n);
-    const std::int64_t d = it == up.deficit.end() ? 0 : it->second;
+    auto it = up.deficit().find(n);
+    const std::int64_t d = it == up.deficit().end() ? 0 : it->second;
     if (first || d < best) {
       best = d;
       ties.assign(1, n);

@@ -14,11 +14,11 @@ void PropShareStrategy::attach(sim::Swarm& swarm) {
 void PropShareStrategy::reshare_all(sim::Swarm& swarm) {
   for (std::size_t i = 0; i < swarm.leechers(); ++i) {
     const auto id = static_cast<sim::PeerId>(i);
-    sim::Peer& p = swarm.peer(id);
+    sim::Peer p = swarm.peer(id);
     if (!p.active() || p.is_free_rider()) continue;
     PeerShareState& st = state_[id];
     st.shares.clear();
-    for (const auto& [from, bytes] : p.round_received) {
+    for (const auto& [from, bytes] : p.round_received()) {
       if (bytes > 0 && !swarm.is_seeder(from)) {
         st.shares.emplace_back(from, static_cast<double>(bytes));
       }
@@ -30,8 +30,8 @@ void PropShareStrategy::reshare_all(sim::Swarm& swarm) {
     st.optimistic = needy.empty()
                         ? sim::kNoPeer
                         : needy[swarm.rng().uniform_u64(needy.size())];
-    p.prev_round_received = std::move(p.round_received);
-    p.round_received.clear();
+    p.prev_round_received() = std::move(p.round_received());
+    p.round_received().clear();
     swarm.request_refill(id);
   }
   swarm.engine().schedule(swarm.config().rechoke_interval,

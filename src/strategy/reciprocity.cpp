@@ -8,10 +8,10 @@ std::optional<sim::UploadAction> ReciprocityStrategy::next_upload(
     sim::Swarm& swarm, sim::PeerId uploader) {
   // Candidates: neighbors that actually gave us data, ranked by bytes
   // contributed; upload goes to the top contributor that needs something.
-  const sim::Peer& up = swarm.peer(uploader);
+  const sim::Peer up = swarm.peer(uploader);
   sim::PeerId best = sim::kNoPeer;
   sim::Bytes best_bytes = 0;
-  for (const auto& [from, bytes] : up.received_from) {
+  for (const auto& [from, bytes] : up.received_from()) {
     if (bytes <= 0 || bytes < best_bytes) continue;
     if (!swarm.needs_from(from, uploader)) continue;
     if (bytes > best_bytes || best == sim::kNoPeer) {

@@ -24,14 +24,14 @@ void ReputationStrategy::recompute_eigentrust(sim::Swarm& swarm) {
   // would be dangling anchors (an absorbing state), so each seeder
   // "vouches" for the peers it served: a reverse edge per seeder upload.
   std::vector<core::TrustEdge> edges;
-  const std::size_t n = swarm.all_peers().size();
-  for (const sim::Peer& p : swarm.all_peers()) {
-    for (const auto& [from, bytes] : p.received_from) {
+  const std::size_t n = swarm.peer_count();
+  for (sim::ConstPeer p : swarm.peers()) {
+    for (const auto& [from, bytes] : p.received_from()) {
       if (bytes <= 0) continue;
-      edges.push_back({static_cast<std::size_t>(p.id),
+      edges.push_back({static_cast<std::size_t>(p.id()),
                        static_cast<std::size_t>(from),
                        static_cast<double>(bytes)});
-      if (swarm.is_seeder(from) && p.uploaded_bytes > 0) {
+      if (swarm.is_seeder(from) && p.uploaded_bytes() > 0) {
         // The seeder vouches (uniformly, not by bytes -- free-riders soak
         // seeder bandwidth forever and must not launder it into trust)
         // for served peers with verified reciprocation evidence, e.g.
@@ -40,7 +40,7 @@ void ReputationStrategy::recompute_eigentrust(sim::Swarm& swarm) {
         // receipt forgery by collusion rings is out of scope and noted in
         // core/eigentrust.h.
         edges.push_back({static_cast<std::size_t>(from),
-                         static_cast<std::size_t>(p.id), 1.0});
+                         static_cast<std::size_t>(p.id()), 1.0});
       }
     }
   }
@@ -67,7 +67,7 @@ double ReputationStrategy::score(const sim::Swarm& swarm,
 void ReputationStrategy::rotate_altruism_targets(sim::Swarm& swarm) {
   for (std::size_t i = 0; i < swarm.leechers(); ++i) {
     const auto id = static_cast<sim::PeerId>(i);
-    const sim::Peer& p = swarm.peer(id);
+    const sim::Peer p = swarm.peer(id);
     if (!p.active() || p.is_free_rider()) continue;
     auto needy = swarm.needy_neighbors(id);
     pinned_[id] = needy.empty()

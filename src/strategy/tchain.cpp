@@ -12,7 +12,7 @@ void TChainStrategy::attach(sim::Swarm& swarm) {
                      ? std::numeric_limits<std::size_t>::max()
                      : static_cast<std::size_t>(swarm.config().tchain_backlog);
   grace_ = swarm.config().tchain_grace;
-  backlog_count_.assign(swarm.all_peers().size(), 0);
+  backlog_count_.assign(swarm.peer_count(), 0);
   swarm.engine().schedule(grace_ / 2.0, [this, &swarm] { grace_scan(swarm); });
 }
 
@@ -36,24 +36,24 @@ std::size_t TChainStrategy::backlog(sim::PeerId id) const {
 
 bool TChainStrategy::accepts_delivery(const sim::Swarm& swarm,
                                       sim::PeerId target) const {
-  const sim::Peer& q = swarm.peer(target);
+  const sim::ConstPeer q = swarm.peer(target);
   // Colluding free-riders fake-fulfill instantly, so their queue is always
   // empty from the protocol's point of view; everyone else (compliant peers
   // AND plain free-riders, whose queue never drains) is capped. This cap is
   // what makes a compliant peer's download rate track its upload capacity
   // and what starves non-colluding free-riders after a handful of pieces.
-  if (q.is_free_rider() && q.collusion_group >= 0) return true;
+  if (q.is_free_rider() && q.collusion_group() >= 0) return true;
   // Count queued duties, duties being discharged, and deliveries already
   // in flight toward this peer -- each in-flight piece becomes a duty on
   // arrival, so admission control must see it.
-  return backlog(target) + q.pending.count() < max_backlog_;
+  return backlog(target) + q.pending().count() < max_backlog_;
 }
 
 bool TChainStrategy::can_deliver(const sim::Swarm& swarm, sim::PeerId target,
                                  sim::PieceId piece) const {
-  const sim::Peer& q = swarm.peer(target);
+  const sim::ConstPeer q = swarm.peer(target);
   if (!q.active() || q.is_seeder()) return false;
-  if (q.unavailable.test(piece)) return false;
+  if (q.unavailable().test(piece)) return false;
   return accepts_delivery(swarm, target);
 }
 
@@ -77,9 +77,9 @@ std::optional<sim::UploadAction> TChainStrategy::plan_obligation(
     }
   }
   // Any neighbor that needs the received piece.
-  const sim::Peer& up = swarm.peer(p);
+  const sim::Peer up = swarm.peer(p);
   std::vector<sim::PeerId> candidates;
-  for (sim::PeerId n : up.neighbors) {
+  for (sim::PeerId n : up.neighbors()) {
     if (n != ob.designator && can_deliver(swarm, n, ob.piece)) {
       candidates.push_back(n);
     }
@@ -205,8 +205,8 @@ void TChainStrategy::on_delivered(sim::Swarm& swarm, const sim::Transfer& t) {
   // --- receiver side: register the new chain link and obligation. --------
   // A receiver that churned mid-transfer (even one that already rejoined,
   // hence the epoch check) never got the payload: no link, no duty.
-  const sim::Peer& recv = swarm.peer(t.to);
-  if (recv.state != sim::PeerState::kActive || recv.epoch != t.to_epoch ||
+  const sim::Peer recv = swarm.peer(t.to);
+  if (recv.state() != sim::PeerState::kActive || recv.epoch() != t.to_epoch ||
       !t.locked) {
     return;
   }
@@ -223,10 +223,10 @@ void TChainStrategy::on_delivered(sim::Swarm& swarm, const sim::Transfer& t) {
     suggested = t.from;
   } else {
     std::vector<sim::PeerId> pool;
-    for (sim::PeerId n : swarm.peer(t.from).neighbors) {
+    for (sim::PeerId n : swarm.peer(t.from).neighbors()) {
       if (n == t.to || n == t.from) continue;
-      const sim::Peer& q = swarm.peer(n);
-      if (q.active() && !q.is_seeder() && !q.unavailable.test(t.piece)) {
+      const sim::Peer q = swarm.peer(n);
+      if (q.active() && !q.is_seeder() && !q.unavailable().test(t.piece)) {
         pool.push_back(n);
       }
     }
@@ -239,7 +239,7 @@ void TChainStrategy::on_delivered(sim::Swarm& swarm, const sim::Transfer& t) {
     // Collusion (Section IV-C): if the designated third party is a fellow
     // colluder it falsely reports receipt, and the sender releases the key
     // without any reciprocation having happened.
-    if (recv.collusion_group >= 0 && suggested != sim::kNoPeer &&
+    if (recv.collusion_group() >= 0 && suggested != sim::kNoPeer &&
         suggested != t.from && swarm.same_collusion_ring(t.to, suggested)) {
       resolve_fulfilled(swarm, t.to, t.piece);
       return;
@@ -272,11 +272,11 @@ void TChainStrategy::try_unlock(sim::Swarm& swarm, sim::PeerId receiver,
   auto it = links_.find(key(receiver, piece));
   if (it == links_.end() || !it->second.fulfilled) return;
   const sim::PeerId sender = it->second.sender;
-  const sim::Peer& s = swarm.peer(sender);
+  const sim::Peer s = swarm.peer(sender);
   // The sender can hand over the key once it holds the piece usable (or is
   // the seeder / has since finished and left with the full file).
-  const bool sender_has_key = s.is_seeder() || s.pieces.test(piece) ||
-                              s.state == sim::PeerState::kLeft;
+  const bool sender_has_key = s.is_seeder() || s.pieces().test(piece) ||
+                              s.state() == sim::PeerState::kLeft;
   if (!sender_has_key) return;  // retried when the sender unlocks
   links_.erase(it);
   swarm.make_usable(receiver, piece, sender);
@@ -294,9 +294,9 @@ void TChainStrategy::try_unlock(sim::Swarm& swarm, sim::PeerId receiver,
 void TChainStrategy::grace_scan(sim::Swarm& swarm) {
   const sim::Seconds now = swarm.engine().now();
   for (auto& [id, st] : state_) {
-    const sim::Peer& p = swarm.peer(id);
+    const sim::Peer p = swarm.peer(id);
     if (p.is_free_rider()) continue;  // refusal is never excused
-    if (p.state == sim::PeerState::kPending) continue;
+    if (p.state() == sim::PeerState::kPending) continue;
     // Collect first (resolve_fulfilled can cascade into make_usable and
     // mutate this peer's queue via finish bookkeeping).
     std::vector<sim::PieceId> expired;

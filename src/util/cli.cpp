@@ -1,5 +1,6 @@
 #include "util/cli.h"
 
+#include <cerrno>
 #include <cstdlib>
 #include <stdexcept>
 
@@ -63,6 +64,29 @@ double Cli::get_double(const std::string& name, double fallback) const {
     throw std::invalid_argument("Cli: bad number for --" + name);
   }
   return out;
+}
+
+std::size_t Cli::get_count(const std::string& name, std::size_t fallback,
+                           std::size_t max_value) const {
+  auto v = get(name);
+  if (!v) return fallback;
+  // strtoul alone accepts "-1" (wraps), "1e6" (prefix), and saturates on
+  // overflow without reporting it; require an all-digit token and check
+  // errno, like the fleet endpoint parser does for ports.
+  const std::string range =
+      " (expected an integer in [1, " + std::to_string(max_value) + "])";
+  if (v->empty() || v->find_first_not_of("0123456789") != std::string::npos) {
+    throw std::invalid_argument("Cli: --" + name + "=" + *v +
+                                " is not a count" + range);
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long out = std::strtoull(v->c_str(), &end, 10);
+  if (errno == ERANGE || *end != '\0' || out == 0 || out > max_value) {
+    throw std::invalid_argument("Cli: --" + name + "=" + *v +
+                                " is out of range" + range);
+  }
+  return static_cast<std::size_t>(out);
 }
 
 bool Cli::get_bool(const std::string& name, bool fallback) const {

@@ -30,6 +30,14 @@ class Cli {
   double get_double(const std::string& name, double fallback) const;
   bool get_bool(const std::string& name, bool fallback) const;
 
+  /// Value of `--name` parsed as a population/size count in
+  /// [1, max_value]. These counts size allocations, so a zero, negative,
+  /// non-numeric, or overflowing value must fail fast with an actionable
+  /// message instead of reaching an allocator. Requires an all-digit
+  /// token (no sign, no numeric prefix like "100junk").
+  std::size_t get_count(const std::string& name, std::size_t fallback,
+                        std::size_t max_value) const;
+
   const std::vector<std::string>& positional() const { return positional_; }
   const std::string& program() const { return program_; }
 

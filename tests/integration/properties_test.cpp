@@ -49,44 +49,44 @@ TEST_P(SwarmInvariants, HoldAfterFullRun) {
   swarm.run();
 
   sim::Bytes uploaded = 0, raw = 0, usable = 0;
-  for (const sim::Peer& p : swarm.all_peers()) {
-    uploaded += p.uploaded_bytes;
-    raw += p.downloaded_raw_bytes;
-    usable += p.downloaded_usable_bytes;
+  for (const sim::ConstPeer p : swarm.peers()) {
+    uploaded += p.uploaded_bytes();
+    raw += p.downloaded_raw_bytes();
+    usable += p.downloaded_usable_bytes();
 
     // Byte counters are consistent per peer.
-    EXPECT_GE(p.uploaded_bytes, 0);
-    EXPECT_GE(p.downloaded_raw_bytes, p.downloaded_usable_bytes -
+    EXPECT_GE(p.uploaded_bytes(), 0);
+    EXPECT_GE(p.downloaded_raw_bytes(), p.downloaded_usable_bytes() -
                                           static_cast<sim::Bytes>(0));
-    EXPECT_LE(p.usable_from_leechers_bytes, p.downloaded_usable_bytes);
+    EXPECT_LE(p.usable_from_leechers_bytes(), p.downloaded_usable_bytes());
 
     if (p.is_seeder()) {
-      EXPECT_EQ(p.downloaded_raw_bytes, 0);
+      EXPECT_EQ(p.downloaded_raw_bytes(), 0);
       continue;
     }
     // Usable bytes match the usable piece count exactly.
-    EXPECT_EQ(p.downloaded_usable_bytes,
-              static_cast<sim::Bytes>(p.pieces.count()) *
+    EXPECT_EQ(p.downloaded_usable_bytes(),
+              static_cast<sim::Bytes>(p.pieces().count()) *
                   config.piece_bytes);
     // Piece-set unions are maintained.
-    for (sim::PieceId q = 0; q < p.pieces.size(); ++q) {
+    for (sim::PieceId q = 0; q < p.pieces().size(); ++q) {
       const bool members =
-          p.pieces.has(q) || p.locked.has(q) || p.pending.has(q);
-      EXPECT_EQ(p.unavailable.has(q), members);
-      EXPECT_EQ(p.transferable.has(q), p.pieces.has(q) || p.locked.has(q));
+          p.pieces().has(q) || p.locked().has(q) || p.pending().has(q);
+      EXPECT_EQ(p.unavailable().has(q), members);
+      EXPECT_EQ(p.transferable().has(q), p.pieces().has(q) || p.locked().has(q));
     }
     // Finish implies the complete file; departure implies finish.
     if (p.finished()) {
-      EXPECT_TRUE(p.pieces.complete());
-      EXPECT_GE(p.finish_time, p.arrival_time);
-      EXPECT_GE(p.finish_time, p.bootstrap_time);
+      EXPECT_TRUE(p.pieces().complete());
+      EXPECT_GE(p.finish_time(), p.arrival_time());
+      EXPECT_GE(p.finish_time(), p.bootstrap_time());
     }
-    if (p.state == sim::PeerState::kLeft) {
+    if (p.state() == sim::PeerState::kLeft) {
       EXPECT_TRUE(p.finished());
     }
     // Free-riders never upload.
     if (p.is_free_rider()) {
-      EXPECT_EQ(p.uploaded_bytes, 0);
+      EXPECT_EQ(p.uploaded_bytes(), 0);
     }
   }
 
@@ -97,10 +97,10 @@ TEST_P(SwarmInvariants, HoldAfterFullRun) {
   // Reputation ledger only grows and covers all real leecher uploads
   // (fake sybil praise may add more, never less).
   double ledger = 0.0;
-  for (const sim::Peer& p : swarm.all_peers()) {
-    ledger += swarm.reputation(p.id);
-    EXPECT_GE(swarm.reputation(p.id),
-              static_cast<double>(p.uploaded_bytes) - 1e-6);
+  for (const sim::ConstPeer p : swarm.peers()) {
+    ledger += swarm.reputation(p.id());
+    EXPECT_GE(swarm.reputation(p.id()),
+              static_cast<double>(p.uploaded_bytes()) - 1e-6);
   }
   EXPECT_GE(ledger, static_cast<double>(uploaded) - 1e-6);
 
@@ -140,10 +140,10 @@ TEST(ModelConsistency, AggregateRatesBoundedByCapacity) {
   swarm.run();
   double capacity_time = 0.0;  // integral of available upload capacity
   sim::Bytes delivered = 0;
-  for (const sim::Peer& p : swarm.all_peers()) {
-    const double end = p.finished() ? p.finish_time : swarm.engine().now();
-    capacity_time += p.capacity * std::max(0.0, end - p.arrival_time);
-    delivered += p.downloaded_raw_bytes;
+  for (const sim::ConstPeer p : swarm.peers()) {
+    const double end = p.finished() ? p.finish_time() : swarm.engine().now();
+    capacity_time += p.capacity() * std::max(0.0, end - p.arrival_time());
+    delivered += p.downloaded_raw_bytes();
   }
   EXPECT_LE(static_cast<double>(delivered), capacity_time + 1e6);
 }

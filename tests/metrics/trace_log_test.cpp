@@ -52,7 +52,7 @@ TEST(TraceLog, RecordsAllEventKinds) {
   sim::Bytes total = 0;
   for (const auto& e : trace.events()) total += e.bytes;
   sim::Bytes raw = 0;
-  for (const auto& p : swarm.all_peers()) raw += p.downloaded_raw_bytes;
+  for (const auto& p : swarm.peers()) raw += p.downloaded_raw_bytes();
   EXPECT_EQ(total, raw);
 }
 
@@ -161,10 +161,10 @@ struct CountingObserver : sim::SwarmObserver {
     ++transfers;
     bytes += t.bytes;
   }
-  void on_bootstrap(const sim::Swarm&, const sim::Peer&) override {
+  void on_bootstrap(const sim::Swarm&, sim::ConstPeer) override {
     ++bootstraps;
   }
-  void on_finish(const sim::Swarm&, const sim::Peer&) override {
+  void on_finish(const sim::Swarm&, sim::ConstPeer) override {
     ++finishes;
   }
 };

@@ -25,8 +25,8 @@ TEST(Arrivals, FlashCrowdWithinWindow) {
   config.flash_crowd_window = 5.0;
   Swarm s(config, strategy::make_strategy(config.algorithm));
   for (PeerId i = 0; i < s.leechers(); ++i) {
-    EXPECT_GE(s.peer(i).arrival_time, 0.0);
-    EXPECT_LE(s.peer(i).arrival_time, 5.0);
+    EXPECT_GE(s.peer(i).arrival_time(), 0.0);
+    EXPECT_LE(s.peer(i).arrival_time(), 5.0);
   }
 }
 
@@ -37,7 +37,7 @@ TEST(Arrivals, PoissonSpreadsBeyondFlashWindow) {
   Swarm s(config, strategy::make_strategy(config.algorithm));
   double last = 0.0;
   for (PeerId i = 0; i < s.leechers(); ++i) {
-    last = std::max(last, s.peer(i).arrival_time);
+    last = std::max(last, s.peer(i).arrival_time());
   }
   // 40 peers at rate 0.5/s: arrivals stretch over ~80 s on average.
   EXPECT_GT(last, 20.0);
@@ -50,7 +50,7 @@ TEST(Arrivals, StaggeredIsUniformlySpaced) {
   Swarm s(config, strategy::make_strategy(config.algorithm));
   std::vector<double> times;
   for (PeerId i = 0; i < s.leechers(); ++i) {
-    times.push_back(s.peer(i).arrival_time);
+    times.push_back(s.peer(i).arrival_time());
   }
   std::sort(times.begin(), times.end());
   for (std::size_t i = 1; i < times.size(); ++i) {
@@ -97,9 +97,9 @@ TEST(Seeders, MultipleSeedersAllServe) {
   EXPECT_EQ(s.seeder_count(), 3u);
   s.run();
   for (std::size_t k = 0; k < 3; ++k) {
-    const Peer& seeder = s.peer(static_cast<PeerId>(s.leechers() + k));
+    const ConstPeer seeder = s.peer(static_cast<PeerId>(s.leechers() + k));
     EXPECT_TRUE(seeder.is_seeder());
-    EXPECT_GT(seeder.uploaded_bytes, 0) << k;
+    EXPECT_GT(seeder.uploaded_bytes(), 0) << k;
   }
   EXPECT_EQ(s.compliant_unfinished(), 0u);
 }
@@ -109,7 +109,7 @@ TEST(Seeders, LeechersKnowEverySeeder) {
   config.seeder_count = 2;
   Swarm s(config, strategy::make_strategy(config.algorithm));
   for (PeerId i = 0; i < s.leechers(); ++i) {
-    const auto& nb = s.peer(i).neighbors;
+    const auto nb = s.peer(i).neighbors();
     for (std::size_t k = 0; k < 2; ++k) {
       const auto seeder = static_cast<PeerId>(s.leechers() + k);
       EXPECT_EQ(std::count(nb.begin(), nb.end(), seeder), 1) << i;
@@ -142,7 +142,7 @@ TEST(BackPressure, MaxIncomingIsRespected) {
   for (double t = 0.5; t < 30.0; t += 0.5) {
     s.engine().schedule_at(t, [&s, &max_seen] {
       for (PeerId i = 0; i < s.leechers(); ++i) {
-        max_seen = std::max(max_seen, s.peer(i).incoming_count);
+        max_seen = std::max(max_seen, s.peer(i).incoming_count());
       }
     });
   }

@@ -125,16 +125,16 @@ class Saboteur : public SwarmObserver {
     if (done_) return;
     if (mode_ == Mode::kLeakSlot) {
       done_ = true;
-      ++target_->peer(t.from).busy_slots;  // a decrement was "forgotten"
+      ++target_->peer(t.from).busy_slots();  // a decrement was "forgotten"
     } else {
       // A reservation appears out of nowhere (no in-flight transfer).
       // Corrupt the downloader: unlike the uploader (often the seeder,
       // whose unavailable set is already full), it still has free pieces.
-      Peer& p = target_->peer(t.to);
-      for (PieceId piece = 0; piece < p.pending.size(); ++piece) {
-        if (!p.unavailable.has(piece)) {
-          p.pending.add(piece);
-          p.unavailable.add(piece);
+      Peer p = target_->peer(t.to);
+      for (PieceId piece = 0; piece < p.pending().size(); ++piece) {
+        if (!p.unavailable().has(piece)) {
+          p.pending().add(piece);
+          p.unavailable().add(piece);
           done_ = true;
           break;
         }
@@ -204,7 +204,7 @@ TEST(Auditor, AuditingDoesNotPerturbTheRun) {
   EXPECT_EQ(audited->fault_stats().offered_bytes,
             bare->fault_stats().offered_bytes);
   for (PeerId id = 0; id < static_cast<PeerId>(audited->leechers()); ++id) {
-    EXPECT_EQ(audited->peer(id).finish_time, bare->peer(id).finish_time)
+    EXPECT_EQ(audited->peer(id).finish_time(), bare->peer(id).finish_time())
         << "peer " << id;
   }
 }

@@ -266,9 +266,9 @@ TEST(Faults, LossDoesNotCreditUploaderBytes) {
   // Every credited uploaded byte corresponds to a completed slot; raw
   // downloads can only lag uploads by in-flight-at-departure payloads.
   Bytes uploaded = 0, raw = 0;
-  for (const Peer& p : s.all_peers()) {
-    uploaded += p.uploaded_bytes;
-    raw += p.downloaded_raw_bytes;
+  for (const ConstPeer p : s.peers()) {
+    uploaded += p.uploaded_bytes();
+    raw += p.downloaded_raw_bytes();
   }
   EXPECT_GE(uploaded, raw);
   EXPECT_EQ(s.fault_stats().goodput_bytes, raw);
@@ -326,8 +326,8 @@ TEST(Faults, ChurnKeepsPieceAvailabilityConsistent) {
   for (PieceId piece = 0; piece < s.config().piece_count(); ++piece) {
     std::uint32_t expect = 1;
     for (PeerId i = 0; i < s.leechers(); ++i) {
-      const Peer& p = s.peer(i);
-      if (p.active() && p.pieces.has(piece)) ++expect;
+      const ConstPeer p = s.peer(i);
+      if (p.active() && p.pieces().has(piece)) ++expect;
     }
     EXPECT_EQ(s.piece_frequency(piece), expect) << "piece " << piece;
   }
@@ -402,9 +402,9 @@ RunFingerprint fingerprint(Algorithm algo, std::uint64_t seed) {
   auto sp = run_with(c);
   Swarm& s = *sp;
   RunFingerprint fp;
-  for (const Peer& p : s.all_peers()) {
-    fp.finish_times.push_back(p.finish_time);
-    fp.uploaded.push_back(p.uploaded_bytes);
+  for (const ConstPeer p : s.peers()) {
+    fp.finish_times.push_back(p.finish_time());
+    fp.uploaded.push_back(p.uploaded_bytes());
   }
   const FaultStats& f = s.fault_stats();
   fp.failures = f.transfer_failures;

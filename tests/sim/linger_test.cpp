@@ -25,8 +25,8 @@ TEST(Linger, FinishedPeersKeepUploading) {
   // Snapshot uploads at finish via the observer.
   struct Snap : SwarmObserver {
     std::unordered_map<PeerId, Bytes> at_finish;
-    void on_finish(const Swarm&, const Peer& p) override {
-      at_finish[p.id] = p.uploaded_bytes;
+    void on_finish(const Swarm&, ConstPeer p) override {
+      at_finish[p.id()] = p.uploaded_bytes();
     }
   } snap;
   s.set_observer(&snap);
@@ -35,7 +35,7 @@ TEST(Linger, FinishedPeersKeepUploading) {
   for (PeerId i = 0; i < s.leechers(); ++i) {
     auto it = snap.at_finish.find(i);
     if (it != snap.at_finish.end() &&
-        s.peer(i).uploaded_bytes > it->second) {
+        s.peer(i).uploaded_bytes() > it->second) {
       ++post_finish_uploaders;
     }
   }
@@ -66,10 +66,10 @@ TEST(Linger, PeersStillDepartAfterTheWindow) {
   // window expired before that must have left.
   const double end = s.engine().now();
   for (PeerId i = 0; i < s.leechers(); ++i) {
-    const Peer& p = s.peer(i);
+    const ConstPeer p = s.peer(i);
     ASSERT_TRUE(p.finished());
-    if (p.finish_time + 5.0 < end - 1e-6) {
-      EXPECT_EQ(p.state, PeerState::kLeft) << i;
+    if (p.finish_time() + 5.0 < end - 1e-6) {
+      EXPECT_EQ(p.state(), PeerState::kLeft) << i;
     }
   }
 }
@@ -81,7 +81,7 @@ TEST(Linger, FreeRidersNeverSeedEvenAfterFinishing) {
   s.run();
   for (PeerId i = 0; i < s.leechers(); ++i) {
     if (s.peer(i).is_free_rider()) {
-      EXPECT_EQ(s.peer(i).uploaded_bytes, 0) << i;
+      EXPECT_EQ(s.peer(i).uploaded_bytes(), 0) << i;
     }
   }
 }

@@ -48,7 +48,7 @@ TEST(PieceSelection, SequentialPicksLowestIndex) {
   const PieceId mid = config.piece_count() / 2;
   for (PeerId i = 0; i < s.leechers(); ++i) {
     for (PieceId q = 0; q < config.piece_count(); ++q) {
-      if (!s.peer(i).pieces.has(q)) continue;
+      if (!s.peer(i).pieces().has(q)) continue;
       if (q < mid) {
         ++low;
       } else {

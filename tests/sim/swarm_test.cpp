@@ -55,13 +55,13 @@ TEST(Swarm, ConstructionBuildsPopulation) {
   Swarm s(tiny_config(), std::make_unique<NullStrategy>());
   EXPECT_EQ(s.leechers(), 8u);
   EXPECT_EQ(s.seeder_id(), 8u);
-  const Peer& seeder = s.peer(s.seeder_id());
+  const ConstPeer seeder = s.peer(s.seeder_id());
   EXPECT_TRUE(seeder.is_seeder());
-  EXPECT_TRUE(seeder.pieces.complete());
+  EXPECT_TRUE(seeder.pieces().complete());
   for (PeerId i = 0; i < 8; ++i) {
-    EXPECT_EQ(s.peer(i).kind, PeerKind::kCompliant);
-    EXPECT_TRUE(s.peer(i).pieces.empty());
-    EXPECT_EQ(s.peer(i).capacity, 64.0 * 1024);
+    EXPECT_EQ(s.peer(i).kind(), PeerKind::kCompliant);
+    EXPECT_TRUE(s.peer(i).pieces().empty());
+    EXPECT_EQ(s.peer(i).capacity(), 64.0 * 1024);
   }
   EXPECT_EQ(s.compliant_unfinished(), 8u);
 }
@@ -73,7 +73,7 @@ TEST(Swarm, NullStrategyRunsOnlySeederUploads) {
   EXPECT_EQ(s.compliant_unfinished(), 0u);
   for (PeerId i = 0; i < 8; ++i) {
     EXPECT_TRUE(s.peer(i).finished());
-    EXPECT_EQ(s.peer(i).uploaded_bytes, 0);
+    EXPECT_EQ(s.peer(i).uploaded_bytes(), 0);
   }
 }
 
@@ -82,9 +82,9 @@ TEST(Swarm, ScriptedRunCompletesAndConservesBytes) {
   s.run();
   EXPECT_EQ(s.compliant_unfinished(), 0u);
   Bytes uploaded = 0, raw = 0;
-  for (const Peer& p : s.all_peers()) {
-    uploaded += p.uploaded_bytes;
-    raw += p.downloaded_raw_bytes;
+  for (const ConstPeer p : s.peers()) {
+    uploaded += p.uploaded_bytes();
+    raw += p.downloaded_raw_bytes();
   }
   // Eq. 1 as a trace invariant: every uploaded byte was either received or
   // discarded because the receiver had just departed.
@@ -92,7 +92,7 @@ TEST(Swarm, ScriptedRunCompletesAndConservesBytes) {
   EXPECT_LE(uploaded - raw, 8 * s.config().piece_bytes);
   // Every compliant peer ends with the full file.
   for (PeerId i = 0; i < 8; ++i) {
-    EXPECT_EQ(s.peer(i).downloaded_usable_bytes, s.config().file_bytes);
+    EXPECT_EQ(s.peer(i).downloaded_usable_bytes(), s.config().file_bytes);
   }
 }
 
@@ -111,7 +111,7 @@ TEST(Swarm, DeterministicUnderSameSeed) {
     Swarm s(tiny_config(), std::make_unique<ScriptedStrategy>(false));
     s.run();
     std::vector<double> finish;
-    for (PeerId i = 0; i < 8; ++i) finish.push_back(s.peer(i).finish_time);
+    for (PeerId i = 0; i < 8; ++i) finish.push_back(s.peer(i).finish_time());
     return finish;
   };
   EXPECT_EQ(run_once(), run_once());
@@ -132,8 +132,8 @@ TEST(Swarm, LockedDeliveriesStayUnusableUntilMadeUsable) {
   EXPECT_EQ(s.compliant_unfinished(), 8u);
   Bytes raw = 0, usable = 0;
   for (PeerId i = 0; i < 8; ++i) {
-    raw += s.peer(i).downloaded_raw_bytes;
-    usable += s.peer(i).downloaded_usable_bytes;
+    raw += s.peer(i).downloaded_raw_bytes();
+    usable += s.peer(i).downloaded_usable_bytes();
     EXPECT_FALSE(s.peer(i).finished());
   }
   EXPECT_GT(raw, 0);
@@ -157,25 +157,25 @@ TEST(Swarm, MakeUsableUnlocksAndAttributesSource) {
   s.run();
   // Find a locked piece and unlock it manually, attributing to a leecher.
   for (PeerId i = 0; i < 8; ++i) {
-    Peer& p = s.peer(i);
-    if (p.locked.empty()) continue;
+    Peer p = s.peer(i);
+    if (p.locked().empty()) continue;
     PieceId piece = kNoPiece;
-    for (PieceId q = 0; q < p.locked.size(); ++q) {
-      if (p.locked.has(q)) {
+    for (PieceId q = 0; q < p.locked().size(); ++q) {
+      if (p.locked().has(q)) {
         piece = q;
         break;
       }
     }
     ASSERT_NE(piece, kNoPiece);
-    const Bytes before = p.downloaded_usable_bytes;
+    const Bytes before = p.downloaded_usable_bytes();
     s.make_usable(i, piece, /*source=*/1);
-    EXPECT_TRUE(p.pieces.has(piece));
-    EXPECT_FALSE(p.locked.has(piece));
-    EXPECT_EQ(p.downloaded_usable_bytes, before + config.piece_bytes);
-    EXPECT_EQ(p.usable_from_leechers_bytes, config.piece_bytes);
+    EXPECT_TRUE(p.pieces().has(piece));
+    EXPECT_FALSE(p.locked().has(piece));
+    EXPECT_EQ(p.downloaded_usable_bytes(), before + config.piece_bytes);
+    EXPECT_EQ(p.usable_from_leechers_bytes(), config.piece_bytes);
     // Unlocking again is a no-op.
     s.make_usable(i, piece, 1);
-    EXPECT_EQ(p.downloaded_usable_bytes, before + config.piece_bytes);
+    EXPECT_EQ(p.downloaded_usable_bytes(), before + config.piece_bytes);
     return;
   }
   FAIL() << "no locked piece found to exercise make_usable";
@@ -189,11 +189,11 @@ TEST(Swarm, FreeRidersNeverUpload) {
   s.run();
   std::size_t free_riders = 0;
   for (PeerId i = 0; i < 10; ++i) {
-    const Peer& p = s.peer(i);
+    const ConstPeer p = s.peer(i);
     if (p.is_free_rider()) {
       ++free_riders;
-      EXPECT_EQ(p.uploaded_bytes, 0);
-      EXPECT_GT(p.downloaded_usable_bytes, 0);  // altruism still serves them
+      EXPECT_EQ(p.uploaded_bytes(), 0);
+      EXPECT_GT(p.downloaded_usable_bytes(), 0);  // altruism still serves them
     }
   }
   EXPECT_EQ(free_riders, 3u);
@@ -211,7 +211,7 @@ TEST(Swarm, ReputationLedgerTracksRealUploads) {
   s.run();
   for (PeerId i = 0; i < 8; ++i) {
     EXPECT_NEAR(s.reputation(i),
-                static_cast<double>(s.peer(i).uploaded_bytes), 1e-6);
+                static_cast<double>(s.peer(i).uploaded_bytes()), 1e-6);
   }
   EXPECT_THROW(s.add_reported_upload(0, -5.0), std::invalid_argument);
 }
@@ -224,12 +224,12 @@ TEST(Swarm, CollusionRingMembership) {
   Swarm s(config, std::make_unique<NullStrategy>());
   std::vector<PeerId> ring;
   for (PeerId i = 0; i < 10; ++i) {
-    if (s.peer(i).collusion_group >= 0) ring.push_back(i);
+    if (s.peer(i).collusion_group() >= 0) ring.push_back(i);
   }
   ASSERT_EQ(ring.size(), 3u);
   EXPECT_TRUE(s.same_collusion_ring(ring[0], ring[1]));
   for (PeerId i = 0; i < 10; ++i) {
-    if (s.peer(i).collusion_group < 0) {
+    if (s.peer(i).collusion_group() < 0) {
       EXPECT_FALSE(s.same_collusion_ring(ring[0], i));
     }
   }
@@ -239,8 +239,8 @@ TEST(Swarm, FinishedPeersLeaveAndStopReceiving) {
   Swarm s(tiny_config(), std::make_unique<ScriptedStrategy>(false));
   s.run();
   for (PeerId i = 0; i < 8; ++i) {
-    EXPECT_EQ(s.peer(i).state, PeerState::kLeft);
-    EXPECT_EQ(s.peer(i).downloaded_usable_bytes, s.config().file_bytes);
+    EXPECT_EQ(s.peer(i).state(), PeerState::kLeft);
+    EXPECT_EQ(s.peer(i).downloaded_usable_bytes(), s.config().file_bytes);
   }
 }
 

@@ -46,7 +46,7 @@ TEST(Altruism, EveryoneFinishesAndUploads) {
   EXPECT_EQ(sp->compliant_unfinished(), 0u);
   std::size_t uploaders = 0;
   for (PeerId i = 0; i < sp->leechers(); ++i) {
-    if (sp->peer(i).uploaded_bytes > 0) ++uploaders;
+    if (sp->peer(i).uploaded_bytes() > 0) ++uploaders;
   }
   // Nearly everyone contributes under altruism (late finishers may not).
   EXPECT_GE(uploaders, sp->leechers() - 2);
@@ -57,7 +57,7 @@ TEST(Altruism, SpreadsUploadsAcrossManyTargets) {
   // Aggregate indegree: every peer received from several distinct peers.
   std::size_t total_sources = 0;
   for (PeerId i = 0; i < sp->leechers(); ++i) {
-    total_sources += sp->peer(i).received_from.size();
+    total_sources += sp->peer(i).received_from().size();
   }
   EXPECT_GT(total_sources / sp->leechers(), 3u);
 }
@@ -69,9 +69,9 @@ TEST(Reciprocity, NoPeerEverUploads) {
   config.max_time = 120.0;  // cap: the seeder would finish everyone given time
   auto sp = run(config);
   for (PeerId i = 0; i < sp->leechers(); ++i) {
-    EXPECT_EQ(sp->peer(i).uploaded_bytes, 0) << i;
+    EXPECT_EQ(sp->peer(i).uploaded_bytes(), 0) << i;
   }
-  EXPECT_GT(sp->peer(sp->seeder_id()).uploaded_bytes, 0);
+  EXPECT_GT(sp->peer(sp->seeder_id()).uploaded_bytes(), 0);
 }
 
 TEST(Reciprocity, OnlySeederContributesToDownloads) {
@@ -79,7 +79,7 @@ TEST(Reciprocity, OnlySeederContributesToDownloads) {
   config.max_time = 120.0;
   auto sp = run(config);
   for (PeerId i = 0; i < sp->leechers(); ++i) {
-    for (const auto& [from, bytes] : sp->peer(i).received_from) {
+    for (const auto& [from, bytes] : sp->peer(i).received_from()) {
       if (bytes > 0) {
         EXPECT_EQ(from, sp->seeder_id());
       }
@@ -97,7 +97,7 @@ TEST(FairTorrent, DeficitsStayBoundedForCompliantPeers) {
                            static_cast<std::int64_t>(sp->leechers())) +
                        3.0;
   for (PeerId i = 0; i < sp->leechers(); ++i) {
-    for (const auto& [other, d] : sp->peer(i).deficit) {
+    for (const auto& [other, d] : sp->peer(i).deficit()) {
       (void)other;
       EXPECT_LE(std::abs(static_cast<double>(d)), bound * 2.0);
     }
@@ -131,7 +131,7 @@ TEST(Reputation, NewcomersServedOnlyThroughAltruismShare) {
   // With alpha_r = 0 and all reputations starting at zero, peers can never
   // select a target: only the seeder moves data.
   for (PeerId i = 0; i < sp->leechers(); ++i) {
-    EXPECT_EQ(sp->peer(i).uploaded_bytes, 0) << i;
+    EXPECT_EQ(sp->peer(i).uploaded_bytes(), 0) << i;
   }
 }
 
@@ -142,7 +142,7 @@ TEST(Reputation, AltruismShareEnablesExchange) {
   EXPECT_EQ(sp->compliant_unfinished(), 0u);
   std::size_t uploaders = 0;
   for (PeerId i = 0; i < sp->leechers(); ++i) {
-    if (sp->peer(i).uploaded_bytes > 0) ++uploaders;
+    if (sp->peer(i).uploaded_bytes() > 0) ++uploaders;
   }
   EXPECT_GT(uploaders, sp->leechers() / 2);
 }
@@ -157,11 +157,11 @@ TEST(Reputation, HigherReputationAttractsMoreDownloads) {
   double fast_down = 0.0, slow_down = 0.0;
   std::size_t fast_n = 0, slow_n = 0;
   for (PeerId i = 0; i < sp->leechers(); ++i) {
-    const sim::Peer& p = sp->peer(i);
+    const sim::ConstPeer p = sp->peer(i);
     const double rate =
-        static_cast<double>(p.downloaded_usable_bytes) /
-        (p.finish_time - p.arrival_time);
-    if (p.capacity > 256.0 * 1024) {
+        static_cast<double>(p.downloaded_usable_bytes()) /
+        (p.finish_time() - p.arrival_time());
+    if (p.capacity() > 256.0 * 1024) {
       fast_down += rate;
       ++fast_n;
     } else {

@@ -46,9 +46,9 @@ TEST(BitTorrent, ReciprocalPairsEmerge) {
   // produce plenty.
   std::size_t reciprocal = 0;
   for (PeerId i = 0; i < s.leechers(); ++i) {
-    for (const auto& [from, bytes] : s.peer(i).received_from) {
+    for (const auto& [from, bytes] : s.peer(i).received_from()) {
       if (from == s.seeder_id() || bytes <= 0) continue;
-      const auto& back = s.peer(from).received_from;
+      const auto& back = s.peer(from).received_from();
       auto it = back.find(i);
       if (it != back.end() && it->second > 0) ++reciprocal;
     }
@@ -83,12 +83,12 @@ TEST(BitTorrent, FreeRidersAreNeverTitForTatUnchoked) {
   double fr_bytes = 0.0, ok_bytes = 0.0;
   std::size_t fr_n = 0, ok_n = 0;
   for (PeerId i = 0; i < s.leechers(); ++i) {
-    const sim::Peer& p = s.peer(i);
+    const sim::ConstPeer p = s.peer(i);
     if (p.is_free_rider()) {
-      fr_bytes += static_cast<double>(p.downloaded_usable_bytes);
+      fr_bytes += static_cast<double>(p.downloaded_usable_bytes());
       ++fr_n;
     } else {
-      ok_bytes += static_cast<double>(p.downloaded_usable_bytes);
+      ok_bytes += static_cast<double>(p.downloaded_usable_bytes());
       ++ok_n;
     }
   }

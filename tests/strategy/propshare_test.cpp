@@ -93,12 +93,12 @@ TEST(PropShare, ContributionProportionalReturns) {
   double fast = 0.0, slow = 0.0;
   std::size_t fast_n = 0, slow_n = 0;
   for (sim::PeerId i = 0; i < swarm.leechers(); ++i) {
-    const sim::Peer& p = swarm.peer(i);
-    if (p.capacity > 256.0 * 1024) {
-      fast += static_cast<double>(p.downloaded_usable_bytes);
+    const sim::ConstPeer p = swarm.peer(i);
+    if (p.capacity() > 256.0 * 1024) {
+      fast += static_cast<double>(p.downloaded_usable_bytes());
       ++fast_n;
     } else {
-      slow += static_cast<double>(p.downloaded_usable_bytes);
+      slow += static_cast<double>(p.downloaded_usable_bytes());
       ++slow_n;
     }
   }

@@ -67,7 +67,7 @@ TEST(Strategic, StrategicPeersDoUpload) {
   s.run();
   sim::Bytes strategic_up = 0;
   for (sim::PeerId i = 0; i < s.leechers(); ++i) {
-    if (s.peer(i).is_strategic()) strategic_up += s.peer(i).uploaded_bytes;
+    if (s.peer(i).is_strategic()) strategic_up += s.peer(i).uploaded_bytes();
   }
   EXPECT_GT(strategic_up, 0);
 }

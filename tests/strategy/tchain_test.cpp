@@ -38,7 +38,7 @@ TEST(TChain, CompliantSwarmCompletes) {
   s.run();
   EXPECT_EQ(s.compliant_unfinished(), 0u);
   for (PeerId i = 0; i < s.leechers(); ++i) {
-    EXPECT_TRUE(s.peer(i).locked.empty()) << i;  // everything unlocked
+    EXPECT_TRUE(s.peer(i).locked().empty()) << i;  // everything unlocked
   }
 }
 
@@ -46,7 +46,7 @@ TEST(TChain, CompliantPeersAllReciprocate) {
   Swarm s(tc_config(), make_strategy(Algorithm::kTChain));
   s.run();
   for (PeerId i = 0; i < s.leechers(); ++i) {
-    EXPECT_GT(s.peer(i).uploaded_bytes, 0) << i;
+    EXPECT_GT(s.peer(i).uploaded_bytes(), 0) << i;
   }
 }
 
@@ -56,13 +56,13 @@ TEST(TChain, PlainFreeRidersGetAlmostNothingUsable) {
   Swarm s(config, make_strategy(Algorithm::kTChain));
   s.run();
   for (PeerId i = 0; i < s.leechers(); ++i) {
-    const sim::Peer& p = s.peer(i);
+    const sim::ConstPeer p = s.peer(i);
     if (!p.is_free_rider()) continue;
     // No reciprocation, no keys: nothing ever becomes usable.
-    EXPECT_EQ(p.downloaded_usable_bytes, 0) << i;
+    EXPECT_EQ(p.downloaded_usable_bytes(), 0) << i;
     // And the backlog cap bounds even the locked payload they soak up
     // (plus slack for transfers already in flight when the cap tripped).
-    EXPECT_LE(p.downloaded_raw_bytes,
+    EXPECT_LE(p.downloaded_raw_bytes(),
               static_cast<sim::Bytes>(config.tchain_backlog + 25) *
                   config.piece_bytes)
         << i;
@@ -77,10 +77,10 @@ TEST(TChain, CollusionUnlocksPiecesForFree) {
   s.run();
   sim::Bytes fr_usable = 0;
   for (PeerId i = 0; i < s.leechers(); ++i) {
-    const sim::Peer& p = s.peer(i);
+    const sim::ConstPeer p = s.peer(i);
     if (p.is_free_rider()) {
-      fr_usable += p.downloaded_usable_bytes;
-      EXPECT_EQ(p.uploaded_bytes, 0) << i;  // still never upload
+      fr_usable += p.downloaded_usable_bytes();
+      EXPECT_EQ(p.uploaded_bytes(), 0) << i;  // still never upload
     }
   }
   // Collusion extracts something...
@@ -128,8 +128,8 @@ TEST(TChain, AllDeliveriesAreLocked) {
   s.run();
   sim::Bytes raw = 0, usable = 0;
   for (PeerId i = 0; i < s.leechers(); ++i) {
-    raw += s.peer(i).downloaded_raw_bytes;
-    usable += s.peer(i).downloaded_usable_bytes;
+    raw += s.peer(i).downloaded_raw_bytes();
+    usable += s.peer(i).downloaded_usable_bytes();
   }
   EXPECT_GT(raw, 0);
   EXPECT_LT(usable, raw);

@@ -65,7 +65,13 @@ run coopnet_run "${TOOLS}/coopnet_run" --algo BitTorrent --n 30 --file-mb 2 \
 # google-benchmark guards: one cheap kernel each, minimal measuring time.
 run micro_engine "${BENCH}/micro_engine" \
   --benchmark_filter='BM_QNeedsKernel' --benchmark_min_time=0.01
-run micro_swarm "${BENCH}/micro_swarm" --max-n 100
+mkdir -p "${BUILD_DIR}/bench-smoke"
+run micro_swarm "${BENCH}/micro_swarm" --max-n 100 \
+  --json-out "${BUILD_DIR}/bench-smoke/BENCH_swarm.json"
+# Tiny scale-leg pass: proves the --peers path (and its BENCH_*.json
+# artifact) cannot rot without waiting for the dedicated scale-smoke job.
+run micro_swarm_scale "${BENCH}/micro_swarm" --peers 500 --horizon 60 \
+  --json-out "${BUILD_DIR}/bench-smoke/BENCH_swarm_scale.json"
 run micro_pool "${BENCH}/micro_pool" \
   --benchmark_filter='BM_CellSeed|BM_PoolSubmitValue' \
   --benchmark_min_time=0.01

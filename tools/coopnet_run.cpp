@@ -119,15 +119,16 @@ sim::SwarmConfig config_from(const util::Cli& cli) {
   sim::SwarmConfig config;
   config.algorithm =
       core::algorithm_from_string(cli.get_string("algo", "BitTorrent"));
-  config.n_peers = static_cast<std::size_t>(cli.get_int("n", 300));
-  config.seeder_count =
-      static_cast<std::size_t>(cli.get_int("seeders", 1));
+  // Counts size allocations: validated (zero/negative/overflow rejected
+  // with the legal range) instead of reaching the constructor as a
+  // UB-sized vector length.
+  config.n_peers = cli.get_count("n", 300, sim::kMaxPeerCount);
+  config.seeder_count = cli.get_count("seeders", 1, sim::kMaxPeerCount);
   config.free_rider_fraction = cli.get_double("free-riders", 0.0);
   config.strategic_fraction = cli.get_double("strategic", 0.0);
   config.file_bytes = cli.get_int("file-mb", 32) * 1024LL * 1024LL;
   config.piece_bytes = cli.get_int("piece-kb", 256) * 1024LL;
-  config.graph.degree =
-      static_cast<std::size_t>(cli.get_int("degree", 30));
+  config.graph.degree = cli.get_count("degree", 30, sim::kMaxPeerCount);
   config.max_time = cli.get_double("max-time", 4000.0);
   config.linger_time = cli.get_double("linger", 0.0);
   config.alpha_r = cli.get_double("alpha-r", 0.1);
