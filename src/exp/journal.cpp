@@ -2,15 +2,13 @@
 
 #include <unistd.h>
 
-#include <cerrno>
-#include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
 
 #include "metrics/json.h"
+#include "util/parse.h"
 
 namespace coopnet::exp {
 
@@ -96,21 +94,16 @@ bool find_field(const std::string& line, const std::string& key,
   return true;
 }
 
+// Strict shared parsers: a hand-edited "index":-1 must be rejected as
+// torn, not wrapped to ULLONG_MAX by strtoull. Non-finite doubles stay
+// accepted because our own %.17g renderer emits "nan"/"inf" for ratio
+// metrics (e.g. susceptibility with a zero denominator).
 bool parse_u64(const std::string& raw, std::uint64_t* out) {
-  errno = 0;
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(raw.c_str(), &end, 10);
-  if (errno != 0 || end == raw.c_str() || *end != '\0') return false;
-  *out = static_cast<std::uint64_t>(v);
-  return true;
+  return util::parse_u64(raw, out);
 }
 
 bool parse_double(const std::string& raw, double* out) {
-  char* end = nullptr;
-  const double v = std::strtod(raw.c_str(), &end);
-  if (end == raw.c_str() || *end != '\0') return false;
-  *out = v;
-  return true;
+  return util::parse_double(raw, out, util::DoubleFormat::kAllowNonFinite);
 }
 
 bool parse_cell_line(const std::string& line, JournalEntry* entry) {
@@ -238,6 +231,20 @@ JournalIndex JournalIndex::load(const std::string& path) {
     } else if (kind == "cell") {
       JournalEntry entry;
       if (parse_cell_line(line, &entry)) {
+        // A record that parses cleanly but names a cell the header never
+        // declared is not a torn line -- it is a journal/sweep mismatch
+        // (or corruption the strict parsers could not catch), and quietly
+        // dropping or keeping it would merge the wrong data point.
+        if (header_seen && entry.index >= index.sweep_cells_) {
+          std::ostringstream os;
+          os << "run journal " << path << " has a record for cell "
+             << entry.index << " but its header declares only "
+             << index.sweep_cells_
+             << " cells; the journal does not belong to this sweep -- "
+                "check the --journal path, or delete it and rerun fresh "
+                "(without --resume)";
+          throw std::runtime_error(os.str());
+        }
         // Later records win (can only happen if a resumed sweep re-ran a
         // cell whose first record was torn).
         index.entries_[entry.index] = std::move(entry);

@@ -1,8 +1,8 @@
 #include "fleet/protocol.h"
 
-#include <cerrno>
-#include <cstdlib>
 #include <sstream>
+
+#include "util/parse.h"
 
 namespace coopnet::fleet {
 
@@ -33,31 +33,17 @@ bool next_token(std::istringstream& in, std::string* token) {
   return static_cast<bool>(in >> *token);
 }
 
+// Wire numbers use the shared strict parsers: negative, hex, non-finite
+// or junk-suffixed tokens all reject the frame instead of wrapping
+// (strtoull parses "-1" as ULLONG_MAX) or smuggling in inf/nan deadlines.
 bool parse_u64_token(std::istringstream& in, std::uint64_t* out) {
   std::string token;
-  if (!next_token(in, &token)) return false;
-  // strtoull silently wraps a leading '-' (e.g. "-1" -> ULLONG_MAX), so
-  // reject anything that is not a plain decimal digit string up front.
-  if (token.empty() || token.find_first_not_of("0123456789") !=
-                           std::string::npos) {
-    return false;
-  }
-  errno = 0;
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
-  if (errno != 0 || end == token.c_str() || *end != '\0') return false;
-  *out = static_cast<std::uint64_t>(v);
-  return true;
+  return next_token(in, &token) && util::parse_u64(token, out);
 }
 
 bool parse_double_token(std::istringstream& in, double* out) {
   std::string token;
-  if (!next_token(in, &token)) return false;
-  char* end = nullptr;
-  const double v = std::strtod(token.c_str(), &end);
-  if (end == token.c_str() || *end != '\0') return false;
-  *out = v;
-  return true;
+  return next_token(in, &token) && util::parse_double(token, out);
 }
 
 }  // namespace

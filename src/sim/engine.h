@@ -60,6 +60,11 @@ class SimEngine {
   void reset_stop() { stopped_ = false; }
 
   bool stopped() const { return stopped_; }
+  /// Events currently queued in the heap. In batched mode (set_parallel)
+  /// events staged for the in-flight batch are not counted, so the value
+  /// read from *inside* an event can differ from sequential execution;
+  /// between run calls (staging always drains or restores) the two modes
+  /// agree exactly.
   std::size_t pending() const { return times_.size() - kRoot; }
   std::uint64_t events_processed() const { return processed_; }
 
@@ -86,6 +91,53 @@ class SimEngine {
   /// an empty fn removes the guard.
   void set_guard(std::uint64_t every, std::function<void()> fn);
 
+  // --- batched parallel execution (--threads K; see DESIGN §11) ----------
+  // The engine never runs two EVENTS concurrently: effects commit on the
+  // calling thread in exact (time, seq) order, so batching is invisible
+  // to results by construction. What parallelizes is a PREPARE phase:
+  // before committing a staged batch, a caller-installed hook sees the
+  // batch's hint tags and may warm caches (the swarm's interest memos)
+  // from worker threads. Prepare must be effect-free -- no scheduling, no
+  // RNG, no observable mutation -- so skipping it, or preparing against
+  // state a same-batch commit later invalidates, can never change output.
+
+  /// Hint tag carried by each scheduled event, opaque to the engine.
+  /// Low values identify a subject (a PeerId, always < 2^27) for the
+  /// prepare hook; the sentinels deliberately avoid the kHintBarrier bit
+  /// so default-hinted events never cut the batch window.
+  static constexpr std::uint32_t kNoHint = 0x7FFFFFFFu;
+  /// Prepare should warm the full population (population-sweep events).
+  static constexpr std::uint32_t kHintSweep = 0x7FFFFFFEu;
+  /// Flag bit: this event invalidates broad state when it commits
+  /// (transfer completion/failure, churn), so staging stops after it --
+  /// the first barrier in the queue is the minimum in-flight transfer
+  /// completion, giving the conservative lookahead bound.
+  static constexpr std::uint32_t kHintBarrier = 0x80000000u;
+
+  /// schedule()/schedule_at() carrying a prepare hint (they default to
+  /// kNoHint). Hints never affect execution order.
+  void schedule_hinted(Seconds delay, std::uint32_t hint, EventFn fn);
+  void schedule_at_hinted(Seconds at, std::uint32_t hint, EventFn fn);
+
+  /// Called between staging and commit with the staged events' hints (in
+  /// commit order). Must be effect-free as described above; it is the
+  /// hook's job to fan work out across threads (the engine itself never
+  /// spawns any).
+  using PrepareHook =
+      std::function<void(const std::uint32_t* hints, std::size_t count)>;
+
+  /// Enables batched execution: run()/run_until() stage up to
+  /// `batch_cap` events -- the head's same-timestamp group plus a
+  /// conservative lookahead that stops after the first kHintBarrier
+  /// event -- invoke `hook` (when the batch has at least `min_prepare`
+  /// events or contains a kHintSweep event; other small batches skip it,
+  /// dispatch overhead exceeding any win), then commit sequentially in
+  /// exact (time, seq) order, merging
+  /// in events the commits themselves schedule. An empty hook restores
+  /// plain sequential execution.
+  void set_parallel(PrepareHook hook, std::size_t batch_cap = 4096,
+                    std::size_t min_prepare = 16);
+
  private:
   /// The heap root lives at index 3 (indices 0-2 are dead padding): with
   /// children of i at [4i-8, 4i-5], every sibling group starts at an index
@@ -94,21 +146,42 @@ class SimEngine {
   /// of meta_. Parent of c is c/4 + 2.
   static constexpr std::size_t kRoot = 3;
 
-  /// The non-key half of a heap entry: tie-break sequence + pool slot.
+  /// The non-key half of a heap entry: tie-break sequence + pool slot +
+  /// prepare hint (the hint rides in what was struct padding).
   struct Meta {
     std::uint64_t seq;
     std::uint32_t slot;
+    std::uint32_t hint;
+  };
+
+  /// One staged-but-uncommitted event: everything needed to commit it in
+  /// order, or to push it back (with its ORIGINAL seq, so ordering is
+  /// preserved) if a stop lands mid-batch.
+  struct Staged {
+    Seconds time;
+    std::uint64_t seq;
+    std::uint32_t hint;
+    EventFn fn;
   };
 
   /// Supervision bookkeeping (event limit + guard cadence), kept out of
   /// the hot loop body behind the single `supervised_` branch.
   void after_event();
 
-  void push_entry(Seconds at, EventFn fn);
+  void push_entry(Seconds at, std::uint32_t hint, EventFn fn);
   /// Pops the root entry, frees its pool slot, and returns the callback.
   /// The slot is released *before* the caller invokes the callback, so
   /// events scheduled from inside events reuse hot slots immediately.
   EventFn pop_top(Seconds& top_time);
+  /// pop_top, but keeps (time, seq, hint) alongside the callback so the
+  /// entry can be committed later or restored verbatim.
+  Staged pop_top_staged();
+  /// Re-inserts a staged entry under its original sequence number.
+  void push_restored(Staged&& s);
+  /// Pushes staged_[from..] back into the heap (stop landed mid-batch).
+  void restore_staged(std::size_t from);
+  /// The batched run loop; `bounded` selects run_until semantics.
+  void run_batched(Seconds deadline, bool bounded);
   void sift_up(std::size_t i, Seconds time, Meta m);
   void sift_down_from_root(Seconds time, Meta m);
 
@@ -117,13 +190,20 @@ class SimEngine {
   // comparator). Kept split so the compare-heavy sift loops stay in the
   // times_ cache lines.
   std::vector<Seconds> times_ = std::vector<Seconds>(kRoot, 0.0);
-  std::vector<Meta> meta_ = std::vector<Meta>(kRoot, Meta{0, 0});
+  std::vector<Meta> meta_ = std::vector<Meta>(kRoot, Meta{0, 0, kNoHint});
   std::vector<EventFn> pool_;
   std::vector<std::uint32_t> free_slots_;
   Seconds now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
   bool stopped_ = false;
+
+  // Batched-execution state (empty prepare_ == sequential mode).
+  PrepareHook prepare_;
+  std::size_t batch_cap_ = 0;
+  std::size_t min_prepare_ = 0;
+  std::vector<Staged> staged_;
+  std::vector<std::uint32_t> hints_;
 
   // Supervision state (cold; only `supervised_` is read per event).
   std::function<void()> guard_fn_;

@@ -224,6 +224,14 @@ class PeerStore {
     return lane_data.data() + nbr_offset_[id];
   }
 
+  /// Pre-sizes a memo lane. The lazy first-touch resize above is a data
+  /// race when the first touch can come from a parallel prepare shard
+  /// (--threads > 1), so the Swarm pre-allocates the lanes it will warm
+  /// before any worker thread sees them.
+  void ensure_memo_lane(int lane) {
+    if (memo_[lane].empty()) memo_[lane].resize(nbr_data_.size());
+  }
+
   // --- membership ----------------------------------------------------------
   /// The only way to change a peer's lifecycle state: keeps the active
   /// registry exact. Transition order is deterministic (driven solely by

@@ -1,6 +1,7 @@
 #include "sim/swarm.h"
 
 #include <algorithm>
+#include <atomic>
 #include <stdexcept>
 
 // Invariant-audit instrumentation (sim/auditor.h). AUDIT_RECORD feeds the
@@ -206,14 +207,31 @@ void Swarm::run() {
 
   strategy_->attach(*this);
 
+  // --threads > 1: turn on the engine's batched prepare phase. Commits
+  // still run one at a time on this thread in exact (time, seq) order, so
+  // any thread count is byte-identical to sequential; the workers only
+  // pre-warm interest-memo rows (see DESIGN §11).
+  if (config_.threads > 1) {
+    store_.ensure_memo_lane(0);  // lazy first-touch resize races otherwise
+    prewarm_lane1_ = strategy_->seeder_delivers_locked();
+    if (prewarm_lane1_) store_.ensure_memo_lane(1);
+    prep_stamp_.assign(store_.size(), 0);
+    fork_join_ = std::make_unique<util::ForkJoin>(config_.threads - 1);
+    engine_.set_parallel([this](const std::uint32_t* hints,
+                                std::size_t count) {
+      prepare_batch(hints, count);
+    });
+  }
+
   // Seeders are live from t = 0; leechers arrive per the arrival process.
   for (std::size_t s = 0; s < seeder_count(); ++s) {
     const PeerId id = static_cast<PeerId>(leechers() + s);
-    engine_.schedule_at(0.0, [this, id] { arrive(id); });
+    engine_.schedule_at_hinted(0.0, id, [this, id] { arrive(id); });
   }
   for (std::size_t i = 0; i < leechers(); ++i) {
     const PeerId id = static_cast<PeerId>(i);
-    engine_.schedule_at(store_.arrival_time(id), [this, id] { arrive(id); });
+    engine_.schedule_at_hinted(store_.arrival_time(id), id,
+                               [this, id] { arrive(id); });
   }
 
   if (config_.attack.whitewashing) {
@@ -224,11 +242,96 @@ void Swarm::run() {
     engine_.schedule(config_.attack.sybil_interval, [this] { sybil_timer(); });
   }
   if (config_.faults.seeder_outages_enabled()) {
-    engine_.schedule(config_.faults.seeder_uptime,
-                     [this] { seeder_outage_begin(); });
+    engine_.schedule_hinted(config_.faults.seeder_uptime,
+                            SimEngine::kNoHint | SimEngine::kHintBarrier,
+                            [this] { seeder_outage_begin(); });
   }
 
   engine_.run_until(config_.max_time);
+}
+
+void Swarm::prepare_batch(const std::uint32_t* hints, std::size_t count) {
+  // Dedupe the batch's subjects (a peer may appear under several staged
+  // events); a kHintSweep anywhere in the batch adds every active
+  // non-seeder uploader (the rechoke sweep re-plans all of them).
+  prep_ids_.clear();
+  ++prep_gen_;
+  bool sweep = false;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint32_t h = hints[i] & ~SimEngine::kHintBarrier;
+    if (h == SimEngine::kNoHint) continue;
+    if (h == SimEngine::kHintSweep) {
+      sweep = true;
+      continue;
+    }
+    const PeerId id = static_cast<PeerId>(h);
+    if (id >= store_.size() || prep_stamp_[id] == prep_gen_) continue;
+    prep_stamp_[id] = prep_gen_;
+    prep_ids_.push_back(id);
+  }
+  if (sweep) {
+    for (const PeerId id : store_.active_ids()) {
+      // Free-riders never upload, so their rows are never read.
+      if (store_.kind(id) == PeerKind::kSeeder ||
+          store_.kind(id) == PeerKind::kFreeRider ||
+          prep_stamp_[id] == prep_gen_) {
+        continue;
+      }
+      prep_stamp_[id] = prep_gen_;
+      prep_ids_.push_back(id);
+    }
+  }
+  if (prep_ids_.empty()) return;
+
+  // Fan the rows out over the fork-join workers (this thread takes a
+  // shard too). Each subject's memo row is a disjoint CSR segment and the
+  // subjects are deduped, so shards never write the same bytes; shared
+  // peer state is read-only for the whole prepare. Work is claimed in
+  // chunks off one atomic counter -- which thread warms which row is
+  // nondeterministic, but the warmed values are pure functions of shared
+  // state, so the schedule cannot leak into results.
+  std::atomic<std::size_t> next{0};
+  constexpr std::size_t kChunk = 8;
+  fork_join_->run([&](std::size_t) {
+    for (;;) {
+      const std::size_t begin =
+          next.fetch_add(kChunk, std::memory_order_relaxed);
+      if (begin >= prep_ids_.size()) return;
+      const std::size_t end = std::min(begin + kChunk, prep_ids_.size());
+      for (std::size_t k = begin; k < end; ++k) {
+        refresh_interest_memos(prep_ids_[k], 0);
+        if (prewarm_lane1_) refresh_interest_memos(prep_ids_[k], 1);
+      }
+    }
+  });
+}
+
+void Swarm::refresh_interest_memos(PeerId uploader, int lane) {
+  // Mirrors the memo fill inside needy_neighbors, minus the filters that
+  // don't feed the memo (accepts_incoming, accepts_delivery -- those are
+  // evaluated at commit time). Runs on prepare shards: reads shared state,
+  // writes only this uploader's memo row.
+  const PieceSet& offer =
+      lane == 1 ? store_.transferable(uploader) : store_.pieces(uploader);
+  const std::uint32_t offer_ver = lane == 1 ? store_.transferable_ver(uploader)
+                                            : store_.pieces_ver(uploader);
+  InterestMemo* memo = store_.memo_lane(lane, uploader);
+  const PeerId* nbrs = store_.neighbors_begin(uploader);
+  const std::size_t n = store_.neighbor_count(uploader);
+  for (std::size_t i = 0; i < n; ++i) {
+    const PeerId q = nbrs[i];
+    if (store_.state(q) != PeerState::kActive ||
+        store_.kind(q) == PeerKind::kSeeder) {
+      continue;
+    }
+    InterestMemo& m = memo[i];
+    const std::uint32_t avail_ver = store_.unavail_ver(q);
+    if (m.offer_ver != offer_ver || m.avail_ver != avail_ver) {
+      m.offer_ver = offer_ver;
+      m.avail_ver = avail_ver;
+      m.can_offer = offer.can_offer(store_.unavailable(q));
+    }
+  }
 }
 
 void Swarm::arrive(PeerId id) {
@@ -238,7 +341,7 @@ void Swarm::arrive(PeerId id) {
   strategy_->on_peer_activated(*this, id);
   try_fill(id);
   const std::uint32_t epoch = p.epoch();
-  engine_.schedule(config_.retry_interval, [this, id, epoch] {
+  engine_.schedule_hinted(config_.retry_interval, id, [this, id, epoch] {
     tick(id, epoch);
   });
   if (config_.faults.churn_enabled() && !p.is_seeder()) schedule_churn(id);
@@ -253,14 +356,14 @@ void Swarm::tick(PeerId id, std::uint32_t epoch) {
     return;
   }
   try_fill(id);
-  engine_.schedule(config_.retry_interval, [this, id, epoch] {
+  engine_.schedule_hinted(config_.retry_interval, id, [this, id, epoch] {
     tick(id, epoch);
   });
 }
 
 void Swarm::request_refill(PeerId id) {
   // A tiny delay batches cascading refills triggered within one event.
-  engine_.schedule(1e-6, [this, id] { try_fill(id); });
+  engine_.schedule_hinted(1e-6, id, [this, id] { try_fill(id); });
 }
 
 void Swarm::try_fill(PeerId id) {
@@ -341,6 +444,33 @@ bool Swarm::needs_from(PeerId target, PeerId uploader,
   const PieceSet& offer =
       include_locked_offer ? up.transferable() : up.pieces();
   return offer.can_offer(q.unavailable());
+}
+
+bool Swarm::neighbor_needs_from(PeerId uploader, std::size_t index,
+                                bool include_locked_offer) {
+  assert(index < store_.neighbor_count(uploader) &&
+         "neighbor_needs_from: index out of range");
+  const PeerId n = store_.neighbors_begin(uploader)[index];
+  if (store_.state(n) != PeerState::kActive ||
+      store_.kind(n) == PeerKind::kSeeder) {
+    return false;
+  }
+  Peer up = peer(uploader);
+  const PieceSet& offer =
+      include_locked_offer ? up.transferable() : up.pieces();
+  const std::uint32_t offer_ver =
+      include_locked_offer ? up.transferable_ver() : up.pieces_ver();
+  // Same memoized word-scan as needy_neighbors; a prepare-warmed entry
+  // makes this a three-compare hit.
+  InterestMemo& m =
+      store_.memo_lane(include_locked_offer ? 1 : 0, uploader)[index];
+  const std::uint32_t avail_ver = store_.unavail_ver(n);
+  if (m.offer_ver != offer_ver || m.avail_ver != avail_ver) {
+    m.offer_ver = offer_ver;
+    m.avail_ver = avail_ver;
+    m.can_offer = offer.can_offer(store_.unavailable(n));
+  }
+  return m.can_offer;
 }
 
 PieceId Swarm::pick_piece(PeerId uploader, PeerId target,
@@ -427,18 +557,26 @@ bool Swarm::start_transfer_attempt(PeerId from, PeerId to, PieceId piece,
       // The connection drops partway through; the failure point is uniform
       // over the transfer's duration.
       const Seconds fail_after = rng_.uniform01() * duration;
-      engine_.schedule(fail_after,
-                       [this, t] { fail_transfer(t, /*stalled=*/false); });
+      engine_.schedule_hinted(
+          fail_after, t.from | SimEngine::kHintBarrier,
+          [this, t] { fail_transfer(t, /*stalled=*/false); });
       doomed = true;
     } else if (faults.transfer_stall_rate > 0.0 &&
                rng_.bernoulli(faults.transfer_stall_rate)) {
       // The transfer hangs; the slot stays occupied until the timeout.
-      engine_.schedule(faults.stall_timeout,
-                       [this, t] { fail_transfer(t, /*stalled=*/true); });
+      engine_.schedule_hinted(
+          faults.stall_timeout, t.from | SimEngine::kHintBarrier,
+          [this, t] { fail_transfer(t, /*stalled=*/true); });
       doomed = true;
     }
   }
-  if (!doomed) engine_.schedule(duration, [this, t] { complete_transfer(t); });
+  // Transfer resolutions invalidate broad state when they commit (piece
+  // sets, slots, refill storms), so they carry the barrier bit: staging a
+  // batch never looks past the earliest in-flight resolution.
+  if (!doomed) {
+    engine_.schedule_hinted(duration, t.from | SimEngine::kHintBarrier,
+                            [this, t] { complete_transfer(t); });
+  }
   strategy_->on_upload_started(*this, t);
   return true;
 }
@@ -555,7 +693,9 @@ void Swarm::finish_peer(PeerId id) {
   AUDIT_RECORD(peer_event(AuditEvent::Kind::kFinish, p, engine_.now()));
   if (config_.linger_time > 0.0 && !last_compliant) {
     // Stay and seed for a while before leaving.
-    engine_.schedule(config_.linger_time, [this, id] { depart(id); });
+    engine_.schedule_hinted(config_.linger_time,
+                            id | SimEngine::kHintBarrier,
+                            [this, id] { depart(id); });
     request_refill(id);
   } else {
     depart(id);
@@ -610,8 +750,9 @@ void Swarm::fail_transfer(Transfer t, bool stalled) {
   if (will_retry) {
     ++fault_stats_.retries_scheduled;
     strategy_->on_transfer_failed(*this, t, /*will_retry=*/true);
-    engine_.schedule(config_.faults.backoff_for(t.attempt),
-                     [this, t] { retry_transfer(t); });
+    engine_.schedule_hinted(config_.faults.backoff_for(t.attempt),
+                            t.from | SimEngine::kHintBarrier,
+                            [this, t] { retry_transfer(t); });
   } else {
     ++fault_stats_.transfers_abandoned;
     strategy_->on_transfer_failed(*this, t, /*will_retry=*/false);
@@ -661,7 +802,8 @@ void Swarm::retry_transfer(Transfer t) {
 void Swarm::schedule_churn(PeerId id) {
   const Seconds dt = rng_.exponential(config_.faults.churn_rate);
   const std::uint32_t epoch = store_.epoch(id);
-  engine_.schedule(dt, [this, id, epoch] {
+  engine_.schedule_hinted(dt, id | SimEngine::kHintBarrier,
+                          [this, id, epoch] {
     ConstPeer p = peer(id);
     // Lingering finished peers depart on their own schedule; churning them
     // would only re-run departure bookkeeping.
@@ -697,7 +839,8 @@ void Swarm::churn_out(PeerId id) {
         config_.faults.mean_downtime <= 0.0
             ? 0.0
             : rng_.exponential(1.0 / config_.faults.mean_downtime);
-    engine_.schedule(downtime, [this, id] { rejoin(id); });
+    engine_.schedule_hinted(downtime, id | SimEngine::kHintBarrier,
+                            [this, id] { rejoin(id); });
     AUDIT_CHECK();
     return;
   }
@@ -728,7 +871,7 @@ void Swarm::rejoin(PeerId id) {
   }
   try_fill(id);
   const std::uint32_t epoch = p.epoch();
-  engine_.schedule(config_.retry_interval, [this, id, epoch] {
+  engine_.schedule_hinted(config_.retry_interval, id, [this, id, epoch] {
     tick(id, epoch);
   });
   schedule_churn(id);
@@ -746,8 +889,9 @@ void Swarm::seeder_outage_begin() {
     AUDIT_RECORD(peer_event(AuditEvent::Kind::kSeederDown, p, engine_.now()));
     strategy_->on_peer_departed(*this, p.id(), /*will_rejoin=*/true);
   }
-  engine_.schedule(config_.faults.seeder_downtime,
-                   [this] { seeder_outage_end(); });
+  engine_.schedule_hinted(config_.faults.seeder_downtime,
+                          SimEngine::kNoHint | SimEngine::kHintBarrier,
+                          [this] { seeder_outage_end(); });
   AUDIT_CHECK();
 }
 
@@ -761,13 +905,14 @@ void Swarm::seeder_outage_end() {
     try_fill(p.id());
     const std::uint32_t epoch = p.epoch();
     const PeerId id = p.id();
-    engine_.schedule(config_.retry_interval, [this, id, epoch] {
+    engine_.schedule_hinted(config_.retry_interval, id, [this, id, epoch] {
       tick(id, epoch);
     });
   }
   if (engine_.now() + config_.faults.seeder_uptime <= config_.max_time) {
-    engine_.schedule(config_.faults.seeder_uptime,
-                     [this] { seeder_outage_begin(); });
+    engine_.schedule_hinted(config_.faults.seeder_uptime,
+                            SimEngine::kNoHint | SimEngine::kHintBarrier,
+                            [this] { seeder_outage_begin(); });
   }
 }
 

@@ -27,6 +27,7 @@
 #include "sim/strategy.h"
 #include "sim/types.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace coopnet::sim {
 
@@ -119,6 +120,14 @@ class Swarm {
   bool needs_from(PeerId target, PeerId uploader,
                   bool include_locked_offer = false) const;
 
+  /// needs_from for the `index`-th neighbor of `uploader` -- identical
+  /// verdict, but routed through the per-edge interest memo so repeated
+  /// checks (and the --threads prepare prewarm) hit the cache instead of
+  /// re-scanning piece words. `index` must address the uploader's
+  /// neighbor list.
+  bool neighbor_needs_from(PeerId uploader, std::size_t index,
+                           bool include_locked_offer = false);
+
   /// The piece `uploader` should offer `target` next under the configured
   /// PieceSelection policy (rarest-first with random tie-break by
   /// default), or kNoPiece when nothing is offerable.
@@ -203,6 +212,17 @@ class Swarm {
   void sybil_timer();
   void update_unavailable_bit(Peer p, PieceId piece);
 
+  // --- batched prepare (--threads > 1; see DESIGN §11) -------------------
+  /// Engine prepare hook: warms the interest-memo rows named by the
+  /// batch's hints across the fork-join workers. Effect-free by contract:
+  /// no scheduling, no RNG, no observable state -- memo contents are pure
+  /// functions of the version counters, so the warm is invisible to
+  /// results no matter how stale the hints are by commit time.
+  void prepare_batch(const std::uint32_t* hints, std::size_t count);
+  /// Recomputes every out-of-date entry of `uploader`'s memo row in
+  /// `lane` (0: pieces offers, 1: transferable offers).
+  void refresh_interest_memos(PeerId uploader, int lane);
+
   // --- fault injection (src/sim/faults.h) --------------------------------
   /// Aborts a lossy/stalled transfer, releases both endpoints' slot state,
   /// and queues a backoff retry (or abandons the chain).
@@ -233,6 +253,18 @@ class Swarm {
   std::vector<PeerId> colluder_ids_;
   FaultStats fault_stats_;
   SwarmObserver* observer_ = nullptr;
+  /// Workers for the batched prepare phase (config.threads - 1 helpers;
+  /// null in sequential mode). Only prepare_batch ever runs on them.
+  std::unique_ptr<util::ForkJoin> fork_join_;
+  /// Whether prepare also warms lane 1 (transferable/locked offers) --
+  /// true exactly when the strategy forwards locked pieces (T-Chain).
+  bool prewarm_lane1_ = false;
+  /// Scratch for prepare_batch: deduped subject ids and a per-peer stamp
+  /// (stamp_[id] == stamp_gen_ means already queued this batch). Reused
+  /// across batches to avoid per-batch allocation.
+  std::vector<PeerId> prep_ids_;
+  std::vector<std::uint32_t> prep_stamp_;
+  std::uint32_t prep_gen_ = 0;
 #if COOPNET_AUDIT
   std::unique_ptr<InvariantAuditor> auditor_;
 #endif

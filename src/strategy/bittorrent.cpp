@@ -7,8 +7,12 @@
 namespace coopnet::strategy {
 
 void BitTorrentStrategy::attach(sim::Swarm& swarm) {
-  swarm.engine().schedule(swarm.config().rechoke_interval,
-                          [this, &swarm] { rechoke_all(swarm); });
+  // The rechoke sweep re-plans the whole population, so it carries the
+  // sweep hint: a batched prepare warms every active uploader's interest
+  // memos before the sweep (and its refill storm) commits.
+  swarm.engine().schedule_hinted(swarm.config().rechoke_interval,
+                                 sim::SimEngine::kHintSweep,
+                                 [this, &swarm] { rechoke_all(swarm); });
 }
 
 void BitTorrentStrategy::rechoke_all(sim::Swarm& swarm) {
@@ -27,8 +31,9 @@ void BitTorrentStrategy::rechoke_all(sim::Swarm& swarm) {
     p.round_received().clear();
     swarm.request_refill(id);
   }
-  swarm.engine().schedule(swarm.config().rechoke_interval,
-                          [this, &swarm] { rechoke_all(swarm); });
+  swarm.engine().schedule_hinted(swarm.config().rechoke_interval,
+                                 sim::SimEngine::kHintSweep,
+                                 [this, &swarm] { rechoke_all(swarm); });
 }
 
 void BitTorrentStrategy::rechoke_one(sim::Swarm& swarm, sim::PeerId id,
@@ -36,22 +41,29 @@ void BitTorrentStrategy::rechoke_one(sim::Swarm& swarm, sim::PeerId id,
   sim::Peer p = swarm.peer(id);
   PeerChokeState& st = state_[id];
 
-  // Interested candidates: active neighbors we could serve.
-  std::vector<sim::PeerId> candidates;
-  candidates.reserve(p.neighbors().size());
-  for (sim::PeerId n : p.neighbors()) {
-    if (swarm.needs_from(n, id)) candidates.push_back(n);
+  // Interested candidates: active neighbors we could serve. The check
+  // goes through the per-edge memo (warmed by a batched prepare under
+  // --threads); the verdicts -- and so the candidate list, the shuffle's
+  // draw count, and everything downstream -- are identical to the plain
+  // needs_from scan.
+  const sim::NeighborRange nbrs = p.neighbors();
+  std::vector<Pick> candidates;
+  candidates.reserve(nbrs.size());
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    if (swarm.neighbor_needs_from(id, i)) {
+      candidates.push_back(Pick{static_cast<std::uint32_t>(i), nbrs[i]});
+    }
   }
   // Random shuffle first so the stable sort breaks byte-count ties fairly.
   swarm.rng().shuffle(candidates);
   std::stable_sort(candidates.begin(), candidates.end(),
-                   [&p](sim::PeerId a, sim::PeerId b) {
+                   [&p](const Pick& a, const Pick& b) {
                      auto get = [&p](sim::PeerId x) {
                        auto it = p.round_received().find(x);
                        return it == p.round_received().end() ? sim::Bytes{0}
                                                            : it->second;
                      };
-                     return get(a) > get(b);
+                     return get(a.id) > get(b.id);
                    });
 
   // Tit-for-tat slots are reserved for actual reciprocators: only
@@ -59,27 +71,28 @@ void BitTorrentStrategy::rechoke_one(sim::Swarm& swarm, sim::PeerId id,
   // free-riders) can only be reached through the optimistic slot, which
   // is what gives BitTorrent its slow Table II bootstrap probability.
   const auto n_bt = static_cast<std::size_t>(swarm.config().n_bt);
+  const auto in_unchoked = [&st](sim::PeerId n) {
+    return std::find_if(st.unchoked.begin(), st.unchoked.end(),
+                        [n](const Pick& u) { return u.id == n; }) !=
+           st.unchoked.end();
+  };
   st.unchoked.clear();
-  for (sim::PeerId n : candidates) {
+  for (const Pick& n : candidates) {
     if (st.unchoked.size() >= n_bt) break;
-    auto it = p.round_received().find(n);
+    auto it = p.round_received().find(n.id);
     if (it == p.round_received().end() || it->second <= 0) break;
     st.unchoked.push_back(n);
   }
 
   const bool optimistic_stale =
-      st.optimistic == sim::kNoPeer ||
-      !swarm.needs_from(st.optimistic, id) ||
-      std::find(st.unchoked.begin(), st.unchoked.end(), st.optimistic) !=
-          st.unchoked.end();
+      st.optimistic.id == sim::kNoPeer ||
+      !swarm.neighbor_needs_from(id, st.optimistic.index) ||
+      in_unchoked(st.optimistic.id);
   if (rotate_optimistic || optimistic_stale) {
-    st.optimistic = sim::kNoPeer;
-    std::vector<sim::PeerId> pool;
-    for (sim::PeerId n : candidates) {
-      if (std::find(st.unchoked.begin(), st.unchoked.end(), n) ==
-          st.unchoked.end()) {
-        pool.push_back(n);
-      }
+    st.optimistic = Pick{};
+    std::vector<Pick> pool;
+    for (const Pick& n : candidates) {
+      if (!in_unchoked(n.id)) pool.push_back(n);
     }
     if (!pool.empty()) {
       st.optimistic = pool[swarm.rng().uniform_u64(pool.size())];
@@ -125,8 +138,18 @@ std::optional<sim::UploadAction> BitTorrentStrategy::next_upload(
     // would amount to altruism).
     auto needy = swarm.needy_neighbors(uploader);
     if (needy.empty()) return std::nullopt;
+    const sim::PeerId picked = needy[swarm.rng().uniform_u64(needy.size())];
     PeerChokeState& st = state_[uploader];
-    st.optimistic = needy[swarm.rng().uniform_u64(needy.size())];
+    // Recover the picked neighbor's index so follow-up checks can use the
+    // per-edge memo (needy_neighbors returns ids only; the scan is cold
+    // -- once per peer).
+    const sim::NeighborRange nbrs = swarm.peer(uploader).neighbors();
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] == picked) {
+        st.optimistic = Pick{static_cast<std::uint32_t>(i), picked};
+        break;
+      }
+    }
     it = state_.find(uploader);
   }
 
@@ -138,13 +161,13 @@ std::optional<sim::UploadAction> BitTorrentStrategy::next_upload(
   // is what bounds Table III's exploitable resources at alpha_BT * sum U.
   const PeerChokeState& st = it->second;
   sim::PeerId to = sim::kNoPeer;
-  if (st.busy_optimistic == 0 && st.optimistic != sim::kNoPeer &&
-      swarm.needs_from(st.optimistic, uploader)) {
-    to = st.optimistic;
+  if (st.busy_optimistic == 0 && st.optimistic.id != sim::kNoPeer &&
+      swarm.neighbor_needs_from(uploader, st.optimistic.index)) {
+    to = st.optimistic.id;
   } else if (st.busy_tft < swarm.config().n_bt) {
     std::vector<sim::PeerId> live;
-    for (sim::PeerId n : st.unchoked) {
-      if (swarm.needs_from(n, uploader)) live.push_back(n);
+    for (const Pick& n : st.unchoked) {
+      if (swarm.neighbor_needs_from(uploader, n.index)) live.push_back(n.id);
     }
     if (!live.empty()) to = live[swarm.rng().uniform_u64(live.size())];
   }
@@ -159,7 +182,7 @@ void BitTorrentStrategy::on_upload_started(sim::Swarm& swarm,
   if (swarm.is_seeder(t.from)) return;
   auto it = state_.find(t.from);
   if (it == state_.end()) return;
-  const bool optimistic = (t.to == it->second.optimistic);
+  const bool optimistic = (t.to == it->second.optimistic.id);
   inflight_optimistic_[transfer_key(t)] = optimistic;
   if (optimistic) {
     ++it->second.busy_optimistic;

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "util/parse.h"
+
 namespace coopnet::util {
 
 Cli::Cli(int argc, const char* const* argv) {
@@ -47,9 +49,10 @@ std::string Cli::get_string(const std::string& name,
 long Cli::get_int(const std::string& name, long fallback) const {
   auto v = get(name);
   if (!v) return fallback;
+  errno = 0;
   char* end = nullptr;
   const long out = std::strtol(v->c_str(), &end, 10);
-  if (end == v->c_str() || *end != '\0') {
+  if (errno == ERANGE || end == v->c_str() || *end != '\0') {
     throw std::invalid_argument("Cli: bad integer for --" + name);
   }
   return out;
@@ -58,9 +61,10 @@ long Cli::get_int(const std::string& name, long fallback) const {
 double Cli::get_double(const std::string& name, double fallback) const {
   auto v = get(name);
   if (!v) return fallback;
-  char* end = nullptr;
-  const double out = std::strtod(v->c_str(), &end);
-  if (end == v->c_str() || *end != '\0') {
+  // Strict finite grammar: "inf", "nan", hex-floats ("0x1p4") and
+  // overflowing values are configuration mistakes, not numbers.
+  double out = 0.0;
+  if (!parse_double(*v, &out)) {
     throw std::invalid_argument("Cli: bad number for --" + name);
   }
   return out;
@@ -71,18 +75,16 @@ std::size_t Cli::get_count(const std::string& name, std::size_t fallback,
   auto v = get(name);
   if (!v) return fallback;
   // strtoul alone accepts "-1" (wraps), "1e6" (prefix), and saturates on
-  // overflow without reporting it; require an all-digit token and check
-  // errno, like the fleet endpoint parser does for ports.
+  // overflow without reporting it; parse_u64 requires an all-digit token
+  // and checks errno, like the fleet endpoint parser does for ports.
   const std::string range =
       " (expected an integer in [1, " + std::to_string(max_value) + "])";
-  if (v->empty() || v->find_first_not_of("0123456789") != std::string::npos) {
+  std::uint64_t out = 0;
+  if (!parse_u64(*v, &out)) {
     throw std::invalid_argument("Cli: --" + name + "=" + *v +
                                 " is not a count" + range);
   }
-  errno = 0;
-  char* end = nullptr;
-  const unsigned long long out = std::strtoull(v->c_str(), &end, 10);
-  if (errno == ERANGE || *end != '\0' || out == 0 || out > max_value) {
+  if (out == 0 || out > max_value) {
     throw std::invalid_argument("Cli: --" + name + "=" + *v +
                                 " is out of range" + range);
   }

@@ -204,6 +204,45 @@ TEST(RunJournal, LoadRejectsASchemaVersionMismatchActionably) {
   std::remove(path.c_str());
 }
 
+TEST(RunJournal, LoadRejectsAnOutOfRangeCellIndexActionably) {
+  // A record that parses cleanly but names a cell beyond the header's
+  // count is a journal/sweep mismatch, not a torn line: silently keeping
+  // it would merge a foreign data point, dropping it would hide the
+  // mixup. (A negative "index":-1 no longer reaches here at all -- the
+  // strict parser refuses to wrap it to ULLONG_MAX.)
+  const std::string path = temp_path("journal_oob_index.jsonl");
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << R"({"kind":"header","schema":1,"cells":2,"base_seed":7})" << "\n"
+        << R"({"kind":"cell","index":5,"seed":9,"algorithm":"bt",)"
+        << R"("status":"failed","error":"x","wall_s":0.5,"events":12})"
+        << "\n";
+  }
+  try {
+    JournalIndex::load(path);
+    FAIL() << "cell index 5 of a 2-cell sweep must be rejected";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("cell 5"), std::string::npos) << what;
+    EXPECT_NE(what.find("2"), std::string::npos) << what;
+    EXPECT_NE(what.find("--journal"), std::string::npos) << what;
+  }
+
+  // The same line with "index":-1 is unparseable (strict u64), so it
+  // counts as torn rather than wrapping to a huge index.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << R"({"kind":"header","schema":1,"cells":2,"base_seed":7})" << "\n"
+        << R"({"kind":"cell","index":-1,"seed":9,"algorithm":"bt",)"
+        << R"("status":"failed","error":"x","wall_s":0.5,"events":12})"
+        << "\n";
+  }
+  const auto index = JournalIndex::load(path);
+  EXPECT_EQ(index.torn_lines(), 1u);
+  EXPECT_EQ(index.find(std::size_t(-1)), nullptr);
+  std::remove(path.c_str());
+}
+
 TEST(RunJournal, SchemaMismatchRejectsResumeEndToEnd) {
   const std::string path = temp_path("journal_schema_resume.jsonl");
   {

@@ -1,0 +1,295 @@
+// Batched-execution equivalence: a SimEngine with a prepare hook installed
+// (set_parallel) must be observably identical to the plain sequential
+// engine -- same pop order, clock, counters, stop points -- because
+// commits always run one at a time in (time, seq) order and a stop pushes
+// the unexecuted staged suffix back under its original sequence numbers.
+// The suite drives both engines through randomized hinted tapes (barrier
+// cuts, sweep hints, nested scheduling, mid-run stops) and pins the
+// prepare hook's contract: hints arrive in commit order, tiny batches
+// skip the hook, sweep batches never do.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/engine.h"
+#include "util/rng.h"
+
+namespace coopnet::sim {
+namespace {
+
+// Deterministic hint for a label: a mix of plain subjects, no-hint,
+// sweep, and barrier-tagged events, so the staging loop exercises every
+// cut condition.
+std::uint32_t hint_for(int label) {
+  if (label % 11 == 0) return SimEngine::kHintSweep;
+  if (label % 5 == 0) {
+    return static_cast<std::uint32_t>(label) | SimEngine::kHintBarrier;
+  }
+  if (label % 3 == 0) return SimEngine::kNoHint;
+  return static_cast<std::uint32_t>(label);
+}
+
+struct Op {
+  enum class Kind {
+    kSchedule,   // hinted, relative delay
+    kNested,     // fires and schedules two more (hinted) events
+    kStopper,    // fires and calls stop()
+    kRun,        // run()
+    kRunUntil,   // run_until(deadline)
+    kResetStop,  // reset_stop()
+  };
+  Kind kind;
+  double a = 0.0;
+  double b = 0.0;
+  int label = 0;
+};
+
+std::vector<Op> random_tape(std::uint64_t seed, std::size_t n_ops) {
+  util::Rng rng(seed);
+  std::vector<Op> tape;
+  tape.reserve(n_ops);
+  int label = 0;
+  for (std::size_t i = 0; i < n_ops; ++i) {
+    Op op;
+    const std::uint64_t k = rng.uniform_u64(16);
+    if (k < 7) {
+      op.kind = Op::Kind::kSchedule;
+      // Coarse quantization forces same-timestamp groups.
+      op.a = static_cast<double>(rng.uniform_u64(6));
+    } else if (k < 10) {
+      op.kind = Op::Kind::kNested;
+      op.a = static_cast<double>(rng.uniform_u64(6));
+      op.b = static_cast<double>(rng.uniform_u64(4));
+    } else if (k < 11) {
+      op.kind = Op::Kind::kStopper;
+      op.a = static_cast<double>(rng.uniform_u64(6));
+    } else if (k < 13) {
+      op.kind = Op::Kind::kRun;
+    } else if (k < 15) {
+      op.kind = Op::Kind::kRunUntil;
+      op.a = static_cast<double>(rng.uniform_u64(20));
+    } else {
+      op.kind = Op::Kind::kResetStop;
+    }
+    op.label = label++;
+    tape.push_back(op);
+  }
+  return tape;
+}
+
+// Replays the tape, recording fired-event labels, clocks, and counters.
+// `batched` installs a no-op prepare hook with the given thresholds.
+std::vector<std::string> replay(const std::vector<Op>& tape, bool batched,
+                                std::size_t batch_cap = 4096,
+                                std::size_t min_prepare = 0) {
+  SimEngine engine;
+  if (batched) {
+    engine.set_parallel([](const std::uint32_t*, std::size_t) {}, batch_cap,
+                        min_prepare);
+  }
+  std::vector<std::string> transcript;
+  // In-event notes skip pending(): staged-but-uncommitted events are out
+  // of the heap during a batch, so its mid-event value is the one
+  // observable the two modes legitimately disagree on (see engine.h).
+  // Between run calls the modes agree, so run-level notes include it.
+  auto note = [&transcript, &engine](const std::string& what) {
+    transcript.push_back(what + " now=" + std::to_string(engine.now()) +
+                         " processed=" +
+                         std::to_string(engine.events_processed()) +
+                         (engine.stopped() ? " stopped" : ""));
+  };
+  auto note_idle = [&transcript, &engine, &note](const std::string& what) {
+    note(what + " pending=" + std::to_string(engine.pending()));
+  };
+  for (const Op& op : tape) {
+    const std::string tag = std::to_string(op.label);
+    switch (op.kind) {
+      case Op::Kind::kSchedule:
+        engine.schedule_hinted(op.a, hint_for(op.label),
+                               [&note, tag] { note("fire " + tag); });
+        break;
+      case Op::Kind::kNested: {
+        const double inner = op.b;
+        const int label = op.label;
+        engine.schedule_hinted(
+            op.a, hint_for(op.label), [&note, &engine, tag, inner, label] {
+              note("fire " + tag);
+              engine.schedule_hinted(inner, hint_for(label + 7), [&note, tag] {
+                note("inner1 " + tag);
+              });
+              engine.schedule_hinted(inner + 1.0, hint_for(label + 13),
+                                     [&note, tag] { note("inner2 " + tag); });
+            });
+        break;
+      }
+      case Op::Kind::kStopper:
+        engine.schedule_hinted(op.a, hint_for(op.label),
+                               [&note, &engine, tag] {
+                                 note("stop " + tag);
+                                 engine.stop();
+                               });
+        break;
+      case Op::Kind::kRun:
+        engine.run();
+        note_idle("ran");
+        break;
+      case Op::Kind::kRunUntil:
+        engine.run_until(engine.now() + op.a);
+        note_idle("ran-until");
+        break;
+      case Op::Kind::kResetStop:
+        engine.reset_stop();
+        break;
+    }
+  }
+  // Drain whatever is left so every scheduled event is accounted for.
+  engine.reset_stop();
+  engine.run();
+  note_idle("drained");
+  return transcript;
+}
+
+TEST(EngineBatch, RandomTapesMatchSequentialExactly) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    const auto tape = random_tape(seed, 120);
+    const auto sequential = replay(tape, /*batched=*/false);
+    const auto batched = replay(tape, /*batched=*/true);
+    ASSERT_EQ(sequential, batched) << "tape seed " << seed;
+  }
+}
+
+TEST(EngineBatch, EveryBatchCapMatchesSequential) {
+  // batch_cap = 1 stages one event at a time; larger caps exercise the
+  // commit-time merge against freshly scheduled events.
+  const auto tape = random_tape(/*seed=*/99, 150);
+  const auto sequential = replay(tape, /*batched=*/false);
+  for (std::size_t cap : {std::size_t{1}, std::size_t{2}, std::size_t{3},
+                          std::size_t{7}, std::size_t{64}}) {
+    ASSERT_EQ(sequential, replay(tape, /*batched=*/true, cap))
+        << "batch_cap " << cap;
+  }
+}
+
+TEST(EngineBatch, PrepareSeesHintsInCommitOrder) {
+  SimEngine engine;
+  std::vector<std::vector<std::uint32_t>> batches;
+  engine.set_parallel(
+      [&batches](const std::uint32_t* hints, std::size_t count) {
+        batches.emplace_back(hints, hints + count);
+      },
+      /*batch_cap=*/4096, /*min_prepare=*/0);
+  std::vector<int> fired;
+  for (int i = 0; i < 4; ++i) {
+    engine.schedule_hinted(1.0, static_cast<std::uint32_t>(10 + i),
+                           [&fired, i] { fired.push_back(i); });
+  }
+  // A barrier event at the same timestamp cuts the batch after itself.
+  engine.schedule_hinted(1.0, 99u | SimEngine::kHintBarrier, [&fired] {
+    fired.push_back(99);
+  });
+  engine.schedule_hinted(2.0, 50u, [&fired] { fired.push_back(50); });
+  engine.run();
+
+  ASSERT_EQ(batches.size(), 2u);
+  EXPECT_EQ(batches[0],
+            (std::vector<std::uint32_t>{10, 11, 12, 13,
+                                        99u | SimEngine::kHintBarrier}));
+  EXPECT_EQ(batches[1], (std::vector<std::uint32_t>{50}));
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 99, 50}));
+}
+
+TEST(EngineBatch, TinyBatchesSkipPrepareButSweepForcesIt) {
+  SimEngine engine;
+  std::size_t calls = 0;
+  engine.set_parallel(
+      [&calls](const std::uint32_t*, std::size_t) { ++calls; },
+      /*batch_cap=*/4096, /*min_prepare=*/16);
+  // Three events below the threshold: no prepare.
+  for (int i = 0; i < 3; ++i) {
+    engine.schedule_hinted(1.0, static_cast<std::uint32_t>(i), [] {});
+  }
+  engine.run();
+  EXPECT_EQ(calls, 0u);
+  // A sweep-hinted event prepares even in a batch of one.
+  engine.schedule_hinted(1.0, SimEngine::kHintSweep, [] {});
+  engine.run();
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(EngineBatch, StopMidBatchRestoresTheUnexecutedSuffix) {
+  // Five same-timestamp events staged as one batch; the second stops the
+  // engine. The remaining three must replay later in the original order.
+  SimEngine engine;
+  engine.set_parallel([](const std::uint32_t*, std::size_t) {}, 4096, 0);
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i) {
+    engine.schedule_hinted(1.0, static_cast<std::uint32_t>(i),
+                           [&fired, &engine, i] {
+                             fired.push_back(i);
+                             if (i == 1) engine.stop();
+                           });
+  }
+  engine.run();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1}));
+  EXPECT_EQ(engine.pending(), 3u);
+  engine.reset_stop();
+  engine.run();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_DOUBLE_EQ(engine.now(), 1.0);
+}
+
+TEST(EngineBatch, EventLimitStopsAfterExactlyLimitEvents) {
+  for (std::uint64_t limit = 1; limit <= 12; ++limit) {
+    SimEngine engine;
+    engine.set_parallel([](const std::uint32_t*, std::size_t) {}, 4096, 0);
+    engine.set_event_limit(limit);
+    std::vector<int> fired;
+    for (int i = 0; i < 12; ++i) {
+      engine.schedule_hinted(static_cast<double>(i % 3),
+                             static_cast<std::uint32_t>(i),
+                             [&fired, i] { fired.push_back(i); });
+    }
+    engine.run();
+    EXPECT_EQ(engine.events_processed(), limit) << "limit " << limit;
+    EXPECT_EQ(fired.size(), static_cast<std::size_t>(limit));
+    EXPECT_TRUE(engine.event_limit_hit());
+  }
+}
+
+TEST(EngineBatch, RunUntilNeverStagesPastTheDeadline) {
+  SimEngine engine;
+  std::size_t prepared_events = 0;
+  engine.set_parallel(
+      [&prepared_events](const std::uint32_t*, std::size_t count) {
+        prepared_events += count;
+      },
+      4096, 0);
+  std::vector<int> fired;
+  for (int i = 0; i < 6; ++i) {
+    engine.schedule_hinted(static_cast<double>(i), 0u,
+                           [&fired, i] { fired.push_back(i); });
+  }
+  engine.run_until(2.5);
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2}));
+  // Events beyond the deadline were never popped into a batch.
+  EXPECT_EQ(prepared_events, 3u);
+  EXPECT_DOUBLE_EQ(engine.now(), 2.5);
+  EXPECT_EQ(engine.pending(), 3u);
+  engine.run();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(EngineBatch, EmptyHookRestoresSequentialMode) {
+  SimEngine engine;
+  engine.set_parallel([](const std::uint32_t*, std::size_t) {}, 4096, 0);
+  engine.set_parallel(nullptr);
+  std::vector<int> fired;
+  engine.schedule(1.0, [&fired] { fired.push_back(1); });
+  engine.run();
+  EXPECT_EQ(fired, (std::vector<int>{1}));
+}
+
+}  // namespace
+}  // namespace coopnet::sim

@@ -1,0 +1,147 @@
+// --threads byte-identity matrix: for every mechanism, with and without
+// faults, a swarm run with config.threads in {2, 4} must produce the
+// byte-identical RunReport JSON and streaming trace that the sequential
+// (threads = 1) run produces. The threads = 1 runs themselves are pinned
+// to the seed goldens by swarm_equivalence_test, so equality here chains
+// the parallel mode all the way back to the seed implementation.
+//
+// This is the determinism contract of DESIGN §11: worker threads only
+// pre-warm interest-memo caches during an effect-free prepare phase;
+// every event commits on one thread in exact (time, seq) order, so any
+// thread count replays the same event sequence, RNG stream, and output
+// bytes.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "metrics/json.h"
+#include "metrics/report.h"
+#include "metrics/run_metrics.h"
+#include "metrics/trace_sink.h"
+#include "sim/faults.h"
+#include "sim/swarm.h"
+#include "strategy/factory.h"
+
+namespace coopnet::sim {
+namespace {
+
+struct Cell {
+  core::Algorithm algo;
+  bool churn;
+};
+
+std::string cell_name(const Cell& cell) {
+  std::string name = core::to_string(cell.algo);
+  for (auto& c : name) {
+    if (c == '-' || c == ' ') c = '_';
+  }
+  return name + (cell.churn ? "_churn" : "_clean");
+}
+
+// Same shape as swarm_equivalence_test's fault cells: moderate churn plus
+// 5% transfer loss layers the retry/backoff and epoch-guard paths (the
+// barrier-hinted events) on top of the happy path.
+SwarmConfig cell_config(const Cell& cell, std::size_t threads) {
+  auto config = SwarmConfig::small(cell.algo, /*seed=*/415);
+  config.n_peers = 50;
+  config.max_time = 4000.0;
+  if (cell.churn) {
+    config.faults = moderate_churn();
+    config.faults.transfer_loss_rate = 0.05;
+  }
+  config.threads = threads;
+  return config;
+}
+
+struct CellResult {
+  std::string report_json;
+  std::vector<std::string> trace_lines;
+};
+
+CellResult run_cell(const Cell& cell, std::size_t threads) {
+  const SwarmConfig config = cell_config(cell, threads);
+  Swarm swarm(config, strategy::make_strategy(config.algorithm));
+  metrics::RunMetrics collector;
+  collector.install(swarm);
+  std::ostringstream trace;
+  metrics::TraceSink sink(trace);
+  sink.chain(&collector);
+  swarm.set_observer(&sink);
+  swarm.run();
+
+  CellResult result;
+  result.report_json =
+      metrics::to_json(metrics::build_report(swarm, collector));
+  std::istringstream lines(trace.str());
+  std::string line;
+  while (std::getline(lines, line)) result.trace_lines.push_back(line);
+  return result;
+}
+
+class ThreadsDeterminism : public ::testing::TestWithParam<Cell> {};
+
+TEST_P(ThreadsDeterminism, AnyThreadCountIsByteIdenticalToSequential) {
+  const Cell cell = GetParam();
+  const CellResult sequential = run_cell(cell, /*threads=*/1);
+  ASSERT_FALSE(sequential.report_json.empty());
+  for (std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+    const CellResult parallel = run_cell(cell, threads);
+    EXPECT_EQ(parallel.report_json, sequential.report_json)
+        << cell_name(cell) << ": RunReport JSON diverged at --threads "
+        << threads;
+    ASSERT_EQ(parallel.trace_lines.size(), sequential.trace_lines.size())
+        << cell_name(cell) << ": trace line count diverged at --threads "
+        << threads;
+    for (std::size_t i = 0; i < sequential.trace_lines.size(); ++i) {
+      ASSERT_EQ(parallel.trace_lines[i], sequential.trace_lines[i])
+          << cell_name(cell) << ": trace line " << i + 1
+          << " diverged at --threads " << threads;
+    }
+  }
+}
+
+std::vector<Cell> all_cells() {
+  std::vector<Cell> cells;
+  for (core::Algorithm algo : core::kAllAlgorithms) {
+    for (bool churn : {false, true}) {
+      cells.push_back({algo, churn});
+    }
+  }
+  return cells;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMechanisms, ThreadsDeterminism,
+                         ::testing::ValuesIn(all_cells()),
+                         [](const ::testing::TestParamInfo<Cell>& info) {
+                           return cell_name(info.param);
+                         });
+
+// The attack timers (whitewash resets, sybil praise) and the linger path
+// schedule through plain and barrier hints respectively; one combined
+// scenario pins them under parallel execution too.
+TEST(ThreadsDeterminism, AttacksAndLingerMatchSequential) {
+  auto make = [](std::size_t threads) {
+    auto config = SwarmConfig::small(core::Algorithm::kReputation,
+                                     /*seed=*/77);
+    config.n_peers = 50;
+    config.free_rider_fraction = 0.2;
+    config.attack.sybil_praise = true;
+    config.attack.whitewashing = true;
+    config.linger_time = 30.0;
+    config.threads = threads;
+    Swarm swarm(config, strategy::make_strategy(config.algorithm));
+    metrics::RunMetrics collector;
+    collector.install(swarm);
+    swarm.run();
+    return metrics::to_json(metrics::build_report(swarm, collector));
+  };
+  const std::string sequential = make(1);
+  EXPECT_EQ(make(2), sequential);
+  EXPECT_EQ(make(4), sequential);
+}
+
+}  // namespace
+}  // namespace coopnet::sim

@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
 # Full check: configure + build + ctest for the normal tree, then again
 # with COOPNET_SANITIZE=ON (ASan + UBSan) in a separate build directory.
+# --tsan instead runs the concurrency suites under ThreadSanitizer
+# (COOPNET_TSAN=ON, a third tree: ASan and TSan cannot share a binary);
+# CI gives it a dedicated job so the two sanitizer legs run in parallel.
 #
-#   tools/check.sh             # both passes
+#   tools/check.sh             # normal + ASan/UBSan passes
 #   tools/check.sh --fast      # normal pass only
+#   tools/check.sh --tsan      # TSan pass only (concurrency suites)
 #   CTEST_ARGS="-R Faults" tools/check.sh
 set -euo pipefail
 
@@ -22,6 +26,30 @@ run_pass() {
   # shellcheck disable=SC2086
   ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" ${CTEST_ARGS}
 }
+
+# TSan over exactly the code that runs multi-threaded: the ThreadPool /
+# ForkJoin primitives, the engine's batched prepare phase, the swarm's
+# --threads byte-identity matrix, and the parallel experiment runner.
+# Targeted build + -R filter keeps the pass minutes, not hours; the
+# unbuilt suites surface as *_NOT_BUILT entries that the filter excludes.
+tsan_pass() {
+  local dir=build-tsan
+  echo "=== configure ${dir} (-DCOOPNET_TSAN=ON) ==="
+  cmake -B "${dir}" -S . -DCOOPNET_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  echo "=== build ${dir} (concurrency suites) ==="
+  cmake --build "${dir}" -j "${JOBS}" --target \
+    test_thread_pool test_engine_batch test_threads_determinism \
+    test_parallel_determinism
+  echo "=== ctest ${dir} ==="
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" \
+    -R 'ThreadPool|ForkJoin|EngineBatch|ThreadsDeterminism|ParallelDeterminism'
+}
+
+if [[ "${1:-}" == "--tsan" ]]; then
+  tsan_pass
+  echo "TSan checks passed."
+  exit 0
+fi
 
 run_pass build
 
