@@ -52,7 +52,7 @@ inline sim::SwarmConfig scenario_from_cli(const util::Cli& cli,
       1024LL;
   config.seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
   // Cap the run so pure reciprocity (which never completes) terminates.
-  config.max_time = cli.get_double("max-time", 4000.0);
+  config.max_time = cli.get_double_in("max-time", 4000.0, 1e-6, 1e9);
   config.threads = cli.get_count("threads", 1, 256);
   return config;
 }

@@ -18,7 +18,8 @@ int main(int argc, char** argv) {
     base.file_bytes = 32LL * 1024 * 1024;
     base.graph.degree = 30;
   }
-  base.strategic_fraction = cli.get_double("strategic", 0.2);
+  base.strategic_fraction =
+      cli.get_double_in("strategic", 0.2, 0.0, 1.0);
 
   std::printf("Extension: %.0f%% BitTyrant-style strategic clients, N = "
               "%zu\n\nGive-take ratio u/d: 1.0 = contributes as much as it "

@@ -111,7 +111,7 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const std::int64_t M = cli.get_int("pieces", 128);
   const std::int64_t N = cli.get_int("n", 1000);
-  const double alpha_bt = cli.get_double("alpha-bt", 0.2);
+  const double alpha_bt = cli.get_double_in("alpha-bt", 0.2, 0.0, 1.0);
 
   pi_table(M, N, alpha_bt);
   convergence_series(M);

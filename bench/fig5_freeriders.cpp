@@ -14,7 +14,8 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   try {
     auto config = bench::scenario_from_cli(cli);
-    config.free_rider_fraction = cli.get_double("free-riders", 0.2);
+    config.free_rider_fraction =
+        cli.get_double_in("free-riders", 0.2, 0.0, 1.0);
     config.attack.large_view = false;
     const exp::SweepControl control = exp::sweep_control_from_cli(cli);
     const fleet::FleetControl fleet = fleet::fleet_control_from_cli(cli);

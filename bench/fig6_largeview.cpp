@@ -13,9 +13,11 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   try {
     auto config = bench::scenario_from_cli(cli);
-    config.free_rider_fraction = cli.get_double("free-riders", 0.2);
+    config.free_rider_fraction =
+        cli.get_double_in("free-riders", 0.2, 0.0, 1.0);
     config.attack.large_view = true;
-    config.graph.large_view_multiplier = cli.get_double("view-mult", 4.0);
+    config.graph.large_view_multiplier =
+        cli.get_double_in("view-mult", 4.0, 1.0, 100.0);
     const exp::SweepControl control = exp::sweep_control_from_cli(cli);
     const fleet::FleetControl fleet = fleet::fleet_control_from_cli(cli);
     if (fleet.worker()) {

@@ -77,12 +77,8 @@ sim::SwarmConfig scale_config(std::size_t n, double horizon,
 int run_scale_leg(const util::Cli& cli, std::uint64_t seed,
                   const std::string& json_out) {
   const std::size_t n = cli.get_count("peers", 100000, sim::kMaxPeerCount);
-  const double horizon = cli.get_double("horizon", 120.0);
+  const double horizon = cli.get_double_in("horizon", 120.0, 1e-6, 1e9);
   const std::size_t threads = cli.get_count("threads", 1, 256);
-  if (horizon <= 0.0) {
-    std::fprintf(stderr, "error: --horizon must be > 0 (got %g)\n", horizon);
-    return 1;
-  }
 
   auto config = scale_config(n, horizon, seed);
   config.threads = threads;

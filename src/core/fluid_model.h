@@ -10,6 +10,8 @@
 // -- an analytic counterpart to Figure 4a.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "core/algorithm.h"
@@ -56,5 +58,155 @@ double fluid_download_rate(Algorithm algo,
 FluidResult fluid_completion(Algorithm algo,
                              std::vector<FluidClass> classes,
                              const FluidParams& params);
+
+// ---------------------------------------------------------------------------
+// The fluid *backend* (DESIGN §12): a Qiu-Srikant-style leecher/seeder
+// population ODE system integrated with classic fixed-step RK4. Unlike the
+// cohort drain above (which tracks one remaining-bytes trajectory per
+// class), this models the swarm as population flows -- arrivals, service,
+// completion, churn, abandonment, seeder linger -- so it has a well-defined
+// steady state under ongoing arrivals and costs O(steps * classes)
+// regardless of N: the same scenario that takes the event simulator minutes
+// at N = 5000 integrates in milliseconds at N = 10^6.
+//
+// The cross-validation suite (tests/core/fluid_crossval_test.cpp) pins the
+// backend against the event simulator at overlapping N; the committed
+// tolerance bands there are the quantified extrapolation error.
+// ---------------------------------------------------------------------------
+
+/// One population class of the fluid backend. Counts are totals over the
+/// whole run (peers that will ever arrive), not instantaneous populations.
+struct FluidClassSpec {
+  double capacity = 0.0;   // per-peer upload rate, bytes/second
+  double count = 0.0;      // peers in this class (may be fractional)
+  bool compliant = true;   // false: free-riders (never upload)
+};
+
+/// How the population enters the swarm.
+enum class FluidArrivals {
+  kFlashCrowd,    // each class arrives uniformly over [0, flash_window]
+  kConstantRate,  // arrival_rate peers/second, split by class mix
+};
+
+/// Full scenario + integration spec of one fluid run. The exp layer
+/// derives this from the same sim::SwarmConfig the event simulator runs
+/// (exp::fluid_spec_from), so both backends consume one description.
+struct FluidSpec {
+  Algorithm algorithm = Algorithm::kBitTorrent;
+  std::vector<FluidClassSpec> classes;
+  double file_bytes = 128.0 * 1024 * 1024;
+  /// Aggregate permanent-seeder bandwidth (u_S * n_S), bytes/second.
+  double seeder_rate = 4.0 * 1024 * 1024;
+
+  // --- arrivals ---------------------------------------------------------
+  FluidArrivals arrivals = FluidArrivals::kFlashCrowd;
+  double flash_window = 10.0;  // seconds, kFlashCrowd
+  double arrival_rate = 10.0;  // peers/second, kConstantRate
+  /// Fraction of every class already active at t = 0 (a pre-warmed swarm;
+  /// also what the RK4 property tests use to keep the right-hand side
+  /// smooth from the first step).
+  double initial_fraction = 0.0;
+
+  // --- churn / faults ---------------------------------------------------
+  double churn_rate = 0.0;          // departures per active leecher-second
+  double rejoin_probability = 1.0;  // churners that come back
+  double mean_downtime = 0.0;       // mean offline time before a rejoin
+  /// Transfer-loss probability. Service rates scale by (1 - loss/2): the
+  /// retry machinery overlaps other transfers, so the latency drag of a
+  /// loss is about half a transfer. Committed capacity pays the full
+  /// transfer per loss (the simulator detects loss only after the upload
+  /// completes), so offered = goodput / (1 - loss) and the report's
+  /// goodput_ratio is exactly 1 - loss.
+  double loss_rate = 0.0;
+
+  // --- seeding ----------------------------------------------------------
+  /// Mean post-completion seeding time (0 = leave immediately, the
+  /// paper's Section V assumption).
+  double linger_time = 0.0;
+
+  ModelParams model;  // alpha_BT, alpha_R (n_BT rides along unused)
+
+  // --- integration ------------------------------------------------------
+  double dt = 0.25;          // RK4 step, seconds
+  double horizon = 4000.0;   // integration end, seconds
+  /// Erlang progress stages per class: download progress flows through
+  /// this many sequential sub-compartments, so per-peer completion times
+  /// concentrate around file_bytes / rate with relative spread 1/sqrt(S)
+  /// instead of being exponentially distributed (the memoryless rate-form
+  /// would let a fluid peer finish arbitrarily fast, which the simulator's
+  /// lockstep drains -- Reciprocity above all -- flatly contradict).
+  std::size_t progress_stages = 12;
+  /// Target number of samples in the report curves (>= 2). The stride is
+  /// derived deterministically from the step count.
+  std::size_t curve_points = 256;
+
+  /// Throws std::invalid_argument on inconsistent settings.
+  void validate() const;
+};
+
+/// Distilled result of one fluid run: the analytic counterpart of a
+/// metrics::RunReport. Serialized byte-stably (%.17g) by
+/// metrics::to_json(FluidReport) and golden-pinned under tests/golden/.
+struct FluidReport {
+  Algorithm algorithm = Algorithm::kBitTorrent;
+  double dt = 0.0;
+  double horizon = 0.0;
+  std::uint64_t steps = 0;      // RK4 steps actually integrated
+  double end_time = 0.0;        // time of the last integrated step
+
+  // Population accounting (peers; fractional by construction).
+  double population = 0.0;       // peers that would ever arrive
+  double compliant_population = 0.0;
+  double freerider_population = 0.0;
+  double arrived = 0.0;          // cumulative arrivals by end_time
+  double completed = 0.0;        // cumulative completions
+  double completed_compliant = 0.0;
+  double churned_lost = 0.0;     // abandoned mid-download, never rejoined
+  /// |total - (waiting + active + offline + completed + lost)| at the end:
+  /// the RK4 conservation residual (should be ~1e-12 * population).
+  double conservation_residual = 0.0;
+
+  // Steady state (values at end_time).
+  double leechers_final = 0.0;
+  double seeders_final = 0.0;    // lingering finished peers (excl. origin)
+  double offline_final = 0.0;    // churned, pending rejoin
+  double peak_leechers = 0.0;
+
+  // Efficiency.
+  double completed_fraction = 0.0;       // compliant completers / compliant
+  /// Mean arrival-to-finish time of completers (infinity when nobody
+  /// finishes within the horizon).
+  double mean_completion_time = 0.0;
+  double goodput_bytes = 0.0;    // cumulative payload delivered
+  double offered_bytes = 0.0;    // cumulative upload capacity committed
+  double goodput_ratio = 1.0;    // goodput / offered (1 when loss-free)
+
+  // Curves (deterministically strided samples).
+  std::vector<util::TimePoint> completion_curve;  // completed fraction vs t
+  std::vector<util::TimePoint> leecher_curve;     // active leechers vs t
+  std::vector<util::TimePoint> seeder_curve;      // lingering seeders vs t
+};
+
+/// Per-mechanism effective upload efficiency: the fraction of the ideal
+/// Table I service rate a *simulated* swarm realizes once slot
+/// granularity, rechoke latency, piece scarcity, and endgame idling are
+/// paid. Calibrated once against the event simulator at the
+/// cross-validation reference cell (N = 5000, clean flash crowd; see
+/// tests/core/fluid_crossval_test.cpp) and committed as constants -- they
+/// are per-mechanism properties, not per-N ones, which is what lets the
+/// sim->fluid gap shrink as N grows toward the mean-field regime.
+double fluid_mechanism_efficiency(Algorithm algo);
+
+/// Largest RK4 step that resolves the fastest class's Erlang stage time
+/// constant (file / (stages * capacity)) with >= 4 steps, never above
+/// spec.dt and never below 1/64 s. A coarser step stays stable (the 2/dt
+/// stage cap guarantees that) but lets the transport front ripple:
+/// compartments can briefly undershoot zero by O(dt^2) peers. Callers
+/// that derive specs automatically (exp::fluid_spec_from) use this;
+/// hand-written specs may pin dt for golden stability.
+double fluid_stable_dt(const FluidSpec& spec);
+
+/// Integrates the population ODE system with fixed-step RK4.
+FluidReport fluid_run(const FluidSpec& spec);
 
 }  // namespace coopnet::core

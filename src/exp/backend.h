@@ -1,0 +1,61 @@
+// Backend selection: the same fully-specified scenario cell can run on
+// the discrete-event simulator (exact, O(events)) or the mean-field fluid
+// backend (analytic, O(steps), independent of N). Sweeps mix backends per
+// cell; cross-validation at overlapping N quantifies the fluid backend's
+// extrapolation error (tests/core/fluid_crossval_test.cpp, DESIGN §12).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/fluid_model.h"
+#include "exp/schedule.h"
+#include "metrics/report.h"
+#include "sim/config.h"
+
+namespace coopnet::exp {
+
+/// Which engine computes a cell.
+enum class Backend {
+  kEvent,  // discrete-event simulator (sim::Swarm)
+  kFluid,  // mean-field population ODE (core::fluid_run)
+};
+
+/// "event" or "fluid".
+std::string to_string(Backend backend);
+
+/// Parses to_string's names (case-insensitive); throws
+/// std::invalid_argument on anything else.
+Backend backend_from_string(const std::string& name);
+
+/// Derives the fluid scenario from the exact SwarmConfig the event
+/// simulator would run: capacity classes are split into compliant and
+/// free-riding portions, BitTorrent's altruism share is derived from the
+/// slot split (1 - n_bt / upload_slots), and churn/loss/linger map onto
+/// the ODE's flow knobs. Strategic (BitTyrant-style) peers are treated as
+/// compliant -- the fluid model has no probing dynamics; cells that need
+/// them must use the event backend.
+core::FluidSpec fluid_spec_from(const sim::SwarmConfig& config);
+
+/// Runs one cell on the fluid backend (fluid_spec_from + fluid_run).
+core::FluidReport run_fluid_scenario(const sim::SwarmConfig& config);
+
+/// Projects a fluid report onto the RunReport shape so mixed-backend
+/// sweeps collect into one table: populations and completed fraction map
+/// directly, completion_summary carries the mean completion time (count =
+/// rounded completions; spread fields are zero -- the fluid limit has no
+/// per-peer variance), and goodput_ratio maps from the flow accounting.
+/// Per-peer lists and fairness series stay empty.
+metrics::RunReport fluid_as_run_report(const core::FluidReport& fluid);
+
+/// run_cells with a per-cell backend choice: `backends[i]` decides the
+/// engine for `cells[i]` (one entry may be broadcast to every cell; an
+/// empty vector means all-event, i.e. plain run_cells). The determinism
+/// contract is unchanged -- both backends are pure functions of their
+/// cell, so `jobs = N` output stays bit-identical to `jobs = 1`.
+std::vector<metrics::RunReport> run_cells_mixed(
+    const std::vector<sim::SwarmConfig>& cells,
+    const std::vector<Backend>& backends, std::size_t jobs,
+    SweepTiming* timing = nullptr);
+
+}  // namespace coopnet::exp

@@ -144,6 +144,67 @@ void fault_object(Writer& w, const std::string& name,
   w.end_object();
 }
 
+/// %.17g: enough digits that a finite double round-trips bit-exactly
+/// (fluid golden files are byte-compared; non-finite still maps to null).
+std::string num17(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void curve_object(Writer& w, const std::string& name,
+                  const std::vector<util::TimePoint>& points) {
+  w.key(name);
+  w.begin_object();
+  w.key("time");
+  w.raw("[");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (i) w.raw(",");
+    w.raw(num17(points[i].time));
+  }
+  w.raw("]");
+  w.key("value");
+  w.raw("[");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (i) w.raw(",");
+    w.raw(num17(points[i].value));
+  }
+  w.raw("]");
+  w.end_object();
+}
+
+void fluid_body(Writer& w, const core::FluidReport& r) {
+  w.begin_object();
+  w.string_field("backend", "fluid");
+  w.string_field("algorithm", core::to_string(r.algorithm));
+  w.field("dt", num17(r.dt));
+  w.field("horizon", num17(r.horizon));
+  w.field("steps", std::to_string(r.steps));
+  w.field("end_time", num17(r.end_time));
+  w.field("population", num17(r.population));
+  w.field("compliant_population", num17(r.compliant_population));
+  w.field("freerider_population", num17(r.freerider_population));
+  w.field("arrived", num17(r.arrived));
+  w.field("completed", num17(r.completed));
+  w.field("completed_compliant", num17(r.completed_compliant));
+  w.field("churned_lost", num17(r.churned_lost));
+  w.field("conservation_residual", num17(r.conservation_residual));
+  w.field("leechers_final", num17(r.leechers_final));
+  w.field("seeders_final", num17(r.seeders_final));
+  w.field("offline_final", num17(r.offline_final));
+  w.field("peak_leechers", num17(r.peak_leechers));
+  w.field("completed_fraction", num17(r.completed_fraction));
+  w.field("mean_completion_time", num17(r.mean_completion_time));
+  w.field("goodput_bytes", num17(r.goodput_bytes));
+  w.field("offered_bytes", num17(r.offered_bytes));
+  w.field("goodput_ratio", num17(r.goodput_ratio));
+  curve_object(w, "completion_curve", r.completion_curve);
+  curve_object(w, "leecher_curve", r.leecher_curve);
+  curve_object(w, "seeder_curve", r.seeder_curve);
+  w.end_object();
+}
+
 void report_body(Writer& w, const RunReport& r) {
   w.begin_object();
   w.string_field("algorithm", core::to_string(r.algorithm));
@@ -267,6 +328,12 @@ std::string json_unescape(const std::string& s) {
 std::string to_json(const RunReport& report, int indent) {
   Writer w(indent);
   report_body(w, report);
+  return w.str();
+}
+
+std::string to_json(const core::FluidReport& report, int indent) {
+  Writer w(indent);
+  fluid_body(w, report);
   return w.str();
 }
 

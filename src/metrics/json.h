@@ -5,6 +5,7 @@
 
 #include <string>
 
+#include "core/fluid_model.h"
 #include "metrics/report.h"
 
 namespace coopnet::metrics {
@@ -13,6 +14,12 @@ namespace coopnet::metrics {
 /// parallel arrays; non-finite values (never-finished markers) are emitted
 /// as null.
 std::string to_json(const RunReport& report, int indent = 2);
+
+/// Serializes a fluid-backend report. Doubles are written with %.17g so
+/// the output round-trips bit-exactly -- fluid reports join the golden
+/// byte-identity regime the sim reports live under
+/// (tests/golden/fluid_*.json).
+std::string to_json(const core::FluidReport& report, int indent = 2);
 
 /// Serializes several reports as a JSON array.
 std::string to_json(const std::vector<RunReport>& reports, int indent = 2);

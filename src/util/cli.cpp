@@ -1,6 +1,7 @@
 #include "util/cli.h"
 
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
 
@@ -66,6 +67,20 @@ double Cli::get_double(const std::string& name, double fallback) const {
   double out = 0.0;
   if (!parse_double(*v, &out)) {
     throw std::invalid_argument("Cli: bad number for --" + name);
+  }
+  return out;
+}
+
+double Cli::get_double_in(const std::string& name, double fallback,
+                          double min_value, double max_value) const {
+  const double out = get_double(name, fallback);
+  if (!(out >= min_value && out <= max_value)) {
+    char range[96];
+    std::snprintf(range, sizeof(range), " (expected a number in [%g, %g])",
+                  min_value, max_value);
+    throw std::invalid_argument("Cli: --" + name + "=" +
+                                get_string(name, "<default>") +
+                                " is out of range" + range);
   }
   return out;
 }

@@ -30,6 +30,14 @@ class Cli {
   double get_double(const std::string& name, double fallback) const;
   bool get_bool(const std::string& name, bool fallback) const;
 
+  /// get_double with range validation: the parsed value (or the fallback,
+  /// which is NOT exempt) must lie in [min_value, max_value]. Rates and
+  /// probabilities go through this so a negative --arrival-rate or a
+  /// probability of 1.5 fails fast with the legal range in the message
+  /// instead of silently producing a nonsense scenario.
+  double get_double_in(const std::string& name, double fallback,
+                       double min_value, double max_value) const;
+
   /// Value of `--name` parsed as a population/size count in
   /// [1, max_value]. These counts size allocations, so a zero, negative,
   /// non-numeric, or overflowing value must fail fast with an actionable

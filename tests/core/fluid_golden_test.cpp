@@ -1,0 +1,126 @@
+// Golden-pinned FluidReport serialization: the fluid backend is a pure
+// deterministic function of its spec, so its JSON output -- every scalar
+// and every curve sample, printed with %.17g -- is committed byte-for-byte
+// under tests/golden/fluid_*.json. A diff here means the fluid model's
+// numerics changed (new calibration, reordered flows, different stage
+// count), which must be a deliberate, stated decision:
+//
+//   COOPNET_REGEN_GOLDEN=1 ./build/tests/test_fluid_golden
+//
+// The grid covers a mid-size churn cell and the N = 10^6 extrapolation
+// cell the backend exists for (the event simulator cannot golden-check
+// that scale; this file is what pins it instead).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/fluid_model.h"
+#include "exp/backend.h"
+#include "metrics/json.h"
+#include "sim/config.h"
+#include "sim/faults.h"
+#include "util/atomic_file.h"
+
+#ifndef COOPNET_GOLDEN_DIR
+#error "COOPNET_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace coopnet::core {
+namespace {
+
+struct Cell {
+  const char* name;  // golden file stem
+  Algorithm algo;
+  bool churn;
+  std::size_t n;
+};
+
+const Cell kCells[] = {
+    {"fluid_BitTorrent_churn_n1000", Algorithm::kBitTorrent, true, 1000},
+    {"fluid_Reputation_clean_n5000", Algorithm::kReputation, false, 5000},
+    {"fluid_BitTorrent_clean_n1000000", Algorithm::kBitTorrent, false,
+     1000000},
+};
+
+// Same scenario family as the cross-validation grid (see
+// fluid_crossval_test.cpp): 8 MB file, seed-independent fluid dynamics,
+// moderate churn + 5% loss on the churn cells.
+sim::SwarmConfig cell_config(const Cell& cell) {
+  sim::SwarmConfig config;
+  config.algorithm = cell.algo;
+  config.n_peers = cell.n;
+  config.file_bytes = 8LL * 1024 * 1024;
+  config.piece_bytes = 128LL * 1024;
+  config.graph.degree = 30;
+  config.max_time = 4000.0;
+  config.seed = 415;
+  if (cell.churn) {
+    config.faults = sim::moderate_churn();
+    config.faults.transfer_loss_rate = 0.05;
+  }
+  return config;
+}
+
+std::string golden_path(const std::string& stem) {
+  return std::string(COOPNET_GOLDEN_DIR) + "/" + stem + ".json";
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+bool regen() { return std::getenv("COOPNET_REGEN_GOLDEN") != nullptr; }
+
+TEST(FluidGolden, ReportsMatchCommittedBytes) {
+  for (const Cell& cell : kCells) {
+    const FluidReport report = exp::run_fluid_scenario(cell_config(cell));
+    const std::string json = metrics::to_json(report) + "\n";
+    const std::string path = golden_path(cell.name);
+    if (regen()) {
+      ASSERT_NO_THROW(util::write_file_atomic(path, json)) << path;
+      continue;
+    }
+    std::string golden;
+    ASSERT_TRUE(read_file(path, golden))
+        << "missing golden " << path
+        << " (run with COOPNET_REGEN_GOLDEN=1 to create)";
+    EXPECT_EQ(golden, json) << cell.name
+                            << ": fluid numerics changed; regenerate "
+                               "deliberately if intended";
+  }
+}
+
+// %.17g is chosen because it round-trips IEEE doubles exactly: pulling a
+// serialized scalar back with strtod must reproduce the in-memory value
+// bit-for-bit, so the goldens pin the model, not a rounding of it.
+TEST(FluidGolden, SerializedScalarsRoundTripExactly) {
+  const FluidReport report =
+      exp::run_fluid_scenario(cell_config(kCells[0]));
+  const std::string json = metrics::to_json(report);
+  const auto field = [&json](const std::string& name) {
+    const std::string needle = "\"" + name + "\": ";
+    const auto at = json.find(needle);
+    EXPECT_NE(at, std::string::npos) << name;
+    return std::strtod(json.c_str() + at + needle.size(), nullptr);
+  };
+  EXPECT_EQ(field("mean_completion_time"), report.mean_completion_time);
+  EXPECT_EQ(field("completed"), report.completed);
+  EXPECT_EQ(field("goodput_bytes"), report.goodput_bytes);
+  EXPECT_EQ(field("conservation_residual"), report.conservation_residual);
+  EXPECT_EQ(field("peak_leechers"), report.peak_leechers);
+  // And serialization itself is a pure function of the report.
+  EXPECT_EQ(json, metrics::to_json(report));
+}
+
+}  // namespace
+}  // namespace coopnet::core

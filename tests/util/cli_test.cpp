@@ -67,6 +67,26 @@ TEST(Cli, MalformedValuesThrow) {
                std::invalid_argument);
 }
 
+TEST(Cli, GetDoubleInRange) {
+  const auto cli = make({"--rate=0.25", "--frac=1.5"});
+  EXPECT_EQ(cli.get_double_in("rate", 0.0, 0.0, 1.0), 0.25);
+  // Boundary values are inside the (closed) range.
+  EXPECT_EQ(make({"--p=1"}).get_double_in("p", 0.0, 0.0, 1.0), 1.0);
+  EXPECT_THROW(cli.get_double_in("frac", 0.0, 0.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(make({"--p=-0.1"}).get_double_in("p", 0.0, 0.0, 1.0),
+               std::invalid_argument);
+  // The fallback is not exempt from validation: a caller wiring an
+  // out-of-range default is a bug, not a user error.
+  EXPECT_THROW(cli.get_double_in("absent", 7.0, 0.0, 1.0),
+               std::invalid_argument);
+  // The strict finite grammar of get_double still applies underneath.
+  EXPECT_THROW(make({"--p=inf"}).get_double_in("p", 0.0, 0.0, 1e9),
+               std::invalid_argument);
+  EXPECT_THROW(make({"--p=0.5x"}).get_double_in("p", 0.0, 0.0, 1.0),
+               std::invalid_argument);
+}
+
 TEST(Cli, GetDouble) {
   const auto cli = make({"--x=2.5"});
   EXPECT_EQ(cli.get_double("x", 0.0), 2.5);

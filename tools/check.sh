@@ -45,6 +45,28 @@ tsan_pass() {
     -R 'ThreadPool|ForkJoin|EngineBatch|ThreadsDeterminism|ParallelDeterminism'
 }
 
+# The fluid backend's CLI round trip at the N = 10^6 extrapolation cell
+# must stay under one second wall-clock (the crossval suite gates the
+# in-process integration at the same bar; this covers flag parsing +
+# serialization on top). The ctest pass above already ran the full
+# cross-validation grid (test_fluid_crossval).
+fluid_smoke() {
+  local dir=$1
+  echo "=== fluid smoke: N = 10^6 CLI round trip under 1 s ==="
+  local start end ms
+  start=$(date +%s%N)
+  "${dir}/tools/coopnet_run" --backend fluid --algo BitTorrent \
+    --n 1000000 --file-mb 8 --piece-kb 128 --max-time 4000 --seed 415 \
+    > /dev/null
+  end=$(date +%s%N)
+  ms=$(( (end - start) / 1000000 ))
+  echo "fluid N=1e6 CLI round trip: ${ms} ms"
+  if (( ms >= 1000 )); then
+    echo "FAIL: fluid extrapolation took ${ms} ms (budget 1000 ms)" >&2
+    exit 1
+  fi
+}
+
 if [[ "${1:-}" == "--tsan" ]]; then
   tsan_pass
   echo "TSan checks passed."
@@ -52,6 +74,7 @@ if [[ "${1:-}" == "--tsan" ]]; then
 fi
 
 run_pass build
+fluid_smoke build
 
 if [[ "${1:-}" != "--fast" ]]; then
   run_pass build-asan -DCOOPNET_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo

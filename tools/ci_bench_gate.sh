@@ -49,7 +49,13 @@ if [[ "${LEGS}" == "smoke" || "${LEGS}" == "all" ]]; then
   # rows are simply absent from the fresh run and skipped by the comparator.
   "${BUILD_DIR}/bench/micro_swarm" --max-n 1000 \
     --json-out "${OUT}/BENCH_swarm.json" > /dev/null
-  TOOLS+=(engine swarm)
+  # The fluid backend is cheap enough to measure in full every time; its
+  # deterministic step counts are the behavior tripwire (a changed count
+  # means the stable-dt derivation or scenario mapping moved), and the
+  # N = 10^6 record's throughput backs the crossval suite's < 1 s gate.
+  "${BUILD_DIR}/bench/micro_fluid" \
+    --json-out "${OUT}/BENCH_fluid.json" > /dev/null
+  TOOLS+=(engine swarm fluid)
 fi
 if [[ "${LEGS}" == "scale" || "${LEGS}" == "all" ]]; then
   "${BUILD_DIR}/bench/micro_swarm" --peers 100000 \

@@ -68,6 +68,14 @@ run micro_engine "${BENCH}/micro_engine" \
 mkdir -p "${BUILD_DIR}/bench-smoke"
 run micro_swarm "${BENCH}/micro_swarm" --max-n 100 \
   --json-out "${BUILD_DIR}/bench-smoke/BENCH_swarm.json"
+# The fluid backend: full record set (every cell is sub-second, including
+# the N = 10^6 extrapolation cell), so the BENCH_fluid.json artifact the
+# gate consumes is complete even in the smoke pass.
+run micro_fluid "${BENCH}/micro_fluid" \
+  --json-out "${BUILD_DIR}/bench-smoke/BENCH_fluid.json"
+# Sim-vs-fluid overlay at toy scale: keeps the mixed-backend artifact
+# path alive without paying for the mid-scale default.
+run fig4_fluid_overlay "${BENCH}/fig4_fluid_overlay" "${SMALL[@]}"
 # Tiny scale-leg pass: proves the --peers path (and its BENCH_*.json
 # artifact) cannot rot without waiting for the dedicated scale-smoke job.
 run micro_swarm_scale "${BENCH}/micro_swarm" --peers 500 --horizon 60 \

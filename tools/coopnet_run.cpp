@@ -16,6 +16,9 @@
 #include <memory>
 #include <string>
 
+#include <cmath>
+
+#include "exp/backend.h"
 #include "exp/journal.h"
 #include "exp/replication.h"
 #include "exp/runner.h"
@@ -80,6 +83,14 @@ supervision / crash-safety (DESIGN.md "Crash-safety & resumability"):
   --resume FILE        skip replications already journaled in FILE and
                        merge their results bit-identically (implies
                        --journal FILE; requires --reps >= 2)
+backend:
+  --backend B          event|fluid (default event). fluid integrates the
+                       mean-field population ODE system (DESIGN §12)
+                       instead of simulating discrete events: O(steps)
+                       regardless of --n, so --n 1000000 runs in
+                       milliseconds. Cross-validated against the event
+                       backend at N=500..5000; single run only (--reps,
+                       supervision, --trace, --audit need events)
 output:
   --threads K          intra-run worker threads for the engine's batched
                        prepare phase (default 1; results are
@@ -127,14 +138,17 @@ sim::SwarmConfig config_from(const util::Cli& cli) {
   // UB-sized vector length.
   config.n_peers = cli.get_count("n", 300, sim::kMaxPeerCount);
   config.seeder_count = cli.get_count("seeders", 1, sim::kMaxPeerCount);
-  config.free_rider_fraction = cli.get_double("free-riders", 0.0);
-  config.strategic_fraction = cli.get_double("strategic", 0.0);
+  // Fractions, rates, and probabilities are range-validated: silent
+  // nonsense like --free-riders 1.5 or a negative --arrival-rate fails
+  // here with the legal range, matching the journal path's strictness.
+  config.free_rider_fraction = cli.get_double_in("free-riders", 0.0, 0.0, 1.0);
+  config.strategic_fraction = cli.get_double_in("strategic", 0.0, 0.0, 1.0);
   config.file_bytes = cli.get_int("file-mb", 32) * 1024LL * 1024LL;
   config.piece_bytes = cli.get_int("piece-kb", 256) * 1024LL;
   config.graph.degree = cli.get_count("degree", 30, sim::kMaxPeerCount);
-  config.max_time = cli.get_double("max-time", 4000.0);
-  config.linger_time = cli.get_double("linger", 0.0);
-  config.alpha_r = cli.get_double("alpha-r", 0.1);
+  config.max_time = cli.get_double_in("max-time", 4000.0, 1e-6, 1e9);
+  config.linger_time = cli.get_double_in("linger", 0.0, 0.0, 1e9);
+  config.alpha_r = cli.get_double_in("alpha-r", 0.1, 0.0, 1.0);
   config.tchain_backlog =
       static_cast<int>(cli.get_int("tchain-backlog", config.tchain_backlog));
   config.seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
@@ -161,7 +175,7 @@ sim::SwarmConfig config_from(const util::Cli& cli) {
   } else {
     throw std::invalid_argument("--arrivals: flash|poisson|staggered");
   }
-  config.arrival_rate = cli.get_double("arrival-rate", 10.0);
+  config.arrival_rate = cli.get_double_in("arrival-rate", 10.0, 1e-9, 1e9);
 
   const std::string reputation = cli.get_string("reputation", "ledger");
   if (reputation == "ledger") {
@@ -195,8 +209,9 @@ sim::SwarmConfig config_from(const util::Cli& cli) {
   } else if (churn != "none") {
     throw std::invalid_argument("--churn: none|moderate|heavy");
   }
-  config.faults.transfer_loss_rate = cli.get_double("loss", 0.0);
-  config.faults.transfer_stall_rate = cli.get_double("stall", 0.0);
+  config.faults.transfer_loss_rate = cli.get_double_in("loss", 0.0, 0.0, 1.0);
+  config.faults.transfer_stall_rate =
+      cli.get_double_in("stall", 0.0, 0.0, 1.0);
 
   if (cli.has("audit") || cli.has("audit-every")) {
     if (!sim::kAuditCompiledIn) {
@@ -290,8 +305,67 @@ int run_replicated_supervised_cli(const util::Cli& cli,
   return out.sweep.complete() ? 0 : 3;
 }
 
+// --backend fluid: one deterministic ODE integration, no events. Prints
+// a compact summary and honors --json/--json-out with the FluidReport
+// schema (%.17g doubles; golden-pinned under tests/golden/fluid_*.json).
+int run_fluid(const util::Cli& cli, const sim::SwarmConfig& config) {
+  for (const char* flag : {"reps", "trace", "trace-out", "audit",
+                           "audit-every", "journal", "resume",
+                           "cell-timeout", "event-budget"}) {
+    if (cli.has(flag)) {
+      throw std::invalid_argument(
+          std::string("--") + flag +
+          " needs the event backend (--backend event)");
+    }
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  const core::FluidReport report = exp::run_fluid_scenario(config);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::printf(
+      "fluid %s: N=%.0f (%.0f compliant), arrived %.1f, completed %.1f "
+      "(fraction %.4f)\n",
+      core::to_string(report.algorithm).c_str(), report.population,
+      report.compliant_population, report.arrived, report.completed,
+      report.completed_fraction);
+  // --json keeps the event backend's contract: exactly one human line
+  // before the JSON, so `tail -n +2` strips it, and nothing
+  // wall-clock-dependent lands on stdout.
+  if (!cli.has("json")) {
+    if (std::isfinite(report.mean_completion_time)) {
+      std::printf("mean completion: %.2f s\n", report.mean_completion_time);
+    } else {
+      std::printf("mean completion: never (no completions by t=%.0f)\n",
+                  report.end_time);
+    }
+    std::printf(
+        "steady state at t=%.0f: %.2f leechers, %.2f lingering seeders, "
+        "%.2f offline; peak %.1f leechers\n",
+        report.end_time, report.leechers_final, report.seeders_final,
+        report.offline_final, report.peak_leechers);
+    std::printf(
+        "goodput ratio %.4f; conservation residual %.3g; %llu RK4 steps "
+        "(dt=%.3g) in %.3f s\n",
+        report.goodput_ratio, report.conservation_residual,
+        static_cast<unsigned long long>(report.steps), report.dt, wall);
+  }
+  if (cli.has("json")) {
+    std::printf("%s\n", metrics::to_json(report).c_str());
+  }
+  if (cli.has("json-out")) {
+    util::write_file_atomic(cli.get_string("json-out", ""),
+                            metrics::to_json(report) + "\n");
+  }
+  return 0;
+}
+
 int run(const util::Cli& cli) {
   const auto config = config_from(cli);
+  if (exp::backend_from_string(cli.get_string("backend", "event")) ==
+      exp::Backend::kFluid) {
+    return run_fluid(cli, config);
+  }
   const auto reps = static_cast<std::size_t>(cli.get_int("reps", 1));
   exp::SweepControl control = exp::sweep_control_from_cli(cli);
   if (reps < 2 &&
