@@ -2,7 +2,9 @@
 // option parsing, and report-row rendering.
 #pragma once
 
+#include <atomic>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -224,26 +226,61 @@ inline exp::SweepJournal open_journal_from_cli(
   return sj;
 }
 
+/// The fleet worker's preemption flag: SIGTERM/SIGINT set it, the
+/// per-cell guard polls it, and the worker parts gracefully (final
+/// snapshot + BYE) instead of dying with the lease held.
+inline std::atomic<bool>& fleet_worker_cancel_flag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+inline void fleet_worker_on_signal(int) {
+  fleet_worker_cancel_flag().store(true, std::memory_order_relaxed);
+}
+
 /// Runs this process as a fleet worker over the given deterministic cell
 /// schedule and returns the process exit code. Workers render no tables:
 /// they stream journal record lines to the coordinator, which owns the
-/// merged artifacts.
+/// merged artifacts. `checkpoint_every` > 0 (the worker's
+/// --checkpoint-every) ships mid-cell snapshots to the coordinator and
+/// resumes cells from coordinator-shipped snapshots (DESIGN §13).
 inline int run_fleet_worker(const std::vector<sim::SwarmConfig>& cells,
                             std::uint64_t base_seed,
                             const fleet::FleetControl& fleet,
-                            const exp::Supervision& supervision) {
+                            exp::Supervision supervision,
+                            double checkpoint_every = 0.0) {
+  supervision.cancel = &fleet_worker_cancel_flag();
+  std::signal(SIGTERM, fleet_worker_on_signal);
+  std::signal(SIGINT, fleet_worker_on_signal);
   std::fprintf(stderr,
                "  fleet worker '%s' connecting to %s:%u (%zu cells in "
                "schedule)...\n",
                fleet.worker_name.c_str(), fleet.host.c_str(),
                static_cast<unsigned>(fleet.port), cells.size());
-  fleet::FleetWorker worker(cells, base_seed, fleet, supervision);
+  fleet::FleetWorker worker(cells, base_seed, fleet, supervision,
+                            checkpoint_every);
   const fleet::WorkerStats stats = worker.run();
   std::printf(
       "fleet worker '%s': ran %zu cell(s) over %zu lease(s), "
       "%zu reconnect(s)\n",
       fleet.worker_name.c_str(), stats.cells_run, stats.leases_received,
       stats.reconnects);
+  if (stats.cells_resumed > 0) {
+    // The kill/restore CI gate parses this line: replayed events must be
+    // a small fraction of the events the snapshots carried in.
+    std::printf(
+        "fleet worker '%s': resumed %zu cell(s) from snapshots "
+        "(replayed %llu events on top of %llu restored)\n",
+        fleet.worker_name.c_str(), stats.cells_resumed,
+        static_cast<unsigned long long>(stats.events_replayed),
+        static_cast<unsigned long long>(stats.events_restored));
+  }
+  if (stats.preempted) {
+    std::fprintf(stderr,
+                 "  fleet worker '%s' preempted (SIGTERM); final snapshot "
+                 "shipped, unfinished cells re-lease elsewhere\n",
+                 fleet.worker_name.c_str());
+  }
   return 0;
 }
 
@@ -278,6 +315,12 @@ inline exp::SweepResult serve_fleet_coordinator(
                fs.leases_expired,
                static_cast<unsigned long long>(fs.cells_reassigned),
                fs.cells_abandoned, fs.duplicate_results);
+  if (fs.snapshots_received > 0 || fs.snapshots_shipped > 0) {
+    std::fprintf(stderr,
+                 "  fleet: %zu snapshot(s) received, %zu handed to new "
+                 "lessees\n",
+                 fs.snapshots_received, fs.snapshots_shipped);
+  }
   return sweep;
 }
 
@@ -326,7 +369,8 @@ inline exp::SweepResult run_figure_suite_supervised(
       (fleet != nullptr && fleet->coordinator())
           ? serve_fleet_coordinator(cells, base.seed, *fleet, sj)
           : exp::run_cells_supervised(cells, jobs, control.supervision,
-                                      sj.journal.get(), sj.resume.get());
+                                      sj.journal.get(), sj.resume.get(),
+                                      control.checkpoint);
 
   util::Table table("Per-algorithm summary (supervised)");
   table.set_header({"Algorithm", "status", "finished", "mean compl. (s)",

@@ -21,7 +21,8 @@ int main(int argc, char** argv) {
     const fleet::FleetControl fleet = fleet::fleet_control_from_cli(cli);
     if (fleet.worker()) {
       return bench::run_fleet_worker(bench::figure_suite_cells(config),
-                                     config.seed, fleet, control.supervision);
+                                     config.seed, fleet, control.supervision,
+                                     control.checkpoint.every);
     }
 
     std::printf("Figure 5: %.0f%% free-riders with targeted attacks, N = %zu, "

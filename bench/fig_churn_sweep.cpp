@@ -80,7 +80,8 @@ int run_supervised_sweep(const coopnet::util::Cli& cli,
       fleet.coordinator()
           ? bench::serve_fleet_coordinator(cells, base_seed, fleet, sj)
           : exp::run_cells_supervised(cells, jobs, control.supervision,
-                                      sj.journal.get(), sj.resume.get());
+                                      sj.journal.get(), sj.resume.get(),
+                                      control.checkpoint);
 
   util::Table table(
       "Degradation under faults & churn (per fault level x mechanism)");
@@ -189,7 +190,8 @@ int run_sweep(const coopnet::util::Cli& cli) {
   if (fleet.worker()) {
     // Workers run cells for the coordinator and render nothing locally.
     return bench::run_fleet_worker(cells, base.seed, fleet,
-                                   control.supervision);
+                                   control.supervision,
+                                   control.checkpoint.every);
   }
   std::fprintf(stderr,
                "  running %zu fault levels x %zu algorithms = %zu swarms "

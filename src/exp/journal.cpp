@@ -8,6 +8,8 @@
 #include <stdexcept>
 
 #include "metrics/json.h"
+#include "util/atomic_file.h"
+#include "util/crc32.h"
 #include "util/parse.h"
 
 namespace coopnet::exp {
@@ -22,11 +24,42 @@ std::string g17(double v) {
   return buf;
 }
 
+/// Appends the schema-2 integrity field: `{...}` becomes
+/// `{...,"crc":N}` where N = crc32 of every byte before the `,"crc"`
+/// suffix. The embedded "report" value is escaped, so a literal `"crc":`
+/// can never occur inside it and rfind-based verification is unambiguous.
+std::string add_record_crc(const std::string& line) {
+  const std::string prefix = line.substr(0, line.size() - 1);  // drop '}'
+  return prefix + ",\"crc\":" + std::to_string(util::crc32(prefix)) + "}";
+}
+
+enum class CrcStatus { kOk, kMissing, kMismatch };
+
+/// Verifies the trailing "crc" field of a complete record line. On
+/// kMismatch, `expected` is the stored value and `actual` the recomputed
+/// one; on kMissing both are left untouched.
+CrcStatus check_record_crc(const std::string& line, std::uint32_t* expected,
+                           std::uint32_t* actual) {
+  static const std::string kSuffix = ",\"crc\":";
+  if (line.empty() || line.back() != '}') return CrcStatus::kMissing;
+  const std::size_t pos = line.rfind(kSuffix);
+  if (pos == std::string::npos) return CrcStatus::kMissing;
+  const std::size_t v = pos + kSuffix.size();
+  std::uint64_t stored = 0;
+  if (!util::parse_u64(line.substr(v, line.size() - 1 - v), &stored) ||
+      stored > 0xFFFFFFFFu) {
+    return CrcStatus::kMissing;
+  }
+  *expected = static_cast<std::uint32_t>(stored);
+  *actual = util::crc32(line.data(), pos);
+  return *expected == *actual ? CrcStatus::kOk : CrcStatus::kMismatch;
+}
+
 std::string render_header_line(std::size_t cells, std::uint64_t base_seed) {
   std::ostringstream os;
   os << "{\"kind\":\"header\",\"schema\":" << kJournalSchemaVersion
      << ",\"cells\":" << cells << ",\"base_seed\":" << base_seed << "}";
-  return os.str();
+  return add_record_crc(os.str());
 }
 
 std::string render_cell_line(const CellOutcome& o) {
@@ -53,7 +86,7 @@ std::string render_cell_line(const CellOutcome& o) {
        << ",\"report\":\"" << metrics::json_escape(o.report_json) << "\"";
   }
   os << "}";
-  return os.str();
+  return add_record_crc(os.str());
 }
 
 /// Finds `"key":` in a journal line and extracts the raw value token:
@@ -178,9 +211,46 @@ JournalIndex JournalIndex::load(const std::string& path) {
   buf << in.rdbuf();
   const std::string contents = buf.str();
 
+  // A complete (newline-terminated) record that fails its checksum is
+  // mid-file bit rot, not the crash-torn tail the journal format
+  // tolerates: every fsync'd write landed whole, so the bytes changed
+  // AFTER they were durably written. Merging such a record would put a
+  // silently wrong data point in the sweep; reject the whole journal
+  // with enough detail to find the damage.
+  const auto verify_record_crc = [&path](const std::string& line,
+                                         std::size_t line_no) {
+    std::uint32_t expected = 0;
+    std::uint32_t actual = 0;
+    switch (check_record_crc(line, &expected, &actual)) {
+      case CrcStatus::kOk:
+        return;
+      case CrcStatus::kMissing: {
+        std::ostringstream os;
+        os << "run journal " << path << ": record at line " << line_no
+           << " has no \"crc\" field even though the header declares the "
+              "checksummed schema; the file was modified after it was "
+              "written -- restore it from backup, or delete it and rerun "
+              "the sweep fresh (without --resume)";
+        throw std::runtime_error(os.str());
+      }
+      case CrcStatus::kMismatch: {
+        std::ostringstream os;
+        os << "run journal " << path << ": checksum mismatch at line "
+           << line_no << " (stored crc " << expected << ", computed "
+           << actual
+           << ") -- the record was corrupted on disk after it was "
+              "durably written (mid-file bit rot, not a torn tail); "
+              "restore the journal from backup, or delete it and rerun "
+              "the sweep fresh (without --resume)";
+        throw std::runtime_error(os.str());
+      }
+    }
+  };
+
   JournalIndex index;
   bool header_seen = false;
   std::size_t pos = 0;
+  std::size_t line_no = 0;
   while (pos < contents.size()) {
     const std::size_t nl = contents.find('\n', pos);
     if (nl == std::string::npos) {
@@ -191,6 +261,7 @@ JournalIndex JournalIndex::load(const std::string& path) {
     }
     const std::string line = contents.substr(pos, nl - pos);
     pos = nl + 1;
+    ++line_no;
     if (line.empty()) continue;
 
     std::string kind;
@@ -219,6 +290,9 @@ JournalIndex JournalIndex::load(const std::string& path) {
               "delete the journal and rerun fresh (without --resume)";
         throw std::runtime_error(os.str());
       }
+      // Schema first: a pre-crc journal gets the version-mismatch
+      // message (with its remedy), not a confusing "no crc field".
+      verify_record_crc(line, line_no);
       if (find_field(line, "cells", &raw) && parse_u64(raw, &cells) &&
           find_field(line, "base_seed", &raw) &&
           parse_u64(raw, &index.base_seed_)) {
@@ -229,6 +303,7 @@ JournalIndex JournalIndex::load(const std::string& path) {
         ++index.torn_lines_;
       }
     } else if (kind == "cell") {
+      verify_record_crc(line, line_no);
       JournalEntry entry;
       if (parse_cell_line(line, &entry)) {
         // A record that parses cleanly but names a cell the header never
@@ -274,6 +349,16 @@ RunJournal::RunJournal(const std::string& path, Mode mode) : path_(path) {
   if (file_ == nullptr) {
     throw std::runtime_error("cannot open run journal for writing: " + path);
   }
+  // Make the journal's directory entry itself durable: write_line fsyncs
+  // record data, but without this a crash right after creation could lose
+  // the whole (empty or freshly headered) file despite every fsync.
+  try {
+    util::fsync_parent_dir(path_);
+  } catch (...) {
+    std::fclose(file_);
+    file_ = nullptr;
+    throw;
+  }
 }
 
 RunJournal::~RunJournal() {
@@ -316,6 +401,14 @@ bool parse_cell_record(const std::string& line, JournalEntry* entry) {
   std::string kind;
   if (line.empty() || line.back() != '}' ||
       !find_field(line, "kind", &kind) || kind != "cell") {
+    return false;
+  }
+  // Wire hardening: a record whose checksum does not verify (bit-flipped
+  // in transit or by a buggy peer) is rejected up front, before any field
+  // of it can reach the coordinator's journal.
+  std::uint32_t expected = 0;
+  std::uint32_t actual = 0;
+  if (check_record_crc(line, &expected, &actual) != CrcStatus::kOk) {
     return false;
   }
   return parse_cell_line(line, entry);

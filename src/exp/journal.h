@@ -4,14 +4,14 @@
 //
 // Format -- one JSON object per line:
 //
-//   {"kind":"header","schema":1,"cells":12,"base_seed":7}
+//   {"kind":"header","schema":2,"cells":12,"base_seed":7,"crc":...}
 //   {"kind":"cell","index":3,"seed":...,"algorithm":"BitTorrent",
 //    "status":"ok","error":"","wall_s":...,"events":...,
 //    "compliant_population":40,"completions":38,"bootstraps":40,
 //    "mean_completion":...,"median_completion":...,
 //    "completed_fraction":...,"median_bootstrap":...,
 //    "settled_fairness":...,"fairness_F":...,"susceptibility":...,
-//    "report":"<json_escape of the exact RunReport JSON>"}
+//    "report":"<json_escape of the exact RunReport JSON>","crc":...}
 //
 // Each append is a single buffered write + fflush + fsync, so a crash at
 // any instant leaves at most one torn trailing line, which load_journal
@@ -19,9 +19,16 @@
 // fields round-trip doubles at %.17g, so aggregates recomputed over a
 // resumed sweep are bit-identical to the uninterrupted run; the "report"
 // field preserves the exact rendered JSON bytes for merged artifacts. The
-// "report" key is ordered last and its value is escaped (every inner
-// quote becomes \"), so the scalar-field scan can never match keys inside
-// the embedded report.
+// "report" key is escaped (every inner quote becomes \"), so the
+// scalar-field scans can never match keys inside the embedded report.
+//
+// The final "crc" field (schema 2) is the util::crc32 of every line byte
+// before the `,"crc"` suffix. A torn TRAILING line (the crash case --
+// fwrite cut short, so the newline never landed) is still tolerated and
+// dropped; but a complete, newline-terminated line whose checksum does
+// not match is mid-file bit-rot, and the loader rejects the journal with
+// the file, record line, and expected/actual checksum instead of parsing
+// garbage into the merge.
 #pragma once
 
 #include <cstdint>
@@ -39,7 +46,7 @@ namespace coopnet::exp {
 /// header's "schema" field. Bump when a record field changes meaning or
 /// layout; loaders reject any other version with an actionable error
 /// instead of silently merging incompatible records.
-inline constexpr std::uint64_t kJournalSchemaVersion = 1;
+inline constexpr std::uint64_t kJournalSchemaVersion = 2;
 
 /// One journaled cell record, as parsed back from disk.
 struct JournalEntry {

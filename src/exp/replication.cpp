@@ -96,7 +96,8 @@ ReplicatedReport run_replicated(const sim::SwarmConfig& config,
 SupervisedReplication run_replicated_supervised(
     const sim::SwarmConfig& config, std::size_t replications,
     std::uint64_t seed0, std::size_t jobs, const Supervision& supervision,
-    RunJournal* journal, const JournalIndex* resume) {
+    RunJournal* journal, const JournalIndex* resume,
+    const CheckpointPolicy& checkpoint) {
   if (replications < 1) {
     throw std::invalid_argument(
         "run_replicated_supervised: replications < 1");
@@ -104,7 +105,7 @@ SupervisedReplication run_replicated_supervised(
   SupervisedReplication out;
   out.sweep =
       run_cells_supervised(replication_cells(config, replications, seed0),
-                           jobs, supervision, journal, resume);
+                           jobs, supervision, journal, resume, checkpoint);
   out.aggregate.algorithm = config.algorithm;
   out.aggregate.replications = replications;
   out.aggregate.runs = out.sweep.ok_reports();

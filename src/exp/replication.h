@@ -76,6 +76,7 @@ struct SupervisedReplication {
 SupervisedReplication run_replicated_supervised(
     const sim::SwarmConfig& config, std::size_t replications,
     std::uint64_t seed0, std::size_t jobs, const Supervision& supervision,
-    RunJournal* journal = nullptr, const JournalIndex* resume = nullptr);
+    RunJournal* journal = nullptr, const JournalIndex* resume = nullptr,
+    const CheckpointPolicy& checkpoint = {});
 
 }  // namespace coopnet::exp

@@ -2,18 +2,41 @@
 
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <future>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 
 #include "exp/journal.h"
 #include "metrics/json.h"
 #include "metrics/run_metrics.h"
+#include "sim/checkpoint.h"
 #include "sim/swarm.h"
 #include "strategy/factory.h"
+#include "util/atomic_file.h"
+#include "util/byteio.h"
 #include "util/thread_pool.h"
 
 namespace coopnet::exp {
+
+void CheckpointPolicy::validate() const {
+  if (std::isnan(every) || std::isinf(every) || every < 0.0) {
+    throw std::invalid_argument(
+        "CheckpointPolicy: `every` must be a finite number of simulated "
+        "seconds >= 0 (0 disables mid-cell checkpointing)");
+  }
+  if (resume_from_disk && file_prefix.empty()) {
+    throw std::invalid_argument(
+        "CheckpointPolicy: resume_from_disk needs a file_prefix to find "
+        "the snapshots (or use snapshot_source for in-memory resume)");
+  }
+}
+
+std::string cell_snapshot_path(const std::string& prefix,
+                               std::size_t index) {
+  return prefix + ".ckpt." + std::to_string(index);
+}
 
 bool Supervision::any() const {
   return cell_timeout > 0.0 || event_budget != 0 || cancel != nullptr;
@@ -158,28 +181,157 @@ std::string CellGuard::reason() const {
   return "";
 }
 
+namespace {
+
+/// Slurps a snapshot file; "" when it does not exist or cannot be read
+/// (both mean "start the cell fresh").
+std::string read_snapshot_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return "";
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// The chunked, snapshotting run path of run_supervised_cell. Chunked
+/// advance_until is byte-identical to one run() (the clock only moves on
+/// event execution), so the snapshots are pure observation. Fills the
+/// run-dependent fields of `out`; the caller owns timing and the catch.
+void run_checkpointed_cell(CellOutcome& out, std::size_t index,
+                           const sim::SwarmConfig& config,
+                           const Supervision& supervision,
+                           const CheckpointPolicy& checkpoint) {
+  checkpoint.validate();
+  const std::string path =
+      checkpoint.file_prefix.empty()
+          ? std::string()
+          : cell_snapshot_path(checkpoint.file_prefix, index);
+
+  auto swarm = std::make_unique<sim::Swarm>(
+      config, strategy::make_strategy(config.algorithm));
+  auto collector = std::make_unique<metrics::RunMetrics>();
+  swarm->enable_checkpoints();
+
+  std::string resume_bytes;
+  if (checkpoint.snapshot_source) {
+    resume_bytes = checkpoint.snapshot_source(index);
+  } else if (checkpoint.resume_from_disk && !path.empty()) {
+    resume_bytes = read_snapshot_file(path);
+  }
+
+  bool restored = false;
+  if (!resume_bytes.empty()) {
+    try {
+      const std::vector<sim::SnapshotSection> sections =
+          sim::decode_snapshot(config, resume_bytes);
+      swarm->start_restored();
+      collector->install_restored(*swarm);
+      sim::SwarmCheckpoint::restore(*swarm, sections);
+      for (const sim::SnapshotSection& s : sections) {
+        if (s.id != sim::kSectionMetrics) continue;
+        util::ByteSource src(s.payload, "metrics section");
+        collector->checkpoint_load(src);
+        src.expect_exhausted();
+      }
+      restored = true;
+    } catch (const sim::CheckpointError& e) {
+      std::fprintf(stderr,
+                   "cell %zu: snapshot rejected -- %s\ncell %zu: "
+                   "restarting from scratch\n",
+                   index, e.what(), index);
+      // A restore can fail mid-apply; rebuild both from nothing.
+      swarm = std::make_unique<sim::Swarm>(
+          config, strategy::make_strategy(config.algorithm));
+      collector = std::make_unique<metrics::RunMetrics>();
+      swarm->enable_checkpoints();
+    }
+  }
+
+  CellGuard guard(swarm->engine(), supervision);
+  if (restored) {
+    out.resumed_from_checkpoint = true;
+    out.restored_events = swarm->engine().events_processed();
+  } else {
+    // Same install-then-start order as the plain path: the sampler's
+    // event sequence numbers must match run()'s exactly.
+    collector->install(*swarm);
+    swarm->start();
+  }
+
+  auto take_snapshot = [&] {
+    std::vector<sim::SnapshotSection> sections =
+        sim::SwarmCheckpoint::save(*swarm);
+    util::ByteSink msink;
+    collector->checkpoint_save(msink);
+    sections.push_back({sim::kSectionMetrics, msink.take()});
+    const std::string bytes = sim::encode_snapshot(config, sections);
+    if (!path.empty()) util::write_file_atomic(path, bytes);
+    if (checkpoint.on_snapshot) checkpoint.on_snapshot(index, bytes);
+  };
+
+  // A restored cell's next boundary is the first multiple of `every`
+  // past the snapshot time: the chunk it was snapshotted after may have
+  // stopped short of its deadline (run_until parks the clock on the last
+  // executed event), and re-running that empty remainder is a no-op.
+  double next = restored ? (std::floor(swarm->engine().now() /
+                                       checkpoint.every) +
+                            1.0) *
+                               checkpoint.every
+                         : checkpoint.every;
+  while (!swarm->finished() && next < config.max_time) {
+    swarm->advance_until(next);
+    if (swarm->finished()) break;  // stopped or drained: no snapshot
+    take_snapshot();
+    next += checkpoint.every;
+  }
+  if (!swarm->finished()) swarm->advance_until(config.max_time);
+
+  if (guard.status() == CellOutcome::Status::kSkipped) {
+    // Graceful preemption: the cancel flag stopped the engine between
+    // events, so this final snapshot resumes with nothing to replay.
+    take_snapshot();
+  }
+
+  out.events = swarm->engine().events_processed();
+  out.status = guard.status();
+  if (out.ok()) {
+    out.report = metrics::build_report(*swarm, *collector);
+    out.report_json = metrics::to_json(out.report);
+    out.has_report = true;
+  } else {
+    out.error = guard.reason();
+  }
+}
+
+}  // namespace
+
 CellOutcome run_supervised_cell(std::size_t index,
                                 const sim::SwarmConfig& config,
-                                const Supervision& supervision) {
+                                const Supervision& supervision,
+                                const CheckpointPolicy& checkpoint) {
   CellOutcome out;
   out.index = index;
   out.seed = config.seed;
   out.algorithm = core::to_string(config.algorithm);
   const auto start = std::chrono::steady_clock::now();
   try {
-    sim::Swarm swarm(config, strategy::make_strategy(config.algorithm));
-    metrics::RunMetrics collector;
-    collector.install(swarm);
-    CellGuard guard(swarm.engine(), supervision);
-    swarm.run();
-    out.events = swarm.engine().events_processed();
-    out.status = guard.status();
-    if (out.ok()) {
-      out.report = metrics::build_report(swarm, collector);
-      out.report_json = metrics::to_json(out.report);
-      out.has_report = true;
+    if (checkpoint.active()) {
+      run_checkpointed_cell(out, index, config, supervision, checkpoint);
     } else {
-      out.error = guard.reason();
+      sim::Swarm swarm(config, strategy::make_strategy(config.algorithm));
+      metrics::RunMetrics collector;
+      collector.install(swarm);
+      CellGuard guard(swarm.engine(), supervision);
+      swarm.run();
+      out.events = swarm.engine().events_processed();
+      out.status = guard.status();
+      if (out.ok()) {
+        out.report = metrics::build_report(swarm, collector);
+        out.report_json = metrics::to_json(out.report);
+        out.has_report = true;
+      } else {
+        out.error = guard.reason();
+      }
     }
   } catch (const std::exception& e) {
     out.status = CellOutcome::Status::kFailed;
@@ -198,10 +350,19 @@ SweepResult run_cells_supervised(const std::vector<sim::SwarmConfig>& cells,
                                  std::size_t jobs,
                                  const Supervision& supervision,
                                  RunJournal* journal,
-                                 const JournalIndex* resume) {
+                                 const JournalIndex* resume,
+                                 const CheckpointPolicy& checkpoint) {
   supervision.validate();
+  checkpoint.validate();
   if (jobs == 0) jobs = default_jobs();
   const auto start = std::chrono::steady_clock::now();
+
+  const bool prune_snapshots =
+      checkpoint.active() && !checkpoint.file_prefix.empty();
+  auto prune = [&checkpoint, prune_snapshots](std::size_t i) {
+    if (!prune_snapshots) return;
+    std::remove(cell_snapshot_path(checkpoint.file_prefix, i).c_str());
+  };
 
   SweepResult result;
   result.outcomes.resize(cells.size());
@@ -214,6 +375,9 @@ SweepResult run_cells_supervised(const std::vector<sim::SwarmConfig>& cells,
         resume != nullptr ? resume->find(i) : nullptr;
     if (entry != nullptr) {
       result.outcomes[i] = outcome_from_journal(*entry, cells[i]);
+      // A crash between the journal fsync and the prune can strand the
+      // cell's snapshot; it is dead weight now.
+      prune(i);
     } else {
       todo.push_back(i);
     }
@@ -221,7 +385,8 @@ SweepResult run_cells_supervised(const std::vector<sim::SwarmConfig>& cells,
 
   // Each worker writes only its own pre-sized slot (same slot discipline
   // as run_cells), so no synchronization beyond the journal's own lock.
-  auto run_one = [&result, &cells, &supervision, journal](std::size_t i) {
+  auto run_one = [&result, &cells, &supervision, journal, &checkpoint,
+                  &prune](std::size_t i) {
     if (supervision.cancel != nullptr &&
         supervision.cancel->load(std::memory_order_relaxed)) {
       CellOutcome out;
@@ -233,12 +398,15 @@ SweepResult run_cells_supervised(const std::vector<sim::SwarmConfig>& cells,
       result.outcomes[i] = std::move(out);
       return;
     }
-    CellOutcome out = run_supervised_cell(i, cells[i], supervision);
+    CellOutcome out = run_supervised_cell(i, cells[i], supervision,
+                                          checkpoint);
     // Only terminal outcomes are journaled: a skipped (interrupted) cell
-    // must re-run on resume.
+    // must re-run on resume -- and keeps its snapshot, so the re-run
+    // replays one chunk tail instead of the whole cell.
     if (journal != nullptr && out.status != CellOutcome::Status::kSkipped) {
       journal->record(out);
     }
+    if (out.status != CellOutcome::Status::kSkipped) prune(i);
     result.outcomes[i] = std::move(out);
   };
 
@@ -269,7 +437,8 @@ SweepResult run_cells_supervised(const std::vector<sim::SwarmConfig>& cells,
 }
 
 bool SweepControl::active() const {
-  return supervision.any() || !journal_path.empty() || !resume_path.empty();
+  return supervision.any() || !journal_path.empty() ||
+         !resume_path.empty() || checkpoint.active();
 }
 
 SweepControl sweep_control_from_cli(const util::Cli& cli) {
@@ -315,7 +484,34 @@ SweepControl sweep_control_from_cli(const util::Cli& cli) {
           "them match");
     }
   }
+  if (cli.has("checkpoint-every")) {
+    const double every = cli.get_double("checkpoint-every", 0.0);
+    if (std::isnan(every) || std::isinf(every) || every <= 0.0) {
+      throw std::invalid_argument(
+          "--checkpoint-every must be a finite number of SIMULATED "
+          "seconds > 0 (got " +
+          cli.get_string("checkpoint-every", "") +
+          "); omit the flag to disable mid-cell checkpointing");
+    }
+    // Single-run tools pair the cadence with their own --checkpoint FILE
+    // instead of a journal (they fill file_prefix themselves), and fleet
+    // workers ship snapshots to the coordinator over the wire instead of
+    // to disk (no journal on the worker side).
+    if (control.journal_path.empty() && !cli.has("checkpoint") &&
+        !cli.has("fleet-connect")) {
+      throw std::invalid_argument(
+          "--checkpoint-every keeps each cell's snapshot next to the run "
+          "journal; add --journal FILE (or --resume FILE), or use "
+          "--checkpoint FILE for a single run");
+    }
+    control.checkpoint.every = every;
+    if (!control.journal_path.empty()) {
+      control.checkpoint.file_prefix = control.journal_path;
+      control.checkpoint.resume_from_disk = !control.resume_path.empty();
+    }
+  }
   control.supervision.validate();
+  control.checkpoint.validate();
   return control;
 }
 

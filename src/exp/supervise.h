@@ -23,6 +23,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -58,6 +59,43 @@ struct Supervision {
   void validate() const;
 };
 
+/// Mid-cell checkpoint cadence for preemption-tolerant sweeps (DESIGN
+/// §13). When active, a cell runs in advance_until chunks of `every`
+/// simulated seconds with a full SwarmCheckpoint snapshot taken at each
+/// boundary -- the chunked run is byte-identical to an uninterrupted one,
+/// and a killed cell resumes from its last snapshot re-executing only the
+/// tail of one chunk instead of the whole cell.
+struct CheckpointPolicy {
+  /// Snapshot cadence in SIMULATED seconds; 0 disables mid-cell
+  /// checkpointing (cells run the plain, zero-overhead path).
+  double every = 0.0;
+  /// Snapshot files live at "<file_prefix>.ckpt.<cell-index>" (one per
+  /// cell, atomically replaced each cadence, removed on any terminal
+  /// outcome). Empty = no files; snapshots then only reach `on_snapshot`.
+  std::string file_prefix;
+  /// Restore each cell from its on-disk snapshot when one exists and
+  /// decodes cleanly (a rejected snapshot is reported and the cell
+  /// restarts from scratch). Requires a non-empty file_prefix.
+  bool resume_from_disk = false;
+  /// Overrides the resume source: returns the encoded snapshot to resume
+  /// cell `index` from ("" = start fresh). Fleet workers use this to
+  /// resume from coordinator-shipped bytes instead of local files.
+  std::function<std::string(std::size_t index)> snapshot_source;
+  /// Called with each freshly encoded snapshot (fleet workers forward it
+  /// with the next heartbeat). Runs on the cell's worker thread.
+  std::function<void(std::size_t index, const std::string& bytes)>
+      on_snapshot;
+
+  bool active() const { return every > 0.0; }
+  /// Throws std::invalid_argument on a non-finite/negative cadence or
+  /// resume_from_disk without a file_prefix.
+  void validate() const;
+};
+
+/// "<prefix>.ckpt.<index>" -- where run_supervised_cell keeps cell
+/// `index`'s snapshot.
+std::string cell_snapshot_path(const std::string& prefix, std::size_t index);
+
 /// What happened to one (scenario, seed) cell.
 struct CellOutcome {
   enum class Status {
@@ -76,6 +114,12 @@ struct CellOutcome {
   std::string error;
   double wall_seconds = 0.0;
   std::uint64_t events = 0;   // engine events processed before returning
+  /// True when the cell resumed from a mid-cell snapshot instead of
+  /// starting fresh; `restored_events` is the engine's processed-event
+  /// count at the restore point, so this process re-executed only
+  /// events - restored_events of the cell's total.
+  bool resumed_from_checkpoint = false;
+  std::uint64_t restored_events = 0;
   /// True when this outcome was restored from a run journal rather than
   /// executed. `report` then carries only the scalar metrics (enough for
   /// aggregate tables); the series arrays are placeholder NaNs.
@@ -144,10 +188,14 @@ class CellGuard {
 };
 
 /// Runs one cell under supervision. Cell errors never escape: every
-/// failure mode is folded into the returned CellOutcome.
+/// failure mode is folded into the returned CellOutcome. With an active
+/// `checkpoint` policy the cell runs chunked with cadenced snapshots
+/// (byte-identical results; see CheckpointPolicy) and resumes from its
+/// snapshot when the policy provides one.
 CellOutcome run_supervised_cell(std::size_t index,
                                 const sim::SwarmConfig& config,
-                                const Supervision& supervision);
+                                const Supervision& supervision,
+                                const CheckpointPolicy& checkpoint = {});
 
 /// Supervised counterpart of run_cells. Every cell yields an outcome, no
 /// exception escapes a cell, and the remaining cells always complete
@@ -161,7 +209,8 @@ SweepResult run_cells_supervised(const std::vector<sim::SwarmConfig>& cells,
                                  std::size_t jobs,
                                  const Supervision& supervision,
                                  RunJournal* journal = nullptr,
-                                 const JournalIndex* resume = nullptr);
+                                 const JournalIndex* resume = nullptr,
+                                 const CheckpointPolicy& checkpoint = {});
 
 /// The supervised-sweep flags shared by coopnet_run and the figure/churn
 /// benches: --cell-timeout, --event-budget, --journal, --resume.
@@ -172,14 +221,18 @@ struct SweepControl {
   std::string journal_path;
   /// Journal to resume from ("" = fresh sweep).
   std::string resume_path;
+  /// Mid-cell snapshots (--checkpoint-every): files next to the journal,
+  /// restored on --resume.
+  CheckpointPolicy checkpoint;
 
   /// True when any supervised-sweep flag was given.
   bool active() const;
 };
 
 /// Parses and validates the supervised-sweep flags, rejecting
-/// negative/NaN --cell-timeout and zero --event-budget with actionable
-/// messages. Throws std::invalid_argument.
+/// negative/NaN --cell-timeout, zero --event-budget, and a
+/// --checkpoint-every without a journal with actionable messages. Throws
+/// std::invalid_argument.
 SweepControl sweep_control_from_cli(const util::Cli& cli);
 
 /// The opened journal/resume pair for one sweep.

@@ -39,6 +39,7 @@ struct FleetCoordinator::Client {
   bool joined = false;  // HELLO accepted
   bool closed = false;  // pending removal from the poll set
   bool parted = false;  // sent BYE (graceful; not a worker loss)
+  bool waiting = false;  // last REQUEST was answered with WAIT
 };
 
 FleetCoordinator::FleetCoordinator(
@@ -112,6 +113,20 @@ exp::SweepResult FleetCoordinator::serve() {
     const std::size_t expired = table_.expire(now());
     stats_.leases_expired += expired;
     quarantine_abandoned();
+
+    // Re-queued cells (a preempted worker's BYE, a lease expiry) must
+    // not strand until a parked worker's WAIT runs out: the moment a
+    // grant is possible again, re-answer everyone whose last REQUEST got
+    // a WAIT. This is what keeps a preempted cell's hand-off latency at
+    // one poll tick instead of a WAIT interval.
+    const double t = now();
+    if (table_.next_grant_time(t) <= t) {
+      for (auto& client : clients_) {
+        if (client->joined && !client->closed && client->waiting) {
+          answer_request(*client);
+        }
+      }
+    }
 
     // Sweep out closed clients (after the poll pass so indices stay
     // aligned with fds).
@@ -245,6 +260,18 @@ bool FleetCoordinator::handle_frame(Client& client, const Frame& frame) {
     case Frame::Type::kResult:
       table_.renew(client.id, now());
       return ingest_result(client, frame.payload);
+    case Frame::Type::kCkpt: {
+      // A snapshot is as good as a PING for liveness, and newest-wins:
+      // the worker only ever ships monotonically later sim-times for the
+      // same cell. One for an already-finished cell is a benign race
+      // with its own RESULT -- drop it.
+      table_.renew(client.id, now());
+      if (frame.first < cells_.size() && !table_.is_done(frame.first)) {
+        snapshots_[frame.first] = frame.payload;
+        ++stats_.snapshots_received;
+      }
+      return true;
+    }
     case Frame::Type::kPing:
       table_.renew(client.id, now());
       return true;
@@ -265,6 +292,7 @@ bool FleetCoordinator::handle_frame(Client& client, const Frame& frame) {
 void FleetCoordinator::answer_request(Client& client) {
   // A failed (or timed-out) send means the worker is gone or wedged;
   // closing it lets its leases expire and move elsewhere.
+  client.waiting = false;
   if (table_.all_done()) {
     if (!send_frame(client.sock, render_done())) client.closed = true;
     return;
@@ -272,6 +300,19 @@ void FleetCoordinator::answer_request(Client& client) {
   const double t = now();
   if (std::optional<Lease> lease = table_.acquire(client.id, t)) {
     ++stats_.leases_granted;
+    // Snapshots travel BEFORE the lease: by the time the worker sees
+    // LEASE and starts cell i, any resume bytes for it are already in
+    // its inbox (the frames share one ordered TCP stream).
+    for (std::size_t i = lease->first; i < lease->first + lease->count;
+         ++i) {
+      const auto snap = snapshots_.find(i);
+      if (snap == snapshots_.end()) continue;
+      if (!send_frame(client.sock, render_ckpt(i, snap->second))) {
+        client.closed = true;
+        return;
+      }
+      ++stats_.snapshots_shipped;
+    }
     if (!send_frame(client.sock, render_lease(lease->first, lease->count))) {
       client.closed = true;
     }
@@ -284,7 +325,11 @@ void FleetCoordinator::answer_request(Client& client) {
   double wait = control_.lease.lease_duration / 2.0;
   if (next > t && next - t < wait) wait = next - t;
   wait = std::clamp(wait, 0.05, 5.0);
-  if (!send_frame(client.sock, render_wait(wait))) client.closed = true;
+  if (!send_frame(client.sock, render_wait(wait))) {
+    client.closed = true;
+    return;
+  }
+  client.waiting = true;  // re-answered early if a cell frees up
 }
 
 bool FleetCoordinator::ingest_result(Client& client,
@@ -313,6 +358,7 @@ bool FleetCoordinator::ingest_result(Client& client,
   // journal before the coordinator considers the cell done anywhere
   // else. A crash right after this line loses nothing on restart.
   journal_->append_record_line(record_line);
+  snapshots_.erase(entry.index);  // terminal: the resume bytes are dead
   entries_[entry.index] = std::move(entry);
   productive_workers_.insert(client.id);
   return true;
@@ -339,6 +385,7 @@ void FleetCoordinator::quarantine_abandoned() {
           "fleet coordinator: rendered an unparseable quarantine record");
     }
     entries_[index] = std::move(entry);
+    snapshots_.erase(index);
     ++stats_.cells_abandoned;
     std::fprintf(stderr,
                  "[fleet] cell %zu quarantined after %d lost leases\n",

@@ -18,6 +18,12 @@
 //     immediately; a partitioned/hung worker misses heartbeats and its
 //     leases expire at the deadline. Either way the unfinished cells
 //     return to the pending pool under capped-exponential backoff.
+//     Workers running with --checkpoint-every ship mid-cell snapshots
+//     (CKPT frames, protocol v2) alongside their heartbeats; the
+//     coordinator keeps the newest per cell and replays it to the next
+//     lessee, so a lost worker costs one checkpoint cadence of re-run,
+//     not the whole cell -- and the merged artifacts stay byte-identical
+//     (DESIGN §13).
 //  4. A cell that keeps killing workers exhausts max_attempts and is
 //     quarantined as failed -- one poisoned cell costs one data point.
 //  5. Coordinator restart: relaunch with --resume; the journal seeds
@@ -54,6 +60,8 @@ struct CoordinatorStats {
   std::uint64_t cells_reassigned = 0;
   std::size_t cells_abandoned = 0;  // quarantined after max_attempts
   std::size_t duplicate_results = 0;
+  std::size_t snapshots_received = 0;  // CKPT frames accepted from workers
+  std::size_t snapshots_shipped = 0;   // CKPT frames sent before a LEASE
 };
 
 class FleetCoordinator {
@@ -99,6 +107,12 @@ class FleetCoordinator {
   exp::RunJournal* journal_;
   LeaseTable table_;
   std::map<std::size_t, exp::JournalEntry> entries_;
+  /// Newest mid-cell snapshot per unfinished cell (raw bytes, validated
+  /// by the snapshot's own checksums at restore time). Shipped to the
+  /// next lessee right before its LEASE frame; erased when the cell's
+  /// terminal result lands. Memory stays bounded by (cells in flight) x
+  /// (snapshot size) -- finished cells hold nothing.
+  std::map<std::size_t, std::string> snapshots_;
   util::TcpListener listener_;
   std::vector<std::unique_ptr<Client>> clients_;
   std::uint64_t next_client_id_ = 1;

@@ -99,6 +99,10 @@ class LeaseTable {
   std::vector<std::size_t> take_abandoned();
 
   bool all_done() const { return done_ == states_.size(); }
+  /// True when `cell` is terminal (result received or quarantined).
+  bool is_done(std::size_t cell) const {
+    return states_[cell].state == State::kDone;
+  }
   std::size_t cell_count() const { return states_.size(); }
   std::size_t done_count() const { return done_; }
   std::size_t pending_count() const;

@@ -66,6 +66,8 @@ const char* to_string(Frame::Type type) {
       return "DONE";
     case Frame::Type::kResult:
       return "RESULT";
+    case Frame::Type::kCkpt:
+      return "CKPT";
     case Frame::Type::kPing:
       return "PING";
     case Frame::Type::kBye:
@@ -106,9 +108,49 @@ std::string render_result(const std::string& journal_cell_line) {
   return "RESULT " + journal_cell_line;
 }
 
+std::string render_ckpt(std::size_t index, const std::string& snapshot) {
+  std::string line = "CKPT " + std::to_string(index) + " ";
+  line += hex_encode(snapshot);
+  return line;
+}
+
 std::string render_ping() { return "PING"; }
 
 std::string render_bye() { return "BYE"; }
+
+std::string hex_encode(const std::string& bytes) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (unsigned char c : bytes) {
+    out.push_back(kDigits[c >> 4]);
+    out.push_back(kDigits[c & 0x0F]);
+  }
+  return out;
+}
+
+namespace {
+
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;  // upper-case rejected too: the wire form is canonical
+}
+
+}  // namespace
+
+bool hex_decode(const std::string& hex, std::string* out) {
+  if (hex.size() % 2 != 0) return false;
+  out->clear();
+  out->reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_nibble(hex[i]);
+    const int lo = hex_nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return false;
+    out->push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return true;
+}
 
 bool parse_frame(const std::string& line, Frame* frame, std::string* error) {
   std::string keyword;
@@ -182,6 +224,27 @@ bool parse_frame(const std::string& line, Frame* frame, std::string* error) {
     frame->type = Frame::Type::kResult;
     if (rest.empty()) return fail("missing journal record payload");
     frame->payload = rest;
+    return true;
+  }
+  if (keyword == "CKPT") {
+    frame->type = Frame::Type::kCkpt;
+    // Manual split instead of istringstream: the hex payload can be
+    // megabytes and must not be copied through a stream.
+    const std::size_t sp = rest.find(' ');
+    if (sp == std::string::npos) {
+      return fail("expected <index> <hex snapshot>");
+    }
+    std::uint64_t index = 0;
+    if (!util::parse_u64(rest.substr(0, sp), &index)) {
+      return fail("bad cell index");
+    }
+    frame->first = static_cast<std::size_t>(index);
+    const std::string hex = rest.substr(sp + 1);
+    if (hex.empty() || !hex_decode(hex, &frame->payload)) {
+      // Corruption in transit is the snapshot checksums' job; this only
+      // rejects framing-level damage (truncated or non-hex payload).
+      return fail("snapshot payload is not even-length lower-case hex");
+    }
     return true;
   }
   if (keyword == "PING") {

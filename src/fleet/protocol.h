@@ -10,18 +10,31 @@
 //     HELLO <proto> <name> <cells> <base_seed>   join + sweep fingerprint
 //     REQUEST                                    ask for a lease
 //     RESULT <journal cell line>                 one terminal cell outcome
+//     CKPT <index> <hex snapshot>                mid-cell snapshot (v2)
 //     PING                                       heartbeat (renews leases)
 //     BYE                                        graceful departure
 //
 //   coordinator -> worker
 //     WELCOME <heartbeat_s> <lease_s>            join accepted + cadence
+//     CKPT <index> <hex snapshot>                resume bytes, before LEASE
 //     LEASE <first> <count>                      lease on [first, first+count)
 //     WAIT <seconds>                             nothing grantable yet
 //     DONE                                       sweep complete, go home
 //     ERROR <message>                            fatal (fingerprint/protocol)
 //
+// CKPT (protocol v2) carries a sim/checkpoint.h snapshot, lower-case-hex
+// encoded so the binary payload stays a single ASCII line. Workers ship
+// the latest snapshot of their in-flight cell alongside heartbeats; the
+// coordinator keeps the newest one per unfinished cell and replays it to
+// the next lessee right before the LEASE frame, so a preempted or killed
+// worker's cell resumes mid-run elsewhere instead of restarting. The
+// snapshot's own checksums (magic, config fingerprint, per-section CRCs)
+// validate the payload end-to-end; a corrupt one is rejected at restore
+// and the cell restarts from scratch -- never wrong, only slower.
+//
 // Frames never contain newlines (journal record lines are single lines
-// by construction), so framing is exactly "split on '\n'".
+// by construction, hex is newline-free), so framing is exactly "split on
+// '\n'".
 #pragma once
 
 #include <cstddef>
@@ -33,7 +46,8 @@
 namespace coopnet::fleet {
 
 /// Protocol revision sent in HELLO; the coordinator rejects mismatches.
-inline constexpr int kProtocolVersion = 1;
+/// v2 added the CKPT frame (mid-cell snapshot relay).
+inline constexpr int kProtocolVersion = 2;
 
 /// One parsed frame. Fields beyond `type` are meaningful only for the
 /// frame types that carry them (see the map above).
@@ -47,6 +61,7 @@ struct Frame {
     kWait,
     kDone,
     kResult,
+    kCkpt,
     kPing,
     kBye,
   };
@@ -59,9 +74,10 @@ struct Frame {
   double heartbeat_s = 0.0;  // WELCOME
   double lease_s = 0.0;      // WELCOME
   double wait_s = 0.0;       // WAIT
-  std::size_t first = 0;     // LEASE
+  std::size_t first = 0;     // LEASE; CKPT cell index
   std::size_t count = 0;     // LEASE
-  std::string payload;       // RESULT: the journal cell record line
+  std::string payload;       // RESULT: journal record line; CKPT: raw
+                             // snapshot bytes (hex-decoded by the parser)
 };
 
 /// "HELLO" / "LEASE" / ... for diagnostics.
@@ -78,8 +94,16 @@ std::string render_lease(std::size_t first, std::size_t count);
 std::string render_wait(double seconds);
 std::string render_done();
 std::string render_result(const std::string& journal_cell_line);
+/// `snapshot` is the RAW snapshot byte string; the renderer hex-encodes
+/// it (and parse_frame decodes it back), so callers never touch hex.
+std::string render_ckpt(std::size_t index, const std::string& snapshot);
 std::string render_ping();
 std::string render_bye();
+
+/// Lower-case hex codec for the CKPT payload. decode rejects odd-length
+/// or non-hex input (returns false, leaves *out* unspecified).
+std::string hex_encode(const std::string& bytes);
+bool hex_decode(const std::string& hex, std::string* out);
 
 /// Parses one frame line (no trailing newline). Returns false -- with a
 /// diagnostic in *error -- on unknown keywords or malformed fields;

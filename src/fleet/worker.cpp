@@ -17,13 +17,18 @@ constexpr std::size_t kRecvChunk = 16 * 1024;
 
 /// Background PING sender for one connection. The coordinator treats any
 /// frame as a heartbeat, but only this thread guarantees cadence while
-/// the main thread is deep inside a cell run. Send failures are ignored
-/// here -- the main thread observes the broken socket on its next
-/// send/recv and owns the reconnect.
+/// the main thread is deep inside a cell run. When the outbox holds a
+/// fresh mid-cell snapshot, it ships as a CKPT frame right before the
+/// PING -- snapshots ride the heartbeat cadence, so a slow cell's
+/// progress reaches the coordinator while the cell is still running.
+/// Send failures are ignored here -- the main thread observes the broken
+/// socket on its next send/recv and owns the reconnect.
 class HeartbeatPulse {
  public:
-  HeartbeatPulse(util::Socket& sock, std::mutex& write_mu, double interval)
-      : sock_(sock), write_mu_(write_mu), interval_(interval) {
+  HeartbeatPulse(util::Socket& sock, std::mutex& write_mu, double interval,
+                 SnapshotOutbox* outbox)
+      : sock_(sock), write_mu_(write_mu), interval_(interval),
+        outbox_(outbox) {
     thread_ = std::thread([this] { loop(); });
   }
   ~HeartbeatPulse() {
@@ -42,7 +47,22 @@ class HeartbeatPulse {
     std::unique_lock<std::mutex> lock(mu_);
     const auto period = std::chrono::duration<double>(interval_);
     while (!cv_.wait_for(lock, period, [this] { return stop_; })) {
+      // Drain the outbox outside the write lock: the hex encode of a
+      // multi-MB snapshot must not stall a concurrent RESULT send.
+      std::size_t index = 0;
+      std::string snapshot;
+      if (outbox_ != nullptr) {
+        std::lock_guard<std::mutex> olock(outbox_->mu);
+        if (outbox_->dirty) {
+          index = outbox_->index;
+          snapshot = outbox_->bytes;
+          outbox_->dirty = false;
+        }
+      }
+      const std::string ckpt_line =
+          snapshot.empty() ? std::string() : render_ckpt(index, snapshot);
       std::lock_guard<std::mutex> wlock(write_mu_);
+      if (!ckpt_line.empty()) send_frame(sock_, ckpt_line);
       send_frame(sock_, render_ping());
     }
   }
@@ -50,6 +70,7 @@ class HeartbeatPulse {
   util::Socket& sock_;
   std::mutex& write_mu_;
   double interval_;
+  SnapshotOutbox* outbox_;
   std::thread thread_;
   std::mutex mu_;
   std::condition_variable cv_;
@@ -61,13 +82,20 @@ class HeartbeatPulse {
 FleetWorker::FleetWorker(const std::vector<sim::SwarmConfig>& cells,
                          std::uint64_t base_seed,
                          const FleetControl& control,
-                         const exp::Supervision& supervision)
+                         const exp::Supervision& supervision,
+                         double checkpoint_every)
     : cells_(cells),
       base_seed_(base_seed),
       control_(control),
-      supervision_(supervision) {
+      supervision_(supervision),
+      checkpoint_every_(checkpoint_every) {
   control_.validate();
   supervision_.validate();
+  if (!std::isfinite(checkpoint_every_) || checkpoint_every_ < 0.0) {
+    throw std::invalid_argument(
+        "fleet worker: checkpoint_every must be a finite number of "
+        "simulated seconds >= 0 (0 disables checkpointing)");
+  }
   if (cells_.empty()) {
     throw std::invalid_argument("fleet worker: the sweep has no cells");
   }
@@ -79,9 +107,16 @@ WorkerStats FleetWorker::run() {
     try {
       // Hold a heartbeat pulse for the lifetime of this connection so
       // leases survive arbitrarily slow cells.
-      HeartbeatPulse pulse(sock_, write_mu_, heartbeat_interval_);
+      HeartbeatPulse pulse(sock_, write_mu_, heartbeat_interval_, &outbox_);
       if (serve_connection()) return stats_;
     } catch (const ConnectionLost&) {
+      if (cancelled()) {
+        // Preempted while the coordinator is unreachable: the farewell
+        // snapshot cannot be delivered; exit gracefully anyway (the
+        // lease expiry re-runs the cell from its last shipped snapshot).
+        stats_.preempted = true;
+        return stats_;
+      }
       ++stats_.reconnects;
       buf_ = LineBuffer();  // drop any half-received line
       connect_and_join();
@@ -147,15 +182,30 @@ void FleetWorker::connect_and_join() {
 
 bool FleetWorker::serve_connection() {
   for (;;) {
+    if (cancelled()) {
+      // Preempted between cells: nothing in flight, just part cleanly.
+      flush_outbox();
+      std::lock_guard<std::mutex> lock(write_mu_);
+      send_frame(sock_, render_bye());
+      stats_.preempted = true;
+      return true;
+    }
     send_locked(render_request());
     // The reply to REQUEST may be preceded by frames already in flight
-    // (e.g. the end-of-sweep DONE broadcast); handle whatever arrives
-    // in order until we get a frame that resolves the request.
+    // (e.g. resume snapshots for the upcoming lease, or the end-of-sweep
+    // DONE broadcast); handle whatever arrives in order until we get a
+    // frame that resolves the request.
     for (;;) {
       const Frame frame = read_frame(/*timeout_ms=*/30'000);
+      if (frame.type == Frame::Type::kCkpt) {
+        // Resume bytes for a cell the next LEASE will cover. Stored
+        // verbatim; the snapshot's own checksums validate at restore.
+        inbox_[frame.first] = frame.payload;
+        continue;  // the LEASE follows on the same stream
+      }
       if (frame.type == Frame::Type::kLease) {
         ++stats_.leases_received;
-        run_lease(frame.first, frame.count);
+        if (!run_lease(frame.first, frame.count)) return true;  // preempted
         break;  // next REQUEST
       }
       if (frame.type == Frame::Type::kWait) {
@@ -185,17 +235,74 @@ bool FleetWorker::serve_connection() {
   }
 }
 
-void FleetWorker::run_lease(std::size_t first, std::size_t count) {
+bool FleetWorker::run_lease(std::size_t first, std::size_t count) {
+  exp::CheckpointPolicy policy;
+  if (checkpoint_every_ > 0.0) {
+    policy.every = checkpoint_every_;
+    // No disk on the worker side: resume bytes come from the
+    // coordinator's inbox, outgoing snapshots ride the heartbeats.
+    policy.snapshot_source = [this](std::size_t index) {
+      const auto it = inbox_.find(index);
+      return it != inbox_.end() ? it->second : std::string();
+    };
+    policy.on_snapshot = [this](std::size_t index,
+                                const std::string& bytes) {
+      std::lock_guard<std::mutex> lock(outbox_.mu);
+      outbox_.index = index;
+      outbox_.bytes = bytes;
+      outbox_.dirty = true;
+    };
+  }
   for (std::size_t i = first; i < first + count && i < cells_.size(); ++i) {
     const exp::CellOutcome outcome =
-        exp::run_supervised_cell(i, cells_[i], supervision_);
+        exp::run_supervised_cell(i, cells_[i], supervision_, policy);
+    if (outcome.status == exp::CellOutcome::Status::kSkipped) {
+      // Graceful preemption (SIGTERM set the cancel flag): the cell's
+      // final snapshot is in the outbox; ship it with the farewell so
+      // the next lessee continues with nothing to replay. Best-effort
+      // sends: a dead coordinator just falls back to the last snapshot
+      // it already holds.
+      flush_outbox();
+      std::lock_guard<std::mutex> lock(write_mu_);
+      send_frame(sock_, render_bye());
+      stats_.preempted = true;
+      return false;
+    }
     ++stats_.cells_run;
+    if (outcome.resumed_from_checkpoint) {
+      ++stats_.cells_resumed;
+      stats_.events_restored += outcome.restored_events;
+      stats_.events_replayed += outcome.events - outcome.restored_events;
+    }
+    inbox_.erase(i);  // terminal: the resume bytes are spent
     // The RESULT payload is the exact journal record line; the
     // coordinator fsyncs these bytes verbatim, which is what keeps the
     // fleet journal -- and therefore the merged artifacts --
     // byte-identical to a single-machine sweep.
     send_locked(render_result(exp::render_cell_record(outcome)));
   }
+  return true;
+}
+
+bool FleetWorker::cancelled() const {
+  return supervision_.cancel != nullptr &&
+         supervision_.cancel->load(std::memory_order_relaxed);
+}
+
+void FleetWorker::flush_outbox() {
+  std::size_t index = 0;
+  std::string snapshot;
+  {
+    std::lock_guard<std::mutex> lock(outbox_.mu);
+    if (!outbox_.dirty) return;
+    index = outbox_.index;
+    snapshot = std::move(outbox_.bytes);
+    outbox_.bytes.clear();
+    outbox_.dirty = false;
+  }
+  const std::string line = render_ckpt(index, snapshot);
+  std::lock_guard<std::mutex> lock(write_mu_);
+  send_frame(sock_, line);
 }
 
 Frame FleetWorker::read_frame(int timeout_ms) {

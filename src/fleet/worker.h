@@ -14,9 +14,16 @@
 //  - A fatal ERROR from the coordinator (protocol or sweep-fingerprint
 //    mismatch) throws: retrying cannot fix a worker built from the
 //    wrong command line.
+//  - With checkpoint_every > 0 each cell runs chunked (DESIGN §13): the
+//    latest snapshot rides out with the next heartbeat as a CKPT frame,
+//    CKPT frames received before a LEASE seed the cell's resume, and a
+//    cancel-flag preemption (SIGTERM) ships a final snapshot plus BYE
+//    and returns gracefully -- the next lessee continues mid-cell with
+//    nothing to replay, byte-identically.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <vector>
 
@@ -33,16 +40,42 @@ struct WorkerStats {
   std::size_t leases_received = 0;
   std::size_t reconnects = 0;
   std::size_t waits = 0;  // WAIT frames honoured
+  /// Cells continued from a coordinator-shipped snapshot.
+  std::size_t cells_resumed = 0;
+  /// Events re-executed by resumed cells in THIS process (total events
+  /// minus the snapshot's restored baseline) -- the kill/restore CI gate
+  /// asserts this is a small fraction of the full cell.
+  std::uint64_t events_replayed = 0;
+  /// Events the resumed cells inherited from their snapshots.
+  std::uint64_t events_restored = 0;
+  /// True when run() returned because the cancel flag preempted the
+  /// in-flight cell (final snapshot + BYE already sent).
+  bool preempted = false;
+};
+
+/// Latest mid-cell snapshot awaiting shipment; the cell thread stores,
+/// the heartbeat thread drains (newest wins -- skipped intermediates are
+/// fine, any snapshot resumes byte-identically).
+struct SnapshotOutbox {
+  std::mutex mu;
+  std::size_t index = 0;
+  std::string bytes;
+  bool dirty = false;
 };
 
 class FleetWorker {
  public:
   /// `cells` must be the same deterministic schedule the coordinator
   /// built (same sweep flags); `supervision` applies per cell, exactly
-  /// as in a local run_cells_supervised sweep.
+  /// as in a local run_cells_supervised sweep. `checkpoint_every` > 0
+  /// (simulated seconds; same value as --checkpoint-every) snapshots
+  /// each in-flight cell on that cadence and ships the snapshots to the
+  /// coordinator; 0 disables checkpointing (byte-identical results
+  /// either way).
   FleetWorker(const std::vector<sim::SwarmConfig>& cells,
               std::uint64_t base_seed, const FleetControl& control,
-              const exp::Supervision& supervision);
+              const exp::Supervision& supervision,
+              double checkpoint_every = 0.0);
 
   /// Serves until the coordinator says DONE. Throws std::runtime_error
   /// when the coordinator is unreachable past the reconnect budget or
@@ -55,22 +88,34 @@ class FleetWorker {
   struct ConnectionLost {};
 
   void connect_and_join();
-  /// Returns true when the coordinator sent DONE (sweep over); throws
-  /// ConnectionLost on socket failure.
+  /// Returns true when the coordinator sent DONE (sweep over) or the
+  /// cancel flag preempted the worker (stats_.preempted distinguishes);
+  /// throws ConnectionLost on socket failure.
   bool serve_connection();
   Frame read_frame(int timeout_ms);
   void send_locked(const std::string& line);
-  void run_lease(std::size_t first, std::size_t count);
+  /// Runs the leased range. Returns false when the cancel flag
+  /// preempted a cell mid-lease (final snapshot + BYE already sent).
+  bool run_lease(std::size_t first, std::size_t count);
+  bool cancelled() const;
+  /// Best-effort: sends the outbox's pending snapshot now (preemption
+  /// path -- the heartbeat cadence is too slow for a farewell).
+  void flush_outbox();
 
   std::vector<sim::SwarmConfig> cells_;
   std::uint64_t base_seed_;
   FleetControl control_;
   exp::Supervision supervision_;
+  double checkpoint_every_ = 0.0;
   util::Socket sock_;
   LineBuffer buf_;
   std::mutex write_mu_;
   double heartbeat_interval_ = 2.0;  // overwritten by WELCOME
   WorkerStats stats_;
+  /// Resume bytes shipped by the coordinator (CKPT before LEASE), keyed
+  /// by cell index; consumed by the cell that uses them.
+  std::map<std::size_t, std::string> inbox_;
+  SnapshotOutbox outbox_;
 };
 
 }  // namespace coopnet::fleet

@@ -2,6 +2,10 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
+
+#include "sim/event_kinds.h"
+#include "util/byteio.h"
 
 namespace coopnet::metrics {
 
@@ -12,7 +16,7 @@ RunMetrics::RunMetrics(double sample_interval)
   }
 }
 
-void RunMetrics::install(sim::Swarm& swarm) {
+void RunMetrics::register_with(sim::Swarm& swarm) {
   if (installed_) throw std::logic_error("RunMetrics: already installed");
   installed_ = true;
   swarm.set_observer(this);
@@ -21,17 +25,81 @@ void RunMetrics::install(sim::Swarm& swarm) {
     if (p.is_free_rider()) ++freerider_population_;
     if (p.is_strategic()) ++strategic_population_;
   }
-  swarm.engine().schedule(sample_interval_, [this, &swarm] { sample(swarm); });
+  swarm.set_external_timer_rebuilder(
+      [this, &swarm](std::uint32_t sub) -> sim::SmallEventFn {
+        if (sub != 0) {
+          throw std::logic_error(
+              "RunMetrics: snapshot carried external-timer sub-id " +
+              std::to_string(sub) + "; only 0 (the sampler) exists");
+        }
+        return [this, &swarm] { sample(swarm); };
+      });
 }
+
+void RunMetrics::install(sim::Swarm& swarm) {
+  register_with(swarm);
+  swarm.engine().schedule_tagged(
+      sample_interval_, sim::SimEngine::kNoHint,
+      sim::make_timer_tag(sim::kEvExternalTimer, 0),
+      [this, &swarm] { sample(swarm); });
+}
+
+void RunMetrics::install_restored(sim::Swarm& swarm) { register_with(swarm); }
 
 void RunMetrics::sample(sim::Swarm& swarm) {
   const double f = current_fairness(swarm);
   if (f >= 0.0) fairness_.add(swarm.engine().now(), f);
   susceptibility_.add(swarm.engine().now(), current_susceptibility(swarm));
   if (swarm.engine().now() + sample_interval_ <= swarm.config().max_time) {
-    swarm.engine().schedule(sample_interval_,
-                            [this, &swarm] { sample(swarm); });
+    swarm.engine().schedule_tagged(
+        sample_interval_, sim::SimEngine::kNoHint,
+        sim::make_timer_tag(sim::kEvExternalTimer, 0),
+        [this, &swarm] { sample(swarm); });
   }
+}
+
+namespace {
+
+void save_series(util::ByteSink& sink, const util::TimeSeries& series) {
+  sink.put_u64(series.size());
+  for (const util::TimePoint& pt : series.points()) {
+    sink.put_double(pt.time);
+    sink.put_double(pt.value);
+  }
+}
+
+void load_series(util::ByteSource& src, util::TimeSeries& series,
+                 const char* name) {
+  util::TimeSeries fresh{name};
+  const std::size_t n = src.get_count(16);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double time = src.get_double();
+    const double value = src.get_double();
+    fresh.add(time, value);  // add() revalidates the time ordering
+  }
+  series = std::move(fresh);
+}
+
+}  // namespace
+
+void RunMetrics::checkpoint_save(util::ByteSink& sink) const {
+  sink.put_u64(completion_.size());
+  for (const double t : completion_) sink.put_double(t);
+  sink.put_u64(bootstrap_.size());
+  for (const double t : bootstrap_) sink.put_double(t);
+  save_series(sink, fairness_);
+  save_series(sink, susceptibility_);
+}
+
+void RunMetrics::checkpoint_load(util::ByteSource& src) {
+  const std::size_t n_completion = src.get_count(8);
+  completion_.resize(n_completion);
+  for (double& t : completion_) t = src.get_double();
+  const std::size_t n_bootstrap = src.get_count(8);
+  bootstrap_.resize(n_bootstrap);
+  for (double& t : bootstrap_) t = src.get_double();
+  load_series(src, fairness_, "fairness");
+  load_series(src, susceptibility_, "susceptibility");
 }
 
 void RunMetrics::on_bootstrap(const sim::Swarm& swarm,

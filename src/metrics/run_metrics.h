@@ -7,10 +7,16 @@
 // uploaded bytes that ended up usable by free-riders.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "sim/swarm.h"
 #include "util/timeseries.h"
+
+namespace coopnet::util {
+class ByteSink;
+class ByteSource;
+}  // namespace coopnet::util
 
 namespace coopnet::metrics {
 
@@ -21,8 +27,22 @@ class RunMetrics : public sim::SwarmObserver {
   explicit RunMetrics(double sample_interval = 10.0);
 
   /// Registers as the swarm's observer and schedules the periodic
-  /// samplers. Call exactly once, before Swarm::run().
+  /// samplers. Call exactly once, before Swarm::run() (or start()).
   void install(sim::Swarm& swarm);
+
+  /// The post-restore counterpart of install(): registers the observer,
+  /// counts the populations, and installs the external-timer rebuilder --
+  /// but schedules nothing (the restored queue carries the sampler's next
+  /// firing). Call between Swarm::start_restored() and
+  /// SwarmCheckpoint::restore.
+  void install_restored(sim::Swarm& swarm);
+
+  // --- checkpoint (see sim/checkpoint.h) ---------------------------------
+  /// Serializes the accumulated results (completion/bootstrap vectors and
+  /// both sample series) bit-exactly; populations and cadence are
+  /// re-derived by install_restored/the constructor.
+  void checkpoint_save(util::ByteSink& sink) const;
+  void checkpoint_load(util::ByteSource& src);
 
   // SwarmObserver:
   void on_bootstrap(const sim::Swarm& swarm, sim::ConstPeer peer) override;
@@ -47,6 +67,9 @@ class RunMetrics : public sim::SwarmObserver {
   std::size_t strategic_population() const { return strategic_population_; }
 
  private:
+  /// Shared install()/install_restored() body: observer registration,
+  /// population counts, external-timer rebuilder. Schedules nothing.
+  void register_with(sim::Swarm& swarm);
   void sample(sim::Swarm& swarm);
 
   double sample_interval_;

@@ -1,5 +1,8 @@
 #include "metrics/trace_sink.h"
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <stdexcept>
 
@@ -17,28 +20,57 @@ TraceSink::TraceSink(const std::string& path, bool transfers_enabled)
   }
 }
 
+TraceSink::TraceSink(const std::string& path, bool transfers_enabled,
+                     std::uint64_t resume_at)
+    : out_(&owned_), transfers_enabled_(transfers_enabled) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) {
+    throw std::runtime_error(
+        "TraceSink: cannot resume trace " + path +
+        " -- the file does not exist; the snapshot expects the trace the "
+        "original run streamed");
+  }
+  if (static_cast<std::uint64_t>(st.st_size) < resume_at) {
+    throw std::runtime_error(
+        "TraceSink: trace " + path + " is " + std::to_string(st.st_size) +
+        " bytes but the snapshot recorded " + std::to_string(resume_at) +
+        " -- wrong trace file for this snapshot");
+  }
+  if (::truncate(path.c_str(), static_cast<off_t>(resume_at)) != 0) {
+    throw std::runtime_error("TraceSink: cannot truncate " + path +
+                             " to its snapshot offset");
+  }
+  owned_.open(path, std::ios::out | std::ios::app);
+  if (!owned_) {
+    throw std::runtime_error("TraceSink: cannot reopen " + path);
+  }
+  bytes_written_ = resume_at;
+}
+
 void TraceSink::write(const TraceEvent& e) {
   const char* kind = e.kind == TraceEvent::Kind::kTransfer ? "transfer"
                      : e.kind == TraceEvent::Kind::kBootstrap ? "bootstrap"
                                                               : "finish";
   char buf[192];
+  int len = 0;
   if (e.kind == TraceEvent::Kind::kTransfer) {
-    std::snprintf(buf, sizeof(buf),
+    len = std::snprintf(buf, sizeof(buf),
                   "{\"kind\":\"%s\",\"time\":%.17g,\"peer\":%u,\"from\":%u,"
                   "\"piece\":%u,\"bytes\":%lld,\"locked\":%s}",
                   kind, e.time, e.peer, e.from, e.piece,
                   static_cast<long long>(e.bytes),
                   e.locked ? "true" : "false");
   } else {
-    std::snprintf(buf, sizeof(buf),
-                  "{\"kind\":\"%s\",\"time\":%.17g,\"peer\":%u}", kind,
-                  e.time, e.peer);
+    len = std::snprintf(buf, sizeof(buf),
+                        "{\"kind\":\"%s\",\"time\":%.17g,\"peer\":%u}", kind,
+                        e.time, e.peer);
   }
   *out_ << buf << '\n';
   // Per-event flush: the trace is the post-mortem record when an audit
   // violation (or a crash) aborts the run, so it must not sit in a buffer.
   out_->flush();
   ++events_written_;
+  bytes_written_ += static_cast<std::uint64_t>(len) + 1;  // + newline
 }
 
 void TraceSink::on_transfer(const sim::Swarm& swarm, const sim::Transfer& t) {

@@ -9,6 +9,7 @@
 // (e.g. RunMetrics) exactly like TraceLog.
 #pragma once
 
+#include <cstdint>
 #include <fstream>
 #include <ostream>
 #include <string>
@@ -32,6 +33,14 @@ class TraceSink : public sim::SwarmObserver {
   /// the file cannot be opened.
   explicit TraceSink(const std::string& path, bool transfers_enabled = true);
 
+  /// Restore path of a checkpointed run: truncates `path` to `resume_at`
+  /// bytes (discarding lines written after the snapshot was taken) and
+  /// appends from there, so the finished file is byte-identical to an
+  /// uninterrupted run's trace. `resume_at` must not exceed the file's
+  /// size; throws std::runtime_error otherwise.
+  TraceSink(const std::string& path, bool transfers_enabled,
+            std::uint64_t resume_at);
+
   /// Chains another observer behind this one (e.g. RunMetrics).
   void chain(sim::SwarmObserver* next) { next_ = next; }
 
@@ -45,12 +54,19 @@ class TraceSink : public sim::SwarmObserver {
 
   std::size_t events_written() const { return events_written_; }
 
+  /// Bytes emitted so far, INCLUDING the `resume_at` prefix adopted by
+  /// the restore constructor. Checkpoints record this so a restore knows
+  /// where to truncate (events_written_ only counts this process's
+  /// events and is not checkpointed).
+  std::uint64_t bytes_written() const { return bytes_written_; }
+
  private:
   std::ofstream owned_;  // backing file for the path constructor
   std::ostream* out_;
   bool transfers_enabled_;
   sim::SwarmObserver* next_ = nullptr;
   std::size_t events_written_ = 0;
+  std::uint64_t bytes_written_ = 0;
 };
 
 }  // namespace coopnet::metrics

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "sim/swarm.h"
+#include "util/byteio.h"
 
 namespace coopnet::sim {
 
@@ -390,6 +391,114 @@ std::string InvariantAuditor::trail_string() const {
   }
   if (!out.empty()) out.pop_back();
   return out;
+}
+
+
+namespace {
+
+void save_audit_event(util::ByteSink& sink, const AuditEvent& e) {
+  sink.put_u8(static_cast<std::uint8_t>(e.kind));
+  sink.put_double(e.time);
+  sink.put_u32(e.from);
+  sink.put_u32(e.to);
+  sink.put_u32(e.piece);
+  sink.put_i64(e.bytes);
+  sink.put_u32(static_cast<std::uint32_t>(e.attempt));
+  sink.put_u32(e.from_epoch);
+  sink.put_u32(e.to_epoch);
+  sink.put_bool(e.flag);
+}
+
+AuditEvent load_audit_event(util::ByteSource& src) {
+  AuditEvent e;
+  const std::uint8_t kind = src.get_u8();
+  if (kind > static_cast<std::uint8_t>(AuditEvent::Kind::kRetry)) {
+    throw util::SerializeError("auditor restore: event kind " +
+                               std::to_string(kind) + " out of range");
+  }
+  e.kind = static_cast<AuditEvent::Kind>(kind);
+  e.time = src.get_double();
+  e.from = src.get_u32();
+  e.to = src.get_u32();
+  e.piece = src.get_u32();
+  e.bytes = src.get_i64();
+  e.attempt = static_cast<int>(src.get_u32());
+  e.from_epoch = src.get_u32();
+  e.to_epoch = src.get_u32();
+  e.flag = src.get_bool();
+  return e;
+}
+
+}  // namespace
+
+void InvariantAuditor::checkpoint_save(util::ByteSink& sink) const {
+  sink.put_u64(inflight_.size());
+  for (const InFlight& f : inflight_) {
+    sink.put_u32(f.from);
+    sink.put_u32(f.to);
+    sink.put_u32(f.piece);
+    sink.put_u32(static_cast<std::uint32_t>(f.attempt));
+    sink.put_u32(f.from_epoch);
+    sink.put_u32(f.to_epoch);
+    sink.put_i64(f.bytes);
+  }
+  sink.put_u64(holds_.size());
+  for (const Hold& h : holds_) {
+    sink.put_u32(h.to);
+    sink.put_u32(h.piece);
+    sink.put_u32(h.to_epoch);
+  }
+  sink.put_i64(inflight_bytes_);
+  sink.put_i64(goodput_bytes_);
+  sink.put_i64(lost_bytes_);
+  sink.put_u64(trail_.size());
+  for (const AuditEvent& e : trail_) save_audit_event(sink, e);
+  sink.put_u64(events_recorded_);
+  sink.put_u64(events_since_check_);
+  sink.put_u64(checks_run_);
+}
+
+void InvariantAuditor::checkpoint_load(util::ByteSource& src) {
+  const std::size_t n_inflight = src.get_count(32);
+  inflight_.clear();
+  inflight_.reserve(n_inflight);
+  for (std::size_t i = 0; i < n_inflight; ++i) {
+    InFlight f;
+    f.from = src.get_u32();
+    f.to = src.get_u32();
+    f.piece = src.get_u32();
+    f.attempt = static_cast<int>(src.get_u32());
+    f.from_epoch = src.get_u32();
+    f.to_epoch = src.get_u32();
+    f.bytes = src.get_i64();
+    inflight_.push_back(f);
+  }
+  const std::size_t n_holds = src.get_count(12);
+  holds_.clear();
+  holds_.reserve(n_holds);
+  for (std::size_t i = 0; i < n_holds; ++i) {
+    Hold h;
+    h.to = src.get_u32();
+    h.piece = src.get_u32();
+    h.to_epoch = src.get_u32();
+    holds_.push_back(h);
+  }
+  inflight_bytes_ = src.get_i64();
+  goodput_bytes_ = src.get_i64();
+  lost_bytes_ = src.get_i64();
+  const std::size_t n_trail = src.get_count(38);
+  if (n_trail > trail_capacity_) {
+    throw util::SerializeError(
+        "auditor restore: trail length " + std::to_string(n_trail) +
+        " exceeds capacity " + std::to_string(trail_capacity_));
+  }
+  trail_.clear();
+  for (std::size_t i = 0; i < n_trail; ++i) {
+    trail_.push_back(load_audit_event(src));
+  }
+  events_recorded_ = src.get_u64();
+  events_since_check_ = src.get_u64();
+  checks_run_ = src.get_u64();
 }
 
 }  // namespace coopnet::sim

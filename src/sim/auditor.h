@@ -45,6 +45,11 @@
 
 #include "sim/types.h"
 
+namespace coopnet::util {
+class ByteSink;
+class ByteSource;
+}  // namespace coopnet::util
+
 namespace coopnet::sim {
 
 class Swarm;
@@ -150,6 +155,14 @@ class InvariantAuditor {
 
   /// The recent-event trail, newest last, one event per line.
   std::string trail_string() const;
+
+  // --- checkpoint (see sim/checkpoint.h) ---------------------------------
+  /// Serializes the shadow ledger (in-flight transfers, backoff holds,
+  /// byte counters), the event trail, and the cadence counters, so a
+  /// restored audited run checks -- and reports -- exactly what an
+  /// uninterrupted run would.
+  void checkpoint_save(util::ByteSink& sink) const;
+  void checkpoint_load(util::ByteSource& src);
 
  private:
   /// Shadow entry for a started-and-not-yet-terminated transfer attempt.

@@ -2,9 +2,17 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace coopnet::sim {
+
+namespace {
+/// Tag written for untagged schedules while tags are enabled: kind 0
+/// poisons a later snapshot_queue() with an actionable error instead of
+/// silently checkpointing an event that cannot be rebuilt.
+const EventTag kUntagged{};
+}  // namespace
 
 void SimEngine::schedule(Seconds delay, EventFn fn) {
   schedule_hinted(delay, kNoHint, std::move(fn));
@@ -26,10 +34,29 @@ void SimEngine::schedule_at_hinted(Seconds at, std::uint32_t hint,
     throw std::invalid_argument("SimEngine: scheduling into the past");
   }
   if (!fn) throw std::invalid_argument("SimEngine: empty event");
-  push_entry(at, hint, std::move(fn));
+  push_entry(at, hint, std::move(fn), kUntagged);
 }
 
-void SimEngine::push_entry(Seconds at, std::uint32_t hint, EventFn fn) {
+void SimEngine::schedule_tagged(Seconds delay, std::uint32_t hint,
+                                const EventTag& tag, EventFn fn) {
+  if (delay < 0.0) throw std::invalid_argument("SimEngine: negative delay");
+  schedule_at_tagged(now_ + delay, hint, tag, std::move(fn));
+}
+
+void SimEngine::schedule_at_tagged(Seconds at, std::uint32_t hint,
+                                   const EventTag& tag, EventFn fn) {
+  if (at < now_) {
+    throw std::invalid_argument("SimEngine: scheduling into the past");
+  }
+  if (!fn) throw std::invalid_argument("SimEngine: empty event");
+  if (tags_enabled_ && tag.kind == 0) {
+    throw std::invalid_argument("SimEngine: tagged schedule with kind 0");
+  }
+  push_entry(at, hint, std::move(fn), tag);
+}
+
+void SimEngine::push_entry(Seconds at, std::uint32_t hint, EventFn fn,
+                           const EventTag& tag) {
   std::uint32_t slot;
   if (!free_slots_.empty()) {
     slot = free_slots_.back();
@@ -38,6 +65,13 @@ void SimEngine::push_entry(Seconds at, std::uint32_t hint, EventFn fn) {
   } else {
     slot = static_cast<std::uint32_t>(pool_.size());
     pool_.push_back(std::move(fn));
+  }
+  if (tags_enabled_) {
+    // Every push overwrites the slot's tag (untagged pushes with the
+    // poison kind-0 tag), so a reused slot can never leak a stale tag
+    // into a snapshot.
+    if (slot >= tags_.size()) tags_.resize(pool_.size());
+    tags_[slot] = tag;
   }
   const Meta m{next_seq_++, slot, hint};
   // Grow both halves, then sift the new entry up from the first free leaf.
@@ -77,6 +111,10 @@ SimEngine::Staged SimEngine::pop_top_staged() {
   meta_.pop_back();
   if (times_.size() > kRoot) sift_down_from_root(last_time, last_meta);
   s.fn = std::move(pool_[slot]);
+  // The tag travels with the staged entry: the freed slot may be reused
+  // (and its tag overwritten) by a same-batch commit before this entry
+  // is restored.
+  if (tags_enabled_) s.tag = tags_[slot];
   free_slots_.push_back(slot);
   return s;
 }
@@ -90,6 +128,10 @@ void SimEngine::push_restored(Staged&& s) {
   } else {
     slot = static_cast<std::uint32_t>(pool_.size());
     pool_.push_back(std::move(s.fn));
+  }
+  if (tags_enabled_) {
+    if (slot >= tags_.size()) tags_.resize(pool_.size());
+    tags_[slot] = s.tag;
   }
   // The ORIGINAL seq, not next_seq_: a restored entry must sort exactly
   // where it did before staging, or the post-stop queue would replay in
@@ -175,6 +217,75 @@ void SimEngine::after_event() {
     guard_tick_ = 0;
     guard_fn_();
   }
+}
+
+void SimEngine::enable_tags() {
+  if (tags_enabled_) return;
+  if (times_.size() > kRoot || !staged_.empty()) {
+    throw std::logic_error(
+        "SimEngine::enable_tags: events are already queued; tags for "
+        "them cannot be reconstructed, so checkpointing must be enabled "
+        "before any scheduling");
+  }
+  tags_.assign(pool_.size(), EventTag{});
+  tags_enabled_ = true;
+}
+
+std::vector<SimEngine::QueueEntry> SimEngine::snapshot_queue() const {
+  if (!tags_enabled_) {
+    throw std::logic_error(
+        "SimEngine::snapshot_queue: tags were never enabled");
+  }
+  if (!staged_.empty()) {
+    throw std::logic_error(
+        "SimEngine::snapshot_queue: a staged batch is in flight; "
+        "snapshots are only valid between run calls");
+  }
+  std::vector<QueueEntry> entries;
+  entries.reserve(times_.size() - kRoot);
+  for (std::size_t i = kRoot; i < times_.size(); ++i) {
+    QueueEntry e;
+    e.time = times_[i];
+    e.seq = meta_[i].seq;
+    e.hint = meta_[i].hint;
+    e.tag = tags_[meta_[i].slot];
+    if (e.tag.kind == 0) {
+      throw std::logic_error(
+          "SimEngine::snapshot_queue: queued event seq " +
+          std::to_string(e.seq) + " at t=" + std::to_string(e.time) +
+          " was scheduled without a tag and cannot be rebuilt on "
+          "restore");
+    }
+    entries.push_back(e);
+  }
+  // Heap layout depends on insertion history, which chunked runs and
+  // batching may vary; (time, seq) order is the canonical, history-free
+  // form every equivalent run serializes identically.
+  std::sort(entries.begin(), entries.end(),
+            [](const QueueEntry& a, const QueueEntry& b) {
+              return a.time < b.time ||
+                     (a.time == b.time && a.seq < b.seq);
+            });
+  return entries;
+}
+
+void SimEngine::restore_entry(const QueueEntry& entry, EventFn fn) {
+  if (!tags_enabled_) {
+    throw std::logic_error(
+        "SimEngine::restore_entry: tags must be enabled before restore");
+  }
+  if (!fn) throw std::invalid_argument("SimEngine: empty restored event");
+  if (entry.tag.kind == 0) {
+    throw std::invalid_argument(
+        "SimEngine::restore_entry: kind-0 tag");
+  }
+  Staged s;
+  s.time = entry.time;
+  s.seq = entry.seq;
+  s.hint = entry.hint;
+  s.fn = std::move(fn);
+  s.tag = entry.tag;
+  push_restored(std::move(s));
 }
 
 void SimEngine::set_parallel(PrepareHook hook, std::size_t batch_cap,

@@ -26,11 +26,35 @@
 
 namespace coopnet::sim {
 
+/// Opaque-to-the-engine description of WHAT a queued event does, carried
+/// alongside the (unserializable) callback so a checkpoint can persist
+/// the queue and a restore can re-register an equivalent closure. The
+/// meaning of every field is owned by the scheduler (see the EventKind
+/// enum in sim/event_kinds.h); kind == 0 marks "untagged", which
+/// snapshot_queue() rejects. POD on purpose: serialization is a
+/// field-by-field copy, no pointers, no lifetime.
+struct EventTag {
+  std::uint32_t kind = 0;
+  std::uint32_t a = 0, b = 0, c = 0, d = 0, e = 0, f = 0, g = 0;
+  double x = 0.0, y = 0.0;
+  std::int64_t n = 0;
+};
+
 /// Discrete-event engine: schedule callbacks, then run until the queue
 /// drains, a deadline passes, or stop() is called from inside an event.
 class SimEngine {
  public:
   using EventFn = SmallEventFn;
+
+  /// One queued event as seen by a checkpoint: its heap key (time, seq),
+  /// prepare hint, and descriptive tag. The callback itself is NOT here
+  /// -- restore rebuilds it from the tag via the scheduler's dispatcher.
+  struct QueueEntry {
+    Seconds time;
+    std::uint64_t seq;
+    std::uint32_t hint;
+    EventTag tag;
+  };
 
   /// Current simulation time (seconds). Starts at 0.
   Seconds now() const { return now_; }
@@ -138,6 +162,55 @@ class SimEngine {
   void set_parallel(PrepareHook hook, std::size_t batch_cap = 4096,
                     std::size_t min_prepare = 16);
 
+  // --- checkpoint support (see sim/checkpoint.h) -------------------------
+  // Callbacks cannot be serialized, so checkpointable runs tag every
+  // scheduled event with an EventTag describing it; a restore walks the
+  // serialized tags and re-registers equivalent closures under their
+  // ORIGINAL (time, seq, hint) keys, leaving pop order -- and therefore
+  // every downstream byte -- unchanged. All of it is opt-in: with tags
+  // disabled (the default) no tag is stored or copied and the engine is
+  // byte-for-byte the pre-checkpoint engine.
+
+  /// Turns tag bookkeeping on. Must be called while the queue is empty
+  /// (tags for already-queued events cannot be reconstructed); throws
+  /// std::logic_error otherwise. Tagging cannot be turned off.
+  void enable_tags();
+  bool tags_enabled() const { return tags_enabled_; }
+
+  /// schedule_hinted/schedule_at_hinted carrying a descriptive tag.
+  /// Requires tag.kind != 0 when tags are enabled; with tags disabled the
+  /// tag is dropped (same event stream either way).
+  void schedule_tagged(Seconds delay, std::uint32_t hint,
+                       const EventTag& tag, EventFn fn);
+  void schedule_at_tagged(Seconds at, std::uint32_t hint,
+                          const EventTag& tag, EventFn fn);
+
+  /// The queue's checkpoint view: every pending event's (time, seq,
+  /// hint, tag), sorted by the heap's own (time, seq) order so the
+  /// serialized form is canonical across heap layouts and thread counts.
+  /// Requires tags enabled, no staged batch in flight (true between run
+  /// calls), and every queued event tagged; throws std::logic_error when
+  /// an untagged event would make the snapshot unrestorable.
+  std::vector<QueueEntry> snapshot_queue() const;
+
+  /// Re-inserts one snapshot entry with `fn` as its callback, preserving
+  /// the exact original (time, seq, hint). Restore-only: the caller owns
+  /// seq consistency and must set_next_seq() past every restored seq.
+  void restore_entry(const QueueEntry& entry, EventFn fn);
+
+  /// The scheduling tie-break counter (seq of the NEXT scheduled event).
+  /// Checkpoints persist it so a restored run numbers -- and therefore
+  /// tie-breaks -- future events exactly like the uninterrupted run.
+  std::uint64_t next_seq() const { return next_seq_; }
+
+  /// Restore-only clock/counter surgery. set_now may move time backward
+  /// (an empty post-restore engine starts at 0); the others overwrite the
+  /// scheduling tie-break counter and the processed-event count so a
+  /// restored run continues the original numbering exactly.
+  void set_now(Seconds t) { now_ = t; }
+  void set_next_seq(std::uint64_t seq) { next_seq_ = seq; }
+  void set_processed(std::uint64_t n) { processed_ = n; }
+
  private:
   /// The heap root lives at index 3 (indices 0-2 are dead padding): with
   /// children of i at [4i-8, 4i-5], every sibling group starts at an index
@@ -156,19 +229,23 @@ class SimEngine {
 
   /// One staged-but-uncommitted event: everything needed to commit it in
   /// order, or to push it back (with its ORIGINAL seq, so ordering is
-  /// preserved) if a stop lands mid-batch.
+  /// preserved) if a stop lands mid-batch. The tag rides along (copied
+  /// only when tags are enabled) so a restore after a mid-batch stop
+  /// leaves the queue checkpointable.
   struct Staged {
     Seconds time;
     std::uint64_t seq;
     std::uint32_t hint;
     EventFn fn;
+    EventTag tag;
   };
 
   /// Supervision bookkeeping (event limit + guard cadence), kept out of
   /// the hot loop body behind the single `supervised_` branch.
   void after_event();
 
-  void push_entry(Seconds at, std::uint32_t hint, EventFn fn);
+  void push_entry(Seconds at, std::uint32_t hint, EventFn fn,
+                  const EventTag& tag);
   /// Pops the root entry, frees its pool slot, and returns the callback.
   /// The slot is released *before* the caller invokes the callback, so
   /// events scheduled from inside events reuse hot slots immediately.
@@ -193,6 +270,11 @@ class SimEngine {
   std::vector<Meta> meta_ = std::vector<Meta>(kRoot, Meta{0, 0, kNoHint});
   std::vector<EventFn> pool_;
   std::vector<std::uint32_t> free_slots_;
+  /// Checkpoint tags, indexed by pool slot (empty until enable_tags();
+  /// then kept in lockstep with pool_, so every queued slot has the tag
+  /// of its current occupant).
+  std::vector<EventTag> tags_;
+  bool tags_enabled_ = false;
   Seconds now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;

@@ -1,6 +1,42 @@
 #include "sim/peer_store.h"
 
+#include "util/byteio.h"
+
 namespace coopnet::sim {
+
+namespace {
+
+using util::ByteSink;
+using util::ByteSource;
+using util::SerializeError;
+
+void save_piece_set(ByteSink& sink, const PieceSet& set) {
+  for (std::size_t w = 0; w < set.word_count(); ++w) {
+    sink.put_u64(set.word(w));
+  }
+}
+
+/// Rebuilds through the public API (clear + add), which keeps count()
+/// consistent and re-validates every bit against the set's size.
+void load_piece_set(ByteSource& src, PieceSet& set) {
+  set.clear();
+  const std::size_t words = set.word_count();
+  for (std::size_t w = 0; w < words; ++w) {
+    std::uint64_t bits = src.get_u64();
+    while (bits) {
+      const int bit = __builtin_ctzll(bits);
+      bits &= bits - 1;
+      const auto p =
+          static_cast<PieceId>(w * 64 + static_cast<std::size_t>(bit));
+      if (p >= set.size() || !set.add(p)) {
+        throw SerializeError("peer piece set: bit " + std::to_string(p) +
+                             " out of range or duplicated");
+      }
+    }
+  }
+}
+
+}  // namespace
 
 void PeerStore::init(std::size_t count, PieceId pieces) {
   piece_space_ = pieces;
@@ -149,6 +185,162 @@ PeerId PeerStore::acquire_slot() {
   prev_round_received_[id].clear();
   deficit_[id].clear();
   return id;
+}
+
+void PeerStore::checkpoint_save(util::ByteSink& sink) const {
+  const std::size_t n = size();
+  sink.put_u64(n);
+  sink.put_u32(piece_space_);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    sink.put_u8(static_cast<std::uint8_t>(kind_[i]));
+    sink.put_u8(static_cast<std::uint8_t>(state_[i]));
+    sink.put_double(capacity_[i]);
+    sink.put_i64(upload_slots_[i]);
+    sink.put_i64(busy_slots_[i]);
+    sink.put_i64(incoming_count_[i]);
+    sink.put_i64(collusion_group_[i]);
+    sink.put_u32(epoch_[i]);
+
+    save_piece_set(sink, pieces_[i]);
+    save_piece_set(sink, locked_[i]);
+    save_piece_set(sink, pending_[i]);
+    save_piece_set(sink, unavailable_[i]);
+    save_piece_set(sink, transferable_[i]);
+
+    sink.put_u32(pieces_ver_[i]);
+    sink.put_u32(transferable_ver_[i]);
+    sink.put_u32(unavail_ver_[i]);
+
+    sink.put_double(arrival_time_[i]);
+    sink.put_double(bootstrap_time_[i]);
+    sink.put_double(finish_time_[i]);
+
+    sink.put_i64(uploaded_bytes_[i]);
+    sink.put_i64(downloaded_usable_bytes_[i]);
+    sink.put_i64(downloaded_raw_bytes_[i]);
+    sink.put_i64(usable_from_leechers_bytes_[i]);
+
+    util::save_unordered_map(sink, received_from_[i]);
+    util::save_unordered_map(sink, round_received_[i]);
+    util::save_unordered_map(sink, prev_round_received_[i]);
+    util::save_unordered_map(sink, deficit_[i]);
+  }
+
+  sink.put_i64(total_uploaded_);
+  sink.put_i64(leecher_uploaded_);
+  sink.put_i64(freerider_usable_);
+  sink.put_i64(total_downloaded_raw_);
+
+  sink.put_u64(active_ids_.size());
+  for (const PeerId id : active_ids_) sink.put_u32(id);
+  sink.put_u64(free_ids_.size());
+  for (const PeerId id : free_ids_) sink.put_u32(id);
+}
+
+void PeerStore::checkpoint_load(util::ByteSource& src) {
+  const std::size_t n = src.get_count();
+  if (n != size()) {
+    throw SerializeError("PeerStore restore: serialized peer count " +
+                         std::to_string(n) + " != configured " +
+                         std::to_string(size()));
+  }
+  const std::uint32_t pieces = src.get_u32();
+  if (pieces != piece_space_) {
+    throw SerializeError("PeerStore restore: serialized piece space " +
+                         std::to_string(pieces) + " != configured " +
+                         std::to_string(piece_space_));
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t kind = src.get_u8();
+    if (kind > static_cast<std::uint8_t>(PeerKind::kSeeder)) {
+      throw SerializeError("PeerStore restore: peer kind out of range");
+    }
+    kind_[i] = static_cast<PeerKind>(kind);
+    const std::uint8_t state = src.get_u8();
+    if (state > static_cast<std::uint8_t>(PeerState::kLeft)) {
+      throw SerializeError("PeerStore restore: peer state out of range");
+    }
+    state_[i] = static_cast<PeerState>(state);
+    capacity_[i] = src.get_double();
+    upload_slots_[i] = static_cast<int>(src.get_i64());
+    busy_slots_[i] = static_cast<int>(src.get_i64());
+    incoming_count_[i] = static_cast<int>(src.get_i64());
+    collusion_group_[i] = static_cast<int>(src.get_i64());
+    epoch_[i] = src.get_u32();
+
+    load_piece_set(src, pieces_[i]);
+    load_piece_set(src, locked_[i]);
+    load_piece_set(src, pending_[i]);
+    load_piece_set(src, unavailable_[i]);
+    load_piece_set(src, transferable_[i]);
+
+    pieces_ver_[i] = src.get_u32();
+    transferable_ver_[i] = src.get_u32();
+    unavail_ver_[i] = src.get_u32();
+
+    arrival_time_[i] = src.get_double();
+    bootstrap_time_[i] = src.get_double();
+    finish_time_[i] = src.get_double();
+
+    uploaded_bytes_[i] = src.get_i64();
+    downloaded_usable_bytes_[i] = src.get_i64();
+    downloaded_raw_bytes_[i] = src.get_i64();
+    usable_from_leechers_bytes_[i] = src.get_i64();
+
+    util::load_unordered_map(src, received_from_[i]);
+    util::load_unordered_map(src, round_received_[i]);
+    util::load_unordered_map(src, prev_round_received_[i]);
+    util::load_unordered_map(src, deficit_[i]);
+  }
+
+  total_uploaded_ = src.get_i64();
+  leecher_uploaded_ = src.get_i64();
+  freerider_usable_ = src.get_i64();
+  total_downloaded_raw_ = src.get_i64();
+
+  // The active registry's exact transition-history order feeds
+  // order-sensitive iteration downstream; restore it verbatim and rebuild
+  // the position index from it.
+  const std::size_t actives = src.get_count(4);
+  active_ids_.clear();
+  active_ids_.reserve(actives);
+  active_pos_.assign(n, kNoPos);
+  for (std::size_t i = 0; i < actives; ++i) {
+    const PeerId id = src.get_u32();
+    if (id >= n || state_[id] != PeerState::kActive ||
+        active_pos_[id] != kNoPos) {
+      throw SerializeError("PeerStore restore: active registry entry " +
+                           std::to_string(id) +
+                           " is out of range, not active, or duplicated");
+    }
+    active_pos_[id] = static_cast<std::uint32_t>(active_ids_.size());
+    active_ids_.push_back(id);
+  }
+  for (PeerId id = 0; id < n; ++id) {
+    if (state_[id] == PeerState::kActive && active_pos_[id] == kNoPos) {
+      throw SerializeError("PeerStore restore: active peer " +
+                           std::to_string(id) +
+                           " missing from the active registry");
+    }
+  }
+  const std::size_t frees = src.get_count(4);
+  free_ids_.clear();
+  free_ids_.reserve(frees);
+  for (std::size_t i = 0; i < frees; ++i) {
+    const PeerId id = src.get_u32();
+    if (id >= n) {
+      throw SerializeError("PeerStore restore: free-list id out of range");
+    }
+    free_ids_.push_back(id);
+  }
+
+  // Interest memos are K-dependent pure caches (warmed by however many
+  // prepare threads the ORIGINAL run had); drop them and let the version
+  // stamps trigger exact, effect-free recomputation.
+  memo_[0].clear();
+  memo_[1].clear();
 }
 
 }  // namespace coopnet::sim

@@ -30,6 +30,11 @@
 #include "sim/piece_set.h"
 #include "sim/types.h"
 
+namespace coopnet::util {
+class ByteSink;
+class ByteSource;
+}  // namespace coopnet::util
+
 namespace coopnet::sim {
 
 /// What kind of participant a peer is.
@@ -261,6 +266,20 @@ class PeerStore {
   /// free-list is empty.
   PeerId acquire_slot();
   std::size_t free_slot_count() const { return free_ids_.size(); }
+
+  // --- checkpoint (see sim/checkpoint.h) -----------------------------------
+  /// Serializes every result-bearing field: scalars, piece sets, byte
+  /// counters and their aggregates, per-neighbor maps (iteration order
+  /// preserved -- several mechanisms sum floats in map order), and the
+  /// active registry in its exact transition-history order. NOT saved:
+  /// the CSR neighbor arrays (rebuilt deterministically by the Swarm
+  /// constructor from config + seed) and the interest-memo lanes (pure
+  /// caches whose warm set depends on --threads; load() leaves them cold
+  /// and the version stamps make recomputation automatic and exact).
+  void checkpoint_save(util::ByteSink& sink) const;
+  /// Restores into a store already init()'d with the same shape; throws
+  /// util::SerializeError when the serialized shape does not match.
+  void checkpoint_load(util::ByteSource& src);
 
  private:
   template <typename T>

@@ -6,9 +6,18 @@
 // deliveries and departures. Implementations live in src/strategy.
 #pragma once
 
+#include <cstdint>
 #include <optional>
+#include <stdexcept>
+#include <string>
 
+#include "sim/event_fn.h"
 #include "sim/types.h"
+
+namespace coopnet::util {
+class ByteSink;
+class ByteSource;
+}  // namespace coopnet::util
 
 namespace coopnet::sim {
 
@@ -110,6 +119,39 @@ class ExchangeStrategy {
   /// treats the rejoiner as a fresh activation.
   virtual void on_peer_rejoined(Swarm& swarm, PeerId id) {
     on_peer_activated(swarm, id);
+  }
+
+  // --- checkpoint hooks (see sim/checkpoint.h) ---------------------------
+  // Every mechanism must be explicit about its checkpoint story: stateful
+  // strategies serialize their members (preserving unordered_map
+  // iteration order -- see util/byteio.h); genuinely stateless ones
+  // override with documented no-ops. The defaults here serve base-class
+  // completeness only.
+
+  /// Serializes all mutable strategy state into `sink`.
+  virtual void checkpoint_save(util::ByteSink& sink) const { (void)sink; }
+
+  /// Restores state serialized by checkpoint_save. `swarm` provides
+  /// population shape for validation; throws util::SerializeError on a
+  /// malformed payload.
+  virtual void checkpoint_load(util::ByteSource& src, const Swarm& swarm) {
+    (void)src;
+    (void)swarm;
+  }
+
+  /// Returns the closure for the recurring timer attach() scheduled,
+  /// identified by the strategy-local sub-id a kEvStrategyTimer tag
+  /// carries; Swarm::rebuild_event re-registers it under the snapshot
+  /// entry's original (time, seq, hint), so the timer fires exactly when
+  /// the uninterrupted run would have fired it. Strategies that schedule
+  /// no timers keep the throwing default: reaching it means a snapshot
+  /// carried a timer tag the mechanism does not own.
+  virtual SmallEventFn rebuild_timer(Swarm& swarm, std::uint32_t sub) {
+    (void)swarm;
+    throw std::logic_error(
+        "ExchangeStrategy::rebuild_timer: strategy schedules no timers "
+        "but a snapshot carried timer sub-id " +
+        std::to_string(sub));
   }
 };
 

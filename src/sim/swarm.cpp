@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <stdexcept>
+#include <string>
+
+#include "sim/event_kinds.h"
 
 // Invariant-audit instrumentation (sim/auditor.h). AUDIT_RECORD feeds the
 // auditor's shadow ledger and sits with the state-mutation group it
@@ -202,11 +205,11 @@ void Swarm::build_population() {
 }
 
 void Swarm::run() {
-  if (ran_) throw std::logic_error("Swarm::run: already ran");
-  ran_ = true;
+  start();
+  advance_until(config_.max_time);
+}
 
-  strategy_->attach(*this);
-
+void Swarm::setup_parallel() {
   // --threads > 1: turn on the engine's batched prepare phase. Commits
   // still run one at a time on this thread in exact (time, seq) order, so
   // any thread count is byte-identical to sequential; the workers only
@@ -222,32 +225,49 @@ void Swarm::run() {
       prepare_batch(hints, count);
     });
   }
+}
+
+void Swarm::start() {
+  if (ran_) throw std::logic_error("Swarm::start: already ran");
+  ran_ = true;
+
+  strategy_->attach(*this);
+  setup_parallel();
 
   // Seeders are live from t = 0; leechers arrive per the arrival process.
   for (std::size_t s = 0; s < seeder_count(); ++s) {
     const PeerId id = static_cast<PeerId>(leechers() + s);
-    engine_.schedule_at_hinted(0.0, id, [this, id] { arrive(id); });
+    engine_.schedule_at_tagged(0.0, id, make_peer_tag(kEvArrive, id),
+                               [this, id] { arrive(id); });
   }
   for (std::size_t i = 0; i < leechers(); ++i) {
     const PeerId id = static_cast<PeerId>(i);
-    engine_.schedule_at_hinted(store_.arrival_time(id), id,
+    engine_.schedule_at_tagged(store_.arrival_time(id), id,
+                               make_peer_tag(kEvArrive, id),
                                [this, id] { arrive(id); });
   }
 
   if (config_.attack.whitewashing) {
-    engine_.schedule(config_.attack.whitewash_interval,
-                     [this] { whitewash_timer(); });
+    engine_.schedule_tagged(config_.attack.whitewash_interval,
+                            SimEngine::kNoHint, make_kind_tag(kEvWhitewash),
+                            [this] { whitewash_timer(); });
   }
   if (config_.attack.sybil_praise) {
-    engine_.schedule(config_.attack.sybil_interval, [this] { sybil_timer(); });
+    engine_.schedule_tagged(config_.attack.sybil_interval, SimEngine::kNoHint,
+                            make_kind_tag(kEvSybil), [this] { sybil_timer(); });
   }
   if (config_.faults.seeder_outages_enabled()) {
-    engine_.schedule_hinted(config_.faults.seeder_uptime,
+    engine_.schedule_tagged(config_.faults.seeder_uptime,
                             SimEngine::kNoHint | SimEngine::kHintBarrier,
+                            make_kind_tag(kEvSeederOutageBegin),
                             [this] { seeder_outage_begin(); });
   }
+}
 
-  engine_.run_until(config_.max_time);
+void Swarm::start_restored() {
+  if (ran_) throw std::logic_error("Swarm::start_restored: already ran");
+  ran_ = true;
+  setup_parallel();
 }
 
 void Swarm::prepare_batch(const std::uint32_t* hints, std::size_t count) {
@@ -341,9 +361,9 @@ void Swarm::arrive(PeerId id) {
   strategy_->on_peer_activated(*this, id);
   try_fill(id);
   const std::uint32_t epoch = p.epoch();
-  engine_.schedule_hinted(config_.retry_interval, id, [this, id, epoch] {
-    tick(id, epoch);
-  });
+  engine_.schedule_tagged(config_.retry_interval, id,
+                          make_epoch_tag(kEvTick, id, epoch),
+                          [this, id, epoch] { tick(id, epoch); });
   if (config_.faults.churn_enabled() && !p.is_seeder()) schedule_churn(id);
   AUDIT_CHECK();
 }
@@ -356,14 +376,15 @@ void Swarm::tick(PeerId id, std::uint32_t epoch) {
     return;
   }
   try_fill(id);
-  engine_.schedule_hinted(config_.retry_interval, id, [this, id, epoch] {
-    tick(id, epoch);
-  });
+  engine_.schedule_tagged(config_.retry_interval, id,
+                          make_epoch_tag(kEvTick, id, epoch),
+                          [this, id, epoch] { tick(id, epoch); });
 }
 
 void Swarm::request_refill(PeerId id) {
   // A tiny delay batches cascading refills triggered within one event.
-  engine_.schedule_hinted(1e-6, id, [this, id] { try_fill(id); });
+  engine_.schedule_tagged(1e-6, id, make_peer_tag(kEvTryFill, id),
+                          [this, id] { try_fill(id); });
 }
 
 void Swarm::try_fill(PeerId id) {
@@ -557,15 +578,17 @@ bool Swarm::start_transfer_attempt(PeerId from, PeerId to, PieceId piece,
       // The connection drops partway through; the failure point is uniform
       // over the transfer's duration.
       const Seconds fail_after = rng_.uniform01() * duration;
-      engine_.schedule_hinted(
+      engine_.schedule_tagged(
           fail_after, t.from | SimEngine::kHintBarrier,
+          make_transfer_tag(kEvFailLoss, t),
           [this, t] { fail_transfer(t, /*stalled=*/false); });
       doomed = true;
     } else if (faults.transfer_stall_rate > 0.0 &&
                rng_.bernoulli(faults.transfer_stall_rate)) {
       // The transfer hangs; the slot stays occupied until the timeout.
-      engine_.schedule_hinted(
+      engine_.schedule_tagged(
           faults.stall_timeout, t.from | SimEngine::kHintBarrier,
+          make_transfer_tag(kEvFailStall, t),
           [this, t] { fail_transfer(t, /*stalled=*/true); });
       doomed = true;
     }
@@ -574,7 +597,8 @@ bool Swarm::start_transfer_attempt(PeerId from, PeerId to, PieceId piece,
   // sets, slots, refill storms), so they carry the barrier bit: staging a
   // batch never looks past the earliest in-flight resolution.
   if (!doomed) {
-    engine_.schedule_hinted(duration, t.from | SimEngine::kHintBarrier,
+    engine_.schedule_tagged(duration, t.from | SimEngine::kHintBarrier,
+                            make_transfer_tag(kEvCompleteTransfer, t),
                             [this, t] { complete_transfer(t); });
   }
   strategy_->on_upload_started(*this, t);
@@ -693,8 +717,9 @@ void Swarm::finish_peer(PeerId id) {
   AUDIT_RECORD(peer_event(AuditEvent::Kind::kFinish, p, engine_.now()));
   if (config_.linger_time > 0.0 && !last_compliant) {
     // Stay and seed for a while before leaving.
-    engine_.schedule_hinted(config_.linger_time,
+    engine_.schedule_tagged(config_.linger_time,
                             id | SimEngine::kHintBarrier,
+                            make_peer_tag(kEvLingerDepart, id),
                             [this, id] { depart(id); });
     request_refill(id);
   } else {
@@ -750,8 +775,9 @@ void Swarm::fail_transfer(Transfer t, bool stalled) {
   if (will_retry) {
     ++fault_stats_.retries_scheduled;
     strategy_->on_transfer_failed(*this, t, /*will_retry=*/true);
-    engine_.schedule_hinted(config_.faults.backoff_for(t.attempt),
+    engine_.schedule_tagged(config_.faults.backoff_for(t.attempt),
                             t.from | SimEngine::kHintBarrier,
+                            make_transfer_tag(kEvRetryTransfer, t),
                             [this, t] { retry_transfer(t); });
   } else {
     ++fault_stats_.transfers_abandoned;
@@ -802,14 +828,17 @@ void Swarm::retry_transfer(Transfer t) {
 void Swarm::schedule_churn(PeerId id) {
   const Seconds dt = rng_.exponential(config_.faults.churn_rate);
   const std::uint32_t epoch = store_.epoch(id);
-  engine_.schedule_hinted(dt, id | SimEngine::kHintBarrier,
-                          [this, id, epoch] {
-    ConstPeer p = peer(id);
-    // Lingering finished peers depart on their own schedule; churning them
-    // would only re-run departure bookkeeping.
-    if (p.epoch() != epoch || !p.active() || p.finished()) return;
-    churn_out(id);
-  });
+  engine_.schedule_tagged(dt, id | SimEngine::kHintBarrier,
+                          make_epoch_tag(kEvChurnCheck, id, epoch),
+                          [this, id, epoch] { churn_check(id, epoch); });
+}
+
+void Swarm::churn_check(PeerId id, std::uint32_t epoch) {
+  ConstPeer p = peer(id);
+  // Lingering finished peers depart on their own schedule; churning them
+  // would only re-run departure bookkeeping.
+  if (p.epoch() != epoch || !p.active() || p.finished()) return;
+  churn_out(id);
 }
 
 void Swarm::churn_out(PeerId id) {
@@ -839,7 +868,8 @@ void Swarm::churn_out(PeerId id) {
         config_.faults.mean_downtime <= 0.0
             ? 0.0
             : rng_.exponential(1.0 / config_.faults.mean_downtime);
-    engine_.schedule_hinted(downtime, id | SimEngine::kHintBarrier,
+    engine_.schedule_tagged(downtime, id | SimEngine::kHintBarrier,
+                            make_peer_tag(kEvRejoin, id),
                             [this, id] { rejoin(id); });
     AUDIT_CHECK();
     return;
@@ -871,9 +901,9 @@ void Swarm::rejoin(PeerId id) {
   }
   try_fill(id);
   const std::uint32_t epoch = p.epoch();
-  engine_.schedule_hinted(config_.retry_interval, id, [this, id, epoch] {
-    tick(id, epoch);
-  });
+  engine_.schedule_tagged(config_.retry_interval, id,
+                          make_epoch_tag(kEvTick, id, epoch),
+                          [this, id, epoch] { tick(id, epoch); });
   schedule_churn(id);
   AUDIT_CHECK();
 }
@@ -889,8 +919,9 @@ void Swarm::seeder_outage_begin() {
     AUDIT_RECORD(peer_event(AuditEvent::Kind::kSeederDown, p, engine_.now()));
     strategy_->on_peer_departed(*this, p.id(), /*will_rejoin=*/true);
   }
-  engine_.schedule_hinted(config_.faults.seeder_downtime,
+  engine_.schedule_tagged(config_.faults.seeder_downtime,
                           SimEngine::kNoHint | SimEngine::kHintBarrier,
+                          make_kind_tag(kEvSeederOutageEnd),
                           [this] { seeder_outage_end(); });
   AUDIT_CHECK();
 }
@@ -905,13 +936,14 @@ void Swarm::seeder_outage_end() {
     try_fill(p.id());
     const std::uint32_t epoch = p.epoch();
     const PeerId id = p.id();
-    engine_.schedule_hinted(config_.retry_interval, id, [this, id, epoch] {
-      tick(id, epoch);
-    });
+    engine_.schedule_tagged(config_.retry_interval, id,
+                            make_epoch_tag(kEvTick, id, epoch),
+                            [this, id, epoch] { tick(id, epoch); });
   }
   if (engine_.now() + config_.faults.seeder_uptime <= config_.max_time) {
-    engine_.schedule_hinted(config_.faults.seeder_uptime,
+    engine_.schedule_tagged(config_.faults.seeder_uptime,
                             SimEngine::kNoHint | SimEngine::kHintBarrier,
+                            make_kind_tag(kEvSeederOutageBegin),
                             [this] { seeder_outage_begin(); });
   }
 }
@@ -960,8 +992,9 @@ void Swarm::whitewash_timer() {
     reputation_.at(fr) = 0.0;  // the new identity has no history at all
   }
   if (engine_.now() + config_.attack.whitewash_interval <= config_.max_time) {
-    engine_.schedule(config_.attack.whitewash_interval,
-                     [this] { whitewash_timer(); });
+    engine_.schedule_tagged(config_.attack.whitewash_interval,
+                            SimEngine::kNoHint, make_kind_tag(kEvWhitewash),
+                            [this] { whitewash_timer(); });
   }
 }
 
@@ -977,8 +1010,97 @@ void Swarm::sybil_timer() {
     }
   }
   if (engine_.now() + config_.attack.sybil_interval <= config_.max_time) {
-    engine_.schedule(config_.attack.sybil_interval, [this] { sybil_timer(); });
+    engine_.schedule_tagged(config_.attack.sybil_interval, SimEngine::kNoHint,
+                            make_kind_tag(kEvSybil), [this] { sybil_timer(); });
   }
+}
+
+void Swarm::rebuild_event(const SimEngine::QueueEntry& entry) {
+  const EventTag& tag = entry.tag;
+  SimEngine::EventFn fn;
+  switch (tag.kind) {
+    case kEvArrive: {
+      const PeerId id = tag.a;
+      fn = [this, id] { arrive(id); };
+      break;
+    }
+    case kEvTick: {
+      const PeerId id = tag.a;
+      const std::uint32_t epoch = tag.b;
+      fn = [this, id, epoch] { tick(id, epoch); };
+      break;
+    }
+    case kEvTryFill: {
+      const PeerId id = tag.a;
+      fn = [this, id] { try_fill(id); };
+      break;
+    }
+    case kEvCompleteTransfer: {
+      const Transfer t = transfer_from_tag(tag);
+      fn = [this, t] { complete_transfer(t); };
+      break;
+    }
+    case kEvFailLoss: {
+      const Transfer t = transfer_from_tag(tag);
+      fn = [this, t] { fail_transfer(t, /*stalled=*/false); };
+      break;
+    }
+    case kEvFailStall: {
+      const Transfer t = transfer_from_tag(tag);
+      fn = [this, t] { fail_transfer(t, /*stalled=*/true); };
+      break;
+    }
+    case kEvRetryTransfer: {
+      const Transfer t = transfer_from_tag(tag);
+      fn = [this, t] { retry_transfer(t); };
+      break;
+    }
+    case kEvLingerDepart: {
+      const PeerId id = tag.a;
+      fn = [this, id] { depart(id); };
+      break;
+    }
+    case kEvChurnCheck: {
+      const PeerId id = tag.a;
+      const std::uint32_t epoch = tag.b;
+      fn = [this, id, epoch] { churn_check(id, epoch); };
+      break;
+    }
+    case kEvRejoin: {
+      const PeerId id = tag.a;
+      fn = [this, id] { rejoin(id); };
+      break;
+    }
+    case kEvSeederOutageBegin:
+      fn = [this] { seeder_outage_begin(); };
+      break;
+    case kEvSeederOutageEnd:
+      fn = [this] { seeder_outage_end(); };
+      break;
+    case kEvWhitewash:
+      fn = [this] { whitewash_timer(); };
+      break;
+    case kEvSybil:
+      fn = [this] { sybil_timer(); };
+      break;
+    case kEvStrategyTimer:
+      fn = strategy_->rebuild_timer(*this, tag.a);
+      break;
+    case kEvExternalTimer:
+      if (!external_timer_rebuilder_) {
+        throw std::logic_error(
+            "Swarm::rebuild_event: snapshot carries an external timer "
+            "(sub-id " + std::to_string(tag.a) +
+            ") but no rebuilder is installed -- call "
+            "set_external_timer_rebuilder before restore");
+      }
+      fn = external_timer_rebuilder_(tag.a);
+      break;
+    default:
+      throw std::logic_error("Swarm::rebuild_event: unknown event kind " +
+                             std::to_string(tag.kind));
+  }
+  engine_.restore_entry(entry, std::move(fn));
 }
 
 }  // namespace coopnet::sim

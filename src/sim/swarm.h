@@ -61,7 +61,49 @@ class Swarm {
   Swarm& operator=(const Swarm&) = delete;
 
   /// Runs until every compliant leecher has finished, or config.max_time.
+  /// Equivalent to start() followed by advance_until(config().max_time).
   void run();
+
+  // --- checkpoint lifecycle (see sim/checkpoint.h) -----------------------
+  // A checkpointable run replaces run() with
+  //   enable_checkpoints(); start(); advance_until(t1); ...snapshot...;
+  //   advance_until(t2); ...
+  // and a restored run with
+  //   enable_checkpoints(); start_restored(); SwarmCheckpoint::restore();
+  //   advance_until(...);
+  // Chunked advance_until calls execute the identical event stream as one
+  // run() (the engine's clock only moves on event execution), so a run
+  // with snapshots taken between chunks is byte-identical to one without.
+
+  /// Turns on event tagging so the live queue can be snapshotted. Must be
+  /// called before start()/start_restored(); stays on for the swarm's
+  /// life. A swarm without this call is byte-for-byte the pre-checkpoint
+  /// simulator (no tag is ever stored).
+  void enable_checkpoints() { engine_.enable_tags(); }
+  /// Schedules the initial events (arrivals, attack/fault timers, strategy
+  /// attach) and sets up the --threads machinery, without executing
+  /// anything. run() == start() + advance_until(config().max_time).
+  void start();
+  /// The post-restore counterpart of start(): performs only the
+  /// non-scheduling setup (fork-join workers, parallel prepare hook).
+  /// Strategy attach is NOT called -- attach-time state is restored by the
+  /// strategy's checkpoint_load -- and no event is queued: the queue
+  /// arrives via SwarmCheckpoint::restore.
+  void start_restored();
+  /// Runs queued events with time <= deadline (see SimEngine::run_until).
+  void advance_until(Seconds deadline) { engine_.run_until(deadline); }
+  /// True once the run is over: stop() was raised (every compliant
+  /// leecher finished or was permanently lost) or the queue drained.
+  bool finished() const {
+    return engine_.stopped() || engine_.pending() == 0;
+  }
+  /// Builds the closure for a kEvExternalTimer queue entry during restore
+  /// (sub-id -> callback). Installed by the metrics/driver layer before
+  /// SwarmCheckpoint::restore when the run samples metrics.
+  void set_external_timer_rebuilder(
+      std::function<SimEngine::EventFn(std::uint32_t)> fn) {
+    external_timer_rebuilder_ = std::move(fn);
+  }
 
   // --- views -------------------------------------------------------------
   const SwarmConfig& config() const { return config_; }
@@ -197,7 +239,14 @@ class Swarm {
   }
 
  private:
+  /// Serializes/restores the full swarm state (sim/checkpoint.h).
+  friend class SwarmCheckpoint;
+
   void build_population();
+  /// Shared start()/start_restored() tail: the --threads > 1 batched
+  /// prepare machinery (fork-join workers + engine hook). Schedules
+  /// nothing.
+  void setup_parallel();
   std::vector<Seconds> draw_arrival_times();
   void arrive(PeerId id);
   void depart(PeerId id);
@@ -208,9 +257,18 @@ class Swarm {
   void complete_transfer(Transfer t);
   void finish_peer(PeerId id);
   void tick(PeerId id, std::uint32_t epoch);
+  /// Body of the churn-departure timer: churns `id` out unless its
+  /// incarnation moved on (rejoin, finish, departure) since scheduling.
+  void churn_check(PeerId id, std::uint32_t epoch);
   void whitewash_timer();
   void sybil_timer();
   void update_unavailable_bit(Peer p, PieceId piece);
+
+  /// Restore-side inverse of the tagged schedule calls: re-registers the
+  /// closure a snapshot queue entry describes under its original
+  /// (time, seq, hint). Swarm-owned kinds rebuild directly; strategy and
+  /// external timers delegate to rebuild_timer / the installed rebuilder.
+  void rebuild_event(const SimEngine::QueueEntry& entry);
 
   // --- batched prepare (--threads > 1; see DESIGN §11) -------------------
   /// Engine prepare hook: warms the interest-memo rows named by the
@@ -253,6 +311,9 @@ class Swarm {
   std::vector<PeerId> colluder_ids_;
   FaultStats fault_stats_;
   SwarmObserver* observer_ = nullptr;
+  /// Rebuilds kEvExternalTimer closures on restore (null when the run
+  /// never schedules driver-owned timers).
+  std::function<SimEngine::EventFn(std::uint32_t)> external_timer_rebuilder_;
   /// Workers for the batched prepare phase (config.threads - 1 helpers;
   /// null in sequential mode). Only prepare_batch ever runs on them.
   std::unique_ptr<util::ForkJoin> fork_join_;

@@ -1,8 +1,12 @@
 #include "strategy/bittorrent.h"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 
+#include "sim/event_kinds.h"
 #include "sim/swarm.h"
+#include "util/byteio.h"
 
 namespace coopnet::strategy {
 
@@ -10,8 +14,9 @@ void BitTorrentStrategy::attach(sim::Swarm& swarm) {
   // The rechoke sweep re-plans the whole population, so it carries the
   // sweep hint: a batched prepare warms every active uploader's interest
   // memos before the sweep (and its refill storm) commits.
-  swarm.engine().schedule_hinted(swarm.config().rechoke_interval,
+  swarm.engine().schedule_tagged(swarm.config().rechoke_interval,
                                  sim::SimEngine::kHintSweep,
+                                 sim::make_timer_tag(sim::kEvStrategyTimer, 0),
                                  [this, &swarm] { rechoke_all(swarm); });
 }
 
@@ -31,8 +36,9 @@ void BitTorrentStrategy::rechoke_all(sim::Swarm& swarm) {
     p.round_received().clear();
     swarm.request_refill(id);
   }
-  swarm.engine().schedule_hinted(swarm.config().rechoke_interval,
+  swarm.engine().schedule_tagged(swarm.config().rechoke_interval,
                                  sim::SimEngine::kHintSweep,
+                                 sim::make_timer_tag(sim::kEvStrategyTimer, 0),
                                  [this, &swarm] { rechoke_all(swarm); });
 }
 
@@ -216,6 +222,67 @@ void BitTorrentStrategy::on_delivered(sim::Swarm& swarm,
   } else {
     --it->second.busy_tft;
   }
+}
+
+
+namespace {
+
+void save_pick(coopnet::util::ByteSink& s,
+               const coopnet::sim::PeerId id, std::uint32_t index) {
+  s.put_u32(index);
+  s.put_u32(id);
+}
+
+}  // namespace
+
+void BitTorrentStrategy::checkpoint_save(util::ByteSink& sink) const {
+  util::save_unordered_map(
+      sink, state_, [](util::ByteSink& s, const PeerChokeState& st) {
+        s.put_u64(st.unchoked.size());
+        for (const Pick& pick : st.unchoked) save_pick(s, pick.id, pick.index);
+        save_pick(s, st.optimistic.id, st.optimistic.index);
+        s.put_u32(static_cast<std::uint32_t>(st.busy_optimistic));
+        s.put_u32(static_cast<std::uint32_t>(st.busy_tft));
+      });
+  util::save_unordered_map(sink, inflight_optimistic_,
+                           [](util::ByteSink& s, bool optimistic) {
+                             s.put_bool(optimistic);
+                           });
+  sink.put_u32(static_cast<std::uint32_t>(round_));
+}
+
+void BitTorrentStrategy::checkpoint_load(util::ByteSource& src,
+                                         const sim::Swarm& swarm) {
+  (void)swarm;
+  util::load_unordered_map(src, state_, [](util::ByteSource& s) {
+    PeerChokeState st;
+    const std::size_t n = s.get_count(8);
+    st.unchoked.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      Pick pick;
+      pick.index = s.get_u32();
+      pick.id = s.get_u32();
+      st.unchoked.push_back(pick);
+    }
+    st.optimistic.index = s.get_u32();
+    st.optimistic.id = s.get_u32();
+    st.busy_optimistic = static_cast<int>(s.get_u32());
+    st.busy_tft = static_cast<int>(s.get_u32());
+    return st;
+  });
+  util::load_unordered_map(src, inflight_optimistic_,
+                           [](util::ByteSource& s) { return s.get_bool(); });
+  round_ = static_cast<int>(src.get_u32());
+}
+
+sim::SmallEventFn BitTorrentStrategy::rebuild_timer(sim::Swarm& swarm,
+                                                    std::uint32_t sub) {
+  if (sub != 0) {
+    throw std::logic_error(
+        "BitTorrentStrategy::rebuild_timer: unknown sub-id " +
+        std::to_string(sub));
+  }
+  return [this, &swarm] { rechoke_all(swarm); };
 }
 
 }  // namespace coopnet::strategy

@@ -27,6 +27,15 @@ class BitTorrentStrategy final : public sim::ExchangeStrategy {
   void on_transfer_failed(sim::Swarm& swarm, const sim::Transfer& transfer,
                           bool will_retry) override;
 
+  // --- checkpoint (see sim/checkpoint.h) ---------------------------------
+  // Serializes the per-peer choke state (unchoked picks, optimistic slot,
+  // busy counters), the in-flight category map, and the round counter.
+  // Timer sub 0 is the rechoke sweep.
+  void checkpoint_save(util::ByteSink& sink) const override;
+  void checkpoint_load(util::ByteSource& src, const sim::Swarm& swarm) override;
+  sim::SmallEventFn rebuild_timer(sim::Swarm& swarm,
+                                  std::uint32_t sub) override;
+
  private:
   /// A chosen neighbor remembered together with its index in the
   /// uploader's neighbor list, so later interest checks can go through

@@ -1,14 +1,20 @@
 #include "strategy/propshare.h"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 
+#include "sim/event_kinds.h"
 #include "sim/swarm.h"
+#include "util/byteio.h"
 
 namespace coopnet::strategy {
 
 void PropShareStrategy::attach(sim::Swarm& swarm) {
-  swarm.engine().schedule(swarm.config().rechoke_interval,
-                          [this, &swarm] { reshare_all(swarm); });
+  swarm.engine().schedule_tagged(swarm.config().rechoke_interval,
+                                 sim::SimEngine::kNoHint,
+                                 sim::make_timer_tag(sim::kEvStrategyTimer, 0),
+                                 [this, &swarm] { reshare_all(swarm); });
 }
 
 void PropShareStrategy::reshare_all(sim::Swarm& swarm) {
@@ -34,8 +40,10 @@ void PropShareStrategy::reshare_all(sim::Swarm& swarm) {
     p.round_received().clear();
     swarm.request_refill(id);
   }
-  swarm.engine().schedule(swarm.config().rechoke_interval,
-                          [this, &swarm] { reshare_all(swarm); });
+  swarm.engine().schedule_tagged(swarm.config().rechoke_interval,
+                                 sim::SimEngine::kNoHint,
+                                 sim::make_timer_tag(sim::kEvStrategyTimer, 0),
+                                 [this, &swarm] { reshare_all(swarm); });
 }
 
 std::optional<sim::UploadAction> PropShareStrategy::next_upload(
@@ -114,6 +122,56 @@ void PropShareStrategy::on_delivered(sim::Swarm& swarm,
   } else {
     --it->second.busy_share;
   }
+}
+
+
+void PropShareStrategy::checkpoint_save(util::ByteSink& sink) const {
+  util::save_unordered_map(
+      sink, state_, [](util::ByteSink& s, const PeerShareState& st) {
+        s.put_u64(st.shares.size());
+        for (const auto& [from, bytes] : st.shares) {
+          s.put_u32(from);
+          s.put_double(bytes);
+        }
+        s.put_u32(st.optimistic);
+        s.put_u32(static_cast<std::uint32_t>(st.busy_optimistic));
+        s.put_u32(static_cast<std::uint32_t>(st.busy_share));
+      });
+  util::save_unordered_map(sink, inflight_optimistic_,
+                           [](util::ByteSink& s, bool optimistic) {
+                             s.put_bool(optimistic);
+                           });
+}
+
+void PropShareStrategy::checkpoint_load(util::ByteSource& src,
+                                        const sim::Swarm& swarm) {
+  (void)swarm;
+  util::load_unordered_map(src, state_, [](util::ByteSource& s) {
+    PeerShareState st;
+    const std::size_t n = s.get_count(12);
+    st.shares.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const sim::PeerId from = s.get_u32();
+      const double bytes = s.get_double();
+      st.shares.emplace_back(from, bytes);
+    }
+    st.optimistic = s.get_u32();
+    st.busy_optimistic = static_cast<int>(s.get_u32());
+    st.busy_share = static_cast<int>(s.get_u32());
+    return st;
+  });
+  util::load_unordered_map(src, inflight_optimistic_,
+                           [](util::ByteSource& s) { return s.get_bool(); });
+}
+
+sim::SmallEventFn PropShareStrategy::rebuild_timer(sim::Swarm& swarm,
+                                                   std::uint32_t sub) {
+  if (sub != 0) {
+    throw std::logic_error(
+        "PropShareStrategy::rebuild_timer: unknown sub-id " +
+        std::to_string(sub));
+  }
+  return [this, &swarm] { reshare_all(swarm); };
 }
 
 }  // namespace coopnet::strategy

@@ -32,6 +32,16 @@ class PropShareStrategy final : public sim::ExchangeStrategy {
   void on_transfer_failed(sim::Swarm& swarm, const sim::Transfer& transfer,
                           bool will_retry) override;
 
+  // --- checkpoint (see sim/checkpoint.h) ---------------------------------
+  // Serializes the per-peer share state (bid list in its exact order --
+  // the proportional split sums doubles in list order -- optimistic slot,
+  // busy counters) and the in-flight category map. Timer sub 0 is the
+  // reshare sweep.
+  void checkpoint_save(util::ByteSink& sink) const override;
+  void checkpoint_load(util::ByteSource& src, const sim::Swarm& swarm) override;
+  sim::SmallEventFn rebuild_timer(sim::Swarm& swarm,
+                                  std::uint32_t sub) override;
+
  private:
   struct PeerShareState {
     /// Last round's contributors and their byte counts (the "bids").

@@ -1,19 +1,26 @@
 #include "strategy/reputation.h"
 
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/eigentrust.h"
+#include "sim/event_kinds.h"
 #include "sim/swarm.h"
+#include "util/byteio.h"
 
 namespace coopnet::strategy {
 
 void ReputationStrategy::attach(sim::Swarm& swarm) {
-  swarm.engine().schedule(swarm.config().rechoke_interval, [this, &swarm] {
-    rotate_altruism_targets(swarm);
-  });
+  swarm.engine().schedule_tagged(
+      swarm.config().rechoke_interval, sim::SimEngine::kNoHint,
+      sim::make_timer_tag(sim::kEvStrategyTimer, 0),
+      [this, &swarm] { rotate_altruism_targets(swarm); });
   if (swarm.config().reputation_mode == sim::ReputationMode::kEigenTrust) {
-    swarm.engine().schedule(swarm.config().rechoke_interval,
-                            [this, &swarm] { recompute_eigentrust(swarm); });
+    swarm.engine().schedule_tagged(
+        swarm.config().rechoke_interval, sim::SimEngine::kNoHint,
+        sim::make_timer_tag(sim::kEvStrategyTimer, 1),
+        [this, &swarm] { recompute_eigentrust(swarm); });
   }
 }
 
@@ -51,8 +58,10 @@ void ReputationStrategy::recompute_eigentrust(sim::Swarm& swarm) {
   trust_ = core::eigentrust(n, edges, pretrusted);
   if (swarm.engine().now() + swarm.config().rechoke_interval <=
       swarm.config().max_time) {
-    swarm.engine().schedule(swarm.config().rechoke_interval,
-                            [this, &swarm] { recompute_eigentrust(swarm); });
+    swarm.engine().schedule_tagged(
+        swarm.config().rechoke_interval, sim::SimEngine::kNoHint,
+        sim::make_timer_tag(sim::kEvStrategyTimer, 1),
+        [this, &swarm] { recompute_eigentrust(swarm); });
   }
 }
 
@@ -74,9 +83,10 @@ void ReputationStrategy::rotate_altruism_targets(sim::Swarm& swarm) {
                       ? sim::kNoPeer
                       : needy[swarm.rng().uniform_u64(needy.size())];
   }
-  swarm.engine().schedule(swarm.config().rechoke_interval, [this, &swarm] {
-    rotate_altruism_targets(swarm);
-  });
+  swarm.engine().schedule_tagged(
+      swarm.config().rechoke_interval, sim::SimEngine::kNoHint,
+      sim::make_timer_tag(sim::kEvStrategyTimer, 0),
+      [this, &swarm] { rotate_altruism_targets(swarm); });
 }
 
 std::optional<sim::UploadAction> ReputationStrategy::next_upload(
@@ -121,6 +131,40 @@ std::optional<sim::UploadAction> ReputationStrategy::next_upload(
   const sim::PieceId piece = swarm.pick_piece(uploader, to);
   if (piece == sim::kNoPiece) return std::nullopt;
   return sim::UploadAction{to, piece, /*locked=*/false};
+}
+
+
+void ReputationStrategy::checkpoint_save(util::ByteSink& sink) const {
+  sink.put_u64(trust_.size());
+  for (const double t : trust_) sink.put_double(t);
+  util::save_unordered_map(sink, pinned_);
+}
+
+void ReputationStrategy::checkpoint_load(util::ByteSource& src,
+                                         const sim::Swarm& swarm) {
+  const std::size_t n = src.get_count(8);
+  if (n != 0 && n != swarm.peer_count()) {
+    throw util::SerializeError(
+        "ReputationStrategy restore: trust vector size " + std::to_string(n) +
+        " != population " + std::to_string(swarm.peer_count()));
+  }
+  trust_.resize(n);
+  for (double& t : trust_) t = src.get_double();
+  util::load_unordered_map(src, pinned_);
+}
+
+sim::SmallEventFn ReputationStrategy::rebuild_timer(sim::Swarm& swarm,
+                                                    std::uint32_t sub) {
+  switch (sub) {
+    case 0:
+      return [this, &swarm] { rotate_altruism_targets(swarm); };
+    case 1:
+      return [this, &swarm] { recompute_eigentrust(swarm); };
+    default:
+      throw std::logic_error(
+          "ReputationStrategy::rebuild_timer: unknown sub-id " +
+          std::to_string(sub));
+  }
 }
 
 }  // namespace coopnet::strategy

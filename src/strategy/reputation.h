@@ -29,6 +29,15 @@ class ReputationStrategy final : public sim::ExchangeStrategy {
   /// ledger, or the latest EigenTrust vector (SwarmConfig::reputation_mode).
   double score(const sim::Swarm& swarm, sim::PeerId id) const;
 
+  // --- checkpoint (see sim/checkpoint.h) ---------------------------------
+  // Serializes the latest EigenTrust vector and the pinned altruism
+  // targets. Timer sub 0 is the altruism rotation, sub 1 the EigenTrust
+  // recompute.
+  void checkpoint_save(util::ByteSink& sink) const override;
+  void checkpoint_load(util::ByteSource& src, const sim::Swarm& swarm) override;
+  sim::SmallEventFn rebuild_timer(sim::Swarm& swarm,
+                                  std::uint32_t sub) override;
+
  private:
   void rotate_altruism_targets(sim::Swarm& swarm);
   void recompute_eigentrust(sim::Swarm& swarm);

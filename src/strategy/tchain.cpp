@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <limits>
+#include <stdexcept>
+#include <string>
 
+#include "sim/event_kinds.h"
 #include "sim/swarm.h"
+#include "util/byteio.h"
 
 namespace coopnet::strategy {
 
@@ -13,7 +17,9 @@ void TChainStrategy::attach(sim::Swarm& swarm) {
                      : static_cast<std::size_t>(swarm.config().tchain_backlog);
   grace_ = swarm.config().tchain_grace;
   backlog_count_.assign(swarm.peer_count(), 0);
-  swarm.engine().schedule(grace_ / 2.0, [this, &swarm] { grace_scan(swarm); });
+  swarm.engine().schedule_tagged(grace_ / 2.0, sim::SimEngine::kNoHint,
+                                 sim::make_timer_tag(sim::kEvStrategyTimer, 0),
+                                 [this, &swarm] { grace_scan(swarm); });
 }
 
 std::size_t TChainStrategy::backlog(sim::PeerId id) const {
@@ -309,9 +315,120 @@ void TChainStrategy::grace_scan(sim::Swarm& swarm) {
     }
   }
   if (now + grace_ / 2.0 <= swarm.config().max_time) {
-    swarm.engine().schedule(grace_ / 2.0,
-                            [this, &swarm] { grace_scan(swarm); });
+    swarm.engine().schedule_tagged(
+        grace_ / 2.0, sim::SimEngine::kNoHint,
+        sim::make_timer_tag(sim::kEvStrategyTimer, 0),
+        [this, &swarm] { grace_scan(swarm); });
   }
+}
+
+void TChainStrategy::checkpoint_save(util::ByteSink& sink) const {
+  sink.put_u64(max_backlog_);
+  sink.put_double(grace_);
+  util::save_unordered_map(
+      sink, state_, [](util::ByteSink& s, const PeerState& st) {
+        s.put_u64(st.obligations.size());
+        for (const Obligation& ob : st.obligations) {
+          s.put_u32(ob.piece);
+          s.put_u32(ob.designator);
+          s.put_u32(ob.suggested_target);
+          s.put_double(ob.created);
+        }
+        util::save_unordered_map(
+            s, st.in_flight, [](util::ByteSink& s2, const InFlightDuty& d) {
+              s2.put_u32(d.unlocks);
+              s2.put_u32(d.designator);
+              s2.put_u32(d.suggested_target);
+            });
+      });
+  sink.put_u64(backlog_count_.size());
+  for (const std::uint32_t c : backlog_count_) sink.put_u32(c);
+  util::save_unordered_map(sink, links_,
+                           [](util::ByteSink& s, const ChainLink& l) {
+                             s.put_u32(l.sender);
+                             s.put_bool(l.fulfilled);
+                           });
+  util::save_unordered_map(
+      sink, downstream_,
+      [](util::ByteSink& s,
+         const std::vector<std::pair<sim::PeerId, sim::PieceId>>& waiters) {
+        s.put_u64(waiters.size());
+        for (const auto& [receiver, piece] : waiters) {
+          s.put_u32(receiver);
+          s.put_u32(piece);
+        }
+      });
+  sink.put_u32(pending_plan_.from);
+  sink.put_u32(pending_plan_.to);
+  sink.put_u32(pending_plan_.piece);
+  sink.put_u32(pending_plan_.unlocks);
+  sink.put_bool(pending_plan_.valid);
+}
+
+void TChainStrategy::checkpoint_load(util::ByteSource& src,
+                                     const sim::Swarm& swarm) {
+  max_backlog_ = static_cast<std::size_t>(src.get_u64());
+  grace_ = src.get_double();
+  util::load_unordered_map(src, state_, [&src](util::ByteSource&) {
+    PeerState st;
+    const std::size_t n_ob = src.get_count(20);
+    for (std::size_t i = 0; i < n_ob; ++i) {
+      Obligation ob;
+      ob.piece = src.get_u32();
+      ob.designator = src.get_u32();
+      ob.suggested_target = src.get_u32();
+      ob.created = src.get_double();
+      st.obligations.push_back(ob);
+    }
+    util::load_unordered_map(src, st.in_flight, [](util::ByteSource& s2) {
+      InFlightDuty d;
+      d.unlocks = s2.get_u32();
+      d.designator = s2.get_u32();
+      d.suggested_target = s2.get_u32();
+      return d;
+    });
+    return st;
+  });
+  const std::size_t n_backlog = src.get_count(4);
+  if (n_backlog != 0 && n_backlog != swarm.peer_count()) {
+    throw util::SerializeError(
+        "TChainStrategy restore: backlog mirror size " +
+        std::to_string(n_backlog) + " != population " +
+        std::to_string(swarm.peer_count()));
+  }
+  backlog_count_.resize(n_backlog);
+  for (std::uint32_t& c : backlog_count_) c = src.get_u32();
+  util::load_unordered_map(src, links_, [](util::ByteSource& s) {
+    ChainLink l;
+    l.sender = s.get_u32();
+    l.fulfilled = s.get_bool();
+    return l;
+  });
+  util::load_unordered_map(src, downstream_, [](util::ByteSource& s) {
+    std::vector<std::pair<sim::PeerId, sim::PieceId>> waiters;
+    const std::size_t n = s.get_count(8);
+    waiters.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const sim::PeerId receiver = s.get_u32();
+      const sim::PieceId piece = s.get_u32();
+      waiters.emplace_back(receiver, piece);
+    }
+    return waiters;
+  });
+  pending_plan_.from = src.get_u32();
+  pending_plan_.to = src.get_u32();
+  pending_plan_.piece = src.get_u32();
+  pending_plan_.unlocks = src.get_u32();
+  pending_plan_.valid = src.get_bool();
+}
+
+sim::SmallEventFn TChainStrategy::rebuild_timer(sim::Swarm& swarm,
+                                                std::uint32_t sub) {
+  if (sub != 0) {
+    throw std::logic_error("TChainStrategy::rebuild_timer: unknown sub-id " +
+                           std::to_string(sub));
+  }
+  return [this, &swarm] { grace_scan(swarm); };
 }
 
 }  // namespace coopnet::strategy

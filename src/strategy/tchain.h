@@ -54,6 +54,16 @@ class TChainStrategy final : public sim::ExchangeStrategy {
   /// Obligations currently queued at a peer (exposed for tests/metrics).
   std::size_t backlog(sim::PeerId id) const;
 
+  // --- checkpoint (see sim/checkpoint.h) ---------------------------------
+  // Serializes every mutable member: the per-peer obligation queues and
+  // in-flight duties, the dense backlog mirror, the chain-link ledger and
+  // its downstream index, the attach-derived limits, and the staged plan.
+  // Timer sub 0 is the grace scan.
+  void checkpoint_save(util::ByteSink& sink) const override;
+  void checkpoint_load(util::ByteSource& src, const sim::Swarm& swarm) override;
+  sim::SmallEventFn rebuild_timer(sim::Swarm& swarm,
+                                  std::uint32_t sub) override;
+
  private:
   /// A reciprocation duty: `piece` arrived locked from `designator`, which
   /// suggested repaying toward `suggested_target` (kNoPeer = no hint).

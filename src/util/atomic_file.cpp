@@ -64,13 +64,28 @@ void write_file_atomic(const std::string& path, std::string_view content) {
     fail(err, "write_file_atomic: rename failed", path);
   }
 
-  // Persist the rename itself. Best-effort: some filesystems refuse
-  // O_DIRECTORY opens, and the data rename above is already atomic.
+  // Persist the rename itself: without the directory fsync a crash can
+  // forget the rename and lose the "durably written" file entirely.
+  fsync_parent_dir(path);
+}
+
+void fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? std::string(".") : path.substr(0, slash);
   const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (dfd >= 0) {
-    ::fsync(dfd);
-    ::close(dfd);
+  if (dfd < 0) {
+    fail(errno, "fsync_parent_dir: cannot open directory", dir);
   }
+  if (::fsync(dfd) != 0) {
+    const int err = errno;
+    ::close(dfd);
+    // Some filesystems cannot fsync a directory handle at all; treat
+    // that like fsync-on-a-pipe (no durability to add), not corruption.
+    if (err == EINVAL || err == ENOTSUP) return;
+    fail(err, "fsync_parent_dir: directory fsync failed", dir);
+  }
+  ::close(dfd);
 }
 
 }  // namespace coopnet::util

@@ -17,4 +17,12 @@ namespace coopnet::util {
 /// removed and the destination is untouched.
 void write_file_atomic(const std::string& path, std::string_view content);
 
+/// Fsyncs the directory containing `path`, making a just-created or
+/// just-renamed directory entry durable -- without this, a crash after
+/// rename(2) or open(O_CREAT) can lose the file entirely even though its
+/// data blocks were fsync'd. Throws std::system_error on real failures;
+/// filesystems that cannot fsync a directory (EINVAL/ENOTSUP) are
+/// tolerated, matching fsync semantics on such mounts.
+void fsync_parent_dir(const std::string& path);
+
 }  // namespace coopnet::util

@@ -1,0 +1,282 @@
+// Bounds-checked binary serialization buffers for checkpoint sections.
+//
+// ByteSink appends fixed-width little-endian scalars to a growable
+// buffer; ByteSource reads them back with hard bounds checks (a
+// truncated or bit-rotted section must fail loudly, never read past the
+// end or fabricate state). Doubles round-trip through their IEEE-754 bit
+// pattern, so restored simulation state is bit-exact, not
+// printf-lossy.
+//
+// save_unordered_map/load_unordered_map additionally preserve ITERATION
+// ORDER across the round trip. Several mechanisms iterate per-peer
+// unordered_maps when computing results (PropShare's share split,
+// EigenTrust's edge accumulation, BitTorrent's tie-breaks), so a restore
+// that rebuilt the map in a different order would change float summation
+// order and tie-break winners -- byte-identical restore requires the
+// original order. libstdc++ prepends nodes within their bucket chain, so
+// re-inserting the serialized pairs in REVERSE iteration order into a
+// table with the original bucket count reproduces the original chain
+// exactly; the loader verifies the reproduced order and bucket count and
+// throws if the platform's container behaves differently, so drift can
+// never silently corrupt results.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace coopnet::util {
+
+class ByteSink {
+ public:
+  void put_u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void put_bool(bool v) { put_u8(v ? 1 : 0); }
+
+  void put_u32(std::uint32_t v) {
+    char raw[4];
+    for (int i = 0; i < 4; ++i) raw[i] = static_cast<char>(v >> (8 * i));
+    buf_.append(raw, 4);
+  }
+
+  void put_u64(std::uint64_t v) {
+    char raw[8];
+    for (int i = 0; i < 8; ++i) raw[i] = static_cast<char>(v >> (8 * i));
+    buf_.append(raw, 8);
+  }
+
+  void put_i64(std::int64_t v) { put_u64(static_cast<std::uint64_t>(v)); }
+
+  /// Bit-exact: the IEEE-754 pattern, not a decimal rendering.
+  void put_double(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    put_u64(bits);
+  }
+
+  void put_bytes(const void* data, std::size_t size) {
+    buf_.append(static_cast<const char*>(data), size);
+  }
+
+  void put_string(const std::string& s) {
+    put_u64(s.size());
+    buf_.append(s);
+  }
+
+  const std::string& str() const { return buf_; }
+  std::string take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+/// Thrown on truncation, checksum mismatch, or any structural defect in
+/// serialized state. Restore paths catch this to reject a snapshot
+/// without applying it.
+class SerializeError : public std::runtime_error {
+ public:
+  explicit SerializeError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+class ByteSource {
+ public:
+  /// Reads from [data, data+size); the buffer must outlive the source.
+  /// `context` names the section in truncation errors.
+  ByteSource(const void* data, std::size_t size, std::string context)
+      : p_(static_cast<const char*>(data)),
+        size_(size),
+        context_(std::move(context)) {}
+
+  explicit ByteSource(const std::string& bytes, std::string context = "")
+      : ByteSource(bytes.data(), bytes.size(), std::move(context)) {}
+
+  std::uint8_t get_u8() {
+    need(1);
+    return static_cast<std::uint8_t>(p_[pos_++]);
+  }
+
+  bool get_bool() {
+    const std::uint8_t v = get_u8();
+    if (v > 1) {
+      throw SerializeError(where() + ": bool byte out of range");
+    }
+    return v != 0;
+  }
+
+  std::uint32_t get_u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(p_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t get_u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(p_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  std::int64_t get_i64() { return static_cast<std::int64_t>(get_u64()); }
+
+  double get_double() {
+    const std::uint64_t bits = get_u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  void get_bytes(void* out, std::size_t size) {
+    need(size);
+    std::memcpy(out, p_ + pos_, size);
+    pos_ += size;
+  }
+
+  std::string get_string() {
+    const std::uint64_t n = get_u64();
+    need(n);
+    std::string s(p_ + pos_, static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
+    return s;
+  }
+
+  /// A size about to drive a resize/reserve: bounded by the bytes that
+  /// remain, so corrupt counts cannot trigger huge allocations.
+  std::size_t get_count(std::size_t bytes_per_element = 1) {
+    const std::uint64_t n = get_u64();
+    if (bytes_per_element != 0 &&
+        n > remaining() / bytes_per_element + 1) {
+      throw SerializeError(where() + ": element count " + std::to_string(n) +
+                           " exceeds the bytes that remain");
+    }
+    return static_cast<std::size_t>(n);
+  }
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool exhausted() const { return pos_ == size_; }
+
+  /// Restore paths call this after the last field: trailing bytes mean
+  /// the layout drifted, and silently ignoring them would hide it.
+  void expect_exhausted() const {
+    if (!exhausted()) {
+      throw SerializeError(where() + ": " + std::to_string(remaining()) +
+                           " unread trailing byte(s)");
+    }
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (size_ - pos_ < n) {
+      throw SerializeError(where() + ": truncated (need " +
+                           std::to_string(n) + " byte(s) at offset " +
+                           std::to_string(pos_) + " of " +
+                           std::to_string(size_) + ")");
+    }
+  }
+
+  std::string where() const {
+    return context_.empty() ? std::string("serialized data") : context_;
+  }
+
+  const char* p_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  std::string context_;
+};
+
+// --- iteration-order-preserving unordered_map round trip ----------------
+
+/// Writes bucket count, size, then the pairs in iteration order.
+/// `save_value(sink, v)` serializes one mapped value.
+template <typename K, typename V, typename SaveValue>
+void save_unordered_map(ByteSink& sink, const std::unordered_map<K, V>& map,
+                        SaveValue&& save_value) {
+  static_assert(sizeof(K) <= 8, "keys serialize through u64");
+  sink.put_u64(map.bucket_count());
+  sink.put_u64(map.size());
+  for (const auto& [k, v] : map) {
+    sink.put_u64(static_cast<std::uint64_t>(k));
+    save_value(sink, v);
+  }
+}
+
+/// Rebuilds `map` with the serialized iteration order (see file comment),
+/// then verifies the order actually reproduced and throws SerializeError
+/// if the container implementation defeated the reverse-insert trick.
+template <typename K, typename V, typename LoadValue>
+void load_unordered_map(ByteSource& src, std::unordered_map<K, V>& map,
+                        LoadValue&& load_value) {
+  const std::uint64_t buckets = src.get_u64();
+  const std::size_t n = src.get_count(9);
+  std::vector<std::pair<K, V>> pairs;
+  pairs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const K k = static_cast<K>(src.get_u64());
+    pairs.emplace_back(k, load_value(src));
+  }
+  map.clear();
+  // Skip the no-op rehash: rehash(b) rounds UP to the implementation's
+  // next growth step, so asking for the count the map already has (e.g.
+  // the singleton bucket of a never-inserted map) would overshoot it.
+  if (map.bucket_count() != buckets) {
+    map.rehash(static_cast<std::size_t>(buckets));
+  }
+  for (std::size_t i = pairs.size(); i-- > 0;) {
+    map.emplace(pairs[i].first, std::move(pairs[i].second));
+  }
+  if (map.bucket_count() != buckets) {
+    throw SerializeError(
+        "unordered_map restore: bucket count " +
+        std::to_string(map.bucket_count()) + " != serialized " +
+        std::to_string(buckets) +
+        " (container growth policy drifted; restored iteration order "
+        "would be wrong)");
+  }
+  std::size_t i = 0;
+  for (const auto& [k, v] : map) {
+    (void)v;
+    if (i >= pairs.size() || !(k == pairs[i].first)) {
+      throw SerializeError(
+          "unordered_map restore: iteration order not reproduced at "
+          "position " +
+          std::to_string(i) +
+          " (this container implementation does not prepend within "
+          "buckets; order-sensitive results would diverge)");
+    }
+    ++i;
+  }
+}
+
+/// Arithmetic-value convenience overloads (Bytes, int64, PeerId...).
+template <typename K, typename V>
+void save_unordered_map(ByteSink& sink, const std::unordered_map<K, V>& map) {
+  static_assert(sizeof(V) <= 8, "values serialize through u64");
+  save_unordered_map(sink, map, [](ByteSink& s, const V& v) {
+    s.put_u64(static_cast<std::uint64_t>(v));
+  });
+}
+
+template <typename K, typename V>
+void load_unordered_map(ByteSource& src, std::unordered_map<K, V>& map) {
+  load_unordered_map(src, map, [](ByteSource& s) {
+    return static_cast<V>(s.get_u64());
+  });
+}
+
+}  // namespace coopnet::util

@@ -81,6 +81,16 @@ class Rng {
   /// O(n) when k is a large fraction of n, O(k) expected otherwise.
   std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
 
+  /// Checkpoint access to the raw xoshiro256** state: save_state copies
+  /// the four words out, restore_state overwrites them. A restored Rng
+  /// continues the exact stream the saved one would have produced.
+  void save_state(std::uint64_t out[4]) const {
+    for (int i = 0; i < 4; ++i) out[i] = state_[i];
+  }
+  void restore_state(const std::uint64_t in[4]) {
+    for (int i = 0; i < 4; ++i) state_[i] = in[i];
+  }
+
  private:
   std::uint64_t state_[4];
 };

@@ -18,9 +18,18 @@
 #include "exp/schedule.h"
 #include "exp/supervise.h"
 #include "metrics/json.h"
+#include "util/crc32.h"
 
 namespace coopnet::exp {
 namespace {
+
+// Appends the schema-2 integrity field to a hand-crafted record line,
+// exactly as the journal writer does: crc32 over every byte before the
+// `,"crc"` suffix.
+std::string with_crc(const std::string& line) {
+  const std::string prefix = line.substr(0, line.size() - 1);
+  return prefix + ",\"crc\":" + std::to_string(util::crc32(prefix)) + "}";
+}
 
 sim::SwarmConfig small_cell(core::Algorithm algo, std::uint64_t seed) {
   auto config = sim::SwarmConfig::small(algo, seed);
@@ -176,6 +185,64 @@ TEST(RunJournal, ToleratesATornTrailingLine) {
   EXPECT_EQ(index.torn_lines(), 1u);
 }
 
+// Mid-file bit rot is NOT the torn-tail crash case: every complete
+// (newline-terminated) line was durably written, so a checksum mismatch
+// means the bytes changed afterwards. The loader must reject the journal
+// with the file, the damaged line, and both checksums -- never silently
+// merge or drop the record.
+TEST(RunJournal, LoadRejectsMidFileBitRotActionably) {
+  const auto cells = replication_cells(3, 31);
+  const std::string path = temp_path("journal_bitrot.jsonl");
+  {
+    RunJournal journal(path, RunJournal::Mode::kTruncate);
+    journal.write_header(cells.size(), 31);
+    run_cells_supervised(cells, 1, Supervision{}, &journal, nullptr);
+  }
+  const std::string whole = read_file(path);
+
+  // Flip one digit inside the SECOND record (a fully landed, mid-file
+  // line) -- its own crc still parses, but no longer matches the bytes.
+  const std::size_t second = whole.find('\n') + 1;
+  const std::size_t at = whole.find("\"seed\":", second) + 7;
+  std::string rotted = whole;
+  rotted[at] = rotted[at] == '1' ? '2' : '1';
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << rotted;
+  }
+  try {
+    JournalIndex::load(path);
+    FAIL() << "a bit-rotted mid-file record must be rejected";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("checksum mismatch"), std::string::npos) << what;
+    EXPECT_NE(what.find("stored crc"), std::string::npos) << what;
+    EXPECT_NE(what.find("computed"), std::string::npos) << what;
+  }
+
+  // Deleting the crc field from a complete line is equally rejected.
+  std::string stripped = whole;
+  const std::size_t crc_pos = stripped.find(",\"crc\":", second);
+  ASSERT_NE(crc_pos, std::string::npos);
+  const std::size_t close = stripped.find('}', crc_pos);
+  stripped.erase(crc_pos, close - crc_pos);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << stripped;
+  }
+  try {
+    JournalIndex::load(path);
+    FAIL() << "a record missing its crc field must be rejected";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("no \"crc\" field"),
+              std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
 TEST(RunJournal, LoadRejectsASchemaVersionMismatchActionably) {
   const std::string path = temp_path("journal_schema.jsonl");
   {
@@ -190,7 +257,7 @@ TEST(RunJournal, LoadRejectsASchemaVersionMismatchActionably) {
     const std::string what = e.what();
     // The error names both versions and tells the user what to do.
     EXPECT_NE(what.find("schema version 99"), std::string::npos) << what;
-    EXPECT_NE(what.find("version 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("version 2"), std::string::npos) << what;
     EXPECT_NE(what.find("rerun"), std::string::npos) << what;
   }
 
@@ -213,9 +280,12 @@ TEST(RunJournal, LoadRejectsAnOutOfRangeCellIndexActionably) {
   const std::string path = temp_path("journal_oob_index.jsonl");
   {
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    out << R"({"kind":"header","schema":1,"cells":2,"base_seed":7})" << "\n"
-        << R"({"kind":"cell","index":5,"seed":9,"algorithm":"bt",)"
-        << R"("status":"failed","error":"x","wall_s":0.5,"events":12})"
+    out << with_crc(
+               R"({"kind":"header","schema":2,"cells":2,"base_seed":7})")
+        << "\n"
+        << with_crc(
+               R"({"kind":"cell","index":5,"seed":9,"algorithm":"bt",)"
+               R"("status":"failed","error":"x","wall_s":0.5,"events":12})")
         << "\n";
   }
   try {
@@ -232,9 +302,12 @@ TEST(RunJournal, LoadRejectsAnOutOfRangeCellIndexActionably) {
   // counts as torn rather than wrapping to a huge index.
   {
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    out << R"({"kind":"header","schema":1,"cells":2,"base_seed":7})" << "\n"
-        << R"({"kind":"cell","index":-1,"seed":9,"algorithm":"bt",)"
-        << R"("status":"failed","error":"x","wall_s":0.5,"events":12})"
+    out << with_crc(
+               R"({"kind":"header","schema":2,"cells":2,"base_seed":7})")
+        << "\n"
+        << with_crc(
+               R"({"kind":"cell","index":-1,"seed":9,"algorithm":"bt",)"
+               R"("status":"failed","error":"x","wall_s":0.5,"events":12})")
         << "\n";
   }
   const auto index = JournalIndex::load(path);
@@ -246,8 +319,9 @@ TEST(RunJournal, LoadRejectsAnOutOfRangeCellIndexActionably) {
 TEST(RunJournal, SchemaMismatchRejectsResumeEndToEnd) {
   const std::string path = temp_path("journal_schema_resume.jsonl");
   {
+    // Schema 1 (the pre-checksum layout) against a schema-2 reader.
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    out << R"({"kind":"header","schema":2,"cells":4,"base_seed":11})"
+    out << R"({"kind":"header","schema":1,"cells":4,"base_seed":11})"
         << "\n";
   }
   SweepControl control;
@@ -337,7 +411,21 @@ TEST(RunJournal, CellRecordRenderParseRoundTripsOnOneLine) {
   EXPECT_FALSE(parse_cell_record("RESULT garbage", &entry));
   EXPECT_FALSE(parse_cell_record(line.substr(0, line.size() / 2), &entry));
   EXPECT_FALSE(parse_cell_record(
-      R"({"kind":"header","schema":1,"cells":1,"base_seed":1})", &entry));
+      R"({"kind":"header","schema":2,"cells":1,"base_seed":1})", &entry));
+  // A single bit flipped anywhere in an otherwise well-formed record
+  // fails the checksum and is rejected before any field is trusted.
+  {
+    std::string flipped = line;
+    const std::size_t at = flipped.find("\"seed\":") + 7;
+    flipped[at] = flipped[at] == '1' ? '2' : '1';
+    EXPECT_FALSE(parse_cell_record(flipped, &entry));
+  }
+  // A record missing its crc field entirely is also rejected.
+  {
+    const std::size_t pos = line.rfind(",\"crc\":");
+    ASSERT_NE(pos, std::string::npos);
+    EXPECT_FALSE(parse_cell_record(line.substr(0, pos) + "}", &entry));
+  }
 
   // An appended raw line is indistinguishable from a record() write.
   const std::string path = temp_path("journal_rawline.jsonl");

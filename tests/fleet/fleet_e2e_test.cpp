@@ -9,6 +9,8 @@
 // journal.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -285,6 +287,77 @@ TEST(FleetE2eTest, PoisonedCellIsQuarantinedAfterMaxAttempts) {
   EXPECT_EQ(index.size(), cells.size());
   EXPECT_NE(fleet_result.outcomes[0].error.find("abandoned"),
             std::string::npos);
+}
+
+TEST(FleetE2eTest, PreemptedWorkersSnapshotResumesMidCellOnTheNextWorker) {
+  const std::uint64_t base_seed = 61;
+  // One deliberately long cell (~a second of wall clock): the preemption
+  // below must land mid-cell with a wide margin, so the worker's final
+  // snapshot -- not a fresh start -- is what the next lessee builds on.
+  std::vector<sim::SwarmConfig> cells;
+  {
+    auto config = sim::SwarmConfig::small(core::Algorithm::kBitTorrent,
+                                          exp::cell_seed(base_seed, 0));
+    config.n_peers = 1500;
+    config.file_bytes = 64LL * 1024 * 1024;
+    cells.push_back(config);
+  }
+  const exp::Supervision supervision;
+  const exp::SweepResult reference =
+      exp::run_cells_supervised(cells, 1, supervision);
+  const double checkpoint_every = 200.0;  // simulated seconds
+
+  const std::string journal_path = temp_path("fleet_e2e_ckpt.jsonl");
+  exp::RunJournal journal(journal_path, exp::RunJournal::Mode::kTruncate);
+  journal.write_header(cells.size(), base_seed);
+  FleetControl control = coordinator_control();
+  control.heartbeat_interval = 0.1;  // snapshots ride the heartbeats
+  FleetCoordinator coordinator(cells, base_seed, control, &journal,
+                               nullptr);
+  const std::uint16_t port = coordinator.port();
+
+  exp::SweepResult fleet_result;
+  std::thread serve([&] { fleet_result = coordinator.serve(); });
+
+  // Worker 1 starts the cell, then the cancel flag (the SIGTERM handler's
+  // stand-in) preempts it mid-run; it ships a final snapshot with BYE and
+  // returns gracefully.
+  std::atomic<bool> cancel{false};
+  exp::Supervision preemptible = supervision;
+  preemptible.cancel = &cancel;
+  WorkerStats preempted_stats;
+  std::thread w1([&] {
+    FleetWorker worker(cells, base_seed, worker_control(port, "victim"),
+                       preemptible, checkpoint_every);
+    preempted_stats = worker.run();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  cancel.store(true);
+  w1.join();
+  ASSERT_TRUE(preempted_stats.preempted)
+      << "the cancel flag should have landed mid-cell (cell too fast?)";
+  EXPECT_EQ(preempted_stats.cells_run, 0u);
+
+  // Worker 2 leases the same cell; the coordinator hands it the stored
+  // snapshot first, so it replays only the tail -- and the merged
+  // artifact is still byte-identical to the uninterrupted local sweep.
+  FleetWorker resumer(cells, base_seed, worker_control(port, "resumer"),
+                      supervision, checkpoint_every);
+  const WorkerStats resumed_stats = resumer.run();
+  serve.join();
+
+  EXPECT_TRUE(fleet_result.complete())
+      << fleet_result.degradation_summary();
+  EXPECT_EQ(fleet_result.merged_json(), reference.merged_json())
+      << "a mid-cell resume must not change the merged artifact bytes";
+  EXPECT_EQ(resumed_stats.cells_run, 1u);
+  EXPECT_EQ(resumed_stats.cells_resumed, 1u)
+      << "the resumer should have continued from the shipped snapshot";
+  EXPECT_GT(resumed_stats.events_restored, 0u);
+  EXPECT_LT(resumed_stats.events_replayed, reference.outcomes[0].events)
+      << "a resumed cell replays a tail, not the whole cell";
+  EXPECT_GE(coordinator.stats().snapshots_received, 1u);
+  EXPECT_GE(coordinator.stats().snapshots_shipped, 1u);
 }
 
 }  // namespace

@@ -51,6 +51,15 @@ TEST(FleetProtocolTest, RoundTripsEveryFrameType) {
   EXPECT_EQ(parse_ok(render_done()).type, Frame::Type::kDone);
   EXPECT_EQ(parse_ok(render_ping()).type, Frame::Type::kPing);
   EXPECT_EQ(parse_ok(render_bye()).type, Frame::Type::kBye);
+
+  // CKPT carries arbitrary binary snapshot bytes -- including NUL,
+  // newlines, and spaces -- inside the newline-delimited framing.
+  const std::string snapshot("COOPCKPT\0\n \xff binary", 19);
+  f = parse_ok(render_ckpt(9, snapshot));
+  EXPECT_EQ(f.type, Frame::Type::kCkpt);
+  EXPECT_EQ(f.first, 9u);
+  EXPECT_EQ(f.payload, snapshot)
+      << "the hex codec must round-trip snapshot bytes exactly";
 }
 
 TEST(FleetProtocolTest, RejectsMalformedLinesWithoutThrowing) {
@@ -68,6 +77,12 @@ TEST(FleetProtocolTest, RejectsMalformedLinesWithoutThrowing) {
       "WELCOME 2.0",                 // missing lease_s
       "RESULT",                      // missing payload
       "lease 0 4",                   // keywords are case-sensitive
+      "CKPT",                        // missing index and payload
+      "CKPT 3",                      // missing payload
+      "CKPT -1 0a",                  // negative index
+      "CKPT 3 0a1",                  // odd-length hex
+      "CKPT 3 0A1B",                 // upper-case: wire form is canonical
+      "CKPT 3 zz",                   // non-hex digits
   };
   for (const std::string& line : bad) {
     Frame frame;

@@ -17,6 +17,7 @@
 #include "exp/journal.h"
 #include "fleet/protocol.h"
 #include "util/cli.h"
+#include "util/crc32.h"
 
 namespace coopnet {
 namespace {
@@ -129,10 +130,19 @@ TEST(ParseDouble, NonFiniteSpellingsAreModeGated) {
 // Call site 1: journal cell records. A negative or wrapped "index" must
 // make the record unparseable (torn), not load as a huge cell index.
 
+// Schema-2 records end with a crc field over the preceding bytes; the
+// hand-crafted lines here get a valid one so the parsers under test see
+// the adversarial TOKEN, not a checksum failure.
+std::string with_crc(const std::string& line) {
+  const std::string prefix = line.substr(0, line.size() - 1);
+  return prefix + ",\"crc\":" + std::to_string(util::crc32(prefix)) + "}";
+}
+
 std::string cell_line_with_index(const std::string& index_token) {
-  return "{\"kind\":\"cell\",\"index\":" + index_token +
-         ",\"seed\":9,\"algorithm\":\"bittorrent\",\"status\":\"failed\","
-         "\"error\":\"x\",\"wall_s\":0.5,\"events\":12}";
+  return with_crc(
+      "{\"kind\":\"cell\",\"index\":" + index_token +
+      ",\"seed\":9,\"algorithm\":\"bittorrent\",\"status\":\"failed\","
+      "\"error\":\"x\",\"wall_s\":0.5,\"events\":12}");
 }
 
 TEST(ParseCallSites, JournalRejectsNegativeAndWrappedIndices) {
@@ -152,9 +162,9 @@ TEST(ParseCallSites, JournalStillAcceptsNonFiniteScalars) {
   // The journal's own renderer writes %.17g, which emits "nan"/"inf" for
   // ratio metrics with zero denominators; the loader must keep reading
   // them (backward compatibility with existing journals).
-  std::string line =
+  std::string line = with_crc(
       "{\"kind\":\"cell\",\"index\":0,\"seed\":9,\"algorithm\":\"bt\","
-      "\"status\":\"failed\",\"error\":\"\",\"wall_s\":nan,\"events\":1}";
+      "\"status\":\"failed\",\"error\":\"\",\"wall_s\":nan,\"events\":1}");
   exp::JournalEntry entry;
   ASSERT_TRUE(exp::parse_cell_record(line, &entry));
   EXPECT_TRUE(std::isnan(entry.wall_seconds));

@@ -18,6 +18,9 @@
 
 #include <cmath>
 
+#include <fstream>
+#include <sstream>
+
 #include "exp/backend.h"
 #include "exp/journal.h"
 #include "exp/replication.h"
@@ -28,9 +31,11 @@
 #include "metrics/trace_log.h"
 #include "metrics/trace_sink.h"
 #include "sim/auditor.h"
+#include "sim/checkpoint.h"
 #include "sim/swarm.h"
 #include "strategy/factory.h"
 #include "util/atomic_file.h"
+#include "util/byteio.h"
 #include "util/cli.h"
 #include "util/table.h"
 
@@ -83,6 +88,18 @@ supervision / crash-safety (DESIGN.md "Crash-safety & resumability"):
   --resume FILE        skip replications already journaled in FILE and
                        merge their results bit-identically (implies
                        --journal FILE; requires --reps >= 2)
+  --checkpoint-every S snapshot each run's full state every S SIMULATED
+                       seconds (byte-identical results either way). With
+                       --journal, snapshots live at FILE.ckpt.<cell> and
+                       --resume restores mid-cell; single runs pair it
+                       with --checkpoint FILE
+  --checkpoint FILE    single run: write the cadenced snapshot to FILE
+                       (atomic replace; removed on clean completion).
+                       SIGINT/SIGTERM leave a final snapshot
+  --restore FILE       single run: resume from the snapshot in FILE and
+                       continue byte-identically (same flags as the
+                       original run; --trace-out is truncated to the
+                       snapshot offset and continued)
 backend:
   --backend B          event|fluid (default event). fluid integrates the
                        mean-field population ODE system (DESIGN §12)
@@ -269,7 +286,7 @@ int run_replicated_supervised_cli(const util::Cli& cli,
   const auto t0 = std::chrono::steady_clock::now();
   const exp::SupervisedReplication out = exp::run_replicated_supervised(
       config, reps, config.seed, jobs, supervision, sj.journal.get(),
-      sj.resume.get());
+      sj.resume.get(), control.checkpoint);
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -311,7 +328,8 @@ int run_replicated_supervised_cli(const util::Cli& cli,
 int run_fluid(const util::Cli& cli, const sim::SwarmConfig& config) {
   for (const char* flag : {"reps", "trace", "trace-out", "audit",
                            "audit-every", "journal", "resume",
-                           "cell-timeout", "event-budget"}) {
+                           "cell-timeout", "event-budget",
+                           "checkpoint-every", "checkpoint", "restore"}) {
     if (cli.has(flag)) {
       throw std::invalid_argument(
           std::string("--") + flag +
@@ -375,6 +393,13 @@ int run(const util::Cli& cli) {
         "--reps >= 2 (got --reps " + std::to_string(reps) + ")");
   }
 
+  if (reps > 1 && (cli.has("checkpoint") || cli.has("restore"))) {
+    throw std::invalid_argument(
+        "--checkpoint/--restore are single-run flags; sweeps checkpoint "
+        "with --journal FILE --checkpoint-every S and resume with "
+        "--resume FILE");
+  }
+
   if (reps > 1) {
     const long jobs_flag = cli.get_int("jobs", 0);
     if (jobs_flag < 0) throw std::invalid_argument("--jobs must be >= 1");
@@ -401,17 +426,72 @@ int run(const util::Cli& cli) {
   }
 
   // Single run; optionally with the in-memory trace and/or a streaming
-  // JSONL sink attached (sink -> log -> collector, each chaining on).
+  // JSONL sink attached (sink -> log -> collector, each chaining on), and
+  // optionally checkpointed (--checkpoint) or restored (--restore).
+  const std::string ckpt_file = cli.get_string("checkpoint", "");
+  if (cli.has("checkpoint") && ckpt_file.empty()) {
+    throw std::invalid_argument(
+        "--checkpoint needs a file path to write the snapshot to");
+  }
+  if (!ckpt_file.empty() && !control.checkpoint.active()) {
+    throw std::invalid_argument(
+        "--checkpoint FILE needs a cadence: add --checkpoint-every S "
+        "(simulated seconds)");
+  }
+  const std::string restore_file = cli.get_string("restore", "");
+  if (cli.has("restore") && restore_file.empty()) {
+    throw std::invalid_argument(
+        "--restore needs the snapshot file of the interrupted run");
+  }
+  if (cli.has("restore") && cli.has("trace")) {
+    throw std::invalid_argument(
+        "--trace keeps the whole trace in memory and cannot span a "
+        "restore; use --trace-out FILE (it is truncated to the snapshot "
+        "offset and continued byte-identically)");
+  }
+  const bool checkpointing = !ckpt_file.empty() || !restore_file.empty();
+
+  std::vector<sim::SnapshotSection> sections;
+  std::uint64_t trace_offset = 0;
+  bool have_trace_section = false;
+  const bool restored = !restore_file.empty();
+  if (restored) {
+    std::ifstream in(restore_file, std::ios::binary);
+    if (!in) {
+      throw std::invalid_argument("--restore: cannot read " + restore_file);
+    }
+    std::ostringstream os;
+    os << in.rdbuf();
+    // Throws sim::CheckpointError (with the failing section/offset) on a
+    // truncated, bit-rotted, or config-mismatched snapshot.
+    sections = sim::decode_snapshot(config, os.str());
+    for (const sim::SnapshotSection& s : sections) {
+      if (s.id != sim::kSectionTrace) continue;
+      util::ByteSource src(s.payload, "trace section");
+      trace_offset = src.get_u64();
+      src.expect_exhausted();
+      have_trace_section = true;
+    }
+  }
+
   sim::Swarm swarm(config, strategy::make_strategy(config.algorithm));
+  if (checkpointing) swarm.enable_checkpoints();
   std::unique_ptr<exp::CellGuard> guard;
-  if (control.supervision.any()) {
+  if (control.supervision.any() || checkpointing) {
+    // A checkpointed run always polls the cancel flag: SIGINT/SIGTERM
+    // then stop it at a guard tick and it leaves a final snapshot.
     control.supervision.cancel = &g_cancel;
     install_signal_handlers();
     guard = std::make_unique<exp::CellGuard>(swarm.engine(),
                                              control.supervision);
   }
   metrics::RunMetrics collector;
-  collector.install(swarm);
+  if (restored) {
+    swarm.start_restored();
+    collector.install_restored(swarm);
+  } else {
+    collector.install(swarm);
+  }
   metrics::TraceLog trace(cli.has("trace"));
   std::unique_ptr<metrics::TraceSink> sink;
   sim::SwarmObserver* head = nullptr;
@@ -420,16 +500,88 @@ int run(const util::Cli& cli) {
     head = &trace;
   }
   if (cli.has("trace-out")) {
-    sink = std::make_unique<metrics::TraceSink>(
-        cli.get_string("trace-out", ""));
+    const std::string trace_path = cli.get_string("trace-out", "");
+    if (restored) {
+      if (!have_trace_section) {
+        throw std::invalid_argument(
+            "--restore: the snapshot has no trace section (the original "
+            "run did not stream --trace-out); drop --trace-out or restart "
+            "from scratch");
+      }
+      sink = std::make_unique<metrics::TraceSink>(trace_path, true,
+                                                  trace_offset);
+    } else {
+      sink = std::make_unique<metrics::TraceSink>(trace_path);
+    }
     sink->chain(head != nullptr ? head : &collector);
     head = sink.get();
+  } else if (restored && have_trace_section) {
+    std::fprintf(stderr,
+                 "coopnet_run: warning: the snapshot recorded a streamed "
+                 "trace but --trace-out is absent; the trace file will "
+                 "not be continued\n");
   }
   if (head != nullptr) swarm.set_observer(head);
-  swarm.run();
+
+  auto take_snapshot = [&] {
+    std::vector<sim::SnapshotSection> snap =
+        sim::SwarmCheckpoint::save(swarm);
+    util::ByteSink msink;
+    collector.checkpoint_save(msink);
+    snap.push_back({sim::kSectionMetrics, msink.take()});
+    if (sink != nullptr) {
+      util::ByteSink tsink;
+      tsink.put_u64(sink->bytes_written());
+      snap.push_back({sim::kSectionTrace, tsink.take()});
+    }
+    util::write_file_atomic(ckpt_file, sim::encode_snapshot(config, snap));
+  };
+
+  if (!checkpointing) {
+    swarm.run();
+  } else {
+    if (restored) {
+      sim::SwarmCheckpoint::restore(swarm, sections);
+      for (const sim::SnapshotSection& s : sections) {
+        if (s.id != sim::kSectionMetrics) continue;
+        util::ByteSource src(s.payload, "metrics section");
+        collector.checkpoint_load(src);
+        src.expect_exhausted();
+      }
+    } else {
+      swarm.start();
+    }
+    const double every = control.checkpoint.every;
+    if (!ckpt_file.empty()) {
+      double next =
+          restored
+              ? (std::floor(swarm.engine().now() / every) + 1.0) * every
+              : every;
+      while (!swarm.finished() && next < config.max_time) {
+        swarm.advance_until(next);
+        if (swarm.finished()) break;
+        take_snapshot();
+        next += every;
+      }
+    }
+    if (!swarm.finished()) swarm.advance_until(config.max_time);
+    if (!ckpt_file.empty() && guard != nullptr &&
+        guard->status() == exp::CellOutcome::Status::kSkipped) {
+      // Graceful preemption: the interrupt landed between events, so the
+      // final snapshot resumes with nothing to replay.
+      take_snapshot();
+      std::fprintf(stderr,
+                   "coopnet_run: snapshot written to %s; rerun with "
+                   "--restore %s to continue\n",
+                   ckpt_file.c_str(), ckpt_file.c_str());
+    }
+  }
   const auto report = metrics::build_report(swarm, collector);
   const bool cancelled =
       guard != nullptr && guard->status() != exp::CellOutcome::Status::kOk;
+  if (!ckpt_file.empty() && !cancelled) {
+    std::remove(ckpt_file.c_str());  // clean completion: prune the snapshot
+  }
   if (cancelled) {
     std::printf("run cancelled: %s (metrics below cover the partial run)\n",
                 guard->reason().c_str());
